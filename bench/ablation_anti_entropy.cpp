@@ -1,0 +1,119 @@
+/// Ablation A9: one-shot gossip (Fig. 1) vs anti-entropy rounds (push /
+/// pull / push-pull, Demers et al. [2]). Reports rounds-to-coverage and
+/// message budgets, simulation vs the mean-field recurrences — what the
+/// repeated-executions model (Eqs. 5-6) trades away by not keeping state
+/// between rounds.
+
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/baselines/anti_entropy_model.hpp"
+#include "core/reliability_model.hpp"
+#include "core/success_model.hpp"
+#include "protocol/anti_entropy.hpp"
+#include "stats/summary.hpp"
+
+int main() {
+  using namespace gossip;
+  bench::print_banner("Ablation A9",
+                      "Anti-entropy (push/pull/push-pull, fanout 1/round) "
+                      "vs repeated one-shot gossip (n = 2000, q = 0.9)");
+
+  const std::uint32_t n = 2000;
+  const double q = 0.9;
+  const std::int64_t budget_rounds = 30;
+
+  const std::string csv_path = experiment::csv_path_in(
+      bench::kResultsDir, "ablation_anti_entropy.csv");
+  experiment::CsvWriter csv(csv_path,
+                            {"mode", "rounds_to_coverage_sim",
+                             "rounds_to_coverage_model", "messages_sim"});
+
+  experiment::TextTable table;
+  table.column("mode", 10)
+      .column("rounds(sim)", 12)
+      .column("rounds(model)", 14)
+      .column("messages", 10);
+
+  struct Case {
+    std::string label;
+    protocol::ExchangeMode sim_mode;
+    core::baselines::AntiEntropyMode model_mode;
+  };
+  const std::vector<Case> cases{
+      {"push", protocol::ExchangeMode::kPush,
+       core::baselines::AntiEntropyMode::kPush},
+      {"pull", protocol::ExchangeMode::kPull,
+       core::baselines::AntiEntropyMode::kPull},
+      {"push-pull", protocol::ExchangeMode::kPushPull,
+       core::baselines::AntiEntropyMode::kPushPull},
+  };
+
+  for (const auto& c : cases) {
+    protocol::AntiEntropyParams params;
+    params.num_nodes = n;
+    params.nonfailed_ratio = q;
+    params.fanout = core::fixed_fanout(1);
+    params.rounds = budget_rounds;
+    params.mode = c.sim_mode;
+
+    const rng::RngStream root(37);
+    stats::OnlineSummary rounds;
+    stats::OnlineSummary messages;
+    std::size_t converged = 0;
+    const std::size_t reps = 15;
+    for (std::size_t i = 0; i < reps; ++i) {
+      auto rng = root.substream(i);
+      const auto result = protocol::run_anti_entropy(params, rng);
+      if (result.rounds_to_full_coverage > 0) {
+        rounds.add(static_cast<double>(result.rounds_to_full_coverage));
+        ++converged;
+      }
+      messages.add(static_cast<double>(result.execution.messages_sent));
+    }
+
+    core::baselines::AntiEntropyModelParams mp;
+    mp.num_members = n;
+    mp.fanout = 1.0;
+    mp.nonfailed_ratio = q;
+    mp.mode = c.model_mode;
+    // Model target: every survivor, i.e. fraction 1 - 1/(nq).
+    std::string model_rounds = "n/a";
+    try {
+      model_rounds = std::to_string(core::baselines::
+              anti_entropy_rounds_to_fraction(
+                  mp, 1.0 - 1.0 / (static_cast<double>(n) * q), 2000));
+    } catch (const std::domain_error&) {
+      // push alone plateaus below full coverage in the mean-field limit
+    }
+
+    const std::string sim_rounds =
+        converged > 0 ? experiment::fmt_double(rounds.mean(), 1) + " (" +
+                            std::to_string(converged) + "/" +
+                            std::to_string(reps) + ")"
+                      : "did not converge";
+    table.add_row({c.label, sim_rounds, model_rounds,
+                   experiment::fmt_double(messages.mean(), 0)});
+    csv.add_row({c.label,
+                 converged > 0 ? experiment::fmt_double(rounds.mean(), 2)
+                               : "-1",
+                 model_rounds, experiment::fmt_double(messages.mean(), 0)});
+  }
+  table.print(std::cout);
+
+  // The one-shot comparison: repeated Fig. 1 executions per Eqs. (5)-(6).
+  const double r = core::poisson_reliability(4.0, q);
+  const auto t = core::required_executions(r, 1.0 - 1.0 / (n * q));
+  std::cout << "\nOne-shot comparison: Fig. 1 gossip with Poisson(4) has "
+               "R = "
+            << experiment::fmt_double(r, 4) << "; reaching every survivor "
+            << "w.p. 1-1/(nq) needs t = " << t << " executions ~ "
+            << t * 4 * static_cast<int>(n * q) << " messages.\n"
+            << "Anti-entropy reaches certainty on the connected survivors "
+               "with stateful rounds instead;\npush-pull needs the fewest "
+               "rounds, pull pays reply messages, push stalls on the last "
+               "stragglers.\n";
+  bench::print_footer(csv_path);
+  return 0;
+}

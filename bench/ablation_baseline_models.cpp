@@ -1,0 +1,106 @@
+/// Ablation A4: model shootout. The related-work section contrasts three
+/// modeling lineages — the pbcast recurrence, the SI epidemic, and the
+/// KMG/Microsoft random-graph success model — with the paper's percolation
+/// model. This bench puts all four against the same simulated ground truth.
+
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/baselines/kmg_model.hpp"
+#include "core/baselines/pbcast_recurrence.hpp"
+#include "core/baselines/si_epidemic.hpp"
+#include "core/reliability_model.hpp"
+#include "experiment/component_mc.hpp"
+#include "experiment/monte_carlo.hpp"
+
+int main() {
+  using namespace gossip;
+  bench::print_banner(
+      "Ablation A4",
+      "Percolation model vs pbcast recurrence vs SI epidemic vs KMG "
+      "(n = 2000, q = 0.9)");
+
+  const std::uint32_t n = 2000;
+  const double q = 0.9;
+
+  const std::string csv_path = experiment::csv_path_in(
+      bench::kResultsDir, "ablation_baseline_models.csv");
+  experiment::CsvWriter csv(
+      csv_path, {"f", "sim_component", "percolation_S", "pbcast_forward_once",
+                 "si_saturation", "kmg_success", "sim_success_rate"});
+
+  experiment::TextTable table;
+  table.column("f", 5)
+      .column("sim", 8)
+      .column("percolation", 12)
+      .column("pbcast-mf", 10)
+      .column("SI", 6)
+      .column("KMG succ", 9)
+      .column("sim succ", 9);
+
+  for (const double f : {1.5, 2.0, 3.0, 4.0, 5.0, 6.0, 8.0, 10.0}) {
+    const auto dist = core::poisson_fanout(f);
+    experiment::MonteCarloOptions opt;
+    opt.replications = 20;
+    opt.seed = 3;
+    const auto sim = experiment::estimate_giant_component(n, *dist, q, opt);
+    const auto delivery =
+        experiment::estimate_reliability_graph(n, *dist, q, opt);
+
+    const double percolation = core::poisson_reliability(f, q);
+
+    // pbcast mean-field, forward-once (the Fig. 1 protocol's round analog);
+    // run enough rounds to converge.
+    core::baselines::RoundGossipParams rp;
+    rp.num_members = n;
+    rp.fanout = f;
+    rp.nonfailed_ratio = q;
+    rp.rounds = 60;
+    const double pbcast =
+        core::baselines::pbcast_expected_infected_forward_once(rp).back();
+
+    // SI epidemic: always saturates for any positive seed — report its
+    // long-run value (the deficiency the paper points out).
+    core::baselines::SiParams sp;
+    sp.contact_rate = f;
+    sp.nonfailed_ratio = q;
+    sp.initial_infected_fraction = 1.0 / static_cast<double>(n);
+    sp.t_end = 50.0;
+    sp.dt = 0.01;
+    const double si =
+        core::baselines::si_trajectory(sp).back().infected_fraction;
+
+    const double kmg = core::baselines::kmg_success_probability(
+        static_cast<std::int64_t>(n), f, 1.0 - q);
+
+    table.add_row({experiment::fmt_double(f, 1),
+                   experiment::fmt_double(sim.giant_fraction_alive.mean(), 4),
+                   experiment::fmt_double(percolation, 4),
+                   experiment::fmt_double(pbcast, 4),
+                   experiment::fmt_double(si, 2),
+                   experiment::fmt_double(kmg, 4),
+                   experiment::fmt_double(delivery.success_rate(), 4)});
+    csv.add_row({experiment::fmt_double(f, 1),
+                 experiment::fmt_double(sim.giant_fraction_alive.mean(), 6),
+                 experiment::fmt_double(percolation, 6),
+                 experiment::fmt_double(pbcast, 6),
+                 experiment::fmt_double(si, 6),
+                 experiment::fmt_double(kmg, 6),
+                 experiment::fmt_double(delivery.success_rate(), 6)});
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "\nReading: the percolation model tracks the simulated reliability "
+         "across the whole range,\nincluding the f < 1/q die-out regime. The "
+         "pbcast mean-field recurrence is close but blind to\nstochastic "
+         "die-out; SI predicts saturation everywhere (no failure notion); "
+         "KMG predicts only the\nall-members success probability, which "
+         "stays ~0 until f approaches ln n' ~ "
+      << experiment::fmt_double(std::log(static_cast<double>(n) * q), 2)
+      << ".\n";
+  bench::print_footer(csv_path);
+  return 0;
+}

@@ -1,0 +1,88 @@
+/// Ablation A7: WHEN failures happen. The paper treats crashes as static
+/// ("before receiving, or after receiving but before forwarding"); this
+/// ablation sweeps the crash time across the dissemination and shows the
+/// static model is exactly the early-crash limit, while late crashes cost
+/// nothing — bounding how conservative the paper's model is for real churn.
+
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/branching.hpp"
+#include "core/reliability_model.hpp"
+#include "protocol/gossip_multicast.hpp"
+#include "stats/summary.hpp"
+
+int main() {
+  using namespace gossip;
+  bench::print_banner("Ablation A7",
+                      "Crash timing: 40% of members crash during "
+                      "dissemination (n = 1500, Poisson(5), unit latency)");
+
+  const std::uint32_t n = 1500;
+  const double z = 5.0;
+  const double crash_fraction = 0.4;
+  const double q_equiv = 1.0 - crash_fraction;
+
+  const auto gf = core::GeneratingFunction::from_distribution(
+      *core::poisson_fanout(z));
+  const double static_delivery =
+      core::analyze_directed_gossip(gf, q_equiv).expected_delivery;
+  const double nocrash_delivery =
+      core::analyze_directed_gossip(gf, 1.0).expected_delivery;
+
+  std::cout << "Static-failure model bounds (delivery metric):\n"
+            << "  crash-at-t=0 equivalent (q = " << q_equiv
+            << "): " << experiment::fmt_double(static_delivery, 4) << "\n"
+            << "  no-crash equivalent (q = 1.0):   "
+            << experiment::fmt_double(nocrash_delivery, 4) << "\n\n";
+
+  const std::string csv_path = experiment::csv_path_in(
+      bench::kResultsDir, "ablation_crash_timing.csv");
+  experiment::CsvWriter csv(
+      csv_path, {"crash_window_center", "delivery_mean", "midrun_crashes"});
+
+  experiment::TextTable table;
+  table.column("crash window", 14)
+      .column("delivery", 9)
+      .column("crashes", 8);
+
+  const std::vector<std::pair<double, double>> windows{
+      {0.0, 0.1}, {1.0, 2.0}, {2.0, 3.0}, {3.0, 4.0},
+      {4.0, 6.0}, {6.0, 9.0}, {12.0, 15.0}, {50.0, 60.0}};
+
+  for (const auto& [lo, hi] : windows) {
+    protocol::GossipParams params;
+    params.num_nodes = n;
+    params.nonfailed_ratio = 1.0;
+    params.fanout = core::poisson_fanout(z);
+    params.midrun_crash_fraction = crash_fraction;
+    params.midrun_crash_time = net::uniform_latency(lo, hi);
+
+    const rng::RngStream root(19);
+    stats::OnlineSummary delivery;
+    stats::OnlineSummary crashes;
+    for (std::size_t i = 0; i < 30; ++i) {
+      auto rng = root.substream(i);
+      const auto exec = protocol::run_gossip_once(params, rng);
+      delivery.add(exec.reliability);
+      crashes.add(static_cast<double>(exec.midrun_crashes));
+    }
+    const std::string window = "[" + experiment::fmt_double(lo, 1) + "," +
+                               experiment::fmt_double(hi, 1) + "]";
+    table.add_row({window, experiment::fmt_double(delivery.mean(), 4),
+                   experiment::fmt_double(crashes.mean(), 0)});
+    csv.add_row({experiment::fmt_double(0.5 * (lo + hi), 2),
+                 experiment::fmt_double(delivery.mean(), 6),
+                 experiment::fmt_double(crashes.mean(), 1)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nReading: delivery interpolates from the static-failure "
+               "prediction (early windows) up to the\nno-crash level once "
+               "the crash window passes the ~log(n)/log(zq) hop depth of "
+               "the cascade.\nThe paper's static model is the worst case "
+               "over crash timings — safe for provisioning.\n";
+  bench::print_footer(csv_path);
+  return 0;
+}

@@ -1,0 +1,76 @@
+/// Ablation A5: the phase transition. Eq. (3)/(10) predicts the critical
+/// non-failed ratio q_c = 1/G1'(1) (= 1/z for Poisson). Sweeps q finely
+/// through the predicted transition for several distributions and group
+/// sizes, locating the empirical knee and the finite-size sharpening the
+/// paper observes between n = 1000 and n = 5000.
+
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/degree_distribution.hpp"
+#include "core/percolation.hpp"
+#include "experiment/component_mc.hpp"
+#include "experiment/sweep.hpp"
+
+int main() {
+  using namespace gossip;
+  bench::print_banner("Ablation A5",
+                      "Phase transition location vs Eq. (3) prediction");
+
+  const std::string csv_path = experiment::csv_path_in(
+      bench::kResultsDir, "ablation_critical_point.csv");
+  experiment::CsvWriter csv(
+      csv_path, {"distribution", "n", "q", "analysis_R", "sim_R"});
+
+  struct Case {
+    core::DegreeDistributionPtr dist;
+    std::uint32_t n;
+  };
+  const std::vector<Case> cases{
+      {core::poisson_fanout(4.0), 1000},
+      {core::poisson_fanout(4.0), 5000},
+      {core::fixed_fanout(4), 2000},
+      {core::geometric_fanout(4.0), 2000},
+  };
+
+  for (const auto& c : cases) {
+    const auto gf = core::GeneratingFunction::from_distribution(*c.dist);
+    const double qc = core::critical_nonfailed_ratio(gf);
+    std::cout << "\n-- " << c.dist->name() << ", n = " << c.n
+              << "  (predicted q_c = " << experiment::fmt_double(qc, 4)
+              << ") --\n";
+    experiment::TextTable table;
+    table.column("q", 7).column("analysis R", 11).column("sim R", 9);
+
+    // Fine sweep across [0.4 q_c, 2.5 q_c], clipped to (0, 1].
+    for (double ratio = 0.4; ratio <= 2.5; ratio += 0.15) {
+      const double q = std::min(1.0, qc * ratio);
+      const double analysis =
+          core::analyze_site_percolation(gf, q).reliability;
+      experiment::MonteCarloOptions opt;
+      opt.replications = 20;
+      opt.seed = 29;
+      const auto est =
+          experiment::estimate_giant_component(c.n, *c.dist, q, opt);
+      table.add_row({experiment::fmt_double(q, 4),
+                     experiment::fmt_double(analysis, 4),
+                     experiment::fmt_double(
+                         est.giant_fraction_alive.mean(), 4)});
+      csv.add_row({c.dist->name(), std::to_string(c.n),
+                   experiment::fmt_double(q, 4),
+                   experiment::fmt_double(analysis, 6),
+                   experiment::fmt_double(est.giant_fraction_alive.mean(),
+                                          6)});
+      if (q >= 1.0) break;
+    }
+    table.print(std::cout);
+  }
+
+  std::cout << "\nReading: below q_c the simulated giant fraction decays "
+               "with n (finite-size largest component);\nabove q_c it locks "
+               "onto the analysis. Larger n sharpens the knee — the paper's "
+               "Fig. 4-vs-5 observation.\n";
+  bench::print_footer(csv_path);
+  return 0;
+}

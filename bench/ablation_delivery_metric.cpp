@@ -1,0 +1,86 @@
+/// Ablation A8: the component-vs-delivery decomposition. The paper's
+/// reliability is the giant-component share S; the protocol's delivered
+/// fraction is takeoff * reach, where take-off depends on the WHOLE fanout
+/// distribution (extinction of the forward cascade) and per-member reach
+/// only on its mean (in-degrees are Poisson). This bench reports the full
+/// decomposition for several fanout shapes at equal mean, against the graph
+/// Monte Carlo.
+
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/branching.hpp"
+#include "core/degree_distribution.hpp"
+#include "core/percolation.hpp"
+#include "experiment/monte_carlo.hpp"
+
+int main() {
+  using namespace gossip;
+  bench::print_banner("Ablation A8",
+                      "Delivery metric decomposition: takeoff x reach "
+                      "(equal mean 4, q = 0.9, n = 2000)");
+
+  const double q = 0.9;
+  const std::vector<core::DegreeDistributionPtr> dists{
+      core::fixed_fanout(4),
+      core::poisson_fanout(4.0),
+      core::uniform_fanout(1, 7),
+      core::geometric_fanout(4.0),
+      core::zipf_fanout(64, 1.18),
+  };
+
+  const std::string csv_path = experiment::csv_path_in(
+      bench::kResultsDir, "ablation_delivery_metric.csv");
+  experiment::CsvWriter csv(csv_path,
+                            {"distribution", "component_S", "takeoff",
+                             "reach_given_takeoff", "predicted_delivery",
+                             "sim_delivery"});
+
+  experiment::TextTable table;
+  table.column("distribution", 18)
+      .column("component S", 12)
+      .column("takeoff", 8)
+      .column("reach", 7)
+      .column("predicted", 10)
+      .column("sim", 7);
+
+  for (const auto& dist : dists) {
+    const auto gf = core::GeneratingFunction::from_distribution(*dist);
+    const double component =
+        core::analyze_site_percolation(gf, q).reliability;
+    const auto directed = core::analyze_directed_gossip(gf, q);
+
+    experiment::MonteCarloOptions opt;
+    opt.replications = 300;
+    opt.seed = 23;
+    const auto est = experiment::estimate_reliability_graph(2000, *dist, q,
+                                                            opt);
+
+    table.add_row({dist->name(), experiment::fmt_double(component, 4),
+                   experiment::fmt_double(directed.takeoff_probability, 4),
+                   experiment::fmt_double(
+                       directed.member_reach_given_takeoff, 4),
+                   experiment::fmt_double(directed.expected_delivery, 4),
+                   experiment::fmt_double(est.mean_reliability(), 4)});
+    csv.add_row({dist->name(), experiment::fmt_double(component, 6),
+                 experiment::fmt_double(directed.takeoff_probability, 6),
+                 experiment::fmt_double(
+                     directed.member_reach_given_takeoff, 6),
+                 experiment::fmt_double(directed.expected_delivery, 6),
+                 experiment::fmt_double(est.mean_reliability(), 6)});
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "\nReading: 'reach' is identical across shapes (in-degrees are "
+         "Poisson at equal mean); the shapes\ndiffer only through take-off "
+         "— P(fanout = 0) is what kills cascades. Fixed fanout never dies\n"
+         "(takeoff = 1); geometric/zipf die at the source with probability "
+         "~P(0). Note the component and\ndelivery metrics live on different "
+         "graphs with different thresholds (q G1'(1) > 1 vs q z > 1);\n"
+         "they coincide only for Poisson fanout — see DESIGN.md and the "
+         "MetricDivergence tests.\n";
+  bench::print_footer(csv_path);
+  return 0;
+}

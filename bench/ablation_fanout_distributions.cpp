@@ -1,0 +1,88 @@
+/// Ablation A1: does the *shape* of the fanout distribution matter at equal
+/// mean? This is the paper's motivation for supporting arbitrary P — the
+/// generalized-random-graph analysis predicts that the critical point
+/// q_c = 1/G1'(1) depends on the distribution's second factorial moment,
+/// not just its mean. Compares fixed, Poisson, uniform, binomial, geometric
+/// and zipf fanouts at (approximately) equal mean across a failure sweep,
+/// analysis vs component simulation.
+
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/degree_distribution.hpp"
+#include "core/percolation.hpp"
+#include "experiment/component_mc.hpp"
+#include "experiment/sweep.hpp"
+
+int main() {
+  using namespace gossip;
+  bench::print_banner("Ablation A1",
+                      "Fanout distribution shape at equal mean ~ 4: "
+                      "reliability and critical point");
+
+  // All means ~= 4.0 (zipf is tuned to land close).
+  const std::vector<core::DegreeDistributionPtr> dists{
+      core::fixed_fanout(4),
+      core::poisson_fanout(4.0),
+      core::uniform_fanout(1, 7),
+      core::binomial_fanout(8, 0.5),
+      core::geometric_fanout(4.0),
+      core::zipf_fanout(64, 1.18),
+  };
+
+  const std::string csv_path = experiment::csv_path_in(
+      bench::kResultsDir, "ablation_fanout_distributions.csv");
+  experiment::CsvWriter csv(csv_path, {"distribution", "mean", "critical_q",
+                                       "q", "analysis_R", "sim_R"});
+
+  std::cout << "\nCritical non-failed ratio per distribution (Eq. 3):\n";
+  experiment::TextTable crit_table;
+  crit_table.column("distribution", 18).column("mean", 8).column("q_c", 8);
+  for (const auto& dist : dists) {
+    const auto gf = core::GeneratingFunction::from_distribution(*dist);
+    crit_table.add_row({dist->name(),
+                        experiment::fmt_double(dist->mean(), 3),
+                        experiment::fmt_double(
+                            core::critical_nonfailed_ratio(gf), 4)});
+  }
+  crit_table.print(std::cout);
+
+  const std::vector<double> q_grid{0.15, 0.25, 0.4, 0.6, 0.8, 1.0};
+  for (const auto& dist : dists) {
+    const auto gf = core::GeneratingFunction::from_distribution(*dist);
+    const double qc = core::critical_nonfailed_ratio(gf);
+    std::cout << "\n-- " << dist->name() << " --\n";
+    experiment::TextTable table;
+    table.column("q", 6).column("analysis R", 11).column("sim R", 9);
+    for (const double q : q_grid) {
+      const double analysis =
+          core::analyze_site_percolation(gf, q).reliability;
+      experiment::MonteCarloOptions opt;
+      opt.replications = 20;
+      opt.seed = 11;
+      const auto est =
+          experiment::estimate_giant_component(2000, *dist, q, opt);
+      table.add_row({experiment::fmt_double(q, 2),
+                     experiment::fmt_double(analysis, 4),
+                     experiment::fmt_double(
+                         est.giant_fraction_alive.mean(), 4)});
+      csv.add_row({dist->name(), experiment::fmt_double(dist->mean(), 4),
+                   experiment::fmt_double(qc, 4),
+                   experiment::fmt_double(q, 2),
+                   experiment::fmt_double(analysis, 6),
+                   experiment::fmt_double(est.giant_fraction_alive.mean(),
+                                          6)});
+    }
+    table.print(std::cout);
+  }
+
+  std::cout
+      << "\nReading: at equal mean fanout, low-variance distributions "
+         "(fixed) maximize reliability in the\nsupercritical regime, while "
+         "heavy-tailed ones (geometric, zipf) percolate at smaller q_c but "
+         "deliver\nlower plateau reliability — the trade-off the paper's "
+         "arbitrary-P analysis exposes.\n";
+  bench::print_footer(csv_path);
+  return 0;
+}

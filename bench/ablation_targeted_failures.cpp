@@ -1,0 +1,78 @@
+/// Ablation A6: targeted failures through the paper's general Eq. (1). The
+/// model's q_k freedom (occupancy per degree) covers failure patterns the
+/// uniform-q case study cannot: hubs crashing preferentially (attack),
+/// hubs hardened (protection). Analysis vs per-degree-occupancy Monte Carlo
+/// on a heavy-tailed fanout where hubs matter.
+
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/degree_distribution.hpp"
+#include "core/percolation.hpp"
+#include "experiment/component_mc.hpp"
+
+int main() {
+  using namespace gossip;
+  bench::print_banner("Ablation A6",
+                      "Targeted failures via per-degree occupancy q_k "
+                      "(geometric fanout, mean 4, n = 3000)");
+
+  const auto dist = core::geometric_fanout(4.0);
+  const auto gf = core::GeneratingFunction::from_distribution(*dist);
+
+  struct Scenario {
+    std::string label;
+    core::OccupancyFunction occupancy;
+  };
+  const std::vector<Scenario> scenarios{
+      {"uniform-q0.80", [](std::int64_t) { return 0.80; }},
+      {"hubs-die(k>=8)", [](std::int64_t k) { return k >= 8 ? 0.0 : 1.0; }},
+      {"hubs-safe(k>=8)",
+       [](std::int64_t k) { return k >= 8 ? 1.0 : 0.72; }},
+      {"leaves-die(k<=1)",
+       [](std::int64_t k) { return k <= 1 ? 0.0 : 1.0; }},
+  };
+
+  const std::string csv_path = experiment::csv_path_in(
+      bench::kResultsDir, "ablation_targeted_failures.csv");
+  experiment::CsvWriter csv(csv_path,
+                            {"scenario", "survivors", "transmissibility",
+                             "analysis_R", "sim_R"});
+
+  experiment::TextTable table;
+  table.column("scenario", 17)
+      .column("survivors", 10)
+      .column("F1'(1)", 8)
+      .column("analysis R", 11)
+      .column("sim R", 9);
+
+  for (const auto& s : scenarios) {
+    const auto analysis = core::analyze_occupancy_percolation(gf, s.occupancy);
+    experiment::MonteCarloOptions opt;
+    opt.replications = 20;
+    opt.seed = 41;
+    const auto est = experiment::estimate_giant_component_occupancy(
+        3000, *dist, s.occupancy, opt);
+    table.add_row({s.label,
+                   experiment::fmt_double(analysis.occupied_fraction, 4),
+                   experiment::fmt_double(analysis.mean_transmissibility, 3),
+                   experiment::fmt_double(analysis.reliability, 4),
+                   experiment::fmt_double(
+                       est.giant_fraction_alive.mean(), 4)});
+    csv.add_row({s.label,
+                 experiment::fmt_double(analysis.occupied_fraction, 6),
+                 experiment::fmt_double(analysis.mean_transmissibility, 6),
+                 experiment::fmt_double(analysis.reliability, 6),
+                 experiment::fmt_double(est.giant_fraction_alive.mean(), 6)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nReading: losing the few high-fanout members ('hubs-die') "
+               "costs far more transmissibility than\nlosing the same or a "
+               "larger fraction of members uniformly — and hardening hubs "
+               "buys back most of it.\nFault-tolerant gossip should place "
+               "reliable members where the fanout mass is.\n";
+  bench::print_footer(csv_path);
+  return 0;
+}

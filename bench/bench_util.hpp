@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file bench_util.hpp
+/// Shared plumbing for the figure-reproduction benches: banners, the CSV
+/// output directory, and common formatting.
+
+#include <iostream>
+#include <string>
+
+#include "experiment/csv.hpp"
+#include "experiment/table.hpp"
+
+namespace gossip::bench {
+
+inline constexpr const char* kResultsDir = "results";
+
+inline void print_banner(const std::string& experiment_id,
+                         const std::string& description) {
+  std::cout << "=====================================================\n"
+            << experiment_id << "\n"
+            << description << "\n"
+            << "=====================================================\n";
+}
+
+inline void print_footer(const std::string& csv_path) {
+  std::cout << "\n[csv] " << csv_path << "\n\n";
+}
+
+}  // namespace gossip::bench

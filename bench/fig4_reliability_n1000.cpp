@@ -1,0 +1,11 @@
+/// Reproduces paper Figs. 4a/4b: reliability of gossiping vs mean fanout in
+/// a 1000-member group, q in {0.1, 0.3, 0.4, 0.5, 0.6, 0.8, 1.0} (the union
+/// of the 4a and 4b grids), 20 runs per {f, q} point.
+
+#include "reliability_figure.hpp"
+
+int main() {
+  gossip::bench::run_reliability_figure("Fig. 4a/4b (E3)", 1000,
+                                        "fig4_reliability_n1000.csv");
+  return 0;
+}

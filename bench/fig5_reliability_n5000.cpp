@@ -1,0 +1,12 @@
+/// Reproduces paper Figs. 5a/5b: the Fig. 4 sweep at n = 5000. The paper's
+/// observation to verify: agreement between simulation and analysis is
+/// tighter than at n = 1000 ("our modeling works better in larger scale
+/// systems").
+
+#include "reliability_figure.hpp"
+
+int main() {
+  gossip::bench::run_reliability_figure("Fig. 5a/5b (E4)", 5000,
+                                        "fig5_reliability_n5000.csv");
+  return 0;
+}

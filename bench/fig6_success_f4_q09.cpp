@@ -1,0 +1,11 @@
+/// Reproduces paper Fig. 6: distribution of gossiping-success count X with
+/// mean fanout f = 4.0 and non-failed ratio q = 0.9 in a 2000-member group
+/// (20 executions per simulation, 100 simulations) against B(20, R).
+
+#include "success_figure.hpp"
+
+int main() {
+  gossip::bench::run_success_figure("Fig. 6 (E5)", 4.0, 0.9,
+                                    "fig6_success_f4_q09.csv");
+  return 0;
+}

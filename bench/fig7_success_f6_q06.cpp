@@ -1,0 +1,13 @@
+/// Reproduces paper Fig. 7: the Fig. 6 experiment at f = 6.0, q = 0.6 —
+/// the same product f*q = 3.6 and hence the same per-execution reliability
+/// R as Fig. 6, but a different failure environment. The paper's point:
+/// the two distributions are close to the same B(20, R) yet not identical,
+/// because f and q influence the success of gossiping differently.
+
+#include "success_figure.hpp"
+
+int main() {
+  gossip::bench::run_success_figure("Fig. 7 (E6)", 6.0, 0.6,
+                                    "fig7_success_f6_q06.csv");
+  return 0;
+}

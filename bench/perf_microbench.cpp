@@ -1,0 +1,142 @@
+/// P1: google-benchmark microbenchmarks of the hot paths — percolation
+/// solves, random-graph generation, reachability/components, the DES event
+/// loop, and the samplers. These bound the cost of every experiment in the
+/// harness.
+
+#include <benchmark/benchmark.h>
+
+#include "core/percolation.hpp"
+#include "core/reliability_model.hpp"
+#include "experiment/monte_carlo.hpp"
+#include "graph/components.hpp"
+#include "graph/generators.hpp"
+#include "graph/reachability.hpp"
+#include "protocol/gossip_multicast.hpp"
+#include "rng/distributions.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace gossip;
+
+void BM_PoissonReliabilityClosedForm(benchmark::State& state) {
+  double q = 0.5;
+  for (auto _ : state) {
+    q = q < 0.99 ? q + 1e-6 : 0.5;  // defeat caching
+    benchmark::DoNotOptimize(core::poisson_reliability(4.0, q));
+  }
+}
+BENCHMARK(BM_PoissonReliabilityClosedForm);
+
+void BM_GenericPercolationSolve(benchmark::State& state) {
+  const auto gf = core::GeneratingFunction::from_distribution(
+      *core::poisson_fanout(4.0));
+  double q = 0.5;
+  for (auto _ : state) {
+    q = q < 0.99 ? q + 1e-6 : 0.5;
+    benchmark::DoNotOptimize(core::analyze_site_percolation(gf, q));
+  }
+}
+BENCHMARK(BM_GenericPercolationSolve);
+
+void BM_PoissonSampling(benchmark::State& state) {
+  rng::RngStream rng(1);
+  const double mean = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng::sample_poisson(rng, mean));
+  }
+}
+BENCHMARK(BM_PoissonSampling)->Arg(4)->Arg(40);
+
+void BM_SampleDistinctTargets(benchmark::State& state) {
+  rng::RngStream rng(2);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng::sample_distinct_excluding(rng, 8, n, 0));
+  }
+}
+BENCHMARK(BM_SampleDistinctTargets)->Arg(1000)->Arg(100000);
+
+void BM_GossipDigraphGeneration(benchmark::State& state) {
+  rng::RngStream rng(3);
+  graph::GossipGraphParams params;
+  params.num_nodes = static_cast<std::uint32_t>(state.range(0));
+  params.alive_probability = 0.9;
+  const auto dist = core::poisson_fanout(4.0);
+  const auto sampler = dist->sampler();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        graph::make_gossip_digraph(params, sampler, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GossipDigraphGeneration)->Arg(1000)->Arg(5000);
+
+void BM_DirectedReach(benchmark::State& state) {
+  rng::RngStream rng(4);
+  graph::GossipGraphParams params;
+  params.num_nodes = static_cast<std::uint32_t>(state.range(0));
+  params.alive_probability = 0.9;
+  const auto dist = core::poisson_fanout(4.0);
+  const auto gg = graph::make_gossip_digraph(params, dist->sampler(), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::directed_reach(gg.graph, gg.source));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DirectedReach)->Arg(1000)->Arg(5000);
+
+void BM_UndirectedComponents(benchmark::State& state) {
+  rng::RngStream rng(5);
+  const auto dist = core::poisson_fanout(4.0);
+  const auto g = graph::configuration_model_from_sampler(
+      static_cast<std::uint32_t>(state.range(0)), dist->sampler(), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::undirected_components(g));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_UndirectedComponents)->Arg(1000)->Arg(5000);
+
+void BM_DesEventLoop(benchmark::State& state) {
+  const auto events = state.range(0);
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    for (std::int64_t i = 0; i < events; ++i) {
+      (void)simulator.schedule_at(static_cast<double>(i % 97), [] {});
+    }
+    benchmark::DoNotOptimize(simulator.run());
+  }
+  state.SetItemsProcessed(state.iterations() * events);
+}
+BENCHMARK(BM_DesEventLoop)->Arg(10000);
+
+void BM_FullProtocolExecution(benchmark::State& state) {
+  protocol::GossipParams params;
+  params.num_nodes = static_cast<std::uint32_t>(state.range(0));
+  params.nonfailed_ratio = 0.9;
+  params.fanout = core::poisson_fanout(4.0);
+  rng::RngStream rng(6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(protocol::run_gossip_once(params, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FullProtocolExecution)->Arg(1000);
+
+void BM_GraphMonteCarloReplication(benchmark::State& state) {
+  const auto dist = core::poisson_fanout(4.0);
+  experiment::MonteCarloOptions opt;
+  opt.replications = 1;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    opt.seed = ++seed;
+    benchmark::DoNotOptimize(experiment::estimate_reliability_graph(
+        static_cast<std::uint32_t>(state.range(0)), *dist, 0.9, opt));
+  }
+}
+BENCHMARK(BM_GraphMonteCarloReplication)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+/// Failure-tolerance explorer: sweeps the non-failed ratio q across the
+/// phase transition for several fanout distributions and reports where
+/// gossip reliability collapses — the paper's headline question ("the
+/// maximum ratio of failed nodes that can be tolerated").
+
+#include <iostream>
+#include <vector>
+
+#include "core/degree_distribution.hpp"
+#include "core/percolation.hpp"
+#include "experiment/component_mc.hpp"
+#include "experiment/table.hpp"
+
+int main() {
+  using namespace gossip;
+
+  const std::uint32_t n = 3000;
+  const std::vector<core::DegreeDistributionPtr> dists{
+      core::poisson_fanout(3.0),
+      core::poisson_fanout(6.0),
+      core::fixed_fanout(3),
+      core::geometric_fanout(3.0),
+  };
+
+  std::cout << "Where does gossip stop tolerating failures? (n = " << n
+            << ", component metric, 15 runs per point)\n";
+
+  for (const auto& dist : dists) {
+    const auto gf = core::GeneratingFunction::from_distribution(*dist);
+    const double qc = core::critical_nonfailed_ratio(gf);
+    std::cout << "\n== " << dist->name() << "  (Eq. 3 predicts q_c = " << qc
+              << ", i.e. tolerates " << (1.0 - qc) * 100.0
+              << "% failures) ==\n";
+
+    experiment::TextTable table;
+    table.column("failures%", 10)
+        .column("q", 7)
+        .column("analysis R", 11)
+        .column("sim R", 8)
+        .column("verdict", 10);
+
+    for (double failures = 0.0; failures <= 0.9001; failures += 0.1) {
+      const double q = 1.0 - failures;
+      if (q <= 0.0) break;
+      const double analysis =
+          core::analyze_site_percolation(gf, q).reliability;
+      experiment::MonteCarloOptions opt;
+      opt.replications = 15;
+      opt.seed = 99;
+      const auto est = experiment::estimate_giant_component(n, *dist, q, opt);
+      const bool alive = est.giant_fraction_alive.mean() > 0.1;
+      table.add_row({experiment::fmt_double(failures * 100.0, 0),
+                     experiment::fmt_double(q, 2),
+                     experiment::fmt_double(analysis, 4),
+                     experiment::fmt_double(
+                         est.giant_fraction_alive.mean(), 4),
+                     alive ? "spreads" : "dies"});
+    }
+    table.print(std::cout);
+  }
+
+  std::cout << "\nHeavier-tailed fanouts (geometric) survive more failures "
+               "than Poisson at equal mean\n(q_c = 1/G1'(1) falls with the "
+               "second factorial moment), but deliver lower plateau\n"
+               "reliability — pick the distribution to match the failure "
+               "regime you must survive.\n";
+  return 0;
+}

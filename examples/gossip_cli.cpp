@@ -1,0 +1,128 @@
+/// gossip_cli — command-line front end to the library, for operators who
+/// want answers without writing C++. Subcommands map one-to-one onto the
+/// paper's results:
+///
+///   gossip_cli reliability <mean_fanout> <q>
+///       R(q, Po(z)) via Eq. (11), plus q_c and the failure margin.
+///   gossip_cli plan <target_reliability> <failure_ratio> <target_success>
+///       Fanout + repetition plan via Eqs. (12) and (6).
+///   gossip_cli tolerance <mean_fanout> <target_reliability>
+///       Maximum tolerable failure ratio at a given fanout.
+///   gossip_cli simulate <n> <mean_fanout> <q> [replications=20] [seed=42]
+///       Monte Carlo check: component + delivery metrics.
+///   gossip_cli success <reliability> <target_success>
+///       Required executions t via Eq. (6).
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/branching.hpp"
+#include "core/fanout_planner.hpp"
+#include "core/reliability_model.hpp"
+#include "core/success_model.hpp"
+#include "experiment/component_mc.hpp"
+#include "experiment/monte_carlo.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr
+      << "usage:\n"
+      << "  gossip_cli reliability <mean_fanout> <q>\n"
+      << "  gossip_cli plan <target_reliability> <failure_ratio> "
+         "<target_success>\n"
+      << "  gossip_cli tolerance <mean_fanout> <target_reliability>\n"
+      << "  gossip_cli simulate <n> <mean_fanout> <q> [replications] [seed]\n"
+      << "  gossip_cli success <reliability> <target_success>\n";
+  return 2;
+}
+
+double parse_double(const char* s) { return std::strtod(s, nullptr); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gossip;
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+
+  try {
+    if (command == "reliability" && argc == 4) {
+      const double z = parse_double(argv[2]);
+      const double q = parse_double(argv[3]);
+      const double r = core::poisson_reliability(z, q);
+      const double qc = core::poisson_critical_q(z);
+      const auto gf = core::GeneratingFunction::from_distribution(
+          *core::poisson_fanout(z));
+      const auto directed = core::analyze_directed_gossip(gf, q);
+      std::cout << "reliability R(q, Po(z))      = " << r << "\n"
+                << "critical non-failed ratio qc = " << qc << "\n"
+                << "failure margin (q - qc)      = " << q - qc << "\n"
+                << "take-off probability         = "
+                << directed.takeoff_probability << "\n"
+                << "expected delivered fraction  = "
+                << directed.expected_delivery << "\n";
+      return 0;
+    }
+    if (command == "plan" && argc == 5) {
+      core::PlanRequest request;
+      request.target_reliability = parse_double(argv[2]);
+      request.nonfailed_ratio = 1.0 - parse_double(argv[3]);
+      request.target_success = parse_double(argv[4]);
+      const auto plan = core::plan_poisson_gossip(request);
+      std::cout << "mean fanout z       = " << plan.mean_fanout << "\n"
+                << "executions t        = " << plan.executions << "\n"
+                << "critical ratio qc   = " << plan.critical_q << "\n"
+                << "failure margin      = " << plan.failure_margin << "\n"
+                << "predicted R         = " << plan.predicted_reliability
+                << "\n"
+                << "predicted success   = " << plan.predicted_success << "\n";
+      return 0;
+    }
+    if (command == "tolerance" && argc == 4) {
+      const double z = parse_double(argv[2]);
+      const double target = parse_double(argv[3]);
+      std::cout << "max tolerable failure ratio = "
+                << core::max_tolerable_failure_ratio(z, target) << "\n";
+      return 0;
+    }
+    if (command == "simulate" && (argc == 5 || argc == 6 || argc == 7)) {
+      const auto n = static_cast<std::uint32_t>(std::atoi(argv[2]));
+      const double z = parse_double(argv[3]);
+      const double q = parse_double(argv[4]);
+      experiment::MonteCarloOptions opt;
+      opt.replications =
+          argc > 5 ? static_cast<std::size_t>(std::atoi(argv[5])) : 20;
+      opt.seed = argc > 6 ? static_cast<std::uint64_t>(
+                                std::strtoull(argv[6], nullptr, 10))
+                          : 42;
+      const auto dist = core::poisson_fanout(z);
+      const auto component =
+          experiment::estimate_giant_component(n, *dist, q, opt);
+      const auto delivery =
+          experiment::estimate_reliability_graph(n, *dist, q, opt);
+      std::cout << "analysis S (Eq. 11)      = "
+                << core::poisson_reliability(z, q) << "\n"
+                << "sim component metric     = "
+                << component.giant_fraction_alive.mean() << "\n"
+                << "sim delivery metric      = "
+                << delivery.mean_reliability() << "\n"
+                << "replications             = " << opt.replications << "\n";
+      return 0;
+    }
+    if (command == "success" && argc == 4) {
+      const double r = parse_double(argv[2]);
+      const double target = parse_double(argv[3]);
+      const auto t = core::required_executions(r, target);
+      std::cout << "required executions t = " << t << "\n"
+                << "achieved success      = "
+                << core::success_probability(r, t) << "\n";
+      return 0;
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return usage();
+}

@@ -1,0 +1,69 @@
+/// Quickstart: model a gossip multicast group, predict its fault tolerance
+/// with the paper's analysis, then check the prediction against one
+/// simulated protocol execution.
+///
+/// Build & run:
+///   cmake -B build -G Ninja && cmake --build build
+///   ./build/examples/quickstart
+
+#include <iostream>
+
+#include "core/reliability_model.hpp"
+#include "core/success_model.hpp"
+#include "protocol/gossip_multicast.hpp"
+
+int main() {
+  using namespace gossip;
+
+  // A multicast group of 1000 members where we expect up to 10% of members
+  // to have crashed, gossiping with a Poisson(4) random fanout (the paper's
+  // Fig. 6 operating point).
+  const std::size_t group_size = 1000;
+  const double nonfailed_ratio = 0.9;
+  const core::GossipModel model(group_size, core::poisson_fanout(4.0),
+                                nonfailed_ratio);
+
+  std::cout << "Gossip(" << group_size << ", " << model.fanout().name()
+            << ", q=" << nonfailed_ratio << ")\n\n";
+
+  // --- What the analysis says (Section 4 of the paper) ---
+  std::cout << "Analytical model:\n"
+            << "  reliability R(q,P)          = " << model.reliability()
+            << "\n  critical non-failed ratio q_c = "
+            << model.critical_nonfailed_ratio()
+            << "  (giant component exists because q > q_c)\n"
+            << "  max tolerable failure ratio = "
+            << model.max_tolerable_failure_ratio()
+            << "\n  expected receivers          = "
+            << model.expected_receivers() << " of "
+            << model.expected_nonfailed() << " non-failed members\n";
+
+  // How many executions to reach ALL surviving members with 99.9%
+  // probability (Eqs. (5)-(6))?
+  const auto t = core::required_executions(model.reliability(), 0.999);
+  std::cout << "  executions for 99.9% member coverage: t = " << t << "\n\n";
+
+  // --- One actual protocol execution on the simulated network ---
+  protocol::GossipParams params;
+  params.num_nodes = static_cast<std::uint32_t>(group_size);
+  params.nonfailed_ratio = nonfailed_ratio;
+  params.fanout = model.fanout_ptr();
+
+  rng::RngStream rng(/*seed=*/20080410);
+  const auto exec = protocol::run_gossip_once(params, rng);
+
+  std::cout << "One simulated execution (message-level DES):\n"
+            << "  non-failed members  = " << exec.nonfailed_count << "\n"
+            << "  received message    = " << exec.nonfailed_received << "\n"
+            << "  realized reliability= " << exec.reliability << "\n"
+            << "  messages sent       = " << exec.messages_sent << "\n"
+            << "  duplicate receipts  = " << exec.duplicate_receipts << "\n"
+            << "  completion time     = " << exec.completion_time
+            << " (hops at unit latency)\n\n";
+
+  std::cout << "Note: a single execution either reaches ~R of the members\n"
+               "(the giant cascade) or dies out near the source — re-run\n"
+               "with different seeds to observe both modes; Eq. (5) is why\n"
+               "repeating t times makes coverage near-certain.\n";
+  return 0;
+}

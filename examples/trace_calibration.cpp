@@ -1,0 +1,90 @@
+/// Trace calibration: from a measured fanout trace to a provisioned
+/// protocol. A deployed gossip system logs the fanouts its members actually
+/// used; this tool fits a distribution family, checks adequacy, feeds the
+/// fit into the paper's model, and verifies the resulting reliability
+/// prediction by simulation — the full model-in-the-loop workflow.
+
+#include <iostream>
+#include <vector>
+
+#include "core/fanout_planner.hpp"
+#include "core/percolation.hpp"
+#include "core/reliability_model.hpp"
+#include "experiment/component_mc.hpp"
+#include "rng/distributions.hpp"
+#include "stats/fit.hpp"
+
+int main() {
+  using namespace gossip;
+
+  // ---- 1. "Measured" trace ----------------------------------------------
+  // Stand-in for a production log: a system whose members mostly gossip
+  // with Poisson(4.5) fanout, but 10% of them are rate-limited to fanout 1.
+  rng::RngStream trace_rng(20260610);
+  std::vector<std::int64_t> trace;
+  trace.reserve(5000);
+  for (int i = 0; i < 5000; ++i) {
+    if (trace_rng.bernoulli(0.1)) {
+      trace.push_back(1);
+    } else {
+      trace.push_back(rng::sample_poisson(trace_rng, 4.5));
+    }
+  }
+  std::cout << "Trace: " << trace.size() << " fanout samples collected\n\n";
+
+  // ---- 2. Fit candidate families -----------------------------------------
+  const auto poisson_fit = stats::fit_poisson(trace);
+  const auto geometric_fit = stats::fit_geometric(trace);
+  std::cout << "Poisson fit:   mean = " << poisson_fit.mean
+            << ", log-likelihood = " << poisson_fit.log_likelihood << "\n"
+            << "Geometric fit: mean = " << geometric_fit.mean
+            << ", log-likelihood = " << geometric_fit.log_likelihood << "\n";
+
+  const auto adequacy = stats::poisson_adequacy_test(trace, poisson_fit.mean);
+  std::cout << "Poisson adequacy: chi2 = " << adequacy.statistic
+            << ", dof = " << adequacy.dof << ", p = " << adequacy.p_value
+            << (adequacy.p_value < 0.01
+                    ? "  -> Poisson is NOT a perfect fit (the rate-limited "
+                      "members fatten the low tail);\n     fall back to the "
+                      "EMPIRICAL distribution, which the model accepts "
+                      "directly.\n"
+                    : "  -> Poisson fits.\n");
+
+  // ---- 3. Model with the empirical distribution --------------------------
+  std::vector<double> weights;
+  for (const auto s : trace) {
+    const auto k = static_cast<std::size_t>(s);
+    if (weights.size() <= k) weights.resize(k + 1, 0.0);
+    weights[k] += 1.0;
+  }
+  const auto empirical = core::empirical_fanout(weights);
+  const double q = 0.85;
+  const core::GossipModel model(2000, empirical, q);
+  const core::GossipModel naive(2000, core::poisson_fanout(poisson_fit.mean),
+                                q);
+  std::cout << "\nAt q = " << q << ":\n"
+            << "  empirical-distribution model: R = " << model.reliability()
+            << " (q_c = " << model.critical_nonfailed_ratio() << ")\n"
+            << "  naive Poisson-fit model:      R = " << naive.reliability()
+            << " (q_c = " << naive.critical_nonfailed_ratio() << ")\n";
+
+  // ---- 4. Verify by simulation -------------------------------------------
+  experiment::MonteCarloOptions opt;
+  opt.replications = 30;
+  opt.seed = 99;
+  const auto est = experiment::estimate_giant_component(2000, *empirical, q,
+                                                        opt);
+  std::cout << "  simulated (component metric): R = "
+            << est.giant_fraction_alive.mean() << "\n\n";
+
+  const double delta_emp =
+      std::abs(est.giant_fraction_alive.mean() - model.reliability());
+  const double delta_naive =
+      std::abs(est.giant_fraction_alive.mean() - naive.reliability());
+  std::cout << "Empirical-model error " << delta_emp
+            << " vs naive-Poisson error " << delta_naive << ": "
+            << (delta_emp <= delta_naive
+                    ? "calibrating on the real distribution wins.\n"
+                    : "(unexpected: naive model closer on this draw)\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+#include "core/baselines/anti_entropy_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gossip::core::baselines {
+
+namespace {
+
+void validate(const AntiEntropyModelParams& p) {
+  if (p.num_members < 2) {
+    throw std::invalid_argument("anti-entropy model requires >= 2 members");
+  }
+  if (!(p.fanout >= 0.0)) {
+    throw std::invalid_argument("anti-entropy model requires fanout >= 0");
+  }
+  if (!(p.nonfailed_ratio > 0.0 && p.nonfailed_ratio <= 1.0)) {
+    throw std::invalid_argument("anti-entropy model requires q in (0, 1]");
+  }
+  if (p.rounds < 0) {
+    throw std::invalid_argument("anti-entropy model requires rounds >= 0");
+  }
+}
+
+/// One round of the mean-field update starting from informed fraction x.
+double step(const AntiEntropyModelParams& p, double x) {
+  const double n = static_cast<double>(p.num_members);
+  const double m = std::floor(n * p.nonfailed_ratio);
+  const double miss = std::max(0.0, 1.0 - p.fanout / (n - 1.0));
+
+  double informed = x;
+  if (p.mode != AntiEntropyMode::kPull) {
+    // PUSH: a susceptible escapes all x*m informed pushers.
+    const double p_reached = 1.0 - std::pow(miss, x * m);
+    informed = informed + (1.0 - informed) * p_reached;
+  }
+  if (p.mode != AntiEntropyMode::kPush) {
+    // PULL: an uninformed member hits an informed ALIVE peer with
+    // probability x*m/(n-1) per contact; f contacts per round. Pulls act on
+    // the start-of-round state, matching the protocol's snapshot semantics.
+    const double hit = std::min(1.0, x * m / (n - 1.0));
+    const double p_found = 1.0 - std::pow(1.0 - hit, p.fanout);
+    informed = informed + (1.0 - informed) * p_found;
+  }
+  return std::min(informed, 1.0);
+}
+
+}  // namespace
+
+std::vector<double> anti_entropy_expected_informed(
+    const AntiEntropyModelParams& params) {
+  validate(params);
+  const double n = static_cast<double>(params.num_members);
+  const double m = std::floor(n * params.nonfailed_ratio);
+  if (m < 1.0) {
+    throw std::invalid_argument("anti-entropy model requires >= 1 survivor");
+  }
+  std::vector<double> trajectory;
+  trajectory.reserve(static_cast<std::size_t>(params.rounds) + 1);
+  double x = 1.0 / m;  // just the source
+  trajectory.push_back(x);
+  for (std::int64_t t = 0; t < params.rounds; ++t) {
+    x = step(params, x);
+    trajectory.push_back(x);
+  }
+  return trajectory;
+}
+
+std::int64_t anti_entropy_rounds_to_fraction(
+    const AntiEntropyModelParams& params, double target,
+    std::int64_t max_rounds) {
+  validate(params);
+  if (!(target > 0.0 && target <= 1.0)) {
+    throw std::invalid_argument("target fraction must be in (0, 1]");
+  }
+  const double n = static_cast<double>(params.num_members);
+  const double m = std::floor(n * params.nonfailed_ratio);
+  double x = 1.0 / m;
+  for (std::int64_t t = 0; t <= max_rounds; ++t) {
+    if (x >= target) return t;
+    const double next = step(params, x);
+    if (next <= x && x < target) {
+      throw std::domain_error(
+          "anti-entropy model cannot reach the target fraction");
+    }
+    x = next;
+  }
+  throw std::domain_error("anti-entropy model: max_rounds exceeded");
+}
+
+}  // namespace gossip::core::baselines

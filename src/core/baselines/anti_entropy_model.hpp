@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file anti_entropy_model.hpp
+/// Mean-field recurrences for round-based anti-entropy exchange (Demers et
+/// al., the paper's reference [2]): the expected informed fraction per
+/// round under PUSH, PULL, and PUSH-PULL with mean per-round fanout f and
+/// non-failed ratio q. Complements the one-shot percolation model the paper
+/// builds: these are the dynamics the replicated-database lineage used.
+///
+/// With x the informed fraction of non-failed members, n members total and
+/// m = n q non-failed (contacts hitting crashed members are wasted):
+///   push:      x' = x + (1-x) (1 - miss^{x m})        miss = 1 - f/(n-1)
+///   pull:      x' = x + (1-x) (1 - (1 - x m / (n-1))^f)
+///   push-pull: both updates composed within one round.
+
+#include <cstdint>
+#include <vector>
+
+namespace gossip::core::baselines {
+
+enum class AntiEntropyMode {
+  kPush,
+  kPull,
+  kPushPull,
+};
+
+struct AntiEntropyModelParams {
+  std::int64_t num_members = 0;
+  double fanout = 0.0;           ///< Mean peers contacted per round.
+  double nonfailed_ratio = 1.0;  ///< q.
+  std::int64_t rounds = 0;
+  AntiEntropyMode mode = AntiEntropyMode::kPushPull;
+};
+
+/// Expected informed fraction of non-failed members after each round
+/// (index 0 = just the source).
+[[nodiscard]] std::vector<double> anti_entropy_expected_informed(
+    const AntiEntropyModelParams& params);
+
+/// Rounds until the expected informed fraction reaches `target` (e.g.
+/// 1 - 1/m for "everyone"); throws if it cannot within `max_rounds`.
+[[nodiscard]] std::int64_t anti_entropy_rounds_to_fraction(
+    const AntiEntropyModelParams& params, double target,
+    std::int64_t max_rounds = 10000);
+
+}  // namespace gossip::core::baselines

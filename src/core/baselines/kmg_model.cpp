@@ -1,0 +1,46 @@
+#include "core/baselines/kmg_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gossip::core::baselines {
+
+namespace {
+
+double surviving_members(std::int64_t num_members, double failed_ratio) {
+  if (num_members < 2) {
+    throw std::invalid_argument("KMG model requires >= 2 members");
+  }
+  if (!(failed_ratio >= 0.0 && failed_ratio < 1.0)) {
+    throw std::invalid_argument("KMG model requires failed_ratio in [0, 1)");
+  }
+  const double survivors =
+      static_cast<double>(num_members) * (1.0 - failed_ratio);
+  if (!(survivors > 1.0)) {
+    throw std::invalid_argument("KMG model requires > 1 surviving member");
+  }
+  return survivors;
+}
+
+}  // namespace
+
+double kmg_success_probability(std::int64_t num_members, double fanout,
+                               double failed_ratio) {
+  if (!(fanout >= 0.0)) {
+    throw std::invalid_argument("KMG model requires fanout >= 0");
+  }
+  const double survivors = surviving_members(num_members, failed_ratio);
+  const double c = fanout - std::log(survivors);
+  return std::exp(-std::exp(-c));
+}
+
+double kmg_required_fanout(std::int64_t num_members, double target,
+                           double failed_ratio) {
+  if (!(target > 0.0 && target < 1.0)) {
+    throw std::invalid_argument("KMG model requires target in (0, 1)");
+  }
+  const double survivors = surviving_members(num_members, failed_ratio);
+  return std::log(survivors) - std::log(-std::log(target));
+}
+
+}  // namespace gossip::core::baselines

@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file kmg_model.hpp
+/// The Microsoft/KMG random-graph baseline (paper reference [6]:
+/// Kermarrec, Massoulié, Ganesh, "Probabilistic Reliable Dissemination in
+/// Large-Scale Systems", IEEE TPDS 2003). Their result: with per-node
+/// fanout log(n) + c the probability that gossip reaches EVERY member tends
+/// to exp(-e^{-c}). Under a failed-node proportion epsilon the same law
+/// holds on the n' = n(1-epsilon) survivors. This model predicts only the
+/// all-or-nothing success probability — not the per-member reliability —
+/// which is exactly the gap the paper's model fills; the baseline bench
+/// contrasts the two.
+
+#include <cstdint>
+
+namespace gossip::core::baselines {
+
+/// Asymptotic probability that every surviving member is reached when each
+/// member gossips to `fanout` uniform targets in a group of `num_members`
+/// with failed proportion `failed_ratio`:
+///   c = fanout - ln(n'),  n' = n (1 - failed_ratio),  P = exp(-e^{-c}).
+[[nodiscard]] double kmg_success_probability(std::int64_t num_members,
+                                             double fanout,
+                                             double failed_ratio = 0.0);
+
+/// Fanout needed so the KMG success probability reaches `target` in (0, 1):
+///   fanout = ln(n') - ln(-ln(target)).
+[[nodiscard]] double kmg_required_fanout(std::int64_t num_members,
+                                         double target,
+                                         double failed_ratio = 0.0);
+
+}  // namespace gossip::core::baselines

@@ -1,0 +1,160 @@
+#include "core/baselines/pbcast_recurrence.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "math/special.hpp"
+
+namespace gossip::core::baselines {
+
+namespace {
+
+void validate(const RoundGossipParams& p) {
+  if (p.num_members < 2) {
+    throw std::invalid_argument("round gossip requires >= 2 members");
+  }
+  if (!(p.fanout >= 0.0)) {
+    throw std::invalid_argument("round gossip requires fanout >= 0");
+  }
+  if (!(p.nonfailed_ratio > 0.0 && p.nonfailed_ratio <= 1.0)) {
+    throw std::invalid_argument("round gossip requires q in (0, 1]");
+  }
+  if (p.rounds < 0) {
+    throw std::invalid_argument("round gossip requires rounds >= 0");
+  }
+}
+
+}  // namespace
+
+std::vector<double> pbcast_expected_infected(const RoundGossipParams& params) {
+  validate(params);
+  const double n = static_cast<double>(params.num_members);
+  const double m = std::floor(n * params.nonfailed_ratio);  // non-failed count
+  if (m < 1.0) {
+    throw std::invalid_argument("round gossip requires >= 1 non-failed member");
+  }
+
+  // i_t: expected number of infected non-failed members after round t.
+  // Each infected member contacts `fanout` uniform members (out of n-1);
+  // a given non-failed susceptible avoids one infector's contacts with
+  // probability (1 - fanout/(n-1)).
+  const double miss_per_infector =
+      std::max(0.0, 1.0 - params.fanout / (n - 1.0));
+  std::vector<double> trajectory;
+  trajectory.reserve(static_cast<std::size_t>(params.rounds) + 1);
+  double infected = 1.0;  // the never-failing source
+  trajectory.push_back(infected / m);
+  for (std::int64_t t = 0; t < params.rounds; ++t) {
+    const double susceptible = m - infected;
+    const double p_contacted =
+        1.0 - std::pow(miss_per_infector, infected);
+    infected += susceptible * p_contacted;
+    trajectory.push_back(infected / m);
+  }
+  return trajectory;
+}
+
+std::vector<double> pbcast_expected_infected_forward_once(
+    const RoundGossipParams& params) {
+  validate(params);
+  const double n = static_cast<double>(params.num_members);
+  const double m = std::floor(n * params.nonfailed_ratio);
+  if (m < 1.0) {
+    throw std::invalid_argument("round gossip requires >= 1 non-failed member");
+  }
+  const double miss_per_infector =
+      std::max(0.0, 1.0 - params.fanout / (n - 1.0));
+  std::vector<double> trajectory;
+  trajectory.reserve(static_cast<std::size_t>(params.rounds) + 1);
+  double cumulative = 1.0;  // the never-failing source
+  double fresh = 1.0;       // infected in the previous round
+  trajectory.push_back(cumulative / m);
+  for (std::int64_t t = 0; t < params.rounds; ++t) {
+    const double susceptible = m - cumulative;
+    const double p_contacted = 1.0 - std::pow(miss_per_infector, fresh);
+    const double newly = susceptible * p_contacted;
+    cumulative += newly;
+    fresh = newly;
+    trajectory.push_back(cumulative / m);
+  }
+  return trajectory;
+}
+
+std::vector<double> reed_frost_final_size(const RoundGossipParams& params) {
+  validate(params);
+  const auto n = params.num_members;
+  const auto m = static_cast<std::int64_t>(
+      std::floor(static_cast<double>(n) * params.nonfailed_ratio));
+  if (m < 1) {
+    throw std::invalid_argument("round gossip requires >= 1 non-failed member");
+  }
+  // Per-round probability that a specific infected member transmits to a
+  // specific other member: it contacts fanout of the n-1 others uniformly.
+  const double tau =
+      std::min(1.0, params.fanout / static_cast<double>(n - 1));
+
+  // Reed-Frost chain over (susceptible count s, newly-infected count i);
+  // only non-failed members matter (failed ones neither forward nor count).
+  // state[s][i] = probability of s susceptibles with i fresh infectives.
+  const auto s0 = static_cast<std::size_t>(m - 1);
+  std::vector<std::vector<double>> state(
+      s0 + 1, std::vector<double>(static_cast<std::size_t>(m) + 1, 0.0));
+  state[s0][1] = 1.0;  // source infected, everyone else susceptible
+
+  // final[k] accumulates the probability that the epidemic dies with
+  // (m - 1 - s) + 1 = m - s total infected, i.e. when i reaches 0.
+  std::vector<double> final_size(static_cast<std::size_t>(m), 0.0);
+
+  const std::int64_t rounds =
+      params.rounds > 0 ? params.rounds : m;  // m rounds always suffice? No:
+  // the chain absorbs once i == 0; running m rounds guarantees absorption
+  // because each non-absorbing round infects >= 1 member.
+
+  for (std::int64_t round = 0; round < rounds; ++round) {
+    std::vector<std::vector<double>> next(
+        s0 + 1, std::vector<double>(static_cast<std::size_t>(m) + 1, 0.0));
+    for (std::size_t s = 0; s <= s0; ++s) {
+      for (std::size_t i = 1; i <= static_cast<std::size_t>(m); ++i) {
+        const double prob = state[s][i];
+        if (prob == 0.0) continue;
+        // Each susceptible escapes all i infectives independently.
+        const double escape = std::pow(1.0 - tau, static_cast<double>(i));
+        for (std::size_t j = 0; j <= s; ++j) {
+          const double trans =
+              math::binomial_pmf(static_cast<std::int64_t>(s),
+                                 static_cast<std::int64_t>(j), 1.0 - escape);
+          if (trans == 0.0) continue;
+          if (j == 0) {
+            // Epidemic dies: total infected = m - s.
+            final_size[static_cast<std::size_t>(m) - s - 1] += prob * trans;
+          } else {
+            next[s - j][j] += prob * trans;
+          }
+        }
+      }
+    }
+    state = std::move(next);
+  }
+  // Any residual probability mass (unfinished after `rounds`) is assigned to
+  // the current infected totals, matching "stop after t rounds" semantics.
+  for (std::size_t s = 0; s <= s0; ++s) {
+    for (std::size_t i = 1; i <= static_cast<std::size_t>(m); ++i) {
+      if (state[s][i] > 0.0) {
+        final_size[static_cast<std::size_t>(m) - s - 1] += state[s][i];
+      }
+    }
+  }
+  return final_size;
+}
+
+double reed_frost_expected_reliability(const RoundGossipParams& params) {
+  const auto dist = reed_frost_final_size(params);
+  const double m = static_cast<double>(dist.size());
+  double mean = 0.0;
+  for (std::size_t k = 0; k < dist.size(); ++k) {
+    mean += static_cast<double>(k + 1) * dist[k];
+  }
+  return mean / m;
+}
+
+}  // namespace gossip::core::baselines

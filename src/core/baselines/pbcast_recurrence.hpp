@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file pbcast_recurrence.hpp
+/// The "recurrence model" the paper's related-work section discusses
+/// (Birman et al., Bimodal Multicast/pbcast): round-based gossip analyzed as
+/// a recurrence between successive rounds. We provide both flavors the
+/// literature uses:
+///   * a mean-field recurrence on the expected number of infected members
+///     per round (fast, approximate — the "simplified" model whose accuracy
+///     the paper criticizes), and
+///   * the exact chain-binomial (Reed-Frost) Markov chain on the number of
+///     infected members, tractable for moderate n — the "intractable for
+///     large n" exact model.
+/// Both incorporate crash failures through the non-failed ratio q.
+
+#include <cstdint>
+#include <vector>
+
+namespace gossip::core::baselines {
+
+struct RoundGossipParams {
+  std::int64_t num_members = 0;   ///< Total group size n (incl. source).
+  double fanout = 0.0;            ///< Targets contacted per round per node.
+  double nonfailed_ratio = 1.0;   ///< q; failed members never forward.
+  std::int64_t rounds = 0;        ///< Number of gossip rounds.
+};
+
+/// Mean-field recurrence, forward-always ("infect forever"): expected
+/// fraction of NON-FAILED members infected after each round (index 0 = just
+/// the source). In each round EVERY currently-infected member contacts
+/// `fanout` uniform members; a contact infects iff the target is non-failed
+/// and susceptible.
+[[nodiscard]] std::vector<double> pbcast_expected_infected(
+    const RoundGossipParams& params);
+
+/// Mean-field recurrence, forward-once ("infect and die", the Reed-Frost
+/// limit and the round-synchronized analog of the paper's Fig. 1): only
+/// members infected in the PREVIOUS round contact `fanout` uniform members
+/// this round.
+[[nodiscard]] std::vector<double> pbcast_expected_infected_forward_once(
+    const RoundGossipParams& params);
+
+/// Exact Reed-Frost chain-binomial final-size distribution over the number
+/// of ultimately-infected non-failed members (support 1..m where
+/// m = [n*q]). Per-round per-pair transmission probability is
+/// fanout/(n-1) * q-thinning. O(m^3)-ish dynamic program — intended for
+/// moderate m (the paper's point about Markov-chain intractability).
+/// Entry k of the result is Pr(final infected count == k+1).
+[[nodiscard]] std::vector<double> reed_frost_final_size(
+    const RoundGossipParams& params);
+
+/// Convenience: expected final reliability (fraction of non-failed members
+/// ultimately infected) under the exact Reed-Frost chain.
+[[nodiscard]] double reed_frost_expected_reliability(
+    const RoundGossipParams& params);
+
+}  // namespace gossip::core::baselines

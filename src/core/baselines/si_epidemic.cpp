@@ -1,0 +1,74 @@
+#include "core/baselines/si_epidemic.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/reliability_model.hpp"
+#include "math/ode.hpp"
+
+namespace gossip::core::baselines {
+
+namespace {
+
+void validate(const SiParams& p) {
+  if (!(p.contact_rate >= 0.0)) {
+    throw std::invalid_argument("SI requires contact_rate >= 0");
+  }
+  if (!(p.nonfailed_ratio > 0.0 && p.nonfailed_ratio <= 1.0)) {
+    throw std::invalid_argument("SI requires q in (0, 1]");
+  }
+  if (!(p.initial_infected_fraction >= 0.0 &&
+        p.initial_infected_fraction <= 1.0)) {
+    throw std::invalid_argument("SI requires i(0) in [0, 1]");
+  }
+  if (!(p.t_end >= 0.0) || !(p.dt > 0.0)) {
+    throw std::invalid_argument("SI requires t_end >= 0 and dt > 0");
+  }
+}
+
+}  // namespace
+
+std::vector<SiTrajectoryPoint> si_trajectory(const SiParams& params,
+                                             std::size_t sample_stride) {
+  validate(params);
+  if (sample_stride == 0) sample_stride = 1;
+  const double beta = params.contact_rate * params.nonfailed_ratio;
+
+  std::vector<SiTrajectoryPoint> out;
+  std::size_t step = 0;
+  const math::OdeObserver observer = [&](double t,
+                                         const std::vector<double>& y) {
+    if (step % sample_stride == 0) {
+      out.push_back({t, y[0]});
+    }
+    ++step;
+  };
+  const math::OdeSystem system = [beta](double, const std::vector<double>& y,
+                                        std::vector<double>& dydt) {
+    dydt[0] = beta * y[0] * (1.0 - y[0]);
+  };
+  const auto final_state =
+      math::integrate_rk4(system, {params.initial_infected_fraction}, 0.0,
+                          params.t_end, params.dt, observer);
+  if (out.empty() || out.back().time < params.t_end) {
+    out.push_back({params.t_end, final_state[0]});
+  }
+  return out;
+}
+
+double si_closed_form(const SiParams& params, double t) {
+  validate(params);
+  const double i0 = params.initial_infected_fraction;
+  if (i0 == 0.0) return 0.0;  // SI cannot start from zero infected
+  if (i0 == 1.0) return 1.0;
+  const double beta = params.contact_rate * params.nonfailed_ratio;
+  // Logistic solution i(t) = i0 e^{bt} / (1 - i0 + i0 e^{bt}).
+  const double e = std::exp(beta * t);
+  return i0 * e / (1.0 - i0 + i0 * e);
+}
+
+double sir_final_size(double mean_fanout, double nonfailed_ratio) {
+  return poisson_reliability(mean_fanout, nonfailed_ratio);
+}
+
+}  // namespace gossip::core::baselines

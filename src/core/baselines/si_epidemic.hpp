@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file si_epidemic.hpp
+/// The epidemic baseline (paper reference [9], the LRG protocol's SI model).
+/// Two mean-field views are provided:
+///   * SI dynamics: infected members stay infectious forever; the balance
+///     equation di/dt = beta i (1 - i) is integrated numerically. SI always
+///     saturates — exactly the deficiency the paper points out (no die-out,
+///     no node failures in the original).
+///   * SIR-style "gossip once" final size: each member forwards once then
+///     stops, yielding the final-size equation S = 1 - exp(-z q S) — the
+///     same fixed point as the paper's Eq. (11), demonstrating the
+///     percolation/epidemic correspondence.
+
+#include <vector>
+
+namespace gossip::core::baselines {
+
+struct SiParams {
+  /// Per-member contact rate (contacts per unit time), scaled by the
+  /// non-failed ratio to account for contacts wasted on crashed members.
+  double contact_rate = 1.0;
+  double nonfailed_ratio = 1.0;  ///< q.
+  double initial_infected_fraction = 0.0;  ///< i(0) among non-failed members.
+  double t_end = 10.0;
+  double dt = 1e-3;
+};
+
+struct SiTrajectoryPoint {
+  double time = 0.0;
+  double infected_fraction = 0.0;  ///< Among non-failed members.
+};
+
+/// Integrates di/dt = contact_rate * q * i * (1 - i) with RK4 and returns
+/// the sampled trajectory (every `sample_stride` steps plus the endpoint).
+[[nodiscard]] std::vector<SiTrajectoryPoint> si_trajectory(
+    const SiParams& params, std::size_t sample_stride = 100);
+
+/// Closed-form logistic solution at time t (for validating the integrator).
+[[nodiscard]] double si_closed_form(const SiParams& params, double t);
+
+/// SIR-style final size: the fraction S of non-failed members ultimately
+/// reached when every infected member makes `mean_fanout` contacts in total
+/// and then stops, with non-failed ratio q. Solves S = 1 - exp(-z q S);
+/// returns 0 below the threshold z*q <= 1. Numerically identical to
+/// core::poisson_reliability — exposed here to make the correspondence
+/// explicit in the baseline-comparison bench.
+[[nodiscard]] double sir_final_size(double mean_fanout, double nonfailed_ratio);
+
+}  // namespace gossip::core::baselines

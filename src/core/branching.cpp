@@ -1,0 +1,81 @@
+#include "core/branching.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "math/fixed_point.hpp"
+#include "math/special.hpp"
+
+namespace gossip::core {
+
+DirectedGossipAnalysis analyze_directed_gossip(const GeneratingFunction& gf,
+                                               double q) {
+  if (!(q >= 0.0 && q <= 1.0)) {
+    throw std::invalid_argument("analyze_directed_gossip requires q in [0,1]");
+  }
+  DirectedGossipAnalysis result;
+  result.q = q;
+  result.mean_progeny = q * gf.mean();
+  result.supercritical = result.mean_progeny > 1.0;
+
+  if (result.mean_progeny == 0.0) {
+    // Nobody forwards: the cascade is just the source.
+    return result;
+  }
+
+  // Extinction probability: smallest fixed point of y = G0(1 - q + q y)
+  // on [0, 1]; iterate from 0 (monotone convergence to the smallest root).
+  const auto offspring = [&](double y) { return gf.g0(1.0 - q + q * y); };
+  const auto ext = math::fixed_point(offspring, 0.0);
+  result.extinction_probability = ext.value;
+  result.takeoff_probability = 1.0 - ext.value;
+
+  // Member reach given take-off: in-degrees are Poisson(q z̄) regardless of
+  // the fanout shape, so r = 1 - exp(-q z̄ r), solved the same way.
+  const double m = result.mean_progeny;
+  if (m > 1.0) {
+    const auto reach = math::fixed_point(
+        [m](double r) { return 1.0 - std::exp(-m * r); }, 1.0);
+    result.member_reach_given_takeoff = reach.value;
+  } else {
+    result.member_reach_given_takeoff = 0.0;
+  }
+  result.expected_delivery =
+      result.takeoff_probability * result.member_reach_given_takeoff;
+  return result;
+}
+
+std::vector<double> borel_cascade_size_pmf(double mean_progeny,
+                                           std::size_t max_size) {
+  if (!(mean_progeny >= 0.0 && mean_progeny < 1.0)) {
+    throw std::invalid_argument(
+        "borel_cascade_size_pmf requires mean_progeny in [0, 1)");
+  }
+  if (max_size == 0) {
+    throw std::invalid_argument("borel_cascade_size_pmf requires max_size > 0");
+  }
+  std::vector<double> pmf(max_size);
+  if (mean_progeny == 0.0) {
+    pmf[0] = 1.0;  // the cascade is exactly the root
+    return pmf;
+  }
+  const double log_m = std::log(mean_progeny);
+  for (std::size_t i = 0; i < max_size; ++i) {
+    const double s = static_cast<double>(i + 1);
+    // log P = -m s + (s-1) log(m s) - log(s!)
+    const double log_p = -mean_progeny * s + (s - 1.0) * (log_m + std::log(s)) -
+                         math::log_factorial(static_cast<std::int64_t>(i) + 1);
+    pmf[i] = std::exp(log_p);
+  }
+  return pmf;
+}
+
+double borel_mean_cascade_size(double mean_progeny) {
+  if (!(mean_progeny >= 0.0 && mean_progeny < 1.0)) {
+    throw std::invalid_argument(
+        "borel_mean_cascade_size requires mean_progeny in [0, 1)");
+  }
+  return 1.0 / (1.0 - mean_progeny);
+}
+
+}  // namespace gossip::core

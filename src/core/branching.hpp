@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file branching.hpp
+/// Branching-process analysis of one DIRECTED gossip cascade — the theory
+/// behind the delivery metric (what the protocol actually achieves), as
+/// opposed to the undirected giant-component metric the paper plots.
+///
+/// One execution of Fig. 1 is a forward branching process: the source draws
+/// f ~ P targets, each target survives with probability q and then draws
+/// its own f ~ P. The offspring generating function is therefore
+///     G_off(x) = G0(1 - q + q x),
+/// and the cascade dies out entirely with the extinction probability
+///     y* = smallest fixed point of y = G_off(y).
+/// Because every member's IN-degree is asymptotically Poisson(q z̄)
+/// (uniform target choice thins to a Poisson regardless of the fanout
+/// shape), the fraction of non-failed members reached GIVEN take-off
+/// satisfies the Poisson fixed point
+///     r = 1 - exp(-q z̄ r),
+/// and the unconditional expected delivered fraction is (1 - y*) · r.
+/// For Poisson fanout, y* = 1 - S and r = S, recovering the S^2 the
+/// Monte Carlo measures; for other fanout shapes take-off and reach
+/// decouple — take-off depends on the whole distribution, reach only on
+/// its mean.
+
+#include <cstddef>
+#include <vector>
+
+#include "core/generating_function.hpp"
+
+namespace gossip::core {
+
+struct DirectedGossipAnalysis {
+  double q = 1.0;                ///< Non-failed member ratio.
+  double mean_progeny = 0.0;     ///< R0 = q * mean fanout.
+  bool supercritical = false;    ///< R0 > 1.
+  double extinction_probability = 1.0;  ///< y*.
+  double takeoff_probability = 0.0;     ///< 1 - y*.
+  /// Fraction of non-failed members reached, conditional on take-off.
+  double member_reach_given_takeoff = 0.0;
+  /// Unconditional expected delivered fraction of non-failed members:
+  /// takeoff_probability * member_reach_given_takeoff.
+  double expected_delivery = 0.0;
+};
+
+/// Analyzes the directed cascade of the Fig. 1 protocol with fanout
+/// generating function `gf` and non-failed ratio q in [0, 1].
+[[nodiscard]] DirectedGossipAnalysis analyze_directed_gossip(
+    const GeneratingFunction& gf, double q);
+
+/// Borel distribution: the total size (including the root) of a subcritical
+/// Galton-Watson cascade with Poisson(mean_progeny) offspring,
+///     P(T = s) = e^{-m s} (m s)^{s-1} / s!,  s = 1, 2, ...
+/// Entry k of the result is P(T = k + 1). mean_progeny must be in [0, 1).
+/// This is the exact law of small gossip cascades below the phase
+/// transition (paper Eq. (2) gives only its mean).
+[[nodiscard]] std::vector<double> borel_cascade_size_pmf(
+    double mean_progeny, std::size_t max_size);
+
+/// Mean of the Borel law, 1 / (1 - mean_progeny): the expected number of
+/// members one execution reaches below the critical point.
+[[nodiscard]] double borel_mean_cascade_size(double mean_progeny);
+
+}  // namespace gossip::core

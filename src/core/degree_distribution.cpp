@@ -1,0 +1,304 @@
+#include "core/degree_distribution.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "math/special.hpp"
+#include "rng/alias_table.hpp"
+#include "rng/distributions.hpp"
+
+namespace gossip::core {
+
+namespace {
+
+/// Upper cap on truncated supports, far beyond any realistic fanout.
+constexpr std::int64_t kMaxSupport = 1 << 20;
+
+std::string format_double(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+std::vector<double> DegreeDistribution::pmf_vector(double tail_epsilon) const {
+  if (!(tail_epsilon > 0.0 && tail_epsilon < 1.0)) {
+    throw std::invalid_argument("pmf_vector tail_epsilon must be in (0, 1)");
+  }
+  std::vector<double> out;
+  double cumulative = 0.0;
+  for (std::int64_t k = 0; k < kMaxSupport; ++k) {
+    const double p = pmf(k);
+    out.push_back(p);
+    cumulative += p;
+    if (cumulative >= 1.0 - tail_epsilon) break;
+  }
+  return out;
+}
+
+FanoutSampler DegreeDistribution::sampler() const {
+  // The lambda borrows `this`; distributions are owned by shared_ptr at the
+  // call sites, so capture a non-owning pointer and document the contract:
+  // the distribution must outlive the sampler.
+  return [self = this](rng::RngStream& rng) { return self->sample(rng); };
+}
+
+namespace {
+
+class PoissonFanout final : public DegreeDistribution {
+ public:
+  explicit PoissonFanout(double mean) : mean_(mean) {
+    if (!(mean >= 0.0)) {
+      throw std::invalid_argument("poisson_fanout requires mean >= 0");
+    }
+  }
+  [[nodiscard]] std::string name() const override {
+    return "Poisson(z=" + format_double(mean_) + ")";
+  }
+  [[nodiscard]] double mean() const override { return mean_; }
+  [[nodiscard]] double pmf(std::int64_t k) const override {
+    return math::poisson_pmf(k, mean_);
+  }
+  [[nodiscard]] std::int64_t sample(rng::RngStream& rng) const override {
+    return rng::sample_poisson(rng, mean_);
+  }
+
+ private:
+  double mean_;
+};
+
+class FixedFanout final : public DegreeDistribution {
+ public:
+  explicit FixedFanout(std::int64_t k) : k_(k) {
+    if (k < 0) {
+      throw std::invalid_argument("fixed_fanout requires k >= 0");
+    }
+  }
+  [[nodiscard]] std::string name() const override {
+    return "Fixed(k=" + std::to_string(k_) + ")";
+  }
+  [[nodiscard]] double mean() const override {
+    return static_cast<double>(k_);
+  }
+  [[nodiscard]] double pmf(std::int64_t k) const override {
+    return k == k_ ? 1.0 : 0.0;
+  }
+  [[nodiscard]] std::int64_t sample(rng::RngStream&) const override {
+    return k_;
+  }
+  [[nodiscard]] std::vector<double> pmf_vector(double) const override {
+    std::vector<double> out(static_cast<std::size_t>(k_) + 1, 0.0);
+    out.back() = 1.0;
+    return out;
+  }
+
+ private:
+  std::int64_t k_;
+};
+
+class BinomialFanout final : public DegreeDistribution {
+ public:
+  BinomialFanout(std::int64_t trials, double p) : trials_(trials), p_(p) {
+    if (trials < 0) {
+      throw std::invalid_argument("binomial_fanout requires trials >= 0");
+    }
+    if (!(p >= 0.0 && p <= 1.0)) {
+      throw std::invalid_argument("binomial_fanout requires p in [0, 1]");
+    }
+  }
+  [[nodiscard]] std::string name() const override {
+    return "Binomial(n=" + std::to_string(trials_) +
+           ",p=" + format_double(p_) + ")";
+  }
+  [[nodiscard]] double mean() const override {
+    return static_cast<double>(trials_) * p_;
+  }
+  [[nodiscard]] double pmf(std::int64_t k) const override {
+    return math::binomial_pmf(trials_, k, p_);
+  }
+  [[nodiscard]] std::int64_t sample(rng::RngStream& rng) const override {
+    return rng::sample_binomial(rng, trials_, p_);
+  }
+  [[nodiscard]] std::vector<double> pmf_vector(double) const override {
+    std::vector<double> out(static_cast<std::size_t>(trials_) + 1);
+    for (std::int64_t k = 0; k <= trials_; ++k) {
+      out[static_cast<std::size_t>(k)] = math::binomial_pmf(trials_, k, p_);
+    }
+    return out;
+  }
+
+ private:
+  std::int64_t trials_;
+  double p_;
+};
+
+class GeometricFanout final : public DegreeDistribution {
+ public:
+  explicit GeometricFanout(double mean) : mean_(mean) {
+    if (!(mean >= 0.0)) {
+      throw std::invalid_argument("geometric_fanout requires mean >= 0");
+    }
+    p_ = 1.0 / (1.0 + mean);
+  }
+  [[nodiscard]] std::string name() const override {
+    return "Geometric(mean=" + format_double(mean_) + ")";
+  }
+  [[nodiscard]] double mean() const override { return mean_; }
+  [[nodiscard]] double pmf(std::int64_t k) const override {
+    if (k < 0) return 0.0;
+    return p_ * std::pow(1.0 - p_, static_cast<double>(k));
+  }
+  [[nodiscard]] std::int64_t sample(rng::RngStream& rng) const override {
+    return rng::sample_geometric(rng, p_);
+  }
+
+ private:
+  double mean_;
+  double p_;
+};
+
+class ZipfFanout final : public DegreeDistribution {
+ public:
+  ZipfFanout(std::int64_t max_value, double exponent)
+      : max_value_(max_value), exponent_(exponent) {
+    if (max_value < 1) {
+      throw std::invalid_argument("zipf_fanout requires max_value >= 1");
+    }
+    if (!(exponent > 0.0)) {
+      throw std::invalid_argument("zipf_fanout requires exponent > 0");
+    }
+    normalizer_ = 0.0;
+    mean_ = 0.0;
+    for (std::int64_t k = 1; k <= max_value_; ++k) {
+      const double w = std::pow(static_cast<double>(k), -exponent_);
+      normalizer_ += w;
+      mean_ += static_cast<double>(k) * w;
+    }
+    mean_ /= normalizer_;
+  }
+  [[nodiscard]] std::string name() const override {
+    return "Zipf(max=" + std::to_string(max_value_) +
+           ",s=" + format_double(exponent_) + ")";
+  }
+  [[nodiscard]] double mean() const override { return mean_; }
+  [[nodiscard]] double pmf(std::int64_t k) const override {
+    if (k < 1 || k > max_value_) return 0.0;
+    return std::pow(static_cast<double>(k), -exponent_) / normalizer_;
+  }
+  [[nodiscard]] std::int64_t sample(rng::RngStream& rng) const override {
+    return rng::sample_zipf(rng, max_value_, exponent_);
+  }
+  [[nodiscard]] std::vector<double> pmf_vector(double) const override {
+    std::vector<double> out(static_cast<std::size_t>(max_value_) + 1, 0.0);
+    for (std::int64_t k = 1; k <= max_value_; ++k) {
+      out[static_cast<std::size_t>(k)] = pmf(k);
+    }
+    return out;
+  }
+
+ private:
+  std::int64_t max_value_;
+  double exponent_;
+  double normalizer_;
+  double mean_;
+};
+
+class UniformFanout final : public DegreeDistribution {
+ public:
+  UniformFanout(std::int64_t lo, std::int64_t hi) : lo_(lo), hi_(hi) {
+    if (lo < 0 || lo > hi) {
+      throw std::invalid_argument("uniform_fanout requires 0 <= lo <= hi");
+    }
+  }
+  [[nodiscard]] std::string name() const override {
+    return "Uniform[" + std::to_string(lo_) + "," + std::to_string(hi_) + "]";
+  }
+  [[nodiscard]] double mean() const override {
+    return 0.5 * (static_cast<double>(lo_) + static_cast<double>(hi_));
+  }
+  [[nodiscard]] double pmf(std::int64_t k) const override {
+    if (k < lo_ || k > hi_) return 0.0;
+    return 1.0 / static_cast<double>(hi_ - lo_ + 1);
+  }
+  [[nodiscard]] std::int64_t sample(rng::RngStream& rng) const override {
+    return rng.uniform_int(lo_, hi_);
+  }
+  [[nodiscard]] std::vector<double> pmf_vector(double) const override {
+    std::vector<double> out(static_cast<std::size_t>(hi_) + 1, 0.0);
+    for (std::int64_t k = lo_; k <= hi_; ++k) {
+      out[static_cast<std::size_t>(k)] = pmf(k);
+    }
+    return out;
+  }
+
+ private:
+  std::int64_t lo_;
+  std::int64_t hi_;
+};
+
+class EmpiricalFanout final : public DegreeDistribution {
+ public:
+  explicit EmpiricalFanout(std::vector<double> weights)
+      : table_(weights), pmf_(weights.size()) {
+    // AliasTable validated the weights; store the normalized pmf.
+    double mean = 0.0;
+    for (std::size_t k = 0; k < weights.size(); ++k) {
+      pmf_[k] = table_.probability(k);
+      mean += static_cast<double>(k) * pmf_[k];
+    }
+    mean_ = mean;
+  }
+  [[nodiscard]] std::string name() const override {
+    return "Empirical(K=" + std::to_string(pmf_.size() - 1) + ")";
+  }
+  [[nodiscard]] double mean() const override { return mean_; }
+  [[nodiscard]] double pmf(std::int64_t k) const override {
+    if (k < 0 || static_cast<std::size_t>(k) >= pmf_.size()) return 0.0;
+    return pmf_[static_cast<std::size_t>(k)];
+  }
+  [[nodiscard]] std::int64_t sample(rng::RngStream& rng) const override {
+    return static_cast<std::int64_t>(table_.sample(rng));
+  }
+  [[nodiscard]] std::vector<double> pmf_vector(double) const override {
+    return pmf_;
+  }
+
+ private:
+  rng::AliasTable table_;
+  std::vector<double> pmf_;
+  double mean_;
+};
+
+}  // namespace
+
+DegreeDistributionPtr poisson_fanout(double mean) {
+  return std::make_shared<PoissonFanout>(mean);
+}
+
+DegreeDistributionPtr fixed_fanout(std::int64_t k) {
+  return std::make_shared<FixedFanout>(k);
+}
+
+DegreeDistributionPtr binomial_fanout(std::int64_t trials, double p) {
+  return std::make_shared<BinomialFanout>(trials, p);
+}
+
+DegreeDistributionPtr geometric_fanout(double mean) {
+  return std::make_shared<GeometricFanout>(mean);
+}
+
+DegreeDistributionPtr zipf_fanout(std::int64_t max_value, double exponent) {
+  return std::make_shared<ZipfFanout>(max_value, exponent);
+}
+
+DegreeDistributionPtr uniform_fanout(std::int64_t lo, std::int64_t hi) {
+  return std::make_shared<UniformFanout>(lo, hi);
+}
+
+DegreeDistributionPtr empirical_fanout(std::vector<double> weights) {
+  return std::make_shared<EmpiricalFanout>(std::move(weights));
+}
+
+}  // namespace gossip::core

@@ -1,0 +1,81 @@
+#pragma once
+
+/// \file degree_distribution.hpp
+/// Fanout distributions P for the general gossiping algorithm (paper Fig. 1:
+/// each member draws f_i ~ P on first receipt). The paper's analysis works
+/// for arbitrary P — that generality is one of its claimed advantages over
+/// Poisson-only models — so this hierarchy provides the families used in the
+/// paper (Poisson) plus the ones the ablations compare (fixed, binomial,
+/// geometric, zipf, uniform, empirical).
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rng/rng_stream.hpp"
+
+namespace gossip::core {
+
+/// Draws one fanout value from a stream; structurally identical to
+/// graph::DegreeSampler so distributions plug into the graph generators.
+using FanoutSampler = std::function<std::int64_t(rng::RngStream&)>;
+
+class DegreeDistribution {
+ public:
+  virtual ~DegreeDistribution() = default;
+
+  /// Human-readable identifier, e.g. "Poisson(z=4.0)".
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Mean fanout E[f].
+  [[nodiscard]] virtual double mean() const = 0;
+
+  /// P(f = k); 0 outside the support.
+  [[nodiscard]] virtual double pmf(std::int64_t k) const = 0;
+
+  /// Draws one fanout value.
+  [[nodiscard]] virtual std::int64_t sample(rng::RngStream& rng) const = 0;
+
+  /// Truncated pmf vector {p_0, ..., p_K} covering mass >= 1 - tail_epsilon.
+  /// Finite-support distributions return their exact pmf. The result is NOT
+  /// renormalized; GeneratingFunction normalizes on construction.
+  [[nodiscard]] virtual std::vector<double> pmf_vector(
+      double tail_epsilon) const;
+
+  /// Adapter to the std::function sampler type used by graph generators and
+  /// the protocol layer.
+  [[nodiscard]] FanoutSampler sampler() const;
+};
+
+using DegreeDistributionPtr = std::shared_ptr<const DegreeDistribution>;
+
+/// Poisson fanout Po(z) — the paper's Section 4.3 case study.
+[[nodiscard]] DegreeDistributionPtr poisson_fanout(double mean);
+
+/// Deterministic fanout: every member gossips to exactly k targets (the
+/// "traditional" algorithm the paper generalizes away from).
+[[nodiscard]] DegreeDistributionPtr fixed_fanout(std::int64_t k);
+
+/// Binomial fanout B(trials, p).
+[[nodiscard]] DegreeDistributionPtr binomial_fanout(std::int64_t trials,
+                                                    double p);
+
+/// Geometric fanout on {0, 1, 2, ...} with the given mean
+/// (success probability p = 1/(1+mean)). Heavy-tailed relative to Poisson.
+[[nodiscard]] DegreeDistributionPtr geometric_fanout(double mean);
+
+/// Zipf fanout on {1, ..., max_value} with exponent s: P(k) ∝ k^{-s}.
+[[nodiscard]] DegreeDistributionPtr zipf_fanout(std::int64_t max_value,
+                                                double exponent);
+
+/// Uniform integer fanout on the inclusive range [lo, hi].
+[[nodiscard]] DegreeDistributionPtr uniform_fanout(std::int64_t lo,
+                                                   std::int64_t hi);
+
+/// Arbitrary finite pmf: weight[k] ∝ P(f = k). Normalized on construction.
+[[nodiscard]] DegreeDistributionPtr empirical_fanout(
+    std::vector<double> weights);
+
+}  // namespace gossip::core

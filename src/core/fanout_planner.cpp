@@ -1,0 +1,45 @@
+#include "core/fanout_planner.hpp"
+
+#include <stdexcept>
+
+#include "core/reliability_model.hpp"
+#include "core/success_model.hpp"
+
+namespace gossip::core {
+
+GossipPlan plan_poisson_gossip(const PlanRequest& request) {
+  if (!(request.target_reliability > 0.0 && request.target_reliability < 1.0)) {
+    throw std::invalid_argument(
+        "plan_poisson_gossip requires target_reliability in (0, 1)");
+  }
+  if (!(request.target_success >= 0.0 && request.target_success < 1.0)) {
+    throw std::invalid_argument(
+        "plan_poisson_gossip requires target_success in [0, 1)");
+  }
+  if (!(request.nonfailed_ratio > 0.0 && request.nonfailed_ratio <= 1.0)) {
+    throw std::invalid_argument(
+        "plan_poisson_gossip requires nonfailed_ratio in (0, 1]");
+  }
+
+  GossipPlan plan;
+  plan.mean_fanout = poisson_required_fanout(request.target_reliability,
+                                             request.nonfailed_ratio);
+  plan.critical_q = poisson_critical_q(plan.mean_fanout);
+  plan.failure_margin = request.nonfailed_ratio - plan.critical_q;
+  plan.predicted_reliability =
+      poisson_reliability(plan.mean_fanout, request.nonfailed_ratio);
+  plan.executions =
+      required_executions(plan.predicted_reliability, request.target_success);
+  plan.predicted_success =
+      success_probability(plan.predicted_reliability, plan.executions);
+  return plan;
+}
+
+double max_tolerable_failure_ratio(double mean_fanout,
+                                   double target_reliability) {
+  const double q_min =
+      poisson_required_nonfailed_ratio(target_reliability, mean_fanout);
+  return 1.0 - q_min;
+}
+
+}  // namespace gossip::core

@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file fanout_planner.hpp
+/// Protocol provisioning built on the paper's model: given a reliability
+/// target, an assumed failure level, and a success requirement, compute the
+/// Poisson mean fanout (Eq. 12) and execution count (Eq. 6) that achieve
+/// them — the workflow the paper's Figs. 2-3 illustrate.
+
+#include <cstdint>
+
+namespace gossip::core {
+
+struct PlanRequest {
+  /// Desired one-execution reliability R(q, Po(z)), in (0, 1).
+  double target_reliability = 0.99;
+  /// Desired probability that gossiping succeeds (every non-failed member
+  /// reached at least once across repeated executions), in [0, 1).
+  double target_success = 0.999;
+  /// Assumed non-failed member ratio q, in (0, 1].
+  double nonfailed_ratio = 1.0;
+};
+
+struct GossipPlan {
+  double mean_fanout = 0.0;          ///< z from Eq. (12).
+  std::int64_t executions = 0;       ///< t from Eq. (6).
+  double critical_q = 0.0;           ///< 1/z at the chosen fanout.
+  /// Failure headroom: how much further q could drop before the giant
+  /// component disappears (q - q_c).
+  double failure_margin = 0.0;
+  double predicted_reliability = 0.0;  ///< Round-trip check via Eq. (11).
+  double predicted_success = 0.0;      ///< Eq. (5) at the chosen t.
+};
+
+/// Plans Poisson gossiping parameters for the request. Throws on infeasible
+/// or out-of-range inputs.
+[[nodiscard]] GossipPlan plan_poisson_gossip(const PlanRequest& request);
+
+/// Maximum failed-node ratio (1 - q) tolerable while keeping reliability at
+/// least `target_reliability` with mean fanout `mean_fanout` (the paper's
+/// headline question: the maximum ratio of failed nodes that can be
+/// tolerated without reducing the required reliability).
+[[nodiscard]] double max_tolerable_failure_ratio(double mean_fanout,
+                                                 double target_reliability);
+
+}  // namespace gossip::core

@@ -1,0 +1,47 @@
+#include "core/generating_function.hpp"
+
+#include <stdexcept>
+
+#include "math/series.hpp"
+
+namespace gossip::core {
+
+GeneratingFunction::GeneratingFunction(std::vector<double> pmf)
+    : pmf_(math::normalize_pmf(pmf)) {
+  mean_ = math::series_mean(pmf_);
+  const double second_factorial = math::factorial_moment(pmf_, 2);
+  mean_excess_ = mean_ > 0.0 ? second_factorial / mean_ : 0.0;
+}
+
+GeneratingFunction GeneratingFunction::from_distribution(
+    const DegreeDistribution& dist, double tail_epsilon) {
+  return GeneratingFunction(dist.pmf_vector(tail_epsilon));
+}
+
+double GeneratingFunction::g0(double x) const {
+  return math::evaluate_series(pmf_, x);
+}
+
+double GeneratingFunction::g0_prime(double x) const {
+  return math::evaluate_series_derivative(pmf_, x);
+}
+
+double GeneratingFunction::g0_second(double x) const {
+  return math::evaluate_series_second_derivative(pmf_, x);
+}
+
+double GeneratingFunction::g1(double x) const {
+  if (!(mean_ > 0.0)) {
+    throw std::domain_error("G1 undefined: mean degree is zero");
+  }
+  return g0_prime(x) / mean_;
+}
+
+double GeneratingFunction::g1_prime(double x) const {
+  if (!(mean_ > 0.0)) {
+    throw std::domain_error("G1' undefined: mean degree is zero");
+  }
+  return g0_second(x) / mean_;
+}
+
+}  // namespace gossip::core

@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file generating_function.hpp
+/// Probability generating functions of fanout/degree distributions — the
+/// analytical machinery of Section 3/4 of the paper:
+///   G0(x) = sum_k p_k x^k                 (degree distribution)
+///   G1(x) = G0'(x) / G0'(1)               (excess degree distribution)
+/// The failure-thinned F0/F1 of Eq. (1) are formed in percolation.hpp as
+/// q * G0 and q * G1 (uniform failure probability q_k = q).
+
+#include <vector>
+
+#include "core/degree_distribution.hpp"
+
+namespace gossip::core {
+
+class GeneratingFunction {
+ public:
+  /// Builds from a (possibly unnormalized) truncated pmf; coefficients are
+  /// normalized so G0(1) = 1.
+  explicit GeneratingFunction(std::vector<double> pmf);
+
+  /// Builds from a distribution by truncating its pmf at mass
+  /// 1 - tail_epsilon.
+  [[nodiscard]] static GeneratingFunction from_distribution(
+      const DegreeDistribution& dist, double tail_epsilon = 1e-12);
+
+  /// G0(x).
+  [[nodiscard]] double g0(double x) const;
+  /// G0'(x).
+  [[nodiscard]] double g0_prime(double x) const;
+  /// G0''(x).
+  [[nodiscard]] double g0_second(double x) const;
+
+  /// G1(x) = G0'(x)/G0'(1). Throws if the mean degree is zero.
+  [[nodiscard]] double g1(double x) const;
+  /// G1'(x) = G0''(x)/G0'(1).
+  [[nodiscard]] double g1_prime(double x) const;
+
+  /// Mean degree z1 = G0'(1).
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+
+  /// Mean excess degree G1'(1) = G0''(1)/G0'(1); the reciprocal of the
+  /// critical non-failed ratio (paper Eq. (3)).
+  [[nodiscard]] double mean_excess_degree() const noexcept {
+    return mean_excess_;
+  }
+
+  /// The normalized coefficient vector {p_0, ..., p_K}.
+  [[nodiscard]] const std::vector<double>& pmf() const noexcept {
+    return pmf_;
+  }
+
+ private:
+  std::vector<double> pmf_;
+  double mean_ = 0.0;
+  double mean_excess_ = 0.0;
+};
+
+}  // namespace gossip::core

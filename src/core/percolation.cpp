@@ -1,0 +1,136 @@
+#include "core/percolation.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "math/series.hpp"
+
+namespace gossip::core {
+
+double critical_nonfailed_ratio(const GeneratingFunction& gf) {
+  const double excess = gf.mean_excess_degree();
+  if (!(excess > 0.0)) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return 1.0 / excess;
+}
+
+PercolationResult analyze_site_percolation(const GeneratingFunction& gf,
+                                           double q,
+                                           const PercolationOptions& opts) {
+  if (!(q >= 0.0 && q <= 1.0)) {
+    throw std::invalid_argument("analyze_site_percolation requires q in [0,1]");
+  }
+
+  PercolationResult result;
+  result.q = q;
+  result.critical_q = critical_nonfailed_ratio(gf);
+  result.supercritical = q > result.critical_q;
+
+  if (q == 0.0 || !(gf.mean() > 0.0)) {
+    // Nothing is occupied, or nobody ever gossips: no spread at all.
+    result.u = 1.0;
+    result.mean_component_size = q;  // Eq. (2) with G0'(1) = 0 or q = 0
+    return result;
+  }
+
+  // Solve u = 1 - q + q*G1(u) by monotone fixed-point iteration from u = 0.
+  // g(u) is increasing and convex on [0,1] with g(1) = 1, so iterating from
+  // 0 converges to the smallest fixed point: u* < 1 iff supercritical.
+  double u = 0.0;
+  for (int i = 0; i < opts.max_iterations; ++i) {
+    const double next = 1.0 - q + q * gf.g1(u);
+    if (std::abs(next - u) <= opts.tolerance) {
+      u = next;
+      break;
+    }
+    u = next;
+  }
+  result.u = u;
+
+  // S = F0(1) - F0(u) = q (1 - G0(u)): fraction of all nodes in the giant
+  // component. The paper's reliability divides by q.
+  const double giant_all = q * (1.0 - gf.g0(u));
+  result.giant_fraction_all = giant_all < opts.tolerance * 10 ? 0.0 : giant_all;
+  result.reliability = result.giant_fraction_all / q;
+
+  // Mean finite-component size, Eq. (2). Below the transition this is the
+  // mean size of the component of a random node; it diverges at q_c.
+  const double denom = 1.0 - q * gf.mean_excess_degree();
+  if (denom <= 0.0) {
+    result.mean_component_size = std::numeric_limits<double>::infinity();
+  } else {
+    result.mean_component_size = q * (1.0 + q * gf.mean() / denom);
+  }
+  return result;
+}
+
+OccupancyPercolationResult analyze_occupancy_percolation(
+    const GeneratingFunction& gf, const OccupancyFunction& occupancy,
+    const PercolationOptions& opts) {
+  const auto& pmf = gf.pmf();
+  // Materialize the thinned coefficient vector f_k = p_k q_k (Eq. (1)).
+  std::vector<double> thinned(pmf.size());
+  for (std::size_t k = 0; k < pmf.size(); ++k) {
+    const double qk = occupancy(static_cast<std::int64_t>(k));
+    if (!(qk >= 0.0 && qk <= 1.0)) {
+      throw std::invalid_argument(
+          "analyze_occupancy_percolation requires occupancy in [0, 1]");
+    }
+    thinned[k] = pmf[k] * qk;
+  }
+
+  const auto f0 = [&](double x) { return math::evaluate_series(thinned, x); };
+  const auto f0_prime = [&](double x) {
+    return math::evaluate_series_derivative(thinned, x);
+  };
+  const auto f0_second = [&](double x) {
+    return math::evaluate_series_second_derivative(thinned, x);
+  };
+  const double mean_degree = gf.mean();
+
+  OccupancyPercolationResult result;
+  result.occupied_fraction = f0(1.0);
+  if (!(mean_degree > 0.0) || result.occupied_fraction == 0.0) {
+    result.mean_component_size = result.occupied_fraction;
+    return result;
+  }
+
+  // F1(x) = F0'(x) / G0'(1) (Callaway et al.).
+  const auto f1 = [&](double x) { return f0_prime(x) / mean_degree; };
+  result.mean_transmissibility = f0_second(1.0) / mean_degree;
+  result.supercritical = result.mean_transmissibility > 1.0;
+  result.critical_scale =
+      result.mean_transmissibility > 0.0
+          ? 1.0 / result.mean_transmissibility
+          : std::numeric_limits<double>::infinity();
+
+  // u = 1 - F1(1) + F1(u), iterated from 0 (monotone to the smallest root).
+  const double f1_at_one = f1(1.0);
+  double u = 0.0;
+  for (int i = 0; i < opts.max_iterations; ++i) {
+    const double next = 1.0 - f1_at_one + f1(u);
+    if (std::abs(next - u) <= opts.tolerance) {
+      u = next;
+      break;
+    }
+    u = next;
+  }
+  result.u = u;
+
+  const double giant = result.occupied_fraction - f0(u);
+  result.giant_fraction_all = giant < opts.tolerance * 10 ? 0.0 : giant;
+  result.reliability = result.giant_fraction_all / result.occupied_fraction;
+
+  const double denom = 1.0 - result.mean_transmissibility;
+  if (denom <= 0.0) {
+    result.mean_component_size = std::numeric_limits<double>::infinity();
+  } else {
+    result.mean_component_size =
+        result.occupied_fraction + f0_prime(1.0) * f1_at_one / denom;
+  }
+  return result;
+}
+
+}  // namespace gossip::core

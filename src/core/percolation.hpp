@@ -1,0 +1,83 @@
+#pragma once
+
+/// \file percolation.hpp
+/// Site percolation on generalized random graphs with uniform occupation
+/// probability q — the mathematical core of the paper (Section 4.2):
+///
+///   F0(x) = q G0(x),  F1(x) = q G1(x)                    (Eq. 1, q_k = q)
+///   <s>   = q [1 + q G0'(1) / (1 - q G1'(1))]            (Eq. 2)
+///   q_c   = 1 / G1'(1)                                   (Eq. 3)
+///   S     = F0(1) - F0(u),  u = 1 - F1(1) + F1(u)        (Eq. 4, corrected
+///                                                          sign; see DESIGN.md)
+///
+/// The paper's *reliability of gossiping* R(q, P) is the giant-component
+/// fraction among NON-FAILED nodes: S / q = 1 - G0(u).
+
+#include <functional>
+#include <limits>
+
+#include "core/generating_function.hpp"
+
+namespace gossip::core {
+
+struct PercolationResult {
+  double q = 1.0;            ///< Non-failed (occupied) node ratio.
+  double critical_q = 0.0;   ///< q_c = 1/G1'(1); +inf if G1'(1) == 0.
+  bool supercritical = false;  ///< q > q_c (a giant component exists).
+  double u = 1.0;            ///< Self-consistency fixed point (Eq. 4).
+  /// Giant-component size as a fraction of ALL n nodes (Callaway's S).
+  double giant_fraction_all = 0.0;
+  /// Giant-component size as a fraction of non-failed nodes: the paper's
+  /// reliability of gossiping R(q, P) (and its "S" in Eqs. (11)-(12)).
+  double reliability = 0.0;
+  /// Mean size of the (finite) component containing a random node, Eq. (2).
+  /// Diverges at q_c; reported as +inf at/above the transition.
+  double mean_component_size = 0.0;
+};
+
+struct PercolationOptions {
+  double tolerance = 1e-13;
+  int max_iterations = 200000;
+};
+
+/// Solves the site-percolation equations for the degree distribution
+/// captured by `gf` at non-failed ratio q in [0, 1].
+[[nodiscard]] PercolationResult analyze_site_percolation(
+    const GeneratingFunction& gf, double q,
+    const PercolationOptions& opts = {});
+
+/// Convenience: critical non-failed ratio for a distribution (Eq. 3),
+/// +inf when the mean excess degree is zero (no giant component at any q).
+[[nodiscard]] double critical_nonfailed_ratio(const GeneratingFunction& gf);
+
+// ---- General per-degree occupancy (the paper's Eq. (1) before it
+// specializes to q_k = q) ----
+
+/// Probability that a member with fanout/degree k is non-failed. The paper
+/// introduces exactly this freedom in Eq. (1) and then studies the uniform
+/// case; keeping it general models targeted failures (e.g. high-degree
+/// hubs crashing preferentially, Callaway et al.'s attack scenario).
+using OccupancyFunction = std::function<double(std::int64_t degree)>;
+
+struct OccupancyPercolationResult {
+  double occupied_fraction = 0.0;     ///< F0(1) = sum_k p_k q_k.
+  double mean_transmissibility = 0.0; ///< F1'(1); supercritical iff > 1.
+  bool supercritical = false;
+  double u = 1.0;                     ///< Fixed point of u = 1-F1(1)+F1(u).
+  double giant_fraction_all = 0.0;    ///< S = F0(1) - F0(u).
+  /// Giant share among occupied (non-failed) members: S / F0(1).
+  double reliability = 0.0;
+  /// Mean finite-component size, Callaway's generalization of Eq. (2).
+  double mean_component_size = 0.0;
+  /// Scaling every q_k by this factor lands exactly on the transition
+  /// (= 1 / mean_transmissibility); < 1 means failure headroom exists.
+  double critical_scale = 0.0;
+};
+
+/// Solves site percolation with degree-dependent occupancy probabilities.
+/// occupancy(k) must be in [0, 1] for every k in the support.
+[[nodiscard]] OccupancyPercolationResult analyze_occupancy_percolation(
+    const GeneratingFunction& gf, const OccupancyFunction& occupancy,
+    const PercolationOptions& opts = {});
+
+}  // namespace gossip::core

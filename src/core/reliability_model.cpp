@@ -1,0 +1,102 @@
+#include "core/reliability_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "math/roots.hpp"
+
+namespace gossip::core {
+
+GossipModel::GossipModel(std::size_t num_members, DegreeDistributionPtr fanout,
+                         double nonfailed_ratio)
+    : n_(num_members), fanout_(std::move(fanout)), q_(nonfailed_ratio) {
+  if (n_ == 0) {
+    throw std::invalid_argument("GossipModel requires num_members > 0");
+  }
+  if (fanout_ == nullptr) {
+    throw std::invalid_argument("GossipModel requires a fanout distribution");
+  }
+  if (!(q_ > 0.0 && q_ <= 1.0)) {
+    throw std::invalid_argument("GossipModel requires q in (0, 1]");
+  }
+  const auto gf = GeneratingFunction::from_distribution(*fanout_);
+  percolation_ = analyze_site_percolation(gf, q_);
+}
+
+double GossipModel::max_tolerable_failure_ratio() const noexcept {
+  const double qc = percolation_.critical_q;
+  return qc >= 1.0 ? 0.0 : 1.0 - qc;
+}
+
+std::size_t GossipModel::expected_nonfailed() const noexcept {
+  return static_cast<std::size_t>(static_cast<double>(n_) * q_);
+}
+
+double GossipModel::expected_receivers() const noexcept {
+  return reliability() * static_cast<double>(expected_nonfailed());
+}
+
+double poisson_reliability(double mean_fanout, double q) {
+  if (!(mean_fanout >= 0.0)) {
+    throw std::invalid_argument("poisson_reliability requires mean_fanout >= 0");
+  }
+  if (!(q >= 0.0 && q <= 1.0)) {
+    throw std::invalid_argument("poisson_reliability requires q in [0, 1]");
+  }
+  const double zq = mean_fanout * q;
+  if (zq <= 1.0) {
+    return 0.0;  // Eq. (10): below the critical point the giant
+                 // component (and thus the reliability) vanishes.
+  }
+  // Root of h(S) = S - 1 + exp(-zq S) in (0, 1]. h(0) = 0 is the trivial
+  // root; h'(0) = 1 - zq < 0 supercritically, and h(1) > 0, so the
+  // non-trivial root lies in (0, 1) and bisection from a small positive
+  // bracket edge finds it.
+  const auto h = [zq](double s) { return s - 1.0 + std::exp(-zq * s); };
+  // Choose the lower bracket edge past the trivial root: h is negative
+  // there. Start from 1/zq scaled down until sign is confirmed.
+  double lo = std::min(0.5, 1.0 / zq);
+  while (h(lo) >= 0.0 && lo > 1e-12) {
+    lo *= 0.5;
+  }
+  if (h(lo) >= 0.0) {
+    return 0.0;  // numerically indistinguishable from critical
+  }
+  const auto res = math::brent(h, lo, 1.0);
+  return res.root;
+}
+
+double poisson_required_fanout(double target, double q) {
+  if (!(target > 0.0 && target < 1.0)) {
+    throw std::invalid_argument(
+        "poisson_required_fanout requires target in (0, 1)");
+  }
+  if (!(q > 0.0 && q <= 1.0)) {
+    throw std::invalid_argument("poisson_required_fanout requires q in (0, 1]");
+  }
+  return -std::log1p(-target) / (q * target);  // Eq. (12)
+}
+
+double poisson_critical_q(double mean_fanout) {
+  if (!(mean_fanout > 0.0)) {
+    throw std::invalid_argument("poisson_critical_q requires mean_fanout > 0");
+  }
+  return 1.0 / mean_fanout;  // Eq. (10)
+}
+
+double poisson_required_nonfailed_ratio(double target, double mean_fanout) {
+  if (!(target > 0.0 && target < 1.0)) {
+    throw std::invalid_argument(
+        "poisson_required_nonfailed_ratio requires target in (0, 1)");
+  }
+  if (!(mean_fanout > 0.0)) {
+    throw std::invalid_argument(
+        "poisson_required_nonfailed_ratio requires mean_fanout > 0");
+  }
+  // Eq. (12) solved for q at fixed z.
+  const double q = -std::log1p(-target) / (mean_fanout * target);
+  return std::min(q, 1.0);
+}
+
+}  // namespace gossip::core

@@ -1,0 +1,95 @@
+#pragma once
+
+/// \file reliability_model.hpp
+/// The user-facing gossip model Gossip(n, P, q) of Section 4.1 and the
+/// Poisson closed forms of Section 4.3:
+///   q_c = 1/z                       (Eq. 10: need q > 1/z)
+///   S   = 1 - exp(-z q S)           (Eq. 11: reliability fixed point)
+///   z   = -ln(1 - S) / (q S)        (Eq. 12: fanout needed for target S)
+
+#include <cstddef>
+
+#include "core/degree_distribution.hpp"
+#include "core/percolation.hpp"
+
+namespace gossip::core {
+
+/// Gossip(n, P, q): n members, fanout distribution P, non-failed ratio q.
+/// Immutable once constructed; all queries are pure.
+class GossipModel {
+ public:
+  GossipModel(std::size_t num_members, DegreeDistributionPtr fanout,
+              double nonfailed_ratio);
+
+  /// R(q, P): probability a non-failed member receives the message in one
+  /// execution = relative giant-component size (Section 4.2).
+  [[nodiscard]] double reliability() const noexcept {
+    return percolation_.reliability;
+  }
+
+  /// q_c (Eq. 3): below this non-failed ratio the reliability collapses.
+  [[nodiscard]] double critical_nonfailed_ratio() const noexcept {
+    return percolation_.critical_q;
+  }
+
+  /// Maximum tolerable failed-node ratio 1 - q_c while a giant component
+  /// (hence non-vanishing reliability) still exists.
+  [[nodiscard]] double max_tolerable_failure_ratio() const noexcept;
+
+  [[nodiscard]] bool supercritical() const noexcept {
+    return percolation_.supercritical;
+  }
+
+  /// Mean finite-component size (Eq. 2).
+  [[nodiscard]] double mean_component_size() const noexcept {
+    return percolation_.mean_component_size;
+  }
+
+  /// Full percolation detail.
+  [[nodiscard]] const PercolationResult& percolation() const noexcept {
+    return percolation_;
+  }
+
+  /// n_nonfailed = [n * q] (Section 4.2).
+  [[nodiscard]] std::size_t expected_nonfailed() const noexcept;
+
+  /// Expected number of non-failed receivers in one execution:
+  /// R(q,P) * n_nonfailed.
+  [[nodiscard]] double expected_receivers() const noexcept;
+
+  [[nodiscard]] std::size_t num_members() const noexcept { return n_; }
+  [[nodiscard]] double nonfailed_ratio() const noexcept { return q_; }
+  [[nodiscard]] const DegreeDistribution& fanout() const noexcept {
+    return *fanout_;
+  }
+  [[nodiscard]] const DegreeDistributionPtr& fanout_ptr() const noexcept {
+    return fanout_;
+  }
+
+ private:
+  std::size_t n_;
+  DegreeDistributionPtr fanout_;
+  double q_;
+  PercolationResult percolation_;
+};
+
+// ---- Poisson closed forms (Section 4.3) ----
+
+/// Solves S = 1 - exp(-z q S) for the non-trivial root (Eq. 11); returns 0
+/// when z*q <= 1 (subcritical, Eq. 10 violated).
+[[nodiscard]] double poisson_reliability(double mean_fanout, double q);
+
+/// Mean fanout required for reliability `target` at non-failed ratio q
+/// (Eq. 12). target in (0, 1), q in (0, 1].
+[[nodiscard]] double poisson_required_fanout(double target, double q);
+
+/// Critical non-failed ratio 1/z (Eq. 10). mean_fanout > 0.
+[[nodiscard]] double poisson_critical_q(double mean_fanout);
+
+/// Minimum non-failed ratio q needed to reach reliability `target` with
+/// mean fanout z (inverse of Eq. 12 in q); the maximum tolerable failure
+/// ratio at that operating point is 1 minus this.
+[[nodiscard]] double poisson_required_nonfailed_ratio(double target,
+                                                      double mean_fanout);
+
+}  // namespace gossip::core

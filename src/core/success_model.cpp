@@ -1,0 +1,61 @@
+#include "core/success_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "math/special.hpp"
+
+namespace gossip::core {
+
+double success_probability(double reliability, std::int64_t executions) {
+  if (!(reliability >= 0.0 && reliability <= 1.0)) {
+    throw std::invalid_argument(
+        "success_probability requires reliability in [0, 1]");
+  }
+  if (executions < 0) {
+    throw std::invalid_argument("success_probability requires executions >= 0");
+  }
+  return math::one_minus_pow(1.0 - reliability,
+                             static_cast<double>(executions));
+}
+
+std::int64_t required_executions(double reliability, double target_success) {
+  if (!(reliability >= 0.0 && reliability <= 1.0)) {
+    throw std::invalid_argument(
+        "required_executions requires reliability in [0, 1]");
+  }
+  if (!(target_success >= 0.0 && target_success < 1.0)) {
+    throw std::invalid_argument(
+        "required_executions requires target_success in [0, 1)");
+  }
+  if (target_success == 0.0) return 0;
+  if (reliability == 0.0) {
+    throw std::domain_error(
+        "required_executions: unreachable target (zero reliability)");
+  }
+  if (reliability == 1.0) return 1;
+  // Eq. (6): t >= log(1 - p_s) / log(1 - p_r).
+  const double t =
+      std::log1p(-target_success) / std::log1p(-reliability);
+  auto needed = static_cast<std::int64_t>(std::ceil(t));
+  // Guard the exact-boundary case against floating-point round-off.
+  while (success_probability(reliability, needed) < target_success) {
+    ++needed;
+  }
+  return needed;
+}
+
+std::vector<double> success_count_pmf(std::int64_t executions,
+                                      double reliability) {
+  if (executions < 0) {
+    throw std::invalid_argument("success_count_pmf requires executions >= 0");
+  }
+  std::vector<double> pmf(static_cast<std::size_t>(executions) + 1);
+  for (std::int64_t k = 0; k <= executions; ++k) {
+    pmf[static_cast<std::size_t>(k)] =
+        math::binomial_pmf(executions, k, reliability);
+  }
+  return pmf;
+}
+
+}  // namespace gossip::core

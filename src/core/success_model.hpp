@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file success_model.hpp
+/// The success-of-gossiping model of Section 4.2(2): repeated executions of
+/// the algorithm are independent Bernoulli trials. With per-execution
+/// reliability p_r = R(q, P), the number X of executions (out of t) in which
+/// a given non-failed member receives the message is B(t, p_r), so
+///   Pr(member reached at least once) = 1 - (1 - p_r)^t     (Eq. 5)
+///   t >= log(1 - p_s) / log(1 - p_r)                       (Eq. 6)
+
+#include <cstdint>
+#include <vector>
+
+namespace gossip::core {
+
+/// Eq. (5): probability a non-failed member is reached at least once in
+/// `executions` independent runs, given per-run reliability `reliability`.
+[[nodiscard]] double success_probability(double reliability,
+                                         std::int64_t executions);
+
+/// Eq. (6): minimum number of executions t such that
+/// success_probability(reliability, t) >= target_success. Throws when the
+/// target is unreachable (reliability == 0 with target > 0).
+[[nodiscard]] std::int64_t required_executions(double reliability,
+                                               double target_success);
+
+/// Full pmf of X ~ B(t, reliability): entry k is Pr(X = k), the model curve
+/// drawn through the Figs. 6-7 histograms.
+[[nodiscard]] std::vector<double> success_count_pmf(std::int64_t executions,
+                                                    double reliability);
+
+}  // namespace gossip::core

@@ -1,0 +1,217 @@
+#include "experiment/component_mc.hpp"
+
+#include <stdexcept>
+
+#include "graph/components.hpp"
+#include "graph/generators.hpp"
+#include "graph/reachability.hpp"
+#include "parallel/parallel_for.hpp"
+#include "rng/distributions.hpp"
+
+namespace gossip::experiment {
+
+ComponentEstimate estimate_giant_component(
+    std::uint32_t num_nodes, const core::DegreeDistribution& fanout, double q,
+    const MonteCarloOptions& options) {
+  if (num_nodes < 2) {
+    throw std::invalid_argument("component Monte Carlo requires >= 2 nodes");
+  }
+  if (!(q > 0.0 && q <= 1.0)) {
+    throw std::invalid_argument("component Monte Carlo requires q in (0, 1]");
+  }
+  if (options.replications == 0) {
+    throw std::invalid_argument("Monte Carlo requires replications >= 1");
+  }
+  const auto sampler = fanout.sampler();
+  const rng::RngStream root(options.seed);
+
+  struct Outcome {
+    double frac_alive = 0.0;
+    double frac_all = 0.0;
+    double mean_size = 0.0;
+  };
+  std::vector<Outcome> outcomes(options.replications);
+  const auto run_one = [&](std::size_t i) {
+    auto rng = root.substream(i);
+    const auto g =
+        graph::configuration_model_from_sampler(num_nodes, sampler, rng);
+    std::vector<std::uint8_t> alive(num_nodes, 0);
+    std::uint32_t alive_count = 0;
+    for (std::uint32_t v = 0; v < num_nodes; ++v) {
+      alive[v] = rng.bernoulli(q) ? 1 : 0;
+      if (alive[v]) ++alive_count;
+    }
+    if (alive_count == 0) {
+      outcomes[i] = {0.0, 0.0, 0.0};
+      return;
+    }
+    const auto comps = graph::undirected_components(g, alive);
+    // E[size of a random member's component], failed members counting 0:
+    // sum over components of size^2 / n (the paper's Eq. (2) estimand).
+    double sum_sq = 0.0;
+    for (const auto size : comps.sizes) {
+      sum_sq += static_cast<double>(size) * static_cast<double>(size);
+    }
+    outcomes[i] = {
+        static_cast<double>(comps.giant_size) /
+            static_cast<double>(alive_count),
+        static_cast<double>(comps.giant_size) / static_cast<double>(num_nodes),
+        sum_sq / static_cast<double>(num_nodes)};
+  };
+  if (options.pool != nullptr) {
+    parallel::parallel_for(*options.pool, options.replications, run_one);
+  } else {
+    for (std::size_t i = 0; i < options.replications; ++i) run_one(i);
+  }
+
+  ComponentEstimate estimate;
+  estimate.replications = options.replications;
+  for (const auto& o : outcomes) {
+    estimate.giant_fraction_alive.add(o.frac_alive);
+    estimate.giant_fraction_all.add(o.frac_all);
+    estimate.mean_component_size.add(o.mean_size);
+  }
+  return estimate;
+}
+
+ComponentEstimate estimate_giant_component_occupancy(
+    std::uint32_t num_nodes, const core::DegreeDistribution& fanout,
+    const core::OccupancyFunction& occupancy,
+    const MonteCarloOptions& options) {
+  if (num_nodes < 2) {
+    throw std::invalid_argument("component Monte Carlo requires >= 2 nodes");
+  }
+  if (options.replications == 0) {
+    throw std::invalid_argument("Monte Carlo requires replications >= 1");
+  }
+  const auto sampler = fanout.sampler();
+  const rng::RngStream root(options.seed);
+
+  struct Outcome {
+    double frac_alive = 0.0;
+    double frac_all = 0.0;
+  };
+  std::vector<Outcome> outcomes(options.replications);
+  const auto run_one = [&](std::size_t i) {
+    auto rng = root.substream(i);
+    const auto g =
+        graph::configuration_model_from_sampler(num_nodes, sampler, rng);
+    std::vector<std::uint8_t> alive(num_nodes, 0);
+    std::uint32_t alive_count = 0;
+    for (std::uint32_t v = 0; v < num_nodes; ++v) {
+      const double qk =
+          occupancy(static_cast<std::int64_t>(g.out_degree(v)));
+      alive[v] = rng.bernoulli(qk) ? 1 : 0;
+      if (alive[v]) ++alive_count;
+    }
+    if (alive_count == 0) {
+      outcomes[i] = {0.0, 0.0};
+      return;
+    }
+    const auto comps = graph::undirected_components(g, alive);
+    outcomes[i] = {
+        static_cast<double>(comps.giant_size) /
+            static_cast<double>(alive_count),
+        static_cast<double>(comps.giant_size) / static_cast<double>(num_nodes)};
+  };
+  if (options.pool != nullptr) {
+    parallel::parallel_for(*options.pool, options.replications, run_one);
+  } else {
+    for (std::size_t i = 0; i < options.replications; ++i) run_one(i);
+  }
+
+  ComponentEstimate estimate;
+  estimate.replications = options.replications;
+  for (const auto& o : outcomes) {
+    estimate.giant_fraction_alive.add(o.frac_alive);
+    estimate.giant_fraction_all.add(o.frac_all);
+  }
+  return estimate;
+}
+
+SuccessCountResult run_success_count_experiment(
+    const SuccessCountParams& params, const MonteCarloOptions& options) {
+  if (params.num_nodes < 2) {
+    throw std::invalid_argument("success-count requires >= 2 nodes");
+  }
+  if (params.fanout == nullptr) {
+    throw std::invalid_argument("success-count requires a fanout distribution");
+  }
+  if (!(params.nonfailed_ratio > 0.0 && params.nonfailed_ratio <= 1.0)) {
+    throw std::invalid_argument("success-count requires q in (0, 1]");
+  }
+  if (params.executions < 1 || params.simulations < 1) {
+    throw std::invalid_argument(
+        "success-count requires executions >= 1 and simulations >= 1");
+  }
+  const auto sampler = params.fanout->sampler();
+  const rng::RngStream root(options.seed);
+  const graph::NodeId source = 0;
+
+  SuccessCountResult result(params.executions);
+  std::uint64_t total_count = 0;
+
+  for (std::size_t s = 0; s < params.simulations; ++s) {
+    auto sim_rng = root.substream(s);
+    // Persistent crash pattern for this simulation (source forced alive so
+    // the delivery metric is well defined; it is excluded from X below).
+    std::vector<std::uint8_t> alive(params.num_nodes, 0);
+    for (std::uint32_t v = 0; v < params.num_nodes; ++v) {
+      alive[v] =
+          (v == source || sim_rng.bernoulli(params.nonfailed_ratio)) ? 1 : 0;
+    }
+    std::vector<std::uint32_t> counts(params.num_nodes, 0);
+
+    for (std::int64_t t = 0; t < params.executions; ++t) {
+      auto exec_rng = sim_rng.substream(static_cast<std::uint64_t>(t) + 1);
+      if (params.metric == SuccessMetric::kGiantMembership) {
+        const auto g = graph::configuration_model_from_sampler(
+            params.num_nodes, sampler, exec_rng);
+        const auto comps = graph::undirected_components(g, alive);
+        for (std::uint32_t v = 0; v < params.num_nodes; ++v) {
+          if (alive[v] && comps.in_giant(v)) ++counts[v];
+        }
+      } else {
+        graph::GossipGraphParams gp;
+        gp.num_nodes = params.num_nodes;
+        gp.source = source;
+        gp.alive_probability = 1.0;  // mask supplied below
+        // Build the digraph manually honoring the persistent mask: alive
+        // nodes draw fanouts, crashed nodes stay silent.
+        graph::DigraphBuilder builder(params.num_nodes);
+        for (std::uint32_t v = 0; v < params.num_nodes; ++v) {
+          if (!alive[v]) continue;
+          std::int64_t fanout = sampler(exec_rng);
+          if (fanout <= 0) continue;
+          fanout = std::min<std::int64_t>(
+              fanout, static_cast<std::int64_t>(params.num_nodes) - 1);
+          for (const auto tgt : rng::sample_distinct_excluding(
+                   exec_rng, static_cast<std::size_t>(fanout),
+                   params.num_nodes, v)) {
+            builder.add_edge(v, tgt);
+          }
+        }
+        const auto g = std::move(builder).build();
+        const auto reach = graph::directed_reach(g, source);
+        for (std::uint32_t v = 0; v < params.num_nodes; ++v) {
+          if (alive[v] && reach.is_reached(v)) ++counts[v];
+        }
+      }
+    }
+
+    for (std::uint32_t v = 0; v < params.num_nodes; ++v) {
+      if (v == source || !alive[v]) continue;
+      result.histogram.add(counts[v]);
+      total_count += counts[v];
+      ++result.member_samples;
+    }
+  }
+  result.mean_count =
+      result.member_samples == 0
+          ? 0.0
+          : static_cast<double>(total_count) /
+                static_cast<double>(result.member_samples);
+  return result;
+}
+
+}  // namespace gossip::experiment

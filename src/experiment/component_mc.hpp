@@ -1,0 +1,87 @@
+#pragma once
+
+/// \file component_mc.hpp
+/// Component-based Monte Carlo — the measurement the paper's own simulation
+/// plots. Section 5.1 says "we calculate the size of giant component for
+/// each case": one execution samples the random graph induced by gossiping
+/// (degrees f_i ~ P, site-percolated by the non-failed ratio q) and reports
+/// the giant component's share of the non-failed members.
+///
+/// This differs from the *delivery* metric (experiment/monte_carlo.hpp):
+/// the source's cascade dies out entirely with probability ~ 1 - S, so
+/// unconditional delivered reliability averages ~ S^2, while the giant
+/// component's relative size concentrates on S itself. The Figs. 4-5
+/// benches print both; EXPERIMENTS.md discusses the gap.
+
+#include <cstdint>
+
+#include "core/degree_distribution.hpp"
+#include "core/percolation.hpp"
+#include "experiment/monte_carlo.hpp"
+#include "stats/histogram.hpp"
+
+namespace gossip::experiment {
+
+struct ComponentEstimate {
+  /// Giant size / non-failed count per replication (the paper's metric).
+  stats::OnlineSummary giant_fraction_alive;
+  /// Giant size / n per replication (Callaway's S).
+  stats::OnlineSummary giant_fraction_all;
+  /// Mean component size of a node chosen uniformly among ALL n members
+  /// (failed members count 0): sum_c size_c^2 / n per replication. Below
+  /// the transition this estimates the paper's Eq. (2) <s>.
+  stats::OnlineSummary mean_component_size;
+  std::size_t replications = 0;
+};
+
+/// Samples configuration-model graphs with degrees from `fanout`, applies
+/// site percolation with occupancy q, and measures the giant component.
+[[nodiscard]] ComponentEstimate estimate_giant_component(
+    std::uint32_t num_nodes, const core::DegreeDistribution& fanout, double q,
+    const MonteCarloOptions& options);
+
+/// As estimate_giant_component, but each node survives with probability
+/// occupancy(realized degree) — the Monte Carlo counterpart of
+/// core::analyze_occupancy_percolation (targeted-failure scenarios).
+[[nodiscard]] ComponentEstimate estimate_giant_component_occupancy(
+    std::uint32_t num_nodes, const core::DegreeDistribution& fanout,
+    const core::OccupancyFunction& occupancy, const MonteCarloOptions& options);
+
+/// Which per-member event defines "received" for the success-count
+/// distribution (paper Figs. 6-7).
+enum class SuccessMetric {
+  /// Member lies in the giant component of that execution's graph — the
+  /// metric whose counts follow B(t, S) (what the paper's histograms show).
+  kGiantMembership,
+  /// Member is actually reached from the source through forwarding —
+  /// protocol ground truth; cascade die-out deflates the counts to ~B(t, S^2)
+  /// overall.
+  kSourceDelivery,
+};
+
+struct SuccessCountParams {
+  std::uint32_t num_nodes = 2000;  ///< The paper uses 2000.
+  core::DegreeDistributionPtr fanout;
+  double nonfailed_ratio = 1.0;
+  std::int64_t executions = 20;    ///< t per simulation; the paper uses 20.
+  std::size_t simulations = 100;   ///< Repetitions; the paper uses 100.
+  SuccessMetric metric = SuccessMetric::kGiantMembership;
+};
+
+struct SuccessCountResult {
+  stats::IntHistogram histogram;   ///< X samples pooled over members & sims.
+  std::size_t member_samples = 0;  ///< Number of X samples recorded.
+  double mean_count = 0.0;         ///< Mean X.
+
+  explicit SuccessCountResult(std::int64_t max_value)
+      : histogram(max_value) {}
+};
+
+/// Runs the Figs. 6-7 experiment: per simulation draw one persistent alive
+/// mask, run t executions, record X (the per-member count of executions in
+/// which the member "received") for every non-failed member except the
+/// source, pooled across simulations.
+[[nodiscard]] SuccessCountResult run_success_count_experiment(
+    const SuccessCountParams& params, const MonteCarloOptions& options);
+
+}  // namespace gossip::experiment

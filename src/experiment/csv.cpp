@@ -1,0 +1,47 @@
+#include "experiment/csv.hpp"
+
+#include <filesystem>
+#include <stdexcept>
+
+namespace gossip::experiment {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : path_(path), out_(path), columns_(header.size()) {
+  if (!out_) {
+    throw std::runtime_error("CsvWriter: cannot open " + path);
+  }
+  if (header.empty()) {
+    throw std::invalid_argument("CsvWriter requires a non-empty header");
+  }
+  write_line(header);
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& cells) {
+  if (cells.size() != columns_) {
+    throw std::invalid_argument("CsvWriter row cell count mismatch");
+  }
+  write_line(cells);
+}
+
+void CsvWriter::write_line(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out_ << ',';
+    // Cells in this project are numeric or simple identifiers; quote only
+    // if a comma sneaks in.
+    if (cells[i].find(',') != std::string::npos) {
+      out_ << '"' << cells[i] << '"';
+    } else {
+      out_ << cells[i];
+    }
+  }
+  out_ << '\n';
+}
+
+std::string csv_path_in(const std::string& dir, const std::string& filename) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);  // best effort
+  return dir + "/" + filename;
+}
+
+}  // namespace gossip::experiment

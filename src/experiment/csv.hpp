@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file csv.hpp
+/// Minimal CSV emitter. Every bench mirrors its printed table into a CSV
+/// file (under ./results by default) so figures can be re-plotted without
+/// re-running the sweep.
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace gossip::experiment {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing (parent directory must exist) and writes the
+  /// header row. Throws std::runtime_error on failure.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// Writes one row; cell count must match the header.
+  void add_row(const std::vector<std::string>& cells);
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  void write_line(const std::vector<std::string>& cells);
+
+  std::string path_;
+  std::ofstream out_;
+  std::size_t columns_;
+};
+
+/// Creates `dir` if missing and returns dir + "/" + filename. The benches
+/// use this to drop CSVs under ./results without failing on first run.
+[[nodiscard]] std::string csv_path_in(const std::string& dir,
+                                      const std::string& filename);
+
+}  // namespace gossip::experiment

@@ -1,0 +1,93 @@
+#include "experiment/monte_carlo.hpp"
+
+#include <stdexcept>
+
+#include "graph/generators.hpp"
+#include "graph/reachability.hpp"
+#include "parallel/parallel_for.hpp"
+#include "rng/rng_stream.hpp"
+
+namespace gossip::experiment {
+
+namespace {
+
+struct RepOutcome {
+  double reliability = 0.0;
+  double messages = 0.0;
+  bool success = false;
+};
+
+/// Runs `replications` independent evaluations of `body` (indexed, seeded by
+/// substream) and folds them deterministically in index order.
+template <typename Body>
+ReliabilityEstimate run_replications(const MonteCarloOptions& options,
+                                     const Body& body) {
+  if (options.replications == 0) {
+    throw std::invalid_argument("Monte Carlo requires replications >= 1");
+  }
+  const rng::RngStream root(options.seed);
+  std::vector<RepOutcome> outcomes(options.replications);
+  const auto run_one = [&](std::size_t i) {
+    auto rep_rng = root.substream(i);
+    outcomes[i] = body(rep_rng);
+  };
+  if (options.pool != nullptr) {
+    parallel::parallel_for(*options.pool, options.replications, run_one);
+  } else {
+    for (std::size_t i = 0; i < options.replications; ++i) run_one(i);
+  }
+
+  ReliabilityEstimate estimate;
+  estimate.replications = options.replications;
+  for (const auto& o : outcomes) {
+    estimate.reliability.add(o.reliability);
+    estimate.messages.add(o.messages);
+    if (o.success) ++estimate.success_count;
+  }
+  return estimate;
+}
+
+}  // namespace
+
+ReliabilityEstimate estimate_reliability_graph(
+    std::uint32_t num_nodes, const core::DegreeDistribution& fanout, double q,
+    const MonteCarloOptions& options, double edge_keep_probability) {
+  if (num_nodes < 2) {
+    throw std::invalid_argument("graph Monte Carlo requires >= 2 nodes");
+  }
+  graph::GossipGraphParams gp;
+  gp.num_nodes = num_nodes;
+  gp.source = 0;
+  gp.alive_probability = q;
+  gp.edge_keep_probability = edge_keep_probability;
+  const auto sampler = fanout.sampler();
+
+  return run_replications(options, [&](rng::RngStream& rng) {
+    const auto gg = graph::make_gossip_digraph(gp, sampler, rng);
+    const auto reach = graph::directed_reach(gg.graph, gg.source);
+    std::uint32_t alive_received = 0;
+    for (graph::NodeId v = 0; v < num_nodes; ++v) {
+      if (gg.alive[v] && reach.is_reached(v)) ++alive_received;
+    }
+    RepOutcome o;
+    o.reliability = static_cast<double>(alive_received) /
+                    static_cast<double>(gg.alive_count);
+    o.messages = static_cast<double>(gg.graph.num_edges());
+    o.success = alive_received == gg.alive_count;
+    return o;
+  });
+}
+
+ReliabilityEstimate estimate_reliability_protocol(
+    const protocol::GossipParams& params, const MonteCarloOptions& options) {
+  return run_replications(options, [&](rng::RngStream& rng) {
+    const auto exec = protocol::run_gossip_once(params, rng);
+    RepOutcome o;
+    o.reliability = exec.reliability;
+    o.messages = static_cast<double>(exec.messages_sent);
+    o.success = exec.success;
+    return o;
+  });
+}
+
+}  // namespace gossip::experiment

@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file monte_carlo.hpp
+/// Seeded Monte Carlo estimation of the reliability and success of
+/// gossiping. Two execution backends produce the same metrics:
+///   * graph backend — samples the induced gossip digraph and BFSes from the
+///     source (fast; thousands of replications per second);
+///   * protocol backend — runs the full message-level DES protocol
+///     (slower; validates that the abstraction drops nothing).
+/// Replication i always uses substream(seed, i), so estimates are identical
+/// across thread counts and backends are comparable run-to-run.
+
+#include <cstdint>
+#include <optional>
+
+#include "core/degree_distribution.hpp"
+#include "parallel/thread_pool.hpp"
+#include "protocol/gossip_multicast.hpp"
+#include "stats/ci.hpp"
+#include "stats/summary.hpp"
+
+namespace gossip::experiment {
+
+struct MonteCarloOptions {
+  std::size_t replications = 20;  ///< The paper runs 20 per {f, q} point.
+  std::uint64_t seed = 42;
+  /// Optional worker pool; nullptr runs serially.
+  parallel::ThreadPool* pool = nullptr;
+};
+
+struct ReliabilityEstimate {
+  stats::OnlineSummary reliability;  ///< Per-execution reliability samples.
+  stats::OnlineSummary messages;     ///< Messages sent per execution.
+  std::size_t replications = 0;
+  std::size_t success_count = 0;     ///< Executions reaching every survivor.
+
+  [[nodiscard]] double mean_reliability() const {
+    return reliability.mean();
+  }
+  [[nodiscard]] double success_rate() const {
+    return replications == 0 ? 0.0
+                             : static_cast<double>(success_count) /
+                                   static_cast<double>(replications);
+  }
+  [[nodiscard]] stats::Interval reliability_ci(double confidence = 0.95) const {
+    return stats::mean_confidence_interval(reliability, confidence);
+  }
+};
+
+/// Graph-backend estimate: per replication, sample the gossip digraph
+/// (alive mask, fanouts, targets) and BFS from the source.
+[[nodiscard]] ReliabilityEstimate estimate_reliability_graph(
+    std::uint32_t num_nodes, const core::DegreeDistribution& fanout, double q,
+    const MonteCarloOptions& options, double edge_keep_probability = 1.0);
+
+/// Protocol-backend estimate: per replication, run the full DES protocol.
+[[nodiscard]] ReliabilityEstimate estimate_reliability_protocol(
+    const protocol::GossipParams& params, const MonteCarloOptions& options);
+
+}  // namespace gossip::experiment

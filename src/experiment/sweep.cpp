@@ -1,0 +1,41 @@
+#include "experiment/sweep.hpp"
+
+#include <stdexcept>
+
+namespace gossip::experiment {
+
+std::vector<double> linspace(double lo, double hi, int count) {
+  if (count < 1) {
+    throw std::invalid_argument("linspace requires count >= 1");
+  }
+  if (count == 1) return {lo};
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(count));
+  const double step = (hi - lo) / static_cast<double>(count - 1);
+  for (int i = 0; i < count; ++i) {
+    out.push_back(lo + step * static_cast<double>(i));
+  }
+  out.back() = hi;  // land exactly on the endpoint
+  return out;
+}
+
+std::vector<double> arange_inclusive(double lo, double hi, double step) {
+  if (!(step > 0.0)) {
+    throw std::invalid_argument("arange_inclusive requires step > 0");
+  }
+  std::vector<double> out;
+  for (double v = lo; v <= hi + 0.5 * step; v += step) {
+    out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<double> paper_fanout_grid() {
+  return arange_inclusive(1.1, 6.7, 0.4);
+}
+
+std::vector<double> paper_q_grid_a() { return {0.1, 0.3, 0.5, 1.0}; }
+
+std::vector<double> paper_q_grid_b() { return {0.4, 0.6, 0.8, 1.0}; }
+
+}  // namespace gossip::experiment

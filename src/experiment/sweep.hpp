@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file sweep.hpp
+/// Parameter grids shared by the benches, including the exact grids the
+/// paper sweeps in its evaluation section.
+
+#include <vector>
+
+namespace gossip::experiment {
+
+/// `count` evenly spaced values from lo to hi inclusive (count >= 2), or
+/// {lo} when count == 1.
+[[nodiscard]] std::vector<double> linspace(double lo, double hi, int count);
+
+/// Arithmetic progression lo, lo+step, ... up to and including hi (within
+/// half a step of floating-point slack).
+[[nodiscard]] std::vector<double> arange_inclusive(double lo, double hi,
+                                                   double step);
+
+/// The paper's Figs. 4-5 fanout grid: "varied from 1.10 to 6.7 with an
+/// incremental step 0.4" (Section 5.1).
+[[nodiscard]] std::vector<double> paper_fanout_grid();
+
+/// The paper's q grids: Figs. 4a/5a use {0.1, 0.3, 0.5, 1.0}; Figs. 4b/5b
+/// use {0.4, 0.6, 0.8, 1.0}.
+[[nodiscard]] std::vector<double> paper_q_grid_a();
+[[nodiscard]] std::vector<double> paper_q_grid_b();
+
+}  // namespace gossip::experiment

@@ -1,0 +1,57 @@
+#include "experiment/table.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace gossip::experiment {
+
+TextTable& TextTable::column(std::string header, int width) {
+  if (width < 1) {
+    throw std::invalid_argument("TextTable column width must be >= 1");
+  }
+  columns_.push_back({std::move(header), width});
+  return *this;
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() != columns_.size()) {
+    throw std::invalid_argument("TextTable row cell count mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::print(std::ostream& os) const {
+  const auto print_cells = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      os << std::setw(columns_[c].width) << cells[c];
+      if (c + 1 < columns_.size()) os << "  ";
+    }
+    os << '\n';
+  };
+  std::vector<std::string> headers;
+  headers.reserve(columns_.size());
+  std::size_t total_width = 0;
+  for (const auto& col : columns_) {
+    headers.push_back(col.header);
+    total_width += static_cast<std::size_t>(col.width) + 2;
+  }
+  print_cells(headers);
+  os << std::string(total_width > 2 ? total_width - 2 : total_width, '-')
+     << '\n';
+  for (const auto& row : rows_) print_cells(row);
+}
+
+std::string fmt_double(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+std::string fmt_pm(double value, double half_width, int precision) {
+  return fmt_double(value, precision) + "+-" +
+         fmt_double(half_width, precision);
+}
+
+}  // namespace gossip::experiment

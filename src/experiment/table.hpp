@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file table.hpp
+/// Fixed-width ASCII tables — the output format every bench uses to print
+/// the paper's series. Keeping the emitter shared guarantees the benches
+/// stay visually comparable and machine-greppable.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gossip::experiment {
+
+class TextTable {
+ public:
+  /// Declares a column; returns *this for chaining.
+  TextTable& column(std::string header, int width);
+
+  /// Appends a row; cell count must equal the column count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Writes header, separator, and all rows.
+  void print(std::ostream& os) const;
+
+ private:
+  struct Column {
+    std::string header;
+    int width;
+  };
+  std::vector<Column> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (the benches' default cell format).
+[[nodiscard]] std::string fmt_double(double value, int precision = 4);
+
+/// Formats "a +- b" (mean and CI half-width).
+[[nodiscard]] std::string fmt_pm(double value, double half_width,
+                                 int precision = 4);
+
+}  // namespace gossip::experiment

@@ -1,0 +1,87 @@
+#include "graph/components.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace gossip::graph {
+
+UnionFind::UnionFind(std::size_t n)
+    : parent_(n), size_(n, 1), num_components_(n) {
+  std::iota(parent_.begin(), parent_.end(), NodeId{0});
+}
+
+NodeId UnionFind::find(NodeId v) noexcept {
+  while (parent_[v] != v) {
+    parent_[v] = parent_[parent_[v]];  // path halving
+    v = parent_[v];
+  }
+  return v;
+}
+
+bool UnionFind::unite(NodeId a, NodeId b) noexcept {
+  NodeId ra = find(a);
+  NodeId rb = find(b);
+  if (ra == rb) return false;
+  if (size_[ra] < size_[rb]) std::swap(ra, rb);
+  parent_[rb] = ra;
+  size_[ra] += size_[rb];
+  --num_components_;
+  return true;
+}
+
+std::uint32_t UnionFind::size_of(NodeId v) noexcept { return size_[find(v)]; }
+
+namespace {
+
+ComponentsResult components_impl(const Digraph& g,
+                                 const std::vector<std::uint8_t>* include) {
+  const NodeId n = g.num_nodes();
+  UnionFind uf(n);
+  const auto included = [&](NodeId v) {
+    return include == nullptr || (*include)[v] != 0;
+  };
+  for (NodeId v = 0; v < n; ++v) {
+    if (!included(v)) continue;
+    for (const NodeId w : g.out_neighbors(v)) {
+      if (included(w)) uf.unite(v, w);
+    }
+  }
+
+  ComponentsResult result;
+  result.label.assign(n, ComponentsResult::kNoComponent);
+  std::vector<std::uint32_t> root_to_id(n, ComponentsResult::kNoComponent);
+  std::uint32_t next_id = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    if (!included(v)) continue;
+    const NodeId root = uf.find(v);
+    if (root_to_id[root] == ComponentsResult::kNoComponent) {
+      root_to_id[root] = next_id++;
+      result.sizes.push_back(0);
+    }
+    result.label[v] = root_to_id[root];
+    ++result.sizes[root_to_id[root]];
+  }
+  for (std::uint32_t id = 0; id < result.sizes.size(); ++id) {
+    if (result.sizes[id] > result.giant_size) {
+      result.giant_size = result.sizes[id];
+      result.giant_id = id;
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+ComponentsResult undirected_components(const Digraph& g) {
+  return components_impl(g, nullptr);
+}
+
+ComponentsResult undirected_components(
+    const Digraph& g, const std::vector<std::uint8_t>& include) {
+  if (include.size() != g.num_nodes()) {
+    throw std::invalid_argument("include mask size must equal node count");
+  }
+  return components_impl(g, &include);
+}
+
+}  // namespace gossip::graph

@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file components.hpp
+/// Connected components of the undirected view of a digraph: union-find plus
+/// giant-component extraction. The paper's analytical reliability is the
+/// relative size of the giant component (Section 4.2); this module measures
+/// the same quantity on sampled graphs.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace gossip::graph {
+
+/// Disjoint-set forest with union by size and path halving.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n);
+
+  [[nodiscard]] NodeId find(NodeId v) noexcept;
+
+  /// Merges the sets of a and b; returns true iff they were distinct.
+  bool unite(NodeId a, NodeId b) noexcept;
+
+  /// Size of the set containing v.
+  [[nodiscard]] std::uint32_t size_of(NodeId v) noexcept;
+
+  [[nodiscard]] std::size_t num_components() const noexcept {
+    return num_components_;
+  }
+
+ private:
+  std::vector<NodeId> parent_;
+  std::vector<std::uint32_t> size_;
+  std::size_t num_components_;
+};
+
+/// Component labeling of the undirected view of `g`, optionally restricted
+/// to nodes where include[v] != 0 (site percolation: failed nodes and their
+/// edges are removed). Excluded nodes receive label kNoComponent.
+struct ComponentsResult {
+  static constexpr std::uint32_t kNoComponent = 0xffffffffu;
+  std::vector<std::uint32_t> label;  ///< Component id per node.
+  std::vector<std::uint32_t> sizes;  ///< Size per component id.
+  std::uint32_t giant_id = kNoComponent;   ///< Largest component's id.
+  std::uint32_t giant_size = 0;            ///< Its node count.
+
+  [[nodiscard]] bool in_giant(NodeId v) const noexcept {
+    return label[v] == giant_id && giant_id != kNoComponent;
+  }
+};
+
+/// Components over all nodes.
+[[nodiscard]] ComponentsResult undirected_components(const Digraph& g);
+
+/// Components restricted to included nodes; an edge survives only if both
+/// endpoints are included.
+[[nodiscard]] ComponentsResult undirected_components(
+    const Digraph& g, const std::vector<std::uint8_t>& include);
+
+}  // namespace gossip::graph

@@ -1,0 +1,53 @@
+#include "graph/digraph.hpp"
+
+#include <stdexcept>
+
+namespace gossip::graph {
+
+Digraph::Digraph(std::vector<std::uint64_t> offsets,
+                 std::vector<NodeId> targets)
+    : offsets_(std::move(offsets)), targets_(std::move(targets)) {
+  if (offsets_.empty()) {
+    throw std::invalid_argument("Digraph offsets must have >= 1 entry");
+  }
+  if (offsets_.front() != 0 || offsets_.back() != targets_.size()) {
+    throw std::invalid_argument("Digraph CSR offsets are inconsistent");
+  }
+  for (std::size_t i = 1; i < offsets_.size(); ++i) {
+    if (offsets_[i] < offsets_[i - 1]) {
+      throw std::invalid_argument("Digraph CSR offsets must be monotone");
+    }
+  }
+}
+
+void DigraphBuilder::add_edge(NodeId from, NodeId to) {
+  if (from >= num_nodes_ || to >= num_nodes_) {
+    throw std::out_of_range("DigraphBuilder edge endpoint out of range");
+  }
+  froms_.push_back(from);
+  tos_.push_back(to);
+}
+
+void DigraphBuilder::reserve(std::size_t num_edges) {
+  froms_.reserve(num_edges);
+  tos_.reserve(num_edges);
+}
+
+Digraph DigraphBuilder::build() && {
+  std::vector<std::uint64_t> offsets(static_cast<std::size_t>(num_nodes_) + 1,
+                                     0);
+  for (const NodeId f : froms_) {
+    ++offsets[static_cast<std::size_t>(f) + 1];
+  }
+  for (std::size_t i = 1; i < offsets.size(); ++i) {
+    offsets[i] += offsets[i - 1];
+  }
+  std::vector<NodeId> targets(froms_.size());
+  std::vector<std::uint64_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (std::size_t i = 0; i < froms_.size(); ++i) {
+    targets[cursor[froms_[i]]++] = tos_[i];
+  }
+  return Digraph(std::move(offsets), std::move(targets));
+}
+
+}  // namespace gossip::graph

@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file digraph.hpp
+/// Compact directed graph in CSR (compressed sparse row) form. One execution
+/// of the gossip algorithm induces exactly such a graph — node i's out-edges
+/// are the f_i targets it chose — so this is the central data structure of
+/// the graph-based Monte Carlo path.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace gossip::graph {
+
+using NodeId = std::uint32_t;
+
+class Digraph {
+ public:
+  Digraph() = default;
+
+  /// Builds from explicit CSR arrays. `offsets` has num_nodes + 1 entries;
+  /// targets of node v are targets[offsets[v] .. offsets[v+1]).
+  Digraph(std::vector<std::uint64_t> offsets, std::vector<NodeId> targets);
+
+  [[nodiscard]] NodeId num_nodes() const noexcept {
+    return offsets_.empty() ? 0 : static_cast<NodeId>(offsets_.size() - 1);
+  }
+  [[nodiscard]] std::uint64_t num_edges() const noexcept {
+    return targets_.size();
+  }
+  [[nodiscard]] std::uint32_t out_degree(NodeId v) const {
+    return static_cast<std::uint32_t>(offsets_[v + 1] - offsets_[v]);
+  }
+  [[nodiscard]] std::span<const NodeId> out_neighbors(NodeId v) const {
+    return {targets_.data() + offsets_[v],
+            targets_.data() + offsets_[v + 1]};
+  }
+
+ private:
+  std::vector<std::uint64_t> offsets_;
+  std::vector<NodeId> targets_;
+};
+
+/// Incremental edge-list accumulator; build() converts to CSR in O(V + E).
+class DigraphBuilder {
+ public:
+  explicit DigraphBuilder(NodeId num_nodes) : num_nodes_(num_nodes) {}
+
+  /// Appends a directed edge. Endpoints must be < num_nodes.
+  void add_edge(NodeId from, NodeId to);
+
+  /// Reserves space for an expected number of edges.
+  void reserve(std::size_t num_edges);
+
+  [[nodiscard]] NodeId num_nodes() const noexcept { return num_nodes_; }
+  [[nodiscard]] std::size_t num_edges() const noexcept { return froms_.size(); }
+
+  /// Consumes the builder and produces the CSR graph (counting sort by
+  /// source; preserves insertion order within a node's edge list).
+  [[nodiscard]] Digraph build() &&;
+
+ private:
+  NodeId num_nodes_;
+  std::vector<NodeId> froms_;
+  std::vector<NodeId> tos_;
+};
+
+}  // namespace gossip::graph

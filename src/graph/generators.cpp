@@ -1,0 +1,195 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "rng/distributions.hpp"
+
+namespace gossip::graph {
+
+GossipGraph make_gossip_digraph(const GossipGraphParams& params,
+                                const DegreeSampler& sampler,
+                                rng::RngStream& rng) {
+  const std::uint32_t n = params.num_nodes;
+  if (n == 0) {
+    throw std::invalid_argument("make_gossip_digraph requires num_nodes > 0");
+  }
+  if (params.source >= n) {
+    throw std::out_of_range("make_gossip_digraph source out of range");
+  }
+  if (!(params.alive_probability >= 0.0 && params.alive_probability <= 1.0)) {
+    throw std::invalid_argument("alive_probability must be in [0, 1]");
+  }
+  if (!(params.edge_keep_probability >= 0.0 &&
+        params.edge_keep_probability <= 1.0)) {
+    throw std::invalid_argument("edge_keep_probability must be in [0, 1]");
+  }
+
+  GossipGraph out;
+  out.source = params.source;
+  out.alive.assign(n, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    const bool alive =
+        v == params.source || rng.bernoulli(params.alive_probability);
+    out.alive[v] = alive ? 1 : 0;
+    if (alive) ++out.alive_count;
+  }
+
+  DigraphBuilder builder(n);
+  for (NodeId v = 0; v < n; ++v) {
+    if (!out.alive[v]) continue;  // crashed members never gossip
+    std::int64_t fanout = sampler(rng);
+    if (fanout < 0) {
+      throw std::domain_error("degree sampler returned a negative fanout");
+    }
+    fanout = std::min<std::int64_t>(fanout, static_cast<std::int64_t>(n) - 1);
+    if (fanout == 0) continue;
+    const auto targets = rng::sample_distinct_excluding(
+        rng, static_cast<std::size_t>(fanout), n, v);
+    for (const NodeId t : targets) {
+      if (params.edge_keep_probability >= 1.0 ||
+          rng.bernoulli(params.edge_keep_probability)) {
+        builder.add_edge(v, t);
+      }
+    }
+  }
+  out.graph = std::move(builder).build();
+  return out;
+}
+
+Digraph configuration_model(const std::vector<std::uint32_t>& degrees,
+                            rng::RngStream& rng) {
+  const auto n = static_cast<std::uint32_t>(degrees.size());
+  if (n == 0) {
+    throw std::invalid_argument("configuration_model requires >= 1 node");
+  }
+  std::uint64_t total = 0;
+  std::vector<NodeId> stubs;
+  for (NodeId v = 0; v < n; ++v) {
+    total += degrees[v];
+  }
+  if (total % 2 != 0) {
+    throw std::invalid_argument("configuration_model degree sum must be even");
+  }
+  stubs.reserve(total);
+  for (NodeId v = 0; v < n; ++v) {
+    for (std::uint32_t i = 0; i < degrees[v]; ++i) stubs.push_back(v);
+  }
+
+  // Fisher-Yates shuffle, then pair consecutive stubs.
+  for (std::size_t i = stubs.size(); i > 1; --i) {
+    const std::size_t j = static_cast<std::size_t>(rng.next_below(i));
+    std::swap(stubs[i - 1], stubs[j]);
+  }
+
+  DigraphBuilder builder(n);
+  builder.reserve(stubs.size());
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(stubs.size());
+  for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+    const NodeId a = stubs[i];
+    const NodeId b = stubs[i + 1];
+    if (a == b) continue;  // erased configuration model: drop self-loops
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(std::min(a, b)) << 32) | std::max(a, b);
+    if (!seen.insert(key).second) continue;  // drop duplicate edges
+    builder.add_edge(a, b);
+    builder.add_edge(b, a);
+  }
+  return std::move(builder).build();
+}
+
+Digraph configuration_model_from_sampler(std::uint32_t num_nodes,
+                                         const DegreeSampler& sampler,
+                                         rng::RngStream& rng) {
+  if (num_nodes == 0) {
+    throw std::invalid_argument(
+        "configuration_model_from_sampler requires >= 1 node");
+  }
+  std::vector<std::uint32_t> degrees(num_nodes);
+  std::uint64_t total = 0;
+  for (auto& d : degrees) {
+    std::int64_t k = sampler(rng);
+    if (k < 0) {
+      throw std::domain_error("degree sampler returned a negative degree");
+    }
+    k = std::min<std::int64_t>(k, static_cast<std::int64_t>(num_nodes) - 1);
+    d = static_cast<std::uint32_t>(k);
+    total += d;
+  }
+  if (total % 2 != 0) {
+    // Adjust one node by a single stub to even out the total; bias is O(1/n).
+    if (degrees[num_nodes - 1] + 1 <= num_nodes - 1) {
+      ++degrees[num_nodes - 1];
+    } else {
+      --degrees[num_nodes - 1];
+    }
+  }
+  return configuration_model(degrees, rng);
+}
+
+Digraph erdos_renyi(std::uint32_t num_nodes, double p, rng::RngStream& rng,
+                    bool directed) {
+  if (num_nodes == 0) {
+    throw std::invalid_argument("erdos_renyi requires >= 1 node");
+  }
+  if (!(p >= 0.0 && p <= 1.0)) {
+    throw std::invalid_argument("erdos_renyi requires p in [0, 1]");
+  }
+  DigraphBuilder builder(num_nodes);
+  if (p == 0.0) return std::move(builder).build();
+
+  const std::uint64_t n = num_nodes;
+  // Iterate over the flattened pair index with geometric skips between
+  // successive edges (Batagelj & Brandes 2005).
+  const std::uint64_t num_pairs =
+      directed ? n * (n - 1) : n * (n - 1) / 2;
+  const auto emit = [&](std::uint64_t pair_index) {
+    if (directed) {
+      const std::uint64_t row = pair_index / (n - 1);
+      std::uint64_t col = pair_index % (n - 1);
+      if (col >= row) ++col;  // skip the diagonal
+      builder.add_edge(static_cast<NodeId>(row), static_cast<NodeId>(col));
+    } else {
+      // Unrank the unordered pair index into (a < b).
+      const double idx = static_cast<double>(pair_index);
+      auto a = static_cast<std::uint64_t>(
+          std::floor((2.0 * static_cast<double>(n) - 1.0 -
+                      std::sqrt((2.0 * static_cast<double>(n) - 1.0) *
+                                    (2.0 * static_cast<double>(n) - 1.0) -
+                                8.0 * idx)) /
+                     2.0));
+      // Guard floating-point unranking at block boundaries.
+      auto row_start = [&](std::uint64_t r) {
+        return r * n - r * (r + 1) / 2;
+      };
+      while (a > 0 && row_start(a) > pair_index) --a;
+      while (row_start(a + 1) <= pair_index) ++a;
+      const std::uint64_t b = a + 1 + (pair_index - row_start(a));
+      builder.add_edge(static_cast<NodeId>(a), static_cast<NodeId>(b));
+      builder.add_edge(static_cast<NodeId>(b), static_cast<NodeId>(a));
+    }
+  };
+
+  if (p >= 1.0) {
+    for (std::uint64_t i = 0; i < num_pairs; ++i) emit(i);
+    return std::move(builder).build();
+  }
+
+  const double log_q = std::log1p(-p);
+  std::uint64_t i = 0;
+  while (true) {
+    const double u = rng.next_double_open();
+    const double skip = std::floor(std::log(u) / log_q);
+    if (skip >= static_cast<double>(num_pairs - i)) break;
+    i += static_cast<std::uint64_t>(skip);
+    emit(i);
+    ++i;
+    if (i >= num_pairs) break;
+  }
+  return std::move(builder).build();
+}
+
+}  // namespace gossip::graph

@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file generators.hpp
+/// Random graph generators:
+///   * make_gossip_digraph — the digraph induced by one execution of the
+///     paper's Fig. 1 algorithm under crash failures (the Monte Carlo
+///     workhorse behind the Figs. 4-7 reproductions);
+///   * configuration_model — undirected graph with a prescribed degree
+///     sequence (validates the generalized-random-graph analysis directly);
+///   * erdos_renyi — classic G(n, p), directed or undirected.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "rng/rng_stream.hpp"
+
+namespace gossip::graph {
+
+/// Draws one fanout value; plugged in from core::DegreeDistribution so the
+/// graph layer stays independent of the modeling layer.
+using DegreeSampler = std::function<std::int64_t(rng::RngStream&)>;
+
+struct GossipGraphParams {
+  std::uint32_t num_nodes = 0;
+  NodeId source = 0;
+  /// Non-failed member ratio q: each non-source node is alive independently
+  /// with this probability. The source is always alive (paper Section 3).
+  double alive_probability = 1.0;
+  /// Probability an emitted gossip message is actually delivered; 1 - loss.
+  /// The paper assumes 1.0; the message-loss ablation lowers it.
+  double edge_keep_probability = 1.0;
+};
+
+struct GossipGraph {
+  Digraph graph;                     ///< Out-edges = chosen gossip targets.
+  std::vector<std::uint8_t> alive;   ///< 1 = non-failed member.
+  NodeId source = 0;
+  std::uint32_t alive_count = 0;     ///< Number of non-failed members.
+};
+
+/// Samples the directed graph of one gossip execution: every *alive* node
+/// (crashed members never forward, whether they crashed before receiving or
+/// after receiving but before forwarding — the two cases of Section 4.1)
+/// draws f ~ sampler and f distinct uniform targets excluding itself.
+/// Fanouts larger than n-1 are clamped to n-1 (a node cannot address more
+/// distinct members than exist).
+[[nodiscard]] GossipGraph make_gossip_digraph(const GossipGraphParams& params,
+                                              const DegreeSampler& sampler,
+                                              rng::RngStream& rng);
+
+/// Undirected configuration model on a degree sequence (sum must be even;
+/// pass exact sequence). Stub-pairing; self-loops and duplicate pairings are
+/// discarded, the standard erased-configuration-model simplification whose
+/// effect vanishes as n grows. Each undirected edge is stored in both
+/// directions of the returned Digraph.
+[[nodiscard]] Digraph configuration_model(
+    const std::vector<std::uint32_t>& degrees, rng::RngStream& rng);
+
+/// Samples an i.i.d. degree sequence from `sampler` (clamped to [0, n-1]),
+/// adjusting the last node's degree by +-1 if needed to make the sum even,
+/// then runs configuration_model.
+[[nodiscard]] Digraph configuration_model_from_sampler(
+    std::uint32_t num_nodes, const DegreeSampler& sampler,
+    rng::RngStream& rng);
+
+/// G(n, p): every ordered pair (directed=true) or unordered pair
+/// (directed=false, stored in both directions) is an edge independently
+/// with probability p. Uses geometric skipping, O(n + E) expected.
+[[nodiscard]] Digraph erdos_renyi(std::uint32_t num_nodes, double p,
+                                  rng::RngStream& rng, bool directed = true);
+
+}  // namespace gossip::graph

@@ -1,0 +1,51 @@
+#include "graph/reachability.hpp"
+
+#include <stdexcept>
+
+namespace gossip::graph {
+
+namespace {
+
+ReachResult reach_impl(const Digraph& g, NodeId source,
+                       const std::function<bool(NodeId)>* expandable) {
+  if (source >= g.num_nodes()) {
+    throw std::out_of_range("reachability source out of range");
+  }
+  ReachResult result;
+  result.reached.assign(g.num_nodes(), 0);
+  std::vector<NodeId> frontier;
+  frontier.reserve(64);
+  result.reached[source] = 1;
+  result.reached_count = 1;
+  frontier.push_back(source);
+
+  while (!frontier.empty()) {
+    const NodeId v = frontier.back();
+    frontier.pop_back();
+    // The source always forwards; others only if the predicate allows.
+    if (expandable != nullptr && v != source && !(*expandable)(v)) {
+      continue;
+    }
+    for (const NodeId w : g.out_neighbors(v)) {
+      if (!result.reached[w]) {
+        result.reached[w] = 1;
+        ++result.reached_count;
+        frontier.push_back(w);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+ReachResult directed_reach(const Digraph& g, NodeId source) {
+  return reach_impl(g, source, nullptr);
+}
+
+ReachResult directed_reach_if(const Digraph& g, NodeId source,
+                              const std::function<bool(NodeId)>& expandable) {
+  return reach_impl(g, source, &expandable);
+}
+
+}  // namespace gossip::graph

@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file reachability.hpp
+/// Directed reachability (BFS) from a source node. One gossip execution
+/// delivers the message exactly to the set of nodes reachable from the
+/// source through nodes that actually forward — failed nodes receive but do
+/// not expand, which is what the `expandable` predicate encodes.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace gossip::graph {
+
+struct ReachResult {
+  std::vector<std::uint8_t> reached;  ///< 1 iff the node received m.
+  std::uint32_t reached_count = 0;    ///< Total reached (including source).
+
+  [[nodiscard]] bool is_reached(NodeId v) const noexcept {
+    return reached[v] != 0;
+  }
+};
+
+/// BFS from `source` expanding every reached node.
+[[nodiscard]] ReachResult directed_reach(const Digraph& g, NodeId source);
+
+/// BFS from `source` expanding a reached node v only when expandable(v) is
+/// true. The source is always expanded (the paper assumes it never fails).
+/// Nodes that are reached but not expandable still count as reached — they
+/// received the message, they just never forwarded it.
+[[nodiscard]] ReachResult directed_reach_if(
+    const Digraph& g, NodeId source,
+    const std::function<bool(NodeId)>& expandable);
+
+}  // namespace gossip::graph

@@ -1,0 +1,36 @@
+#include "math/fixed_point.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace gossip::math {
+
+FixedPointResult fixed_point(const std::function<double(double)>& g, double x0,
+                             const FixedPointOptions& opts) {
+  if (!(opts.damping > 0.0) || opts.damping > 1.0) {
+    throw std::invalid_argument("fixed_point damping must be in (0, 1]");
+  }
+  if (!(opts.clamp_lo <= opts.clamp_hi)) {
+    throw std::invalid_argument("fixed_point clamp interval is empty");
+  }
+
+  double x = std::clamp(x0, opts.clamp_lo, opts.clamp_hi);
+  FixedPointResult result;
+  for (int i = 0; i < opts.max_iterations; ++i) {
+    const double gx = g(x);
+    double next = (1.0 - opts.damping) * x + opts.damping * gx;
+    next = std::clamp(next, opts.clamp_lo, opts.clamp_hi);
+    result.iterations = i + 1;
+    result.step = std::abs(next - x);
+    result.value = next;
+    if (result.step <= opts.tolerance) {
+      result.converged = true;
+      return result;
+    }
+    x = next;
+  }
+  return result;
+}
+
+}  // namespace gossip::math

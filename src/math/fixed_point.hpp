@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file fixed_point.hpp
+/// Damped fixed-point iteration for x = g(x) on an interval. Used to solve
+/// the percolation self-consistency condition u = 1 - F1(1) + F1(u)
+/// (Callaway et al., paper Eq. (4)) and the Poisson reliability fixed point
+/// S = 1 - exp(-z q S) (paper Eq. (11)).
+
+#include <functional>
+
+namespace gossip::math {
+
+/// Outcome of a fixed-point solve.
+struct FixedPointResult {
+  double value = 0.0;      ///< Best estimate of the fixed point.
+  double step = 0.0;       ///< |x_{k+1} - x_k| at termination.
+  int iterations = 0;      ///< Iterations actually performed.
+  bool converged = false;  ///< True iff the tolerance was met.
+};
+
+/// Options for fixed_point().
+struct FixedPointOptions {
+  double tolerance = 1e-13;  ///< Terminate when |x_{k+1} - x_k| <= tolerance.
+  int max_iterations = 10000;
+  double damping = 1.0;  ///< x <- (1-d)x + d g(x); 1.0 is plain iteration.
+  double clamp_lo = 0.0;  ///< Iterates are clamped into [clamp_lo, clamp_hi].
+  double clamp_hi = 1.0;
+};
+
+/// Iterates x <- (1-d)*x + d*g(x) from `x0`, clamping into the configured
+/// interval. Plain iteration (d = 1) converges for the contraction maps that
+/// arise from generating functions on [0,1]; damping is exposed for
+/// near-critical cases where g'(x*) approaches 1.
+[[nodiscard]] FixedPointResult fixed_point(
+    const std::function<double(double)>& g, double x0,
+    const FixedPointOptions& opts = {});
+
+}  // namespace gossip::math

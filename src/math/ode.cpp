@@ -1,0 +1,71 @@
+#include "math/ode.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <stdexcept>
+
+namespace gossip::math {
+
+namespace {
+
+void validate(double t0, double t1, double dt) {
+  if (!(t1 >= t0)) {
+    throw std::invalid_argument("ODE integration requires t1 >= t0");
+  }
+  if (!(dt > 0.0)) {
+    throw std::invalid_argument("ODE integration requires dt > 0");
+  }
+}
+
+}  // namespace
+
+std::vector<double> integrate_rk4(const OdeSystem& system,
+                                  std::vector<double> y0, double t0, double t1,
+                                  double dt, const OdeObserver& observer) {
+  validate(t0, t1, dt);
+  const std::size_t n = y0.size();
+  std::vector<double> k1(n), k2(n), k3(n), k4(n), tmp(n);
+  std::vector<double> y = std::move(y0);
+  double t = t0;
+  if (observer) observer(t, y);
+
+  while (t < t1) {
+    const double h = std::min(dt, t1 - t);
+    system(t, y, k1);
+    for (std::size_t i = 0; i < n; ++i) tmp[i] = y[i] + 0.5 * h * k1[i];
+    system(t + 0.5 * h, tmp, k2);
+    for (std::size_t i = 0; i < n; ++i) tmp[i] = y[i] + 0.5 * h * k2[i];
+    system(t + 0.5 * h, tmp, k3);
+    for (std::size_t i = 0; i < n; ++i) tmp[i] = y[i] + h * k3[i];
+    system(t + h, tmp, k4);
+    for (std::size_t i = 0; i < n; ++i) {
+      y[i] += h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+    }
+    t += h;
+    if (observer) observer(t, y);
+  }
+  return y;
+}
+
+std::vector<double> integrate_euler(const OdeSystem& system,
+                                    std::vector<double> y0, double t0,
+                                    double t1, double dt,
+                                    const OdeObserver& observer) {
+  validate(t0, t1, dt);
+  const std::size_t n = y0.size();
+  std::vector<double> dydt(n);
+  std::vector<double> y = std::move(y0);
+  double t = t0;
+  if (observer) observer(t, y);
+
+  while (t < t1) {
+    const double h = std::min(dt, t1 - t);
+    system(t, y, dydt);
+    for (std::size_t i = 0; i < n; ++i) y[i] += h * dydt[i];
+    t += h;
+    if (observer) observer(t, y);
+  }
+  return y;
+}
+
+}  // namespace gossip::math

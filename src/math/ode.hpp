@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file ode.hpp
+/// Small fixed-step ODE integrators over std::vector<double> state. The SI
+/// epidemic baseline (paper reference [9], LRG) integrates its balance
+/// equations with these.
+
+#include <functional>
+#include <vector>
+
+namespace gossip::math {
+
+/// Right-hand side dy/dt = f(t, y) writing into `dydt` (same size as y).
+using OdeSystem = std::function<void(double t, const std::vector<double>& y,
+                                     std::vector<double>& dydt)>;
+
+/// Observer invoked after every accepted step with (t, y).
+using OdeObserver =
+    std::function<void(double t, const std::vector<double>& y)>;
+
+/// Classic fourth-order Runge-Kutta with fixed step `dt` from t0 to t1.
+/// The final (possibly shorter) step lands exactly on t1. Returns the state
+/// at t1. The observer, if provided, sees the initial state and every step.
+[[nodiscard]] std::vector<double> integrate_rk4(
+    const OdeSystem& system, std::vector<double> y0, double t0, double t1,
+    double dt, const OdeObserver& observer = {});
+
+/// Forward Euler, exposed for tests and for reproducing literature that used
+/// it; RK4 should be preferred.
+[[nodiscard]] std::vector<double> integrate_euler(
+    const OdeSystem& system, std::vector<double> y0, double t0, double t1,
+    double dt, const OdeObserver& observer = {});
+
+}  // namespace gossip::math

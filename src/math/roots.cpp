@@ -1,0 +1,181 @@
+#include "math/roots.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace gossip::math {
+
+namespace {
+
+[[nodiscard]] bool opposite_signs(double a, double b) noexcept {
+  return (a < 0.0 && b > 0.0) || (a > 0.0 && b < 0.0);
+}
+
+void require_bracket(double lo, double hi, double flo, double fhi) {
+  if (!(lo < hi)) {
+    throw std::invalid_argument("root bracket requires lo < hi");
+  }
+  if (flo != 0.0 && fhi != 0.0 && !opposite_signs(flo, fhi)) {
+    throw std::invalid_argument("root bracket requires a sign change");
+  }
+}
+
+}  // namespace
+
+RootResult bisect(const std::function<double(double)>& f, double lo, double hi,
+                  const RootOptions& opts) {
+  double flo = f(lo);
+  double fhi = f(hi);
+  require_bracket(lo, hi, flo, fhi);
+  if (flo == 0.0) return {lo, 0.0, 0, true};
+  if (fhi == 0.0) return {hi, 0.0, 0, true};
+
+  RootResult result;
+  for (int i = 0; i < opts.max_iterations; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    const double fmid = f(mid);
+    result.iterations = i + 1;
+    result.root = mid;
+    result.residual = fmid;
+    if (std::abs(fmid) <= opts.f_tolerance || (hi - lo) <= opts.x_tolerance) {
+      result.converged = true;
+      return result;
+    }
+    if (opposite_signs(flo, fmid)) {
+      hi = mid;
+    } else {
+      lo = mid;
+      flo = fmid;
+    }
+  }
+  return result;
+}
+
+RootResult newton(const std::function<double(double)>& f,
+                  const std::function<double(double)>& df, double x0, double lo,
+                  double hi, const RootOptions& opts) {
+  double flo = f(lo);
+  double fhi = f(hi);
+  require_bracket(lo, hi, flo, fhi);
+  if (flo == 0.0) return {lo, 0.0, 0, true};
+  if (fhi == 0.0) return {hi, 0.0, 0, true};
+
+  // Keep the bracket oriented so that f(lo) < 0 < f(hi).
+  if (flo > 0.0) {
+    std::swap(lo, hi);
+  }
+
+  double x = std::clamp(x0, std::min(lo, hi), std::max(lo, hi));
+  RootResult result;
+  for (int i = 0; i < opts.max_iterations; ++i) {
+    const double fx = f(x);
+    result.iterations = i + 1;
+    result.root = x;
+    result.residual = fx;
+    if (std::abs(fx) <= opts.f_tolerance) {
+      result.converged = true;
+      return result;
+    }
+    if (fx < 0.0) {
+      lo = x;
+    } else {
+      hi = x;
+    }
+
+    const double dfx = df(x);
+    double next;
+    if (dfx != 0.0 && std::isfinite(dfx)) {
+      next = x - fx / dfx;
+    } else {
+      next = 0.5 * (lo + hi);
+    }
+    const double lo_edge = std::min(lo, hi);
+    const double hi_edge = std::max(lo, hi);
+    if (!(next > lo_edge && next < hi_edge)) {
+      next = 0.5 * (lo + hi);  // Newton escaped the bracket: bisect instead.
+    }
+    if (std::abs(next - x) <= opts.x_tolerance) {
+      result.root = next;
+      result.residual = f(next);
+      result.converged = true;
+      return result;
+    }
+    x = next;
+  }
+  return result;
+}
+
+RootResult brent(const std::function<double(double)>& f, double lo, double hi,
+                 const RootOptions& opts) {
+  double a = lo;
+  double b = hi;
+  double fa = f(a);
+  double fb = f(b);
+  require_bracket(lo, hi, fa, fb);
+  if (fa == 0.0) return {a, 0.0, 0, true};
+  if (fb == 0.0) return {b, 0.0, 0, true};
+
+  // `b` holds the best estimate; `c` the previous one.
+  if (std::abs(fa) < std::abs(fb)) {
+    std::swap(a, b);
+    std::swap(fa, fb);
+  }
+  double c = a;
+  double fc = fa;
+  bool used_bisection = true;
+  double d = 0.0;  // step before last, used by the guard conditions
+
+  RootResult result;
+  for (int i = 0; i < opts.max_iterations; ++i) {
+    result.iterations = i + 1;
+    double s;
+    if (fa != fc && fb != fc) {
+      // Inverse quadratic interpolation.
+      s = a * fb * fc / ((fa - fb) * (fa - fc)) +
+          b * fa * fc / ((fb - fa) * (fb - fc)) +
+          c * fa * fb / ((fc - fa) * (fc - fb));
+    } else {
+      // Secant step.
+      s = b - fb * (b - a) / (fb - fa);
+    }
+
+    const double mid = 0.5 * (a + b);
+    const bool out_of_range = !((s > std::min(mid, b)) && (s < std::max(mid, b)));
+    const bool step_too_small =
+        (used_bisection && std::abs(s - b) >= 0.5 * std::abs(b - c)) ||
+        (!used_bisection && std::abs(s - b) >= 0.5 * std::abs(c - d));
+    if (out_of_range || step_too_small) {
+      s = mid;
+      used_bisection = true;
+    } else {
+      used_bisection = false;
+    }
+
+    const double fs = f(s);
+    d = c;
+    c = b;
+    fc = fb;
+    if (opposite_signs(fa, fs)) {
+      b = s;
+      fb = fs;
+    } else {
+      a = s;
+      fa = fs;
+    }
+    if (std::abs(fa) < std::abs(fb)) {
+      std::swap(a, b);
+      std::swap(fa, fb);
+    }
+
+    result.root = b;
+    result.residual = fb;
+    if (std::abs(fb) <= opts.f_tolerance || std::abs(b - a) <= opts.x_tolerance) {
+      result.converged = true;
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace gossip::math

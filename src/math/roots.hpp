@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file roots.hpp
+/// Scalar root finding: bisection, Newton-Raphson with bisection fallback,
+/// and Brent's method. These are the numerical workhorses behind the
+/// percolation self-consistency equations (core/percolation.hpp) and the
+/// fanout planner (core/reliability_model.hpp).
+
+#include <functional>
+
+namespace gossip::math {
+
+/// Outcome of an iterative scalar solve.
+struct RootResult {
+  double root = 0.0;        ///< Best estimate of the root.
+  double residual = 0.0;    ///< f(root) at the returned estimate.
+  int iterations = 0;       ///< Iterations actually performed.
+  bool converged = false;   ///< True iff the tolerance was met.
+};
+
+/// Convergence/iteration policy shared by the root finders.
+struct RootOptions {
+  double x_tolerance = 1e-12;   ///< Stop when the bracket/step is this small.
+  double f_tolerance = 1e-13;   ///< Stop when |f(x)| falls below this.
+  int max_iterations = 200;     ///< Hard iteration cap.
+};
+
+/// Bisection on [lo, hi]. Requires f(lo) and f(hi) to have opposite signs
+/// (a zero-valued endpoint is accepted as the root). Linear but unconditionally
+/// convergent.
+[[nodiscard]] RootResult bisect(const std::function<double(double)>& f,
+                                double lo, double hi,
+                                const RootOptions& opts = {});
+
+/// Newton-Raphson from `x0`, safeguarded by the bracket [lo, hi]: any step
+/// that escapes the bracket or fails to shrink it is replaced by a bisection
+/// step, so the method inherits bisection's robustness with Newton's
+/// quadratic tail convergence.
+[[nodiscard]] RootResult newton(const std::function<double(double)>& f,
+                                const std::function<double(double)>& df,
+                                double x0, double lo, double hi,
+                                const RootOptions& opts = {});
+
+/// Brent's method (inverse quadratic interpolation + secant + bisection) on
+/// [lo, hi]. Requires a sign change. The default choice when no cheap
+/// derivative is available.
+[[nodiscard]] RootResult brent(const std::function<double(double)>& f,
+                               double lo, double hi,
+                               const RootOptions& opts = {});
+
+}  // namespace gossip::math

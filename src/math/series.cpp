@@ -1,0 +1,96 @@
+#include "math/series.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gossip::math {
+
+double evaluate_series(std::span<const double> coeffs, double x) {
+  double acc = 0.0;
+  for (std::size_t i = coeffs.size(); i-- > 0;) {
+    acc = acc * x + coeffs[i];
+  }
+  return acc;
+}
+
+double evaluate_series_derivative(std::span<const double> coeffs, double x) {
+  double acc = 0.0;
+  for (std::size_t i = coeffs.size(); i-- > 1;) {
+    acc = acc * x + static_cast<double>(i) * coeffs[i];
+  }
+  return acc;
+}
+
+double evaluate_series_second_derivative(std::span<const double> coeffs,
+                                         double x) {
+  double acc = 0.0;
+  for (std::size_t i = coeffs.size(); i-- > 2;) {
+    const double k = static_cast<double>(i);
+    acc = acc * x + k * (k - 1.0) * coeffs[i];
+  }
+  return acc;
+}
+
+std::vector<double> differentiate_series(std::span<const double> coeffs) {
+  if (coeffs.size() <= 1) {
+    return {0.0};
+  }
+  std::vector<double> out(coeffs.size() - 1);
+  for (std::size_t i = 1; i < coeffs.size(); ++i) {
+    out[i - 1] = static_cast<double>(i) * coeffs[i];
+  }
+  return out;
+}
+
+double factorial_moment(std::span<const double> coeffs, int n) {
+  if (n < 0) {
+    throw std::invalid_argument("factorial_moment requires n >= 0");
+  }
+  double acc = 0.0;
+  for (std::size_t k = 0; k < coeffs.size(); ++k) {
+    double falling = 1.0;
+    for (int j = 0; j < n; ++j) {
+      falling *= static_cast<double>(k) - static_cast<double>(j);
+    }
+    if (static_cast<std::size_t>(n) > k) falling = 0.0;
+    acc += falling * coeffs[k];
+  }
+  return acc;
+}
+
+double series_mean(std::span<const double> coeffs) {
+  return factorial_moment(coeffs, 1);
+}
+
+double series_variance(std::span<const double> coeffs) {
+  const double m1 = factorial_moment(coeffs, 1);
+  const double m2 = factorial_moment(coeffs, 2);
+  return m2 + m1 - m1 * m1;
+}
+
+std::vector<double> normalize_pmf(std::span<const double> coeffs) {
+  double sum = 0.0;
+  for (const double c : coeffs) {
+    if (c < 0.0 || !std::isfinite(c)) {
+      throw std::invalid_argument("pmf coefficients must be finite and >= 0");
+    }
+    sum += c;
+  }
+  if (!(sum > 0.0)) {
+    throw std::invalid_argument("pmf must have positive total mass");
+  }
+  std::vector<double> out(coeffs.begin(), coeffs.end());
+  for (double& c : out) c /= sum;
+  return out;
+}
+
+std::vector<double> trim_series(std::span<const double> coeffs,
+                                double epsilon) {
+  std::size_t n = coeffs.size();
+  while (n > 1 && std::abs(coeffs[n - 1]) <= epsilon) {
+    --n;
+  }
+  return {coeffs.begin(), coeffs.begin() + static_cast<std::ptrdiff_t>(n)};
+}
+
+}  // namespace gossip::math

@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file series.hpp
+/// Truncated power series with non-negative coefficients, the concrete
+/// representation behind probability generating functions: a pmf {p_0, p_1,
+/// ..., p_K} is the coefficient vector of G(x) = sum_k p_k x^k. Provides
+/// evaluation (Horner), derivatives, factorial moments, and normalization —
+/// the raw material for core/generating_function.hpp.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace gossip::math {
+
+/// Evaluates sum_k c_k x^k by Horner's rule.
+[[nodiscard]] double evaluate_series(std::span<const double> coeffs, double x);
+
+/// Evaluates the first derivative sum_k k c_k x^{k-1}.
+[[nodiscard]] double evaluate_series_derivative(std::span<const double> coeffs,
+                                                double x);
+
+/// Evaluates the second derivative sum_k k (k-1) c_k x^{k-2}.
+[[nodiscard]] double evaluate_series_second_derivative(
+    std::span<const double> coeffs, double x);
+
+/// Coefficient vector of the derivative series d/dx sum_k c_k x^k.
+[[nodiscard]] std::vector<double> differentiate_series(
+    std::span<const double> coeffs);
+
+/// n-th factorial moment E[K(K-1)...(K-n+1)] of the pmf given by `coeffs`,
+/// i.e. the n-th derivative of its generating function at x = 1.
+[[nodiscard]] double factorial_moment(std::span<const double> coeffs, int n);
+
+/// Mean sum_k k c_k (first factorial moment).
+[[nodiscard]] double series_mean(std::span<const double> coeffs);
+
+/// Variance of the pmf given by `coeffs` (assumes it is normalized).
+[[nodiscard]] double series_variance(std::span<const double> coeffs);
+
+/// Scales `coeffs` so they sum to one. Throws if the sum is not positive or
+/// any coefficient is negative.
+[[nodiscard]] std::vector<double> normalize_pmf(std::span<const double> coeffs);
+
+/// Drops trailing coefficients below `epsilon`, keeping at least one term.
+[[nodiscard]] std::vector<double> trim_series(std::span<const double> coeffs,
+                                              double epsilon = 0.0);
+
+}  // namespace gossip::math

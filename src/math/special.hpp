@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file special.hpp
+/// Log-domain special functions and discrete probability mass functions.
+/// Everything that could overflow (factorials, binomial coefficients, large
+/// Poisson/binomial pmfs) is computed through lgamma so the success-of-
+/// gossiping model (paper Eqs. (5)-(6)) stays accurate for large t and k.
+
+#include <cstdint>
+
+namespace gossip::math {
+
+/// ln(n!) for n >= 0, exact semantics via lgamma(n+1).
+[[nodiscard]] double log_factorial(std::int64_t n);
+
+/// ln C(n, k). Returns -inf when k < 0 or k > n (coefficient zero).
+[[nodiscard]] double log_binomial_coefficient(std::int64_t n, std::int64_t k);
+
+/// Binomial pmf P(X = k) for X ~ B(n, p), computed in the log domain.
+/// p must lie in [0, 1]; out-of-support k yields 0.
+[[nodiscard]] double binomial_pmf(std::int64_t n, std::int64_t k, double p);
+
+/// Binomial upper tail P(X >= k) for X ~ B(n, p), by direct stable summation
+/// of the smaller tail.
+[[nodiscard]] double binomial_sf(std::int64_t n, std::int64_t k, double p);
+
+/// Poisson pmf P(X = k) for X ~ Po(mean), log-domain. mean must be >= 0.
+[[nodiscard]] double poisson_pmf(std::int64_t k, double mean);
+
+/// Poisson CDF P(X <= k) by stable forward recurrence.
+[[nodiscard]] double poisson_cdf(std::int64_t k, double mean);
+
+/// log(1 - exp(x)) for x < 0, accurate near both ends (Maechler's trick).
+[[nodiscard]] double log1mexp(double x);
+
+/// Regularized survival value 1 - (1-p)^t computed without cancellation;
+/// this is the probability of gossiping success after t executions
+/// (paper Eq. (5)).
+[[nodiscard]] double one_minus_pow(double one_minus_p, double t);
+
+/// Regularized lower incomplete gamma P(a, x), a > 0, x >= 0.
+[[nodiscard]] double regularized_gamma_p(double a, double x);
+
+/// Regularized upper incomplete gamma Q(a, x) = 1 - P(a, x). The chi-square
+/// survival function used by the goodness-of-fit tests is
+/// Q(dof/2, stat/2).
+[[nodiscard]] double regularized_gamma_q(double a, double x);
+
+/// Chi-square survival function P(X >= stat) with `dof` degrees of freedom.
+[[nodiscard]] double chi_square_sf(double stat, double dof);
+
+}  // namespace gossip::math

@@ -1,0 +1,57 @@
+#include "membership/full_view.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "rng/distributions.hpp"
+
+namespace gossip::membership {
+
+namespace {
+
+class FullView final : public MembershipView {
+ public:
+  FullView(std::uint32_t num_nodes, NodeId owner)
+      : num_nodes_(num_nodes), owner_(owner) {}
+
+  [[nodiscard]] std::size_t size() const override { return num_nodes_ - 1; }
+
+  [[nodiscard]] std::vector<NodeId> select_targets(
+      std::size_t k, rng::RngStream& rng) const override {
+    k = std::min<std::size_t>(k, num_nodes_ - 1);
+    return rng::sample_distinct_excluding(rng, k, num_nodes_, owner_);
+  }
+
+  [[nodiscard]] std::string name() const override { return "full"; }
+
+ private:
+  std::uint32_t num_nodes_;
+  NodeId owner_;
+};
+
+class FullMembership final : public MembershipProvider {
+ public:
+  explicit FullMembership(std::uint32_t num_nodes) : num_nodes_(num_nodes) {
+    if (num_nodes < 2) {
+      throw std::invalid_argument("full_membership requires >= 2 nodes");
+    }
+  }
+  [[nodiscard]] MembershipViewPtr view_for(NodeId owner) const override {
+    if (owner >= num_nodes_) {
+      throw std::out_of_range("full_membership owner out of range");
+    }
+    return std::make_shared<FullView>(num_nodes_, owner);
+  }
+  [[nodiscard]] std::string name() const override { return "full"; }
+
+ private:
+  std::uint32_t num_nodes_;
+};
+
+}  // namespace
+
+MembershipProviderPtr full_membership(std::uint32_t num_nodes) {
+  return std::make_shared<FullMembership>(num_nodes);
+}
+
+}  // namespace gossip::membership

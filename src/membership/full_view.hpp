@@ -1,0 +1,16 @@
+#pragma once
+
+/// \file full_view.hpp
+/// Idealized full membership: every member knows every other member. This
+/// realizes the analytical model's uniform-target assumption exactly and is
+/// the default for the paper-reproduction experiments.
+
+#include "membership/view.hpp"
+
+namespace gossip::membership {
+
+/// Provider whose views are "all n members except the owner". Views are
+/// O(1) objects; no n-sized tables are materialized.
+[[nodiscard]] MembershipProviderPtr full_membership(std::uint32_t num_nodes);
+
+}  // namespace gossip::membership

@@ -1,0 +1,115 @@
+#include "membership/partial_view.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "rng/distributions.hpp"
+
+namespace gossip::membership {
+
+namespace {
+
+using ViewTable = std::vector<std::vector<NodeId>>;
+
+class ListView final : public MembershipView {
+ public:
+  ListView(std::shared_ptr<const ViewTable> table, NodeId owner,
+           std::string provider_name)
+      : table_(std::move(table)), owner_(owner),
+        name_(std::move(provider_name)) {}
+
+  [[nodiscard]] std::size_t size() const override {
+    return neighbors().size();
+  }
+
+  [[nodiscard]] std::vector<NodeId> select_targets(
+      std::size_t k, rng::RngStream& rng) const override {
+    const auto& nbrs = neighbors();
+    const std::size_t v = nbrs.size();
+    k = std::min(k, v);
+    if (k == 0) return {};
+    if (k == v) return nbrs;
+    const auto picks = rng::sample_distinct(rng, k, v);
+    std::vector<NodeId> out;
+    out.reserve(k);
+    for (const auto idx : picks) out.push_back(nbrs[idx]);
+    return out;
+  }
+
+  [[nodiscard]] std::string name() const override { return name_; }
+
+ private:
+  [[nodiscard]] const std::vector<NodeId>& neighbors() const {
+    return (*table_)[owner_];
+  }
+
+  std::shared_ptr<const ViewTable> table_;  // shared with the provider
+  NodeId owner_;
+  std::string name_;
+};
+
+class ListMembership final : public MembershipProvider {
+ public:
+  ListMembership(ViewTable views, std::string name)
+      : table_(std::make_shared<const ViewTable>(std::move(views))),
+        name_(std::move(name)) {
+    const auto& table = *table_;
+    for (NodeId owner = 0; owner < table.size(); ++owner) {
+      std::unordered_set<NodeId> seen;
+      for (const NodeId peer : table[owner]) {
+        if (peer == owner) {
+          throw std::invalid_argument("list_membership: view contains owner");
+        }
+        if (peer >= table.size()) {
+          throw std::invalid_argument("list_membership: peer out of range");
+        }
+        if (!seen.insert(peer).second) {
+          throw std::invalid_argument("list_membership: duplicate peer");
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] MembershipViewPtr view_for(NodeId owner) const override {
+    if (owner >= table_->size()) {
+      throw std::out_of_range("list_membership owner out of range");
+    }
+    return std::make_shared<ListView>(table_, owner, name_);
+  }
+
+  [[nodiscard]] std::string name() const override { return name_; }
+
+ private:
+  std::shared_ptr<const ViewTable> table_;
+  std::string name_;
+};
+
+}  // namespace
+
+MembershipProviderPtr list_membership(std::vector<std::vector<NodeId>> views,
+                                      std::string name) {
+  return std::make_shared<ListMembership>(std::move(views), std::move(name));
+}
+
+MembershipProviderPtr uniform_partial_membership(std::uint32_t num_nodes,
+                                                 std::size_t view_size,
+                                                 rng::RngStream& rng) {
+  if (num_nodes < 2) {
+    throw std::invalid_argument(
+        "uniform_partial_membership requires >= 2 nodes");
+  }
+  if (view_size < 1 || view_size > num_nodes - 1) {
+    throw std::invalid_argument(
+        "uniform_partial_membership requires view_size in [1, n-1]");
+  }
+  std::vector<std::vector<NodeId>> views(num_nodes);
+  for (NodeId owner = 0; owner < num_nodes; ++owner) {
+    views[owner] =
+        rng::sample_distinct_excluding(rng, view_size, num_nodes, owner);
+  }
+  return list_membership(std::move(views), "uniform-partial");
+}
+
+}  // namespace gossip::membership

@@ -1,0 +1,24 @@
+#pragma once
+
+/// \file partial_view.hpp
+/// Partial membership from explicit per-node neighbor lists. Construct
+/// either uniformly at random (each member knows `view_size` uniform peers)
+/// or from externally built lists (e.g. the SCAMP subscription protocol in
+/// scamp.hpp). The membership ablation quantifies how far such views drift
+/// from the model's uniform-choice assumption.
+
+#include "membership/view.hpp"
+
+namespace gossip::membership {
+
+/// Provider backed by explicit adjacency lists: views[i] are the members
+/// node i knows. Lists must not contain the owner or duplicates.
+[[nodiscard]] MembershipProviderPtr list_membership(
+    std::vector<std::vector<NodeId>> views, std::string name = "list");
+
+/// Uniform random partial views: every node knows `view_size` distinct
+/// uniform peers (excluding itself). view_size must be in [1, n-1].
+[[nodiscard]] MembershipProviderPtr uniform_partial_membership(
+    std::uint32_t num_nodes, std::size_t view_size, rng::RngStream& rng);
+
+}  // namespace gossip::membership

@@ -1,0 +1,94 @@
+#include "membership/scamp.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "membership/partial_view.hpp"
+
+namespace gossip::membership {
+
+namespace {
+
+/// Inserts `peer` into `view` if absent; returns true when inserted.
+bool insert_unique(std::vector<NodeId>& view, NodeId peer) {
+  if (std::find(view.begin(), view.end(), peer) != view.end()) {
+    return false;
+  }
+  view.push_back(peer);
+  return true;
+}
+
+}  // namespace
+
+std::vector<std::vector<NodeId>> build_scamp_views(const ScampParams& params,
+                                                   rng::RngStream& rng) {
+  if (params.num_nodes < 2) {
+    throw std::invalid_argument("build_scamp_views requires >= 2 nodes");
+  }
+  std::vector<std::vector<NodeId>> views(params.num_nodes);
+
+  // Forwards one subscription copy for `subscriber` starting at `holder`.
+  // Keeps with probability 1/(1+|view|), else forwards to a random view
+  // member; gives up (keeps unconditionally) after max_forward_hops.
+  const auto place_copy = [&](NodeId subscriber, NodeId holder) {
+    NodeId current = holder;
+    for (std::uint32_t hop = 0; hop < params.max_forward_hops; ++hop) {
+      if (current != subscriber) {
+        const double keep_probability =
+            1.0 / (1.0 + static_cast<double>(views[current].size()));
+        if (rng.bernoulli(keep_probability) &&
+            insert_unique(views[current], subscriber)) {
+          return;
+        }
+      }
+      if (views[current].empty()) break;
+      const auto next_index = static_cast<std::size_t>(
+          rng.next_below(views[current].size()));
+      current = views[current][next_index];
+    }
+    // Hop budget exhausted: force placement somewhere valid to guarantee
+    // the subscriber becomes reachable (SCAMP's lease mechanism would
+    // eventually repair this; we keep the constructor total instead).
+    if (current != subscriber) {
+      insert_unique(views[current], subscriber);
+    } else {
+      insert_unique(views[holder != subscriber ? holder : (subscriber + 1) %
+                                                     params.num_nodes],
+                    subscriber);
+    }
+  };
+
+  // Node 0 and 1 bootstrap each other; later nodes join via a uniformly
+  // random existing contact.
+  views[0].push_back(1);
+  views[1].push_back(0);
+  for (NodeId joiner = 2; joiner < params.num_nodes; ++joiner) {
+    const auto contact = static_cast<NodeId>(rng.next_below(joiner));
+    // The joiner starts knowing its contact.
+    insert_unique(views[joiner], contact);
+    // The contact forwards the new subscription to all of its current view
+    // members plus `redundancy` extra copies (SCAMP subscription rule).
+    const std::vector<NodeId> snapshot = views[contact];
+    for (const NodeId holder : snapshot) {
+      place_copy(joiner, holder);
+    }
+    for (std::uint32_t c = 0; c < params.redundancy; ++c) {
+      place_copy(joiner, contact);
+    }
+    // The contact itself keeps the subscriber with the usual probability.
+    const double keep_probability =
+        1.0 / (1.0 + static_cast<double>(views[contact].size()));
+    if (rng.bernoulli(keep_probability)) {
+      insert_unique(views[contact], joiner);
+    }
+  }
+  return views;
+}
+
+MembershipProviderPtr scamp_membership(const ScampParams& params,
+                                       rng::RngStream& rng) {
+  return list_membership(build_scamp_views(params, rng), "scamp");
+}
+
+}  // namespace gossip::membership

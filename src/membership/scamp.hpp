@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file scamp.hpp
+/// SCAMP-style membership construction (Ganesh, Kermarrec, Massoulié —
+/// the paper's reference [12]). Members join through a random contact; the
+/// contact forwards the new subscription to all of its view plus c extra
+/// copies; each recipient keeps the subscription with probability
+/// 1/(1 + view size), otherwise forwards it to a random view member.
+/// The resulting partial views have mean size ~ (c+1) ln n, which is what
+/// makes gossip over SCAMP views approximate uniform target selection.
+///
+/// This is an offline constructor (no DES involvement): the paper treats
+/// membership as a pre-existing substrate, so we build the views first and
+/// gossip over them afterwards.
+
+#include "membership/view.hpp"
+
+namespace gossip::membership {
+
+struct ScampParams {
+  std::uint32_t num_nodes = 0;
+  /// Extra subscription copies per join (SCAMP's c); view sizes scale as
+  /// (c + 1) ln n.
+  std::uint32_t redundancy = 1;
+  /// Forwarding hop cap per subscription copy; prevents pathological walks.
+  std::uint32_t max_forward_hops = 256;
+};
+
+/// Runs the subscription process for all nodes joining in id order and
+/// returns each node's resulting view (out-neighbors).
+[[nodiscard]] std::vector<std::vector<NodeId>> build_scamp_views(
+    const ScampParams& params, rng::RngStream& rng);
+
+/// Convenience: build_scamp_views wrapped into a MembershipProvider.
+[[nodiscard]] MembershipProviderPtr scamp_membership(const ScampParams& params,
+                                                     rng::RngStream& rng);
+
+}  // namespace gossip::membership

@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file view.hpp
+/// Membership views. The paper assumes "a scalable membership protocol is
+/// available, such as [SCAMP]" and has each member pick gossip targets
+/// "uniformly at random from its membership view". This interface is that
+/// assumption made concrete; implementations range from the idealized full
+/// view (exactly the model's uniform-choice premise) to SCAMP-style partial
+/// views (what a deployed system would actually have).
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rng/rng_stream.hpp"
+
+namespace gossip::membership {
+
+using NodeId = std::uint32_t;
+
+class MembershipView {
+ public:
+  virtual ~MembershipView() = default;
+
+  /// Number of members visible to the owner (excluding the owner itself).
+  [[nodiscard]] virtual std::size_t size() const = 0;
+
+  /// Draws up to `k` distinct gossip targets uniformly from the view; never
+  /// returns the owner. If k exceeds the view size, the whole view is
+  /// returned (a member cannot address more peers than it knows).
+  [[nodiscard]] virtual std::vector<NodeId> select_targets(
+      std::size_t k, rng::RngStream& rng) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+using MembershipViewPtr = std::shared_ptr<const MembershipView>;
+
+/// Produces the view of each member; lets protocols stay agnostic about how
+/// membership is realized.
+class MembershipProvider {
+ public:
+  virtual ~MembershipProvider() = default;
+  [[nodiscard]] virtual MembershipViewPtr view_for(NodeId owner) const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+using MembershipProviderPtr = std::shared_ptr<const MembershipProvider>;
+
+}  // namespace gossip::membership

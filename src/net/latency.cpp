@@ -1,0 +1,111 @@
+#include "net/latency.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "rng/distributions.hpp"
+
+namespace gossip::net {
+
+namespace {
+
+std::string format_double(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+class ConstantLatency final : public LatencyModel {
+ public:
+  explicit ConstantLatency(double delay) : delay_(delay) {
+    if (!(delay >= 0.0)) {
+      throw std::invalid_argument("constant_latency requires delay >= 0");
+    }
+  }
+  [[nodiscard]] std::string name() const override {
+    return "Constant(" + format_double(delay_) + ")";
+  }
+  [[nodiscard]] double sample(rng::RngStream&) const override {
+    return delay_;
+  }
+
+ private:
+  double delay_;
+};
+
+class UniformLatency final : public LatencyModel {
+ public:
+  UniformLatency(double lo, double hi) : lo_(lo), hi_(hi) {
+    if (!(lo >= 0.0 && lo <= hi)) {
+      throw std::invalid_argument("uniform_latency requires 0 <= lo <= hi");
+    }
+  }
+  [[nodiscard]] std::string name() const override {
+    return "Uniform[" + format_double(lo_) + "," + format_double(hi_) + "]";
+  }
+  [[nodiscard]] double sample(rng::RngStream& rng) const override {
+    return lo_ + (hi_ - lo_) * rng.next_double();
+  }
+
+ private:
+  double lo_;
+  double hi_;
+};
+
+class ExponentialLatency final : public LatencyModel {
+ public:
+  explicit ExponentialLatency(double mean) : rate_(1.0 / mean) {
+    if (!(mean > 0.0)) {
+      throw std::invalid_argument("exponential_latency requires mean > 0");
+    }
+  }
+  [[nodiscard]] std::string name() const override {
+    return "Exponential(mean=" + format_double(1.0 / rate_) + ")";
+  }
+  [[nodiscard]] double sample(rng::RngStream& rng) const override {
+    return rng::sample_exponential(rng, rate_);
+  }
+
+ private:
+  double rate_;
+};
+
+class LognormalLatency final : public LatencyModel {
+ public:
+  LognormalLatency(double mu, double sigma) : mu_(mu), sigma_(sigma) {
+    if (!(sigma > 0.0)) {
+      throw std::invalid_argument("lognormal_latency requires sigma > 0");
+    }
+  }
+  [[nodiscard]] std::string name() const override {
+    return "Lognormal(mu=" + format_double(mu_) +
+           ",sigma=" + format_double(sigma_) + ")";
+  }
+  [[nodiscard]] double sample(rng::RngStream& rng) const override {
+    return rng::sample_lognormal(rng, mu_, sigma_);
+  }
+
+ private:
+  double mu_;
+  double sigma_;
+};
+
+}  // namespace
+
+LatencyModelPtr constant_latency(double delay) {
+  return std::make_shared<ConstantLatency>(delay);
+}
+
+LatencyModelPtr uniform_latency(double lo, double hi) {
+  return std::make_shared<UniformLatency>(lo, hi);
+}
+
+LatencyModelPtr exponential_latency(double mean) {
+  return std::make_shared<ExponentialLatency>(mean);
+}
+
+LatencyModelPtr lognormal_latency(double mu, double sigma) {
+  return std::make_shared<LognormalLatency>(mu, sigma);
+}
+
+}  // namespace gossip::net

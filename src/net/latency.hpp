@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file latency.hpp
+/// Message latency models for the simulated network. The paper's MATLAB
+/// simulation was effectively zero-latency/synchronous; these models let the
+/// DES reproduce that (Constant 0/1) and probe asynchrony beyond it.
+
+#include <memory>
+#include <string>
+
+#include "rng/rng_stream.hpp"
+
+namespace gossip::net {
+
+class LatencyModel {
+ public:
+  virtual ~LatencyModel() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  /// Draws one message delay (>= 0).
+  [[nodiscard]] virtual double sample(rng::RngStream& rng) const = 0;
+};
+
+using LatencyModelPtr = std::shared_ptr<const LatencyModel>;
+
+/// Every message takes exactly `delay` time units (>= 0).
+[[nodiscard]] LatencyModelPtr constant_latency(double delay);
+
+/// Uniform delay on [lo, hi], 0 <= lo <= hi.
+[[nodiscard]] LatencyModelPtr uniform_latency(double lo, double hi);
+
+/// Exponential delay with the given mean (> 0).
+[[nodiscard]] LatencyModelPtr exponential_latency(double mean);
+
+/// Lognormal delay with log-space parameters mu, sigma (> 0) — the classic
+/// heavy-tailed WAN latency shape.
+[[nodiscard]] LatencyModelPtr lognormal_latency(double mu, double sigma);
+
+}  // namespace gossip::net

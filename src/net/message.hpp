@@ -1,0 +1,23 @@
+#pragma once
+
+/// \file message.hpp
+/// The unit of communication. Gossip payloads in this system are opaque
+/// identifiers: the protocols only need to recognize "the same message m
+/// again" (paper Fig. 1 discards duplicates), so a 64-bit id plus the
+/// multicast origin suffices and keeps the hot path allocation-free.
+
+#include <cstdint>
+
+namespace gossip::net {
+
+using NodeId = std::uint32_t;
+
+struct Message {
+  std::uint64_t id = 0;    ///< Multicast message identity (dedup key).
+  NodeId origin = 0;       ///< The source member that initiated gossiping.
+  std::uint32_t hops = 0;  ///< Forwarding depth from the origin (0 at source).
+
+  [[nodiscard]] bool operator==(const Message&) const = default;
+};
+
+}  // namespace gossip::net

@@ -1,0 +1,56 @@
+#include "net/network.hpp"
+
+#include <stdexcept>
+
+namespace gossip::net {
+
+Network::Network(sim::Simulator& simulator, NetworkParams params,
+                 rng::RngStream rng)
+    : simulator_(simulator), params_(std::move(params)), rng_(rng) {
+  if (params_.latency == nullptr) {
+    params_.latency = constant_latency(1.0);
+  }
+  if (!(params_.loss_probability >= 0.0 && params_.loss_probability <= 1.0)) {
+    throw std::invalid_argument("Network loss_probability must be in [0, 1]");
+  }
+}
+
+NodeId Network::add_node(NodeHandler& handler) {
+  handlers_.push_back(&handler);
+  down_.push_back(0);
+  return static_cast<NodeId>(handlers_.size() - 1);
+}
+
+void Network::send(NodeId from, NodeId to, const Message& message) {
+  if (from >= handlers_.size() || to >= handlers_.size()) {
+    throw std::out_of_range("Network::send endpoint out of range");
+  }
+  if (down_[from]) {
+    ++counters_.from_down_node;
+    return;  // fail-stop: a crashed member performs no sends
+  }
+  ++counters_.sent;
+  if (params_.loss_probability > 0.0 &&
+      rng_.bernoulli(params_.loss_probability)) {
+    ++counters_.lost;
+    return;
+  }
+  const double delay = params_.latency->sample(rng_);
+  simulator_.schedule_after(delay, [this, from, to, message] {
+    if (down_[to]) {
+      ++counters_.to_down_node;
+      return;
+    }
+    ++counters_.delivered;
+    handlers_[to]->on_message(from, message);
+  });
+}
+
+void Network::set_down(NodeId node, bool down) {
+  if (node >= down_.size()) {
+    throw std::out_of_range("Network::set_down node out of range");
+  }
+  down_[node] = down ? 1 : 0;
+}
+
+}  // namespace gossip::net

@@ -1,0 +1,80 @@
+#pragma once
+
+/// \file network.hpp
+/// Simulated message-passing network over the DES kernel. Point-to-point
+/// sends acquire a sampled latency and an optional Bernoulli loss; delivery
+/// invokes the destination's handler unless the destination is down at
+/// delivery time (fail-stop semantics, Section 3 of the paper).
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "net/latency.hpp"
+#include "net/message.hpp"
+#include "rng/rng_stream.hpp"
+#include "sim/simulator.hpp"
+
+namespace gossip::net {
+
+/// Receives message deliveries. Implemented by protocol node logic.
+class NodeHandler {
+ public:
+  virtual ~NodeHandler() = default;
+  virtual void on_message(NodeId from, const Message& message) = 0;
+};
+
+struct NetworkParams {
+  LatencyModelPtr latency;          ///< Defaults to Constant(1).
+  double loss_probability = 0.0;    ///< Per-message drop probability.
+};
+
+struct NetworkCounters {
+  std::uint64_t sent = 0;        ///< send() calls accepted.
+  std::uint64_t delivered = 0;   ///< Handler invocations.
+  std::uint64_t lost = 0;        ///< Dropped by the loss model.
+  std::uint64_t to_down_node = 0;  ///< Arrived at a crashed destination.
+  std::uint64_t from_down_node = 0;  ///< Discarded: sender already crashed.
+};
+
+class Network {
+ public:
+  /// The network borrows the simulator and owns a dedicated RNG stream for
+  /// latency/loss draws so protocol-level randomness stays decoupled.
+  Network(sim::Simulator& simulator, NetworkParams params,
+          rng::RngStream rng);
+
+  /// Registers a handler; returns the node's id (dense, starting at 0).
+  NodeId add_node(NodeHandler& handler);
+
+  [[nodiscard]] std::uint32_t num_nodes() const noexcept {
+    return static_cast<std::uint32_t>(handlers_.size());
+  }
+
+  /// Sends `message` from -> to. If the sender is down the send is ignored
+  /// (a crashed member cannot gossip); loss and latency are then applied;
+  /// if the destination is down at delivery time the message is dropped.
+  void send(NodeId from, NodeId to, const Message& message);
+
+  /// Marks a node crashed (down = true) or recovered. Crashing does not
+  /// cancel in-flight messages to the node; they are dropped on delivery.
+  void set_down(NodeId node, bool down);
+
+  [[nodiscard]] bool is_down(NodeId node) const { return down_.at(node) != 0; }
+
+  [[nodiscard]] const NetworkCounters& counters() const noexcept {
+    return counters_;
+  }
+
+  [[nodiscard]] sim::Simulator& simulator() noexcept { return simulator_; }
+
+ private:
+  sim::Simulator& simulator_;
+  NetworkParams params_;
+  rng::RngStream rng_;
+  std::vector<NodeHandler*> handlers_;
+  std::vector<std::uint8_t> down_;
+  NetworkCounters counters_;
+};
+
+}  // namespace gossip::net

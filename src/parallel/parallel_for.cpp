@@ -1,0 +1,34 @@
+#include "parallel/parallel_for.hpp"
+
+#include <algorithm>
+#include <future>
+
+namespace gossip::parallel {
+
+void parallel_for(ThreadPool& pool, std::size_t count,
+                  const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  const std::size_t workers = pool.num_threads();
+  if (workers <= 1 || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+
+  // Static chunking: a few chunks per worker balances load without making
+  // task-queue overhead visible.
+  const std::size_t chunks = std::min(count, workers * 4);
+  const std::size_t chunk_size = (count + chunks - 1) / chunks;
+  std::vector<std::future<void>> futures;
+  futures.reserve(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t begin = c * chunk_size;
+    if (begin >= count) break;
+    const std::size_t end = std::min(count, begin + chunk_size);
+    futures.push_back(pool.submit([&body, begin, end] {
+      for (std::size_t i = begin; i < end; ++i) body(i);
+    }));
+  }
+  for (auto& f : futures) f.get();  // propagates the first exception
+}
+
+}  // namespace gossip::parallel

@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file parallel_for.hpp
+/// Deterministic data-parallel loops over an index range. Each index is a
+/// self-contained work item (one Monte Carlo replication); the scheduler
+/// never influences results because items write only to their own slot and
+/// randomness is derived per-index, not per-thread.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+
+namespace gossip::parallel {
+
+/// Runs body(i) for every i in [0, count), distributing contiguous chunks
+/// over the pool. Blocks until all iterations complete; rethrows the first
+/// exception encountered.
+void parallel_for(ThreadPool& pool, std::size_t count,
+                  const std::function<void(std::size_t)>& body);
+
+/// Maps indices to values: out[i] = body(i). Deterministic regardless of the
+/// number of workers.
+template <typename T>
+[[nodiscard]] std::vector<T> parallel_map(
+    ThreadPool& pool, std::size_t count,
+    const std::function<T(std::size_t)>& body) {
+  std::vector<T> out(count);
+  parallel_for(pool, count, [&](std::size_t i) { out[i] = body(i); });
+  return out;
+}
+
+}  // namespace gossip::parallel

@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file anti_entropy.hpp
+/// Anti-entropy gossip (Demers et al., the paper's reference [2]): round-
+/// synchronous PUSH, PULL, and PUSH-PULL exchange. Complements the Fig. 1
+/// one-shot protocol: anti-entropy trades extra rounds and messages for the
+/// certainty that every connected member eventually converges — the classic
+/// replicated-database setting the paper's introduction cites.
+///
+///   * push:      informed members send the update to f random peers;
+///   * pull:      uninformed members ask f random peers and copy the update
+///                if the peer has it;
+///   * push-pull: both in the same round.
+///
+/// Crash semantics match Section 4.1: crashed members neither push, pull,
+/// nor answer pulls.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/degree_distribution.hpp"
+#include "membership/view.hpp"
+#include "protocol/gossip_multicast.hpp"
+
+namespace gossip::protocol {
+
+enum class ExchangeMode {
+  kPush,
+  kPull,
+  kPushPull,
+};
+
+struct AntiEntropyParams {
+  std::uint32_t num_nodes = 0;
+  NodeId source = 0;
+  double nonfailed_ratio = 1.0;
+  /// Peers contacted per member per round.
+  core::DegreeDistributionPtr fanout;
+  std::int64_t rounds = 0;
+  ExchangeMode mode = ExchangeMode::kPushPull;
+  membership::MembershipProviderPtr membership;  ///< Defaults to full view.
+};
+
+struct AntiEntropyResult {
+  ExecutionResult execution;  ///< Same metrics as the other protocols.
+  std::int64_t rounds_executed = 0;
+  /// Fraction of non-failed members informed after each round (index 0 =
+  /// before any round).
+  std::vector<double> informed_per_round;
+  /// Rounds until every non-failed member was informed; -1 if the budget
+  /// ran out first.
+  std::int64_t rounds_to_full_coverage = -1;
+};
+
+/// Runs one anti-entropy dissemination, drawing the alive mask internally.
+[[nodiscard]] AntiEntropyResult run_anti_entropy(
+    const AntiEntropyParams& params, rng::RngStream& rng);
+
+/// Runs with a caller-fixed alive mask (source must be alive).
+[[nodiscard]] AntiEntropyResult run_anti_entropy(
+    const AntiEntropyParams& params, const std::vector<std::uint8_t>& alive,
+    rng::RngStream& rng);
+
+}  // namespace gossip::protocol

@@ -1,0 +1,198 @@
+#include "protocol/gossip_multicast.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "membership/full_view.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace gossip::protocol {
+
+namespace {
+
+void validate(const GossipParams& params) {
+  if (params.num_nodes < 2) {
+    throw std::invalid_argument("gossip requires >= 2 nodes");
+  }
+  if (params.source >= params.num_nodes) {
+    throw std::out_of_range("gossip source out of range");
+  }
+  if (!(params.nonfailed_ratio > 0.0 && params.nonfailed_ratio <= 1.0)) {
+    throw std::invalid_argument("gossip requires q in (0, 1]");
+  }
+  if (params.fanout == nullptr) {
+    throw std::invalid_argument("gossip requires a fanout distribution");
+  }
+  if (!(params.midrun_crash_fraction >= 0.0 &&
+        params.midrun_crash_fraction <= 1.0)) {
+    throw std::invalid_argument(
+        "gossip requires midrun_crash_fraction in [0, 1]");
+  }
+}
+
+/// One execution of Fig. 1 over the DES. Owns all per-run state.
+class Session {
+ public:
+  Session(const GossipParams& params, std::vector<std::uint8_t> alive,
+          rng::RngStream rng)
+      : params_(params),
+        alive_(std::move(alive)),
+        rng_(rng),
+        network_(simulator_,
+                 net::NetworkParams{params.latency, params.loss_probability},
+                 rng.substream(0x6e657477)) {
+    membership_ = params_.membership
+                      ? params_.membership
+                      : membership::full_membership(params_.num_nodes);
+    seen_.assign(params_.num_nodes, 0);
+    slots_.reserve(params_.num_nodes);
+    for (NodeId v = 0; v < params_.num_nodes; ++v) {
+      slots_.emplace_back(this, v);
+    }
+    for (auto& slot : slots_) {
+      const NodeId id = network_.add_node(slot);
+      (void)id;
+    }
+    if (params_.crash_case == CrashCase::kBeforeReceive) {
+      for (NodeId v = 0; v < params_.num_nodes; ++v) {
+        if (!alive_[v]) network_.set_down(v, true);
+      }
+    }
+  }
+
+  ExecutionResult run() {
+    // Schedule dynamic crashes before dissemination starts. A crashing
+    // member flips to failed: the network drops its in-flight deliveries
+    // and it never forwards afterwards; it leaves the non-failed population
+    // for metric purposes (it is, after all, a failed member).
+    if (params_.midrun_crash_fraction > 0.0) {
+      const auto crash_time = params_.midrun_crash_time
+                                  ? params_.midrun_crash_time
+                                  : net::uniform_latency(0.0, 10.0);
+      for (NodeId v = 0; v < params_.num_nodes; ++v) {
+        if (v == params_.source || !alive_[v]) continue;
+        if (!rng_.bernoulli(params_.midrun_crash_fraction)) continue;
+        const double when = crash_time->sample(rng_);
+        simulator_.schedule_at(when, [this, v] {
+          if (!alive_[v]) return;
+          alive_[v] = 0;
+          ++midrun_crashes_;
+          network_.set_down(v, true);
+        });
+      }
+    }
+
+    const net::Message m{/*id=*/1, /*origin=*/params_.source, /*hops=*/0};
+    simulator_.schedule_at(0.0, [this, m] {
+      handle(params_.source, params_.source, m);
+    });
+    simulator_.run();
+
+    ExecutionResult result;
+    result.num_nodes = params_.num_nodes;
+    result.alive = alive_;
+    result.received = seen_;
+    for (NodeId v = 0; v < params_.num_nodes; ++v) {
+      if (alive_[v]) {
+        ++result.nonfailed_count;
+        if (seen_[v]) ++result.nonfailed_received;
+      }
+    }
+    result.reliability = static_cast<double>(result.nonfailed_received) /
+                         static_cast<double>(result.nonfailed_count);
+    result.success = result.nonfailed_received == result.nonfailed_count;
+    result.messages_sent = network_.counters().sent;
+    result.duplicate_receipts = duplicates_;
+    result.completion_time = simulator_.now();
+    result.midrun_crashes = midrun_crashes_;
+    return result;
+  }
+
+ private:
+  struct NodeSlot final : net::NodeHandler {
+    NodeSlot(Session* owning_session, NodeId node_id)
+        : session(owning_session), self(node_id) {}
+    Session* session;
+    NodeId self;
+    void on_message(NodeId from, const net::Message& message) override {
+      session->handle(self, from, message);
+    }
+  };
+
+  void handle(NodeId self, NodeId /*from*/, const net::Message& message) {
+    if (seen_[self]) {
+      ++duplicates_;
+      return;  // Fig. 1: duplicates are discarded immediately
+    }
+    seen_[self] = 1;
+    // Crash case B: the member received m but crashed before forwarding.
+    // (Case A never reaches here for crashed members: the network dropped
+    // the delivery.) Either way a crashed member draws no fanout, so both
+    // cases consume identical randomness for alive members.
+    if (!alive_[self]) {
+      return;
+    }
+    const std::int64_t fanout = params_.fanout->sample(rng_);
+    if (fanout <= 0) return;
+    const auto view = membership_->view_for(self);
+    const auto targets =
+        view->select_targets(static_cast<std::size_t>(fanout), rng_);
+    net::Message forwarded = message;
+    forwarded.hops = message.hops + 1;
+    for (const NodeId t : targets) {
+      network_.send(self, t, forwarded);
+    }
+  }
+
+  GossipParams params_;
+  std::vector<std::uint8_t> alive_;
+  rng::RngStream rng_;
+  sim::Simulator simulator_;
+  net::Network network_;
+  membership::MembershipProviderPtr membership_;
+  std::vector<std::uint8_t> seen_;
+  std::vector<NodeSlot> slots_;
+  std::uint64_t duplicates_ = 0;
+  std::uint32_t midrun_crashes_ = 0;
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> draw_alive_mask(std::uint32_t num_nodes,
+                                          NodeId source,
+                                          double nonfailed_ratio,
+                                          rng::RngStream& rng) {
+  if (source >= num_nodes) {
+    throw std::out_of_range("draw_alive_mask source out of range");
+  }
+  std::vector<std::uint8_t> alive(num_nodes, 0);
+  for (NodeId v = 0; v < num_nodes; ++v) {
+    alive[v] = (v == source || rng.bernoulli(nonfailed_ratio)) ? 1 : 0;
+  }
+  return alive;
+}
+
+ExecutionResult run_gossip_once(const GossipParams& params,
+                                rng::RngStream& rng) {
+  validate(params);
+  auto alive = draw_alive_mask(params.num_nodes, params.source,
+                               params.nonfailed_ratio, rng);
+  return run_gossip_once(params, alive, rng);
+}
+
+ExecutionResult run_gossip_once(const GossipParams& params,
+                                const std::vector<std::uint8_t>& alive,
+                                rng::RngStream& rng) {
+  validate(params);
+  if (alive.size() != params.num_nodes) {
+    throw std::invalid_argument("alive mask size must equal num_nodes");
+  }
+  if (!alive[params.source]) {
+    throw std::invalid_argument("the source member must be alive");
+  }
+  Session session(params, alive, rng.substream(rng()));
+  return session.run();
+}
+
+}  // namespace gossip::protocol

@@ -1,0 +1,100 @@
+#pragma once
+
+/// \file gossip_multicast.hpp
+/// The paper's general gossiping algorithm (Fig. 1) as a message-level
+/// protocol on the simulated network:
+///
+///   Upon member i receiving message m for the FIRST time:
+///     draw f_i ~ P;
+///     select f_i members uniformly at random from i's membership view;
+///     send m to them.
+///   Duplicate receipts are discarded.
+///
+/// Crash failures follow Section 4.1: a member fails before receiving m, or
+/// after receiving m but before forwarding it — "treated the same" by the
+/// model because in both cases the member contributes no forwarding. Both
+/// variants are implemented so tests can confirm the equivalence.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/degree_distribution.hpp"
+#include "membership/view.hpp"
+#include "net/latency.hpp"
+#include "net/message.hpp"
+#include "rng/rng_stream.hpp"
+
+namespace gossip::protocol {
+
+using NodeId = net::NodeId;
+
+/// Which of the two Section 4.1 crash moments is simulated. The reliability
+/// metric is identical by construction; message accounting differs.
+enum class CrashCase {
+  kBeforeReceive,            ///< Crashed members never process deliveries.
+  kAfterReceiveBeforeForward ///< Crashed members record receipt, never forward.
+};
+
+struct GossipParams {
+  std::uint32_t num_nodes = 0;
+  NodeId source = 0;
+  /// Non-failed member ratio q; each non-source member is alive i.i.d. with
+  /// this probability. The source never fails (Section 3).
+  double nonfailed_ratio = 1.0;
+  /// Fanout distribution P (required).
+  core::DegreeDistributionPtr fanout;
+  /// Membership views; defaults to the idealized full view.
+  membership::MembershipProviderPtr membership;
+  /// Message latency; defaults to Constant(1).
+  net::LatencyModelPtr latency;
+  /// Per-message loss probability (0 in the paper's model).
+  double loss_probability = 0.0;
+  CrashCase crash_case = CrashCase::kBeforeReceive;
+
+  // ---- Dynamic failures (extension; the paper's crashes are static) ----
+  /// Fraction of initially-alive, non-source members that crash DURING the
+  /// dissemination, at a simulation time drawn from midrun_crash_time.
+  /// Early crash times degenerate to static failures; late ones are
+  /// harmless because the member has already forwarded.
+  double midrun_crash_fraction = 0.0;
+  /// Crash-time distribution (reuses the latency-model interface as a
+  /// non-negative time sampler); defaults to Uniform[0, 10] hops.
+  net::LatencyModelPtr midrun_crash_time;
+};
+
+struct ExecutionResult {
+  std::uint32_t num_nodes = 0;
+  std::uint32_t nonfailed_count = 0;     ///< Alive members (incl. source).
+  std::uint32_t nonfailed_received = 0;  ///< Alive members that got m.
+  /// R for this execution: nonfailed_received / nonfailed_count.
+  double reliability = 0.0;
+  /// Success of gossiping: every non-failed member received m.
+  bool success = false;
+  std::uint64_t messages_sent = 0;
+  std::uint64_t duplicate_receipts = 0;
+  double completion_time = 0.0;          ///< Sim time of the last event.
+  std::vector<std::uint8_t> received;    ///< Per-node receipt flag.
+  /// Per-node alive flag at the END of the execution (members that crashed
+  /// mid-run count as failed and are excluded from the reliability).
+  std::vector<std::uint8_t> alive;
+  /// Members that crashed during the run (0 unless midrun crashes enabled).
+  std::uint32_t midrun_crashes = 0;
+};
+
+/// Runs one execution, drawing the alive mask from params.nonfailed_ratio.
+[[nodiscard]] ExecutionResult run_gossip_once(const GossipParams& params,
+                                              rng::RngStream& rng);
+
+/// Runs one execution with a caller-fixed alive mask (source must be alive;
+/// mask size must equal num_nodes). Used by the repeated-execution
+/// experiments where crashes persist across executions.
+[[nodiscard]] ExecutionResult run_gossip_once(
+    const GossipParams& params, const std::vector<std::uint8_t>& alive,
+    rng::RngStream& rng);
+
+/// Draws an i.i.d. alive mask with the source forced alive.
+[[nodiscard]] std::vector<std::uint8_t> draw_alive_mask(
+    std::uint32_t num_nodes, NodeId source, double nonfailed_ratio,
+    rng::RngStream& rng);
+
+}  // namespace gossip::protocol

@@ -1,0 +1,46 @@
+#include "protocol/repeated_gossip.hpp"
+
+#include <stdexcept>
+
+namespace gossip::protocol {
+
+std::vector<std::uint32_t> RepeatedGossipResult::success_count_samples(
+    NodeId source) const {
+  std::vector<std::uint32_t> samples;
+  samples.reserve(alive_count > 0 ? alive_count - 1 : 0);
+  for (NodeId v = 0; v < alive.size(); ++v) {
+    if (v == source || !alive[v]) continue;
+    samples.push_back(receive_counts[v]);
+  }
+  return samples;
+}
+
+RepeatedGossipResult run_repeated_gossip(const RepeatedGossipParams& params,
+                                         rng::RngStream& rng) {
+  if (params.executions < 1) {
+    throw std::invalid_argument("run_repeated_gossip requires executions >= 1");
+  }
+  RepeatedGossipResult result;
+  result.executions = params.executions;
+  result.alive = draw_alive_mask(params.base.num_nodes, params.base.source,
+                                 params.base.nonfailed_ratio, rng);
+  for (const auto a : result.alive) {
+    if (a) ++result.alive_count;
+  }
+  result.receive_counts.assign(params.base.num_nodes, 0);
+  result.per_execution_reliability.reserve(
+      static_cast<std::size_t>(params.executions));
+
+  for (std::int64_t t = 0; t < params.executions; ++t) {
+    auto exec_rng = rng.substream(static_cast<std::uint64_t>(t) + 1);
+    const auto exec = run_gossip_once(params.base, result.alive, exec_rng);
+    result.per_execution_reliability.push_back(exec.reliability);
+    if (exec.success) ++result.successful_executions;
+    for (NodeId v = 0; v < params.base.num_nodes; ++v) {
+      if (exec.received[v]) ++result.receive_counts[v];
+    }
+  }
+  return result;
+}
+
+}  // namespace gossip::protocol

@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file repeated_gossip.hpp
+/// Repeated executions of the gossip algorithm — the success-of-gossiping
+/// experiment of Section 5.2 (Figs. 6-7). Crashes are persistent: one alive
+/// mask is drawn per experiment and shared by all t executions, while
+/// fanouts/targets re-randomize per execution, making the executions
+/// independent Bernoulli trials for every surviving member (the premise of
+/// the B(t, R) model, Eqs. (5)-(6)).
+
+#include <cstdint>
+#include <vector>
+
+#include "protocol/gossip_multicast.hpp"
+
+namespace gossip::protocol {
+
+struct RepeatedGossipParams {
+  GossipParams base;
+  std::int64_t executions = 20;  ///< t; the paper uses 20.
+};
+
+struct RepeatedGossipResult {
+  std::int64_t executions = 0;
+  std::uint32_t alive_count = 0;  ///< Non-failed members (incl. source).
+  std::vector<std::uint8_t> alive;
+  /// Per-node count of executions in which the node received m; crashed
+  /// nodes report 0 (kBeforeReceive) or incidental receipts
+  /// (kAfterReceiveBeforeForward) and are excluded from X statistics.
+  std::vector<std::uint32_t> receive_counts;
+  /// Reliability of each execution (giant-component realization).
+  std::vector<double> per_execution_reliability;
+  /// Number of executions that achieved success (all alive members reached).
+  std::int64_t successful_executions = 0;
+
+  /// Samples of X (receive count over t executions) for every non-failed
+  /// member except the source (which trivially receives every time).
+  [[nodiscard]] std::vector<std::uint32_t> success_count_samples(
+      NodeId source) const;
+};
+
+/// Runs t executions with a persistent alive mask drawn once.
+[[nodiscard]] RepeatedGossipResult run_repeated_gossip(
+    const RepeatedGossipParams& params, rng::RngStream& rng);
+
+}  // namespace gossip::protocol

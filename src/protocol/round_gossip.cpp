@@ -1,0 +1,133 @@
+#include "protocol/round_gossip.hpp"
+
+#include <stdexcept>
+
+#include "membership/full_view.hpp"
+
+namespace gossip::protocol {
+
+namespace {
+
+void validate(const RoundGossipProtocolParams& params) {
+  if (params.num_nodes < 2) {
+    throw std::invalid_argument("round gossip requires >= 2 nodes");
+  }
+  if (params.source >= params.num_nodes) {
+    throw std::out_of_range("round gossip source out of range");
+  }
+  if (!(params.nonfailed_ratio > 0.0 && params.nonfailed_ratio <= 1.0)) {
+    throw std::invalid_argument("round gossip requires q in (0, 1]");
+  }
+  if (params.fanout == nullptr) {
+    throw std::invalid_argument("round gossip requires a fanout distribution");
+  }
+  if (params.rounds < 0) {
+    throw std::invalid_argument("round gossip requires rounds >= 0");
+  }
+}
+
+}  // namespace
+
+RoundGossipResult run_round_gossip(const RoundGossipProtocolParams& params,
+                                   rng::RngStream& rng) {
+  validate(params);
+  const auto alive = draw_alive_mask(params.num_nodes, params.source,
+                                     params.nonfailed_ratio, rng);
+  return run_round_gossip(params, alive, rng);
+}
+
+RoundGossipResult run_round_gossip(const RoundGossipProtocolParams& params,
+                                   const std::vector<std::uint8_t>& alive,
+                                   rng::RngStream& rng) {
+  validate(params);
+  if (alive.size() != params.num_nodes) {
+    throw std::invalid_argument("alive mask size must equal num_nodes");
+  }
+  if (!alive[params.source]) {
+    throw std::invalid_argument("the source member must be alive");
+  }
+  const auto membership = params.membership
+                              ? params.membership
+                              : membership::full_membership(params.num_nodes);
+
+  // Round-synchronous execution: no per-message events are needed, so this
+  // baseline runs as a plain loop (the DES path is exercised by the Fig. 1
+  // protocol; both report the same ExecutionResult metrics).
+  std::vector<std::uint8_t> informed(params.num_nodes, 0);
+  informed[params.source] = 1;
+  std::vector<NodeId> fresh{params.source};  // informed in the last round
+  std::uint64_t messages_sent = 0;
+  std::uint64_t duplicates = 0;
+
+  std::uint32_t nonfailed_count = 0;
+  for (const auto a : alive) {
+    if (a) ++nonfailed_count;
+  }
+  std::uint32_t nonfailed_informed = 1;  // the source
+
+  RoundGossipResult result;
+  result.informed_per_round.push_back(
+      static_cast<double>(nonfailed_informed) /
+      static_cast<double>(nonfailed_count));
+
+  for (std::int64_t round = 0; round < params.rounds; ++round) {
+    // Snapshot of this round's senders.
+    std::vector<NodeId> senders;
+    if (params.mode == RoundGossipMode::kForwardOnce) {
+      senders = std::move(fresh);
+      fresh.clear();
+    } else {
+      for (NodeId v = 0; v < params.num_nodes; ++v) {
+        if (informed[v] && alive[v]) senders.push_back(v);
+      }
+    }
+    if (senders.empty()) break;
+
+    std::vector<NodeId> newly;
+    for (const NodeId s : senders) {
+      if (!alive[s]) continue;  // crashed members never push
+      const std::int64_t fanout = params.fanout->sample(rng);
+      if (fanout <= 0) continue;
+      const auto view = membership->view_for(s);
+      const auto targets =
+          view->select_targets(static_cast<std::size_t>(fanout), rng);
+      for (const NodeId t : targets) {
+        ++messages_sent;
+        if (informed[t]) {
+          ++duplicates;
+          continue;
+        }
+        informed[t] = 1;
+        newly.push_back(t);
+        if (alive[t]) ++nonfailed_informed;
+      }
+    }
+    result.rounds_executed = round + 1;
+    result.informed_per_round.push_back(
+        static_cast<double>(nonfailed_informed) /
+        static_cast<double>(nonfailed_count));
+    if (params.mode == RoundGossipMode::kForwardOnce) {
+      // Only alive fresh receivers forward next round.
+      for (const NodeId v : newly) {
+        if (alive[v]) fresh.push_back(v);
+      }
+      if (fresh.empty()) break;
+    }
+  }
+
+  ExecutionResult& exec = result.execution;
+  exec.num_nodes = params.num_nodes;
+  exec.alive = alive;
+  exec.received = informed;
+  exec.nonfailed_count = nonfailed_count;
+  exec.nonfailed_received = nonfailed_informed;
+  exec.reliability = static_cast<double>(nonfailed_informed) /
+                     static_cast<double>(nonfailed_count);
+  exec.success = nonfailed_informed == nonfailed_count;
+  exec.messages_sent = messages_sent;
+  exec.duplicate_receipts = duplicates;
+  exec.completion_time = static_cast<double>(result.rounds_executed);
+  return result;
+}
+
+}  // namespace gossip::protocol

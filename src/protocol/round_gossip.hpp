@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file round_gossip.hpp
+/// Round-based push gossip — the "traditional" protocol shape (pbcast-style)
+/// used as a baseline against the paper's forward-once algorithm. Time is
+/// divided into rounds; in each round, members that know m push it to
+/// `fanout` uniformly chosen targets. Two variants:
+///   * forward-once (infect-and-die): a member pushes only in the round
+///     after it first received m — the round-synchronized analog of Fig. 1;
+///   * forward-always (infect-forever): every informed member pushes every
+///     round until the round budget is exhausted.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/degree_distribution.hpp"
+#include "membership/view.hpp"
+#include "protocol/gossip_multicast.hpp"
+
+namespace gossip::protocol {
+
+enum class RoundGossipMode {
+  kForwardOnce,    ///< Push only in the round after first receipt.
+  kForwardAlways,  ///< Push every round while informed.
+};
+
+struct RoundGossipProtocolParams {
+  std::uint32_t num_nodes = 0;
+  NodeId source = 0;
+  double nonfailed_ratio = 1.0;
+  /// Per-round fanout distribution (fixed_fanout(k) recovers the classic
+  /// protocol).
+  core::DegreeDistributionPtr fanout;
+  std::int64_t rounds = 0;
+  RoundGossipMode mode = RoundGossipMode::kForwardOnce;
+  membership::MembershipProviderPtr membership;  ///< Defaults to full view.
+};
+
+struct RoundGossipResult {
+  ExecutionResult execution;       ///< Same metrics as the Fig. 1 protocol.
+  std::int64_t rounds_executed = 0;
+  /// Fraction of non-failed members informed after each round
+  /// (index 0 = before any round, i.e. just the source).
+  std::vector<double> informed_per_round;
+};
+
+/// Runs one round-based execution, drawing the alive mask internally.
+[[nodiscard]] RoundGossipResult run_round_gossip(
+    const RoundGossipProtocolParams& params, rng::RngStream& rng);
+
+/// Runs with a caller-fixed alive mask (source must be alive).
+[[nodiscard]] RoundGossipResult run_round_gossip(
+    const RoundGossipProtocolParams& params,
+    const std::vector<std::uint8_t>& alive, rng::RngStream& rng);
+
+}  // namespace gossip::protocol

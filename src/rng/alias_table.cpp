@@ -1,0 +1,68 @@
+#include "rng/alias_table.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gossip::rng {
+
+AliasTable::AliasTable(std::span<const double> weights) {
+  const std::size_t n = weights.size();
+  if (n == 0) {
+    throw std::invalid_argument("AliasTable requires at least one weight");
+  }
+  double total = 0.0;
+  for (const double w : weights) {
+    if (w < 0.0 || !std::isfinite(w)) {
+      throw std::invalid_argument("AliasTable weights must be finite and >= 0");
+    }
+    total += w;
+  }
+  if (!(total > 0.0)) {
+    throw std::invalid_argument("AliasTable requires positive total weight");
+  }
+
+  normalized_.resize(n);
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+
+  // Vose's stable two-worklist construction.
+  std::vector<double> scaled(n);
+  std::vector<std::uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    normalized_[i] = weights[i] / total;
+    scaled[i] = normalized_[i] * static_cast<double>(n);
+    if (scaled[i] < 1.0) {
+      small.push_back(static_cast<std::uint32_t>(i));
+    } else {
+      large.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    const std::uint32_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      small.push_back(l);
+    } else {
+      large.push_back(l);
+    }
+  }
+  // Remaining buckets are numerically 1.
+  for (const std::uint32_t i : large) prob_[i] = 1.0;
+  for (const std::uint32_t i : small) prob_[i] = 1.0;
+}
+
+std::size_t AliasTable::sample(RngStream& rng) const noexcept {
+  const std::size_t bucket =
+      static_cast<std::size_t>(rng.next_below(prob_.size()));
+  return rng.next_double() < prob_[bucket] ? bucket : alias_[bucket];
+}
+
+}  // namespace gossip::rng

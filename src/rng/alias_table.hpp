@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file alias_table.hpp
+/// Walker/Vose alias method: O(n) construction, O(1) sampling from an
+/// arbitrary discrete distribution. This is how EmpiricalDistribution
+/// fanouts (core/degree_distribution.hpp) are drawn in the simulator.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rng/rng_stream.hpp"
+
+namespace gossip::rng {
+
+class AliasTable {
+ public:
+  /// Builds the table from unnormalized non-negative weights. At least one
+  /// weight must be positive. Weight i is the relative probability of
+  /// drawing index i.
+  explicit AliasTable(std::span<const double> weights);
+
+  /// Draws an index distributed according to the construction weights.
+  [[nodiscard]] std::size_t sample(RngStream& rng) const noexcept;
+
+  /// Number of categories.
+  [[nodiscard]] std::size_t size() const noexcept { return prob_.size(); }
+
+  /// Normalized probability of category i (for inspection/testing).
+  [[nodiscard]] double probability(std::size_t i) const noexcept {
+    return normalized_[i];
+  }
+
+ private:
+  std::vector<double> prob_;          // acceptance probability per bucket
+  std::vector<std::uint32_t> alias_;  // fallback category per bucket
+  std::vector<double> normalized_;    // original weights, normalized
+};
+
+}  // namespace gossip::rng

@@ -1,0 +1,221 @@
+#include "rng/distributions.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "math/special.hpp"
+
+namespace gossip::rng {
+
+namespace {
+
+/// Knuth's product method: exact, O(mean) per draw.
+[[nodiscard]] std::int64_t poisson_knuth(RngStream& rng, double mean) {
+  const double limit = std::exp(-mean);
+  std::int64_t k = 0;
+  double product = rng.next_double_open();
+  while (product > limit) {
+    ++k;
+    product *= rng.next_double_open();
+  }
+  return k;
+}
+
+/// Hörmann (1993) PTRS: transformed rejection with squeeze, O(1) per draw.
+/// Valid for mean >= 10.
+[[nodiscard]] std::int64_t poisson_ptrs(RngStream& rng, double mean) {
+  const double log_mean = std::log(mean);
+  const double b = 0.931 + 2.53 * std::sqrt(mean);
+  const double a = -0.059 + 0.02483 * b;
+  const double inv_alpha = 1.1239 + 1.1328 / (b - 3.4);
+  const double v_r = 0.9277 - 3.6224 / (b - 2.0);
+
+  while (true) {
+    const double u = rng.next_double() - 0.5;
+    const double v = rng.next_double_open();
+    const double us = 0.5 - std::abs(u);
+    const auto k = static_cast<std::int64_t>(
+        std::floor((2.0 * a / us + b) * u + mean + 0.43));
+    if (us >= 0.07 && v <= v_r) {
+      return k;
+    }
+    if (k < 0 || (us < 0.013 && v > us)) {
+      continue;
+    }
+    const double lhs = std::log(v * inv_alpha / (a / (us * us) + b));
+    const double rhs = -mean + static_cast<double>(k) * log_mean -
+                       math::log_factorial(k);
+    if (lhs <= rhs) {
+      return k;
+    }
+  }
+}
+
+}  // namespace
+
+std::int64_t sample_poisson(RngStream& rng, double mean) {
+  if (!(mean >= 0.0)) {
+    throw std::invalid_argument("sample_poisson requires mean >= 0");
+  }
+  if (mean == 0.0) return 0;
+  if (mean < 10.0) return poisson_knuth(rng, mean);
+  return poisson_ptrs(rng, mean);
+}
+
+std::int64_t sample_binomial(RngStream& rng, std::int64_t n, double p) {
+  if (n < 0) {
+    throw std::invalid_argument("sample_binomial requires n >= 0");
+  }
+  if (!(p >= 0.0 && p <= 1.0)) {
+    throw std::invalid_argument("sample_binomial requires p in [0, 1]");
+  }
+  if (n == 0 || p == 0.0) return 0;
+  if (p == 1.0) return n;
+  // Exploit symmetry so the geometric-skip loop runs over min(p, 1-p).
+  if (p > 0.5) {
+    return n - sample_binomial(rng, n, 1.0 - p);
+  }
+  // Waiting-time method: skip lengths between successes are geometric.
+  const double log_q = std::log1p(-p);
+  std::int64_t successes = 0;
+  std::int64_t position = 0;
+  while (true) {
+    const double u = rng.next_double_open();
+    position += static_cast<std::int64_t>(std::floor(std::log(u) / log_q)) + 1;
+    if (position > n) break;
+    ++successes;
+  }
+  return successes;
+}
+
+std::int64_t sample_geometric(RngStream& rng, double p) {
+  if (!(p > 0.0 && p <= 1.0)) {
+    throw std::invalid_argument("sample_geometric requires p in (0, 1]");
+  }
+  if (p == 1.0) return 0;
+  const double u = rng.next_double_open();
+  return static_cast<std::int64_t>(std::floor(std::log(u) / std::log1p(-p)));
+}
+
+std::int64_t sample_zipf(RngStream& rng, std::int64_t n, double s) {
+  if (n < 1) {
+    throw std::invalid_argument("sample_zipf requires n >= 1");
+  }
+  if (!(s > 0.0)) {
+    throw std::invalid_argument("sample_zipf requires s > 0");
+  }
+  if (n == 1) return 1;
+  // Rejection-inversion (Hörmann & Derflinger 1996): invert the integral of
+  // the continuous envelope h(x) = x^{-s}, then accept/reject against the
+  // discrete pmf. O(1) expected draws for any n and s.
+  const auto h = [s](double x) { return std::pow(x, -s); };
+  const auto h_integral = [s](double x) {
+    const double log_x = std::log(x);
+    if (s == 1.0) return log_x;
+    return std::expm1((1.0 - s) * log_x) / (1.0 - s);
+  };
+  const auto h_integral_inverse = [s](double y) {
+    if (s == 1.0) return std::exp(y);
+    double t = y * (1.0 - s);
+    if (t < -1.0) t = -1.0;  // guard rounding below the pole
+    return std::exp(std::log1p(t) / (1.0 - s));
+  };
+
+  const double h_x1 = h_integral(1.5) - 1.0;
+  const double h_n = h_integral(static_cast<double>(n) + 0.5);
+  const double threshold_guard =
+      2.0 - h_integral_inverse(h_integral(2.5) - h(2.0));
+
+  while (true) {
+    const double u = h_n + rng.next_double() * (h_x1 - h_n);
+    const double x = h_integral_inverse(u);
+    auto k = static_cast<std::int64_t>(std::llround(x));
+    k = std::clamp<std::int64_t>(k, 1, n);
+    const double kd = static_cast<double>(k);
+    // Squeeze: points close enough to k are always accepted.
+    if (kd - x <= threshold_guard) {
+      return k;
+    }
+    if (u >= h_integral(kd + 0.5) - h(kd)) {
+      return k;
+    }
+  }
+}
+
+std::int64_t sample_uniform_int(RngStream& rng, std::int64_t lo,
+                                std::int64_t hi) {
+  if (lo > hi) {
+    throw std::invalid_argument("sample_uniform_int requires lo <= hi");
+  }
+  return rng.uniform_int(lo, hi);
+}
+
+double sample_exponential(RngStream& rng, double rate) {
+  if (!(rate > 0.0)) {
+    throw std::invalid_argument("sample_exponential requires rate > 0");
+  }
+  return -std::log(rng.next_double_open()) / rate;
+}
+
+double sample_standard_normal(RngStream& rng) {
+  const double u1 = rng.next_double_open();
+  const double u2 = rng.next_double();
+  constexpr double kTwoPi = 6.283185307179586;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(kTwoPi * u2);
+}
+
+double sample_lognormal(RngStream& rng, double mu, double sigma) {
+  if (!(sigma > 0.0)) {
+    throw std::invalid_argument("sample_lognormal requires sigma > 0");
+  }
+  return std::exp(mu + sigma * sample_standard_normal(rng));
+}
+
+std::vector<std::uint32_t> sample_distinct(RngStream& rng, std::size_t k,
+                                           std::size_t n) {
+  if (k > n) {
+    throw std::invalid_argument("sample_distinct requires k <= n");
+  }
+  // Floyd's algorithm: k iterations, each drawing one uniform integer.
+  std::vector<std::uint32_t> out;
+  out.reserve(k);
+  std::unordered_set<std::uint32_t> chosen;
+  chosen.reserve(k * 2);
+  for (std::size_t j = n - k; j < n; ++j) {
+    const auto t =
+        static_cast<std::uint32_t>(rng.next_below(static_cast<std::uint64_t>(j) + 1));
+    if (chosen.insert(t).second) {
+      out.push_back(t);
+    } else {
+      const auto jj = static_cast<std::uint32_t>(j);
+      chosen.insert(jj);
+      out.push_back(jj);
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> sample_distinct_excluding(RngStream& rng,
+                                                     std::size_t k,
+                                                     std::size_t n,
+                                                     std::uint32_t excluded) {
+  if (n == 0 || excluded >= n) {
+    throw std::invalid_argument(
+        "sample_distinct_excluding requires excluded < n");
+  }
+  if (k > n - 1) {
+    throw std::invalid_argument(
+        "sample_distinct_excluding requires k <= n - 1");
+  }
+  // Sample from a virtual array of size n-1 that omits `excluded` by
+  // remapping indices >= excluded up by one.
+  std::vector<std::uint32_t> picks = sample_distinct(rng, k, n - 1);
+  for (auto& v : picks) {
+    if (v >= excluded) ++v;
+  }
+  return picks;
+}
+
+}  // namespace gossip::rng

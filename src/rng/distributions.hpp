@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file distributions.hpp
+/// Non-uniform samplers over RngStream. These back the fanout distributions
+/// of the gossip algorithm (paper Fig. 1 draws f_i ~ P on first receipt) and
+/// the statistical machinery of the experiment harness.
+
+#include <cstdint>
+#include <vector>
+
+#include "rng/rng_stream.hpp"
+
+namespace gossip::rng {
+
+/// Poisson(mean) variate. Knuth's product method below mean 10, Hörmann's
+/// PTRS transformed rejection above (O(1) per draw at any mean). mean >= 0.
+[[nodiscard]] std::int64_t sample_poisson(RngStream& rng, double mean);
+
+/// Binomial(n, p) variate by the waiting-time (geometric skip) method,
+/// O(n·p) expected time — exact, suitable for the moderate n·p used here.
+[[nodiscard]] std::int64_t sample_binomial(RngStream& rng, std::int64_t n,
+                                           double p);
+
+/// Geometric variate counting failures before the first success,
+/// support {0, 1, 2, ...}, success probability p in (0, 1].
+[[nodiscard]] std::int64_t sample_geometric(RngStream& rng, double p);
+
+/// Zipf variate on {1, ..., n} with exponent s > 0, i.e.
+/// P(K = k) ∝ k^{-s}, by Devroye's rejection method (O(1) expected).
+[[nodiscard]] std::int64_t sample_zipf(RngStream& rng, std::int64_t n,
+                                       double s);
+
+/// Uniform variate on the inclusive integer range [lo, hi].
+[[nodiscard]] std::int64_t sample_uniform_int(RngStream& rng, std::int64_t lo,
+                                              std::int64_t hi);
+
+/// Exponential variate with the given rate (> 0).
+[[nodiscard]] double sample_exponential(RngStream& rng, double rate);
+
+/// Standard normal variate (Box-Muller; one value per call, no caching so
+/// streams stay stateless beyond the engine).
+[[nodiscard]] double sample_standard_normal(RngStream& rng);
+
+/// Lognormal variate with the given log-space mu and sigma (> 0).
+[[nodiscard]] double sample_lognormal(RngStream& rng, double mu, double sigma);
+
+/// Draws k distinct indices uniformly at random from {0, ..., n-1} by
+/// Floyd's algorithm (O(k) expected). Requires 0 <= k <= n. Order of the
+/// returned indices is unspecified.
+[[nodiscard]] std::vector<std::uint32_t> sample_distinct(RngStream& rng,
+                                                         std::size_t k,
+                                                         std::size_t n);
+
+/// As sample_distinct, but never returns `excluded` (a node does not gossip
+/// to itself). Requires 0 <= k <= n - 1 and excluded < n.
+[[nodiscard]] std::vector<std::uint32_t> sample_distinct_excluding(
+    RngStream& rng, std::size_t k, std::size_t n, std::uint32_t excluded);
+
+}  // namespace gossip::rng

@@ -1,0 +1,54 @@
+#include "rng/rng_stream.hpp"
+
+#include "rng/splitmix64.hpp"
+
+namespace gossip::rng {
+
+RngStream::RngStream(std::uint64_t seed) noexcept
+    : seed_(seed), engine_(seed) {}
+
+RngStream RngStream::substream(std::uint64_t index) const noexcept {
+  const std::uint64_t child_seed = mix_seed(seed_, index);
+  return RngStream(child_seed, Xoshiro256StarStar(child_seed));
+}
+
+double RngStream::next_double() noexcept {
+  // Top 53 bits scaled by 2^-53: uniform on [0, 1).
+  return static_cast<double>(engine_() >> 11) * 0x1.0p-53;
+}
+
+double RngStream::next_double_open() noexcept {
+  // (u + 1) * 2^-53 lies in (0, 1]; log() of the result is always finite.
+  return (static_cast<double>(engine_() >> 11) + 1.0) * 0x1.0p-53;
+}
+
+std::uint64_t RngStream::next_below(std::uint64_t bound) noexcept {
+  // Lemire (2019), "Fast Random Integer Generation in an Interval".
+  __extension__ using u128 = unsigned __int128;
+  const std::uint64_t x = engine_();
+  u128 m = static_cast<u128>(x) * static_cast<u128>(bound);
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (low < threshold) {
+      const std::uint64_t retry = engine_();
+      m = static_cast<u128>(retry) * static_cast<u128>(bound);
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t RngStream::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+  const auto span =
+      static_cast<std::uint64_t>(hi - lo) + 1;  // hi >= lo expected
+  return lo + static_cast<std::int64_t>(next_below(span));
+}
+
+bool RngStream::bernoulli(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return next_double() < p;
+}
+
+}  // namespace gossip::rng

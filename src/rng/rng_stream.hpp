@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file rng_stream.hpp
+/// RngStream: the uniform-random interface the rest of the project consumes.
+/// Wraps xoshiro256** with convenience draws (doubles, bounded integers,
+/// Bernoulli) and substream derivation so that a single experiment seed
+/// deterministically fans out into per-replication, per-node streams.
+
+#include <cstdint>
+
+#include "rng/xoshiro256.hpp"
+
+namespace gossip::rng {
+
+class RngStream {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Root stream for a master seed.
+  explicit RngStream(std::uint64_t seed = 0) noexcept;
+
+  /// Derives an independent child stream identified by `index`. Children of
+  /// the same (seed, index) pair are identical; different indices are
+  /// decorrelated by SplitMix64 hashing. Derivation does not advance this
+  /// stream, so substream layout is independent of draw order.
+  [[nodiscard]] RngStream substream(std::uint64_t index) const noexcept;
+
+  /// Raw 64 random bits (UniformRandomBitGenerator interface).
+  result_type operator()() noexcept { return engine_(); }
+  [[nodiscard]] static constexpr result_type min() noexcept {
+    return Xoshiro256StarStar::min();
+  }
+  [[nodiscard]] static constexpr result_type max() noexcept {
+    return Xoshiro256StarStar::max();
+  }
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  [[nodiscard]] double next_double() noexcept;
+
+  /// Uniform double in (0, 1]; never returns zero (safe under log()).
+  [[nodiscard]] double next_double_open() noexcept;
+
+  /// Uniform integer in [0, bound) via Lemire's nearly-divisionless method.
+  /// bound must be > 0.
+  [[nodiscard]] std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in the inclusive range [lo, hi].
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo,
+                                         std::int64_t hi) noexcept;
+
+  /// True with probability p (clamped to [0, 1]).
+  [[nodiscard]] bool bernoulli(double p) noexcept;
+
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+ private:
+  RngStream(std::uint64_t seed, Xoshiro256StarStar engine) noexcept
+      : seed_(seed), engine_(engine) {}
+
+  std::uint64_t seed_;
+  Xoshiro256StarStar engine_;
+};
+
+}  // namespace gossip::rng

@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file splitmix64.hpp
+/// SplitMix64 (Steele, Lea, Flood 2014): a tiny 64-bit mixing generator used
+/// solely to expand user seeds into full xoshiro256** state and to derive
+/// independent substream seeds. Not used as a simulation RNG itself.
+
+#include <cstdint>
+
+namespace gossip::rng {
+
+/// Advances `state` and returns the next SplitMix64 output.
+[[nodiscard]] constexpr std::uint64_t splitmix64_next(
+    std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Stateless mix of two words; used to hash (seed, stream index) pairs into
+/// substream seeds that are decorrelated from the parent stream.
+[[nodiscard]] constexpr std::uint64_t mix_seed(std::uint64_t a,
+                                               std::uint64_t b) noexcept {
+  std::uint64_t s = a ^ (0x9e3779b97f4a7c15ULL + (b << 6) + (b >> 2));
+  std::uint64_t first = splitmix64_next(s);
+  return first ^ splitmix64_next(s);
+}
+
+}  // namespace gossip::rng

@@ -1,0 +1,58 @@
+#include "sim/event_queue.hpp"
+
+#include <stdexcept>
+
+namespace gossip::sim {
+
+EventId EventQueue::push(SimTime time, EventCallback callback) {
+  const EventId id = next_id_++;
+  heap_.push({time, id});
+  callbacks_.emplace(id, std::move(callback));
+  ++live_;
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  const auto it = callbacks_.find(id);
+  if (it == callbacks_.end()) return false;
+  callbacks_.erase(it);
+  --live_;
+  return true;
+}
+
+void EventQueue::drop_cancelled() {
+  while (!heap_.empty() &&
+         callbacks_.find(heap_.top().id) == callbacks_.end()) {
+    heap_.pop();
+  }
+}
+
+SimTime EventQueue::next_time() {
+  drop_cancelled();
+  if (heap_.empty()) {
+    throw std::logic_error("EventQueue::next_time on empty queue");
+  }
+  return heap_.top().time;
+}
+
+std::pair<SimTime, EventCallback> EventQueue::pop() {
+  drop_cancelled();
+  if (heap_.empty()) {
+    throw std::logic_error("EventQueue::pop on empty queue");
+  }
+  const HeapEntry entry = heap_.top();
+  heap_.pop();
+  auto it = callbacks_.find(entry.id);
+  EventCallback cb = std::move(it->second);
+  callbacks_.erase(it);
+  --live_;
+  return {entry.time, std::move(cb)};
+}
+
+void EventQueue::clear() {
+  heap_ = {};
+  callbacks_.clear();
+  live_ = 0;
+}
+
+}  // namespace gossip::sim

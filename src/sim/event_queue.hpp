@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file event_queue.hpp
+/// Pending-event set for the discrete-event simulator: a binary min-heap
+/// keyed by (time, sequence). The sequence number makes ordering of
+/// simultaneous events deterministic (FIFO in scheduling order), which is
+/// what guarantees replay-identical runs for a fixed seed.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+namespace gossip::sim {
+
+using SimTime = double;
+using EventId = std::uint64_t;
+using EventCallback = std::function<void()>;
+
+class EventQueue {
+ public:
+  /// Inserts an event; returns its id (monotonically increasing, which
+  /// doubles as the tie-break sequence).
+  EventId push(SimTime time, EventCallback callback);
+
+  /// Removes a pending event; returns false if it already ran or was
+  /// cancelled. O(1) amortized (lazy deletion).
+  bool cancel(EventId id);
+
+  /// True if no live events remain.
+  [[nodiscard]] bool empty() const noexcept { return live_ == 0; }
+
+  /// Number of live (non-cancelled) events.
+  [[nodiscard]] std::size_t size() const noexcept { return live_; }
+
+  /// Time of the earliest live event. Queue must be non-empty.
+  [[nodiscard]] SimTime next_time();
+
+  /// Pops and returns the earliest live event's (time, callback).
+  /// Queue must be non-empty.
+  std::pair<SimTime, EventCallback> pop();
+
+  void clear();
+
+ private:
+  struct HeapEntry {
+    SimTime time;
+    EventId id;
+    bool operator>(const HeapEntry& other) const noexcept {
+      if (time != other.time) return time > other.time;
+      return id > other.id;
+    }
+  };
+
+  void drop_cancelled();
+
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap_;
+  std::unordered_map<EventId, EventCallback> callbacks_;
+  EventId next_id_ = 0;
+  std::size_t live_ = 0;
+};
+
+}  // namespace gossip::sim

@@ -1,0 +1,52 @@
+#include "sim/simulator.hpp"
+
+#include <stdexcept>
+
+namespace gossip::sim {
+
+EventId Simulator::schedule_at(SimTime t, EventCallback callback) {
+  if (t < now_) {
+    throw std::invalid_argument("Simulator::schedule_at in the past");
+  }
+  return queue_.push(t, std::move(callback));
+}
+
+EventId Simulator::schedule_after(SimTime delay, EventCallback callback) {
+  if (!(delay >= 0.0)) {
+    throw std::invalid_argument("Simulator::schedule_after negative delay");
+  }
+  return queue_.push(now_ + delay, std::move(callback));
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  auto [time, callback] = queue_.pop();
+  now_ = time;
+  ++executed_;
+  callback();
+  return true;
+}
+
+std::size_t Simulator::run() {
+  std::size_t count = 0;
+  while (step()) ++count;
+  return count;
+}
+
+std::size_t Simulator::run_until(SimTime t_end) {
+  std::size_t count = 0;
+  while (!queue_.empty() && queue_.next_time() <= t_end) {
+    step();
+    ++count;
+  }
+  if (now_ < t_end) now_ = t_end;
+  return count;
+}
+
+void Simulator::reset() {
+  queue_.clear();
+  now_ = 0.0;
+  executed_ = 0;
+}
+
+}  // namespace gossip::sim

@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file ci.hpp
+/// Confidence intervals: normal-approximation CI for sample means (reported
+/// next to every simulated series so reproduction deltas can be judged) and
+/// the Wilson score interval for proportions such as delivery ratios.
+
+#include <cstdint>
+
+#include "stats/summary.hpp"
+
+namespace gossip::stats {
+
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+  [[nodiscard]] double width() const noexcept { return hi - lo; }
+  [[nodiscard]] bool contains(double x) const noexcept {
+    return x >= lo && x <= hi;
+  }
+};
+
+/// Two-sided standard-normal quantile for the given confidence level in
+/// (0, 1), e.g. 0.95 -> 1.959964. Acklam's rational approximation,
+/// |relative error| < 1.2e-9.
+[[nodiscard]] double normal_quantile_two_sided(double confidence);
+
+/// Normal-approximation CI for the mean of the summarized sample.
+[[nodiscard]] Interval mean_confidence_interval(const OnlineSummary& summary,
+                                                double confidence = 0.95);
+
+/// Wilson score interval for a binomial proportion with `successes` out of
+/// `trials`.
+[[nodiscard]] Interval wilson_interval(std::uint64_t successes,
+                                       std::uint64_t trials,
+                                       double confidence = 0.95);
+
+}  // namespace gossip::stats

@@ -1,0 +1,89 @@
+#include "stats/fit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "math/special.hpp"
+
+namespace gossip::stats {
+
+namespace {
+
+double validated_sample_mean(std::span<const std::int64_t> samples) {
+  if (samples.empty()) {
+    throw std::invalid_argument("fit requires at least one sample");
+  }
+  double sum = 0.0;
+  for (const auto s : samples) {
+    if (s < 0) {
+      throw std::invalid_argument("fanout samples must be non-negative");
+    }
+    sum += static_cast<double>(s);
+  }
+  return sum / static_cast<double>(samples.size());
+}
+
+}  // namespace
+
+PoissonFit fit_poisson(std::span<const std::int64_t> samples) {
+  PoissonFit fit;
+  fit.mean = validated_sample_mean(samples);
+  fit.samples = samples.size();
+  for (const auto s : samples) {
+    fit.log_likelihood += std::log(std::max(
+        math::poisson_pmf(s, std::max(fit.mean, 1e-300)), 1e-300));
+  }
+  return fit;
+}
+
+GeometricFit fit_geometric(std::span<const std::int64_t> samples) {
+  GeometricFit fit;
+  fit.mean = validated_sample_mean(samples);
+  fit.success_probability = 1.0 / (1.0 + fit.mean);
+  fit.samples = samples.size();
+  const double p = fit.success_probability;
+  for (const auto s : samples) {
+    fit.log_likelihood +=
+        std::log(p) + static_cast<double>(s) * std::log1p(-p);
+  }
+  return fit;
+}
+
+ChiSquareResult poisson_adequacy_test(std::span<const std::int64_t> samples,
+                                      double mean, bool estimated) {
+  if (samples.empty()) {
+    throw std::invalid_argument("adequacy test requires samples");
+  }
+  if (!(mean >= 0.0)) {
+    throw std::invalid_argument("adequacy test requires mean >= 0");
+  }
+  std::int64_t max_k = 0;
+  for (const auto s : samples) {
+    max_k = std::max(max_k, s);
+  }
+  // One extra bin absorbs the upper tail beyond the observed maximum.
+  const auto bins = static_cast<std::size_t>(max_k) + 2;
+  std::vector<std::uint64_t> observed(bins, 0);
+  for (const auto s : samples) {
+    ++observed[static_cast<std::size_t>(s)];
+  }
+  std::vector<double> expected(bins, 0.0);
+  double cumulative = 0.0;
+  for (std::size_t k = 0; k + 1 < bins; ++k) {
+    expected[k] = math::poisson_pmf(static_cast<std::int64_t>(k), mean);
+    cumulative += expected[k];
+  }
+  expected[bins - 1] = std::max(0.0, 1.0 - cumulative);
+
+  ChiSquareResult result = chi_square_test(observed, expected);
+  if (estimated && result.dof > 1.0) {
+    // Charge the estimated parameter: dof falls by one.
+    result.dof -= 1.0;
+    result.p_value = math::chi_square_sf(result.statistic, result.dof);
+  }
+  return result;
+}
+
+}  // namespace gossip::stats

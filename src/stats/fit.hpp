@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file fit.hpp
+/// Fitting fanout distributions to observed samples — the bridge from a
+/// deployed system's measured gossip behaviour to the paper's model. An
+/// operator logs the per-member fanouts actually used, fits a family here,
+/// checks adequacy, and feeds the fitted distribution to core::GossipModel
+/// (see examples/trace_calibration.cpp).
+
+#include <cstdint>
+#include <span>
+
+#include "stats/gof.hpp"
+
+namespace gossip::stats {
+
+struct PoissonFit {
+  double mean = 0.0;            ///< MLE: the sample mean.
+  double log_likelihood = 0.0;  ///< At the MLE.
+  std::size_t samples = 0;
+};
+
+/// Maximum-likelihood Poisson fit; samples must be non-negative.
+[[nodiscard]] PoissonFit fit_poisson(std::span<const std::int64_t> samples);
+
+struct GeometricFit {
+  double mean = 0.0;               ///< MLE of the mean (sample mean).
+  double success_probability = 0.0;  ///< p = 1 / (1 + mean).
+  double log_likelihood = 0.0;
+  std::size_t samples = 0;
+};
+
+/// Maximum-likelihood geometric (failures-before-success) fit.
+[[nodiscard]] GeometricFit fit_geometric(
+    std::span<const std::int64_t> samples);
+
+/// Chi-square adequacy test of samples against Poisson(mean). One degree of
+/// freedom is charged for the estimated parameter when `estimated` is true.
+[[nodiscard]] ChiSquareResult poisson_adequacy_test(
+    std::span<const std::int64_t> samples, double mean, bool estimated = true);
+
+}  // namespace gossip::stats

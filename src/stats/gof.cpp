@@ -1,0 +1,120 @@
+#include "stats/gof.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <stdexcept>
+
+#include "math/special.hpp"
+
+namespace gossip::stats {
+
+ChiSquareResult chi_square_test(std::span<const std::uint64_t> observed,
+                                std::span<const double> expected_pmf,
+                                double min_expected) {
+  if (observed.size() != expected_pmf.size()) {
+    throw std::invalid_argument("chi_square_test size mismatch");
+  }
+  if (observed.empty()) {
+    throw std::invalid_argument("chi_square_test requires at least one bin");
+  }
+  std::uint64_t total = 0;
+  for (const auto o : observed) total += o;
+  if (total == 0) {
+    throw std::invalid_argument("chi_square_test requires observations");
+  }
+  const double n = static_cast<double>(total);
+
+  // Pool sparse bins from both tails inward until every remaining bin has an
+  // expected count of at least `min_expected`.
+  struct Bin {
+    double observed;
+    double expected;
+  };
+  std::vector<Bin> bins;
+  bins.reserve(observed.size());
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    bins.push_back({static_cast<double>(observed[i]), expected_pmf[i] * n});
+  }
+
+  int pooled = 0;
+  const auto pool_pass = [&]() {
+    // Left tail.
+    while (bins.size() > 1 && bins.front().expected < min_expected) {
+      bins[1].observed += bins[0].observed;
+      bins[1].expected += bins[0].expected;
+      bins.erase(bins.begin());
+      ++pooled;
+    }
+    // Right tail.
+    while (bins.size() > 1 && bins.back().expected < min_expected) {
+      bins[bins.size() - 2].observed += bins.back().observed;
+      bins[bins.size() - 2].expected += bins.back().expected;
+      bins.pop_back();
+      ++pooled;
+    }
+  };
+  pool_pass();
+
+  ChiSquareResult result;
+  result.pooled_bins = pooled;
+  if (bins.size() < 2) {
+    // Everything pooled into one bin: the test is degenerate; report a
+    // perfect fit rather than dividing by zero dof.
+    result.dof = 0.0;
+    result.p_value = 1.0;
+    return result;
+  }
+
+  double stat = 0.0;
+  for (const auto& b : bins) {
+    if (b.expected <= 0.0) {
+      if (b.observed > 0.0) {
+        stat = std::numeric_limits<double>::infinity();
+      }
+      continue;
+    }
+    const double d = b.observed - b.expected;
+    stat += d * d / b.expected;
+  }
+  result.statistic = stat;
+  result.dof = static_cast<double>(bins.size() - 1);
+  result.p_value = std::isinf(stat)
+                       ? 0.0
+                       : math::chi_square_sf(stat, result.dof);
+  return result;
+}
+
+KsResult ks_test(std::vector<double> sample,
+                 const std::function<double(double)>& cdf) {
+  if (sample.empty()) {
+    throw std::invalid_argument("ks_test requires a non-empty sample");
+  }
+  std::sort(sample.begin(), sample.end());
+  const double n = static_cast<double>(sample.size());
+  double d = 0.0;
+  for (std::size_t i = 0; i < sample.size(); ++i) {
+    const double f = cdf(sample[i]);
+    const double lo = static_cast<double>(i) / n;
+    const double hi = static_cast<double>(i + 1) / n;
+    d = std::max({d, std::abs(f - lo), std::abs(hi - f)});
+  }
+
+  // Asymptotic Kolmogorov distribution tail with the Stephens small-sample
+  // correction.
+  const double sqrt_n = std::sqrt(n);
+  const double lambda = (sqrt_n + 0.12 + 0.11 / sqrt_n) * d;
+  double p = 0.0;
+  double sign = 1.0;
+  for (int j = 1; j <= 100; ++j) {
+    const double jd = static_cast<double>(j);
+    const double term = std::exp(-2.0 * jd * jd * lambda * lambda);
+    p += sign * term;
+    sign = -sign;
+    if (term < 1e-12) break;
+  }
+  return {d, std::clamp(2.0 * p, 0.0, 1.0)};
+}
+
+}  // namespace gossip::stats

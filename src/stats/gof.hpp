@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file gof.hpp
+/// Goodness-of-fit tests. The Figs. 6/7 benches use the chi-square test to
+/// check that the simulated success-count distribution matches the paper's
+/// B(20, R) Bernoulli-trials model quantitatively, not just by eye.
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace gossip::stats {
+
+struct ChiSquareResult {
+  double statistic = 0.0;
+  double dof = 0.0;       ///< Degrees of freedom after bin pooling.
+  double p_value = 1.0;   ///< P(chi2_dof >= statistic).
+  int pooled_bins = 0;    ///< Bins merged to satisfy the expected-count rule.
+};
+
+/// Pearson chi-square test of observed counts against expected probabilities.
+/// `expected_pmf` must sum to ~1 over the same support as `observed`.
+/// Adjacent low-expectation bins (expected count < min_expected) are pooled
+/// from the tails inward, the standard remedy for sparse tails.
+[[nodiscard]] ChiSquareResult chi_square_test(
+    std::span<const std::uint64_t> observed,
+    std::span<const double> expected_pmf, double min_expected = 5.0);
+
+struct KsResult {
+  double statistic = 0.0;  ///< sup |F_n - F|
+  double p_value = 1.0;    ///< Asymptotic Kolmogorov distribution tail.
+};
+
+/// One-sample Kolmogorov-Smirnov test of `sample` (any order) against a
+/// continuous CDF evaluated by `cdf`.
+[[nodiscard]] KsResult ks_test(std::vector<double> sample,
+                               const std::function<double(double)>& cdf);
+
+}  // namespace gossip::stats

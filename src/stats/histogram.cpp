@@ -1,0 +1,55 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gossip::stats {
+
+IntHistogram::IntHistogram(std::int64_t max_value) {
+  if (max_value < 0) {
+    throw std::invalid_argument("IntHistogram requires max_value >= 0");
+  }
+  bins_.assign(static_cast<std::size_t>(max_value) + 1, 0);
+}
+
+void IntHistogram::add(std::int64_t value) noexcept { add(value, 1); }
+
+void IntHistogram::add(std::int64_t value, std::uint64_t weight) noexcept {
+  std::int64_t clamped = value;
+  if (value < 0) {
+    underflow_ += weight;
+    clamped = 0;
+  } else if (value > max_value()) {
+    overflow_ += weight;
+    clamped = max_value();
+  }
+  bins_[static_cast<std::size_t>(clamped)] += weight;
+  total_ += weight;
+}
+
+std::uint64_t IntHistogram::count(std::int64_t value) const {
+  if (value < 0 || value > max_value()) {
+    throw std::out_of_range("IntHistogram::count value outside bin range");
+  }
+  return bins_[static_cast<std::size_t>(value)];
+}
+
+std::vector<double> IntHistogram::pmf() const {
+  std::vector<double> out(bins_.size(), 0.0);
+  if (total_ == 0) return out;
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    out[i] = static_cast<double>(bins_[i]) / static_cast<double>(total_);
+  }
+  return out;
+}
+
+double IntHistogram::mean() const {
+  if (total_ == 0) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    acc += static_cast<double>(i) * static_cast<double>(bins_[i]);
+  }
+  return acc / static_cast<double>(total_);
+}
+
+}  // namespace gossip::stats

@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file histogram.hpp
+/// Integer-valued histogram (counting observations of k = 0, 1, 2, ...).
+/// Figures 6 and 7 of the paper are exactly this object: the empirical
+/// distribution of the per-member success count X over 20 executions.
+
+#include <cstdint>
+#include <vector>
+
+namespace gossip::stats {
+
+class IntHistogram {
+ public:
+  /// Creates a histogram over {0, ..., max_value}; observations outside the
+  /// range are clamped into the edge bins and counted in overflow counters.
+  explicit IntHistogram(std::int64_t max_value);
+
+  void add(std::int64_t value) noexcept;
+  void add(std::int64_t value, std::uint64_t weight) noexcept;
+
+  [[nodiscard]] std::uint64_t count(std::int64_t value) const;
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] std::int64_t max_value() const noexcept {
+    return static_cast<std::int64_t>(bins_.size()) - 1;
+  }
+  [[nodiscard]] std::uint64_t underflow() const noexcept { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const noexcept { return overflow_; }
+
+  /// Empirical probability of each bin: count/total (0 if empty).
+  [[nodiscard]] std::vector<double> pmf() const;
+
+  /// Mean of the recorded (clamped) values.
+  [[nodiscard]] double mean() const;
+
+ private:
+  std::vector<std::uint64_t> bins_;
+  std::uint64_t total_ = 0;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+};
+
+}  // namespace gossip::stats

@@ -1,0 +1,55 @@
+#include "stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gossip::stats {
+
+void OnlineSummary::add(double x) noexcept {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void OnlineSummary::merge(const OnlineSummary& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double OnlineSummary::mean() const noexcept { return count_ ? mean_ : 0.0; }
+
+double OnlineSummary::variance() const noexcept {
+  return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double OnlineSummary::stddev() const noexcept { return std::sqrt(variance()); }
+
+double OnlineSummary::standard_error() const noexcept {
+  return count_ > 1 ? stddev() / std::sqrt(static_cast<double>(count_)) : 0.0;
+}
+
+double OnlineSummary::sum() const noexcept {
+  return mean_ * static_cast<double>(count_);
+}
+
+}  // namespace gossip::stats

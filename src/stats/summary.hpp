@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file summary.hpp
+/// Numerically stable online summary statistics (Welford / Chan parallel
+/// merge). Every Monte Carlo series in the benches is accumulated through
+/// this type.
+
+#include <cstdint>
+
+namespace gossip::stats {
+
+class OnlineSummary {
+ public:
+  /// Folds one observation into the summary.
+  void add(double x) noexcept;
+
+  /// Merges another summary (Chan et al. pairwise update); enables
+  /// deterministic parallel reduction across worker threads.
+  void merge(const OnlineSummary& other) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept;
+  /// Unbiased sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  /// Standard error of the mean; 0 for fewer than 2 samples.
+  [[nodiscard]] double standard_error() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] double sum() const noexcept;
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;  // sum of squared deviations from the running mean
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace gossip::stats

@@ -1,0 +1,119 @@
+#include "core/baselines/anti_entropy_model.hpp"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace gossip::core::baselines {
+namespace {
+
+AntiEntropyModelParams base(std::int64_t n, double f, std::int64_t rounds,
+                            AntiEntropyMode mode) {
+  AntiEntropyModelParams p;
+  p.num_members = n;
+  p.fanout = f;
+  p.rounds = rounds;
+  p.mode = mode;
+  return p;
+}
+
+TEST(AntiEntropyModel, TrajectoriesAreMonotoneAndBounded) {
+  for (const auto mode : {AntiEntropyMode::kPush, AntiEntropyMode::kPull,
+                          AntiEntropyMode::kPushPull}) {
+    const auto traj =
+        anti_entropy_expected_informed(base(1000, 1.0, 20, mode));
+    ASSERT_EQ(traj.size(), 21u);
+    double prev = 0.0;
+    for (const double x : traj) {
+      EXPECT_GE(x, prev - 1e-12);
+      EXPECT_LE(x, 1.0 + 1e-12);
+      prev = x;
+    }
+  }
+}
+
+TEST(AntiEntropyModel, PushPullDominatesBothSingles) {
+  const std::int64_t rounds = 8;
+  const auto push =
+      anti_entropy_expected_informed(base(2000, 1.0, rounds,
+                                          AntiEntropyMode::kPush));
+  const auto pull =
+      anti_entropy_expected_informed(base(2000, 1.0, rounds,
+                                          AntiEntropyMode::kPull));
+  const auto both = anti_entropy_expected_informed(
+      base(2000, 1.0, rounds, AntiEntropyMode::kPushPull));
+  EXPECT_GE(both.back(), push.back());
+  EXPECT_GE(both.back(), pull.back());
+}
+
+TEST(AntiEntropyModel, PullClosesTheTailFasterThanPush) {
+  // In the mean-field limit both modes double the informed set early; the
+  // classic asymmetry is the tail: push residuals decay geometrically
+  // (rate e^{-f}) while pull residuals decay super-exponentially.
+  const auto push = anti_entropy_expected_informed(
+      base(10000, 1.0, 30, AntiEntropyMode::kPush));
+  const auto pull = anti_entropy_expected_informed(
+      base(10000, 1.0, 30, AntiEntropyMode::kPull));
+  // Compare residual uninformed fractions once both are past 90%.
+  std::size_t t = 0;
+  while (t < push.size() && (push[t] < 0.9 || pull[t] < 0.9)) ++t;
+  ASSERT_LT(t + 3, push.size());
+  const double push_residual_decay =
+      (1.0 - push[t + 3]) / (1.0 - push[t]);
+  const double pull_residual_decay =
+      (1.0 - pull[t + 3]) / (1.0 - pull[t]);
+  EXPECT_LT(pull_residual_decay, push_residual_decay);
+}
+
+TEST(AntiEntropyModel, FailuresSlowConvergence) {
+  const auto healthy = anti_entropy_expected_informed(
+      base(1000, 1.0, 10, AntiEntropyMode::kPushPull));
+  auto p = base(1000, 1.0, 10, AntiEntropyMode::kPushPull);
+  p.nonfailed_ratio = 0.5;
+  const auto faulty = anti_entropy_expected_informed(p);
+  EXPECT_GT(healthy.back(), faulty.back() - 1e-12);
+}
+
+TEST(AntiEntropyModel, RoundsToFractionIsConsistentWithTrajectory) {
+  const auto p = base(5000, 1.0, 0, AntiEntropyMode::kPushPull);
+  const auto rounds = anti_entropy_rounds_to_fraction(p, 0.99);
+  auto p2 = p;
+  p2.rounds = rounds;
+  const auto traj = anti_entropy_expected_informed(p2);
+  EXPECT_GE(traj.back(), 0.99);
+  if (rounds > 0) {
+    auto p3 = p;
+    p3.rounds = rounds - 1;
+    EXPECT_LT(anti_entropy_expected_informed(p3).back(), 0.99);
+  }
+}
+
+TEST(AntiEntropyModel, RoundsToFractionGrowsLogarithmically) {
+  // Push-pull rounds to near-total coverage should grow slowly with n.
+  const auto r1 = anti_entropy_rounds_to_fraction(
+      base(1000, 1.0, 0, AntiEntropyMode::kPushPull), 0.999);
+  const auto r2 = anti_entropy_rounds_to_fraction(
+      base(100000, 1.0, 0, AntiEntropyMode::kPushPull), 0.999);
+  EXPECT_LE(r2, r1 + 10);
+}
+
+TEST(AntiEntropyModel, ZeroFanoutCannotReachTarget) {
+  EXPECT_THROW((void)anti_entropy_rounds_to_fraction(
+                   base(100, 0.0, 0, AntiEntropyMode::kPushPull), 0.5),
+               std::domain_error);
+}
+
+TEST(AntiEntropyModel, ValidationErrors) {
+  EXPECT_THROW((void)anti_entropy_expected_informed(
+                   base(1, 1.0, 5, AntiEntropyMode::kPush)),
+               std::invalid_argument);
+  EXPECT_THROW((void)anti_entropy_expected_informed(
+                   base(10, -1.0, 5, AntiEntropyMode::kPush)),
+               std::invalid_argument);
+  EXPECT_THROW((void)anti_entropy_rounds_to_fraction(
+                   base(10, 1.0, 0, AntiEntropyMode::kPush), 1.5),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gossip::core::baselines

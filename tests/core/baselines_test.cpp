@@ -1,0 +1,266 @@
+#include <cmath>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "core/baselines/kmg_model.hpp"
+#include "core/baselines/pbcast_recurrence.hpp"
+#include "core/baselines/si_epidemic.hpp"
+#include "core/reliability_model.hpp"
+
+namespace gossip::core::baselines {
+namespace {
+
+// ---- pbcast / recurrence model ----
+
+TEST(PbcastExpectedInfected, TrajectoryIsMonotoneAndBounded) {
+  RoundGossipParams p;
+  p.num_members = 1000;
+  p.fanout = 3.0;
+  p.nonfailed_ratio = 0.9;
+  p.rounds = 15;
+  const auto traj = pbcast_expected_infected(p);
+  ASSERT_EQ(traj.size(), 16u);
+  double prev = 0.0;
+  for (const double x : traj) {
+    EXPECT_GE(x, prev - 1e-12);
+    EXPECT_LE(x, 1.0 + 1e-12);
+    prev = x;
+  }
+  EXPECT_GT(traj.back(), 0.95);  // push gossip saturates quickly
+}
+
+TEST(PbcastExpectedInfected, StartsWithOnlySource) {
+  RoundGossipParams p;
+  p.num_members = 100;
+  p.fanout = 2.0;
+  p.rounds = 0;
+  const auto traj = pbcast_expected_infected(p);
+  ASSERT_EQ(traj.size(), 1u);
+  EXPECT_NEAR(traj[0], 1.0 / 100.0, 1e-12);
+}
+
+TEST(PbcastExpectedInfected, ZeroFanoutNeverSpreads) {
+  RoundGossipParams p;
+  p.num_members = 50;
+  p.fanout = 0.0;
+  p.rounds = 10;
+  const auto traj = pbcast_expected_infected(p);
+  for (const double x : traj) {
+    EXPECT_NEAR(x, 1.0 / 50.0, 1e-12);
+  }
+}
+
+TEST(PbcastExpectedInfected, HigherFanoutSpreadsFaster) {
+  RoundGossipParams slow;
+  slow.num_members = 500;
+  slow.fanout = 1.5;
+  slow.rounds = 5;
+  RoundGossipParams fast = slow;
+  fast.fanout = 4.0;
+  EXPECT_GT(pbcast_expected_infected(fast).back(),
+            pbcast_expected_infected(slow).back());
+}
+
+TEST(PbcastExpectedInfected, RejectsInvalidParams) {
+  RoundGossipParams p;
+  p.num_members = 1;
+  EXPECT_THROW((void)pbcast_expected_infected(p), std::invalid_argument);
+  p.num_members = 10;
+  p.fanout = -1.0;
+  EXPECT_THROW((void)pbcast_expected_infected(p), std::invalid_argument);
+  p.fanout = 2.0;
+  p.nonfailed_ratio = 0.0;
+  EXPECT_THROW((void)pbcast_expected_infected(p), std::invalid_argument);
+  p.nonfailed_ratio = 1.0;
+  p.rounds = -1;
+  EXPECT_THROW((void)pbcast_expected_infected(p), std::invalid_argument);
+}
+
+TEST(ReedFrost, FinalSizeDistributionIsNormalized) {
+  RoundGossipParams p;
+  p.num_members = 30;
+  p.fanout = 2.0;
+  p.nonfailed_ratio = 1.0;
+  p.rounds = 30;
+  const auto dist = reed_frost_final_size(p);
+  double sum = 0.0;
+  for (const double pr : dist) {
+    EXPECT_GE(pr, -1e-12);
+    sum += pr;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ReedFrost, ZeroFanoutInfectsOnlySource) {
+  RoundGossipParams p;
+  p.num_members = 20;
+  p.fanout = 0.0;
+  p.rounds = 20;
+  const auto dist = reed_frost_final_size(p);
+  EXPECT_NEAR(dist[0], 1.0, 1e-12);  // final size 1 (just the source)
+}
+
+TEST(ReedFrost, SaturatingFanoutInfectsEveryone) {
+  RoundGossipParams p;
+  p.num_members = 15;
+  p.fanout = 14.0;  // contacts everyone each round
+  p.rounds = 15;
+  const auto dist = reed_frost_final_size(p);
+  EXPECT_NEAR(dist.back(), 1.0, 1e-9);
+}
+
+TEST(ReedFrost, ExpectedReliabilityIncreasesWithFanout) {
+  RoundGossipParams p;
+  p.num_members = 25;
+  p.rounds = 25;
+  double prev = 0.0;
+  for (const double f : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+    p.fanout = f;
+    const double r = reed_frost_expected_reliability(p);
+    EXPECT_GE(r, prev - 1e-9) << "fanout " << f;
+    EXPECT_LE(r, 1.0 + 1e-9);
+    prev = r;
+  }
+}
+
+TEST(ReedFrost, FailuresReduceReliability) {
+  RoundGossipParams healthy;
+  healthy.num_members = 24;
+  healthy.fanout = 3.0;
+  healthy.rounds = 24;
+  healthy.nonfailed_ratio = 1.0;
+  RoundGossipParams faulty = healthy;
+  faulty.nonfailed_ratio = 0.5;
+  EXPECT_GT(reed_frost_expected_reliability(healthy),
+            reed_frost_expected_reliability(faulty));
+}
+
+// ---- SI epidemic model ----
+
+TEST(SiTrajectory, MatchesClosedFormLogistic) {
+  SiParams p;
+  p.contact_rate = 2.0;
+  p.nonfailed_ratio = 0.8;
+  p.initial_infected_fraction = 0.01;
+  p.t_end = 6.0;
+  p.dt = 1e-3;
+  const auto traj = si_trajectory(p, 500);
+  ASSERT_GE(traj.size(), 3u);
+  for (const auto& pt : traj) {
+    EXPECT_NEAR(pt.infected_fraction, si_closed_form(p, pt.time), 1e-6)
+        << "t=" << pt.time;
+  }
+}
+
+TEST(SiTrajectory, SaturatesToOne) {
+  SiParams p;
+  p.contact_rate = 3.0;
+  p.initial_infected_fraction = 0.001;
+  p.t_end = 20.0;
+  const auto traj = si_trajectory(p);
+  EXPECT_GT(traj.back().infected_fraction, 0.999);
+}
+
+TEST(SiTrajectory, CannotStartFromZeroInfected) {
+  // The deficiency the paper notes: SI has no spontaneous start and no
+  // die-out; i(0) = 0 stays 0 forever.
+  SiParams p;
+  p.initial_infected_fraction = 0.0;
+  p.t_end = 5.0;
+  const auto traj = si_trajectory(p);
+  for (const auto& pt : traj) {
+    EXPECT_DOUBLE_EQ(pt.infected_fraction, 0.0);
+  }
+  EXPECT_DOUBLE_EQ(si_closed_form(p, 3.0), 0.0);
+}
+
+TEST(SiTrajectory, FailuresSlowTheSpread) {
+  SiParams healthy;
+  healthy.contact_rate = 2.0;
+  healthy.initial_infected_fraction = 0.01;
+  healthy.t_end = 3.0;
+  SiParams faulty = healthy;
+  faulty.nonfailed_ratio = 0.5;
+  EXPECT_GT(si_trajectory(healthy).back().infected_fraction,
+            si_trajectory(faulty).back().infected_fraction);
+}
+
+TEST(SiTrajectory, RejectsInvalidParams) {
+  SiParams p;
+  p.contact_rate = -1.0;
+  EXPECT_THROW((void)si_trajectory(p), std::invalid_argument);
+  p.contact_rate = 1.0;
+  p.nonfailed_ratio = 0.0;
+  EXPECT_THROW((void)si_trajectory(p), std::invalid_argument);
+  p.nonfailed_ratio = 1.0;
+  p.initial_infected_fraction = 1.5;
+  EXPECT_THROW((void)si_trajectory(p), std::invalid_argument);
+  p.initial_infected_fraction = 0.1;
+  p.dt = 0.0;
+  EXPECT_THROW((void)si_trajectory(p), std::invalid_argument);
+}
+
+TEST(SirFinalSize, CoincidesWithPaperEq11) {
+  // The SIR final-size equation and the percolation reliability are the
+  // same fixed point — the correspondence the baseline bench reports.
+  for (const double z : {2.0, 4.0, 6.0}) {
+    for (const double q : {0.5, 0.9}) {
+      EXPECT_NEAR(sir_final_size(z, q), poisson_reliability(z, q), 1e-12);
+    }
+  }
+}
+
+// ---- KMG model ----
+
+TEST(KmgSuccess, MatchesDoubleExponentialLaw) {
+  // fanout = ln(n') + c  ->  success ~ exp(-e^{-c}).
+  const std::int64_t n = 10000;
+  const double c = 2.0;
+  const double fanout = std::log(static_cast<double>(n)) + c;
+  EXPECT_NEAR(kmg_success_probability(n, fanout, 0.0),
+              std::exp(-std::exp(-c)), 1e-12);
+}
+
+TEST(KmgSuccess, IncreasesWithFanout) {
+  double prev = 0.0;
+  for (double f = 2.0; f < 20.0; f += 1.0) {
+    const double p = kmg_success_probability(5000, f);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+  EXPECT_GT(prev, 0.999);
+}
+
+TEST(KmgSuccess, FailuresLowerTheBarSlightly) {
+  // Fewer survivors -> smaller ln(n') -> higher success at equal fanout.
+  EXPECT_GT(kmg_success_probability(10000, 10.0, 0.5),
+            kmg_success_probability(10000, 10.0, 0.0));
+}
+
+TEST(KmgRequiredFanout, RoundTripsWithSuccessProbability) {
+  const std::int64_t n = 2000;
+  for (const double target : {0.9, 0.99, 0.999}) {
+    const double f = kmg_required_fanout(n, target);
+    EXPECT_NEAR(kmg_success_probability(n, f), target, 1e-9);
+  }
+}
+
+TEST(KmgRequiredFanout, ScalesLogarithmically) {
+  const double f1 = kmg_required_fanout(1000, 0.99);
+  const double f2 = kmg_required_fanout(100000, 0.99);
+  EXPECT_NEAR(f2 - f1, std::log(100.0), 1e-9);
+}
+
+TEST(KmgModel, RejectsInvalidArguments) {
+  EXPECT_THROW((void)kmg_success_probability(1, 5.0), std::invalid_argument);
+  EXPECT_THROW((void)kmg_success_probability(100, -1.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)kmg_success_probability(100, 5.0, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)kmg_required_fanout(100, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)kmg_required_fanout(100, 1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gossip::core::baselines

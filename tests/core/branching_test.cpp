@@ -1,0 +1,223 @@
+#include "core/branching.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "core/reliability_model.hpp"
+#include "experiment/monte_carlo.hpp"
+#include "graph/generators.hpp"
+#include "graph/reachability.hpp"
+#include "stats/gof.hpp"
+
+namespace gossip::core {
+namespace {
+
+TEST(DirectedGossip, PoissonCaseRecoversSAndSSquared) {
+  // For Poisson fanout, take-off probability = member reach = S, so the
+  // unconditional delivery is S^2 — the quantity the graph Monte Carlo
+  // measures.
+  const double z = 4.0;
+  const double q = 0.9;
+  const auto gf = GeneratingFunction::from_distribution(*poisson_fanout(z));
+  const auto analysis = analyze_directed_gossip(gf, q);
+  const double s = poisson_reliability(z, q);
+  EXPECT_TRUE(analysis.supercritical);
+  EXPECT_NEAR(analysis.takeoff_probability, s, 1e-6);
+  EXPECT_NEAR(analysis.member_reach_given_takeoff, s, 1e-6);
+  EXPECT_NEAR(analysis.expected_delivery, s * s, 1e-6);
+  EXPECT_NEAR(analysis.mean_progeny, z * q, 1e-9);
+}
+
+TEST(DirectedGossip, SubcriticalCascadeAlwaysDies) {
+  const auto gf = GeneratingFunction::from_distribution(*poisson_fanout(2.0));
+  const auto analysis = analyze_directed_gossip(gf, 0.4);  // R0 = 0.8
+  EXPECT_FALSE(analysis.supercritical);
+  EXPECT_NEAR(analysis.extinction_probability, 1.0, 1e-6);
+  EXPECT_NEAR(analysis.expected_delivery, 0.0, 1e-6);
+}
+
+TEST(DirectedGossip, FixedFanoutNeverDiesOutButReachIsPoissonLimited) {
+  // Fixed fanout k >= 1 with q = 1: every node forwards to exactly k
+  // others, extinction is impossible (offspring never zero) — yet the
+  // member reach still follows the Poisson in-degree fixed point.
+  const auto gf = GeneratingFunction::from_distribution(*fixed_fanout(4));
+  const auto analysis = analyze_directed_gossip(gf, 1.0);
+  EXPECT_NEAR(analysis.takeoff_probability, 1.0, 1e-9);
+  const double r = poisson_reliability(4.0, 1.0);
+  EXPECT_NEAR(analysis.member_reach_given_takeoff, r, 1e-6);
+  EXPECT_NEAR(analysis.expected_delivery, r, 1e-6);
+}
+
+TEST(DirectedGossip, HeavyTailLowersTakeoffAtEqualMean) {
+  // Geometric offspring have a large P(0) = 1/(1+mean), so cascades die at
+  // the source far more often than Poisson at the same mean.
+  const double mean = 4.0;
+  const auto gf_poisson =
+      GeneratingFunction::from_distribution(*poisson_fanout(mean));
+  const auto gf_geo =
+      GeneratingFunction::from_distribution(*geometric_fanout(mean));
+  const auto a_poisson = analyze_directed_gossip(gf_poisson, 1.0);
+  const auto a_geo = analyze_directed_gossip(gf_geo, 1.0);
+  EXPECT_LT(a_geo.takeoff_probability, a_poisson.takeoff_probability);
+  // But the conditional reach depends only on the mean: identical.
+  EXPECT_NEAR(a_geo.member_reach_given_takeoff,
+              a_poisson.member_reach_given_takeoff, 1e-6);
+}
+
+TEST(DirectedGossip, DeliveryPredictionMatchesGraphMonteCarlo) {
+  // The headline check: analysis predicts the delivery metric for a
+  // NON-Poisson fanout.
+  const auto dist = geometric_fanout(4.0);
+  const auto gf = GeneratingFunction::from_distribution(*dist);
+  const double q = 0.9;
+  const auto analysis = analyze_directed_gossip(gf, q);
+
+  experiment::MonteCarloOptions opt;
+  opt.replications = 400;
+  opt.seed = 71;
+  const auto est = experiment::estimate_reliability_graph(1500, *dist, q, opt);
+  EXPECT_NEAR(est.mean_reliability(), analysis.expected_delivery, 0.03);
+}
+
+TEST(DirectedGossip, TakeoffProbabilityMatchesSimulatedFrequency) {
+  const auto dist = geometric_fanout(4.0);
+  const auto gf = GeneratingFunction::from_distribution(*dist);
+  const auto analysis = analyze_directed_gossip(gf, 1.0);
+
+  // Count take-offs directly: a run took off if it reached a macroscopic
+  // fraction of members.
+  experiment::MonteCarloOptions opt;
+  opt.replications = 500;
+  opt.seed = 73;
+  const auto est = experiment::estimate_reliability_graph(1000, *dist, 1.0,
+                                                          opt);
+  // mean delivery = takeoff * reach -> takeoff = mean / reach.
+  const double implied_takeoff =
+      est.mean_reliability() / analysis.member_reach_given_takeoff;
+  EXPECT_NEAR(implied_takeoff, analysis.takeoff_probability, 0.05);
+}
+
+TEST(DirectedGossip, ZeroFanoutDegenerate) {
+  const auto gf = GeneratingFunction::from_distribution(*fixed_fanout(0));
+  const auto analysis = analyze_directed_gossip(gf, 1.0);
+  EXPECT_DOUBLE_EQ(analysis.mean_progeny, 0.0);
+  EXPECT_DOUBLE_EQ(analysis.expected_delivery, 0.0);
+  EXPECT_FALSE(analysis.supercritical);
+}
+
+TEST(DirectedGossip, RejectsInvalidQ) {
+  const auto gf = GeneratingFunction::from_distribution(*poisson_fanout(2.0));
+  EXPECT_THROW((void)analyze_directed_gossip(gf, -0.1), std::invalid_argument);
+  EXPECT_THROW((void)analyze_directed_gossip(gf, 1.1), std::invalid_argument);
+}
+
+TEST(BorelCascade, PmfSumsToOneSubcritical) {
+  const auto pmf = borel_cascade_size_pmf(0.5, 200);
+  double sum = 0.0;
+  for (const double p : pmf) {
+    EXPECT_GE(p, 0.0);
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-8);
+}
+
+TEST(BorelCascade, MeanMatchesClosedForm) {
+  const double m = 0.6;
+  const auto pmf = borel_cascade_size_pmf(m, 2000);
+  double mean = 0.0;
+  for (std::size_t i = 0; i < pmf.size(); ++i) {
+    mean += static_cast<double>(i + 1) * pmf[i];
+  }
+  EXPECT_NEAR(mean, borel_mean_cascade_size(m), 1e-4);
+  EXPECT_DOUBLE_EQ(borel_mean_cascade_size(m), 2.5);
+}
+
+TEST(BorelCascade, FirstTermsMatchFormula) {
+  const double m = 0.4;
+  const auto pmf = borel_cascade_size_pmf(m, 5);
+  EXPECT_NEAR(pmf[0], std::exp(-m), 1e-12);                       // s=1
+  EXPECT_NEAR(pmf[1], std::exp(-2.0 * m) * 2.0 * m / 2.0, 1e-12);  // s=2
+}
+
+TEST(BorelCascade, ZeroProgenyIsPointMassAtRoot) {
+  const auto pmf = borel_cascade_size_pmf(0.0, 5);
+  EXPECT_DOUBLE_EQ(pmf[0], 1.0);
+  EXPECT_DOUBLE_EQ(pmf[1], 0.0);
+}
+
+TEST(BorelCascade, MatchesSimulatedCascadeSizes) {
+  // Subcritical Poisson gossip: cascade sizes are Borel distributed.
+  const double z = 2.0;
+  const double q = 0.35;  // m = 0.7
+  const auto dist = poisson_fanout(z);
+  const auto pmf = borel_cascade_size_pmf(z * q, 40);
+
+  experiment::MonteCarloOptions opt;
+  opt.replications = 2000;
+  opt.seed = 79;
+  // The alive members reached are exactly the branching-process individuals
+  // (offspring = alive targets), so their expected count is the Borel mean
+  // 1/(1 - zq). The delivery MC reports the reached/alive ratio; scale back
+  // to a count via the expected alive population.
+  const auto est =
+      experiment::estimate_reliability_graph(4000, *dist, q, opt);
+  const double mean_alive_reached =
+      est.mean_reliability() * (4000.0 * q + (1.0 - q));  // source forced alive
+  EXPECT_NEAR(mean_alive_reached, borel_mean_cascade_size(z * q), 0.3);
+}
+
+TEST(BorelCascade, DistributionMatchesSimulatedCascades) {
+  // Full distributional check: subcritical cascade sizes (alive members
+  // reached per execution) follow the Borel law. Sample many executions
+  // and chi-square against the pmf.
+  const double z = 1.5;
+  const double q = 0.4;  // m = 0.6
+  const double m = z * q;
+  const auto dist = poisson_fanout(z);
+  const auto sampler = dist->sampler();
+
+  constexpr std::int64_t kMaxBin = 12;
+  std::vector<std::uint64_t> observed(kMaxBin + 1, 0);
+  const rng::RngStream root(101);
+  const std::size_t reps = 4000;
+  for (std::size_t i = 0; i < reps; ++i) {
+    auto rng = root.substream(i);
+    graph::GossipGraphParams gp;
+    gp.num_nodes = 800;
+    gp.alive_probability = q;
+    const auto gg = graph::make_gossip_digraph(gp, sampler, rng);
+    const auto reach = graph::directed_reach(gg.graph, gg.source);
+    std::int64_t alive_reached = 0;
+    for (graph::NodeId v = 0; v < gp.num_nodes; ++v) {
+      if (gg.alive[v] && reach.is_reached(v)) ++alive_reached;
+    }
+    ++observed[static_cast<std::size_t>(
+        std::min<std::int64_t>(alive_reached - 1, kMaxBin))];
+  }
+
+  const auto borel = borel_cascade_size_pmf(m, 400);
+  std::vector<double> expected(kMaxBin + 1, 0.0);
+  double head = 0.0;
+  for (std::int64_t k = 0; k < kMaxBin; ++k) {
+    expected[static_cast<std::size_t>(k)] = borel[static_cast<std::size_t>(k)];
+    head += borel[static_cast<std::size_t>(k)];
+  }
+  expected[kMaxBin] = std::max(0.0, 1.0 - head);  // pooled tail
+
+  const auto gof = stats::chi_square_test(observed, expected);
+  EXPECT_GT(gof.p_value, 1e-3) << "chi2=" << gof.statistic
+                               << " dof=" << gof.dof;
+}
+
+TEST(BorelCascade, RejectsInvalidArguments) {
+  EXPECT_THROW((void)borel_cascade_size_pmf(1.0, 10), std::invalid_argument);
+  EXPECT_THROW((void)borel_cascade_size_pmf(-0.1, 10), std::invalid_argument);
+  EXPECT_THROW((void)borel_cascade_size_pmf(0.5, 0), std::invalid_argument);
+  EXPECT_THROW((void)borel_mean_cascade_size(1.2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gossip::core

@@ -1,0 +1,188 @@
+#include "core/degree_distribution.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "rng/rng_stream.hpp"
+#include "stats/summary.hpp"
+
+namespace gossip::core {
+namespace {
+
+/// Property sweep shared by every distribution family.
+class DistributionProperties
+    : public ::testing::TestWithParam<DegreeDistributionPtr> {};
+
+TEST_P(DistributionProperties, PmfVectorSumsToApproximatelyOne) {
+  const auto& dist = *GetParam();
+  const auto pmf = dist.pmf_vector(1e-12);
+  double sum = 0.0;
+  for (const double p : pmf) {
+    ASSERT_GE(p, 0.0);
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9) << dist.name();
+}
+
+TEST_P(DistributionProperties, PmfVectorMeanMatchesDeclaredMean) {
+  const auto& dist = *GetParam();
+  const auto pmf = dist.pmf_vector(1e-12);
+  double mean = 0.0;
+  for (std::size_t k = 0; k < pmf.size(); ++k) {
+    mean += static_cast<double>(k) * pmf[k];
+  }
+  EXPECT_NEAR(mean, dist.mean(), 1e-6) << dist.name();
+}
+
+TEST_P(DistributionProperties, SampleMeanMatchesDeclaredMean) {
+  const auto& dist = *GetParam();
+  rng::RngStream rng(321);
+  stats::OnlineSummary s;
+  for (int i = 0; i < 40000; ++i) {
+    const auto k = dist.sample(rng);
+    ASSERT_GE(k, 0) << dist.name();
+    s.add(static_cast<double>(k));
+  }
+  const double tolerance = 0.05 * std::max(1.0, dist.mean());
+  EXPECT_NEAR(s.mean(), dist.mean(), tolerance) << dist.name();
+}
+
+TEST_P(DistributionProperties, PmfMatchesSampledFrequencies) {
+  const auto& dist = *GetParam();
+  rng::RngStream rng(654);
+  const int draws = 40000;
+  std::vector<int> counts(64, 0);
+  for (int i = 0; i < draws; ++i) {
+    const auto k = dist.sample(rng);
+    if (k < 64) ++counts[static_cast<std::size_t>(k)];
+  }
+  for (std::size_t k = 0; k < counts.size(); ++k) {
+    const double expected = dist.pmf(static_cast<std::int64_t>(k)) * draws;
+    if (expected < 50.0) continue;  // skip sparse bins
+    EXPECT_NEAR(counts[k], expected, 5.0 * std::sqrt(expected) + 1.0)
+        << dist.name() << " k=" << k;
+  }
+}
+
+TEST_P(DistributionProperties, NameIsNonEmpty) {
+  EXPECT_FALSE(GetParam()->name().empty());
+}
+
+TEST_P(DistributionProperties, SamplerAdapterMatchesSample) {
+  const auto& dist = *GetParam();
+  const auto sampler = dist.sampler();
+  rng::RngStream a(77);
+  rng::RngStream b(77);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(sampler(a), dist.sample(b));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, DistributionProperties,
+    ::testing::Values(poisson_fanout(4.0), poisson_fanout(0.5),
+                      fixed_fanout(3), binomial_fanout(12, 0.3),
+                      geometric_fanout(2.5), zipf_fanout(30, 1.4),
+                      uniform_fanout(1, 7),
+                      empirical_fanout({0.0, 0.2, 0.5, 0.3})),
+    [](const ::testing::TestParamInfo<DegreeDistributionPtr>& info) {
+      std::string n = info.param->name();
+      for (char& c : n) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return n;
+    });
+
+TEST(PoissonFanout, PmfMatchesFormula) {
+  const auto d = poisson_fanout(3.0);
+  EXPECT_NEAR(d->pmf(0), std::exp(-3.0), 1e-12);
+  EXPECT_NEAR(d->pmf(3), std::exp(-3.0) * 27.0 / 6.0, 1e-12);
+  EXPECT_DOUBLE_EQ(d->pmf(-1), 0.0);
+}
+
+TEST(PoissonFanout, RejectsNegativeMean) {
+  EXPECT_THROW((void)poisson_fanout(-1.0), std::invalid_argument);
+}
+
+TEST(FixedFanout, PointMass) {
+  const auto d = fixed_fanout(5);
+  EXPECT_DOUBLE_EQ(d->pmf(5), 1.0);
+  EXPECT_DOUBLE_EQ(d->pmf(4), 0.0);
+  EXPECT_DOUBLE_EQ(d->mean(), 5.0);
+  rng::RngStream rng(1);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(d->sample(rng), 5);
+  const auto pmf = d->pmf_vector(1e-9);
+  ASSERT_EQ(pmf.size(), 6u);
+  EXPECT_DOUBLE_EQ(pmf[5], 1.0);
+}
+
+TEST(FixedFanout, ZeroFanoutIsValid) {
+  const auto d = fixed_fanout(0);
+  EXPECT_DOUBLE_EQ(d->mean(), 0.0);
+  EXPECT_DOUBLE_EQ(d->pmf(0), 1.0);
+}
+
+TEST(FixedFanout, RejectsNegative) {
+  EXPECT_THROW((void)fixed_fanout(-2), std::invalid_argument);
+}
+
+TEST(BinomialFanout, MeanAndSupport) {
+  const auto d = binomial_fanout(10, 0.4);
+  EXPECT_DOUBLE_EQ(d->mean(), 4.0);
+  EXPECT_DOUBLE_EQ(d->pmf(11), 0.0);
+  const auto pmf = d->pmf_vector(1e-9);
+  EXPECT_EQ(pmf.size(), 11u);
+}
+
+TEST(GeometricFanout, MeanParameterization) {
+  const auto d = geometric_fanout(3.0);
+  EXPECT_DOUBLE_EQ(d->mean(), 3.0);
+  // P(0) = p = 1/(1+mean) = 0.25.
+  EXPECT_NEAR(d->pmf(0), 0.25, 1e-12);
+  EXPECT_NEAR(d->pmf(1), 0.25 * 0.75, 1e-12);
+}
+
+TEST(ZipfFanout, SupportStartsAtOne) {
+  const auto d = zipf_fanout(10, 1.2);
+  EXPECT_DOUBLE_EQ(d->pmf(0), 0.0);
+  EXPECT_GT(d->pmf(1), d->pmf(2));
+  EXPECT_DOUBLE_EQ(d->pmf(11), 0.0);
+}
+
+TEST(ZipfFanout, RejectsInvalidParameters) {
+  EXPECT_THROW((void)zipf_fanout(0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)zipf_fanout(10, 0.0), std::invalid_argument);
+}
+
+TEST(UniformFanout, FlatPmf) {
+  const auto d = uniform_fanout(2, 5);
+  EXPECT_DOUBLE_EQ(d->mean(), 3.5);
+  EXPECT_DOUBLE_EQ(d->pmf(1), 0.0);
+  EXPECT_DOUBLE_EQ(d->pmf(2), 0.25);
+  EXPECT_DOUBLE_EQ(d->pmf(5), 0.25);
+  EXPECT_DOUBLE_EQ(d->pmf(6), 0.0);
+}
+
+TEST(UniformFanout, RejectsInvertedRange) {
+  EXPECT_THROW((void)uniform_fanout(5, 2), std::invalid_argument);
+  EXPECT_THROW((void)uniform_fanout(-1, 2), std::invalid_argument);
+}
+
+TEST(EmpiricalFanout, NormalizesWeights) {
+  const auto d = empirical_fanout({1.0, 1.0, 2.0});
+  EXPECT_DOUBLE_EQ(d->pmf(0), 0.25);
+  EXPECT_DOUBLE_EQ(d->pmf(2), 0.5);
+  EXPECT_DOUBLE_EQ(d->mean(), 0.25 + 2.0 * 0.5);
+  EXPECT_DOUBLE_EQ(d->pmf(3), 0.0);
+  EXPECT_DOUBLE_EQ(d->pmf(-1), 0.0);
+}
+
+TEST(EmpiricalFanout, RejectsInvalidWeights) {
+  EXPECT_THROW((void)empirical_fanout({}), std::invalid_argument);
+  EXPECT_THROW((void)empirical_fanout({-1.0, 1.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gossip::core

@@ -1,0 +1,120 @@
+#include "core/fanout_planner.hpp"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "core/reliability_model.hpp"
+#include "core/success_model.hpp"
+
+namespace gossip::core {
+namespace {
+
+TEST(PlanPoissonGossip, PlanMeetsAllTargets) {
+  PlanRequest req;
+  req.target_reliability = 0.95;
+  req.target_success = 0.999;
+  req.nonfailed_ratio = 0.8;
+  const auto plan = plan_poisson_gossip(req);
+
+  EXPECT_GE(plan.predicted_reliability, 0.95 - 1e-6);
+  EXPECT_GE(plan.predicted_success, 0.999);
+  EXPECT_GT(plan.mean_fanout, 1.0 / req.nonfailed_ratio);  // supercritical
+  EXPECT_NEAR(plan.critical_q, 1.0 / plan.mean_fanout, 1e-12);
+  EXPECT_GT(plan.failure_margin, 0.0);
+  EXPECT_GE(plan.executions, 1);
+}
+
+TEST(PlanPoissonGossip, ReproducesPaperOperatingPoint) {
+  // Target the paper's operating point at q = 0.9 and p_s = 0.999: the
+  // plan lands on z ~ 4.0 (the paper's {f=4.0, q=0.9} pair). The exact
+  // reliability at that fanout is 0.9695; Eq. (6) then needs t = 2
+  // (ln 0.001 / ln 0.0305 = 1.98). The paper's t = 3 comes from its
+  // rounded R = 0.967, which success_model_test checks separately.
+  PlanRequest req;
+  req.target_reliability = 0.9695;
+  req.target_success = 0.999;
+  req.nonfailed_ratio = 0.9;
+  const auto plan = plan_poisson_gossip(req);
+  EXPECT_NEAR(plan.mean_fanout, 4.0, 0.02);
+  EXPECT_EQ(plan.executions, 2);
+  EXPECT_GE(plan.predicted_success, 0.999);
+}
+
+TEST(PlanPoissonGossip, HarderTargetsNeedMoreFanout) {
+  PlanRequest easy;
+  easy.target_reliability = 0.8;
+  easy.nonfailed_ratio = 0.9;
+  PlanRequest hard = easy;
+  hard.target_reliability = 0.999;
+  EXPECT_GT(plan_poisson_gossip(hard).mean_fanout,
+            plan_poisson_gossip(easy).mean_fanout);
+}
+
+TEST(PlanPoissonGossip, MoreFailuresNeedMoreFanout) {
+  PlanRequest healthy;
+  healthy.target_reliability = 0.95;
+  healthy.nonfailed_ratio = 1.0;
+  PlanRequest faulty = healthy;
+  faulty.nonfailed_ratio = 0.5;
+  EXPECT_GT(plan_poisson_gossip(faulty).mean_fanout,
+            plan_poisson_gossip(healthy).mean_fanout);
+}
+
+TEST(PlanPoissonGossip, PredictionRoundTripsThroughModel) {
+  PlanRequest req;
+  req.target_reliability = 0.9;
+  req.nonfailed_ratio = 0.7;
+  const auto plan = plan_poisson_gossip(req);
+  EXPECT_NEAR(plan.predicted_reliability,
+              poisson_reliability(plan.mean_fanout, req.nonfailed_ratio),
+              1e-12);
+  EXPECT_NEAR(plan.predicted_success,
+              success_probability(plan.predicted_reliability, plan.executions),
+              1e-12);
+}
+
+TEST(PlanPoissonGossip, RejectsInvalidRequests) {
+  PlanRequest req;
+  req.target_reliability = 0.0;
+  EXPECT_THROW((void)plan_poisson_gossip(req), std::invalid_argument);
+  req.target_reliability = 1.0;
+  EXPECT_THROW((void)plan_poisson_gossip(req), std::invalid_argument);
+  req.target_reliability = 0.9;
+  req.target_success = 1.0;
+  EXPECT_THROW((void)plan_poisson_gossip(req), std::invalid_argument);
+  req.target_success = 0.999;
+  req.nonfailed_ratio = 0.0;
+  EXPECT_THROW((void)plan_poisson_gossip(req), std::invalid_argument);
+}
+
+TEST(MaxTolerableFailureRatio, RoundTripsWithReliability) {
+  // At the reported maximum failure ratio, the reliability equals the
+  // target; any more failures and it drops below.
+  const double z = 5.0;
+  const double target = 0.9;
+  const double max_failures = max_tolerable_failure_ratio(z, target);
+  ASSERT_GT(max_failures, 0.0);
+  const double q_min = 1.0 - max_failures;
+  EXPECT_NEAR(poisson_reliability(z, q_min), target, 1e-6);
+  EXPECT_LT(poisson_reliability(z, q_min - 0.05), target);
+}
+
+TEST(MaxTolerableFailureRatio, ZeroWhenFanoutTooSmall) {
+  // Fanout below what the target needs even at q = 1.
+  EXPECT_DOUBLE_EQ(max_tolerable_failure_ratio(1.0, 0.99), 0.0);
+}
+
+TEST(MaxTolerableFailureRatio, GrowsWithFanout) {
+  const double target = 0.9;
+  double prev = -1.0;
+  for (double z = 3.0; z <= 20.0; z += 1.0) {
+    const double m = max_tolerable_failure_ratio(z, target);
+    EXPECT_GE(m, prev) << "z=" << z;
+    prev = m;
+  }
+  EXPECT_GT(prev, 0.8);
+}
+
+}  // namespace
+}  // namespace gossip::core

@@ -1,0 +1,102 @@
+#include "core/generating_function.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace gossip::core {
+namespace {
+
+TEST(GeneratingFunction, NormalizesInputPmf) {
+  const GeneratingFunction gf({2.0, 2.0});
+  EXPECT_NEAR(gf.g0(1.0), 1.0, 1e-12);
+  EXPECT_NEAR(gf.g0(0.0), 0.5, 1e-12);
+}
+
+TEST(GeneratingFunction, PoissonMatchesClosedForm) {
+  // For Po(z): G0(x) = e^{z(x-1)}, G1 = G0, G1'(1) = z.
+  const double z = 4.0;
+  const auto gf =
+      GeneratingFunction::from_distribution(*poisson_fanout(z), 1e-14);
+  for (const double x : {0.0, 0.3, 0.7, 1.0}) {
+    EXPECT_NEAR(gf.g0(x), std::exp(z * (x - 1.0)), 1e-8) << "x=" << x;
+    EXPECT_NEAR(gf.g1(x), std::exp(z * (x - 1.0)), 1e-7) << "x=" << x;
+  }
+  EXPECT_NEAR(gf.mean(), z, 1e-9);
+  EXPECT_NEAR(gf.mean_excess_degree(), z, 1e-7);
+}
+
+TEST(GeneratingFunction, FixedFanoutClosedForm) {
+  // For a point mass at k: G0(x) = x^k, G1(x) = x^{k-1}, G1'(1) = k-1.
+  const auto gf =
+      GeneratingFunction::from_distribution(*fixed_fanout(4), 1e-14);
+  EXPECT_NEAR(gf.g0(0.5), std::pow(0.5, 4.0), 1e-12);
+  EXPECT_NEAR(gf.g1(0.5), std::pow(0.5, 3.0), 1e-12);
+  EXPECT_DOUBLE_EQ(gf.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(gf.mean_excess_degree(), 3.0);
+}
+
+TEST(GeneratingFunction, GeometricExcessDegreeIsTwiceMean) {
+  // Geometric with mean m: E[K(K-1)]/E[K] = 2m (heavy tail raises the
+  // excess degree above the mean, unlike Poisson).
+  const double m = 2.5;
+  const auto gf =
+      GeneratingFunction::from_distribution(*geometric_fanout(m), 1e-14);
+  EXPECT_NEAR(gf.mean(), m, 1e-6);
+  EXPECT_NEAR(gf.mean_excess_degree(), 2.0 * m, 1e-4);
+}
+
+TEST(GeneratingFunction, DerivativeIdentities) {
+  const auto gf = GeneratingFunction({0.1, 0.2, 0.3, 0.4});
+  // G0'(x) by finite differences.
+  const double x = 0.6;
+  const double h = 1e-6;
+  const double numeric = (gf.g0(x + h) - gf.g0(x - h)) / (2.0 * h);
+  EXPECT_NEAR(gf.g0_prime(x), numeric, 1e-7);
+  const double numeric2 =
+      (gf.g0_prime(x + h) - gf.g0_prime(x - h)) / (2.0 * h);
+  EXPECT_NEAR(gf.g0_second(x), numeric2, 1e-6);
+  // G1 = G0'/G0'(1).
+  EXPECT_NEAR(gf.g1(x), gf.g0_prime(x) / gf.g0_prime(1.0), 1e-12);
+  EXPECT_NEAR(gf.g1_prime(x), gf.g0_second(x) / gf.g0_prime(1.0), 1e-12);
+}
+
+TEST(GeneratingFunction, G1AtOneIsOne) {
+  for (const auto& dist :
+       {poisson_fanout(2.0), geometric_fanout(1.5), uniform_fanout(1, 5)}) {
+    const auto gf = GeneratingFunction::from_distribution(*dist, 1e-13);
+    EXPECT_NEAR(gf.g1(1.0), 1.0, 1e-8) << dist->name();
+  }
+}
+
+TEST(GeneratingFunction, ZeroMeanDegreeG1Throws) {
+  const GeneratingFunction gf({1.0});  // all mass at degree 0
+  EXPECT_DOUBLE_EQ(gf.mean(), 0.0);
+  EXPECT_THROW((void)gf.g1(0.5), std::domain_error);
+  EXPECT_THROW((void)gf.g1_prime(0.5), std::domain_error);
+}
+
+TEST(GeneratingFunction, RejectsInvalidPmf) {
+  EXPECT_THROW(GeneratingFunction({}), std::invalid_argument);
+  EXPECT_THROW(GeneratingFunction({-0.5, 1.5}), std::invalid_argument);
+  EXPECT_THROW(GeneratingFunction({0.0, 0.0}), std::invalid_argument);
+}
+
+TEST(GeneratingFunction, MonotoneAndConvexOnUnitInterval) {
+  const auto gf =
+      GeneratingFunction::from_distribution(*poisson_fanout(3.0), 1e-13);
+  double prev = gf.g0(0.0);
+  for (double x = 0.05; x <= 1.0; x += 0.05) {
+    const double cur = gf.g0(x);
+    EXPECT_GE(cur, prev);  // increasing
+    prev = cur;
+  }
+  // Convexity: midpoint below chord.
+  const double a = 0.2;
+  const double b = 0.9;
+  EXPECT_LE(gf.g0(0.5 * (a + b)), 0.5 * (gf.g0(a) + gf.g0(b)) + 1e-12);
+}
+
+}  // namespace
+}  // namespace gossip::core

@@ -1,0 +1,124 @@
+#include <cmath>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "core/percolation.hpp"
+#include "core/reliability_model.hpp"
+#include "experiment/component_mc.hpp"
+
+namespace gossip::core {
+namespace {
+
+TEST(OccupancyPercolation, UniformOccupancyMatchesScalarSolver) {
+  // q_k = q must reproduce analyze_site_percolation exactly.
+  const auto gf = GeneratingFunction::from_distribution(*poisson_fanout(4.0));
+  for (const double q : {0.3, 0.5, 0.9, 1.0}) {
+    const auto scalar = analyze_site_percolation(gf, q);
+    const auto general = analyze_occupancy_percolation(
+        gf, [q](std::int64_t) { return q; });
+    EXPECT_NEAR(general.occupied_fraction, q, 1e-9) << "q=" << q;
+    EXPECT_NEAR(general.reliability, scalar.reliability, 1e-7) << "q=" << q;
+    EXPECT_NEAR(general.giant_fraction_all, scalar.giant_fraction_all, 1e-7);
+    EXPECT_EQ(general.supercritical, scalar.supercritical) << "q=" << q;
+  }
+}
+
+TEST(OccupancyPercolation, UniformMeanComponentSizeMatchesEq2) {
+  const auto gf = GeneratingFunction::from_distribution(*poisson_fanout(2.0));
+  const double q = 0.3;  // subcritical
+  const auto scalar = analyze_site_percolation(gf, q);
+  const auto general =
+      analyze_occupancy_percolation(gf, [q](std::int64_t) { return q; });
+  EXPECT_NEAR(general.mean_component_size, scalar.mean_component_size, 1e-7);
+}
+
+TEST(OccupancyPercolation, CriticalScaleIsReciprocalTransmissibility) {
+  const auto gf = GeneratingFunction::from_distribution(*poisson_fanout(4.0));
+  const auto result = analyze_occupancy_percolation(
+      gf, [](std::int64_t) { return 0.5; });
+  // F1'(1) = q * z = 2 -> scale 0.5 lands on the transition.
+  EXPECT_NEAR(result.mean_transmissibility, 2.0, 1e-6);
+  EXPECT_NEAR(result.critical_scale, 0.5, 1e-6);
+  EXPECT_TRUE(result.supercritical);
+}
+
+TEST(OccupancyPercolation, KillingHubsIsWorseThanUniformFailures) {
+  // Callaway et al.'s targeted-attack result, which the paper's Eq. (1)
+  // framework supports but never exercises: failing high-degree members
+  // costs far more reliability than failing the same NUMBER of uniformly
+  // chosen members.
+  const auto dist = geometric_fanout(4.0);  // heavy tail: hubs exist
+  const auto gf = GeneratingFunction::from_distribution(*dist);
+
+  // Hub attack: members with fanout >= 8 always fail; others survive.
+  const OccupancyFunction hub_attack = [](std::int64_t k) {
+    return k >= 8 ? 0.0 : 1.0;
+  };
+  const auto attacked = analyze_occupancy_percolation(gf, hub_attack);
+
+  // Uniform failures with the same overall survivor fraction.
+  const double q_uniform = attacked.occupied_fraction;
+  const auto uniform = analyze_occupancy_percolation(
+      gf, [q_uniform](std::int64_t) { return q_uniform; });
+
+  EXPECT_NEAR(uniform.occupied_fraction, attacked.occupied_fraction, 1e-9);
+  EXPECT_LT(attacked.giant_fraction_all, uniform.giant_fraction_all);
+  EXPECT_LT(attacked.mean_transmissibility, uniform.mean_transmissibility);
+}
+
+TEST(OccupancyPercolation, ProtectingHubsBeatsUniformSurvival) {
+  // The flip side: if high-degree members are made reliable, the same
+  // average survival yields a larger giant component.
+  const auto gf =
+      GeneratingFunction::from_distribution(*geometric_fanout(3.0));
+  const OccupancyFunction protect_hubs = [](std::int64_t k) {
+    return k >= 4 ? 1.0 : 0.45;
+  };
+  const auto protected_hubs = analyze_occupancy_percolation(gf, protect_hubs);
+  const double q_uniform = protected_hubs.occupied_fraction;
+  const auto uniform = analyze_occupancy_percolation(
+      gf, [q_uniform](std::int64_t) { return q_uniform; });
+  EXPECT_GT(protected_hubs.giant_fraction_all, uniform.giant_fraction_all);
+}
+
+TEST(OccupancyPercolation, MatchesMonteCarloForDegreeDependentFailures) {
+  const auto dist = poisson_fanout(4.0);
+  const auto gf = GeneratingFunction::from_distribution(*dist);
+  // Low-degree members are flaky, high-degree ones reliable.
+  const OccupancyFunction occupancy = [](std::int64_t k) {
+    return k <= 2 ? 0.4 : 0.9;
+  };
+  const auto analysis = analyze_occupancy_percolation(gf, occupancy);
+
+  experiment::MonteCarloOptions opt;
+  opt.replications = 25;
+  opt.seed = 83;
+  const auto est = experiment::estimate_giant_component_occupancy(
+      3000, *dist, occupancy, opt);
+  EXPECT_NEAR(est.giant_fraction_alive.mean(), analysis.reliability, 0.04);
+  EXPECT_NEAR(est.giant_fraction_all.mean(), analysis.giant_fraction_all,
+              0.04);
+}
+
+TEST(OccupancyPercolation, AllFailedIsDegenerate) {
+  const auto gf = GeneratingFunction::from_distribution(*poisson_fanout(4.0));
+  const auto result = analyze_occupancy_percolation(
+      gf, [](std::int64_t) { return 0.0; });
+  EXPECT_DOUBLE_EQ(result.occupied_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(result.giant_fraction_all, 0.0);
+  EXPECT_FALSE(result.supercritical);
+}
+
+TEST(OccupancyPercolation, RejectsOutOfRangeOccupancy) {
+  const auto gf = GeneratingFunction::from_distribution(*poisson_fanout(2.0));
+  EXPECT_THROW((void)analyze_occupancy_percolation(
+                   gf, [](std::int64_t) { return 1.5; }),
+               std::invalid_argument);
+  EXPECT_THROW((void)analyze_occupancy_percolation(
+                   gf, [](std::int64_t) { return -0.1; }),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gossip::core

@@ -1,0 +1,181 @@
+#include "core/percolation.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "core/reliability_model.hpp"
+
+namespace gossip::core {
+namespace {
+
+TEST(Percolation, CriticalRatioIsInverseMeanExcessDegree) {
+  // Poisson(z): q_c = 1/z (paper Eq. 10).
+  const auto gf =
+      GeneratingFunction::from_distribution(*poisson_fanout(4.0), 1e-13);
+  EXPECT_NEAR(critical_nonfailed_ratio(gf), 0.25, 1e-7);
+  // Fixed k: q_c = 1/(k-1).
+  const auto gf_fixed =
+      GeneratingFunction::from_distribution(*fixed_fanout(5), 1e-13);
+  EXPECT_NEAR(critical_nonfailed_ratio(gf_fixed), 0.25, 1e-12);
+}
+
+TEST(Percolation, NoGiantComponentPossibleWithoutExcessDegree) {
+  // All mass on degree <= 1: G1'(1) = 0, q_c = +inf.
+  const GeneratingFunction gf({0.5, 0.5});
+  EXPECT_TRUE(std::isinf(critical_nonfailed_ratio(gf)));
+  const auto result = analyze_site_percolation(gf, 1.0);
+  EXPECT_FALSE(result.supercritical);
+  EXPECT_DOUBLE_EQ(result.reliability, 0.0);
+}
+
+TEST(Percolation, SubcriticalHasZeroGiantComponent) {
+  const auto gf =
+      GeneratingFunction::from_distribution(*poisson_fanout(2.0), 1e-13);
+  const auto result = analyze_site_percolation(gf, 0.3);  // zq = 0.6 < 1
+  EXPECT_FALSE(result.supercritical);
+  EXPECT_NEAR(result.u, 1.0, 1e-6);
+  EXPECT_NEAR(result.reliability, 0.0, 1e-5);
+  EXPECT_NEAR(result.giant_fraction_all, 0.0, 1e-5);
+}
+
+TEST(Percolation, SupercriticalMatchesPoissonClosedForm) {
+  // The generic solver must reproduce Eq. (11)'s fixed point S = 1-e^{-zqS}.
+  const double z = 4.0;
+  const double q = 0.9;
+  const auto gf =
+      GeneratingFunction::from_distribution(*poisson_fanout(z), 1e-13);
+  const auto result = analyze_site_percolation(gf, q);
+  EXPECT_TRUE(result.supercritical);
+  const double closed = poisson_reliability(z, q);
+  EXPECT_NEAR(result.reliability, closed, 1e-7);
+  // And the fixed point itself satisfies Eq. (11).
+  EXPECT_NEAR(result.reliability,
+              1.0 - std::exp(-z * q * result.reliability), 1e-9);
+}
+
+class PoissonAgreementSweep
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(PoissonAgreementSweep, GenericSolverMatchesClosedForm) {
+  const auto [z, q] = GetParam();
+  const auto gf =
+      GeneratingFunction::from_distribution(*poisson_fanout(z), 1e-13);
+  const auto result = analyze_site_percolation(gf, q);
+  EXPECT_NEAR(result.reliability, poisson_reliability(z, q), 1e-6)
+      << "z=" << z << " q=" << q;
+  EXPECT_GE(result.u, 0.0);
+  EXPECT_LE(result.u, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PoissonAgreementSweep,
+    ::testing::Values(std::pair{1.5, 0.9}, std::pair{2.0, 0.4},
+                      std::pair{3.0, 0.5}, std::pair{4.0, 0.9},
+                      std::pair{5.0, 0.25}, std::pair{6.0, 0.6},
+                      std::pair{6.7, 1.0}, std::pair{10.0, 0.15},
+                      std::pair{1.1, 1.0}, std::pair{2.0, 0.3}));
+
+TEST(Percolation, ReliabilityMonotoneInOccupancy) {
+  const auto gf =
+      GeneratingFunction::from_distribution(*poisson_fanout(4.0), 1e-13);
+  double prev = -1.0;
+  for (double q = 0.3; q <= 1.0; q += 0.05) {
+    const double r = analyze_site_percolation(gf, q).reliability;
+    EXPECT_GE(r, prev - 1e-9) << "q=" << q;
+    prev = r;
+  }
+}
+
+TEST(Percolation, ReliabilityMonotoneInMeanFanout) {
+  double prev = -1.0;
+  for (double z = 1.2; z <= 8.0; z += 0.4) {
+    const auto gf =
+        GeneratingFunction::from_distribution(*poisson_fanout(z), 1e-13);
+    const double r = analyze_site_percolation(gf, 0.8).reliability;
+    EXPECT_GE(r, prev - 1e-9) << "z=" << z;
+    prev = r;
+  }
+}
+
+TEST(Percolation, MeanComponentSizeMatchesEq2) {
+  // <s> = q [1 + q G0'(1) / (1 - q G1'(1))] below the transition.
+  const double z = 2.0;
+  const double q = 0.3;  // zq = 0.6, subcritical
+  const auto gf =
+      GeneratingFunction::from_distribution(*poisson_fanout(z), 1e-13);
+  const auto result = analyze_site_percolation(gf, q);
+  const double expected = q * (1.0 + q * z / (1.0 - q * z));
+  EXPECT_NEAR(result.mean_component_size, expected, 1e-6);
+}
+
+TEST(Percolation, MeanComponentSizeDivergesAtTransition) {
+  const auto gf =
+      GeneratingFunction::from_distribution(*poisson_fanout(4.0), 1e-13);
+  // Exactly at q_c the truncated pmf leaves the denominator a hair above
+  // zero, so accept either +inf or an astronomically large value.
+  const auto at = analyze_site_percolation(gf, 0.25);
+  EXPECT_GT(at.mean_component_size, 1e6);
+  const auto above = analyze_site_percolation(gf, 0.5);    // past q_c
+  EXPECT_TRUE(std::isinf(above.mean_component_size));
+  const auto below = analyze_site_percolation(gf, 0.2);
+  EXPECT_TRUE(std::isfinite(below.mean_component_size));
+  EXPECT_LT(below.mean_component_size, 100.0);
+}
+
+TEST(Percolation, MeanComponentSizeGrowsApproachingTransition) {
+  const auto gf =
+      GeneratingFunction::from_distribution(*poisson_fanout(4.0), 1e-13);
+  double prev = 0.0;
+  for (double q = 0.05; q < 0.25; q += 0.04) {
+    const double s = analyze_site_percolation(gf, q).mean_component_size;
+    EXPECT_GT(s, prev) << "q=" << q;
+    prev = s;
+  }
+}
+
+TEST(Percolation, FullOccupancyFullFanoutGivesNearTotalReliability) {
+  const auto gf =
+      GeneratingFunction::from_distribution(*poisson_fanout(10.0), 1e-13);
+  const auto result = analyze_site_percolation(gf, 1.0);
+  EXPECT_GT(result.reliability, 0.9999);
+}
+
+TEST(Percolation, ZeroOccupancyIsDegenerate) {
+  const auto gf =
+      GeneratingFunction::from_distribution(*poisson_fanout(4.0), 1e-13);
+  const auto result = analyze_site_percolation(gf, 0.0);
+  EXPECT_DOUBLE_EQ(result.reliability, 0.0);
+  EXPECT_DOUBLE_EQ(result.giant_fraction_all, 0.0);
+}
+
+TEST(Percolation, RejectsOutOfRangeOccupancy) {
+  const auto gf =
+      GeneratingFunction::from_distribution(*poisson_fanout(4.0), 1e-13);
+  EXPECT_THROW((void)analyze_site_percolation(gf, -0.1),
+               std::invalid_argument);
+  EXPECT_THROW((void)analyze_site_percolation(gf, 1.1), std::invalid_argument);
+}
+
+TEST(Percolation, GiantFractionAllEqualsReliabilityTimesQ) {
+  const auto gf =
+      GeneratingFunction::from_distribution(*poisson_fanout(5.0), 1e-13);
+  const auto result = analyze_site_percolation(gf, 0.7);
+  EXPECT_NEAR(result.giant_fraction_all, result.reliability * 0.7, 1e-10);
+}
+
+TEST(Percolation, HeavyTailPercolatesMoreEasilyAtEqualMean) {
+  // Geometric's higher excess degree lowers q_c versus Poisson of the same
+  // mean — the shape effect the paper's generality argument is about.
+  const double mean = 3.0;
+  const auto gf_poisson =
+      GeneratingFunction::from_distribution(*poisson_fanout(mean), 1e-13);
+  const auto gf_geo =
+      GeneratingFunction::from_distribution(*geometric_fanout(mean), 1e-13);
+  EXPECT_LT(critical_nonfailed_ratio(gf_geo),
+            critical_nonfailed_ratio(gf_poisson));
+}
+
+}  // namespace
+}  // namespace gossip::core

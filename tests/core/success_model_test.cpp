@@ -1,0 +1,134 @@
+#include "core/success_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace gossip::core {
+namespace {
+
+TEST(SuccessProbability, MatchesEq5) {
+  // Eq. (5): Pr = 1 - (1 - p_r)^t.
+  EXPECT_NEAR(success_probability(0.5, 1), 0.5, 1e-12);
+  EXPECT_NEAR(success_probability(0.5, 3), 1.0 - 0.125, 1e-12);
+  EXPECT_NEAR(success_probability(0.967, 3), 1.0 - std::pow(0.033, 3.0),
+              1e-12);
+}
+
+TEST(SuccessProbability, EdgeCases) {
+  EXPECT_DOUBLE_EQ(success_probability(0.0, 10), 0.0);
+  EXPECT_DOUBLE_EQ(success_probability(1.0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(success_probability(0.7, 0), 0.0);
+}
+
+TEST(SuccessProbability, MonotoneInExecutions) {
+  double prev = 0.0;
+  for (std::int64_t t = 1; t <= 30; ++t) {
+    const double p = success_probability(0.3, t);
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+  EXPECT_GT(prev, 0.9999);
+}
+
+TEST(SuccessProbability, RejectsInvalidArguments) {
+  EXPECT_THROW((void)success_probability(-0.1, 1), std::invalid_argument);
+  EXPECT_THROW((void)success_probability(1.1, 1), std::invalid_argument);
+  EXPECT_THROW((void)success_probability(0.5, -1), std::invalid_argument);
+}
+
+TEST(RequiredExecutions, ReproducesPaperExample) {
+  // Section 5.2: lg(1-0.999)/lg(1-0.967) -> t must be at least 3.
+  EXPECT_EQ(required_executions(0.967, 0.999), 3);
+}
+
+TEST(RequiredExecutions, MatchesEq6Ceiling) {
+  for (const double pr : {0.3, 0.5, 0.8, 0.967, 0.99}) {
+    for (const double ps : {0.9, 0.99, 0.999, 0.999999}) {
+      const auto t = required_executions(pr, ps);
+      // t achieves the target...
+      EXPECT_GE(success_probability(pr, t), ps) << pr << " " << ps;
+      // ...and t-1 does not (minimality).
+      if (t > 0) {
+        EXPECT_LT(success_probability(pr, t - 1), ps) << pr << " " << ps;
+      }
+    }
+  }
+}
+
+TEST(RequiredExecutions, PerfectReliabilityNeedsOneExecution) {
+  EXPECT_EQ(required_executions(1.0, 0.999), 1);
+}
+
+TEST(RequiredExecutions, ZeroTargetNeedsNothing) {
+  EXPECT_EQ(required_executions(0.5, 0.0), 0);
+}
+
+TEST(RequiredExecutions, UnreachableTargetThrows) {
+  EXPECT_THROW((void)required_executions(0.0, 0.999), std::domain_error);
+}
+
+TEST(RequiredExecutions, RejectsTargetOfOne) {
+  // (1 - p_s) = 0 makes Eq. (6) undefined: certainty is never guaranteed.
+  EXPECT_THROW((void)required_executions(0.5, 1.0), std::invalid_argument);
+}
+
+TEST(SuccessCountPmf, IsBinomialDistribution) {
+  const auto pmf = success_count_pmf(20, 0.967);
+  ASSERT_EQ(pmf.size(), 21u);
+  double sum = 0.0;
+  double mean = 0.0;
+  for (std::size_t k = 0; k < pmf.size(); ++k) {
+    sum += pmf[k];
+    mean += static_cast<double>(k) * pmf[k];
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-10);
+  EXPECT_NEAR(mean, 20.0 * 0.967, 1e-8);
+  // Mode at k = 20 for p = 0.967 (paper Figs. 6-7 peak at the right edge).
+  EXPECT_GT(pmf[20], pmf[19]);
+  EXPECT_GT(pmf[19], pmf[18]);
+}
+
+TEST(SuccessCountPmf, MatchesBruteForceEnumeration) {
+  // Brute force over all 2^t outcomes for small t.
+  const std::int64_t t = 6;
+  const double p = 0.42;
+  const auto pmf = success_count_pmf(t, p);
+  std::vector<double> brute(static_cast<std::size_t>(t) + 1, 0.0);
+  for (int mask = 0; mask < (1 << t); ++mask) {
+    double prob = 1.0;
+    int ones = 0;
+    for (int b = 0; b < t; ++b) {
+      if (mask & (1 << b)) {
+        prob *= p;
+        ++ones;
+      } else {
+        prob *= 1.0 - p;
+      }
+    }
+    brute[static_cast<std::size_t>(ones)] += prob;
+  }
+  for (std::size_t k = 0; k < brute.size(); ++k) {
+    EXPECT_NEAR(pmf[k], brute[k], 1e-12) << "k=" << k;
+  }
+}
+
+TEST(SuccessCountPmf, DegenerateExecutions) {
+  const auto pmf = success_count_pmf(0, 0.5);
+  ASSERT_EQ(pmf.size(), 1u);
+  EXPECT_DOUBLE_EQ(pmf[0], 1.0);
+  EXPECT_THROW((void)success_count_pmf(-1, 0.5), std::invalid_argument);
+}
+
+TEST(SuccessModel, ConsistencyBetweenPmfAndEq5) {
+  // Pr(X >= 1) from the pmf must equal Eq. (5).
+  const std::int64_t t = 12;
+  const double p = 0.37;
+  const auto pmf = success_count_pmf(t, p);
+  const double at_least_one = 1.0 - pmf[0];
+  EXPECT_NEAR(at_least_one, success_probability(p, t), 1e-12);
+}
+
+}  // namespace
+}  // namespace gossip::core

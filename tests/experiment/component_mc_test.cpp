@@ -1,0 +1,172 @@
+#include "experiment/component_mc.hpp"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "core/reliability_model.hpp"
+#include "core/success_model.hpp"
+#include "stats/gof.hpp"
+
+namespace gossip::experiment {
+namespace {
+
+TEST(GiantComponentEstimate, MatchesAnalysisSupercritical) {
+  // The paper's own simulation metric: relative giant-component size among
+  // non-failed nodes ~ Eq. (11) S.
+  const double z = 4.0;
+  const double q = 0.9;
+  const auto fanout = core::poisson_fanout(z);
+  MonteCarloOptions opt;
+  opt.replications = 20;
+  opt.seed = 5;
+  const auto est = estimate_giant_component(2000, *fanout, q, opt);
+  EXPECT_NEAR(est.giant_fraction_alive.mean(),
+              core::poisson_reliability(z, q), 0.01);
+  // Callaway's S (fraction of all nodes) = q * reliability.
+  EXPECT_NEAR(est.giant_fraction_all.mean(),
+              q * core::poisson_reliability(z, q), 0.01);
+}
+
+TEST(GiantComponentEstimate, SmallNearCriticalPoint) {
+  const auto fanout = core::poisson_fanout(2.0);
+  MonteCarloOptions opt;
+  opt.replications = 20;
+  // zq = 0.7: subcritical; finite-size giant fraction stays small.
+  const auto est = estimate_giant_component(2000, *fanout, 0.35, opt);
+  EXPECT_LT(est.giant_fraction_alive.mean(), 0.1);
+}
+
+TEST(GiantComponentEstimate, LargerGroupsTrackAnalysisBetter) {
+  // Section 5.1's observation: "our modeling works better in larger scale
+  // systems".
+  const double z = 3.0;
+  const double q = 0.6;
+  const double analysis = core::poisson_reliability(z, q);
+  const auto fanout = core::poisson_fanout(z);
+  MonteCarloOptions opt;
+  opt.replications = 30;
+  const auto small = estimate_giant_component(200, *fanout, q, opt);
+  const auto large = estimate_giant_component(4000, *fanout, q, opt);
+  const double err_small = std::abs(small.giant_fraction_alive.mean() -
+                                    analysis);
+  const double err_large = std::abs(large.giant_fraction_alive.mean() -
+                                    analysis);
+  EXPECT_LT(err_large, err_small + 0.01);
+}
+
+TEST(GiantComponentEstimate, MeanComponentSizeMatchesEq2Subcritical) {
+  // Below the transition, Eq. (2) <s> = q[1 + qz/(1-qz)] is the mean size
+  // of a random member's component (failed members counting 0). Poisson
+  // z = 2, q = 0.3 -> <s> = 0.3 * (1 + 0.6/0.4) = 0.75.
+  const auto fanout = core::poisson_fanout(2.0);
+  MonteCarloOptions opt;
+  opt.replications = 30;
+  opt.seed = 21;
+  const auto est = estimate_giant_component(5000, *fanout, 0.3, opt);
+  EXPECT_NEAR(est.mean_component_size.mean(), 0.75, 0.05);
+}
+
+TEST(GiantComponentEstimate, MeanComponentSizeGrowsTowardTransition) {
+  const auto fanout = core::poisson_fanout(4.0);
+  MonteCarloOptions opt;
+  opt.replications = 15;
+  opt.seed = 22;
+  const auto far = estimate_giant_component(3000, *fanout, 0.10, opt);
+  const auto near = estimate_giant_component(3000, *fanout, 0.22, opt);
+  EXPECT_GT(near.mean_component_size.mean(), far.mean_component_size.mean());
+}
+
+TEST(GiantComponentEstimate, ValidationErrors) {
+  const auto fanout = core::poisson_fanout(2.0);
+  MonteCarloOptions opt;
+  EXPECT_THROW((void)estimate_giant_component(1, *fanout, 0.5, opt),
+               std::invalid_argument);
+  EXPECT_THROW((void)estimate_giant_component(100, *fanout, 0.0, opt),
+               std::invalid_argument);
+  opt.replications = 0;
+  EXPECT_THROW((void)estimate_giant_component(100, *fanout, 0.5, opt),
+               std::invalid_argument);
+}
+
+TEST(SuccessCountExperiment, GiantMetricFollowsBinomialModel) {
+  // Scaled-down Fig. 6: the X histogram must fit B(t, S) by chi-square.
+  SuccessCountParams params;
+  params.num_nodes = 600;
+  params.fanout = core::poisson_fanout(4.0);
+  params.nonfailed_ratio = 0.9;
+  params.executions = 20;
+  params.simulations = 20;
+  params.metric = SuccessMetric::kGiantMembership;
+  MonteCarloOptions opt;
+  opt.seed = 11;
+  const auto result = run_success_count_experiment(params, opt);
+
+  const double s = core::poisson_reliability(4.0, 0.9);
+  EXPECT_NEAR(result.mean_count, 20.0 * s, 0.3);
+
+  std::vector<std::uint64_t> observed;
+  for (std::int64_t k = 0; k <= 20; ++k) {
+    observed.push_back(result.histogram.count(k));
+  }
+  const auto expected = core::success_count_pmf(20, s);
+  const auto gof = stats::chi_square_test(observed, expected);
+  // Members within one execution are correlated (they share the same
+  // realized graph), which inflates the chi-square statistic relative to
+  // i.i.d. sampling; accept a loose threshold and check the mean hard.
+  EXPECT_GT(gof.p_value, 1e-6);
+}
+
+TEST(SuccessCountExperiment, DeliveryMetricIsDeflatedByDieOut) {
+  SuccessCountParams params;
+  params.num_nodes = 600;
+  params.fanout = core::poisson_fanout(4.0);
+  params.nonfailed_ratio = 0.9;
+  params.executions = 20;
+  params.simulations = 10;
+  MonteCarloOptions opt;
+  opt.seed = 13;
+
+  params.metric = SuccessMetric::kGiantMembership;
+  const auto giant = run_success_count_experiment(params, opt);
+  params.metric = SuccessMetric::kSourceDelivery;
+  const auto delivery = run_success_count_experiment(params, opt);
+
+  const double s = core::poisson_reliability(4.0, 0.9);
+  EXPECT_GT(giant.mean_count, delivery.mean_count);
+  EXPECT_NEAR(delivery.mean_count, 20.0 * s * s, 1.0);
+}
+
+TEST(SuccessCountExperiment, SampleCountMatchesAliveMembers) {
+  SuccessCountParams params;
+  params.num_nodes = 200;
+  params.fanout = core::poisson_fanout(3.0);
+  params.nonfailed_ratio = 0.5;
+  params.executions = 5;
+  params.simulations = 4;
+  MonteCarloOptions opt;
+  const auto result = run_success_count_experiment(params, opt);
+  EXPECT_EQ(result.histogram.total(), result.member_samples);
+  // ~ simulations * (n*q - 1) samples.
+  EXPECT_NEAR(static_cast<double>(result.member_samples), 4.0 * 99.0, 60.0);
+}
+
+TEST(SuccessCountExperiment, ValidationErrors) {
+  SuccessCountParams params;
+  MonteCarloOptions opt;
+  params.num_nodes = 1;
+  params.fanout = core::poisson_fanout(2.0);
+  EXPECT_THROW((void)run_success_count_experiment(params, opt),
+               std::invalid_argument);
+  params.num_nodes = 100;
+  params.fanout = nullptr;
+  EXPECT_THROW((void)run_success_count_experiment(params, opt),
+               std::invalid_argument);
+  params.fanout = core::poisson_fanout(2.0);
+  params.executions = 0;
+  EXPECT_THROW((void)run_success_count_experiment(params, opt),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gossip::experiment

@@ -1,0 +1,161 @@
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "experiment/csv.hpp"
+#include "experiment/sweep.hpp"
+#include "experiment/table.hpp"
+
+namespace gossip::experiment {
+namespace {
+
+// ---- TextTable ----
+
+TEST(TextTable, PrintsAlignedHeaderAndRows) {
+  TextTable table;
+  table.column("f", 6).column("S", 8);
+  table.add_row({"1.10", "0.0000"});
+  table.add_row({"6.70", "0.9991"});
+  std::ostringstream os;
+  table.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("f"), std::string::npos);
+  EXPECT_NE(out.find("0.9991"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  // Four lines: header, separator, two rows.
+  int newlines = 0;
+  for (const char c : out) {
+    if (c == '\n') ++newlines;
+  }
+  EXPECT_EQ(newlines, 4);
+}
+
+TEST(TextTable, RejectsMismatchedRow) {
+  TextTable table;
+  table.column("a", 4).column("b", 4);
+  EXPECT_THROW(table.add_row({"1"}), std::invalid_argument);
+}
+
+TEST(TextTable, RejectsInvalidWidth) {
+  TextTable table;
+  EXPECT_THROW(table.column("x", 0), std::invalid_argument);
+}
+
+TEST(FmtDouble, FixedPrecision) {
+  EXPECT_EQ(fmt_double(0.96951, 4), "0.9695");
+  EXPECT_EQ(fmt_double(2.0, 1), "2.0");
+  EXPECT_EQ(fmt_double(-1.25, 2), "-1.25");
+}
+
+TEST(FmtPm, CombinesValueAndHalfWidth) {
+  EXPECT_EQ(fmt_pm(0.5, 0.01, 2), "0.50+-0.01");
+}
+
+// ---- CsvWriter ----
+
+TEST(CsvWriter, WritesHeaderAndRows) {
+  const std::string path = "/tmp/gossip_csv_test.csv";
+  {
+    CsvWriter csv(path, {"a", "b"});
+    csv.add_row({"1", "2"});
+    csv.add_row({"3", "4"});
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2");
+  std::getline(in, line);
+  EXPECT_EQ(line, "3,4");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriter, QuotesCellsContainingCommas) {
+  const std::string path = "/tmp/gossip_csv_quote_test.csv";
+  {
+    CsvWriter csv(path, {"x"});
+    csv.add_row({"hello,world"});
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);  // header
+  std::getline(in, line);
+  EXPECT_EQ(line, "\"hello,world\"");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriter, RejectsMismatchedRowAndEmptyHeader) {
+  const std::string path = "/tmp/gossip_csv_err_test.csv";
+  CsvWriter csv(path, {"a", "b"});
+  EXPECT_THROW(csv.add_row({"1"}), std::invalid_argument);
+  EXPECT_THROW(CsvWriter("/tmp/gossip_csv_err2.csv", {}),
+               std::invalid_argument);
+  std::remove(path.c_str());
+  std::remove("/tmp/gossip_csv_err2.csv");
+}
+
+TEST(CsvWriter, ThrowsOnUnwritablePath) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir/foo.csv", {"a"}),
+               std::runtime_error);
+}
+
+TEST(CsvPathIn, CreatesDirectory) {
+  const std::string dir = "/tmp/gossip_csv_dir_test";
+  std::filesystem::remove_all(dir);
+  const std::string path = csv_path_in(dir, "out.csv");
+  EXPECT_EQ(path, dir + "/out.csv");
+  EXPECT_TRUE(std::filesystem::exists(dir));
+  std::filesystem::remove_all(dir);
+}
+
+// ---- sweep ----
+
+TEST(Linspace, EndpointsAndCount) {
+  const auto v = linspace(0.0, 1.0, 5);
+  ASSERT_EQ(v.size(), 5u);
+  EXPECT_DOUBLE_EQ(v.front(), 0.0);
+  EXPECT_DOUBLE_EQ(v.back(), 1.0);
+  EXPECT_DOUBLE_EQ(v[2], 0.5);
+}
+
+TEST(Linspace, SinglePoint) {
+  const auto v = linspace(3.0, 9.0, 1);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_DOUBLE_EQ(v[0], 3.0);
+}
+
+TEST(Linspace, RejectsNonPositiveCount) {
+  EXPECT_THROW((void)linspace(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(ArangeInclusive, IncludesEndpointWithinSlack) {
+  const auto v = arange_inclusive(1.1, 6.7, 0.4);
+  ASSERT_FALSE(v.empty());
+  EXPECT_DOUBLE_EQ(v.front(), 1.1);
+  EXPECT_NEAR(v.back(), 6.7, 1e-9);
+}
+
+TEST(ArangeInclusive, RejectsNonPositiveStep) {
+  EXPECT_THROW((void)arange_inclusive(0.0, 1.0, 0.0), std::invalid_argument);
+}
+
+TEST(PaperGrids, MatchSection51) {
+  // "varied from 1.10 to 6.7 with an incremental step 0.4" -> 15 points.
+  const auto fanouts = paper_fanout_grid();
+  ASSERT_EQ(fanouts.size(), 15u);
+  EXPECT_DOUBLE_EQ(fanouts.front(), 1.1);
+  EXPECT_NEAR(fanouts.back(), 6.7, 1e-9);
+  for (std::size_t i = 1; i < fanouts.size(); ++i) {
+    EXPECT_NEAR(fanouts[i] - fanouts[i - 1], 0.4, 1e-9);
+  }
+  EXPECT_EQ(paper_q_grid_a(), (std::vector<double>{0.1, 0.3, 0.5, 1.0}));
+  EXPECT_EQ(paper_q_grid_b(), (std::vector<double>{0.4, 0.6, 0.8, 1.0}));
+}
+
+}  // namespace
+}  // namespace gossip::experiment

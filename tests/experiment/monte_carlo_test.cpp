@@ -1,0 +1,147 @@
+#include "experiment/monte_carlo.hpp"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "core/reliability_model.hpp"
+
+namespace gossip::experiment {
+namespace {
+
+TEST(GraphMonteCarlo, DeterministicForSameSeed) {
+  const auto fanout = core::poisson_fanout(4.0);
+  MonteCarloOptions opt;
+  opt.replications = 10;
+  opt.seed = 123;
+  const auto a = estimate_reliability_graph(500, *fanout, 0.9, opt);
+  const auto b = estimate_reliability_graph(500, *fanout, 0.9, opt);
+  EXPECT_DOUBLE_EQ(a.mean_reliability(), b.mean_reliability());
+  EXPECT_EQ(a.success_count, b.success_count);
+}
+
+TEST(GraphMonteCarlo, PoolAndSerialProduceIdenticalEstimates) {
+  const auto fanout = core::poisson_fanout(3.0);
+  MonteCarloOptions serial;
+  serial.replications = 16;
+  serial.seed = 7;
+  MonteCarloOptions pooled = serial;
+  parallel::ThreadPool pool(4);
+  pooled.pool = &pool;
+  const auto a = estimate_reliability_graph(400, *fanout, 0.8, serial);
+  const auto b = estimate_reliability_graph(400, *fanout, 0.8, pooled);
+  EXPECT_DOUBLE_EQ(a.mean_reliability(), b.mean_reliability());
+  EXPECT_DOUBLE_EQ(a.messages.mean(), b.messages.mean());
+  EXPECT_EQ(a.success_count, b.success_count);
+}
+
+TEST(GraphMonteCarlo, DifferentSeedsDiffer) {
+  const auto fanout = core::poisson_fanout(3.0);
+  MonteCarloOptions opt1;
+  opt1.replications = 10;
+  opt1.seed = 1;
+  MonteCarloOptions opt2 = opt1;
+  opt2.seed = 2;
+  const auto a = estimate_reliability_graph(500, *fanout, 0.8, opt1);
+  const auto b = estimate_reliability_graph(500, *fanout, 0.8, opt2);
+  EXPECT_NE(a.mean_reliability(), b.mean_reliability());
+}
+
+TEST(GraphMonteCarlo, SubcriticalReliabilityIsNearZero) {
+  const auto fanout = core::poisson_fanout(1.5);
+  MonteCarloOptions opt;
+  opt.replications = 20;
+  const auto est = estimate_reliability_graph(2000, *fanout, 0.3, opt);
+  EXPECT_LT(est.mean_reliability(), 0.05);  // zq = 0.45
+  EXPECT_EQ(est.success_count, 0u);
+}
+
+TEST(GraphMonteCarlo, SaturatedRegimeApproachesOne) {
+  const auto fanout = core::poisson_fanout(10.0);
+  MonteCarloOptions opt;
+  opt.replications = 20;
+  const auto est = estimate_reliability_graph(1000, *fanout, 1.0, opt);
+  EXPECT_GT(est.mean_reliability(), 0.99);
+}
+
+TEST(GraphMonteCarlo, UnconditionalDeliveryAveragesNearSSquared) {
+  // The delivery metric includes total cascade die-out (probability ~1-S),
+  // so its unconditional mean is ~S^2, not S. This is the documented gap
+  // between the protocol metric and the paper's component metric.
+  const double z = 4.0;
+  const double q = 0.9;
+  const double s = core::poisson_reliability(z, q);
+  const auto fanout = core::poisson_fanout(z);
+  MonteCarloOptions opt;
+  opt.replications = 400;
+  const auto est = estimate_reliability_graph(1000, *fanout, q, opt);
+  EXPECT_NEAR(est.mean_reliability(), s * s, 0.03);
+}
+
+TEST(GraphMonteCarlo, MessageCountTracksAliveTimesFanout) {
+  const double z = 3.0;
+  const double q = 0.5;
+  const auto fanout = core::poisson_fanout(z);
+  MonteCarloOptions opt;
+  opt.replications = 30;
+  const std::uint32_t n = 1000;
+  const auto est = estimate_reliability_graph(n, *fanout, q, opt);
+  const double expected = static_cast<double>(n) * q * z;
+  EXPECT_NEAR(est.messages.mean(), expected, expected * 0.1);
+}
+
+TEST(GraphMonteCarlo, ValidationErrors) {
+  const auto fanout = core::poisson_fanout(2.0);
+  MonteCarloOptions opt;
+  opt.replications = 0;
+  EXPECT_THROW((void)estimate_reliability_graph(100, *fanout, 0.5, opt),
+               std::invalid_argument);
+  opt.replications = 1;
+  EXPECT_THROW((void)estimate_reliability_graph(1, *fanout, 0.5, opt),
+               std::invalid_argument);
+}
+
+TEST(ProtocolMonteCarlo, MatchesGraphBackendWithinTolerance) {
+  // Same metric, two backends: message-level DES vs sampled digraph BFS.
+  protocol::GossipParams params;
+  params.num_nodes = 400;
+  params.source = 0;
+  params.nonfailed_ratio = 0.9;
+  params.fanout = core::poisson_fanout(4.0);
+  MonteCarloOptions opt;
+  opt.replications = 60;
+  opt.seed = 99;
+  const auto des = estimate_reliability_protocol(params, opt);
+  const auto mc =
+      estimate_reliability_graph(400, *params.fanout, 0.9, opt);
+  EXPECT_NEAR(des.mean_reliability(), mc.mean_reliability(), 0.08);
+}
+
+TEST(ProtocolMonteCarlo, DeterministicForSameSeed) {
+  protocol::GossipParams params;
+  params.num_nodes = 100;
+  params.fanout = core::poisson_fanout(3.0);
+  params.nonfailed_ratio = 0.7;
+  MonteCarloOptions opt;
+  opt.replications = 5;
+  opt.seed = 3;
+  const auto a = estimate_reliability_protocol(params, opt);
+  const auto b = estimate_reliability_protocol(params, opt);
+  EXPECT_DOUBLE_EQ(a.mean_reliability(), b.mean_reliability());
+}
+
+TEST(ReliabilityEstimate, DerivedQuantities) {
+  const auto fanout = core::poisson_fanout(8.0);
+  MonteCarloOptions opt;
+  opt.replications = 25;
+  const auto est = estimate_reliability_graph(200, *fanout, 1.0, opt);
+  EXPECT_EQ(est.replications, 25u);
+  EXPECT_GE(est.success_rate(), 0.0);
+  EXPECT_LE(est.success_rate(), 1.0);
+  const auto ci = est.reliability_ci();
+  EXPECT_LE(ci.lo, est.mean_reliability());
+  EXPECT_GE(ci.hi, est.mean_reliability());
+}
+
+}  // namespace
+}  // namespace gossip::experiment

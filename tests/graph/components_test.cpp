@@ -1,0 +1,118 @@
+#include "graph/components.hpp"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace gossip::graph {
+namespace {
+
+Digraph make_undirected(std::initializer_list<std::pair<NodeId, NodeId>> edges,
+                        NodeId n) {
+  DigraphBuilder b(n);
+  for (const auto& [u, v] : edges) {
+    b.add_edge(u, v);
+    b.add_edge(v, u);
+  }
+  return std::move(b).build();
+}
+
+TEST(UnionFind, StartsFullyDisjoint) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.num_components(), 5u);
+  for (NodeId v = 0; v < 5; ++v) {
+    EXPECT_EQ(uf.find(v), v);
+    EXPECT_EQ(uf.size_of(v), 1u);
+  }
+}
+
+TEST(UnionFind, UniteMergesAndCounts) {
+  UnionFind uf(4);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_TRUE(uf.unite(2, 3));
+  EXPECT_EQ(uf.num_components(), 2u);
+  EXPECT_FALSE(uf.unite(1, 0));  // already together
+  EXPECT_TRUE(uf.unite(1, 3));
+  EXPECT_EQ(uf.num_components(), 1u);
+  EXPECT_EQ(uf.size_of(2), 4u);
+  EXPECT_EQ(uf.find(0), uf.find(3));
+}
+
+TEST(UndirectedComponents, IdentifiesSeparateComponents) {
+  // {0,1,2} and {3,4}; 5 isolated.
+  const auto g = make_undirected({{0, 1}, {1, 2}, {3, 4}}, 6);
+  const auto result = undirected_components(g);
+  EXPECT_EQ(result.sizes.size(), 3u);
+  EXPECT_EQ(result.giant_size, 3u);
+  EXPECT_TRUE(result.in_giant(0));
+  EXPECT_TRUE(result.in_giant(1));
+  EXPECT_TRUE(result.in_giant(2));
+  EXPECT_FALSE(result.in_giant(3));
+  EXPECT_FALSE(result.in_giant(5));
+  EXPECT_EQ(result.label[3], result.label[4]);
+  EXPECT_NE(result.label[0], result.label[3]);
+}
+
+TEST(UndirectedComponents, SingleNodeGraph) {
+  DigraphBuilder b(1);
+  const auto g = std::move(b).build();
+  const auto result = undirected_components(g);
+  EXPECT_EQ(result.giant_size, 1u);
+  EXPECT_TRUE(result.in_giant(0));
+}
+
+TEST(UndirectedComponents, FullyConnectedGraph) {
+  const auto g = make_undirected({{0, 1}, {1, 2}, {2, 3}, {3, 0}}, 4);
+  const auto result = undirected_components(g);
+  EXPECT_EQ(result.sizes.size(), 1u);
+  EXPECT_EQ(result.giant_size, 4u);
+}
+
+TEST(UndirectedComponents, IncludeMaskRemovesNodesAndTheirEdges) {
+  // Path 0-1-2-3; excluding node 1 splits {0} and {2,3}.
+  const auto g = make_undirected({{0, 1}, {1, 2}, {2, 3}}, 4);
+  const std::vector<std::uint8_t> include{1, 0, 1, 1};
+  const auto result = undirected_components(g, include);
+  EXPECT_EQ(result.label[1], ComponentsResult::kNoComponent);
+  EXPECT_FALSE(result.in_giant(1));
+  EXPECT_EQ(result.giant_size, 2u);
+  EXPECT_TRUE(result.in_giant(2));
+  EXPECT_TRUE(result.in_giant(3));
+  EXPECT_FALSE(result.in_giant(0));
+}
+
+TEST(UndirectedComponents, AllExcludedYieldsNoComponents) {
+  const auto g = make_undirected({{0, 1}}, 2);
+  const std::vector<std::uint8_t> include{0, 0};
+  const auto result = undirected_components(g, include);
+  EXPECT_EQ(result.sizes.size(), 0u);
+  EXPECT_EQ(result.giant_size, 0u);
+  EXPECT_EQ(result.giant_id, ComponentsResult::kNoComponent);
+}
+
+TEST(UndirectedComponents, MaskSizeMismatchThrows) {
+  const auto g = make_undirected({{0, 1}}, 2);
+  EXPECT_THROW((void)undirected_components(g, {1}), std::invalid_argument);
+}
+
+TEST(UndirectedComponents, SizesSumToIncludedCount) {
+  const auto g =
+      make_undirected({{0, 1}, {2, 3}, {4, 5}, {5, 6}, {8, 9}}, 10);
+  const std::vector<std::uint8_t> include{1, 1, 1, 1, 1, 1, 1, 0, 1, 1};
+  const auto result = undirected_components(g, include);
+  std::uint32_t total = 0;
+  for (const auto s : result.sizes) total += s;
+  EXPECT_EQ(total, 9u);
+}
+
+TEST(UndirectedComponents, DirectedEdgesAreTreatedAsUndirected) {
+  // One-way edge 0 -> 1 still connects them undirectedly.
+  DigraphBuilder b(2);
+  b.add_edge(0, 1);
+  const auto g = std::move(b).build();
+  const auto result = undirected_components(g);
+  EXPECT_EQ(result.giant_size, 2u);
+}
+
+}  // namespace
+}  // namespace gossip::graph

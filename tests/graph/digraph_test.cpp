@@ -1,0 +1,123 @@
+#include "graph/digraph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace gossip::graph {
+namespace {
+
+TEST(DigraphBuilder, BuildsCsrWithCorrectAdjacency) {
+  DigraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(0, 2);
+  b.add_edge(2, 3);
+  b.add_edge(3, 0);
+  const Digraph g = std::move(b).build();
+
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.out_degree(0), 2u);
+  EXPECT_EQ(g.out_degree(1), 0u);
+  EXPECT_EQ(g.out_degree(2), 1u);
+  EXPECT_EQ(g.out_degree(3), 1u);
+
+  const auto n0 = g.out_neighbors(0);
+  std::vector<NodeId> v0(n0.begin(), n0.end());
+  std::sort(v0.begin(), v0.end());
+  EXPECT_EQ(v0, (std::vector<NodeId>{1, 2}));
+  EXPECT_EQ(g.out_neighbors(2)[0], 3u);
+}
+
+TEST(DigraphBuilder, PreservesInsertionOrderWithinNode) {
+  DigraphBuilder b(3);
+  b.add_edge(1, 2);
+  b.add_edge(1, 0);
+  b.add_edge(1, 2);
+  const Digraph g = std::move(b).build();
+  const auto n = g.out_neighbors(1);
+  ASSERT_EQ(n.size(), 3u);
+  EXPECT_EQ(n[0], 2u);
+  EXPECT_EQ(n[1], 0u);
+  EXPECT_EQ(n[2], 2u);
+}
+
+TEST(DigraphBuilder, EmptyGraph) {
+  DigraphBuilder b(5);
+  const Digraph g = std::move(b).build();
+  EXPECT_EQ(g.num_nodes(), 5u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  for (NodeId v = 0; v < 5; ++v) {
+    EXPECT_EQ(g.out_degree(v), 0u);
+    EXPECT_TRUE(g.out_neighbors(v).empty());
+  }
+}
+
+TEST(DigraphBuilder, RejectsOutOfRangeEndpoints) {
+  DigraphBuilder b(3);
+  EXPECT_THROW(b.add_edge(3, 0), std::out_of_range);
+  EXPECT_THROW(b.add_edge(0, 3), std::out_of_range);
+}
+
+TEST(DigraphBuilder, ReserveDoesNotChangeSemantics) {
+  DigraphBuilder b(2);
+  b.reserve(100);
+  b.add_edge(0, 1);
+  EXPECT_EQ(b.num_edges(), 1u);
+  const Digraph g = std::move(b).build();
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(Digraph, DefaultConstructedIsEmpty) {
+  const Digraph g;
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(Digraph, ExplicitCsrConstruction) {
+  const Digraph g({0, 2, 2, 3}, {1, 2, 0});
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.out_degree(0), 2u);
+  EXPECT_EQ(g.out_degree(1), 0u);
+}
+
+TEST(Digraph, RejectsInconsistentCsr) {
+  EXPECT_THROW(Digraph({1, 2}, {0}), std::invalid_argument);    // front != 0
+  EXPECT_THROW(Digraph({0, 2}, {0}), std::invalid_argument);    // back != E
+  EXPECT_THROW(Digraph({0, 2, 1, 3}, {0, 0, 0}),                // non-monotone
+               std::invalid_argument);
+  EXPECT_THROW(Digraph({}, {}), std::invalid_argument);         // no offsets
+}
+
+TEST(Digraph, SelfLoopsAndParallelEdgesAreRepresentable) {
+  DigraphBuilder b(2);
+  b.add_edge(0, 0);
+  b.add_edge(0, 1);
+  b.add_edge(0, 1);
+  const Digraph g = std::move(b).build();
+  EXPECT_EQ(g.out_degree(0), 3u);
+}
+
+TEST(DigraphBuilder, LargeCountingSortIsConsistent) {
+  const NodeId n = 1000;
+  DigraphBuilder b(n);
+  // Every node points to (v+1) % n and (v+7) % n.
+  for (NodeId v = 0; v < n; ++v) {
+    b.add_edge(v, (v + 1) % n);
+    b.add_edge(v, (v + 7) % n);
+  }
+  const Digraph g = std::move(b).build();
+  EXPECT_EQ(g.num_edges(), 2000u);
+  for (NodeId v = 0; v < n; ++v) {
+    ASSERT_EQ(g.out_degree(v), 2u);
+    const auto nb = g.out_neighbors(v);
+    EXPECT_EQ(nb[0], (v + 1) % n);
+    EXPECT_EQ(nb[1], (v + 7) % n);
+  }
+}
+
+}  // namespace
+}  // namespace gossip::graph

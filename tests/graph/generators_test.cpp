@@ -1,0 +1,225 @@
+#include "graph/generators.hpp"
+
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "rng/distributions.hpp"
+#include "stats/summary.hpp"
+
+namespace gossip::graph {
+namespace {
+
+TEST(MakeGossipDigraph, SourceIsAlwaysAlive) {
+  GossipGraphParams p;
+  p.num_nodes = 100;
+  p.source = 42;
+  p.alive_probability = 0.01;  // almost everyone fails
+  rng::RngStream rng(1);
+  const auto sampler = [](rng::RngStream&) -> std::int64_t { return 2; };
+  for (int i = 0; i < 20; ++i) {
+    const auto g = make_gossip_digraph(p, sampler, rng);
+    ASSERT_EQ(g.alive[42], 1);
+    ASSERT_GE(g.alive_count, 1u);
+  }
+}
+
+TEST(MakeGossipDigraph, CrashedNodesHaveNoOutEdges) {
+  GossipGraphParams p;
+  p.num_nodes = 200;
+  p.alive_probability = 0.5;
+  rng::RngStream rng(2);
+  const auto sampler = [](rng::RngStream&) -> std::int64_t { return 3; };
+  const auto g = make_gossip_digraph(p, sampler, rng);
+  for (NodeId v = 0; v < p.num_nodes; ++v) {
+    if (!g.alive[v]) {
+      EXPECT_EQ(g.graph.out_degree(v), 0u) << "node " << v;
+    } else {
+      EXPECT_EQ(g.graph.out_degree(v), 3u) << "node " << v;
+    }
+  }
+}
+
+TEST(MakeGossipDigraph, NoSelfLoopsOrDuplicateTargets) {
+  GossipGraphParams p;
+  p.num_nodes = 50;
+  rng::RngStream rng(3);
+  const auto sampler = [](rng::RngStream&) -> std::int64_t { return 10; };
+  const auto g = make_gossip_digraph(p, sampler, rng);
+  for (NodeId v = 0; v < p.num_nodes; ++v) {
+    std::set<NodeId> seen;
+    for (const NodeId w : g.graph.out_neighbors(v)) {
+      ASSERT_NE(w, v) << "self-loop at " << v;
+      ASSERT_TRUE(seen.insert(w).second) << "duplicate target from " << v;
+    }
+  }
+}
+
+TEST(MakeGossipDigraph, FanoutClampedToGroupSize) {
+  GossipGraphParams p;
+  p.num_nodes = 5;
+  rng::RngStream rng(4);
+  const auto sampler = [](rng::RngStream&) -> std::int64_t { return 100; };
+  const auto g = make_gossip_digraph(p, sampler, rng);
+  for (NodeId v = 0; v < p.num_nodes; ++v) {
+    EXPECT_EQ(g.graph.out_degree(v), 4u);
+  }
+}
+
+TEST(MakeGossipDigraph, EdgeKeepProbabilityThinsEdges) {
+  GossipGraphParams p;
+  p.num_nodes = 500;
+  p.edge_keep_probability = 0.5;
+  rng::RngStream rng(5);
+  const auto sampler = [](rng::RngStream&) -> std::int64_t { return 10; };
+  const auto g = make_gossip_digraph(p, sampler, rng);
+  const double expected = 500.0 * 10.0 * 0.5;
+  EXPECT_NEAR(static_cast<double>(g.graph.num_edges()), expected,
+              expected * 0.1);
+}
+
+TEST(MakeGossipDigraph, PoissonFanoutHasPoissonOutDegrees) {
+  GossipGraphParams p;
+  p.num_nodes = 2000;
+  rng::RngStream rng(6);
+  const double z = 4.0;
+  const auto sampler = [z](rng::RngStream& r) {
+    return rng::sample_poisson(r, z);
+  };
+  const auto g = make_gossip_digraph(p, sampler, rng);
+  stats::OnlineSummary degrees;
+  for (NodeId v = 0; v < p.num_nodes; ++v) {
+    degrees.add(static_cast<double>(g.graph.out_degree(v)));
+  }
+  EXPECT_NEAR(degrees.mean(), z, 0.15);
+  EXPECT_NEAR(degrees.variance(), z, 0.4);
+}
+
+TEST(MakeGossipDigraph, ValidationErrors) {
+  rng::RngStream rng(1);
+  const auto sampler = [](rng::RngStream&) -> std::int64_t { return 1; };
+  GossipGraphParams p;
+  p.num_nodes = 0;
+  EXPECT_THROW((void)make_gossip_digraph(p, sampler, rng),
+               std::invalid_argument);
+  p.num_nodes = 3;
+  p.source = 3;
+  EXPECT_THROW((void)make_gossip_digraph(p, sampler, rng), std::out_of_range);
+  p.source = 0;
+  p.alive_probability = 1.5;
+  EXPECT_THROW((void)make_gossip_digraph(p, sampler, rng),
+               std::invalid_argument);
+  p.alive_probability = 1.0;
+  p.edge_keep_probability = -0.1;
+  EXPECT_THROW((void)make_gossip_digraph(p, sampler, rng),
+               std::invalid_argument);
+}
+
+TEST(MakeGossipDigraph, NegativeSamplerValueThrows) {
+  rng::RngStream rng(1);
+  GossipGraphParams p;
+  p.num_nodes = 4;
+  const auto bad = [](rng::RngStream&) -> std::int64_t { return -1; };
+  EXPECT_THROW((void)make_gossip_digraph(p, bad, rng), std::domain_error);
+}
+
+TEST(ConfigurationModel, PreservesDegreesWhenSimple) {
+  // Degrees small relative to n: collisions are rare, so most nodes keep
+  // their exact degree; the erased model only loses a few stubs.
+  const std::vector<std::uint32_t> degrees(100, 4);
+  rng::RngStream rng(7);
+  const auto g = configuration_model(degrees, rng);
+  std::uint64_t total = 0;
+  for (NodeId v = 0; v < 100; ++v) total += g.out_degree(v);
+  // Each kept undirected edge contributes 2; at most a few % lost.
+  EXPECT_GE(total, 380u);
+  EXPECT_LE(total, 400u);
+}
+
+TEST(ConfigurationModel, EdgesAreSymmetric) {
+  const std::vector<std::uint32_t> degrees{3, 2, 2, 3, 2};
+  rng::RngStream rng(8);
+  const auto g = configuration_model(degrees, rng);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (const NodeId w : g.out_neighbors(v)) {
+      const auto back = g.out_neighbors(w);
+      EXPECT_NE(std::find(back.begin(), back.end(), v), back.end())
+          << "edge " << v << "->" << w << " missing reverse";
+    }
+  }
+}
+
+TEST(ConfigurationModel, RejectsOddDegreeSum) {
+  rng::RngStream rng(9);
+  EXPECT_THROW((void)configuration_model({1, 1, 1}, rng),
+               std::invalid_argument);
+}
+
+TEST(ConfigurationModel, RejectsEmpty) {
+  rng::RngStream rng(9);
+  EXPECT_THROW((void)configuration_model({}, rng), std::invalid_argument);
+}
+
+TEST(ConfigurationModelFromSampler, FixesOddParity) {
+  rng::RngStream rng(10);
+  // Constant odd degree over odd count -> odd sum needs adjustment.
+  const auto sampler = [](rng::RngStream&) -> std::int64_t { return 3; };
+  const auto g = configuration_model_from_sampler(5, sampler, rng);
+  EXPECT_EQ(g.num_nodes(), 5u);
+  EXPECT_EQ(g.num_edges() % 2, 0u);  // stored as symmetric pairs
+}
+
+TEST(ErdosRenyi, EdgeCountMatchesExpectation) {
+  rng::RngStream rng(11);
+  const std::uint32_t n = 300;
+  const double p = 0.02;
+  const auto g = erdos_renyi(n, p, rng, /*directed=*/true);
+  const double expected = static_cast<double>(n) * (n - 1) * p;
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), expected, expected * 0.15);
+}
+
+TEST(ErdosRenyi, UndirectedIsSymmetric) {
+  rng::RngStream rng(12);
+  const auto g = erdos_renyi(60, 0.1, rng, /*directed=*/false);
+  EXPECT_EQ(g.num_edges() % 2, 0u);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (const NodeId w : g.out_neighbors(v)) {
+      const auto back = g.out_neighbors(w);
+      ASSERT_NE(std::find(back.begin(), back.end(), v), back.end());
+    }
+  }
+}
+
+TEST(ErdosRenyi, NoSelfLoops) {
+  rng::RngStream rng(13);
+  for (const bool directed : {true, false}) {
+    const auto g = erdos_renyi(40, 0.2, rng, directed);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      for (const NodeId w : g.out_neighbors(v)) {
+        ASSERT_NE(v, w);
+      }
+    }
+  }
+}
+
+TEST(ErdosRenyi, ProbabilityZeroAndOne) {
+  rng::RngStream rng(14);
+  const auto empty = erdos_renyi(10, 0.0, rng);
+  EXPECT_EQ(empty.num_edges(), 0u);
+  const auto full = erdos_renyi(10, 1.0, rng, /*directed=*/true);
+  EXPECT_EQ(full.num_edges(), 90u);
+  const auto full_und = erdos_renyi(10, 1.0, rng, /*directed=*/false);
+  EXPECT_EQ(full_und.num_edges(), 90u);  // 45 undirected pairs, stored twice
+}
+
+TEST(ErdosRenyi, RejectsInvalidArguments) {
+  rng::RngStream rng(15);
+  EXPECT_THROW((void)erdos_renyi(0, 0.5, rng), std::invalid_argument);
+  EXPECT_THROW((void)erdos_renyi(5, -0.1, rng), std::invalid_argument);
+  EXPECT_THROW((void)erdos_renyi(5, 1.1, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gossip::graph

@@ -1,0 +1,110 @@
+#include "graph/reachability.hpp"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace gossip::graph {
+namespace {
+
+Digraph chain(NodeId n) {
+  DigraphBuilder b(n);
+  for (NodeId v = 0; v + 1 < n; ++v) b.add_edge(v, v + 1);
+  return std::move(b).build();
+}
+
+TEST(DirectedReach, ChainReachesEverything) {
+  const auto g = chain(10);
+  const auto r = directed_reach(g, 0);
+  EXPECT_EQ(r.reached_count, 10u);
+  for (NodeId v = 0; v < 10; ++v) {
+    EXPECT_TRUE(r.is_reached(v));
+  }
+}
+
+TEST(DirectedReach, ChainFromMiddleOnlyReachesSuffix) {
+  const auto g = chain(10);
+  const auto r = directed_reach(g, 6);
+  EXPECT_EQ(r.reached_count, 4u);
+  EXPECT_FALSE(r.is_reached(5));
+  EXPECT_TRUE(r.is_reached(9));
+}
+
+TEST(DirectedReach, RespectsEdgeDirection) {
+  DigraphBuilder b(3);
+  b.add_edge(1, 0);
+  b.add_edge(1, 2);
+  const auto g = std::move(b).build();
+  const auto r = directed_reach(g, 0);
+  EXPECT_EQ(r.reached_count, 1u);  // 0 has no out-edges
+}
+
+TEST(DirectedReach, HandlesCycles) {
+  DigraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 0);  // cycle
+  const auto g = std::move(b).build();
+  const auto r = directed_reach(g, 0);
+  EXPECT_EQ(r.reached_count, 3u);
+  EXPECT_FALSE(r.is_reached(3));
+}
+
+TEST(DirectedReach, SourceOutOfRangeThrows) {
+  const auto g = chain(3);
+  EXPECT_THROW((void)directed_reach(g, 3), std::out_of_range);
+}
+
+TEST(DirectedReachIf, NonExpandableNodesReceiveButDoNotForward) {
+  // 0 -> 1 -> 2; node 1 is crashed (receives, never forwards).
+  const auto g = chain(3);
+  const auto r = directed_reach_if(g, 0, [](NodeId v) { return v != 1; });
+  EXPECT_TRUE(r.is_reached(0));
+  EXPECT_TRUE(r.is_reached(1));   // crashed member still *received* m
+  EXPECT_FALSE(r.is_reached(2));  // but never forwarded it
+  EXPECT_EQ(r.reached_count, 2u);
+}
+
+TEST(DirectedReachIf, SourceAlwaysExpandsEvenIfPredicateSaysNo) {
+  const auto g = chain(3);
+  // Predicate forbids everything; the source must still forward
+  // (the paper's source never fails).
+  const auto r = directed_reach_if(g, 0, [](NodeId) { return false; });
+  EXPECT_TRUE(r.is_reached(1));
+  EXPECT_FALSE(r.is_reached(2));
+}
+
+TEST(DirectedReachIf, EquivalentToPlainReachWhenAllExpandable) {
+  DigraphBuilder b(6);
+  b.add_edge(0, 2);
+  b.add_edge(2, 4);
+  b.add_edge(4, 1);
+  b.add_edge(1, 3);
+  const auto g = std::move(b).build();
+  const auto r1 = directed_reach(g, 0);
+  const auto r2 = directed_reach_if(g, 0, [](NodeId) { return true; });
+  EXPECT_EQ(r1.reached_count, r2.reached_count);
+  EXPECT_EQ(r1.reached, r2.reached);
+}
+
+TEST(DirectedReach, IsolatedSourceReachesOnlyItself) {
+  DigraphBuilder b(5);
+  b.add_edge(1, 2);
+  const auto g = std::move(b).build();
+  const auto r = directed_reach(g, 0);
+  EXPECT_EQ(r.reached_count, 1u);
+  EXPECT_TRUE(r.is_reached(0));
+}
+
+TEST(DirectedReach, ParallelEdgesCountOnce) {
+  DigraphBuilder b(2);
+  b.add_edge(0, 1);
+  b.add_edge(0, 1);
+  b.add_edge(0, 1);
+  const auto g = std::move(b).build();
+  const auto r = directed_reach(g, 0);
+  EXPECT_EQ(r.reached_count, 2u);
+}
+
+}  // namespace
+}  // namespace gossip::graph

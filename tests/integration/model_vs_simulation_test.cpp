@@ -1,0 +1,212 @@
+/// Cross-module validation: the paper's analytical model (core), the graph
+/// Monte Carlo (graph + experiment), and the message-level DES protocol
+/// (sim + net + protocol) must tell one consistent story. These are the
+/// repository's equivalent of the paper's Section 5.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/reliability_model.hpp"
+#include "core/success_model.hpp"
+#include "experiment/component_mc.hpp"
+#include "experiment/monte_carlo.hpp"
+#include "graph/generators.hpp"
+#include "graph/reachability.hpp"
+#include "protocol/repeated_gossip.hpp"
+
+namespace gossip {
+namespace {
+
+struct OperatingPoint {
+  double fanout;
+  double q;
+};
+
+class ComponentAgreesWithAnalysis
+    : public ::testing::TestWithParam<OperatingPoint> {};
+
+TEST_P(ComponentAgreesWithAnalysis, WithinFinitSizeTolerance) {
+  // The Figs. 4-5 claim: component-metric simulation tallies with Eq. (11).
+  const auto [f, q] = GetParam();
+  const auto fanout = core::poisson_fanout(f);
+  experiment::MonteCarloOptions opt;
+  opt.replications = 20;  // the paper's count
+  opt.seed = 2008;
+  const auto est = experiment::estimate_giant_component(1000, *fanout, q, opt);
+  const double analysis = core::poisson_reliability(f, q);
+  // Supercritical points: tight agreement. Near/below critical the finite
+  // graph has a small largest component where the analysis says 0.
+  if (f * q > 1.4) {
+    EXPECT_NEAR(est.giant_fraction_alive.mean(), analysis, 0.05)
+        << "f=" << f << " q=" << q;
+  } else {
+    EXPECT_LT(est.giant_fraction_alive.mean(), analysis + 0.12)
+        << "f=" << f << " q=" << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperOperatingPoints, ComponentAgreesWithAnalysis,
+    ::testing::Values(OperatingPoint{1.1, 0.5}, OperatingPoint{1.9, 0.5},
+                      OperatingPoint{3.1, 0.5}, OperatingPoint{4.3, 0.5},
+                      OperatingPoint{5.9, 0.5}, OperatingPoint{2.3, 1.0},
+                      OperatingPoint{3.5, 0.8}, OperatingPoint{4.0, 0.9},
+                      OperatingPoint{6.0, 0.6}, OperatingPoint{6.7, 0.3}));
+
+TEST(IntegrationReliability, DesProtocolMatchesGraphMonteCarlo) {
+  // The DES protocol and the sampled-digraph BFS are two implementations of
+  // the same random process; their delivery estimates must agree.
+  protocol::GossipParams params;
+  params.num_nodes = 600;
+  params.fanout = core::poisson_fanout(4.0);
+  params.nonfailed_ratio = 0.9;
+  experiment::MonteCarloOptions opt;
+  opt.replications = 150;
+  opt.seed = 31;
+  const auto des = experiment::estimate_reliability_protocol(params, opt);
+  const auto mc = experiment::estimate_reliability_graph(
+      600, *params.fanout, 0.9, opt);
+  // Per-execution reliability is bimodal (die-out vs giant cascade), so the
+  // sample mean is noisy: std ~ 0.23, SEM(150) ~ 0.02 per backend.
+  EXPECT_NEAR(des.mean_reliability(), mc.mean_reliability(), 0.08);
+  // Message accounting differs by construction: the DES sends only from
+  // members that actually received m (~ reliability * n * q senders), while
+  // the sampled digraph materializes every alive member's potential edges
+  // (~ n * q senders). Check each against its own expectation.
+  const double alive = 600.0 * 0.9;
+  EXPECT_NEAR(des.messages.mean(), des.mean_reliability() * alive * 4.0,
+              0.08 * mc.messages.mean());
+  EXPECT_NEAR(mc.messages.mean(), alive * 4.0, 0.05 * mc.messages.mean());
+  EXPECT_LT(des.messages.mean(), mc.messages.mean());
+}
+
+TEST(IntegrationReliability, ConditionalDeliveryMatchesAnalysis) {
+  // Conditioned on the cascade taking off (reliability > 1/2 S), the
+  // delivered fraction concentrates on the analytical S.
+  const double z = 4.0;
+  const double q = 0.9;
+  const double s = core::poisson_reliability(z, q);
+  const auto fanout = core::poisson_fanout(z);
+  experiment::MonteCarloOptions opt;
+  opt.replications = 200;
+  opt.seed = 17;
+
+  // Re-run the graph MC manually to get per-replication values.
+  stats::OnlineSummary taken_off;
+  const rng::RngStream root(opt.seed);
+  for (std::size_t i = 0; i < opt.replications; ++i) {
+    auto rng = root.substream(i);
+    graph::GossipGraphParams gp;
+    gp.num_nodes = 1500;
+    gp.alive_probability = q;
+    const auto gg = graph::make_gossip_digraph(gp, fanout->sampler(), rng);
+    const auto reach = graph::directed_reach(gg.graph, gg.source);
+    std::uint32_t alive_received = 0;
+    for (graph::NodeId v = 0; v < gp.num_nodes; ++v) {
+      if (gg.alive[v] && reach.is_reached(v)) ++alive_received;
+    }
+    const double rel = static_cast<double>(alive_received) /
+                       static_cast<double>(gg.alive_count);
+    if (rel > 0.5 * s) taken_off.add(rel);
+  }
+  ASSERT_GT(taken_off.count(), 50u);
+  EXPECT_NEAR(taken_off.mean(), s, 0.02);
+}
+
+TEST(IntegrationReliability, TakeOffProbabilityMatchesS) {
+  // P(cascade reaches the giant component) ~ S as well (extinction duality
+  // for Poisson offspring), so success_rate-of-takeoff ~ S.
+  const double z = 3.0;
+  const double q = 0.8;
+  const double s = core::poisson_reliability(z, q);
+  const auto fanout = core::poisson_fanout(z);
+  experiment::MonteCarloOptions opt;
+  opt.replications = 300;
+  opt.seed = 23;
+  const auto est =
+      experiment::estimate_reliability_graph(1200, *fanout, q, opt);
+  // mean(delivery) ~ P(takeoff) * S = S^2; back out P(takeoff).
+  const double takeoff = est.mean_reliability() / s;
+  EXPECT_NEAR(takeoff, s, 0.05);
+}
+
+TEST(IntegrationSuccess, RepeatedProtocolCountsMatchBinomialMean) {
+  // Protocol-level Fig. 6 (delivery metric): E[X] ~ t * S^2 including
+  // die-out; per-member counts live in [0, t].
+  const double z = 4.0;
+  const double q = 0.9;
+  const double s = core::poisson_reliability(z, q);
+  protocol::RepeatedGossipParams params;
+  params.base.num_nodes = 500;
+  params.base.fanout = core::poisson_fanout(z);
+  params.base.nonfailed_ratio = q;
+  params.executions = 20;
+  rng::RngStream rng(41);
+  const auto result = protocol::run_repeated_gossip(params, rng);
+  const auto samples = result.success_count_samples(0);
+  double mean = 0.0;
+  for (const auto x : samples) mean += x;
+  mean /= static_cast<double>(samples.size());
+  EXPECT_NEAR(mean, 20.0 * s * s, 1.5);
+}
+
+TEST(IntegrationSuccess, RequiredExecutionsVerifiedBySimulation) {
+  // Eq. (6) says t = 3 reaches p_s = 0.999 at R ~ 0.9695 (giant metric).
+  // Verify via the component experiment: fraction of members with X >= 1
+  // in 3 executions should be ~ 1 - (1-S)^3 > 0.999... within noise.
+  experiment::SuccessCountParams params;
+  params.num_nodes = 1500;
+  params.fanout = core::poisson_fanout(4.0);
+  params.nonfailed_ratio = 0.9;
+  params.executions = 3;
+  params.simulations = 6;
+  params.metric = experiment::SuccessMetric::kGiantMembership;
+  experiment::MonteCarloOptions opt;
+  opt.seed = 47;
+  const auto result = experiment::run_success_count_experiment(params, opt);
+  const double missed = static_cast<double>(result.histogram.count(0)) /
+                        static_cast<double>(result.member_samples);
+  const double s = core::poisson_reliability(4.0, 0.9);
+  const double predicted_miss = std::pow(1.0 - s, 3.0);
+  EXPECT_NEAR(missed, predicted_miss, 5e-4);
+  EXPECT_LT(missed, 1.0 - 0.998);
+}
+
+TEST(IntegrationCriticalPoint, EmpiricalTransitionNearOneOverZ) {
+  // Eq. (10): sweep q across 1/z and verify the giant component appears.
+  const double z = 4.0;
+  const auto fanout = core::poisson_fanout(z);
+  experiment::MonteCarloOptions opt;
+  opt.replications = 15;
+  opt.seed = 53;
+  const auto below =
+      experiment::estimate_giant_component(3000, *fanout, 0.15, opt);
+  const auto above =
+      experiment::estimate_giant_component(3000, *fanout, 0.40, opt);
+  EXPECT_LT(below.giant_fraction_alive.mean(), 0.08);   // q < 1/4
+  EXPECT_GT(above.giant_fraction_alive.mean(), 0.35);   // q > 1/4
+}
+
+TEST(IntegrationDistributions, NonPoissonFanoutAgreesWithGenericSolver) {
+  // The generality claim: the analysis holds for arbitrary P, not just
+  // Poisson. Validate geometric and fixed fanouts against the component MC.
+  experiment::MonteCarloOptions opt;
+  opt.replications = 20;
+  opt.seed = 59;
+  for (const auto& dist :
+       {core::geometric_fanout(4.0), core::fixed_fanout(4),
+        core::uniform_fanout(2, 6)}) {
+    const double q = 0.8;
+    const auto gf = core::GeneratingFunction::from_distribution(*dist);
+    const double analysis =
+        core::analyze_site_percolation(gf, q).reliability;
+    const auto est =
+        experiment::estimate_giant_component(1500, *dist, q, opt);
+    EXPECT_NEAR(est.giant_fraction_alive.mean(), analysis, 0.05)
+        << dist->name();
+  }
+}
+
+}  // namespace
+}  // namespace gossip

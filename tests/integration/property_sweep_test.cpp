@@ -1,0 +1,226 @@
+/// Property sweeps across the whole model surface: bounds, monotonicity,
+/// duality and round-trip identities that must hold for EVERY operating
+/// point, parameterized over a grid of fanout distributions and failure
+/// ratios.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/branching.hpp"
+#include "core/fanout_planner.hpp"
+#include "core/percolation.hpp"
+#include "core/reliability_model.hpp"
+#include "core/success_model.hpp"
+#include "experiment/monte_carlo.hpp"
+
+namespace gossip {
+namespace {
+
+struct SweepPoint {
+  core::DegreeDistributionPtr dist;
+  double q;
+};
+
+class ModelPropertySweep : public ::testing::TestWithParam<SweepPoint> {
+ protected:
+  [[nodiscard]] static core::GeneratingFunction gf_of(const SweepPoint& p) {
+    return core::GeneratingFunction::from_distribution(*p.dist);
+  }
+};
+
+TEST_P(ModelPropertySweep, PercolationOutputsAreWithinBounds) {
+  const auto& p = GetParam();
+  const auto gf = gf_of(p);
+  const auto result = core::analyze_site_percolation(gf, p.q);
+  EXPECT_GE(result.reliability, 0.0);
+  EXPECT_LE(result.reliability, 1.0);
+  EXPECT_GE(result.giant_fraction_all, 0.0);
+  EXPECT_LE(result.giant_fraction_all, p.q + 1e-12);
+  EXPECT_GE(result.u, 0.0);
+  EXPECT_LE(result.u, 1.0);
+  // u must actually solve its self-consistency condition.
+  if (gf.mean() > 0.0) {
+    EXPECT_NEAR(result.u, 1.0 - p.q + p.q * gf.g1(result.u), 1e-6);
+  }
+}
+
+TEST_P(ModelPropertySweep, SupercriticalityIsConsistent) {
+  const auto& p = GetParam();
+  const auto gf = gf_of(p);
+  const auto result = core::analyze_site_percolation(gf, p.q);
+  if (result.supercritical) {
+    EXPECT_GT(result.reliability, 0.0);
+  } else {
+    EXPECT_LT(result.reliability, 0.05);  // finite tolerance near q_c
+  }
+  EXPECT_EQ(result.supercritical, p.q > result.critical_q);
+}
+
+TEST_P(ModelPropertySweep, DirectedAnalysisIsWithinBounds) {
+  const auto& p = GetParam();
+  const auto gf = gf_of(p);
+  const auto directed = core::analyze_directed_gossip(gf, p.q);
+  EXPECT_GE(directed.takeoff_probability, 0.0);
+  EXPECT_LE(directed.takeoff_probability, 1.0);
+  EXPECT_GE(directed.member_reach_given_takeoff, 0.0);
+  EXPECT_LE(directed.member_reach_given_takeoff, 1.0);
+  EXPECT_LE(directed.expected_delivery,
+            directed.takeoff_probability + 1e-12);
+  // Extinction solves its fixed point.
+  EXPECT_NEAR(directed.extinction_probability,
+              gf.g0(1.0 - p.q + p.q * directed.extinction_probability), 1e-6);
+}
+
+TEST_P(ModelPropertySweep, DirectedAndComponentThresholdsAreDistinct) {
+  // The two metrics live on DIFFERENT random graphs and have different
+  // thresholds: the component metric (the paper's configuration model with
+  // degree = fanout) becomes positive when q * G1'(1) > 1; the directed
+  // delivery becomes positive when q * mean_fanout > 1 (in-edges arrive on
+  // top of the drawn out-edges). They coincide for Poisson fanout, where
+  // G1'(1) = mean. Check each against its own threshold.
+  const auto& p = GetParam();
+  const auto gf = gf_of(p);
+  const auto component = core::analyze_site_percolation(gf, p.q);
+  const auto directed = core::analyze_directed_gossip(gf, p.q);
+  if (p.q * gf.mean_excess_degree() > 1.05) {
+    EXPECT_GT(component.reliability, 0.0) << p.dist->name();
+  }
+  if (p.q * gf.mean() > 1.05) {
+    EXPECT_GT(directed.expected_delivery, 0.0) << p.dist->name();
+  } else if (p.q * gf.mean() < 0.95) {
+    EXPECT_NEAR(directed.expected_delivery, 0.0, 1e-4) << p.dist->name();
+  }
+}
+
+TEST(MetricDivergence, FixedFanoutTwoDeliversWhereComponentModelSaysNever) {
+  // Reproduction finding (see DESIGN.md): with fixed fanout k = 2 the
+  // paper's configuration-model reliability is 0 for EVERY q < 1
+  // (q_c = 1/(k-1) = 1: degree-2 graphs are unions of cycles), yet the
+  // actual directed protocol delivers to a macroscopic fraction as soon as
+  // q*k > 1, because targets also RECEIVE edges beyond their own fanout.
+  const auto gf = core::GeneratingFunction::from_distribution(
+      *core::fixed_fanout(2));
+  const double q = 0.8;
+  const auto component = core::analyze_site_percolation(gf, q);
+  const auto directed = core::analyze_directed_gossip(gf, q);
+  EXPECT_NEAR(component.reliability, 0.0, 1e-4);
+  EXPECT_GT(directed.expected_delivery, 0.5);
+
+  // And the directed prediction matches the protocol-equivalent Monte Carlo.
+  experiment::MonteCarloOptions opt;
+  opt.replications = 200;
+  opt.seed = 91;
+  const auto est = experiment::estimate_reliability_graph(
+      1500, *core::fixed_fanout(2), q, opt);
+  EXPECT_NEAR(est.mean_reliability(), directed.expected_delivery, 0.05);
+}
+
+TEST_P(ModelPropertySweep, OccupancyGeneralizationAgreesAtUniformQ) {
+  const auto& p = GetParam();
+  const auto gf = gf_of(p);
+  const auto scalar = core::analyze_site_percolation(gf, p.q);
+  const double q = p.q;
+  const auto general = core::analyze_occupancy_percolation(
+      gf, [q](std::int64_t) { return q; });
+  EXPECT_NEAR(general.reliability, scalar.reliability, 1e-6);
+}
+
+TEST_P(ModelPropertySweep, ReliabilityIsMonotoneInOccupancy) {
+  const auto& p = GetParam();
+  const auto gf = gf_of(p);
+  const double lower_q = std::max(0.05, p.q - 0.2);
+  const auto at_q = core::analyze_site_percolation(gf, p.q);
+  const auto at_lower = core::analyze_site_percolation(gf, lower_q);
+  EXPECT_GE(at_q.reliability, at_lower.reliability - 1e-9);
+}
+
+TEST_P(ModelPropertySweep, SuccessModelRoundTrips) {
+  const auto& p = GetParam();
+  const auto gf = gf_of(p);
+  const double r = core::analyze_site_percolation(gf, p.q).reliability;
+  if (r <= 0.0) return;  // subcritical: no finite t exists
+  for (const double target : {0.9, 0.999}) {
+    const auto t = core::required_executions(r, target);
+    EXPECT_GE(core::success_probability(r, t), target);
+    if (t > 0) {
+      EXPECT_LT(core::success_probability(r, t - 1), target);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ModelPropertySweep,
+    ::testing::Values(
+        SweepPoint{core::poisson_fanout(1.2), 0.5},
+        SweepPoint{core::poisson_fanout(4.0), 0.15},
+        SweepPoint{core::poisson_fanout(4.0), 0.9},
+        SweepPoint{core::poisson_fanout(8.0), 0.4},
+        SweepPoint{core::fixed_fanout(2), 0.8},
+        SweepPoint{core::fixed_fanout(6), 0.3},
+        SweepPoint{core::geometric_fanout(3.0), 0.25},
+        SweepPoint{core::geometric_fanout(5.0), 0.9},
+        SweepPoint{core::uniform_fanout(0, 6), 0.7},
+        SweepPoint{core::uniform_fanout(2, 10), 0.2},
+        SweepPoint{core::binomial_fanout(10, 0.4), 0.6},
+        SweepPoint{core::zipf_fanout(32, 1.3), 0.8},
+        SweepPoint{core::empirical_fanout({0.3, 0.2, 0.2, 0.1, 0.2}), 0.9}));
+
+TEST(PlannerPropertySweep, PlansAreFeasibleAcrossTheGrid) {
+  for (const double target : {0.5, 0.9, 0.99, 0.9999}) {
+    for (const double q : {0.2, 0.5, 0.8, 1.0}) {
+      core::PlanRequest req;
+      req.target_reliability = target;
+      req.nonfailed_ratio = q;
+      req.target_success = 0.999;
+      const auto plan = core::plan_poisson_gossip(req);
+      EXPECT_GE(plan.predicted_reliability, target - 1e-9)
+          << "S=" << target << " q=" << q;
+      EXPECT_GE(plan.predicted_success, 0.999) << "S=" << target << " q=" << q;
+      EXPECT_GT(plan.failure_margin, 0.0) << "S=" << target << " q=" << q;
+      // Round trip through the closed forms.
+      EXPECT_NEAR(core::poisson_reliability(plan.mean_fanout, q), target,
+                  1e-6);
+    }
+  }
+}
+
+TEST(PlannerPropertySweep, FanoutIsMonotoneInTargetAndFailures) {
+  double prev = 0.0;
+  for (const double target : {0.3, 0.6, 0.9, 0.99, 0.999}) {
+    core::PlanRequest req;
+    req.target_reliability = target;
+    req.nonfailed_ratio = 0.7;
+    const double z = core::plan_poisson_gossip(req).mean_fanout;
+    EXPECT_GT(z, prev);
+    prev = z;
+  }
+  prev = 0.0;
+  for (const double failures : {0.0, 0.2, 0.4, 0.6, 0.8}) {
+    core::PlanRequest req;
+    req.target_reliability = 0.95;
+    req.nonfailed_ratio = 1.0 - failures;
+    const double z = core::plan_poisson_gossip(req).mean_fanout;
+    EXPECT_GT(z, prev);
+    prev = z;
+  }
+}
+
+TEST(DualityPropertySweep, PoissonTakeoffEqualsReachEqualsS) {
+  // The Poisson self-duality: forward extinction and backward reach solve
+  // the same equation, both equal to Eq. (11)'s S.
+  for (double z = 1.2; z <= 9.0; z += 0.6) {
+    for (const double q : {0.3, 0.6, 1.0}) {
+      if (z * q <= 1.05) continue;
+      const auto gf = core::GeneratingFunction::from_distribution(
+          *core::poisson_fanout(z));
+      const auto d = core::analyze_directed_gossip(gf, q);
+      const double s = core::poisson_reliability(z, q);
+      EXPECT_NEAR(d.takeoff_probability, s, 1e-5) << z << " " << q;
+      EXPECT_NEAR(d.member_reach_given_takeoff, s, 1e-5) << z << " " << q;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gossip

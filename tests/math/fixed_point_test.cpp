@@ -1,0 +1,117 @@
+#include "math/fixed_point.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace gossip::math {
+namespace {
+
+TEST(FixedPoint, SolvesCosineFixedPoint) {
+  FixedPointOptions opts;
+  opts.clamp_lo = 0.0;
+  opts.clamp_hi = 1.0;
+  const auto result = fixed_point([](double x) { return std::cos(x); }, 0.5,
+                                  opts);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.value, 0.7390851332151607, 1e-10);
+}
+
+TEST(FixedPoint, SolvesPercolationSelfConsistency) {
+  // u = 1 - q + q * exp(z (u - 1)) for Poisson fanout: the paper's Eq. (4).
+  const double q = 0.9;
+  const double z = 4.0;
+  const auto result = fixed_point(
+      [q, z](double u) { return 1.0 - q + q * std::exp(z * (u - 1.0)); }, 0.0);
+  EXPECT_TRUE(result.converged);
+  // Reliability S = 1 - G0(u) should be ~0.9695 at z*q = 3.6.
+  const double reliability = 1.0 - std::exp(z * (result.value - 1.0));
+  EXPECT_NEAR(reliability, 0.9695, 2e-4);
+}
+
+TEST(FixedPoint, SubcriticalConvergesToOne) {
+  const double q = 0.2;
+  const double z = 2.0;  // z*q = 0.4 < 1
+  const auto result = fixed_point(
+      [q, z](double u) { return 1.0 - q + q * std::exp(z * (u - 1.0)); }, 0.0);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.value, 1.0, 1e-6);
+}
+
+TEST(FixedPoint, DampingStillConverges) {
+  FixedPointOptions opts;
+  opts.damping = 0.5;
+  const auto result = fixed_point([](double x) { return std::cos(x); }, 0.1,
+                                  opts);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.value, 0.7390851332151607, 1e-9);
+}
+
+TEST(FixedPoint, ClampKeepsIteratesInInterval) {
+  FixedPointOptions opts;
+  opts.clamp_lo = 0.0;
+  opts.clamp_hi = 1.0;
+  opts.max_iterations = 50;
+  // Map tries to escape; iterates must stay clamped.
+  const auto result =
+      fixed_point([](double x) { return 5.0 * x + 2.0; }, 0.5, opts);
+  EXPECT_GE(result.value, 0.0);
+  EXPECT_LE(result.value, 1.0);
+}
+
+TEST(FixedPoint, ReportsNonConvergenceAtIterationCap) {
+  FixedPointOptions opts;
+  opts.max_iterations = 5;
+  opts.tolerance = 0.0;
+  const auto result = fixed_point([](double x) { return x * 0.99; }, 1.0,
+                                  opts);
+  EXPECT_FALSE(result.converged);
+  EXPECT_EQ(result.iterations, 5);
+}
+
+TEST(FixedPoint, RejectsInvalidDamping) {
+  FixedPointOptions opts;
+  opts.damping = 0.0;
+  EXPECT_THROW((void)fixed_point([](double x) { return x; }, 0.5, opts),
+               std::invalid_argument);
+  opts.damping = 1.5;
+  EXPECT_THROW((void)fixed_point([](double x) { return x; }, 0.5, opts),
+               std::invalid_argument);
+}
+
+TEST(FixedPoint, RejectsEmptyClampInterval) {
+  FixedPointOptions opts;
+  opts.clamp_lo = 1.0;
+  opts.clamp_hi = 0.0;
+  EXPECT_THROW((void)fixed_point([](double x) { return x; }, 0.5, opts),
+               std::invalid_argument);
+}
+
+/// Property sweep: for every supercritical (z, q), the iteration from 0
+/// lands on a fixed point of the map inside [0, 1).
+class PercolationFixedPointSweep
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(PercolationFixedPointSweep, LandsOnFixedPointBelowOne) {
+  const auto [z, q] = GetParam();
+  const auto g = [q, z](double u) {
+    return 1.0 - q + q * std::exp(z * (u - 1.0));
+  };
+  const auto result = fixed_point(g, 0.0);
+  ASSERT_TRUE(result.converged);
+  EXPECT_NEAR(result.value, g(result.value), 1e-10);
+  if (z * q > 1.05) {
+    EXPECT_LT(result.value, 1.0 - 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SupercriticalGrid, PercolationFixedPointSweep,
+    ::testing::Values(std::pair{2.0, 0.6}, std::pair{2.0, 0.9},
+                      std::pair{3.0, 0.5}, std::pair{4.0, 0.4},
+                      std::pair{5.0, 0.3}, std::pair{6.0, 0.6},
+                      std::pair{8.0, 0.2}, std::pair{10.0, 0.9}));
+
+}  // namespace
+}  // namespace gossip::math

@@ -1,0 +1,120 @@
+#include "math/ode.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace gossip::math {
+namespace {
+
+TEST(Rk4, SolvesExponentialDecayAccurately) {
+  const OdeSystem decay = [](double, const std::vector<double>& y,
+                             std::vector<double>& dydt) {
+    dydt[0] = -y[0];
+  };
+  const auto y = integrate_rk4(decay, {1.0}, 0.0, 2.0, 0.01);
+  EXPECT_NEAR(y[0], std::exp(-2.0), 1e-9);
+}
+
+TEST(Rk4, SolvesLogisticGrowthAgainstClosedForm) {
+  const double r = 1.8;
+  const OdeSystem logistic = [r](double, const std::vector<double>& y,
+                                 std::vector<double>& dydt) {
+    dydt[0] = r * y[0] * (1.0 - y[0]);
+  };
+  const double i0 = 0.01;
+  const auto y = integrate_rk4(logistic, {i0}, 0.0, 5.0, 0.001);
+  const double e = std::exp(r * 5.0);
+  const double expected = i0 * e / (1.0 - i0 + i0 * e);
+  EXPECT_NEAR(y[0], expected, 1e-8);
+}
+
+TEST(Rk4, HandlesCoupledSystem) {
+  // Harmonic oscillator: y'' = -y -> (y, v).
+  const OdeSystem oscillator = [](double, const std::vector<double>& y,
+                                  std::vector<double>& dydt) {
+    dydt[0] = y[1];
+    dydt[1] = -y[0];
+  };
+  const double t = 3.1;
+  const auto y = integrate_rk4(oscillator, {1.0, 0.0}, 0.0, t, 0.001);
+  EXPECT_NEAR(y[0], std::cos(t), 1e-8);
+  EXPECT_NEAR(y[1], -std::sin(t), 1e-8);
+}
+
+TEST(Rk4, FinalPartialStepLandsExactlyOnEndpoint) {
+  double last_t = -1.0;
+  const OdeSystem decay = [](double, const std::vector<double>& y,
+                             std::vector<double>& dydt) {
+    dydt[0] = -y[0];
+  };
+  (void)integrate_rk4(decay, {1.0}, 0.0, 1.05, 0.1,
+                      [&](double t, const std::vector<double>&) {
+                        last_t = t;
+                      });
+  EXPECT_DOUBLE_EQ(last_t, 1.05);
+}
+
+TEST(Rk4, ObserverSeesInitialState) {
+  std::vector<double> times;
+  const OdeSystem trivial = [](double, const std::vector<double>&,
+                               std::vector<double>& dydt) { dydt[0] = 0.0; };
+  (void)integrate_rk4(trivial, {42.0}, 0.0, 0.3, 0.1,
+                      [&](double t, const std::vector<double>& y) {
+                        times.push_back(t);
+                        EXPECT_DOUBLE_EQ(y[0], 42.0);
+                      });
+  ASSERT_GE(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times.front(), 0.0);
+}
+
+TEST(Rk4, ZeroLengthIntervalReturnsInitialState) {
+  const OdeSystem decay = [](double, const std::vector<double>& y,
+                             std::vector<double>& dydt) {
+    dydt[0] = -y[0];
+  };
+  const auto y = integrate_rk4(decay, {3.0}, 1.0, 1.0, 0.1);
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+}
+
+TEST(Euler, ConvergesLinearlyButLessAccurateThanRk4) {
+  const OdeSystem decay = [](double, const std::vector<double>& y,
+                             std::vector<double>& dydt) {
+    dydt[0] = -y[0];
+  };
+  const double exact = std::exp(-1.0);
+  const auto euler = integrate_euler(decay, {1.0}, 0.0, 1.0, 0.01);
+  const auto rk4 = integrate_rk4(decay, {1.0}, 0.0, 1.0, 0.01);
+  const double euler_err = std::abs(euler[0] - exact);
+  const double rk4_err = std::abs(rk4[0] - exact);
+  EXPECT_LT(rk4_err, euler_err / 100.0);
+  EXPECT_LT(euler_err, 1e-2);
+}
+
+TEST(Euler, HalvingStepRoughlyHalvesError) {
+  const OdeSystem decay = [](double, const std::vector<double>& y,
+                             std::vector<double>& dydt) {
+    dydt[0] = -y[0];
+  };
+  const double exact = std::exp(-1.0);
+  const auto coarse = integrate_euler(decay, {1.0}, 0.0, 1.0, 0.02);
+  const auto fine = integrate_euler(decay, {1.0}, 0.0, 1.0, 0.01);
+  const double ratio = std::abs(coarse[0] - exact) / std::abs(fine[0] - exact);
+  EXPECT_NEAR(ratio, 2.0, 0.3);
+}
+
+TEST(OdeValidation, RejectsBadArguments) {
+  const OdeSystem trivial = [](double, const std::vector<double>&,
+                               std::vector<double>& dydt) { dydt[0] = 0.0; };
+  EXPECT_THROW((void)integrate_rk4(trivial, {0.0}, 1.0, 0.0, 0.1),
+               std::invalid_argument);
+  EXPECT_THROW((void)integrate_rk4(trivial, {0.0}, 0.0, 1.0, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)integrate_euler(trivial, {0.0}, 0.0, 1.0, -0.1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gossip::math

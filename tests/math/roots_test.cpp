@@ -1,0 +1,139 @@
+#include "math/roots.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace gossip::math {
+namespace {
+
+TEST(Bisect, FindsRootOfLinearFunction) {
+  const auto result = bisect([](double x) { return 2.0 * x - 1.0; }, 0.0, 1.0);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.root, 0.5, 1e-10);
+}
+
+TEST(Bisect, FindsRootOfCubic) {
+  const auto result =
+      bisect([](double x) { return x * x * x - 2.0; }, 0.0, 2.0);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.root, std::cbrt(2.0), 1e-9);
+}
+
+TEST(Bisect, AcceptsRootAtEndpoint) {
+  const auto result = bisect([](double x) { return x; }, 0.0, 1.0);
+  EXPECT_TRUE(result.converged);
+  EXPECT_DOUBLE_EQ(result.root, 0.0);
+}
+
+TEST(Bisect, ThrowsWithoutSignChange) {
+  EXPECT_THROW(
+      (void)bisect([](double x) { return x * x + 1.0; }, -1.0, 1.0),
+      std::invalid_argument);
+}
+
+TEST(Bisect, ThrowsOnInvertedBracket) {
+  EXPECT_THROW((void)bisect([](double x) { return x; }, 1.0, 0.0),
+               std::invalid_argument);
+}
+
+TEST(Bisect, RespectsIterationCap) {
+  RootOptions opts;
+  opts.max_iterations = 3;
+  opts.x_tolerance = 0.0;
+  opts.f_tolerance = 0.0;
+  const auto result = bisect([](double x) { return x - 0.1234567; }, 0.0, 1.0,
+                             opts);
+  EXPECT_FALSE(result.converged);
+  EXPECT_EQ(result.iterations, 3);
+}
+
+TEST(Newton, ConvergesQuadraticallyOnSqrt2) {
+  const auto f = [](double x) { return x * x - 2.0; };
+  const auto df = [](double x) { return 2.0 * x; };
+  const auto result = newton(f, df, 1.0, 0.0, 2.0);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.root, std::sqrt(2.0), 1e-12);
+  EXPECT_LT(result.iterations, 10);
+}
+
+TEST(Newton, FallsBackToBisectionWhenDerivativeVanishes) {
+  // f'(0) = 0 at the starting point; the guard must keep progress.
+  const auto f = [](double x) { return x * x * x - 0.5; };
+  const auto df = [](double x) { return 3.0 * x * x; };
+  const auto result = newton(f, df, 0.0, 0.0, 1.0);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.root, std::cbrt(0.5), 1e-9);
+}
+
+TEST(Newton, HandlesDecreasingFunction) {
+  const auto f = [](double x) { return 1.0 - x; };
+  const auto df = [](double) { return -1.0; };
+  const auto result = newton(f, df, 0.2, 0.0, 2.0);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.root, 1.0, 1e-10);
+}
+
+TEST(Brent, FindsTranscendentalRoot) {
+  // x = cos(x) near 0.739085.
+  const auto result =
+      brent([](double x) { return x - std::cos(x); }, 0.0, 1.0);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.root, 0.7390851332151607, 1e-10);
+}
+
+TEST(Brent, FindsPoissonReliabilityFixedPoint) {
+  // The exact shape solved throughout the project: S - 1 + exp(-zq S).
+  const double zq = 3.6;
+  const auto result = brent(
+      [zq](double s) { return s - 1.0 + std::exp(-zq * s); }, 0.1, 1.0);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.root, 0.9695, 2e-4);
+}
+
+TEST(Brent, ThrowsWithoutSignChange) {
+  EXPECT_THROW((void)brent([](double x) { return x * x + 0.5; }, -1.0, 1.0),
+               std::invalid_argument);
+}
+
+struct RootCase {
+  const char* label;
+  double (*f)(double);
+  double lo;
+  double hi;
+  double expected;
+};
+
+class RootFinderAgreement : public ::testing::TestWithParam<RootCase> {};
+
+TEST_P(RootFinderAgreement, BisectAndBrentAgree) {
+  const auto& c = GetParam();
+  const auto fb = [&](double x) { return c.f(x); };
+  const auto r1 = bisect(fb, c.lo, c.hi);
+  const auto r2 = brent(fb, c.lo, c.hi);
+  ASSERT_TRUE(r1.converged);
+  ASSERT_TRUE(r2.converged);
+  EXPECT_NEAR(r1.root, c.expected, 1e-8);
+  EXPECT_NEAR(r2.root, c.expected, 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StandardFunctions, RootFinderAgreement,
+    ::testing::Values(
+        RootCase{"linear", [](double x) { return 3.0 * x - 2.0; }, 0.0, 1.0,
+                 2.0 / 3.0},
+        RootCase{"quadratic", [](double x) { return x * x - 0.25; }, 0.0, 1.0,
+                 0.5},
+        RootCase{"exp", [](double x) { return std::exp(x) - 2.0; }, 0.0, 1.0,
+                 std::log(2.0)},
+        RootCase{"log", [](double x) { return std::log(x) + 1.0; }, 0.1, 1.0,
+                 std::exp(-1.0)},
+        RootCase{"sin", [](double x) { return std::sin(x) - 0.5; }, 0.0, 1.5,
+                 0.5235987755982989}),
+    [](const ::testing::TestParamInfo<RootCase>& info) {
+      return info.param.label;
+    });
+
+}  // namespace
+}  // namespace gossip::math

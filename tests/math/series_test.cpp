@@ -1,0 +1,114 @@
+#include "math/series.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "math/special.hpp"
+
+namespace gossip::math {
+namespace {
+
+TEST(EvaluateSeries, MatchesPolynomial) {
+  // 1 + 2x + 3x^2 at x = 2 -> 17.
+  const std::vector<double> c{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(evaluate_series(c, 2.0), 17.0);
+  EXPECT_DOUBLE_EQ(evaluate_series(c, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(evaluate_series(c, 1.0), 6.0);
+}
+
+TEST(EvaluateSeries, EmptySeriesIsZero) {
+  EXPECT_DOUBLE_EQ(evaluate_series({}, 3.0), 0.0);
+}
+
+TEST(EvaluateSeriesDerivative, MatchesAnalyticDerivative) {
+  // d/dx (1 + 2x + 3x^2) = 2 + 6x.
+  const std::vector<double> c{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(evaluate_series_derivative(c, 2.0), 14.0);
+  EXPECT_DOUBLE_EQ(evaluate_series_derivative(c, 0.0), 2.0);
+}
+
+TEST(EvaluateSeriesSecondDerivative, MatchesAnalytic) {
+  // d2/dx2 (x^3) = 6x.
+  const std::vector<double> c{0.0, 0.0, 0.0, 1.0};
+  EXPECT_DOUBLE_EQ(evaluate_series_second_derivative(c, 2.0), 12.0);
+}
+
+TEST(DifferentiateSeries, ProducesDerivativeCoefficients) {
+  const std::vector<double> c{5.0, 1.0, 2.0, 3.0};
+  const auto d = differentiate_series(c);
+  ASSERT_EQ(d.size(), 3u);
+  EXPECT_DOUBLE_EQ(d[0], 1.0);
+  EXPECT_DOUBLE_EQ(d[1], 4.0);
+  EXPECT_DOUBLE_EQ(d[2], 9.0);
+}
+
+TEST(DifferentiateSeries, ConstantBecomesZero) {
+  const auto d = differentiate_series(std::vector<double>{7.0});
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_DOUBLE_EQ(d[0], 0.0);
+}
+
+TEST(FactorialMoment, PoissonHasPowersOfMean) {
+  // For Poisson(z), E[K(K-1)...(K-n+1)] = z^n.
+  const double z = 3.0;
+  std::vector<double> pmf;
+  for (std::int64_t k = 0; k < 80; ++k) pmf.push_back(poisson_pmf(k, z));
+  EXPECT_NEAR(factorial_moment(pmf, 1), z, 1e-9);
+  EXPECT_NEAR(factorial_moment(pmf, 2), z * z, 1e-8);
+  EXPECT_NEAR(factorial_moment(pmf, 3), z * z * z, 1e-7);
+}
+
+TEST(FactorialMoment, ZerothMomentIsTotalMass) {
+  const std::vector<double> pmf{0.25, 0.5, 0.25};
+  EXPECT_DOUBLE_EQ(factorial_moment(pmf, 0), 1.0);
+}
+
+TEST(FactorialMoment, ThrowsOnNegativeOrder) {
+  EXPECT_THROW((void)factorial_moment(std::vector<double>{1.0}, -1),
+               std::invalid_argument);
+}
+
+TEST(SeriesMeanVariance, MatchDirectComputation) {
+  // Distribution on {0,1,2,3} with pmf {.1,.2,.3,.4}.
+  const std::vector<double> pmf{0.1, 0.2, 0.3, 0.4};
+  const double mean = 0.2 + 0.6 + 1.2;
+  EXPECT_NEAR(series_mean(pmf), mean, 1e-12);
+  double var = 0.0;
+  for (std::size_t k = 0; k < pmf.size(); ++k) {
+    const double d = static_cast<double>(k) - mean;
+    var += d * d * pmf[k];
+  }
+  EXPECT_NEAR(series_variance(pmf), var, 1e-12);
+}
+
+TEST(NormalizePmf, ScalesToUnitMass) {
+  const auto out = normalize_pmf(std::vector<double>{2.0, 2.0, 4.0});
+  EXPECT_DOUBLE_EQ(out[0], 0.25);
+  EXPECT_DOUBLE_EQ(out[1], 0.25);
+  EXPECT_DOUBLE_EQ(out[2], 0.5);
+}
+
+TEST(NormalizePmf, RejectsNegativeAndZeroMass) {
+  EXPECT_THROW((void)normalize_pmf(std::vector<double>{1.0, -0.5}),
+               std::invalid_argument);
+  EXPECT_THROW((void)normalize_pmf(std::vector<double>{0.0, 0.0}),
+               std::invalid_argument);
+}
+
+TEST(TrimSeries, DropsTrailingEpsilonTerms) {
+  const std::vector<double> c{1.0, 0.5, 1e-18, 0.0};
+  const auto trimmed = trim_series(c, 1e-15);
+  ASSERT_EQ(trimmed.size(), 2u);
+  EXPECT_DOUBLE_EQ(trimmed[1], 0.5);
+}
+
+TEST(TrimSeries, KeepsAtLeastOneTerm) {
+  const auto trimmed = trim_series(std::vector<double>{0.0, 0.0}, 1.0);
+  EXPECT_EQ(trimmed.size(), 1u);
+}
+
+}  // namespace
+}  // namespace gossip::math

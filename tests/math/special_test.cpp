@@ -1,0 +1,183 @@
+#include "math/special.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace gossip::math {
+namespace {
+
+TEST(LogFactorial, MatchesExactSmallValues) {
+  EXPECT_NEAR(log_factorial(0), 0.0, 1e-14);
+  EXPECT_NEAR(log_factorial(1), 0.0, 1e-14);
+  EXPECT_NEAR(log_factorial(5), std::log(120.0), 1e-12);
+  EXPECT_NEAR(log_factorial(10), std::log(3628800.0), 1e-11);
+}
+
+TEST(LogFactorial, ThrowsOnNegative) {
+  EXPECT_THROW((void)log_factorial(-1), std::invalid_argument);
+}
+
+TEST(LogBinomialCoefficient, MatchesPascalTriangle) {
+  EXPECT_NEAR(std::exp(log_binomial_coefficient(5, 2)), 10.0, 1e-9);
+  EXPECT_NEAR(std::exp(log_binomial_coefficient(10, 5)), 252.0, 1e-8);
+  EXPECT_NEAR(std::exp(log_binomial_coefficient(20, 0)), 1.0, 1e-12);
+  EXPECT_NEAR(std::exp(log_binomial_coefficient(20, 20)), 1.0, 1e-12);
+}
+
+TEST(LogBinomialCoefficient, OutOfSupportIsNegInfinity) {
+  EXPECT_TRUE(std::isinf(log_binomial_coefficient(5, 6)));
+  EXPECT_LT(log_binomial_coefficient(5, 6), 0.0);
+  EXPECT_TRUE(std::isinf(log_binomial_coefficient(5, -1)));
+}
+
+TEST(BinomialPmf, KnownValues) {
+  EXPECT_NEAR(binomial_pmf(2, 1, 0.5), 0.5, 1e-12);
+  EXPECT_NEAR(binomial_pmf(10, 3, 0.3), 0.2668279320, 1e-9);
+  EXPECT_NEAR(binomial_pmf(20, 20, 0.967), std::pow(0.967, 20.0), 1e-12);
+}
+
+TEST(BinomialPmf, DegenerateProbabilities) {
+  EXPECT_DOUBLE_EQ(binomial_pmf(5, 0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(5, 1, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(5, 5, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(5, 4, 1.0), 0.0);
+}
+
+TEST(BinomialPmf, OutOfSupportIsZero) {
+  EXPECT_DOUBLE_EQ(binomial_pmf(5, -1, 0.4), 0.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(5, 6, 0.4), 0.0);
+}
+
+TEST(BinomialPmf, RejectsInvalidProbability) {
+  EXPECT_THROW((void)binomial_pmf(5, 2, -0.1), std::invalid_argument);
+  EXPECT_THROW((void)binomial_pmf(5, 2, 1.1), std::invalid_argument);
+}
+
+class BinomialPmfNormalization
+    : public ::testing::TestWithParam<std::pair<std::int64_t, double>> {};
+
+TEST_P(BinomialPmfNormalization, SumsToOne) {
+  const auto [n, p] = GetParam();
+  double sum = 0.0;
+  double mean = 0.0;
+  for (std::int64_t k = 0; k <= n; ++k) {
+    const double pk = binomial_pmf(n, k, p);
+    sum += pk;
+    mean += static_cast<double>(k) * pk;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-10);
+  EXPECT_NEAR(mean, static_cast<double>(n) * p, 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, BinomialPmfNormalization,
+    ::testing::Values(std::pair<std::int64_t, double>{1, 0.5},
+                      std::pair<std::int64_t, double>{10, 0.1},
+                      std::pair<std::int64_t, double>{20, 0.967},
+                      std::pair<std::int64_t, double>{50, 0.5},
+                      std::pair<std::int64_t, double>{200, 0.9},
+                      std::pair<std::int64_t, double>{500, 0.02}));
+
+TEST(BinomialSf, MatchesDirectSummation) {
+  const std::int64_t n = 20;
+  const double p = 0.3;
+  for (std::int64_t k = 0; k <= n + 1; ++k) {
+    double direct = 0.0;
+    for (std::int64_t i = k; i <= n; ++i) direct += binomial_pmf(n, i, p);
+    EXPECT_NEAR(binomial_sf(n, k, p), direct, 1e-10) << "k=" << k;
+  }
+}
+
+TEST(BinomialSf, EdgeCases) {
+  EXPECT_DOUBLE_EQ(binomial_sf(10, 0, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_sf(10, -3, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_sf(10, 11, 0.5), 0.0);
+}
+
+TEST(PoissonPmf, KnownValues) {
+  EXPECT_NEAR(poisson_pmf(0, 1.0), std::exp(-1.0), 1e-12);
+  EXPECT_NEAR(poisson_pmf(3, 2.5),
+              std::exp(-2.5) * 2.5 * 2.5 * 2.5 / 6.0, 1e-12);
+}
+
+TEST(PoissonPmf, ZeroMeanIsPointMass) {
+  EXPECT_DOUBLE_EQ(poisson_pmf(0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(poisson_pmf(1, 0.0), 0.0);
+}
+
+TEST(PoissonPmf, NegativeSupportIsZero) {
+  EXPECT_DOUBLE_EQ(poisson_pmf(-1, 3.0), 0.0);
+}
+
+TEST(PoissonCdf, MatchesPmfAccumulation) {
+  const double mean = 4.2;
+  double acc = 0.0;
+  for (std::int64_t k = 0; k <= 30; ++k) {
+    acc += poisson_pmf(k, mean);
+    EXPECT_NEAR(poisson_cdf(k, mean), acc, 1e-10);
+  }
+}
+
+TEST(Log1mExp, AccurateInBothBranches) {
+  // Near zero from below: log(1 - e^x) with x = -1e-10 ~ log(1e-10).
+  EXPECT_NEAR(log1mexp(-1e-10), std::log(1e-10), 1e-4);
+  // Large negative: log(1 - e^-50) ~ -e^-50.
+  EXPECT_NEAR(log1mexp(-50.0), -std::exp(-50.0), 1e-30);
+  EXPECT_THROW((void)log1mexp(0.0), std::invalid_argument);
+}
+
+TEST(OneMinusPow, MatchesNaiveForModerateValues) {
+  EXPECT_NEAR(one_minus_pow(0.5, 3.0), 1.0 - 0.125, 1e-12);
+  EXPECT_NEAR(one_minus_pow(0.033, 3.0), 1.0 - std::pow(0.033, 3.0), 1e-12);
+}
+
+TEST(OneMinusPow, AccurateForTinyProbability) {
+  // 1 - (1 - 1e-12)^2 ~ 2e-12; naive evaluation would lose this entirely
+  // (1 - 2e-12 rounds back to values with ~1e-16 absolute noise). The
+  // remaining error comes only from representing 1 - 1e-12 as a double.
+  const double result = one_minus_pow(1.0 - 1e-12, 2.0);
+  EXPECT_NEAR(result, 2e-12, 1e-15);
+  EXPECT_GT(result, 0.0);
+}
+
+TEST(OneMinusPow, EdgeCases) {
+  EXPECT_DOUBLE_EQ(one_minus_pow(0.0, 5.0), 1.0);
+  EXPECT_DOUBLE_EQ(one_minus_pow(0.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(one_minus_pow(1.0, 5.0), 0.0);
+}
+
+TEST(RegularizedGamma, PPlusQIsOne) {
+  for (const double a : {0.5, 1.0, 2.5, 10.0, 50.0}) {
+    for (const double x : {0.1, 1.0, 5.0, 25.0, 100.0}) {
+      EXPECT_NEAR(regularized_gamma_p(a, x) + regularized_gamma_q(a, x), 1.0,
+                  1e-10)
+          << "a=" << a << " x=" << x;
+    }
+  }
+}
+
+TEST(RegularizedGamma, ExponentialSpecialCase) {
+  // P(1, x) = 1 - e^{-x}.
+  for (const double x : {0.5, 1.0, 2.0, 5.0}) {
+    EXPECT_NEAR(regularized_gamma_p(1.0, x), 1.0 - std::exp(-x), 1e-12);
+  }
+}
+
+TEST(ChiSquareSf, KnownCriticalValues) {
+  // Classical table: chi2(0.95; dof=1) = 3.841, dof=5 -> 11.070.
+  EXPECT_NEAR(chi_square_sf(3.841, 1.0), 0.05, 2e-4);
+  EXPECT_NEAR(chi_square_sf(11.070, 5.0), 0.05, 2e-4);
+  EXPECT_NEAR(chi_square_sf(18.307, 10.0), 0.05, 2e-4);
+}
+
+TEST(ChiSquareSf, BoundaryBehaviour) {
+  EXPECT_DOUBLE_EQ(chi_square_sf(0.0, 3.0), 1.0);
+  EXPECT_LT(chi_square_sf(1000.0, 3.0), 1e-10);
+  EXPECT_THROW((void)chi_square_sf(-1.0, 3.0), std::invalid_argument);
+  EXPECT_THROW((void)chi_square_sf(1.0, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gossip::math

@@ -1,0 +1,75 @@
+#include "membership/full_view.hpp"
+
+#include <set>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace gossip::membership {
+namespace {
+
+TEST(FullMembership, ViewSizeIsAllOtherMembers) {
+  const auto provider = full_membership(100);
+  EXPECT_EQ(provider->view_for(0)->size(), 99u);
+  EXPECT_EQ(provider->view_for(99)->size(), 99u);
+  EXPECT_EQ(provider->name(), "full");
+}
+
+TEST(FullMembership, TargetsAreDistinctAndExcludeOwner) {
+  const auto provider = full_membership(50);
+  const auto view = provider->view_for(7);
+  rng::RngStream rng(1);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto targets = view->select_targets(10, rng);
+    ASSERT_EQ(targets.size(), 10u);
+    std::set<NodeId> unique(targets.begin(), targets.end());
+    ASSERT_EQ(unique.size(), 10u);
+    ASSERT_FALSE(unique.count(7));
+    for (const auto t : targets) ASSERT_LT(t, 50u);
+  }
+}
+
+TEST(FullMembership, OverlargeRequestClampsToViewSize) {
+  const auto provider = full_membership(5);
+  const auto view = provider->view_for(2);
+  rng::RngStream rng(2);
+  const auto targets = view->select_targets(100, rng);
+  std::set<NodeId> unique(targets.begin(), targets.end());
+  EXPECT_EQ(unique.size(), 4u);
+  EXPECT_FALSE(unique.count(2));
+}
+
+TEST(FullMembership, ZeroTargetsIsEmpty) {
+  const auto provider = full_membership(5);
+  rng::RngStream rng(3);
+  EXPECT_TRUE(provider->view_for(0)->select_targets(0, rng).empty());
+}
+
+TEST(FullMembership, TargetSelectionIsUniform) {
+  const auto provider = full_membership(20);
+  const auto view = provider->view_for(0);
+  rng::RngStream rng(4);
+  std::vector<int> counts(20, 0);
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t) {
+    for (const auto v : view->select_targets(3, rng)) ++counts[v];
+  }
+  EXPECT_EQ(counts[0], 0);  // owner never chosen
+  const double expected = trials * 3.0 / 19.0;
+  for (NodeId v = 1; v < 20; ++v) {
+    EXPECT_NEAR(counts[v], expected, expected * 0.1) << "node " << v;
+  }
+}
+
+TEST(FullMembership, RejectsInvalidConstruction) {
+  EXPECT_THROW((void)full_membership(0), std::invalid_argument);
+  EXPECT_THROW((void)full_membership(1), std::invalid_argument);
+}
+
+TEST(FullMembership, RejectsOutOfRangeOwner) {
+  const auto provider = full_membership(3);
+  EXPECT_THROW((void)provider->view_for(3), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace gossip::membership

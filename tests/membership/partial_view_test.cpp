@@ -1,0 +1,112 @@
+#include "membership/partial_view.hpp"
+
+#include <set>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace gossip::membership {
+namespace {
+
+TEST(ListMembership, ServesConfiguredViews) {
+  const auto provider = list_membership({{1, 2}, {0}, {}}, "test");
+  EXPECT_EQ(provider->name(), "test");
+  EXPECT_EQ(provider->view_for(0)->size(), 2u);
+  EXPECT_EQ(provider->view_for(1)->size(), 1u);
+  EXPECT_EQ(provider->view_for(2)->size(), 0u);
+}
+
+TEST(ListMembership, SelectionDrawsOnlyFromView) {
+  const auto provider = list_membership({{2, 3, 4}, {}, {}, {}, {}});
+  const auto view = provider->view_for(0);
+  rng::RngStream rng(1);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto targets = view->select_targets(2, rng);
+    ASSERT_EQ(targets.size(), 2u);
+    for (const auto t : targets) {
+      ASSERT_TRUE(t == 2 || t == 3 || t == 4);
+    }
+    ASSERT_NE(targets[0], targets[1]);
+  }
+}
+
+TEST(ListMembership, RequestBeyondViewReturnsWholeView) {
+  const auto provider = list_membership({{1, 2}, {}, {}});
+  rng::RngStream rng(2);
+  const auto targets = provider->view_for(0)->select_targets(10, rng);
+  std::set<NodeId> unique(targets.begin(), targets.end());
+  EXPECT_EQ(unique, (std::set<NodeId>{1, 2}));
+}
+
+TEST(ListMembership, EmptyViewYieldsNoTargets) {
+  const auto provider = list_membership({{}, {0}});
+  rng::RngStream rng(3);
+  EXPECT_TRUE(provider->view_for(0)->select_targets(3, rng).empty());
+}
+
+TEST(ListMembership, ViewOutlivesProviderHandle) {
+  // Regression guard for the shared-storage lifetime contract.
+  MembershipViewPtr view;
+  {
+    const auto provider = list_membership({{1}, {0}});
+    view = provider->view_for(0);
+  }  // provider handle gone; view must still be usable
+  rng::RngStream rng(4);
+  const auto targets = view->select_targets(1, rng);
+  ASSERT_EQ(targets.size(), 1u);
+  EXPECT_EQ(targets[0], 1u);
+}
+
+TEST(ListMembership, ValidationRejectsBadViews) {
+  EXPECT_THROW((void)list_membership({{0}}), std::invalid_argument);  // self
+  EXPECT_THROW((void)list_membership({{5}, {}}), std::invalid_argument);
+  EXPECT_THROW((void)list_membership({{1, 1}, {}}), std::invalid_argument);
+}
+
+TEST(ListMembership, RejectsOutOfRangeOwner) {
+  const auto provider = list_membership({{1}, {0}});
+  EXPECT_THROW((void)provider->view_for(2), std::out_of_range);
+}
+
+TEST(UniformPartialMembership, AllViewsHaveRequestedSize) {
+  rng::RngStream rng(5);
+  const auto provider = uniform_partial_membership(200, 12, rng);
+  for (NodeId v = 0; v < 200; ++v) {
+    ASSERT_EQ(provider->view_for(v)->size(), 12u) << "node " << v;
+  }
+}
+
+TEST(UniformPartialMembership, ViewsExcludeOwner) {
+  rng::RngStream rng(6);
+  const auto provider = uniform_partial_membership(50, 5, rng);
+  for (NodeId v = 0; v < 50; ++v) {
+    rng::RngStream select_rng(v);
+    const auto targets = provider->view_for(v)->select_targets(5, select_rng);
+    for (const auto t : targets) {
+      ASSERT_NE(t, v);
+    }
+  }
+}
+
+TEST(UniformPartialMembership, MaximalViewEqualsFullKnowledge) {
+  rng::RngStream rng(7);
+  const auto provider = uniform_partial_membership(10, 9, rng);
+  rng::RngStream select_rng(1);
+  const auto targets = provider->view_for(3)->select_targets(9, select_rng);
+  std::set<NodeId> unique(targets.begin(), targets.end());
+  EXPECT_EQ(unique.size(), 9u);
+  EXPECT_FALSE(unique.count(3));
+}
+
+TEST(UniformPartialMembership, RejectsInvalidParameters) {
+  rng::RngStream rng(8);
+  EXPECT_THROW((void)uniform_partial_membership(1, 1, rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)uniform_partial_membership(10, 0, rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)uniform_partial_membership(10, 10, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gossip::membership

@@ -1,0 +1,115 @@
+#include "membership/scamp.hpp"
+
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "stats/summary.hpp"
+
+namespace gossip::membership {
+namespace {
+
+TEST(Scamp, ViewsContainNoSelfOrDuplicates) {
+  ScampParams p;
+  p.num_nodes = 300;
+  rng::RngStream rng(1);
+  const auto views = build_scamp_views(p, rng);
+  ASSERT_EQ(views.size(), 300u);
+  for (NodeId owner = 0; owner < 300; ++owner) {
+    std::set<NodeId> seen;
+    for (const NodeId peer : views[owner]) {
+      ASSERT_NE(peer, owner) << "self in view of " << owner;
+      ASSERT_LT(peer, 300u);
+      ASSERT_TRUE(seen.insert(peer).second)
+          << "duplicate " << peer << " in view of " << owner;
+    }
+  }
+}
+
+TEST(Scamp, EveryNodeIsKnownBySomeone) {
+  // Subscriptions guarantee each joiner lands in at least one view,
+  // otherwise gossip could never reach it.
+  ScampParams p;
+  p.num_nodes = 500;
+  rng::RngStream rng(2);
+  const auto views = build_scamp_views(p, rng);
+  std::vector<int> in_degree(p.num_nodes, 0);
+  for (const auto& view : views) {
+    for (const NodeId peer : view) ++in_degree[peer];
+  }
+  for (NodeId v = 0; v < p.num_nodes; ++v) {
+    EXPECT_GT(in_degree[v], 0) << "node " << v << " unknown to everyone";
+  }
+}
+
+TEST(Scamp, MeanViewSizeScalesLogarithmically) {
+  // SCAMP converges to (c+1) ln n views on average; allow generous slack
+  // since our constructor is a single-pass approximation.
+  ScampParams p;
+  p.redundancy = 1;
+  rng::RngStream rng(3);
+  for (const std::uint32_t n : {200u, 1000u}) {
+    p.num_nodes = n;
+    const auto views = build_scamp_views(p, rng);
+    stats::OnlineSummary sizes;
+    for (const auto& view : views) {
+      sizes.add(static_cast<double>(view.size()));
+    }
+    const double expected = 2.0 * std::log(static_cast<double>(n));
+    EXPECT_GT(sizes.mean(), 0.4 * expected) << "n=" << n;
+    EXPECT_LT(sizes.mean(), 3.0 * expected) << "n=" << n;
+  }
+}
+
+TEST(Scamp, RedundancyIncreasesViewSizes) {
+  rng::RngStream rng1(4);
+  rng::RngStream rng2(4);
+  ScampParams lean;
+  lean.num_nodes = 400;
+  lean.redundancy = 0;
+  ScampParams rich = lean;
+  rich.redundancy = 4;
+  const auto lean_views = build_scamp_views(lean, rng1);
+  const auto rich_views = build_scamp_views(rich, rng2);
+  double lean_total = 0.0;
+  double rich_total = 0.0;
+  for (const auto& v : lean_views) lean_total += static_cast<double>(v.size());
+  for (const auto& v : rich_views) rich_total += static_cast<double>(v.size());
+  EXPECT_GT(rich_total, lean_total);
+}
+
+TEST(Scamp, DeterministicForSameSeed) {
+  ScampParams p;
+  p.num_nodes = 100;
+  rng::RngStream rng1(42);
+  rng::RngStream rng2(42);
+  EXPECT_EQ(build_scamp_views(p, rng1), build_scamp_views(p, rng2));
+}
+
+TEST(Scamp, ProviderWrapperWorks) {
+  ScampParams p;
+  p.num_nodes = 50;
+  rng::RngStream rng(5);
+  const auto provider = scamp_membership(p, rng);
+  EXPECT_EQ(provider->name(), "scamp");
+  rng::RngStream select_rng(6);
+  const auto view = provider->view_for(10);
+  const auto targets =
+      view->select_targets(std::min<std::size_t>(2, view->size()), select_rng);
+  for (const auto t : targets) {
+    EXPECT_NE(t, 10u);
+    EXPECT_LT(t, 50u);
+  }
+}
+
+TEST(Scamp, RejectsTooFewNodes) {
+  ScampParams p;
+  p.num_nodes = 1;
+  rng::RngStream rng(7);
+  EXPECT_THROW((void)build_scamp_views(p, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gossip::membership

@@ -1,0 +1,99 @@
+#include "net/latency.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "stats/summary.hpp"
+
+namespace gossip::net {
+namespace {
+
+TEST(ConstantLatency, AlwaysReturnsDelay) {
+  const auto model = constant_latency(2.5);
+  rng::RngStream rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(model->sample(rng), 2.5);
+  }
+  EXPECT_EQ(model->name(), "Constant(2.5)");
+}
+
+TEST(ConstantLatency, ZeroDelayAllowed) {
+  const auto model = constant_latency(0.0);
+  rng::RngStream rng(1);
+  EXPECT_DOUBLE_EQ(model->sample(rng), 0.0);
+}
+
+TEST(ConstantLatency, RejectsNegative) {
+  EXPECT_THROW((void)constant_latency(-0.1), std::invalid_argument);
+}
+
+TEST(UniformLatency, SamplesWithinRange) {
+  const auto model = uniform_latency(1.0, 3.0);
+  rng::RngStream rng(2);
+  stats::OnlineSummary s;
+  for (int i = 0; i < 20000; ++i) {
+    const double d = model->sample(rng);
+    ASSERT_GE(d, 1.0);
+    ASSERT_LE(d, 3.0);
+    s.add(d);
+  }
+  EXPECT_NEAR(s.mean(), 2.0, 0.02);
+}
+
+TEST(UniformLatency, DegenerateRangeIsConstant) {
+  const auto model = uniform_latency(2.0, 2.0);
+  rng::RngStream rng(3);
+  EXPECT_DOUBLE_EQ(model->sample(rng), 2.0);
+}
+
+TEST(UniformLatency, RejectsInvalidRange) {
+  EXPECT_THROW((void)uniform_latency(3.0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)uniform_latency(-1.0, 1.0), std::invalid_argument);
+}
+
+TEST(ExponentialLatency, MeanMatches) {
+  const auto model = exponential_latency(0.5);
+  rng::RngStream rng(4);
+  stats::OnlineSummary s;
+  for (int i = 0; i < 40000; ++i) {
+    const double d = model->sample(rng);
+    ASSERT_GE(d, 0.0);
+    s.add(d);
+  }
+  EXPECT_NEAR(s.mean(), 0.5, 0.01);
+}
+
+TEST(ExponentialLatency, RejectsNonPositiveMean) {
+  EXPECT_THROW((void)exponential_latency(0.0), std::invalid_argument);
+  EXPECT_THROW((void)exponential_latency(-1.0), std::invalid_argument);
+}
+
+TEST(LognormalLatency, MedianMatchesExpMu) {
+  const auto model = lognormal_latency(0.0, 0.6);
+  rng::RngStream rng(5);
+  int below = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (model->sample(rng) < 1.0) ++below;  // median of LN(0, s) is 1
+  }
+  EXPECT_NEAR(static_cast<double>(below) / n, 0.5, 0.02);
+}
+
+TEST(LognormalLatency, RejectsNonPositiveSigma) {
+  EXPECT_THROW((void)lognormal_latency(0.0, 0.0), std::invalid_argument);
+}
+
+TEST(LatencyModels, NamesAreDescriptive) {
+  rng::RngStream rng(6);
+  EXPECT_NE(uniform_latency(0.0, 1.0)->name().find("Uniform"),
+            std::string::npos);
+  EXPECT_NE(exponential_latency(1.0)->name().find("Exponential"),
+            std::string::npos);
+  EXPECT_NE(lognormal_latency(0.0, 1.0)->name().find("Lognormal"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace gossip::net

@@ -1,0 +1,176 @@
+#include "net/network.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace gossip::net {
+namespace {
+
+/// Records every delivered message.
+class Recorder final : public NodeHandler {
+ public:
+  struct Delivery {
+    NodeId from;
+    Message message;
+  };
+  void on_message(NodeId from, const Message& message) override {
+    deliveries.push_back({from, message});
+  }
+  std::vector<Delivery> deliveries;
+};
+
+struct Fixture {
+  sim::Simulator simulator;
+  std::vector<Recorder> recorders;
+
+  Network make_network(NetworkParams params, std::size_t nodes,
+                       std::uint64_t seed = 1) {
+    recorders.resize(nodes);
+    Network net(simulator, std::move(params), rng::RngStream(seed));
+    for (auto& r : recorders) {
+      (void)net.add_node(r);
+    }
+    return net;
+  }
+};
+
+TEST(Network, DeliversWithConstantLatency) {
+  Fixture fx;
+  auto net = fx.make_network({constant_latency(2.0), 0.0}, 2);
+  net.send(0, 1, Message{7, 0, 0});
+  EXPECT_TRUE(fx.recorders[1].deliveries.empty());  // not yet delivered
+  (void)fx.simulator.run();
+  ASSERT_EQ(fx.recorders[1].deliveries.size(), 1u);
+  EXPECT_EQ(fx.recorders[1].deliveries[0].from, 0u);
+  EXPECT_EQ(fx.recorders[1].deliveries[0].message.id, 7u);
+  EXPECT_DOUBLE_EQ(fx.simulator.now(), 2.0);
+  EXPECT_EQ(net.counters().sent, 1u);
+  EXPECT_EQ(net.counters().delivered, 1u);
+}
+
+TEST(Network, DefaultLatencyIsConstantOne) {
+  Fixture fx;
+  auto net = fx.make_network({nullptr, 0.0}, 2);
+  net.send(0, 1, Message{1, 0, 0});
+  (void)fx.simulator.run();
+  EXPECT_DOUBLE_EQ(fx.simulator.now(), 1.0);
+}
+
+TEST(Network, TotalLossDropsEverything) {
+  Fixture fx;
+  auto net = fx.make_network({constant_latency(1.0), 1.0}, 2);
+  for (int i = 0; i < 50; ++i) {
+    net.send(0, 1, Message{static_cast<std::uint64_t>(i), 0, 0});
+  }
+  (void)fx.simulator.run();
+  EXPECT_TRUE(fx.recorders[1].deliveries.empty());
+  EXPECT_EQ(net.counters().lost, 50u);
+  EXPECT_EQ(net.counters().delivered, 0u);
+}
+
+TEST(Network, PartialLossDropsProportionally) {
+  Fixture fx;
+  auto net = fx.make_network({constant_latency(1.0), 0.3}, 2, 42);
+  const int sends = 10000;
+  for (int i = 0; i < sends; ++i) {
+    net.send(0, 1, Message{static_cast<std::uint64_t>(i), 0, 0});
+  }
+  (void)fx.simulator.run();
+  EXPECT_NEAR(static_cast<double>(net.counters().lost), 0.3 * sends,
+              0.03 * sends);
+  EXPECT_EQ(net.counters().lost + net.counters().delivered,
+            static_cast<std::uint64_t>(sends));
+}
+
+TEST(Network, DownDestinationDropsAtDeliveryTime) {
+  Fixture fx;
+  auto net = fx.make_network({constant_latency(1.0), 0.0}, 2);
+  net.send(0, 1, Message{1, 0, 0});
+  net.set_down(1, true);  // crashes while the message is in flight
+  (void)fx.simulator.run();
+  EXPECT_TRUE(fx.recorders[1].deliveries.empty());
+  EXPECT_EQ(net.counters().to_down_node, 1u);
+}
+
+TEST(Network, DownSenderCannotSend) {
+  Fixture fx;
+  auto net = fx.make_network({constant_latency(1.0), 0.0}, 2);
+  net.set_down(0, true);
+  net.send(0, 1, Message{1, 0, 0});
+  (void)fx.simulator.run();
+  EXPECT_TRUE(fx.recorders[1].deliveries.empty());
+  EXPECT_EQ(net.counters().from_down_node, 1u);
+  EXPECT_EQ(net.counters().sent, 0u);
+}
+
+TEST(Network, RecoveredNodeReceivesAgain) {
+  Fixture fx;
+  auto net = fx.make_network({constant_latency(1.0), 0.0}, 2);
+  net.set_down(1, true);
+  net.set_down(1, false);
+  net.send(0, 1, Message{5, 0, 0});
+  (void)fx.simulator.run();
+  EXPECT_EQ(fx.recorders[1].deliveries.size(), 1u);
+}
+
+TEST(Network, SelfSendIsAllowed) {
+  // The protocol layer seeds the source by delivering m to itself.
+  Fixture fx;
+  auto net = fx.make_network({constant_latency(0.0), 0.0}, 1);
+  net.send(0, 0, Message{9, 0, 0});
+  (void)fx.simulator.run();
+  EXPECT_EQ(fx.recorders[0].deliveries.size(), 1u);
+}
+
+TEST(Network, OutOfRangeEndpointsThrow) {
+  Fixture fx;
+  auto net = fx.make_network({constant_latency(1.0), 0.0}, 2);
+  EXPECT_THROW(net.send(2, 0, Message{}), std::out_of_range);
+  EXPECT_THROW(net.send(0, 2, Message{}), std::out_of_range);
+  EXPECT_THROW(net.set_down(5, true), std::out_of_range);
+}
+
+TEST(Network, RejectsInvalidLossProbability) {
+  sim::Simulator simulator;
+  EXPECT_THROW(Network(simulator, {constant_latency(1.0), 1.5},
+                       rng::RngStream(1)),
+               std::invalid_argument);
+  EXPECT_THROW(Network(simulator, {constant_latency(1.0), -0.5},
+                       rng::RngStream(1)),
+               std::invalid_argument);
+}
+
+TEST(Network, MessagesToDistinctNodesAllArrive) {
+  Fixture fx;
+  auto net = fx.make_network({constant_latency(1.0), 0.0}, 10);
+  for (NodeId v = 1; v < 10; ++v) {
+    net.send(0, v, Message{v, 0, 0});
+  }
+  (void)fx.simulator.run();
+  for (NodeId v = 1; v < 10; ++v) {
+    ASSERT_EQ(fx.recorders[v].deliveries.size(), 1u) << "node " << v;
+    EXPECT_EQ(fx.recorders[v].deliveries[0].message.id, v);
+  }
+}
+
+TEST(Network, VariableLatencyReordersDeliveries) {
+  // With uniform latency, later sends can arrive earlier; the DES must
+  // deliver in timestamp order regardless of send order.
+  Fixture fx;
+  auto net = fx.make_network({uniform_latency(0.1, 5.0), 0.0}, 2, 7);
+  for (int i = 0; i < 100; ++i) {
+    net.send(0, 1, Message{static_cast<std::uint64_t>(i), 0, 0});
+  }
+  double prev = -1.0;
+  // Drain one event at a time, checking the clock is monotone.
+  while (fx.simulator.step()) {
+    EXPECT_GE(fx.simulator.now(), prev);
+    prev = fx.simulator.now();
+  }
+  EXPECT_EQ(fx.recorders[1].deliveries.size(), 100u);
+}
+
+}  // namespace
+}  // namespace gossip::net

@@ -1,0 +1,104 @@
+#include "parallel/thread_pool.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace gossip::parallel {
+namespace {
+
+TEST(ThreadPool, DefaultsToAtLeastOneWorker) {
+  ThreadPool pool;
+  EXPECT_GE(pool.num_threads(), 1u);
+}
+
+TEST(ThreadPool, ExplicitWorkerCount) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.num_threads(), 3u);
+}
+
+TEST(ThreadPool, SubmitReturnsResult) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { return 21 * 2; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, SubmitVoidTask) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  auto f = pool.submit([&] { counter.fetch_add(1); });
+  f.get();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPool, ManyTasksAllExecute) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 500; ++i) {
+    futures.push_back(pool.submit([&] { counter.fetch_add(1); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 500);
+}
+
+TEST(ThreadPool, ExceptionsPropagateThroughFuture) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int {
+    throw std::runtime_error("task failed");
+  });
+  EXPECT_THROW((void)f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, WaitIdleBlocksUntilQueueDrains) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 20; ++i) {
+    (void)pool.submit([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      done.fetch_add(1);
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 20);
+}
+
+TEST(ThreadPool, DestructorDrainsPendingTasks) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      (void)pool.submit([&] { done.fetch_add(1); });
+    }
+  }  // destructor joins
+  EXPECT_EQ(done.load(), 50);
+}
+
+TEST(ThreadPool, TasksRunConcurrently) {
+  ThreadPool pool(2);
+  std::atomic<int> in_flight{0};
+  std::atomic<int> max_seen{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(pool.submit([&] {
+      const int now = in_flight.fetch_add(1) + 1;
+      int expected = max_seen.load();
+      while (now > expected &&
+             !max_seen.compare_exchange_weak(expected, now)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      in_flight.fetch_sub(1);
+    }));
+  }
+  for (auto& f : futures) f.get();
+  // On a single-core host the scheduler may still serialize, so only
+  // require that nothing exceeded the pool size.
+  EXPECT_LE(max_seen.load(), 2);
+  EXPECT_GE(max_seen.load(), 1);
+}
+
+}  // namespace
+}  // namespace gossip::parallel

@@ -1,0 +1,138 @@
+#include "protocol/anti_entropy.hpp"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "core/baselines/anti_entropy_model.hpp"
+#include "stats/summary.hpp"
+
+namespace gossip::protocol {
+namespace {
+
+AntiEntropyParams base_params(std::uint32_t n, std::int64_t fanout,
+                              std::int64_t rounds, ExchangeMode mode,
+                              double q = 1.0) {
+  AntiEntropyParams p;
+  p.num_nodes = n;
+  p.source = 0;
+  p.nonfailed_ratio = q;
+  p.fanout = core::fixed_fanout(fanout);
+  p.rounds = rounds;
+  p.mode = mode;
+  return p;
+}
+
+TEST(AntiEntropy, PushPullConvergesAndStopsEarly) {
+  const auto p = base_params(500, 2, 50, ExchangeMode::kPushPull);
+  rng::RngStream rng(1);
+  const auto result = run_anti_entropy(p, rng);
+  EXPECT_TRUE(result.execution.success);
+  EXPECT_GT(result.rounds_to_full_coverage, 0);
+  EXPECT_LT(result.rounds_to_full_coverage, 25);
+  EXPECT_EQ(result.rounds_executed, result.rounds_to_full_coverage);
+}
+
+TEST(AntiEntropy, InformedFractionIsMonotone) {
+  for (const auto mode :
+       {ExchangeMode::kPush, ExchangeMode::kPull, ExchangeMode::kPushPull}) {
+    const auto p = base_params(300, 1, 30, mode);
+    rng::RngStream rng(2);
+    const auto result = run_anti_entropy(p, rng);
+    double prev = 0.0;
+    for (const double x : result.informed_per_round) {
+      EXPECT_GE(x, prev);
+      prev = x;
+    }
+  }
+}
+
+TEST(AntiEntropy, PullAloneCannotStartFromColdPeers) {
+  // With fanout 0 nothing moves in any mode.
+  auto p = base_params(100, 0, 10, ExchangeMode::kPull);
+  rng::RngStream rng(3);
+  const auto result = run_anti_entropy(p, rng);
+  EXPECT_EQ(result.execution.nonfailed_received, 1u);
+}
+
+TEST(AntiEntropy, PushPullBeatsPushAloneInTailRounds) {
+  // The classic result: push needs O(log n) + tail rounds, pull finishes
+  // the tail super-exponentially. Compare informed fractions at a fixed
+  // small round budget.
+  const std::int64_t rounds = 6;
+  stats::OnlineSummary push_frac;
+  stats::OnlineSummary pushpull_frac;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    rng::RngStream rng1(seed);
+    rng::RngStream rng2(seed);
+    const auto push = run_anti_entropy(
+        base_params(1000, 1, rounds, ExchangeMode::kPush), rng1);
+    const auto pushpull = run_anti_entropy(
+        base_params(1000, 1, rounds, ExchangeMode::kPushPull), rng2);
+    push_frac.add(push.informed_per_round.back());
+    pushpull_frac.add(pushpull.informed_per_round.back());
+  }
+  EXPECT_GT(pushpull_frac.mean(), push_frac.mean());
+}
+
+TEST(AntiEntropy, CrashedMembersDoNotParticipate) {
+  auto p = base_params(10, 9, 10, ExchangeMode::kPushPull, 1.0);
+  std::vector<std::uint8_t> alive{1, 1, 0, 1, 0, 1, 1, 1, 0, 1};
+  rng::RngStream rng(4);
+  const auto result = run_anti_entropy(p, alive, rng);
+  EXPECT_TRUE(result.execution.success);  // full fanout reaches all alive
+  for (NodeId v = 0; v < 10; ++v) {
+    if (!alive[v]) {
+      EXPECT_EQ(result.execution.received[v], 0) << "node " << v;
+    }
+  }
+}
+
+TEST(AntiEntropy, MatchesMeanFieldModel) {
+  const std::uint32_t n = 2000;
+  const std::int64_t rounds = 8;
+  AntiEntropyParams sp = base_params(n, 1, rounds, ExchangeMode::kPushPull);
+
+  core::baselines::AntiEntropyModelParams mp;
+  mp.num_members = n;
+  mp.fanout = 1.0;
+  mp.rounds = rounds;
+  mp.mode = core::baselines::AntiEntropyMode::kPushPull;
+  const auto model = core::baselines::anti_entropy_expected_informed(mp);
+
+  stats::OnlineSummary final_frac;
+  rng::RngStream rng(5);
+  for (int i = 0; i < 10; ++i) {
+    auto run_rng = rng.substream(static_cast<std::uint64_t>(i));
+    const auto sim = run_anti_entropy(sp, run_rng);
+    const std::size_t t =
+        std::min(sim.informed_per_round.size() - 1,
+                 static_cast<std::size_t>(rounds));
+    final_frac.add(sim.informed_per_round[t]);
+  }
+  EXPECT_NEAR(final_frac.mean(), model.back(), 0.08);
+}
+
+TEST(AntiEntropy, DeterministicForSameSeed) {
+  const auto p = base_params(200, 2, 10, ExchangeMode::kPushPull, 0.8);
+  rng::RngStream rng1(42);
+  rng::RngStream rng2(42);
+  const auto r1 = run_anti_entropy(p, rng1);
+  const auto r2 = run_anti_entropy(p, rng2);
+  EXPECT_EQ(r1.execution.received, r2.execution.received);
+  EXPECT_EQ(r1.informed_per_round, r2.informed_per_round);
+}
+
+TEST(AntiEntropy, ValidationErrors) {
+  rng::RngStream rng(1);
+  auto p = base_params(1, 1, 1, ExchangeMode::kPush);
+  EXPECT_THROW((void)run_anti_entropy(p, rng), std::invalid_argument);
+  p = base_params(5, 1, -1, ExchangeMode::kPush);
+  EXPECT_THROW((void)run_anti_entropy(p, rng), std::invalid_argument);
+  p = base_params(5, 1, 1, ExchangeMode::kPush);
+  p.fanout = nullptr;
+  EXPECT_THROW((void)run_anti_entropy(p, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gossip::protocol

@@ -1,0 +1,221 @@
+#include "protocol/gossip_multicast.hpp"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "membership/partial_view.hpp"
+
+namespace gossip::protocol {
+namespace {
+
+GossipParams base_params(std::uint32_t n, double fanout_mean, double q) {
+  GossipParams p;
+  p.num_nodes = n;
+  p.source = 0;
+  p.nonfailed_ratio = q;
+  p.fanout = core::poisson_fanout(fanout_mean);
+  return p;
+}
+
+TEST(GossipMulticast, SaturatingFanoutReachesEveryone) {
+  GossipParams p = base_params(50, 0.0, 1.0);
+  p.fanout = core::fixed_fanout(49);  // everyone contacts everyone
+  rng::RngStream rng(1);
+  const auto result = run_gossip_once(p, rng);
+  EXPECT_TRUE(result.success);
+  EXPECT_DOUBLE_EQ(result.reliability, 1.0);
+  EXPECT_EQ(result.nonfailed_count, 50u);
+  EXPECT_EQ(result.nonfailed_received, 50u);
+}
+
+TEST(GossipMulticast, ZeroFanoutReachesOnlySource) {
+  GossipParams p = base_params(20, 0.0, 1.0);
+  p.fanout = core::fixed_fanout(0);
+  rng::RngStream rng(2);
+  const auto result = run_gossip_once(p, rng);
+  EXPECT_EQ(result.nonfailed_received, 1u);
+  EXPECT_NEAR(result.reliability, 1.0 / 20.0, 1e-12);
+  EXPECT_FALSE(result.success);
+  EXPECT_EQ(result.messages_sent, 0u);
+}
+
+TEST(GossipMulticast, SourceAlwaysReceivesItsOwnMessage) {
+  GossipParams p = base_params(30, 2.0, 0.5);
+  rng::RngStream rng(3);
+  for (int i = 0; i < 10; ++i) {
+    const auto result = run_gossip_once(p, rng);
+    EXPECT_EQ(result.received[p.source], 1);
+    EXPECT_EQ(result.alive[p.source], 1);
+    EXPECT_GE(result.reliability, 0.0);
+    EXPECT_LE(result.reliability, 1.0);
+  }
+}
+
+TEST(GossipMulticast, DeterministicForSameSeed) {
+  const GossipParams p = base_params(200, 3.0, 0.8);
+  rng::RngStream rng1(77);
+  rng::RngStream rng2(77);
+  const auto r1 = run_gossip_once(p, rng1);
+  const auto r2 = run_gossip_once(p, rng2);
+  EXPECT_EQ(r1.received, r2.received);
+  EXPECT_EQ(r1.alive, r2.alive);
+  EXPECT_EQ(r1.messages_sent, r2.messages_sent);
+  EXPECT_DOUBLE_EQ(r1.reliability, r2.reliability);
+}
+
+TEST(GossipMulticast, CrashCasesYieldIdenticalReliabilityForSameSeed) {
+  // Section 4.1: "crash before receiving" and "crash after receiving but
+  // before forwarding" are treated the same — alive members' behaviour and
+  // randomness consumption are identical in both implementations.
+  GossipParams before = base_params(300, 3.0, 0.6);
+  before.crash_case = CrashCase::kBeforeReceive;
+  GossipParams after = before;
+  after.crash_case = CrashCase::kAfterReceiveBeforeForward;
+
+  rng::RngStream mask_rng(5);
+  const auto alive = draw_alive_mask(300, 0, 0.6, mask_rng);
+  rng::RngStream rng1(99);
+  rng::RngStream rng2(99);
+  const auto r1 = run_gossip_once(before, alive, rng1);
+  const auto r2 = run_gossip_once(after, alive, rng2);
+  EXPECT_DOUBLE_EQ(r1.reliability, r2.reliability);
+  EXPECT_EQ(r1.nonfailed_received, r2.nonfailed_received);
+  // Alive members' receipt flags agree exactly.
+  for (NodeId v = 0; v < 300; ++v) {
+    if (alive[v]) {
+      ASSERT_EQ(r1.received[v], r2.received[v]) << "node " << v;
+    }
+  }
+}
+
+TEST(GossipMulticast, CrashedMembersNeverRecordReceiptInCaseA) {
+  GossipParams p = base_params(100, 5.0, 0.5);
+  p.crash_case = CrashCase::kBeforeReceive;
+  rng::RngStream rng(6);
+  const auto result = run_gossip_once(p, rng);
+  for (NodeId v = 0; v < 100; ++v) {
+    if (!result.alive[v]) {
+      EXPECT_EQ(result.received[v], 0) << "node " << v;
+    }
+  }
+}
+
+TEST(GossipMulticast, CrashedMembersMayReceiveInCaseB) {
+  GossipParams p = base_params(200, 6.0, 0.5);
+  p.crash_case = CrashCase::kAfterReceiveBeforeForward;
+  rng::RngStream rng(7);
+  const auto result = run_gossip_once(p, rng);
+  bool any_crashed_received = false;
+  for (NodeId v = 0; v < 200; ++v) {
+    if (!result.alive[v] && result.received[v]) {
+      any_crashed_received = true;
+    }
+  }
+  EXPECT_TRUE(any_crashed_received);
+}
+
+TEST(GossipMulticast, FixedAliveMaskIsHonored) {
+  GossipParams p = base_params(10, 0.0, 1.0);
+  p.fanout = core::fixed_fanout(9);
+  std::vector<std::uint8_t> alive{1, 1, 0, 1, 0, 1, 1, 1, 0, 1};
+  rng::RngStream rng(8);
+  const auto result = run_gossip_once(p, alive, rng);
+  EXPECT_EQ(result.alive, alive);
+  EXPECT_EQ(result.nonfailed_count, 7u);
+  // Saturating fanout: every alive member receives.
+  EXPECT_TRUE(result.success);
+}
+
+TEST(GossipMulticast, DuplicateReceiptsAreCountedAndDiscarded) {
+  GossipParams p = base_params(10, 0.0, 1.0);
+  p.fanout = core::fixed_fanout(9);
+  rng::RngStream rng(9);
+  const auto result = run_gossip_once(p, rng);
+  // 10 nodes each send 9 messages; only 10 first-receipts are possible, so
+  // the rest are duplicates (source's self-delivery is internal).
+  EXPECT_EQ(result.messages_sent, 90u);
+  EXPECT_EQ(result.duplicate_receipts, 90u - 9u);
+}
+
+TEST(GossipMulticast, MessageLossReducesReliability) {
+  GossipParams lossless = base_params(1000, 3.0, 1.0);
+  GossipParams lossy = lossless;
+  lossy.loss_probability = 0.6;
+  rng::RngStream rng1(10);
+  rng::RngStream rng2(10);
+  // Average over a few runs to smooth cascade die-out noise.
+  double r_lossless = 0.0;
+  double r_lossy = 0.0;
+  for (int i = 0; i < 5; ++i) {
+    r_lossless += run_gossip_once(lossless, rng1).reliability;
+    r_lossy += run_gossip_once(lossy, rng2).reliability;
+  }
+  EXPECT_GT(r_lossless, r_lossy);
+}
+
+TEST(GossipMulticast, PartialMembershipRestrictsTargets) {
+  GossipParams p = base_params(6, 0.0, 1.0);
+  p.fanout = core::fixed_fanout(5);
+  // Ring views: node i only knows i+1; gossip must still traverse the ring.
+  std::vector<std::vector<membership::NodeId>> views(6);
+  for (membership::NodeId v = 0; v < 6; ++v) {
+    views[v] = {static_cast<membership::NodeId>((v + 1) % 6)};
+  }
+  p.membership = membership::list_membership(std::move(views), "ring");
+  rng::RngStream rng(11);
+  const auto result = run_gossip_once(p, rng);
+  EXPECT_TRUE(result.success);  // the ring is connected
+  EXPECT_EQ(result.messages_sent, 6u);  // each node forwards once to 1 peer
+}
+
+TEST(GossipMulticast, CompletionTimeGrowsWithLatency) {
+  GossipParams fast = base_params(100, 4.0, 1.0);
+  fast.latency = net::constant_latency(1.0);
+  GossipParams slow = fast;
+  slow.latency = net::constant_latency(10.0);
+  rng::RngStream rng1(12);
+  rng::RngStream rng2(12);
+  const auto r_fast = run_gossip_once(fast, rng1);
+  const auto r_slow = run_gossip_once(slow, rng2);
+  EXPECT_GT(r_slow.completion_time, r_fast.completion_time);
+}
+
+TEST(GossipMulticast, ValidationErrors) {
+  rng::RngStream rng(1);
+  GossipParams p;
+  p.num_nodes = 1;
+  p.fanout = core::poisson_fanout(2.0);
+  EXPECT_THROW((void)run_gossip_once(p, rng), std::invalid_argument);
+  p.num_nodes = 10;
+  p.source = 10;
+  EXPECT_THROW((void)run_gossip_once(p, rng), std::out_of_range);
+  p.source = 0;
+  p.nonfailed_ratio = 0.0;
+  EXPECT_THROW((void)run_gossip_once(p, rng), std::invalid_argument);
+  p.nonfailed_ratio = 1.0;
+  p.fanout = nullptr;
+  EXPECT_THROW((void)run_gossip_once(p, rng), std::invalid_argument);
+}
+
+TEST(GossipMulticast, RejectsBadAliveMask) {
+  GossipParams p = base_params(5, 1.0, 1.0);
+  rng::RngStream rng(1);
+  EXPECT_THROW((void)run_gossip_once(p, {1, 1, 1}, rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)run_gossip_once(p, {0, 1, 1, 1, 1}, rng),
+               std::invalid_argument);  // source dead
+}
+
+TEST(DrawAliveMask, SourceForcedAliveAndRatioRespected) {
+  rng::RngStream rng(13);
+  int alive_total = 0;
+  const int n = 1000;
+  const auto mask = draw_alive_mask(n, 5, 0.3, rng);
+  EXPECT_EQ(mask[5], 1);
+  for (const auto a : mask) alive_total += a;
+  EXPECT_NEAR(alive_total, 300, 60);
+}
+
+}  // namespace
+}  // namespace gossip::protocol

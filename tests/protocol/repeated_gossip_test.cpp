@@ -1,0 +1,113 @@
+#include "protocol/repeated_gossip.hpp"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace gossip::protocol {
+namespace {
+
+RepeatedGossipParams base_params(std::uint32_t n, double fanout_mean, double q,
+                                 std::int64_t executions) {
+  RepeatedGossipParams p;
+  p.base.num_nodes = n;
+  p.base.source = 0;
+  p.base.nonfailed_ratio = q;
+  p.base.fanout = core::poisson_fanout(fanout_mean);
+  p.executions = executions;
+  return p;
+}
+
+TEST(RepeatedGossip, CountsAreBoundedByExecutions) {
+  const auto p = base_params(100, 4.0, 0.9, 7);
+  rng::RngStream rng(1);
+  const auto result = run_repeated_gossip(p, rng);
+  EXPECT_EQ(result.executions, 7);
+  ASSERT_EQ(result.receive_counts.size(), 100u);
+  for (const auto c : result.receive_counts) {
+    EXPECT_LE(c, 7u);
+  }
+  EXPECT_EQ(result.per_execution_reliability.size(), 7u);
+}
+
+TEST(RepeatedGossip, SourceReceivesInEveryExecution) {
+  const auto p = base_params(50, 3.0, 0.8, 10);
+  rng::RngStream rng(2);
+  const auto result = run_repeated_gossip(p, rng);
+  EXPECT_EQ(result.receive_counts[0], 10u);
+}
+
+TEST(RepeatedGossip, AliveMaskIsPersistentAcrossExecutions) {
+  const auto p = base_params(100, 10.0, 0.5, 5);
+  rng::RngStream rng(3);
+  const auto result = run_repeated_gossip(p, rng);
+  // Crashed members never receive in any execution (kBeforeReceive).
+  for (NodeId v = 0; v < 100; ++v) {
+    if (!result.alive[v]) {
+      EXPECT_EQ(result.receive_counts[v], 0u) << "node " << v;
+    }
+  }
+  std::uint32_t alive_count = 0;
+  for (const auto a : result.alive) {
+    if (a) ++alive_count;
+  }
+  EXPECT_EQ(result.alive_count, alive_count);
+}
+
+TEST(RepeatedGossip, SaturatingFanoutGivesFullCounts) {
+  RepeatedGossipParams p = base_params(30, 0.0, 1.0, 4);
+  p.base.fanout = core::fixed_fanout(29);
+  rng::RngStream rng(4);
+  const auto result = run_repeated_gossip(p, rng);
+  for (NodeId v = 0; v < 30; ++v) {
+    EXPECT_EQ(result.receive_counts[v], 4u);
+  }
+  EXPECT_EQ(result.successful_executions, 4);
+}
+
+TEST(RepeatedGossip, SuccessCountSamplesExcludeSourceAndCrashed) {
+  const auto p = base_params(200, 4.0, 0.6, 6);
+  rng::RngStream rng(5);
+  const auto result = run_repeated_gossip(p, rng);
+  const auto samples = result.success_count_samples(0);
+  EXPECT_EQ(samples.size(), result.alive_count - 1);
+  for (const auto s : samples) {
+    EXPECT_LE(s, 6u);
+  }
+}
+
+TEST(RepeatedGossip, DeterministicForSameSeed) {
+  const auto p = base_params(150, 3.5, 0.7, 5);
+  rng::RngStream rng1(9);
+  rng::RngStream rng2(9);
+  const auto r1 = run_repeated_gossip(p, rng1);
+  const auto r2 = run_repeated_gossip(p, rng2);
+  EXPECT_EQ(r1.receive_counts, r2.receive_counts);
+  EXPECT_EQ(r1.alive, r2.alive);
+  EXPECT_EQ(r1.per_execution_reliability, r2.per_execution_reliability);
+}
+
+TEST(RepeatedGossip, ExecutionsVaryWithinOneRun) {
+  // Different executions must consume different randomness: with moderate
+  // fanout the per-execution reliabilities should not all be identical.
+  const auto p = base_params(300, 2.5, 1.0, 10);
+  rng::RngStream rng(11);
+  const auto result = run_repeated_gossip(p, rng);
+  bool any_different = false;
+  for (std::size_t i = 1; i < result.per_execution_reliability.size(); ++i) {
+    if (result.per_execution_reliability[i] !=
+        result.per_execution_reliability[0]) {
+      any_different = true;
+    }
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(RepeatedGossip, RejectsNonPositiveExecutions) {
+  auto p = base_params(10, 2.0, 1.0, 0);
+  rng::RngStream rng(1);
+  EXPECT_THROW((void)run_repeated_gossip(p, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gossip::protocol

@@ -1,0 +1,141 @@
+#include "protocol/round_gossip.hpp"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "core/baselines/pbcast_recurrence.hpp"
+
+namespace gossip::protocol {
+namespace {
+
+RoundGossipProtocolParams base_params(std::uint32_t n, std::int64_t fanout,
+                                      std::int64_t rounds, double q = 1.0) {
+  RoundGossipProtocolParams p;
+  p.num_nodes = n;
+  p.source = 0;
+  p.nonfailed_ratio = q;
+  p.fanout = core::fixed_fanout(fanout);
+  p.rounds = rounds;
+  return p;
+}
+
+TEST(RoundGossip, InformedFractionIsMonotonePerRound) {
+  const auto p = base_params(500, 3, 10);
+  rng::RngStream rng(1);
+  const auto result = run_round_gossip(p, rng);
+  double prev = 0.0;
+  for (const double frac : result.informed_per_round) {
+    EXPECT_GE(frac, prev);
+    EXPECT_LE(frac, 1.0);
+    prev = frac;
+  }
+  EXPECT_NEAR(result.informed_per_round[0], 1.0 / 500.0, 1e-12);
+}
+
+TEST(RoundGossip, EnoughRoundsWithForwardAlwaysReachEveryone) {
+  auto p = base_params(200, 4, 30);
+  p.mode = RoundGossipMode::kForwardAlways;
+  rng::RngStream rng(2);
+  const auto result = run_round_gossip(p, rng);
+  EXPECT_TRUE(result.execution.success);
+  EXPECT_DOUBLE_EQ(result.execution.reliability, 1.0);
+}
+
+TEST(RoundGossip, ForwardOnceStopsWhenFrontierDies) {
+  // Fanout 1 on a small group: the single chain dies quickly; the run must
+  // terminate before exhausting the round budget.
+  const auto p = base_params(100, 1, 1000);
+  rng::RngStream rng(3);
+  const auto result = run_round_gossip(p, rng);
+  EXPECT_LT(result.rounds_executed, 1000);
+}
+
+TEST(RoundGossip, ZeroRoundsMeansOnlySourceInformed) {
+  const auto p = base_params(50, 3, 0);
+  rng::RngStream rng(4);
+  const auto result = run_round_gossip(p, rng);
+  EXPECT_EQ(result.execution.nonfailed_received, 1u);
+  EXPECT_EQ(result.rounds_executed, 0);
+}
+
+TEST(RoundGossip, ForwardAlwaysBeatsForwardOnceAtEqualRounds) {
+  auto once = base_params(400, 2, 6);
+  once.mode = RoundGossipMode::kForwardOnce;
+  auto always = once;
+  always.mode = RoundGossipMode::kForwardAlways;
+  double r_once = 0.0;
+  double r_always = 0.0;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    rng::RngStream rng1(seed);
+    rng::RngStream rng2(seed);
+    r_once += run_round_gossip(once, rng1).execution.reliability;
+    r_always += run_round_gossip(always, rng2).execution.reliability;
+  }
+  EXPECT_GT(r_always, r_once);
+}
+
+TEST(RoundGossip, CrashedMembersNeverForward) {
+  auto p = base_params(10, 9, 5, 1.0);
+  std::vector<std::uint8_t> alive{1, 0, 0, 0, 0, 0, 0, 0, 0, 1};
+  rng::RngStream rng(5);
+  const auto result = run_round_gossip(p, alive, rng);
+  EXPECT_EQ(result.execution.nonfailed_count, 2u);
+  // Source contacts everyone; node 9 receives and may forward, but all
+  // others are dead, so the run ends with both alive members informed.
+  EXPECT_TRUE(result.execution.success);
+}
+
+TEST(RoundGossip, MeanFieldRecurrencePredictsForwardAlwaysTrajectory) {
+  // The pbcast recurrence is the mean-field limit of kForwardAlways; at
+  // n = 2000 the realized trajectory should track it closely.
+  const std::uint32_t n = 2000;
+  const double fanout = 2.0;
+  const std::int64_t rounds = 8;
+  auto p = base_params(n, static_cast<std::int64_t>(fanout), rounds);
+  p.mode = RoundGossipMode::kForwardAlways;
+  rng::RngStream rng(6);
+  const auto sim = run_round_gossip(p, rng);
+
+  core::baselines::RoundGossipParams mp;
+  mp.num_members = n;
+  mp.fanout = fanout;
+  mp.nonfailed_ratio = 1.0;
+  mp.rounds = rounds;
+  const auto model = core::baselines::pbcast_expected_infected(mp);
+
+  ASSERT_EQ(sim.informed_per_round.size(), model.size());
+  for (std::size_t t = 0; t < model.size(); ++t) {
+    EXPECT_NEAR(sim.informed_per_round[t], model[t], 0.05)
+        << "round " << t;
+  }
+}
+
+TEST(RoundGossip, DeterministicForSameSeed) {
+  const auto p = base_params(300, 3, 8, 0.7);
+  rng::RngStream rng1(42);
+  rng::RngStream rng2(42);
+  const auto r1 = run_round_gossip(p, rng1);
+  const auto r2 = run_round_gossip(p, rng2);
+  EXPECT_EQ(r1.execution.received, r2.execution.received);
+  EXPECT_EQ(r1.informed_per_round, r2.informed_per_round);
+}
+
+TEST(RoundGossip, ValidationErrors) {
+  rng::RngStream rng(1);
+  auto p = base_params(2, 1, 1);
+  p.num_nodes = 1;
+  EXPECT_THROW((void)run_round_gossip(p, rng), std::invalid_argument);
+  p = base_params(5, 1, 1);
+  p.rounds = -1;
+  EXPECT_THROW((void)run_round_gossip(p, rng), std::invalid_argument);
+  p = base_params(5, 1, 1);
+  p.fanout = nullptr;
+  EXPECT_THROW((void)run_round_gossip(p, rng), std::invalid_argument);
+  p = base_params(5, 1, 1);
+  EXPECT_THROW((void)run_round_gossip(p, {1, 1, 1}, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gossip::protocol

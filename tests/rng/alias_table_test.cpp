@@ -1,0 +1,81 @@
+#include "rng/alias_table.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stats/gof.hpp"
+
+namespace gossip::rng {
+namespace {
+
+TEST(AliasTable, NormalizesWeights) {
+  const std::vector<double> w{1.0, 3.0};
+  const AliasTable table(w);
+  EXPECT_DOUBLE_EQ(table.probability(0), 0.25);
+  EXPECT_DOUBLE_EQ(table.probability(1), 0.75);
+  EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(AliasTable, SingleCategoryAlwaysSampled) {
+  const AliasTable table(std::vector<double>{5.0});
+  RngStream g(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(table.sample(g), 0u);
+  }
+}
+
+TEST(AliasTable, ZeroWeightCategoryNeverSampled) {
+  const AliasTable table(std::vector<double>{1.0, 0.0, 1.0});
+  RngStream g(2);
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_NE(table.sample(g), 1u);
+  }
+}
+
+TEST(AliasTable, SamplesMatchDistribution) {
+  const std::vector<double> w{0.1, 0.4, 0.2, 0.05, 0.25};
+  const AliasTable table(w);
+  RngStream g(3);
+  std::vector<std::uint64_t> observed(w.size(), 0);
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) ++observed[table.sample(g)];
+  const auto result = stats::chi_square_test(observed, w);
+  EXPECT_GT(result.p_value, 1e-3) << "chi2=" << result.statistic;
+}
+
+TEST(AliasTable, HandlesManyCategoriesUniform) {
+  std::vector<double> w(1000, 1.0);
+  const AliasTable table(w);
+  RngStream g(4);
+  std::vector<int> counts(w.size(), 0);
+  const int draws = 200000;
+  for (int i = 0; i < draws; ++i) ++counts[table.sample(g)];
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    EXPECT_GT(counts[i], 100) << i;
+    EXPECT_LT(counts[i], 320) << i;
+  }
+}
+
+TEST(AliasTable, HandlesExtremeWeightSkew) {
+  const std::vector<double> w{1e-9, 1.0};
+  const AliasTable table(w);
+  RngStream g(5);
+  int zeros = 0;
+  for (int i = 0; i < 100000; ++i) {
+    if (table.sample(g) == 0) ++zeros;
+  }
+  EXPECT_LE(zeros, 2);
+}
+
+TEST(AliasTable, RejectsInvalidWeights) {
+  EXPECT_THROW(AliasTable(std::vector<double>{}), std::invalid_argument);
+  EXPECT_THROW(AliasTable(std::vector<double>{-1.0, 2.0}),
+               std::invalid_argument);
+  EXPECT_THROW(AliasTable(std::vector<double>{0.0, 0.0}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gossip::rng

@@ -1,0 +1,291 @@
+#include "rng/distributions.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "math/special.hpp"
+#include "stats/gof.hpp"
+#include "stats/summary.hpp"
+
+namespace gossip::rng {
+namespace {
+
+constexpr int kDraws = 60000;
+
+/// Chi-square goodness-of-fit of sampled counts against a pmf callback over
+/// support {0..max_k}; asserts p-value above 0.001.
+template <typename Sampler, typename Pmf>
+void expect_pmf_fit(Sampler&& draw, Pmf&& pmf, std::int64_t max_k,
+                    const char* label) {
+  std::vector<std::uint64_t> observed(static_cast<std::size_t>(max_k) + 1, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    const std::int64_t k = std::min<std::int64_t>(draw(), max_k);
+    ASSERT_GE(k, 0) << label;
+    ++observed[static_cast<std::size_t>(k)];
+  }
+  std::vector<double> expected(static_cast<std::size_t>(max_k) + 1, 0.0);
+  double cumulative = 0.0;
+  for (std::int64_t k = 0; k < max_k; ++k) {
+    expected[static_cast<std::size_t>(k)] = pmf(k);
+    cumulative += expected[static_cast<std::size_t>(k)];
+  }
+  expected[static_cast<std::size_t>(max_k)] = std::max(0.0, 1.0 - cumulative);
+  const auto result = stats::chi_square_test(observed, expected);
+  EXPECT_GT(result.p_value, 1e-3)
+      << label << " chi2=" << result.statistic << " dof=" << result.dof;
+}
+
+TEST(SamplePoisson, SmallMeanMatchesPmf) {
+  RngStream g(101);
+  const double mean = 3.3;  // Knuth regime
+  expect_pmf_fit([&] { return sample_poisson(g, mean); },
+                 [&](std::int64_t k) { return math::poisson_pmf(k, mean); },
+                 15, "poisson-3.3");
+}
+
+TEST(SamplePoisson, LargeMeanMatchesPmf) {
+  RngStream g(103);
+  const double mean = 42.0;  // PTRS regime
+  expect_pmf_fit([&] { return sample_poisson(g, mean); },
+                 [&](std::int64_t k) { return math::poisson_pmf(k, mean); },
+                 90, "poisson-42");
+}
+
+TEST(SamplePoisson, BoundaryRegimeMatchesPmf) {
+  RngStream g(105);
+  const double mean = 10.0;  // first PTRS mean
+  expect_pmf_fit([&] { return sample_poisson(g, mean); },
+                 [&](std::int64_t k) { return math::poisson_pmf(k, mean); },
+                 30, "poisson-10");
+}
+
+TEST(SamplePoisson, MeanAndVarianceMatch) {
+  RngStream g(107);
+  const double mean = 6.7;
+  stats::OnlineSummary s;
+  for (int i = 0; i < kDraws; ++i) {
+    s.add(static_cast<double>(sample_poisson(g, mean)));
+  }
+  EXPECT_NEAR(s.mean(), mean, 0.06);
+  EXPECT_NEAR(s.variance(), mean, 0.2);
+}
+
+TEST(SamplePoisson, ZeroMeanAlwaysZero) {
+  RngStream g(109);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(sample_poisson(g, 0.0), 0);
+  }
+}
+
+TEST(SamplePoisson, RejectsNegativeMean) {
+  RngStream g(1);
+  EXPECT_THROW((void)sample_poisson(g, -1.0), std::invalid_argument);
+}
+
+TEST(SampleBinomial, MatchesPmf) {
+  RngStream g(111);
+  const std::int64_t n = 20;
+  const double p = 0.35;
+  expect_pmf_fit([&] { return sample_binomial(g, n, p); },
+                 [&](std::int64_t k) { return math::binomial_pmf(n, k, p); },
+                 n, "binomial-20-0.35");
+}
+
+TEST(SampleBinomial, HighProbabilityUsesSymmetry) {
+  RngStream g(113);
+  const std::int64_t n = 15;
+  const double p = 0.85;
+  expect_pmf_fit([&] { return sample_binomial(g, n, p); },
+                 [&](std::int64_t k) { return math::binomial_pmf(n, k, p); },
+                 n, "binomial-15-0.85");
+}
+
+TEST(SampleBinomial, EdgeCases) {
+  RngStream g(115);
+  EXPECT_EQ(sample_binomial(g, 0, 0.5), 0);
+  EXPECT_EQ(sample_binomial(g, 10, 0.0), 0);
+  EXPECT_EQ(sample_binomial(g, 10, 1.0), 10);
+  EXPECT_THROW((void)sample_binomial(g, -1, 0.5), std::invalid_argument);
+  EXPECT_THROW((void)sample_binomial(g, 5, 1.5), std::invalid_argument);
+}
+
+TEST(SampleGeometric, MatchesPmf) {
+  RngStream g(117);
+  const double p = 0.25;
+  expect_pmf_fit(
+      [&] { return sample_geometric(g, p); },
+      [&](std::int64_t k) {
+        return p * std::pow(1.0 - p, static_cast<double>(k));
+      },
+      30, "geometric-0.25");
+}
+
+TEST(SampleGeometric, SuccessProbabilityOneIsZero) {
+  RngStream g(119);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(sample_geometric(g, 1.0), 0);
+  }
+}
+
+TEST(SampleGeometric, RejectsInvalidProbability) {
+  RngStream g(1);
+  EXPECT_THROW((void)sample_geometric(g, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)sample_geometric(g, 1.5), std::invalid_argument);
+}
+
+TEST(SampleZipf, MatchesPmf) {
+  RngStream g(121);
+  const std::int64_t n = 50;
+  const double s = 1.5;
+  double norm = 0.0;
+  for (std::int64_t k = 1; k <= n; ++k) {
+    norm += std::pow(static_cast<double>(k), -s);
+  }
+  // Shift support down by one for the histogram helper (zipf starts at 1).
+  expect_pmf_fit(
+      [&] { return sample_zipf(g, n, s) - 1; },
+      [&](std::int64_t k) {
+        return std::pow(static_cast<double>(k + 1), -s) / norm;
+      },
+      n - 1, "zipf-50-1.5");
+}
+
+TEST(SampleZipf, ExponentOneHarmonicCase) {
+  RngStream g(123);
+  const std::int64_t n = 20;
+  const double s = 1.0;
+  double norm = 0.0;
+  for (std::int64_t k = 1; k <= n; ++k) {
+    norm += 1.0 / static_cast<double>(k);
+  }
+  expect_pmf_fit(
+      [&] { return sample_zipf(g, n, s) - 1; },
+      [&](std::int64_t k) { return 1.0 / static_cast<double>(k + 1) / norm; },
+      n - 1, "zipf-20-1.0");
+}
+
+TEST(SampleZipf, SingletonSupport) {
+  RngStream g(125);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(sample_zipf(g, 1, 2.0), 1);
+  }
+}
+
+TEST(SampleZipf, StaysInSupport) {
+  RngStream g(127);
+  for (int i = 0; i < 10000; ++i) {
+    const auto k = sample_zipf(g, 7, 0.8);
+    ASSERT_GE(k, 1);
+    ASSERT_LE(k, 7);
+  }
+}
+
+TEST(SampleExponential, MeanMatches) {
+  RngStream g(129);
+  const double rate = 2.5;
+  stats::OnlineSummary s;
+  for (int i = 0; i < kDraws; ++i) s.add(sample_exponential(g, rate));
+  EXPECT_NEAR(s.mean(), 1.0 / rate, 0.01);
+  EXPECT_THROW((void)sample_exponential(g, 0.0), std::invalid_argument);
+}
+
+TEST(SampleStandardNormal, MomentsMatch) {
+  RngStream g(131);
+  stats::OnlineSummary s;
+  for (int i = 0; i < kDraws; ++i) s.add(sample_standard_normal(g));
+  EXPECT_NEAR(s.mean(), 0.0, 0.02);
+  EXPECT_NEAR(s.variance(), 1.0, 0.03);
+}
+
+TEST(SampleLognormal, MedianMatches) {
+  RngStream g(133);
+  const double mu = 0.7;
+  const double sigma = 0.5;
+  std::vector<double> xs;
+  xs.reserve(kDraws);
+  for (int i = 0; i < kDraws; ++i) xs.push_back(sample_lognormal(g, mu, sigma));
+  std::nth_element(xs.begin(), xs.begin() + kDraws / 2, xs.end());
+  EXPECT_NEAR(xs[kDraws / 2], std::exp(mu), 0.05);
+  EXPECT_THROW((void)sample_lognormal(g, 0.0, 0.0), std::invalid_argument);
+}
+
+TEST(SampleDistinct, ReturnsDistinctValuesInRange) {
+  RngStream g(135);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto picks = sample_distinct(g, 10, 50);
+    std::set<std::uint32_t> unique(picks.begin(), picks.end());
+    ASSERT_EQ(unique.size(), 10u);
+    for (const auto v : picks) ASSERT_LT(v, 50u);
+  }
+}
+
+TEST(SampleDistinct, FullDrawIsPermutationOfRange) {
+  RngStream g(137);
+  const auto picks = sample_distinct(g, 8, 8);
+  std::set<std::uint32_t> unique(picks.begin(), picks.end());
+  EXPECT_EQ(unique.size(), 8u);
+  EXPECT_EQ(*unique.begin(), 0u);
+  EXPECT_EQ(*unique.rbegin(), 7u);
+}
+
+TEST(SampleDistinct, ZeroDrawIsEmpty) {
+  RngStream g(139);
+  EXPECT_TRUE(sample_distinct(g, 0, 5).empty());
+}
+
+TEST(SampleDistinct, MarginalInclusionIsUniform) {
+  RngStream g(141);
+  const std::size_t n = 20;
+  const std::size_t k = 5;
+  std::vector<int> counts(n, 0);
+  const int trials = 40000;
+  for (int t = 0; t < trials; ++t) {
+    for (const auto v : sample_distinct(g, k, n)) ++counts[v];
+  }
+  const double expected = static_cast<double>(trials) * k / n;
+  for (std::size_t v = 0; v < n; ++v) {
+    EXPECT_NEAR(counts[v], expected, expected * 0.05) << "index " << v;
+  }
+}
+
+TEST(SampleDistinct, RejectsKGreaterThanN) {
+  RngStream g(1);
+  EXPECT_THROW((void)sample_distinct(g, 6, 5), std::invalid_argument);
+}
+
+TEST(SampleDistinctExcluding, NeverReturnsExcluded) {
+  RngStream g(143);
+  for (int trial = 0; trial < 500; ++trial) {
+    const auto picks = sample_distinct_excluding(g, 7, 20, 13);
+    for (const auto v : picks) {
+      ASSERT_NE(v, 13u);
+      ASSERT_LT(v, 20u);
+    }
+    std::set<std::uint32_t> unique(picks.begin(), picks.end());
+    ASSERT_EQ(unique.size(), 7u);
+  }
+}
+
+TEST(SampleDistinctExcluding, CanDrawAllOtherNodes) {
+  RngStream g(145);
+  const auto picks = sample_distinct_excluding(g, 9, 10, 4);
+  std::set<std::uint32_t> unique(picks.begin(), picks.end());
+  EXPECT_EQ(unique.size(), 9u);
+  EXPECT_FALSE(unique.count(4));
+}
+
+TEST(SampleDistinctExcluding, RejectsInvalidArguments) {
+  RngStream g(1);
+  EXPECT_THROW((void)sample_distinct_excluding(g, 10, 10, 0),
+               std::invalid_argument);
+  EXPECT_THROW((void)sample_distinct_excluding(g, 1, 10, 10),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gossip::rng

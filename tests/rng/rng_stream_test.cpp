@@ -1,0 +1,142 @@
+#include "rng/rng_stream.hpp"
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace gossip::rng {
+namespace {
+
+TEST(RngStream, DeterministicForSameSeed) {
+  RngStream a(123);
+  RngStream b(123);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(a(), b());
+    ASSERT_DOUBLE_EQ(a.next_double(), b.next_double());
+  }
+}
+
+TEST(RngStream, SubstreamIsIndependentOfParentDrawOrder) {
+  RngStream a(5);
+  RngStream b(5);
+  // Advance one parent but not the other; substreams must be identical.
+  for (int i = 0; i < 17; ++i) (void)a();
+  RngStream sub_a = a.substream(3);
+  RngStream sub_b = b.substream(3);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_EQ(sub_a(), sub_b());
+  }
+}
+
+TEST(RngStream, SubstreamsWithDifferentIndicesDiffer) {
+  const RngStream root(5);
+  RngStream s1 = root.substream(1);
+  RngStream s2 = root.substream(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (s1() == s2()) ++same;
+  }
+  EXPECT_LE(same, 1);
+}
+
+TEST(RngStream, NextDoubleInHalfOpenUnitInterval) {
+  RngStream g(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = g.next_double();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+  }
+}
+
+TEST(RngStream, NextDoubleOpenNeverZero) {
+  RngStream g(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = g.next_double_open();
+    ASSERT_GT(x, 0.0);
+    ASSERT_LE(x, 1.0);
+    ASSERT_TRUE(std::isfinite(std::log(x)));
+  }
+}
+
+TEST(RngStream, NextDoubleMeanIsHalf) {
+  RngStream g(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += g.next_double();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngStream, NextBelowStaysInRange) {
+  RngStream g(13);
+  for (const std::uint64_t bound : {1ULL, 2ULL, 7ULL, 100ULL, 1000003ULL}) {
+    for (int i = 0; i < 1000; ++i) {
+      ASSERT_LT(g.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(RngStream, NextBelowOneAlwaysZero) {
+  RngStream g(13);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(g.next_below(1), 0u);
+  }
+}
+
+TEST(RngStream, NextBelowIsApproximatelyUniform) {
+  RngStream g(17);
+  const std::uint64_t bound = 10;
+  std::vector<int> counts(bound, 0);
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) ++counts[g.next_below(bound)];
+  for (std::uint64_t k = 0; k < bound; ++k) {
+    EXPECT_NEAR(counts[k], draws / 10.0, 400.0) << "bucket " << k;
+  }
+}
+
+TEST(RngStream, UniformIntCoversInclusiveRange) {
+  RngStream g(19);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = g.uniform_int(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngStream, UniformIntSinglePoint) {
+  RngStream g(19);
+  EXPECT_EQ(g.uniform_int(5, 5), 5);
+}
+
+TEST(RngStream, BernoulliEdgeProbabilities) {
+  RngStream g(23);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_FALSE(g.bernoulli(0.0));
+    ASSERT_TRUE(g.bernoulli(1.0));
+    ASSERT_FALSE(g.bernoulli(-0.5));
+    ASSERT_TRUE(g.bernoulli(1.5));
+  }
+}
+
+TEST(RngStream, BernoulliFrequencyMatchesProbability) {
+  RngStream g(29);
+  const double p = 0.3;
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (g.bernoulli(p)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, p, 0.01);
+}
+
+TEST(RngStream, SeedAccessorReturnsConstructionSeed) {
+  const RngStream g(777);
+  EXPECT_EQ(g.seed(), 777u);
+}
+
+}  // namespace
+}  // namespace gossip::rng

@@ -1,0 +1,106 @@
+#include "sim/event_queue.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace gossip::sim {
+namespace {
+
+TEST(EventQueue, StartsEmpty) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_THROW((void)q.next_time(), std::logic_error);
+  EXPECT_THROW((void)q.pop(), std::logic_error);
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  (void)q.push(3.0, [&] { order.push_back(3); });
+  (void)q.push(1.0, [&] { order.push_back(1); });
+  (void)q.push(2.0, [&] { order.push_back(2); });
+  while (!q.empty()) {
+    auto [t, cb] = q.pop();
+    cb();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SimultaneousEventsPopFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    (void)q.push(5.0, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) {
+    q.pop().second();
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(EventQueue, CancelRemovesEvent) {
+  EventQueue q;
+  bool ran = false;
+  const EventId id = q.push(1.0, [&] { ran = true; });
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.cancel(id));  // second cancel is a no-op
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, CancelledEventIsSkippedByPop) {
+  EventQueue q;
+  std::vector<int> order;
+  const EventId a = q.push(1.0, [&] { order.push_back(1); });
+  (void)q.push(2.0, [&] { order.push_back(2); });
+  EXPECT_TRUE(q.cancel(a));
+  EXPECT_EQ(q.next_time(), 2.0);
+  q.pop().second();
+  EXPECT_EQ(order, (std::vector<int>{2}));
+}
+
+TEST(EventQueue, NextTimePeeksWithoutRemoving) {
+  EventQueue q;
+  (void)q.push(7.5, [] {});
+  EXPECT_DOUBLE_EQ(q.next_time(), 7.5);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, ClearDropsEverything) {
+  EventQueue q;
+  (void)q.push(1.0, [] {});
+  (void)q.push(2.0, [] {});
+  q.clear();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, IdsAreUnique) {
+  EventQueue q;
+  const EventId a = q.push(1.0, [] {});
+  const EventId b = q.push(1.0, [] {});
+  EXPECT_NE(a, b);
+}
+
+TEST(EventQueue, ManyEventsStressOrdering) {
+  EventQueue q;
+  // Push times in a scrambled deterministic pattern.
+  for (int i = 0; i < 1000; ++i) {
+    const double t = static_cast<double>((i * 7919) % 1000);
+    (void)q.push(t, [] {});
+  }
+  double prev = -1.0;
+  while (!q.empty()) {
+    auto [t, cb] = q.pop();
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+}  // namespace
+}  // namespace gossip::sim

@@ -1,0 +1,142 @@
+#include "sim/simulator.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace gossip::sim {
+namespace {
+
+TEST(Simulator, ClockStartsAtZero) {
+  Simulator sim;
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulator, RunExecutesInTimeOrderAndAdvancesClock) {
+  Simulator sim;
+  std::vector<double> seen;
+  (void)sim.schedule_at(2.0, [&] { seen.push_back(sim.now()); });
+  (void)sim.schedule_at(1.0, [&] { seen.push_back(sim.now()); });
+  (void)sim.schedule_at(3.0, [&] { seen.push_back(sim.now()); });
+  const auto executed = sim.run();
+  EXPECT_EQ(executed, 3u);
+  EXPECT_EQ(seen, (std::vector<double>{1.0, 2.0, 3.0}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(Simulator, ScheduleAfterIsRelative) {
+  Simulator sim;
+  double fired_at = -1.0;
+  (void)sim.schedule_at(5.0, [&] {
+    (void)sim.schedule_after(2.5, [&] { fired_at = sim.now(); });
+  });
+  (void)sim.run();
+  EXPECT_DOUBLE_EQ(fired_at, 7.5);
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 10) {
+      (void)sim.schedule_after(1.0, recurse);
+    }
+  };
+  (void)sim.schedule_at(0.0, recurse);
+  (void)sim.run();
+  EXPECT_EQ(depth, 10);
+  EXPECT_DOUBLE_EQ(sim.now(), 9.0);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  Simulator sim;
+  std::vector<double> seen;
+  for (const double t : {1.0, 2.0, 3.0, 4.0}) {
+    (void)sim.schedule_at(t, [&, t] { seen.push_back(t); });
+  }
+  (void)sim.run_until(2.5);
+  EXPECT_EQ(seen, (std::vector<double>{1.0, 2.0}));
+  EXPECT_DOUBLE_EQ(sim.now(), 2.5);
+  EXPECT_EQ(sim.pending(), 2u);
+  (void)sim.run();
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(Simulator, RunUntilIncludesEventsExactlyAtBoundary) {
+  Simulator sim;
+  bool ran = false;
+  (void)sim.schedule_at(2.0, [&] { ran = true; });
+  (void)sim.run_until(2.0);
+  EXPECT_TRUE(ran);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  const EventId id = sim.schedule_at(1.0, [&] { ran = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  (void)sim.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Simulator, SchedulingInThePastThrows) {
+  Simulator sim;
+  (void)sim.schedule_at(5.0, [] {});
+  (void)sim.run();
+  EXPECT_THROW((void)sim.schedule_at(4.0, [] {}), std::invalid_argument);
+  EXPECT_THROW((void)sim.schedule_after(-1.0, [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, StepExecutesExactlyOneEvent) {
+  Simulator sim;
+  int count = 0;
+  (void)sim.schedule_at(1.0, [&] { ++count; });
+  (void)sim.schedule_at(2.0, [&] { ++count; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulator, EventsExecutedAccumulates) {
+  Simulator sim;
+  for (int i = 0; i < 5; ++i) {
+    (void)sim.schedule_at(static_cast<double>(i), [] {});
+  }
+  (void)sim.run();
+  EXPECT_EQ(sim.events_executed(), 5u);
+}
+
+TEST(Simulator, ResetRestoresInitialState) {
+  Simulator sim;
+  (void)sim.schedule_at(1.0, [] {});
+  (void)sim.run();
+  (void)sim.schedule_at(10.0, [] {});
+  sim.reset();
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_EQ(sim.events_executed(), 0u);
+  // Scheduling at time 0 works again after reset.
+  bool ran = false;
+  (void)sim.schedule_at(0.0, [&] { ran = true; });
+  (void)sim.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(Simulator, DeterministicTieBreakForSimultaneousEvents) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 20; ++i) {
+    (void)sim.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  (void)sim.run();
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
+}  // namespace
+}  // namespace gossip::sim

@@ -1,0 +1,92 @@
+#include "stats/ci.hpp"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace gossip::stats {
+namespace {
+
+TEST(NormalQuantile, MatchesStandardTwoSidedValues) {
+  EXPECT_NEAR(normal_quantile_two_sided(0.95), 1.959963985, 1e-6);
+  EXPECT_NEAR(normal_quantile_two_sided(0.99), 2.575829304, 1e-6);
+  EXPECT_NEAR(normal_quantile_two_sided(0.90), 1.644853627, 1e-6);
+  EXPECT_NEAR(normal_quantile_two_sided(0.6827), 1.0, 1e-3);
+}
+
+TEST(NormalQuantile, RejectsOutOfRangeConfidence) {
+  EXPECT_THROW((void)normal_quantile_two_sided(0.0), std::invalid_argument);
+  EXPECT_THROW((void)normal_quantile_two_sided(1.0), std::invalid_argument);
+  EXPECT_THROW((void)normal_quantile_two_sided(-0.5), std::invalid_argument);
+}
+
+TEST(MeanConfidenceInterval, CentersOnMean) {
+  OnlineSummary s;
+  for (const double x : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(x);
+  const auto ci = mean_confidence_interval(s, 0.95);
+  EXPECT_NEAR(0.5 * (ci.lo + ci.hi), 3.0, 1e-12);
+  EXPECT_TRUE(ci.contains(3.0));
+  EXPECT_GT(ci.width(), 0.0);
+}
+
+TEST(MeanConfidenceInterval, HigherConfidenceIsWider) {
+  OnlineSummary s;
+  for (int i = 0; i < 30; ++i) s.add(static_cast<double>(i % 7));
+  const auto ci95 = mean_confidence_interval(s, 0.95);
+  const auto ci99 = mean_confidence_interval(s, 0.99);
+  EXPECT_GT(ci99.width(), ci95.width());
+}
+
+TEST(MeanConfidenceInterval, DegenerateSampleHasZeroWidth) {
+  OnlineSummary s;
+  s.add(2.0);
+  const auto ci = mean_confidence_interval(s);
+  EXPECT_DOUBLE_EQ(ci.width(), 0.0);
+}
+
+TEST(WilsonInterval, ContainsPointEstimate) {
+  const auto ci = wilson_interval(30, 100);
+  EXPECT_LT(ci.lo, 0.3);
+  EXPECT_GT(ci.hi, 0.3);
+  EXPECT_GT(ci.lo, 0.0);
+  EXPECT_LT(ci.hi, 1.0);
+}
+
+TEST(WilsonInterval, ExtremeCountsStayInUnitInterval) {
+  const auto all = wilson_interval(100, 100);
+  EXPECT_LE(all.hi, 1.0);
+  EXPECT_GT(all.lo, 0.9);
+  const auto none = wilson_interval(0, 100);
+  EXPECT_GE(none.lo, 0.0);
+  EXPECT_LT(none.hi, 0.1);
+}
+
+TEST(WilsonInterval, ShrinksWithMoreTrials) {
+  const auto small = wilson_interval(5, 10);
+  const auto large = wilson_interval(500, 1000);
+  EXPECT_LT(large.width(), small.width());
+}
+
+TEST(WilsonInterval, KnownValue) {
+  // Wilson 95% interval for 8/10: approximately [0.49, 0.943].
+  const auto ci = wilson_interval(8, 10, 0.95);
+  EXPECT_NEAR(ci.lo, 0.49, 0.01);
+  EXPECT_NEAR(ci.hi, 0.943, 0.01);
+}
+
+TEST(WilsonInterval, RejectsInvalidCounts) {
+  EXPECT_THROW((void)wilson_interval(1, 0), std::invalid_argument);
+  EXPECT_THROW((void)wilson_interval(11, 10), std::invalid_argument);
+}
+
+TEST(Interval, ContainsAndWidth) {
+  const Interval iv{1.0, 3.0};
+  EXPECT_DOUBLE_EQ(iv.width(), 2.0);
+  EXPECT_TRUE(iv.contains(1.0));
+  EXPECT_TRUE(iv.contains(3.0));
+  EXPECT_FALSE(iv.contains(0.999));
+  EXPECT_FALSE(iv.contains(3.001));
+}
+
+}  // namespace
+}  // namespace gossip::stats

@@ -1,0 +1,110 @@
+#include "stats/fit.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "math/special.hpp"
+#include "rng/distributions.hpp"
+#include "rng/rng_stream.hpp"
+
+namespace gossip::stats {
+namespace {
+
+std::vector<std::int64_t> poisson_samples(double mean, int count,
+                                          std::uint64_t seed) {
+  rng::RngStream rng(seed);
+  std::vector<std::int64_t> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    out.push_back(rng::sample_poisson(rng, mean));
+  }
+  return out;
+}
+
+TEST(FitPoisson, RecoverssTrueMean) {
+  const auto samples = poisson_samples(4.2, 20000, 1);
+  const auto fit = fit_poisson(samples);
+  EXPECT_NEAR(fit.mean, 4.2, 0.08);
+  EXPECT_EQ(fit.samples, 20000u);
+  EXPECT_LT(fit.log_likelihood, 0.0);
+}
+
+TEST(FitPoisson, MleIsSampleMean) {
+  const std::vector<std::int64_t> samples{1, 2, 3, 4};
+  const auto fit = fit_poisson(samples);
+  EXPECT_DOUBLE_EQ(fit.mean, 2.5);
+}
+
+TEST(FitPoisson, LikelihoodPeaksAtMle) {
+  const auto samples = poisson_samples(3.0, 2000, 2);
+  const auto fit = fit_poisson(samples);
+  // Perturbing the mean must lower the likelihood.
+  const auto ll_at = [&](double mean) {
+    double ll = 0.0;
+    for (const auto s : samples) {
+      ll += std::log(math::poisson_pmf(s, mean));
+    }
+    return ll;
+  };
+  EXPECT_GT(fit.log_likelihood, ll_at(fit.mean * 1.15));
+  EXPECT_GT(fit.log_likelihood, ll_at(fit.mean * 0.85));
+}
+
+TEST(FitPoisson, RejectsEmptyAndNegative) {
+  EXPECT_THROW((void)fit_poisson(std::vector<std::int64_t>{}),
+               std::invalid_argument);
+  EXPECT_THROW((void)fit_poisson(std::vector<std::int64_t>{1, -1}),
+               std::invalid_argument);
+}
+
+TEST(FitGeometric, RecoversParameters) {
+  rng::RngStream rng(3);
+  std::vector<std::int64_t> samples;
+  const double p = 0.25;  // mean 3
+  for (int i = 0; i < 20000; ++i) {
+    samples.push_back(rng::sample_geometric(rng, p));
+  }
+  const auto fit = fit_geometric(samples);
+  EXPECT_NEAR(fit.mean, 3.0, 0.1);
+  EXPECT_NEAR(fit.success_probability, 0.25, 0.01);
+}
+
+TEST(PoissonAdequacy, AcceptsPoissonData) {
+  const auto samples = poisson_samples(3.7, 10000, 4);
+  const auto fit = fit_poisson(samples);
+  const auto result = poisson_adequacy_test(samples, fit.mean);
+  EXPECT_GT(result.p_value, 1e-3);
+}
+
+TEST(PoissonAdequacy, RejectsGeometricData) {
+  // Geometric data has variance >> mean; the Poisson fit must be rejected.
+  rng::RngStream rng(5);
+  std::vector<std::int64_t> samples;
+  for (int i = 0; i < 10000; ++i) {
+    samples.push_back(rng::sample_geometric(rng, 0.25));
+  }
+  const auto fit = fit_poisson(samples);
+  const auto result = poisson_adequacy_test(samples, fit.mean);
+  EXPECT_LT(result.p_value, 1e-6);
+}
+
+TEST(PoissonAdequacy, EstimatedFlagCostsOneDof) {
+  const auto samples = poisson_samples(3.0, 5000, 6);
+  const auto with = poisson_adequacy_test(samples, 3.0, /*estimated=*/true);
+  const auto without = poisson_adequacy_test(samples, 3.0,
+                                             /*estimated=*/false);
+  EXPECT_NEAR(without.dof - with.dof, 1.0, 1e-12);
+}
+
+TEST(PoissonAdequacy, ValidatesInput) {
+  EXPECT_THROW((void)poisson_adequacy_test(std::vector<std::int64_t>{}, 1.0),
+               std::invalid_argument);
+  const std::vector<std::int64_t> ok{1, 2};
+  EXPECT_THROW((void)poisson_adequacy_test(ok, -1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gossip::stats

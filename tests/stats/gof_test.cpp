@@ -1,0 +1,129 @@
+#include "stats/gof.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rng/rng_stream.hpp"
+
+namespace gossip::stats {
+namespace {
+
+TEST(ChiSquareTest, PerfectFitHasHighPValue) {
+  // Observations exactly proportional to the pmf.
+  const std::vector<std::uint64_t> observed{250, 250, 250, 250};
+  const std::vector<double> pmf{0.25, 0.25, 0.25, 0.25};
+  const auto result = chi_square_test(observed, pmf);
+  EXPECT_NEAR(result.statistic, 0.0, 1e-12);
+  EXPECT_GT(result.p_value, 0.999);
+  EXPECT_DOUBLE_EQ(result.dof, 3.0);
+}
+
+TEST(ChiSquareTest, GrossMismatchHasLowPValue) {
+  const std::vector<std::uint64_t> observed{900, 50, 25, 25};
+  const std::vector<double> pmf{0.25, 0.25, 0.25, 0.25};
+  const auto result = chi_square_test(observed, pmf);
+  EXPECT_LT(result.p_value, 1e-10);
+}
+
+TEST(ChiSquareTest, KnownStatisticValue) {
+  // Two bins, expected 50/50, observed 60/40: chi2 = (10^2/50)*2 = 4.
+  const std::vector<std::uint64_t> observed{60, 40};
+  const std::vector<double> pmf{0.5, 0.5};
+  const auto result = chi_square_test(observed, pmf);
+  EXPECT_NEAR(result.statistic, 4.0, 1e-10);
+  EXPECT_NEAR(result.p_value, 0.0455, 1e-3);
+}
+
+TEST(ChiSquareTest, PoolsSparseTails) {
+  // Tail bins with tiny expectation must be pooled, not divided by ~0.
+  const std::vector<std::uint64_t> observed{1, 48, 50, 1, 0};
+  const std::vector<double> pmf{0.001, 0.499, 0.489, 0.01, 0.001};
+  const auto result = chi_square_test(observed, pmf, 5.0);
+  EXPECT_GT(result.pooled_bins, 0);
+  EXPECT_GE(result.p_value, 0.0);
+  EXPECT_LE(result.p_value, 1.0);
+}
+
+TEST(ChiSquareTest, DegenerateFullPoolingReportsPerfectFit) {
+  const std::vector<std::uint64_t> observed{2, 1};
+  const std::vector<double> pmf{0.5, 0.5};
+  // min_expected far above the total pools everything into one bin.
+  const auto result = chi_square_test(observed, pmf, 1e6);
+  EXPECT_DOUBLE_EQ(result.dof, 0.0);
+  EXPECT_DOUBLE_EQ(result.p_value, 1.0);
+}
+
+TEST(ChiSquareTest, ValidationErrors) {
+  const std::vector<std::uint64_t> observed{1, 2};
+  EXPECT_THROW(
+      (void)chi_square_test(observed, std::vector<double>{1.0}),
+      std::invalid_argument);
+  EXPECT_THROW((void)chi_square_test(std::vector<std::uint64_t>{},
+                                     std::vector<double>{}),
+               std::invalid_argument);
+  EXPECT_THROW((void)chi_square_test(std::vector<std::uint64_t>{0, 0},
+                                     std::vector<double>{0.5, 0.5}),
+               std::invalid_argument);
+}
+
+TEST(ChiSquareTest, AcceptsSampledBinomialData) {
+  // Sample B(10, 0.4) via inversion from uniforms and verify self-fit.
+  rng::RngStream g(1234);
+  const std::int64_t n = 10;
+  const double p = 0.4;
+  std::vector<double> pmf(static_cast<std::size_t>(n) + 1);
+  for (std::int64_t k = 0; k <= n; ++k) {
+    double log_pmf = 0.0;
+    // Direct product form is fine at n = 10.
+    double c = 1.0;
+    for (std::int64_t j = 0; j < k; ++j) {
+      c *= static_cast<double>(n - j) / static_cast<double>(j + 1);
+    }
+    log_pmf = c * std::pow(p, static_cast<double>(k)) *
+              std::pow(1 - p, static_cast<double>(n - k));
+    pmf[static_cast<std::size_t>(k)] = log_pmf;
+  }
+  std::vector<std::uint64_t> observed(pmf.size(), 0);
+  for (int trial = 0; trial < 20000; ++trial) {
+    int count = 0;
+    for (int j = 0; j < n; ++j) {
+      if (g.next_double() < p) ++count;
+    }
+    ++observed[static_cast<std::size_t>(count)];
+  }
+  const auto result = chi_square_test(observed, pmf);
+  EXPECT_GT(result.p_value, 1e-3);
+}
+
+TEST(KsTest, UniformSampleAgainstUniformCdf) {
+  rng::RngStream g(99);
+  std::vector<double> sample;
+  for (int i = 0; i < 2000; ++i) sample.push_back(g.next_double());
+  const auto result =
+      ks_test(std::move(sample), [](double x) { return x; });
+  EXPECT_GT(result.p_value, 1e-3);
+  EXPECT_LT(result.statistic, 0.05);
+}
+
+TEST(KsTest, DetectsWrongDistribution) {
+  rng::RngStream g(99);
+  std::vector<double> sample;
+  for (int i = 0; i < 2000; ++i) {
+    const double u = g.next_double();
+    sample.push_back(u * u);  // Beta(1/2)-ish, not uniform
+  }
+  const auto result =
+      ks_test(std::move(sample), [](double x) { return x; });
+  EXPECT_LT(result.p_value, 1e-6);
+}
+
+TEST(KsTest, RejectsEmptySample) {
+  EXPECT_THROW((void)ks_test({}, [](double x) { return x; }),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gossip::stats

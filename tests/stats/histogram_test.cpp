@@ -1,0 +1,87 @@
+#include "stats/histogram.hpp"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace gossip::stats {
+namespace {
+
+TEST(IntHistogram, CountsValues) {
+  IntHistogram h(5);
+  h.add(0);
+  h.add(2);
+  h.add(2);
+  h.add(5);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 0u);
+  EXPECT_EQ(h.count(2), 2u);
+  EXPECT_EQ(h.count(5), 1u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.max_value(), 5);
+}
+
+TEST(IntHistogram, WeightedAdd) {
+  IntHistogram h(3);
+  h.add(1, 10);
+  EXPECT_EQ(h.count(1), 10u);
+  EXPECT_EQ(h.total(), 10u);
+}
+
+TEST(IntHistogram, ClampsOutOfRangeAndTracksOverflow) {
+  IntHistogram h(3);
+  h.add(-2);
+  h.add(7);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(3), 1u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.total(), 2u);
+}
+
+TEST(IntHistogram, PmfSumsToOne) {
+  IntHistogram h(4);
+  for (int i = 0; i < 10; ++i) h.add(i % 5);
+  const auto pmf = h.pmf();
+  double sum = 0.0;
+  for (const double p : pmf) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(pmf[0], 0.2);
+}
+
+TEST(IntHistogram, EmptyPmfIsZero) {
+  IntHistogram h(2);
+  for (const double p : h.pmf()) {
+    EXPECT_DOUBLE_EQ(p, 0.0);
+  }
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(IntHistogram, MeanMatchesDirect) {
+  IntHistogram h(10);
+  h.add(2);
+  h.add(4);
+  h.add(6);
+  EXPECT_DOUBLE_EQ(h.mean(), 4.0);
+}
+
+TEST(IntHistogram, CountThrowsOutsideRange) {
+  IntHistogram h(3);
+  EXPECT_THROW((void)h.count(4), std::out_of_range);
+  EXPECT_THROW((void)h.count(-1), std::out_of_range);
+}
+
+TEST(IntHistogram, RejectsNegativeMax) {
+  EXPECT_THROW(IntHistogram(-1), std::invalid_argument);
+}
+
+TEST(IntHistogram, SingleBinHistogram) {
+  IntHistogram h(0);
+  h.add(0);
+  h.add(3);  // clamped
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.overflow(), 1u);
+}
+
+}  // namespace
+}  // namespace gossip::stats

@@ -1,0 +1,110 @@
+#include "stats/summary.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace gossip::stats {
+namespace {
+
+TEST(OnlineSummary, EmptySummaryIsNeutral) {
+  const OnlineSummary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.standard_error(), 0.0);
+}
+
+TEST(OnlineSummary, SingleValue) {
+  OnlineSummary s;
+  s.add(3.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(OnlineSummary, MatchesDirectComputation) {
+  const std::vector<double> xs{1.0, 2.0, 4.0, 8.0, 16.0, 32.0};
+  OnlineSummary s;
+  for (const double x : xs) s.add(x);
+
+  double mean = 0.0;
+  for (const double x : xs) mean += x;
+  mean /= static_cast<double>(xs.size());
+  double m2 = 0.0;
+  for (const double x : xs) m2 += (x - mean) * (x - mean);
+  const double var = m2 / static_cast<double>(xs.size() - 1);
+
+  EXPECT_NEAR(s.mean(), mean, 1e-12);
+  EXPECT_NEAR(s.variance(), var, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(var), 1e-12);
+  EXPECT_NEAR(s.standard_error(),
+              std::sqrt(var / static_cast<double>(xs.size())), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 32.0);
+  EXPECT_NEAR(s.sum(), 63.0, 1e-12);
+}
+
+TEST(OnlineSummary, NumericallyStableAroundLargeOffset) {
+  // Classic Welford scenario: large offset, small spread.
+  OnlineSummary s;
+  const double offset = 1e9;
+  for (const double x : {offset + 1.0, offset + 2.0, offset + 3.0}) s.add(x);
+  EXPECT_NEAR(s.mean(), offset + 2.0, 1e-3);
+  EXPECT_NEAR(s.variance(), 1.0, 1e-6);
+}
+
+TEST(OnlineSummary, MergeEmptyIsNoop) {
+  OnlineSummary a;
+  a.add(1.0);
+  a.add(2.0);
+  const OnlineSummary empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 1.5);
+}
+
+TEST(OnlineSummary, MergeIntoEmptyCopies) {
+  OnlineSummary a;
+  OnlineSummary b;
+  b.add(4.0);
+  b.add(6.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+}
+
+class MergeEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(MergeEquivalence, MergedEqualsSequential) {
+  const int split = GetParam();
+  std::vector<double> xs;
+  for (int i = 0; i < 40; ++i) {
+    xs.push_back(std::sin(static_cast<double>(i)) * 10.0 + i);
+  }
+  OnlineSummary all;
+  for (const double x : xs) all.add(x);
+
+  OnlineSummary left;
+  OnlineSummary right;
+  for (int i = 0; i < split; ++i) left.add(xs[static_cast<std::size_t>(i)]);
+  for (std::size_t i = static_cast<std::size_t>(split); i < xs.size(); ++i) {
+    right.add(xs[i]);
+  }
+  left.merge(right);
+
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+INSTANTIATE_TEST_SUITE_P(Splits, MergeEquivalence,
+                         ::testing::Values(0, 1, 7, 20, 39, 40));
+
+}  // namespace
+}  // namespace gossip::stats
