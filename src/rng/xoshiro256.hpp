@@ -10,6 +10,17 @@
 #include <cstdint>
 #include <limits>
 
+// This header requires C++20 (it relies on a defaulted operator==, which
+// older standards reject with an unhelpful diagnostic). Non-CMake consumers
+// compiling with -std=c++17 or earlier get this clear error instead.
+#if defined(_MSVC_LANG)
+static_assert(_MSVC_LANG >= 202002L,
+              "gossip/rng/xoshiro256.hpp requires C++20 (/std:c++20)");
+#else
+static_assert(__cplusplus >= 202002L,
+              "gossip/rng/xoshiro256.hpp requires C++20 (-std=c++20)");
+#endif
+
 namespace gossip::rng {
 
 class Xoshiro256StarStar {

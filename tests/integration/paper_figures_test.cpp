@@ -1,0 +1,136 @@
+/// Regression suite pinning the headline numbers behind paper Figs. 2-7 so
+/// later refactors of the model stack cannot silently drift the published
+/// operating points. Each figure's anchor values are asserted against the
+/// closed forms (Eqs. 5, 6, 10-12) and, for Figs. 4-5, cross-checked with
+/// the seeded graph-backend Monte Carlo.
+
+#include <algorithm>
+#include <cmath>
+#include <iterator>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/degree_distribution.hpp"
+#include "core/reliability_model.hpp"
+#include "core/success_model.hpp"
+#include "experiment/monte_carlo.hpp"
+
+namespace gossip {
+namespace {
+
+// Section 5.2's shared operating point: {f=4, q=0.9} and {f=6, q=0.6} both
+// give z*q = 3.6, whose Eq. 11 fixed point is S ~ 0.9695.
+constexpr double kHeadlineReliability = 0.9695;
+
+TEST(PaperFig2, RequiredFanoutMatchesEq12Anchors) {
+  // z = -ln(1-S)/(qS). Anchors from the Fig. 2 curves' extremes.
+  EXPECT_NEAR(core::poisson_required_fanout(0.9999, 1.0),
+              -std::log(1.0 - 0.9999) / 0.9999, 1e-9);
+  EXPECT_NEAR(core::poisson_required_fanout(0.9999, 1.0), 9.2113, 1e-3);
+  // Halving q doubles the required fanout at fixed S.
+  const double z_q10 = core::poisson_required_fanout(0.95, 1.0);
+  const double z_q05 = core::poisson_required_fanout(0.95, 0.5);
+  EXPECT_NEAR(z_q05, 2.0 * z_q10, 1e-9);
+}
+
+TEST(PaperFig2, RequiredFanoutRoundTripsThroughEq11) {
+  for (const double q : {0.2, 0.4, 0.6, 0.8, 1.0}) {
+    for (const double s : {0.1111, 0.5, 0.9, 0.9911, 0.9999}) {
+      const double z = core::poisson_required_fanout(s, q);
+      EXPECT_NEAR(core::poisson_reliability(z, q), s, 1e-6)
+          << "S=" << s << " q=" << q;
+    }
+  }
+}
+
+TEST(PaperFig3, MinimumExecutionsForSuccess999) {
+  // Eq. 6 at the Section 5.2 spot checks: R = 0.9695 needs t = 2 executions
+  // for p_s = 0.999; the slightly weaker R = 0.967 already needs t = 3.
+  EXPECT_EQ(core::required_executions(kHeadlineReliability, 0.999), 2);
+  EXPECT_EQ(core::required_executions(0.967, 0.999), 3);
+  // Low-reliability end of the Fig. 3 curve: R = 0.2 needs 31 executions.
+  EXPECT_EQ(core::required_executions(0.2, 0.999),
+            static_cast<std::int64_t>(
+                std::ceil(std::log(1.0 - 0.999) / std::log(1.0 - 0.2))));
+  // Minimality: one execution fewer must miss the target.
+  for (const double r : {0.2, 0.5, 0.9, kHeadlineReliability}) {
+    const auto t = core::required_executions(r, 0.999);
+    EXPECT_GE(core::success_probability(r, t), 0.999);
+    EXPECT_LT(core::success_probability(r, t - 1), 0.999);
+  }
+}
+
+TEST(PaperFig4And5, HeadlineReliabilityAtFq36) {
+  // Both Fig. 4/5 operating points sit on z*q = 3.6 and share S ~ 0.9695.
+  EXPECT_NEAR(core::poisson_reliability(4.0, 0.9), kHeadlineReliability, 5e-4);
+  EXPECT_NEAR(core::poisson_reliability(6.0, 0.6), kHeadlineReliability, 5e-4);
+  EXPECT_NEAR(core::poisson_reliability(4.0, 0.9),
+              core::poisson_reliability(6.0, 0.6), 1e-9);
+}
+
+TEST(PaperFig4And5, CriticalPointIsZqEqualsOne) {
+  // Eq. 10: the reliability collapses exactly where z*q crosses 1.
+  EXPECT_NEAR(core::poisson_critical_q(4.0), 0.25, 1e-12);
+  EXPECT_NEAR(core::poisson_critical_q(6.0), 1.0 / 6.0, 1e-12);
+  for (const double z : {2.0, 4.0, 6.0}) {
+    const double qc = core::poisson_critical_q(z);
+    EXPECT_DOUBLE_EQ(core::poisson_reliability(z, qc), 0.0);
+    EXPECT_DOUBLE_EQ(core::poisson_reliability(z, 0.99 * qc), 0.0);
+    EXPECT_GT(core::poisson_reliability(z, 1.05 * qc), 0.0);
+  }
+}
+
+TEST(PaperFig4And5, GossipModelAgreesWithClosedForm) {
+  const core::GossipModel model(1000, core::poisson_fanout(4.0), 0.9);
+  EXPECT_NEAR(model.reliability(), kHeadlineReliability, 5e-4);
+  EXPECT_NEAR(model.critical_nonfailed_ratio(), 0.25, 1e-6);
+  EXPECT_TRUE(model.supercritical());
+  EXPECT_NEAR(model.max_tolerable_failure_ratio(), 0.75, 1e-6);
+}
+
+TEST(PaperFig4And5, MonteCarloConfirmsHeadlineAtN1000) {
+  experiment::MonteCarloOptions options;
+  options.replications = 60;
+  options.seed = 2008;
+  const auto estimate = experiment::estimate_reliability_graph(
+      1000, *core::poisson_fanout(4.0), 0.9, options);
+  // Finite-size effects at n = 1000 keep the sample mean within a few
+  // points of the n -> infinity fixed point.
+  EXPECT_NEAR(estimate.mean_reliability(), kHeadlineReliability, 0.03);
+}
+
+TEST(PaperFig6And7, SuccessCountDistributionAnchors) {
+  // Figs. 6-7 draw B(t=20, R~0.9695) through the simulated histograms.
+  const auto pmf = core::success_count_pmf(20, kHeadlineReliability);
+  ASSERT_EQ(pmf.size(), 21u);
+  EXPECT_NEAR(std::accumulate(pmf.begin(), pmf.end(), 0.0), 1.0, 1e-12);
+
+  double mean = 0.0;
+  for (std::size_t k = 0; k < pmf.size(); ++k) {
+    mean += static_cast<double>(k) * pmf[k];
+  }
+  EXPECT_NEAR(mean, 20.0 * kHeadlineReliability, 1e-9);
+
+  // The mode of B(20, 0.9695) is X = 20: most simulations deliver to every
+  // surviving member in all 20 executions.
+  const auto mode =
+      std::distance(pmf.begin(), std::max_element(pmf.begin(), pmf.end()));
+  EXPECT_EQ(mode, 20);
+  EXPECT_NEAR(pmf[20], std::pow(kHeadlineReliability, 20.0), 1e-12);
+}
+
+TEST(PaperFig6And7, BothOperatingPointsShareTheSameCurve) {
+  const double r_f4 = core::poisson_reliability(4.0, 0.9);
+  const double r_f6 = core::poisson_reliability(6.0, 0.6);
+  const auto pmf_f4 = core::success_count_pmf(20, r_f4);
+  const auto pmf_f6 = core::success_count_pmf(20, r_f6);
+  ASSERT_EQ(pmf_f4.size(), pmf_f6.size());
+  for (std::size_t k = 0; k < pmf_f4.size(); ++k) {
+    EXPECT_NEAR(pmf_f4[k], pmf_f6[k], 1e-9) << "k=" << k;
+  }
+}
+
+}  // namespace
+}  // namespace gossip
