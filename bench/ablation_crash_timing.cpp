@@ -3,6 +3,11 @@
 /// ablation sweeps the crash time across the dissemination and shows the
 /// static model is exactly the early-crash limit, while late crashes cost
 /// nothing — bounding how conservative the paper's model is for real churn.
+///
+/// The sweep itself is a scenario-engine grid (scenario/runner.hpp): the
+/// crash window is the swept variable of a midrun_crash failure spec, and
+/// the runner owns the replication/seeding loop this bench used to
+/// hand-roll.
 
 #include <iostream>
 #include <vector>
@@ -10,8 +15,8 @@
 #include "bench_util.hpp"
 #include "core/branching.hpp"
 #include "core/reliability_model.hpp"
-#include "protocol/gossip_multicast.hpp"
-#include "stats/summary.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/spec.hpp"
 
 int main() {
   using namespace gossip;
@@ -19,7 +24,6 @@ int main() {
                       "Crash timing: 40% of members crash during "
                       "dissemination (n = 1500, Poisson(5), unit latency)");
 
-  const std::uint32_t n = 1500;
   const double z = 5.0;
   const double crash_fraction = 0.4;
   const double q_equiv = 1.0 - crash_fraction;
@@ -37,6 +41,23 @@ int main() {
             << "  no-crash equivalent (q = 1.0):   "
             << experiment::fmt_double(nocrash_delivery, 4) << "\n\n";
 
+  const std::vector<std::pair<double, double>> windows{
+      {0.0, 0.1}, {1.0, 2.0}, {2.0, 3.0}, {3.0, 4.0},
+      {4.0, 6.0}, {6.0, 9.0}, {12.0, 15.0}, {50.0, 60.0}};
+
+  scenario::ScenarioSpec spec;
+  spec.set("name", "ablation_crash_timing")
+      .set("n", "1500")
+      .set("fanout", "poisson(5)")
+      .set("failure", "midrun_crash(0.4, $lo, $hi)")
+      .set("repetitions", "30")
+      .set("seed", "19");
+  for (const auto& [lo, hi] : windows) {
+    spec.add_case({{"lo", experiment::fmt_double(lo, 1)},
+                   {"hi", experiment::fmt_double(hi, 1)}});
+  }
+  const auto results = scenario::ScenarioRunner().run(spec);
+
   const std::string csv_path = experiment::csv_path_in(
       bench::kResultsDir, "ablation_crash_timing.csv");
   experiment::CsvWriter csv(
@@ -47,34 +68,17 @@ int main() {
       .column("delivery", 9)
       .column("crashes", 8);
 
-  const std::vector<std::pair<double, double>> windows{
-      {0.0, 0.1}, {1.0, 2.0}, {2.0, 3.0}, {3.0, 4.0},
-      {4.0, 6.0}, {6.0, 9.0}, {12.0, 15.0}, {50.0, 60.0}};
-
-  for (const auto& [lo, hi] : windows) {
-    protocol::GossipParams params;
-    params.num_nodes = n;
-    params.nonfailed_ratio = 1.0;
-    params.fanout = core::poisson_fanout(z);
-    params.midrun_crash_fraction = crash_fraction;
-    params.midrun_crash_time = net::uniform_latency(lo, hi);
-
-    const rng::RngStream root(19);
-    stats::OnlineSummary delivery;
-    stats::OnlineSummary crashes;
-    for (std::size_t i = 0; i < 30; ++i) {
-      auto rng = root.substream(i);
-      const auto exec = protocol::run_gossip_once(params, rng);
-      delivery.add(exec.reliability);
-      crashes.add(static_cast<double>(exec.midrun_crashes));
-    }
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    const auto& [lo, hi] = windows[i];
+    const auto& result = results[i];
     const std::string window = "[" + experiment::fmt_double(lo, 1) + "," +
                                experiment::fmt_double(hi, 1) + "]";
-    table.add_row({window, experiment::fmt_double(delivery.mean(), 4),
-                   experiment::fmt_double(crashes.mean(), 0)});
+    table.add_row({window,
+                   experiment::fmt_double(result.reliability.mean(), 4),
+                   experiment::fmt_double(result.midrun_crashes.mean(), 0)});
     csv.add_row({experiment::fmt_double(0.5 * (lo + hi), 2),
-                 experiment::fmt_double(delivery.mean(), 6),
-                 experiment::fmt_double(crashes.mean(), 1)});
+                 experiment::fmt_double(result.reliability.mean(), 6),
+                 experiment::fmt_double(result.midrun_crashes.mean(), 1)});
   }
   table.print(std::cout);
 

@@ -4,16 +4,32 @@
 ///     S = 1 - exp(-z * q * (1-eps) * S)
 /// i.e. loss multiplies the effective fanout. This bench validates that
 /// extension against the graph Monte Carlo with edge thinning.
+///
+/// Both simulated columns run as scenario-engine grids: the component
+/// metric sweeps a Poisson-thinned fanout (Poisson thinning of a Poisson
+/// fanout is again Poisson), and the delivery metric sweeps the graph
+/// backend's edge_keep probability.
 
+#include <cstdio>
 #include <iostream>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "core/reliability_model.hpp"
-#include "experiment/component_mc.hpp"
-#include "experiment/monte_carlo.hpp"
-#include "graph/components.hpp"
-#include "graph/generators.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/spec.hpp"
+
+namespace {
+
+/// Exact round-trip formatting: the swept values must parse back to the
+/// same doubles the pre-scenario bench computed inline.
+std::string fmt_exact(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
 
 int main() {
   using namespace gossip;
@@ -21,10 +37,38 @@ int main() {
                       "Message loss extension: S = 1 - exp(-zq(1-eps)S) vs "
                       "edge-thinned simulation (n = 2000, f = 4, q = 0.9)");
 
-  const std::uint32_t n = 2000;
   const double z = 4.0;
   const double q = 0.9;
-  const auto dist = core::poisson_fanout(z);
+  const std::vector<double> losses{0.0, 0.1, 0.2, 0.3, 0.4,
+                                   0.5, 0.6, 0.7, 0.75, 0.8};
+
+  // Component metric under loss: sample the thinned configuration graph.
+  scenario::ScenarioSpec component;
+  component.set("name", "ablation_message_loss_component")
+      .set("n", "2000")
+      .set("backend", "component")
+      .set("fanout", "poisson($zt)")
+      .set("failure", "crash(0.1)")
+      .set("repetitions", "20")
+      .set("seed", "5");
+  // Delivery metric: full gossip digraph with each edge dropped w.p. eps.
+  scenario::ScenarioSpec delivery;
+  delivery.set("name", "ablation_message_loss_delivery")
+      .set("n", "2000")
+      .set("backend", "graph")
+      .set("fanout", "poisson(4)")
+      .set("failure", "crash(0.1)")
+      .set("edge_keep", "$keep")
+      .set("repetitions", "20")
+      .set("seed", "5");
+  for (const double eps : losses) {
+    component.add_case({{"zt", fmt_exact(z * (1.0 - eps))}});
+    delivery.add_case({{"keep", fmt_exact(1.0 - eps)}});
+  }
+
+  const scenario::ScenarioRunner runner;
+  const auto component_results = runner.run(component);
+  const auto delivery_results = runner.run(delivery);
 
   const std::string csv_path = experiment::csv_path_in(
       bench::kResultsDir, "ablation_message_loss.csv");
@@ -37,35 +81,21 @@ int main() {
       .column("sim component", 14)
       .column("sim delivery", 13);
 
-  for (const double eps :
-       {0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.75, 0.8}) {
+  for (std::size_t i = 0; i < losses.size(); ++i) {
+    const double eps = losses[i];
     // Thinned-model prediction: same Eq. (11) with z' = z(1-eps).
     const double analysis = core::poisson_reliability(z * (1.0 - eps), q);
-
-    // Component metric under loss: Poisson thinning of a Poisson fanout is
-    // again Poisson, so sample the thinned configuration graph directly.
-    const auto thinned = core::poisson_fanout(z * (1.0 - eps));
-    experiment::MonteCarloOptions opt;
-    opt.replications = 20;
-    opt.seed = 5;
-    const auto component =
-        experiment::estimate_giant_component(n, *thinned, q, opt);
-
-    // Delivery metric: generate the full gossip digraph and drop each edge
-    // with probability eps (the protocol-level realization of loss).
-    const auto delivery = experiment::estimate_reliability_graph(
-        n, *dist, q, opt, /*edge_keep_probability=*/1.0 - eps);
+    const double component_s = component_results[i].reliability.mean();
+    const double delivery_s = delivery_results[i].reliability.mean();
 
     table.add_row({experiment::fmt_double(eps, 2),
                    experiment::fmt_double(analysis, 4),
-                   experiment::fmt_double(
-                       component.giant_fraction_alive.mean(), 4),
-                   experiment::fmt_double(delivery.mean_reliability(), 4)});
+                   experiment::fmt_double(component_s, 4),
+                   experiment::fmt_double(delivery_s, 4)});
     csv.add_row({experiment::fmt_double(eps, 2),
                  experiment::fmt_double(analysis, 6),
-                 experiment::fmt_double(
-                     component.giant_fraction_alive.mean(), 6),
-                 experiment::fmt_double(delivery.mean_reliability(), 6)});
+                 experiment::fmt_double(component_s, 6),
+                 experiment::fmt_double(delivery_s, 6)});
   }
   table.print(std::cout);
 

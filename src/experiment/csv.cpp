@@ -27,12 +27,19 @@ void CsvWriter::add_row(const std::vector<std::string>& cells) {
 void CsvWriter::write_line(const std::vector<std::string>& cells) {
   for (std::size_t i = 0; i < cells.size(); ++i) {
     if (i > 0) out_ << ',';
-    // Cells in this project are numeric or simple identifiers; quote only
-    // if a comma sneaks in.
-    if (cells[i].find(',') != std::string::npos) {
-      out_ << '"' << cells[i] << '"';
+    // RFC 4180: cells containing separators, quotes, or line breaks are
+    // quoted, with embedded quotes doubled — scenario labels like
+    // "z=4.0,q=0.9" must not corrupt result CSVs.
+    const std::string& cell = cells[i];
+    if (cell.find_first_of(",\"\n\r") != std::string::npos) {
+      out_ << '"';
+      for (const char c : cell) {
+        if (c == '"') out_ << '"';
+        out_ << c;
+      }
+      out_ << '"';
     } else {
-      out_ << cells[i];
+      out_ << cell;
     }
   }
   out_ << '\n';

@@ -35,6 +35,10 @@ void Network::send(NodeId from, NodeId to, const Message& message) {
     ++counters_.lost;
     return;
   }
+  if (loss_filter_ && loss_filter_(from, to, simulator_.now(), rng_)) {
+    ++counters_.lost;
+    return;
+  }
   const double delay = params_.latency->sample(rng_);
   simulator_.schedule_after(delay, [this, from, to, message] {
     if (down_[to]) {

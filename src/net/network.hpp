@@ -29,6 +29,15 @@ struct NetworkParams {
   double loss_probability = 0.0;    ///< Per-message drop probability.
 };
 
+/// Per-send loss decision: drop the message from -> to at virtual time
+/// `now`? Installed by failure schedules that need structured loss (per-link
+/// bursts, time-varying partitions) beyond the i.i.d. loss_probability. The
+/// filter may consume randomness from the network's own stream, keeping
+/// protocol-level draws untouched.
+using LossFilter =
+    std::function<bool(NodeId from, NodeId to, double now,
+                       rng::RngStream& rng)>;
+
 struct NetworkCounters {
   std::uint64_t sent = 0;        ///< send() calls accepted.
   std::uint64_t delivered = 0;   ///< Handler invocations.
@@ -60,6 +69,10 @@ class Network {
   /// cancel in-flight messages to the node; they are dropped on delivery.
   void set_down(NodeId node, bool down);
 
+  /// Installs (or clears, with nullptr) a structured loss filter, applied
+  /// after the i.i.d. loss_probability draw.
+  void set_loss_filter(LossFilter filter) { loss_filter_ = std::move(filter); }
+
   [[nodiscard]] bool is_down(NodeId node) const { return down_.at(node) != 0; }
 
   [[nodiscard]] const NetworkCounters& counters() const noexcept {
@@ -74,6 +87,7 @@ class Network {
   rng::RngStream rng_;
   std::vector<NodeHandler*> handlers_;
   std::vector<std::uint8_t> down_;
+  LossFilter loss_filter_;
   NetworkCounters counters_;
 };
 

@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file failure_schedule.hpp
+/// First-class fault injection for the message-level protocol. The paper's
+/// crashes are static (Section 4.1: fail before receiving, or after
+/// receiving but before forwarding); a FailureSchedule generalizes that to
+/// anything expressible over the event-driven simulator — timed churn
+/// traces, degree-targeted kills, structured message loss — without each
+/// experiment hand-rolling its own injection loop. Concrete schedules live
+/// in the scenario layer (scenario/failure_models.hpp); the protocol only
+/// sees this interface.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "core/degree_distribution.hpp"
+#include "net/network.hpp"
+#include "rng/rng_stream.hpp"
+
+namespace gossip::protocol {
+
+/// The hooks a schedule may drive, provided by the protocol session right
+/// before dissemination starts (virtual time 0). All callbacks remain valid
+/// for the whole execution, so scheduled actions may keep copies.
+///
+/// Semantics: crashes injected through set_alive use fail-stop delivery-drop
+/// semantics (the paper's case A; Section 4.1 proves case B yields the same
+/// reliability). The source never fails (Section 3) — set_alive on the
+/// source is ignored.
+struct FailureContext {
+  std::uint32_t num_nodes = 0;
+  net::NodeId source = 0;
+  /// The execution's fanout distribution, for degree-aware schedules.
+  const core::DegreeDistribution* fanout = nullptr;
+
+  /// Current liveness of a member.
+  std::function<bool(net::NodeId)> is_alive;
+  /// Immediately crashes (false) or revives (true) a member. Callable both
+  /// during apply() (static failures) and from scheduled actions (churn).
+  std::function<void(net::NodeId, bool)> set_alive;
+  /// Runs `action` at absolute virtual time t >= 0; actions needing
+  /// randomness should capture their own substream by value so execution
+  /// order cannot perturb other draws.
+  std::function<void(double, std::function<void()>)> schedule_action;
+  /// Installs a structured per-send loss filter on the network.
+  std::function<void(net::LossFilter)> set_loss_filter;
+  /// Pins member v's fanout draw to `f` (>= 0): on first receipt v forwards
+  /// to exactly f targets instead of sampling. Lets degree-targeted
+  /// schedules decide degrees and failures consistently.
+  std::function<void(net::NodeId, std::int64_t)> pin_fanout;
+};
+
+class FailureSchedule {
+ public:
+  virtual ~FailureSchedule() = default;
+
+  /// Human-readable identifier, e.g. "churn(crash@2:0.1)".
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Called once per execution before the source's initial send. `rng` is a
+  /// dedicated substream: draws here never shift protocol randomness.
+  virtual void apply(FailureContext& context, rng::RngStream& rng) const = 0;
+};
+
+using FailureSchedulePtr = std::shared_ptr<const FailureSchedule>;
+
+}  // namespace gossip::protocol

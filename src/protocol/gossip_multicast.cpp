@@ -46,6 +46,7 @@ class Session {
                       ? params_.membership
                       : membership::full_membership(params_.num_nodes);
     seen_.assign(params_.num_nodes, 0);
+    pinned_fanout_.assign(params_.num_nodes, -1);
     slots_.reserve(params_.num_nodes);
     for (NodeId v = 0; v < params_.num_nodes; ++v) {
       slots_.emplace_back(this, v);
@@ -62,6 +63,36 @@ class Session {
   }
 
   ExecutionResult run() {
+    // Declarative fault injection runs first, on its own substream: the
+    // schedule may crash members statically, plant timed churn actions, pin
+    // fanouts, or install a loss filter, and none of it shifts the draws of
+    // the legacy failure paths below.
+    if (params_.failure) {
+      FailureContext context;
+      context.num_nodes = params_.num_nodes;
+      context.source = params_.source;
+      context.fanout = params_.fanout.get();
+      context.is_alive = [this](NodeId v) { return alive_.at(v) != 0; };
+      context.set_alive = [this](NodeId v, bool alive) {
+        set_alive(v, alive);
+      };
+      context.schedule_action = [this](double t,
+                                       std::function<void()> action) {
+        simulator_.schedule_at(t, std::move(action));
+      };
+      context.set_loss_filter = [this](net::LossFilter filter) {
+        network_.set_loss_filter(std::move(filter));
+      };
+      context.pin_fanout = [this](NodeId v, std::int64_t f) {
+        if (f < 0) {
+          throw std::invalid_argument("pin_fanout requires f >= 0");
+        }
+        pinned_fanout_.at(v) = f;
+      };
+      auto schedule_rng = rng_.substream(0x6661696cULL);  // "fail"
+      params_.failure->apply(context, schedule_rng);
+    }
+
     // Schedule dynamic crashes before dissemination starts. A crashing
     // member flips to failed: the network drops its in-flight deliveries
     // and it never forwards afterwards; it leaves the non-failed population
@@ -87,6 +118,7 @@ class Session {
     simulator_.schedule_at(0.0, [this, m] {
       handle(params_.source, params_.source, m);
     });
+    running_ = true;  // liveness transitions from here on count as mid-run
     simulator_.run();
 
     ExecutionResult result;
@@ -104,7 +136,7 @@ class Session {
     result.success = result.nonfailed_received == result.nonfailed_count;
     result.messages_sent = network_.counters().sent;
     result.duplicate_receipts = duplicates_;
-    result.completion_time = simulator_.now();
+    result.completion_time = last_receipt_time_;
     result.midrun_crashes = midrun_crashes_;
     return result;
   }
@@ -120,7 +152,19 @@ class Session {
     }
   };
 
+  /// Crash/revival entry point for FailureSchedules: flips liveness and the
+  /// network's fail-stop flag together. The source is immune (Section 3).
+  void set_alive(NodeId v, bool alive) {
+    if (v == params_.source) return;
+    const bool was_alive = alive_.at(v) != 0;
+    if (was_alive == alive) return;
+    alive_[v] = alive ? 1 : 0;
+    network_.set_down(v, !alive);
+    if (!alive && running_) ++midrun_crashes_;
+  }
+
   void handle(NodeId self, NodeId /*from*/, const net::Message& message) {
+    last_receipt_time_ = simulator_.now();
     if (seen_[self]) {
       ++duplicates_;
       return;  // Fig. 1: duplicates are discarded immediately
@@ -133,7 +177,9 @@ class Session {
     if (!alive_[self]) {
       return;
     }
-    const std::int64_t fanout = params_.fanout->sample(rng_);
+    const std::int64_t pinned = pinned_fanout_[self];
+    const std::int64_t fanout =
+        pinned >= 0 ? pinned : params_.fanout->sample(rng_);
     if (fanout <= 0) return;
     const auto view = membership_->view_for(self);
     const auto targets =
@@ -152,9 +198,12 @@ class Session {
   net::Network network_;
   membership::MembershipProviderPtr membership_;
   std::vector<std::uint8_t> seen_;
+  std::vector<std::int64_t> pinned_fanout_;  ///< -1 = draw from P as usual.
   std::vector<NodeSlot> slots_;
   std::uint64_t duplicates_ = 0;
   std::uint32_t midrun_crashes_ = 0;
+  double last_receipt_time_ = 0.0;
+  bool running_ = false;
 };
 
 }  // namespace

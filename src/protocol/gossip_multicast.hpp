@@ -22,6 +22,7 @@
 #include "membership/view.hpp"
 #include "net/latency.hpp"
 #include "net/message.hpp"
+#include "protocol/failure_schedule.hpp"
 #include "rng/rng_stream.hpp"
 
 namespace gossip::protocol {
@@ -60,6 +61,12 @@ struct GossipParams {
   /// Crash-time distribution (reuses the latency-model interface as a
   /// non-negative time sampler); defaults to Uniform[0, 10] hops.
   net::LatencyModelPtr midrun_crash_time;
+
+  /// Optional declarative fault injection (churn traces, targeted kills,
+  /// structured loss); applied once before dissemination on a dedicated RNG
+  /// substream, so enabling it never perturbs the draws above. Composes
+  /// with the static and midrun fields.
+  FailureSchedulePtr failure;
 };
 
 struct ExecutionResult {
@@ -72,7 +79,9 @@ struct ExecutionResult {
   bool success = false;
   std::uint64_t messages_sent = 0;
   std::uint64_t duplicate_receipts = 0;
-  double completion_time = 0.0;          ///< Sim time of the last event.
+  /// Sim time of the last message receipt (not the last event: scheduled
+  /// failure actions after dissemination ends do not inflate this).
+  double completion_time = 0.0;
   std::vector<std::uint8_t> received;    ///< Per-node receipt flag.
   /// Per-node alive flag at the END of the execution (members that crashed
   /// mid-run count as failed and are excluded from the reliability).

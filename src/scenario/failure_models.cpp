@@ -1,0 +1,220 @@
+#include "scenario/failure_models.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "rng/splitmix64.hpp"
+#include "scenario/spec.hpp"
+
+namespace gossip::scenario {
+
+namespace {
+
+using protocol::FailureContext;
+using protocol::FailureSchedule;
+using protocol::FailureSchedulePtr;
+
+void require_probability(double p, const char* what) {
+  if (!(p >= 0.0 && p <= 1.0)) {
+    throw std::invalid_argument(std::string(what) + " must be in [0, 1]");
+  }
+}
+
+class ChurnSchedule final : public FailureSchedule {
+ public:
+  explicit ChurnSchedule(std::vector<ChurnEvent> events)
+      : events_(std::move(events)) {
+    if (events_.empty()) {
+      throw std::invalid_argument("churn schedule needs >= 1 event");
+    }
+    for (const auto& event : events_) {
+      if (!(event.time >= 0.0)) {
+        throw std::invalid_argument("churn event time must be >= 0");
+      }
+      require_probability(event.fraction, "churn event fraction");
+    }
+  }
+
+  [[nodiscard]] std::string name() const override {
+    std::string out = "churn(";
+    for (std::size_t i = 0; i < events_.size(); ++i) {
+      if (i > 0) out += ',';
+      out += (events_[i].join ? "join@" : "crash@") +
+             format_compact(events_[i].time) + ":" +
+             format_compact(events_[i].fraction);
+    }
+    return out + ")";
+  }
+
+  void apply(FailureContext& context, rng::RngStream& rng) const override {
+    for (std::size_t i = 0; i < events_.size(); ++i) {
+      const ChurnEvent event = events_[i];
+      // Copies keep the hooks alive inside the scheduled action, and the
+      // captured substream makes the event's draws independent of when the
+      // simulator interleaves it with protocol events.
+      auto child = rng.substream(i);
+      auto is_alive = context.is_alive;
+      auto set_alive = context.set_alive;
+      const auto num_nodes = context.num_nodes;
+      const auto source = context.source;
+      context.schedule_action(
+          event.time, [event, child, is_alive, set_alive, num_nodes,
+                       source]() mutable {
+            for (net::NodeId v = 0; v < num_nodes; ++v) {
+              if (v == source) continue;
+              if (is_alive(v) != event.join && child.bernoulli(event.fraction)) {
+                set_alive(v, event.join);
+              }
+            }
+          });
+    }
+  }
+
+ private:
+  std::vector<ChurnEvent> events_;
+};
+
+class TargetedKillSchedule final : public FailureSchedule {
+ public:
+  TargetedKillSchedule(double fraction, TargetedMode mode)
+      : fraction_(fraction), mode_(mode) {
+    require_probability(fraction, "targeted kill fraction");
+  }
+
+  [[nodiscard]] std::string name() const override {
+    return "targeted(" + format_compact(fraction_) +
+           (mode_ == TargetedMode::kHubs ? ",hubs)" : ",leaves)");
+  }
+
+  void apply(FailureContext& context, rng::RngStream& rng) const override {
+    if (context.fanout == nullptr) {
+      throw std::invalid_argument(
+          "targeted kill schedule needs the execution's fanout distribution");
+    }
+    const auto n = context.num_nodes;
+    std::vector<std::int64_t> degree(n);
+    for (net::NodeId v = 0; v < n; ++v) {
+      degree[v] = std::max<std::int64_t>(0, context.fanout->sample(rng));
+      context.pin_fanout(v, degree[v]);
+    }
+    std::vector<net::NodeId> order;
+    order.reserve(n - 1);
+    for (net::NodeId v = 0; v < n; ++v) {
+      if (v != context.source) order.push_back(v);
+    }
+    const bool hubs = mode_ == TargetedMode::kHubs;
+    std::sort(order.begin(), order.end(),
+              [&](net::NodeId a, net::NodeId b) {
+                if (degree[a] != degree[b]) {
+                  return hubs ? degree[a] > degree[b] : degree[a] < degree[b];
+                }
+                return a < b;
+              });
+    const auto kills = static_cast<std::size_t>(
+        std::llround(fraction_ * static_cast<double>(order.size())));
+    for (std::size_t i = 0; i < kills && i < order.size(); ++i) {
+      context.set_alive(order[i], false);
+    }
+  }
+
+ private:
+  double fraction_;
+  TargetedMode mode_;
+};
+
+class BurstyLossSchedule final : public FailureSchedule {
+ public:
+  explicit BurstyLossSchedule(BurstyLossParams params) : params_(params) {
+    require_probability(params.burst_loss, "bursty loss burst probability");
+    require_probability(params.link_fraction, "bursty loss link fraction");
+    require_probability(params.base_loss, "bursty loss base probability");
+    if (!(params.burst_start >= 0.0) || !(params.burst_length >= 0.0)) {
+      throw std::invalid_argument(
+          "bursty loss window must have start >= 0 and length >= 0");
+    }
+  }
+
+  [[nodiscard]] std::string name() const override {
+    return "bursty_loss(" + format_compact(params_.burst_loss) + "," +
+           format_compact(params_.burst_start) + "," +
+           format_compact(params_.burst_length) + "," +
+           format_compact(params_.link_fraction) + "," +
+           format_compact(params_.base_loss) + ")";
+  }
+
+  void apply(FailureContext& context, rng::RngStream& rng) const override {
+    const BurstyLossParams p = params_;
+    const std::uint64_t salt = rng();
+    context.set_loss_filter([p, salt](net::NodeId from, net::NodeId to,
+                                      double now, rng::RngStream& net_rng) {
+      const std::uint64_t link =
+          (static_cast<std::uint64_t>(from) << 32) | to;
+      // Hash, not draw: whether a link is afflicted is a static property of
+      // this execution, so it must not depend on message order.
+      const double u = static_cast<double>(rng::mix_seed(salt, link) >> 11) *
+                       0x1.0p-53;
+      if (u >= p.link_fraction) return false;
+      const bool in_burst =
+          now >= p.burst_start && now < p.burst_start + p.burst_length;
+      const double drop = in_burst ? p.burst_loss : p.base_loss;
+      return drop > 0.0 && net_rng.bernoulli(drop);
+    });
+  }
+
+ private:
+  BurstyLossParams params_;
+};
+
+class CompositeSchedule final : public FailureSchedule {
+ public:
+  explicit CompositeSchedule(std::vector<FailureSchedulePtr> parts)
+      : parts_(std::move(parts)) {
+    for (const auto& part : parts_) {
+      if (part == nullptr) {
+        throw std::invalid_argument("composite schedule part is null");
+      }
+    }
+  }
+
+  [[nodiscard]] std::string name() const override {
+    std::string out;
+    for (const auto& part : parts_) {
+      if (!out.empty()) out += '+';
+      out += part->name();
+    }
+    return out.empty() ? "none" : out;
+  }
+
+  void apply(FailureContext& context, rng::RngStream& rng) const override {
+    for (std::size_t i = 0; i < parts_.size(); ++i) {
+      auto child = rng.substream(i);
+      parts_[i]->apply(context, child);
+    }
+  }
+
+ private:
+  std::vector<FailureSchedulePtr> parts_;
+};
+
+}  // namespace
+
+protocol::FailureSchedulePtr churn_schedule(std::vector<ChurnEvent> events) {
+  return std::make_shared<ChurnSchedule>(std::move(events));
+}
+
+protocol::FailureSchedulePtr targeted_kill_schedule(double fraction,
+                                                    TargetedMode mode) {
+  return std::make_shared<TargetedKillSchedule>(fraction, mode);
+}
+
+protocol::FailureSchedulePtr bursty_loss_schedule(BurstyLossParams params) {
+  return std::make_shared<BurstyLossSchedule>(params);
+}
+
+protocol::FailureSchedulePtr composite_schedule(
+    std::vector<protocol::FailureSchedulePtr> parts) {
+  return std::make_shared<CompositeSchedule>(std::move(parts));
+}
+
+}  // namespace gossip::scenario

@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file failure_models.hpp
+/// The FailureSchedule family behind the scenario engine's `failure =` spec
+/// strings. The paper's static crash fraction stays on the protocol's
+/// native nonfailed_ratio path (exactly Section 4.1); these schedules add
+/// the regimes the static model cannot express: timed churn traces
+/// (crash/join events at virtual times, after Bakhshi et al.'s dynamic
+/// gossip modeling), degree-targeted kills (adversarial settings in the
+/// spirit of Doerr et al.'s fault-tolerant rumor spreading), and per-link
+/// bursty message loss.
+
+#include <vector>
+
+#include "protocol/failure_schedule.hpp"
+
+namespace gossip::scenario {
+
+/// One timed liveness transition applied to a random share of candidates.
+struct ChurnEvent {
+  double time = 0.0;      ///< Virtual time of the event (>= 0).
+  bool join = false;      ///< false: crash alive members; true: revive dead.
+  double fraction = 0.0;  ///< Independent per-candidate probability, [0, 1].
+};
+
+/// Crash/join trace over the dissemination. At each event time, every
+/// candidate (alive non-source member for a crash, dead member for a join)
+/// independently transitions with the event's probability. Rejoined members
+/// count as non-failed for the reliability metric — the real cost of churn.
+[[nodiscard]] protocol::FailureSchedulePtr churn_schedule(
+    std::vector<ChurnEvent> events);
+
+enum class TargetedMode {
+  kHubs,    ///< Kill the highest-fanout members first (attack).
+  kLeaves,  ///< Kill the lowest-fanout members first (control).
+};
+
+/// Degree-targeted kills: draws every member's fanout up front, pins those
+/// draws on the execution, and statically crashes the `fraction` of
+/// non-source members with the largest (kHubs) or smallest (kLeaves)
+/// degrees; ties break toward lower node ids.
+[[nodiscard]] protocol::FailureSchedulePtr targeted_kill_schedule(
+    double fraction, TargetedMode mode);
+
+struct BurstyLossParams {
+  double burst_loss = 0.0;    ///< Drop probability on afflicted links during
+                              ///< the burst window, [0, 1].
+  double burst_start = 0.0;   ///< Window start (virtual time, >= 0).
+  double burst_length = 0.0;  ///< Window length (>= 0).
+  double link_fraction = 1.0; ///< Share of directed links afflicted, [0, 1].
+  double base_loss = 0.0;     ///< Drop probability on afflicted links
+                              ///< outside the window, [0, 1].
+};
+
+/// Per-link bursty loss: a pseudorandom `link_fraction` of directed links
+/// (chosen by hashing the link id with a per-execution salt) drop messages
+/// with `burst_loss` during [burst_start, burst_start + burst_length) and
+/// with `base_loss` otherwise. Unafflicted links never drop here (the
+/// spec's global `loss` field handles uniform background loss).
+[[nodiscard]] protocol::FailureSchedulePtr bursty_loss_schedule(
+    BurstyLossParams params);
+
+/// Applies each part in order, handing part i the substream rng.substream(i)
+/// so composition order never changes any part's draws. Parts installing a
+/// loss filter overwrite earlier filters (last wins).
+[[nodiscard]] protocol::FailureSchedulePtr composite_schedule(
+    std::vector<protocol::FailureSchedulePtr> parts);
+
+}  // namespace gossip::scenario

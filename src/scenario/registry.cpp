@@ -1,0 +1,403 @@
+#include "scenario/registry.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+#include "membership/full_view.hpp"
+#include "membership/partial_view.hpp"
+#include "membership/scamp.hpp"
+#include "scenario/failure_models.hpp"
+#include "scenario/spec.hpp"
+
+namespace gossip::scenario {
+
+namespace {
+
+/// Name -> factory table shared by every component family; make() resolves
+/// a spec string and produces the component or a diagnostic listing the
+/// registered names.
+template <typename T>
+class Registry {
+ public:
+  using Factory = std::function<T(const std::vector<std::string>&)>;
+
+  Registry(std::string kind,
+           std::initializer_list<std::pair<const std::string, Factory>> init)
+      : kind_(std::move(kind)), factories_(init) {}
+
+  [[nodiscard]] T make(const std::string& spec) const {
+    const ComponentSpec parsed = parse_component(spec);
+    const auto it = factories_.find(parsed.head);
+    if (it == factories_.end()) {
+      std::string known;
+      for (const auto& [name, factory] : factories_) {
+        if (!known.empty()) known += ", ";
+        known += name;
+      }
+      throw std::invalid_argument("unknown " + kind_ + " component '" +
+                                  parsed.head + "' in \"" + spec +
+                                  "\"; known: " + known);
+    }
+    try {
+      return it->second(parsed.args);
+    } catch (const std::invalid_argument& e) {
+      throw std::invalid_argument(kind_ + " \"" + spec + "\": " + e.what());
+    }
+  }
+
+  [[nodiscard]] std::vector<std::string> names() const {
+    std::vector<std::string> out;
+    out.reserve(factories_.size());
+    for (const auto& [name, factory] : factories_) out.push_back(name);
+    return out;
+  }
+
+ private:
+  std::string kind_;
+  std::map<std::string, Factory> factories_;
+};
+
+void expect_args(const std::vector<std::string>& args, std::size_t lo,
+                 std::size_t hi) {
+  if (args.size() < lo || args.size() > hi) {
+    throw std::invalid_argument(
+        lo == hi ? "expects " + std::to_string(lo) + " argument(s), got " +
+                       std::to_string(args.size())
+                 : "expects " + std::to_string(lo) + ".." +
+                       std::to_string(hi) + " arguments, got " +
+                       std::to_string(args.size()));
+  }
+}
+
+double arg_double(const std::vector<std::string>& args, std::size_t i,
+                  const char* what) {
+  return to_double(args.at(i), what);
+}
+
+std::int64_t arg_int(const std::vector<std::string>& args, std::size_t i,
+                     const char* what) {
+  const double v = to_double(args.at(i), what);
+  const auto k = static_cast<std::int64_t>(v);
+  if (static_cast<double>(k) != v) {
+    throw std::invalid_argument(std::string(what) + ": expected an integer");
+  }
+  return k;
+}
+
+const Registry<core::DegreeDistributionPtr>& fanout_registry() {
+  static const Registry<core::DegreeDistributionPtr> registry(
+      "fanout",
+      {
+          {"poisson",
+           [](const auto& args) {
+             expect_args(args, 1, 1);
+             return core::poisson_fanout(arg_double(args, 0, "mean"));
+           }},
+          {"fixed",
+           [](const auto& args) {
+             expect_args(args, 1, 1);
+             return core::fixed_fanout(arg_int(args, 0, "k"));
+           }},
+          {"binomial",
+           [](const auto& args) {
+             expect_args(args, 2, 2);
+             return core::binomial_fanout(arg_int(args, 0, "trials"),
+                                          arg_double(args, 1, "p"));
+           }},
+          {"geometric",
+           [](const auto& args) {
+             expect_args(args, 1, 1);
+             return core::geometric_fanout(arg_double(args, 0, "mean"));
+           }},
+          {"zipf",
+           [](const auto& args) {
+             expect_args(args, 2, 2);
+             return core::zipf_fanout(arg_int(args, 0, "max_value"),
+                                      arg_double(args, 1, "exponent"));
+           }},
+          {"uniform",
+           [](const auto& args) {
+             expect_args(args, 2, 2);
+             return core::uniform_fanout(arg_int(args, 0, "lo"),
+                                         arg_int(args, 1, "hi"));
+           }},
+          {"empirical",
+           [](const auto& args) {
+             if (args.empty()) {
+               throw std::invalid_argument("expects >= 1 weight");
+             }
+             std::vector<double> weights;
+             weights.reserve(args.size());
+             for (std::size_t i = 0; i < args.size(); ++i) {
+               weights.push_back(arg_double(args, i, "weight"));
+             }
+             return core::empirical_fanout(std::move(weights));
+           }},
+      });
+  return registry;
+}
+
+const Registry<net::LatencyModelPtr>& latency_registry() {
+  static const Registry<net::LatencyModelPtr> registry(
+      "latency",
+      {
+          {"constant",
+           [](const auto& args) {
+             expect_args(args, 1, 1);
+             return net::constant_latency(arg_double(args, 0, "delay"));
+           }},
+          {"uniform",
+           [](const auto& args) {
+             expect_args(args, 2, 2);
+             return net::uniform_latency(arg_double(args, 0, "lo"),
+                                         arg_double(args, 1, "hi"));
+           }},
+          {"exponential",
+           [](const auto& args) {
+             expect_args(args, 1, 1);
+             return net::exponential_latency(arg_double(args, 0, "mean"));
+           }},
+          {"lognormal",
+           [](const auto& args) {
+             expect_args(args, 2, 2);
+             return net::lognormal_latency(arg_double(args, 0, "mu"),
+                                           arg_double(args, 1, "sigma"));
+           }},
+      });
+  return registry;
+}
+
+ChurnEvent parse_churn_event(const std::string& text) {
+  const auto at = text.find('@');
+  const auto colon = text.find(':', at == std::string::npos ? 0 : at);
+  if (at == std::string::npos || colon == std::string::npos) {
+    throw std::invalid_argument("churn event needs kind@time:fraction, got '" +
+                                text + "'");
+  }
+  const std::string kind = text.substr(0, at);
+  ChurnEvent event;
+  if (kind == "crash") {
+    event.join = false;
+  } else if (kind == "join") {
+    event.join = true;
+  } else {
+    throw std::invalid_argument("churn event kind must be crash or join: '" +
+                                text + "'");
+  }
+  event.time = to_double(text.substr(at + 1, colon - at - 1), "churn time");
+  event.fraction = to_double(text.substr(colon + 1), "churn fraction");
+  return event;
+}
+
+const Registry<FailureConfig>& failure_registry() {
+  static const Registry<FailureConfig> registry(
+      "failure",
+      {
+          {"none",
+           [](const auto& args) {
+             expect_args(args, 0, 0);
+             return FailureConfig{};
+           }},
+          {"crash",
+           [](const auto& args) {
+             expect_args(args, 1, 1);
+             const double fraction = arg_double(args, 0, "crash fraction");
+             if (!(fraction >= 0.0 && fraction < 1.0)) {
+               throw std::invalid_argument(
+                   "crash fraction must be in [0, 1): the model requires "
+                   "some non-failed members");
+             }
+             FailureConfig config;
+             config.nonfailed_ratio = 1.0 - fraction;
+             return config;
+           }},
+          {"midrun_crash",
+           [](const auto& args) {
+             expect_args(args, 1, 3);
+             if (args.size() == 2) {
+               throw std::invalid_argument(
+                   "midrun_crash takes (fraction) or (fraction, lo, hi)");
+             }
+             FailureConfig config;
+             config.midrun_fraction = arg_double(args, 0, "midrun fraction");
+             if (!(config.midrun_fraction >= 0.0 &&
+                   config.midrun_fraction <= 1.0)) {
+               throw std::invalid_argument(
+                   "midrun fraction must be in [0, 1]");
+             }
+             if (args.size() == 3) {
+               config.midrun_time = net::uniform_latency(
+                   arg_double(args, 1, "window lo"),
+                   arg_double(args, 2, "window hi"));
+             }
+             return config;
+           }},
+          {"churn",
+           [](const auto& args) {
+             if (args.empty()) {
+               throw std::invalid_argument("expects >= 1 event");
+             }
+             std::vector<ChurnEvent> events;
+             events.reserve(args.size());
+             for (const auto& arg : args) {
+               events.push_back(parse_churn_event(arg));
+             }
+             FailureConfig config;
+             config.schedule = churn_schedule(std::move(events));
+             return config;
+           }},
+          {"targeted",
+           [](const auto& args) {
+             expect_args(args, 2, 2);
+             const double fraction = arg_double(args, 0, "kill fraction");
+             TargetedMode mode;
+             if (args[1] == "hubs") {
+               mode = TargetedMode::kHubs;
+             } else if (args[1] == "leaves") {
+               mode = TargetedMode::kLeaves;
+             } else {
+               throw std::invalid_argument(
+                   "targeted mode must be hubs or leaves, got '" + args[1] +
+                   "'");
+             }
+             FailureConfig config;
+             config.schedule = targeted_kill_schedule(fraction, mode);
+             return config;
+           }},
+          {"bursty_loss",
+           [](const auto& args) {
+             expect_args(args, 3, 5);
+             BurstyLossParams params;
+             params.burst_loss = arg_double(args, 0, "burst loss");
+             params.burst_start = arg_double(args, 1, "burst start");
+             params.burst_length = arg_double(args, 2, "burst length");
+             if (args.size() > 3) {
+               params.link_fraction = arg_double(args, 3, "link fraction");
+             }
+             if (args.size() > 4) {
+               params.base_loss = arg_double(args, 4, "base loss");
+             }
+             FailureConfig config;
+             config.schedule = bursty_loss_schedule(params);
+             return config;
+           }},
+      });
+  return registry;
+}
+
+}  // namespace
+
+ComponentSpec parse_component(const std::string& text) {
+  ComponentSpec spec;
+  const std::string trimmed = trim(text);
+  if (trimmed.empty()) {
+    throw std::invalid_argument("empty component spec");
+  }
+  const auto open = trimmed.find('(');
+  if (open == std::string::npos) {
+    spec.head = trimmed;
+    return spec;
+  }
+  if (trimmed.back() != ')') {
+    throw std::invalid_argument("component spec missing ')': " + text);
+  }
+  spec.head = trimmed.substr(0, open);
+  if (spec.head.empty()) {
+    throw std::invalid_argument("component spec missing a name: " + text);
+  }
+  const std::string inner =
+      trimmed.substr(open + 1, trimmed.size() - open - 2);
+  spec.args = split_top_level(inner, ',');
+  for (const auto& arg : spec.args) {
+    if (arg.empty()) {
+      throw std::invalid_argument("component spec has an empty argument: " +
+                                  text);
+    }
+  }
+  return spec;
+}
+
+core::DegreeDistributionPtr make_fanout(const std::string& spec) {
+  return fanout_registry().make(spec);
+}
+
+std::vector<std::string> fanout_names() { return fanout_registry().names(); }
+
+net::LatencyModelPtr make_latency(const std::string& spec) {
+  return latency_registry().make(spec);
+}
+
+std::vector<std::string> latency_names() {
+  return latency_registry().names();
+}
+
+membership::MembershipProviderPtr make_membership(const std::string& spec,
+                                                  std::uint32_t num_nodes,
+                                                  rng::RngStream rng) {
+  const ComponentSpec parsed = parse_component(spec);
+  if (parsed.head == "full") {
+    expect_args(parsed.args, 0, 0);
+    return membership::full_membership(num_nodes);
+  }
+  if (parsed.head == "uniform") {
+    expect_args(parsed.args, 1, 1);
+    const auto view_size = static_cast<std::size_t>(
+        to_u64(parsed.args[0], "membership view_size"));
+    return membership::uniform_partial_membership(num_nodes, view_size, rng);
+  }
+  if (parsed.head == "scamp") {
+    expect_args(parsed.args, 1, 2);
+    membership::ScampParams params;
+    params.num_nodes = num_nodes;
+    params.redundancy = to_u32(parsed.args[0], "scamp redundancy");
+    if (parsed.args.size() > 1) {
+      params.max_forward_hops = to_u32(parsed.args[1], "scamp max hops");
+    }
+    return membership::scamp_membership(params, rng);
+  }
+  throw std::invalid_argument("unknown membership component '" + parsed.head +
+                              "' in \"" + spec +
+                              "\"; known: full, scamp, uniform");
+}
+
+std::vector<std::string> membership_names() {
+  return {"full", "scamp", "uniform"};
+}
+
+FailureConfig make_failure(const std::string& spec) {
+  const auto parts = split_top_level(spec, '+');
+  if (parts.empty()) {
+    throw std::invalid_argument("empty failure spec");
+  }
+  FailureConfig merged;
+  std::vector<protocol::FailureSchedulePtr> schedules;
+  for (const auto& part : parts) {
+    FailureConfig config = failure_registry().make(part);
+    merged.nonfailed_ratio *= config.nonfailed_ratio;
+    if (config.midrun_fraction > 0.0) {
+      if (merged.midrun_fraction > 0.0) {
+        throw std::invalid_argument(
+            "failure \"" + spec + "\": at most one midrun_crash part");
+      }
+      merged.midrun_fraction = config.midrun_fraction;
+      merged.midrun_time = config.midrun_time;
+    }
+    if (config.schedule) schedules.push_back(std::move(config.schedule));
+  }
+  if (schedules.size() == 1) {
+    merged.schedule = std::move(schedules.front());
+  } else if (schedules.size() > 1) {
+    merged.schedule = composite_schedule(std::move(schedules));
+  }
+  return merged;
+}
+
+std::vector<std::string> failure_names() {
+  return failure_registry().names();
+}
+
+}  // namespace gossip::scenario

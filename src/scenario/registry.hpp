@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file registry.hpp
+/// Component registries: the mapping from a spec string like
+/// "poisson(4.0)", "scamp(2)", "lognormal(0,0.5)", or
+/// "crash(0.1)+bursty_loss(0.8,2,3,0.5)" to a constructed component. Every
+/// existing family — core fanout distributions, membership views, net
+/// latency models — plus the scenario failure models is reachable from
+/// text, which is what makes scenario files self-contained. Unknown
+/// component names throw std::invalid_argument listing the known names.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/degree_distribution.hpp"
+#include "membership/view.hpp"
+#include "net/latency.hpp"
+#include "protocol/failure_schedule.hpp"
+#include "rng/rng_stream.hpp"
+
+namespace gossip::scenario {
+
+/// A parsed "head(arg1, arg2, ...)" spec string; "head" alone means no
+/// arguments. Arguments are trimmed and split at parenthesis depth 0.
+struct ComponentSpec {
+  std::string head;
+  std::vector<std::string> args;
+};
+
+/// Parses a component spec string; throws on empty/malformed input.
+[[nodiscard]] ComponentSpec parse_component(const std::string& text);
+
+/// Fanout distributions P. Known: poisson(z), fixed(k), binomial(trials,p),
+/// geometric(mean), zipf(max,s), uniform(lo,hi), empirical(w0,w1,...).
+[[nodiscard]] core::DegreeDistributionPtr make_fanout(const std::string& spec);
+[[nodiscard]] std::vector<std::string> fanout_names();
+
+/// Latency models. Known: constant(d), uniform(lo,hi), exponential(mean),
+/// lognormal(mu,sigma).
+[[nodiscard]] net::LatencyModelPtr make_latency(const std::string& spec);
+[[nodiscard]] std::vector<std::string> latency_names();
+
+/// Membership views. Known: full, uniform(view_size), scamp(c) /
+/// scamp(c,max_hops). Partial views are built once per scenario case from
+/// the supplied stream, so view construction randomness is reproducible.
+[[nodiscard]] membership::MembershipProviderPtr make_membership(
+    const std::string& spec, std::uint32_t num_nodes, rng::RngStream rng);
+[[nodiscard]] std::vector<std::string> membership_names();
+
+/// How a parsed failure spec materializes onto protocol::GossipParams. The
+/// paper's static crash fraction and the midrun-crash extension map onto the
+/// protocol's native fields (preserving their exact sampling paths); richer
+/// models arrive as a FailureSchedule.
+struct FailureConfig {
+  double nonfailed_ratio = 1.0;
+  double midrun_fraction = 0.0;
+  net::LatencyModelPtr midrun_time;  ///< Null = protocol default window.
+  protocol::FailureSchedulePtr schedule;
+};
+
+/// Failure models, composable with '+', e.g. "crash(0.1)+churn(crash@2:0.2)".
+/// Known parts: none, crash(f), midrun_crash(frac) /
+/// midrun_crash(frac,lo,hi), churn(crash@t:frac, join@t:frac, ...),
+/// targeted(frac,hubs|leaves), bursty_loss(p,start,len[,link_frac[,base]]).
+/// Static crash fractions multiply; at most one midrun_crash part; multiple
+/// schedule parts compose in order.
+[[nodiscard]] FailureConfig make_failure(const std::string& spec);
+[[nodiscard]] std::vector<std::string> failure_names();
+
+}  // namespace gossip::scenario

@@ -1,0 +1,355 @@
+#include "scenario/runner.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <set>
+#include <stdexcept>
+#include <utility>
+
+#include "experiment/component_mc.hpp"
+#include "experiment/csv.hpp"
+#include "experiment/monte_carlo.hpp"
+#include "experiment/table.hpp"
+#include "parallel/parallel_for.hpp"
+#include "protocol/gossip_multicast.hpp"
+#include "scenario/registry.hpp"
+
+namespace gossip::scenario {
+
+namespace {
+
+/// Every key the engine understands; anything else in a spec is a typo and
+/// throws rather than being silently ignored.
+const std::set<std::string>& known_fields() {
+  static const std::set<std::string> keys{
+      "name",    "description", "n",           "source", "backend",
+      "fanout",  "membership",  "latency",     "loss",   "failure",
+      "metric",  "repetitions", "seed",        "edge_keep",
+  };
+  return keys;
+}
+
+constexpr std::uint64_t kMembershipSalt = 0x6d656d62;  // "memb"
+
+struct BuiltCase {
+  ResolvedCase resolved;
+  Backend backend = Backend::kProtocol;
+  std::string metric;
+  std::size_t replications = 0;
+  std::uint64_t seed = 0;
+  // Protocol backend:
+  protocol::GossipParams params;
+  // Graph/component backends:
+  std::uint32_t num_nodes = 0;
+  core::DegreeDistributionPtr fanout;
+  double nonfailed_ratio = 1.0;
+  double edge_keep = 1.0;
+};
+
+std::string field(const ResolvedCase& c, const std::string& key,
+                  const std::string& fallback) {
+  const auto it = c.fields.find(key);
+  return it == c.fields.end() ? fallback : it->second;
+}
+
+bool has_field(const ResolvedCase& c, const std::string& key) {
+  return c.fields.find(key) != c.fields.end();
+}
+
+Backend parse_backend(const std::string& text) {
+  if (text == "protocol") return Backend::kProtocol;
+  if (text == "graph") return Backend::kGraph;
+  if (text == "component") return Backend::kComponent;
+  throw std::invalid_argument(
+      "backend must be protocol, graph, or component; got '" + text + "'");
+}
+
+BuiltCase build_case(const ScenarioSpec& spec, const ResolvedCase& resolved) {
+  for (const auto& [key, value] : resolved.fields) {
+    if (known_fields().find(key) == known_fields().end()) {
+      throw std::invalid_argument("scenario '" + spec.name() +
+                                  "': unknown field '" + key + "'");
+    }
+  }
+  auto require = [&](const std::string& key) {
+    if (!has_field(resolved, key)) {
+      throw std::invalid_argument("scenario '" + spec.name() +
+                                  "' case '" + resolved.label +
+                                  "': missing required field '" + key + "'");
+    }
+    return resolved.fields.at(key);
+  };
+
+  BuiltCase built;
+  built.resolved = resolved;
+  built.backend = parse_backend(field(resolved, "backend", "protocol"));
+  built.metric = field(resolved, "metric", "reliability");
+  if (built.metric != "reliability" && built.metric != "success") {
+    throw std::invalid_argument("metric must be reliability or success; got '" +
+                                built.metric + "'");
+  }
+  built.num_nodes = to_u32(require("n"), "n");
+  if (built.num_nodes < 2) {
+    throw std::invalid_argument("scenario requires n >= 2");
+  }
+  built.replications =
+      static_cast<std::size_t>(to_u64(field(resolved, "repetitions", "20"),
+                                      "repetitions"));
+  if (built.replications == 0) {
+    throw std::invalid_argument("repetitions must be >= 1");
+  }
+  built.seed = to_u64(field(resolved, "seed", "42"), "seed");
+  built.fanout = make_fanout(require("fanout"));
+
+  const FailureConfig failure =
+      make_failure(field(resolved, "failure", "none"));
+  built.nonfailed_ratio = failure.nonfailed_ratio;
+  const double loss =
+      to_double(field(resolved, "loss", "0"), "loss probability");
+  if (!(loss >= 0.0 && loss <= 1.0)) {
+    throw std::invalid_argument("loss must be in [0, 1]");
+  }
+
+  const auto source = to_u32(field(resolved, "source", "0"), "source");
+  if (source >= built.num_nodes) {
+    throw std::invalid_argument("source must be < n");
+  }
+
+  if (built.backend == Backend::kProtocol) {
+    if (has_field(resolved, "edge_keep")) {
+      throw std::invalid_argument(
+          "edge_keep applies to the graph backend only; use loss or "
+          "bursty_loss for the protocol backend");
+    }
+    auto& p = built.params;
+    p.num_nodes = built.num_nodes;
+    p.source = source;
+    p.nonfailed_ratio = failure.nonfailed_ratio;
+    p.fanout = built.fanout;
+    p.loss_probability = loss;
+    p.midrun_crash_fraction = failure.midrun_fraction;
+    p.midrun_crash_time = failure.midrun_time;
+    p.failure = failure.schedule;
+    if (has_field(resolved, "latency")) {
+      p.latency = make_latency(resolved.fields.at("latency"));
+    }
+    if (has_field(resolved, "membership")) {
+      const std::string membership = resolved.fields.at("membership");
+      if (membership != "full") {
+        // Views are built once per case from a seed-derived stream, so a
+        // case's partial-view topology is reproducible and independent of
+        // the replication streams.
+        p.membership = make_membership(
+            membership, built.num_nodes,
+            rng::RngStream(built.seed).substream(kMembershipSalt));
+      }
+    }
+    return built;
+  }
+
+  // Graph and component backends: the analytical-model counterparts. They
+  // sample graphs directly, so only static crash failures make sense.
+  const char* backend = built.backend == Backend::kGraph ? "graph" : "component";
+  if (failure.schedule || failure.midrun_fraction > 0.0) {
+    throw std::invalid_argument(
+        std::string(backend) +
+        " backend supports only static crash failures; use the protocol "
+        "backend for schedules");
+  }
+  if (has_field(resolved, "latency")) {
+    throw std::invalid_argument(std::string(backend) +
+                                " backend has no latency model");
+  }
+  if (has_field(resolved, "membership") &&
+      resolved.fields.at("membership") != "full") {
+    throw std::invalid_argument(std::string(backend) +
+                                " backend assumes the full membership view");
+  }
+  if (built.backend == Backend::kComponent) {
+    if (loss > 0.0 || has_field(resolved, "edge_keep")) {
+      throw std::invalid_argument(
+          "component backend has no loss model; thin the fanout instead");
+    }
+    if (built.metric == "success") {
+      throw std::invalid_argument(
+          "component backend has no success metric (no per-execution "
+          "source); use the protocol or graph backend");
+    }
+  } else {
+    built.edge_keep =
+        to_double(field(resolved, "edge_keep", "1"), "edge_keep");
+    if (!(built.edge_keep >= 0.0 && built.edge_keep <= 1.0)) {
+      throw std::invalid_argument("edge_keep must be in [0, 1]");
+    }
+    // Per-message loss thins every gossip edge independently, so it folds
+    // into the keep probability.
+    built.edge_keep *= 1.0 - loss;
+  }
+  return built;
+}
+
+CaseResult init_result(const ScenarioSpec& spec, const BuiltCase& built) {
+  CaseResult result;
+  result.scenario = spec.name();
+  result.label = built.resolved.label;
+  result.bindings = built.resolved.bindings;
+  result.backend = built.backend;
+  result.metric = built.metric;
+  result.replications = built.replications;
+  result.seed = built.seed;
+  return result;
+}
+
+}  // namespace
+
+std::vector<CaseResult> ScenarioRunner::run(const ScenarioSpec& spec) const {
+  const auto resolved = spec.expand_cases();
+  std::vector<BuiltCase> built;
+  built.reserve(resolved.size());
+  for (const auto& c : resolved) {
+    built.push_back(build_case(spec, c));
+  }
+
+  std::vector<CaseResult> results;
+  results.reserve(built.size());
+  for (const auto& b : built) {
+    results.push_back(init_result(spec, b));
+  }
+
+  // Protocol-backend cases: flatten every (case, replication) pair into one
+  // task list so any pool shape drains it; slot r of case c is always
+  // written by the same-seeded execution, and the fold below walks slots in
+  // index order — bit-identical results for any worker count.
+  struct Slot {
+    double reliability = 0.0;
+    double messages = 0.0;
+    double completion = 0.0;
+    double midrun = 0.0;
+    bool success = false;
+  };
+  std::vector<std::size_t> proto_cases;
+  std::vector<std::size_t> task_offset;  // prefix sums into the task list
+  std::size_t total_tasks = 0;
+  for (std::size_t c = 0; c < built.size(); ++c) {
+    if (built[c].backend != Backend::kProtocol) continue;
+    proto_cases.push_back(c);
+    task_offset.push_back(total_tasks);
+    total_tasks += built[c].replications;
+  }
+  std::vector<Slot> slots(total_tasks);
+  const auto run_task = [&](std::size_t task) {
+    // Locate the owning case by binary search over the offsets.
+    std::size_t lo = 0;
+    std::size_t hi = proto_cases.size();
+    while (hi - lo > 1) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      (task_offset[mid] <= task ? lo : hi) = mid;
+    }
+    const BuiltCase& b = built[proto_cases[lo]];
+    const std::size_t rep = task - task_offset[lo];
+    auto rng = rng::RngStream(b.seed).substream(rep);
+    const auto exec = protocol::run_gossip_once(b.params, rng);
+    Slot& slot = slots[task];
+    slot.reliability = exec.reliability;
+    slot.messages = static_cast<double>(exec.messages_sent);
+    slot.completion = exec.completion_time;
+    slot.midrun = static_cast<double>(exec.midrun_crashes);
+    slot.success = exec.success;
+  };
+  if (pool_ != nullptr && total_tasks > 0) {
+    parallel::parallel_for(*pool_, total_tasks, run_task);
+  } else {
+    for (std::size_t task = 0; task < total_tasks; ++task) run_task(task);
+  }
+  for (std::size_t i = 0; i < proto_cases.size(); ++i) {
+    CaseResult& result = results[proto_cases[i]];
+    for (std::size_t r = 0; r < built[proto_cases[i]].replications; ++r) {
+      const Slot& slot = slots[task_offset[i] + r];
+      result.reliability.add(slot.reliability);
+      result.messages.add(slot.messages);
+      result.completion_time.add(slot.completion);
+      result.midrun_crashes.add(slot.midrun);
+      if (slot.success) ++result.success_count;
+    }
+  }
+
+  // Graph/component cases delegate to the existing seeded estimators (which
+  // are themselves deterministic for any pool), case by case in order.
+  for (std::size_t c = 0; c < built.size(); ++c) {
+    const BuiltCase& b = built[c];
+    if (b.backend == Backend::kProtocol) continue;
+    experiment::MonteCarloOptions options;
+    options.replications = b.replications;
+    options.seed = b.seed;
+    options.pool = pool_;
+    if (b.backend == Backend::kGraph) {
+      const auto estimate = experiment::estimate_reliability_graph(
+          b.num_nodes, *b.fanout, b.nonfailed_ratio, options, b.edge_keep);
+      results[c].reliability = estimate.reliability;
+      results[c].messages = estimate.messages;
+      results[c].success_count = estimate.success_count;
+    } else {
+      const auto estimate = experiment::estimate_giant_component(
+          b.num_nodes, *b.fanout, b.nonfailed_ratio, options);
+      results[c].reliability = estimate.giant_fraction_alive;
+    }
+  }
+  return results;
+}
+
+std::string backend_name(Backend backend) {
+  switch (backend) {
+    case Backend::kProtocol: return "protocol";
+    case Backend::kGraph: return "graph";
+    case Backend::kComponent: return "component";
+  }
+  return "unknown";
+}
+
+void write_results_csv(const std::string& path,
+                       const std::vector<CaseResult>& results) {
+  experiment::CsvWriter csv(
+      path, {"scenario", "case", "backend", "metric", "replications", "seed",
+             "reliability_mean", "reliability_ci_lo", "reliability_ci_hi",
+             "success_rate", "messages_mean", "completion_mean",
+             "midrun_crashes_mean"});
+  for (const auto& r : results) {
+    const auto ci = r.reliability_ci();
+    csv.add_row({r.scenario, r.label, backend_name(r.backend), r.metric,
+                 std::to_string(r.replications), std::to_string(r.seed),
+                 experiment::fmt_double(r.reliability.mean(), 6),
+                 experiment::fmt_double(ci.lo, 6),
+                 experiment::fmt_double(ci.hi, 6),
+                 experiment::fmt_double(r.success_rate(), 6),
+                 experiment::fmt_double(r.messages.mean(), 1),
+                 experiment::fmt_double(r.completion_time.mean(), 3),
+                 experiment::fmt_double(r.midrun_crashes.mean(), 1)});
+  }
+}
+
+void print_results_table(std::ostream& os,
+                         const std::vector<CaseResult>& results) {
+  int label_width = 10;
+  for (const auto& r : results) {
+    label_width = std::max(label_width, static_cast<int>(r.label.size()) + 2);
+  }
+  experiment::TextTable table;
+  table.column("case", label_width)
+      .column("reliability", 16)
+      .column("success", 8)
+      .column("messages", 10)
+      .column("reps", 5);
+  for (const auto& r : results) {
+    const auto ci = r.reliability_ci();
+    table.add_row(
+        {r.label,
+         experiment::fmt_pm(r.reliability.mean(),
+                            0.5 * ci.width(), 4),
+         experiment::fmt_double(r.success_rate(), 3),
+         experiment::fmt_double(r.messages.mean(), 1),
+         std::to_string(r.replications)});
+  }
+  table.print(os);
+}
+
+}  // namespace gossip::scenario

@@ -1,0 +1,409 @@
+#include "scenario/spec.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace gossip::scenario {
+
+namespace {
+
+bool is_identifier(const std::string& s) {
+  if (s.empty()) return false;
+  if (!(std::isalpha(static_cast<unsigned char>(s[0])) || s[0] == '_')) {
+    return false;
+  }
+  for (const char c : s) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_')) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Expands one sweep token: either a literal value or range(lo, hi, step)
+/// producing lo, lo+step, ... up to hi (within half a step of slack, like
+/// experiment::arange_inclusive).
+void expand_sweep_token(const std::string& token,
+                        std::vector<std::string>& out) {
+  if (token.rfind("range(", 0) != 0) {
+    out.push_back(token);
+    return;
+  }
+  if (token.back() != ')') {
+    throw std::invalid_argument("sweep range missing ')': " + token);
+  }
+  const auto args =
+      split_top_level(token.substr(6, token.size() - 7), ',');
+  if (args.size() != 3) {
+    throw std::invalid_argument("sweep range needs (lo, hi, step): " + token);
+  }
+  const double lo = to_double(args[0], "range lo");
+  const double hi = to_double(args[1], "range hi");
+  const double step = to_double(args[2], "range step");
+  if (!(step > 0.0) || hi < lo) {
+    throw std::invalid_argument("sweep range requires lo <= hi, step > 0: " +
+                                token);
+  }
+  for (int k = 0;; ++k) {
+    const double v = lo + static_cast<double>(k) * step;
+    if (v > hi + 0.5 * step) break;
+    out.push_back(format_compact(v));
+  }
+}
+
+/// Substitutes $var references from `bindings` into `value`; "$$" escapes
+/// a literal dollar sign.
+std::string substitute(const std::string& value,
+                       const std::map<std::string, std::string>& bindings,
+                       const std::string& field) {
+  std::string out;
+  out.reserve(value.size());
+  for (std::size_t i = 0; i < value.size();) {
+    if (value[i] != '$') {
+      out.push_back(value[i]);
+      ++i;
+      continue;
+    }
+    if (i + 1 < value.size() && value[i + 1] == '$') {
+      out.push_back('$');
+      i += 2;
+      continue;
+    }
+    std::size_t j = i + 1;
+    while (j < value.size() &&
+           (std::isalnum(static_cast<unsigned char>(value[j])) ||
+            value[j] == '_')) {
+      ++j;
+    }
+    const std::string var = value.substr(i + 1, j - i - 1);
+    const auto it = bindings.find(var);
+    if (var.empty() || it == bindings.end()) {
+      throw std::invalid_argument("unknown sweep variable '$" + var +
+                                  "' in field '" + field + "'");
+    }
+    out += it->second;
+    i = j;
+  }
+  return out;
+}
+
+/// The text format cannot represent comment markers or line breaks inside
+/// a value, so reject them at composition time rather than corrupting
+/// format() output.
+void require_representable(const std::string& value, const std::string& what) {
+  if (value.find_first_of("#\n\r") != std::string::npos) {
+    throw std::invalid_argument(what +
+                                " must not contain '#' or line breaks: '" +
+                                value + "'");
+  }
+}
+
+std::string make_label(const std::vector<Binding>& bindings) {
+  if (bindings.empty()) return "-";
+  std::string label;
+  for (const auto& [var, value] : bindings) {
+    if (!label.empty()) label += ',';
+    label += var + "=" + value;
+  }
+  return label;
+}
+
+}  // namespace
+
+ScenarioSpec& ScenarioSpec::set(const std::string& key,
+                                const std::string& value) {
+  // Normalize exactly as parse() would, so parse(format()) stays an exact
+  // round-trip for programmatic specs too.
+  const std::string k = trim(key);
+  const std::string v = trim(value);
+  if (!is_identifier(k)) {
+    throw std::invalid_argument("scenario field key must be an identifier: '" +
+                                k + "'");
+  }
+  if (k == "case") {
+    throw std::invalid_argument(
+        "'case' is reserved for explicit grid points; use add_case()");
+  }
+  if (v.empty()) {
+    throw std::invalid_argument("empty value for field '" + k + "'");
+  }
+  require_representable(v, "field '" + k + "'");
+  fields_[k] = v;
+  return *this;
+}
+
+ScenarioSpec& ScenarioSpec::add_axis(std::string var,
+                                     std::vector<std::string> values) {
+  var = trim(var);
+  if (!is_identifier(var)) {
+    throw std::invalid_argument("sweep variable must be an identifier: '" +
+                                var + "'");
+  }
+  if (values.empty()) {
+    throw std::invalid_argument("sweep axis '" + var + "' has no values");
+  }
+  for (auto& value : values) {
+    value = trim(value);
+    if (value.empty()) {
+      throw std::invalid_argument("sweep axis '" + var +
+                                  "' has an empty value");
+    }
+    require_representable(value, "sweep axis '" + var + "' value");
+  }
+  for (const auto& axis : axes_) {
+    if (axis.var == var) {
+      throw std::invalid_argument("duplicate sweep axis '" + var + "'");
+    }
+  }
+  axes_.push_back(SweepAxis{std::move(var), std::move(values)});
+  return *this;
+}
+
+ScenarioSpec& ScenarioSpec::add_case(std::vector<Binding> bindings) {
+  if (bindings.empty()) {
+    throw std::invalid_argument("scenario case needs at least one binding");
+  }
+  for (auto& [var, value] : bindings) {
+    var = trim(var);
+    value = trim(value);
+    if (!is_identifier(var)) {
+      throw std::invalid_argument("case binding var must be an identifier: '" +
+                                  var + "'");
+    }
+    if (value.empty()) {
+      throw std::invalid_argument("case binding '" + var +
+                                  "' has an empty value");
+    }
+    require_representable(value, "case binding '" + var + "'");
+  }
+  cases_.push_back(std::move(bindings));
+  return *this;
+}
+
+bool ScenarioSpec::has(const std::string& key) const {
+  return fields_.find(key) != fields_.end();
+}
+
+std::string ScenarioSpec::get(const std::string& key,
+                              const std::string& fallback) const {
+  const auto it = fields_.find(key);
+  return it == fields_.end() ? fallback : it->second;
+}
+
+std::vector<ResolvedCase> ScenarioSpec::expand_cases() const {
+  if (!axes_.empty() && !cases_.empty()) {
+    throw std::invalid_argument(
+        "scenario '" + name() +
+        "' declares both sweep axes and explicit cases; use one or the other");
+  }
+
+  std::vector<std::vector<Binding>> grid;
+  if (!cases_.empty()) {
+    grid = cases_;
+  } else {
+    grid.emplace_back();  // the axis-free single case
+    for (const auto& axis : axes_) {
+      std::vector<std::vector<Binding>> next;
+      next.reserve(grid.size() * axis.values.size());
+      for (const auto& partial : grid) {
+        for (const auto& value : axis.values) {
+          auto extended = partial;
+          extended.emplace_back(axis.var, value);
+          next.push_back(std::move(extended));
+        }
+      }
+      grid = std::move(next);
+    }
+  }
+
+  std::vector<ResolvedCase> resolved;
+  resolved.reserve(grid.size());
+  for (const auto& bindings : grid) {
+    ResolvedCase c;
+    c.index = resolved.size();
+    c.bindings = bindings;
+    c.label = make_label(bindings);
+    std::map<std::string, std::string> lookup(bindings.begin(),
+                                              bindings.end());
+    for (const auto& [key, value] : fields_) {
+      c.fields[key] = substitute(value, lookup, key);
+    }
+    resolved.push_back(std::move(c));
+  }
+  return resolved;
+}
+
+std::string ScenarioSpec::format() const {
+  std::ostringstream os;
+  if (has("name")) os << "name = " << name() << "\n";
+  for (const auto& [key, value] : fields_) {
+    if (key == "name") continue;
+    os << key << " = " << value << "\n";
+  }
+  for (const auto& axis : axes_) {
+    os << "sweep." << axis.var << " = ";
+    for (std::size_t i = 0; i < axis.values.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << axis.values[i];
+    }
+    os << "\n";
+  }
+  for (const auto& bindings : cases_) {
+    os << "case = ";
+    for (std::size_t i = 0; i < bindings.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << bindings[i].first << "=" << bindings[i].second;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+ScenarioSpec ScenarioSpec::parse(const std::string& text) {
+  ScenarioSpec spec;
+  std::istringstream in(text);
+  std::string raw;
+  int line_no = 0;
+  auto fail = [&](const std::string& message) {
+    throw std::invalid_argument("scenario spec line " +
+                                std::to_string(line_no) + ": " + message);
+  };
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const auto hash = raw.find('#');
+    if (hash != std::string::npos) raw.erase(hash);
+    const std::string line = trim(raw);
+    if (line.empty()) continue;
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) fail("expected 'key = value'");
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    if (key.empty()) fail("empty key");
+    if (value.empty()) fail("empty value for '" + key + "'");
+
+    try {
+      if (key.rfind("sweep.", 0) == 0) {
+        const std::string var = key.substr(6);
+        std::vector<std::string> values;
+        for (const auto& token : split_top_level(value, ',')) {
+          expand_sweep_token(token, values);
+        }
+        spec.add_axis(var, std::move(values));
+      } else if (key == "case") {
+        std::vector<Binding> bindings;
+        for (const auto& piece : split_top_level(value, ',')) {
+          const auto beq = piece.find('=');
+          if (beq == std::string::npos) {
+            fail("case binding needs var=value: '" + piece + "'");
+          }
+          const std::string var = trim(piece.substr(0, beq));
+          const std::string bval = trim(piece.substr(beq + 1));
+          if (!is_identifier(var) || bval.empty()) {
+            fail("bad case binding: '" + piece + "'");
+          }
+          bindings.emplace_back(var, bval);
+        }
+        spec.add_case(std::move(bindings));
+      } else {
+        if (spec.has(key)) fail("duplicate field '" + key + "'");
+        spec.set(key, value);
+      }
+    } catch (const std::invalid_argument& e) {
+      const std::string what = e.what();
+      if (what.rfind("scenario spec line", 0) == 0) throw;
+      fail(what);
+    }
+  }
+  return spec;
+}
+
+ScenarioSpec ScenarioSpec::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot read scenario spec: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse(buffer.str());
+}
+
+std::string trim(const std::string& text) {
+  std::size_t b = 0;
+  std::size_t e = text.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(text[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(text[e - 1]))) --e;
+  return text.substr(b, e - b);
+}
+
+std::string format_compact(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", value);
+  return buf;
+}
+
+std::vector<std::string> split_top_level(const std::string& text, char sep) {
+  std::vector<std::string> pieces;
+  std::string current;
+  int depth = 0;
+  for (const char c : text) {
+    if (c == '(') ++depth;
+    if (c == ')') --depth;
+    if (c == sep && depth == 0) {
+      pieces.push_back(trim(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  const std::string last = trim(current);
+  if (!last.empty() || !pieces.empty()) pieces.push_back(last);
+  if (pieces.size() == 1 && pieces[0].empty()) pieces.clear();
+  return pieces;
+}
+
+double to_double(const std::string& text, const std::string& what) {
+  const std::string t = trim(text);
+  std::size_t consumed = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(t, &consumed);
+  } catch (const std::exception&) {
+    throw std::invalid_argument(what + ": not a number: '" + text + "'");
+  }
+  if (consumed != t.size()) {
+    throw std::invalid_argument(what + ": trailing characters in '" + text +
+                                "'");
+  }
+  return value;
+}
+
+std::uint64_t to_u64(const std::string& text, const std::string& what) {
+  const std::string t = trim(text);
+  std::size_t consumed = 0;
+  unsigned long long value = 0;
+  try {
+    value = std::stoull(t, &consumed);
+  } catch (const std::exception&) {
+    throw std::invalid_argument(what + ": not an unsigned integer: '" + text +
+                                "'");
+  }
+  if (consumed != t.size() || t[0] == '-') {
+    throw std::invalid_argument(what + ": not an unsigned integer: '" + text +
+                                "'");
+  }
+  return static_cast<std::uint64_t>(value);
+}
+
+std::uint32_t to_u32(const std::string& text, const std::string& what) {
+  const std::uint64_t value = to_u64(text, what);
+  if (value > 0xffffffffULL) {
+    throw std::invalid_argument(what + ": value out of 32-bit range: '" +
+                                text + "'");
+  }
+  return static_cast<std::uint32_t>(value);
+}
+
+}  // namespace gossip::scenario

@@ -1,0 +1,121 @@
+#pragma once
+
+/// \file spec.hpp
+/// ScenarioSpec: a declarative description of one gossip experiment — group
+/// size, source, fanout distribution, membership view, latency model,
+/// failure model, metric, repetitions, seed — plus an optional parameter
+/// grid. Specs parse from a simple key=value text format (one experiment
+/// per file) and compose programmatically, so both spec files and the
+/// migrated benches drive the same ScenarioRunner.
+///
+/// Text format, line oriented:
+///
+///     # comment
+///     name    = fig4a
+///     n       = 1000
+///     fanout  = poisson($z)
+///     failure = crash($f)
+///     sweep.z = range(1.1, 6.7, 0.4), 4.0
+///     sweep.f = 0.0, 0.1, 0.5, 0.9
+///
+/// `sweep.<var>` axes expand to their Cartesian product (first axis
+/// slowest); `range(lo, hi, step)` tokens expand inline. Alternatively
+/// explicit `case = z=4.0, f=0.1` lines enumerate exactly the grid points
+/// to run (axes and cases are mutually exclusive). `$var` references in any
+/// field are substituted per grid point; `$$` escapes a literal dollar.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gossip::scenario {
+
+/// One sweep variable binding, e.g. {"z", "4.0"}.
+using Binding = std::pair<std::string, std::string>;
+
+struct SweepAxis {
+  std::string var;
+  std::vector<std::string> values;
+  [[nodiscard]] bool operator==(const SweepAxis&) const = default;
+};
+
+/// One fully resolved grid point: every field with $vars substituted.
+struct ResolvedCase {
+  std::size_t index = 0;
+  std::string label;  ///< "z=4.0,f=0.1"; "-" when the spec has no grid.
+  std::vector<Binding> bindings;
+  std::map<std::string, std::string> fields;
+};
+
+class ScenarioSpec {
+ public:
+  /// Sets a field (last write wins); returns *this for chaining.
+  ScenarioSpec& set(const std::string& key, const std::string& value);
+
+  /// Appends a Cartesian sweep axis. Throws if `var` already has an axis.
+  ScenarioSpec& add_axis(std::string var, std::vector<std::string> values);
+
+  /// Appends one explicit grid point (mutually exclusive with axes).
+  ScenarioSpec& add_case(std::vector<Binding> bindings);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+  /// Raw (unsubstituted) field value, or `fallback` when absent.
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback = "") const;
+  [[nodiscard]] std::string name() const { return get("name", "scenario"); }
+
+  [[nodiscard]] const std::map<std::string, std::string>& fields() const {
+    return fields_;
+  }
+  [[nodiscard]] const std::vector<SweepAxis>& axes() const { return axes_; }
+  [[nodiscard]] const std::vector<std::vector<Binding>>& cases() const {
+    return cases_;
+  }
+
+  /// Expands the grid: axes' Cartesian product, or the explicit cases, or a
+  /// single case when neither is declared. Throws on unknown $vars and when
+  /// both axes and cases are present.
+  [[nodiscard]] std::vector<ResolvedCase> expand_cases() const;
+
+  /// Serializes to the text format; parse(format()) round-trips exactly.
+  [[nodiscard]] std::string format() const;
+
+  /// Parses the text format. Throws std::invalid_argument with a line
+  /// number on malformed input (missing '=', duplicate keys, bad range).
+  [[nodiscard]] static ScenarioSpec parse(const std::string& text);
+
+  /// Reads and parses a spec file. Throws std::runtime_error if unreadable.
+  [[nodiscard]] static ScenarioSpec load(const std::string& path);
+
+  [[nodiscard]] bool operator==(const ScenarioSpec&) const = default;
+
+ private:
+  std::map<std::string, std::string> fields_;
+  std::vector<SweepAxis> axes_;
+  std::vector<std::vector<Binding>> cases_;
+};
+
+// ---- shared parsing helpers (also used by the component registries) ----
+
+/// Splits on `sep` at parenthesis depth 0, trimming each piece; no empty
+/// pieces are produced for an all-whitespace input.
+[[nodiscard]] std::vector<std::string> split_top_level(const std::string& text,
+                                                       char sep);
+
+/// Strips leading/trailing whitespace.
+[[nodiscard]] std::string trim(const std::string& text);
+
+/// Shortest decimal form (%g): readable grid labels and component names.
+[[nodiscard]] std::string format_compact(double value);
+
+/// Strict full-string numeric parses; `what` names the value in errors.
+[[nodiscard]] double to_double(const std::string& text,
+                               const std::string& what);
+[[nodiscard]] std::uint64_t to_u64(const std::string& text,
+                                   const std::string& what);
+[[nodiscard]] std::uint32_t to_u32(const std::string& text,
+                                   const std::string& what);
+
+}  // namespace gossip::scenario

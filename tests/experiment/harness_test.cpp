@@ -89,6 +89,50 @@ TEST(CsvWriter, QuotesCellsContainingCommas) {
   std::remove(path.c_str());
 }
 
+TEST(CsvWriter, Rfc4180DoublesEmbeddedQuotes) {
+  const std::string path = "/tmp/gossip_csv_rfc_quote_test.csv";
+  {
+    CsvWriter csv(path, {"x", "y"});
+    csv.add_row({"say \"hi\"", "plain"});
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);  // header
+  std::getline(in, line);
+  EXPECT_EQ(line, "\"say \"\"hi\"\"\",plain");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriter, Rfc4180QuotesCellsContainingNewlines) {
+  const std::string path = "/tmp/gossip_csv_rfc_nl_test.csv";
+  {
+    CsvWriter csv(path, {"x"});
+    csv.add_row({"two\nlines"});
+    csv.add_row({"cr\rcell"});
+  }
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), "x\n\"two\nlines\"\n\"cr\rcell\"\n");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriter, ScenarioLabelRoundTripsAsOneCell) {
+  // The scenario runner labels cases "z=4.0,q=0.9"; a naive reader split
+  // must see exactly one quoted field, not two.
+  const std::string path = "/tmp/gossip_csv_label_test.csv";
+  {
+    CsvWriter csv(path, {"case", "value"});
+    csv.add_row({"z=4.0,q=0.9", "1"});
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);  // header
+  std::getline(in, line);
+  EXPECT_EQ(line, "\"z=4.0,q=0.9\",1");
+  std::remove(path.c_str());
+}
+
 TEST(CsvWriter, RejectsMismatchedRowAndEmptyHeader) {
   const std::string path = "/tmp/gossip_csv_err_test.csv";
   CsvWriter csv(path, {"a", "b"});

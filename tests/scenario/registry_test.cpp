@@ -1,0 +1,157 @@
+/// Component registries: spec strings resolve to the right factories with
+/// the right parameters, unknown names are rejected with a diagnostic that
+/// lists what IS known, and failure specs compose with '+'.
+
+#include <stdexcept>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "scenario/registry.hpp"
+#include "scenario/spec.hpp"
+
+namespace gossip::scenario {
+namespace {
+
+TEST(ParseComponent, HeadOnlyAndArguments) {
+  const auto bare = parse_component("  full  ");
+  EXPECT_EQ(bare.head, "full");
+  EXPECT_TRUE(bare.args.empty());
+
+  const auto args = parse_component("binomial(10, 0.4)");
+  EXPECT_EQ(args.head, "binomial");
+  EXPECT_EQ(args.args, (std::vector<std::string>{"10", "0.4"}));
+}
+
+TEST(ParseComponent, RejectsMalformedSpecs) {
+  EXPECT_THROW((void)parse_component(""), std::invalid_argument);
+  EXPECT_THROW((void)parse_component("poisson(4"), std::invalid_argument);
+  EXPECT_THROW((void)parse_component("(4)"), std::invalid_argument);
+  EXPECT_THROW((void)parse_component("poisson(4,,5)"), std::invalid_argument);
+}
+
+TEST(FanoutRegistry, BuildsEveryFamily) {
+  EXPECT_NEAR(make_fanout("poisson(4.0)")->mean(), 4.0, 1e-12);
+  EXPECT_NEAR(make_fanout("fixed(5)")->mean(), 5.0, 1e-12);
+  EXPECT_NEAR(make_fanout("binomial(10, 0.4)")->mean(), 4.0, 1e-12);
+  EXPECT_NEAR(make_fanout("geometric(4)")->mean(), 4.0, 1e-9);
+  EXPECT_GT(make_fanout("zipf(20, 1.5)")->mean(), 1.0);
+  EXPECT_NEAR(make_fanout("uniform(2, 6)")->mean(), 4.0, 1e-12);
+  // empirical(0, 1): all mass on f = 1.
+  EXPECT_NEAR(make_fanout("empirical(0, 1)")->mean(), 1.0, 1e-12);
+}
+
+TEST(FanoutRegistry, RejectsUnknownNamesListingKnownOnes) {
+  try {
+    (void)make_fanout("powerlaw(2.5)");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("powerlaw"), std::string::npos);
+    EXPECT_NE(what.find("poisson"), std::string::npos);
+    EXPECT_NE(what.find("known:"), std::string::npos);
+  }
+  EXPECT_THROW((void)make_fanout("poisson(4, 5)"), std::invalid_argument);
+  EXPECT_THROW((void)make_fanout("fixed(2.5)"), std::invalid_argument);
+  EXPECT_FALSE(fanout_names().empty());
+}
+
+TEST(LatencyRegistry, BuildsEveryFamilyAndRejectsUnknown) {
+  EXPECT_EQ(make_latency("constant(1)")->name(), "Constant(1)");
+  EXPECT_EQ(make_latency("uniform(0, 2)")->name(), "Uniform[0,2]");
+  EXPECT_EQ(make_latency("exponential(1.5)")->name(),
+            "Exponential(mean=1.5)");
+  EXPECT_EQ(make_latency("lognormal(0, 0.5)")->name(),
+            "Lognormal(mu=0,sigma=0.5)");
+  EXPECT_THROW((void)make_latency("pareto(1)"), std::invalid_argument);
+  EXPECT_EQ(latency_names().size(), 4u);
+}
+
+TEST(MembershipRegistry, BuildsEveryFamilyAndRejectsUnknown) {
+  rng::RngStream rng(7);
+  const auto full = make_membership("full", 50, rng);
+  EXPECT_EQ(full->view_for(0)->size(), 49u);
+  const auto uniform = make_membership("uniform(8)", 50, rng);
+  EXPECT_EQ(uniform->view_for(3)->size(), 8u);
+  const auto scamp = make_membership("scamp(2)", 50, rng);
+  EXPECT_GT(scamp->view_for(1)->size(), 0u);
+  EXPECT_THROW((void)make_membership("hyparview(5)", 50, rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)make_membership("full(3)", 50, rng),
+               std::invalid_argument);
+  EXPECT_EQ(membership_names().size(), 3u);
+}
+
+TEST(FailureRegistry, StaticCrashMapsToNonfailedRatio) {
+  const auto none = make_failure("none");
+  EXPECT_DOUBLE_EQ(none.nonfailed_ratio, 1.0);
+  EXPECT_EQ(none.schedule, nullptr);
+
+  const auto crash = make_failure("crash(0.1)");
+  EXPECT_DOUBLE_EQ(crash.nonfailed_ratio, 1.0 - 0.1);
+  EXPECT_EQ(crash.schedule, nullptr);
+  EXPECT_DOUBLE_EQ(crash.midrun_fraction, 0.0);
+
+  // q must stay positive: everyone-crashes is not a gossip experiment.
+  EXPECT_THROW((void)make_failure("crash(1.0)"), std::invalid_argument);
+}
+
+TEST(FailureRegistry, MidrunCrashMapsToProtocolFields) {
+  const auto midrun = make_failure("midrun_crash(0.4, 1, 2)");
+  EXPECT_DOUBLE_EQ(midrun.midrun_fraction, 0.4);
+  ASSERT_NE(midrun.midrun_time, nullptr);
+  EXPECT_EQ(midrun.midrun_time->name(), "Uniform[1,2]");
+
+  const auto defaulted = make_failure("midrun_crash(0.2)");
+  EXPECT_EQ(defaulted.midrun_time, nullptr);  // protocol default window
+  EXPECT_THROW((void)make_failure("midrun_crash(0.4, 1)"),
+               std::invalid_argument);
+}
+
+TEST(FailureRegistry, SchedulesCarryDescriptiveNames) {
+  const auto churn = make_failure("churn(crash@2:0.3, join@5:0.5)");
+  ASSERT_NE(churn.schedule, nullptr);
+  EXPECT_EQ(churn.schedule->name(), "churn(crash@2:0.3,join@5:0.5)");
+
+  const auto targeted = make_failure("targeted(0.2, hubs)");
+  ASSERT_NE(targeted.schedule, nullptr);
+  EXPECT_EQ(targeted.schedule->name(), "targeted(0.2,hubs)");
+
+  const auto bursty = make_failure("bursty_loss(0.8, 1, 2, 0.5)");
+  ASSERT_NE(bursty.schedule, nullptr);
+  EXPECT_EQ(bursty.schedule->name(), "bursty_loss(0.8,1,2,0.5,0)");
+}
+
+TEST(FailureRegistry, RejectsBadScheduleArguments) {
+  EXPECT_THROW((void)make_failure("churn(melt@2:0.3)"),
+               std::invalid_argument);
+  EXPECT_THROW((void)make_failure("churn(crash@2)"), std::invalid_argument);
+  EXPECT_THROW((void)make_failure("churn(crash@-1:0.3)"),
+               std::invalid_argument);
+  EXPECT_THROW((void)make_failure("targeted(0.2, everyone)"),
+               std::invalid_argument);
+  EXPECT_THROW((void)make_failure("targeted(1.5, hubs)"),
+               std::invalid_argument);
+  EXPECT_THROW((void)make_failure("bursty_loss(2, 0, 1)"),
+               std::invalid_argument);
+  EXPECT_THROW((void)make_failure("meteor_strike(1)"),
+               std::invalid_argument);
+}
+
+TEST(FailureRegistry, PlusComposesParts) {
+  const auto composed =
+      make_failure("crash(0.1)+crash(0.2)+churn(crash@2:0.3)+"
+                   "bursty_loss(0.5, 0, 4)");
+  // Independent static crash fractions multiply their survival ratios.
+  EXPECT_DOUBLE_EQ(composed.nonfailed_ratio, (1.0 - 0.1) * (1.0 - 0.2));
+  ASSERT_NE(composed.schedule, nullptr);
+  EXPECT_EQ(composed.schedule->name(),
+            "churn(crash@2:0.3)+bursty_loss(0.5,0,4,1,0)");
+
+  EXPECT_THROW(
+      (void)make_failure("midrun_crash(0.1)+midrun_crash(0.2)"),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gossip::scenario

@@ -1,0 +1,259 @@
+/// ScenarioRunner: grid execution over the thread pool with bit-identical
+/// results for any worker count, exact agreement with the hand-written
+/// replication loops it replaced, and the physics of the new failure
+/// models (churn timing, targeted kills, bursty loss).
+
+#include <cmath>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "core/degree_distribution.hpp"
+#include "experiment/monte_carlo.hpp"
+#include "net/latency.hpp"
+#include "parallel/thread_pool.hpp"
+#include "protocol/gossip_multicast.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/spec.hpp"
+#include "stats/summary.hpp"
+
+namespace gossip::scenario {
+namespace {
+
+/// A spec that exercises every schedule family at once, sweeping the churn
+/// time so the grid has several protocol-backend cases.
+ScenarioSpec schedule_heavy_spec() {
+  ScenarioSpec spec;
+  spec.set("name", "schedule_heavy")
+      .set("n", "300")
+      .set("fanout", "poisson(4)")
+      .set("latency", "exponential(1)")
+      .set("failure",
+           "crash(0.05)+churn(crash@$t:0.2, join@6:0.5)+"
+           "bursty_loss(0.6, 0.5, 2, 0.5)")
+      .set("repetitions", "16")
+      .set("seed", "33")
+      .add_axis("t", {"0.5", "2", "4"});
+  return spec;
+}
+
+TEST(ScenarioRunner, BitIdenticalAcrossWorkerCounts) {
+  const auto spec = schedule_heavy_spec();
+  const auto serial = ScenarioRunner(nullptr).run(spec);
+
+  parallel::ThreadPool pool1(1);
+  parallel::ThreadPool pool2(2);
+  parallel::ThreadPool pool8(8);
+  for (parallel::ThreadPool* pool : {&pool1, &pool2, &pool8}) {
+    const auto parallel_results = ScenarioRunner(pool).run(spec);
+    ASSERT_EQ(parallel_results.size(), serial.size());
+    for (std::size_t c = 0; c < serial.size(); ++c) {
+      // Exact equality, not EXPECT_NEAR: replication r of a case always
+      // draws from RngStream(seed).substream(r), so the scheduler cannot
+      // influence any bit of the estimate.
+      EXPECT_EQ(parallel_results[c].reliability.mean(),
+                serial[c].reliability.mean());
+      EXPECT_EQ(parallel_results[c].reliability.variance(),
+                serial[c].reliability.variance());
+      EXPECT_EQ(parallel_results[c].messages.mean(),
+                serial[c].messages.mean());
+      EXPECT_EQ(parallel_results[c].midrun_crashes.mean(),
+                serial[c].midrun_crashes.mean());
+      EXPECT_EQ(parallel_results[c].success_count, serial[c].success_count);
+    }
+  }
+}
+
+TEST(ScenarioRunner, MidrunSpecMatchesHandWrittenReplicationLoop) {
+  // The contract behind the ablation migrations: a spec-driven midrun-crash
+  // case must reproduce the bespoke loop it replaced bit for bit.
+  ScenarioSpec spec;
+  spec.set("name", "midrun_exact")
+      .set("n", "300")
+      .set("fanout", "poisson(5)")
+      .set("failure", "midrun_crash(0.4, 1, 2)")
+      .set("repetitions", "10")
+      .set("seed", "19");
+  const auto results = ScenarioRunner(nullptr).run(spec);
+  ASSERT_EQ(results.size(), 1u);
+
+  protocol::GossipParams params;
+  params.num_nodes = 300;
+  params.fanout = core::poisson_fanout(5.0);
+  params.midrun_crash_fraction = 0.4;
+  params.midrun_crash_time = net::uniform_latency(1.0, 2.0);
+  const rng::RngStream root(19);
+  stats::OnlineSummary reliability;
+  stats::OnlineSummary crashes;
+  for (std::size_t i = 0; i < 10; ++i) {
+    auto rng = root.substream(i);
+    const auto exec = protocol::run_gossip_once(params, rng);
+    reliability.add(exec.reliability);
+    crashes.add(static_cast<double>(exec.midrun_crashes));
+  }
+  EXPECT_EQ(results[0].reliability.mean(), reliability.mean());
+  EXPECT_EQ(results[0].reliability.variance(), reliability.variance());
+  EXPECT_EQ(results[0].midrun_crashes.mean(), crashes.mean());
+}
+
+TEST(ScenarioRunner, GraphBackendMatchesMonteCarloEstimator) {
+  ScenarioSpec spec;
+  spec.set("name", "graph_exact")
+      .set("n", "400")
+      .set("backend", "graph")
+      .set("fanout", "poisson(4)")
+      .set("failure", "crash(0.1)")
+      .set("edge_keep", "0.75")
+      .set("repetitions", "12")
+      .set("seed", "5");
+  const auto results = ScenarioRunner(nullptr).run(spec);
+  ASSERT_EQ(results.size(), 1u);
+
+  experiment::MonteCarloOptions options;
+  options.replications = 12;
+  options.seed = 5;
+  const auto estimate = experiment::estimate_reliability_graph(
+      400, *core::poisson_fanout(4.0), 1.0 - 0.1, options, 0.75);
+  EXPECT_EQ(results[0].reliability.mean(), estimate.reliability.mean());
+  EXPECT_EQ(results[0].messages.mean(), estimate.messages.mean());
+  EXPECT_EQ(results[0].success_count, estimate.success_count);
+}
+
+TEST(ScenarioRunner, LateChurnCostsLessThanEarlyChurn) {
+  ScenarioSpec spec;
+  spec.set("name", "churn_timing")
+      .set("n", "400")
+      .set("fanout", "poisson(5)")
+      .set("failure", "churn(crash@$t:0.4)")
+      .set("repetitions", "20")
+      .set("seed", "3")
+      .add_axis("t", {"0.1", "50"});
+  const auto results = ScenarioRunner(nullptr).run(spec);
+  ASSERT_EQ(results.size(), 2u);
+  // Crashing before the cascade bites; crashing after it is free (every
+  // member has already forwarded), so late-churn delivery is ~1 among the
+  // members counted alive at the end... which the early case cannot reach.
+  EXPECT_LT(results[0].reliability.mean() + 0.05,
+            results[1].reliability.mean());
+  // completion_time reports the last RECEIPT: the churn action parked at
+  // t=50 must not inflate it past the (much earlier) end of dissemination.
+  EXPECT_LT(results[1].completion_time.mean(), 50.0);
+}
+
+TEST(ScenarioRunner, TargetedHubsHurtMoreThanLeaves) {
+  ScenarioSpec spec;
+  spec.set("name", "targeted_contrast")
+      .set("n", "500")
+      .set("fanout", "geometric(4)")
+      .set("failure", "targeted(0.2, $mode)")
+      .set("repetitions", "20")
+      .set("seed", "17")
+      .add_axis("mode", {"hubs", "leaves"});
+  const auto results = ScenarioRunner(nullptr).run(spec);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_LT(results[0].reliability.mean() + 0.1,
+            results[1].reliability.mean());
+}
+
+TEST(ScenarioRunner, TotalBurstyLossStopsDissemination) {
+  ScenarioSpec spec;
+  spec.set("name", "blackout")
+      .set("n", "200")
+      .set("fanout", "fixed(4)")
+      .set("failure", "bursty_loss(1, 0, 1000000, 1)")
+      .set("repetitions", "5")
+      .set("seed", "2");
+  const auto results = ScenarioRunner(nullptr).run(spec);
+  ASSERT_EQ(results.size(), 1u);
+  // Every link drops every message: only the source ever receives m.
+  EXPECT_NEAR(results[0].reliability.mean(), 1.0 / 200.0, 1e-12);
+  EXPECT_EQ(results[0].success_count, 0u);
+}
+
+TEST(ScenarioRunner, RejectsTyposAndImpossibleBackendCombos) {
+  ScenarioSpec typo;
+  typo.set("name", "typo").set("n", "100").set("fanuot", "poisson(4)");
+  EXPECT_THROW((void)ScenarioRunner(nullptr).run(typo),
+               std::invalid_argument);
+
+  ScenarioSpec graph_latency;
+  graph_latency.set("name", "bad")
+      .set("n", "100")
+      .set("backend", "graph")
+      .set("fanout", "poisson(4)")
+      .set("latency", "constant(1)");
+  EXPECT_THROW((void)ScenarioRunner(nullptr).run(graph_latency),
+               std::invalid_argument);
+
+  ScenarioSpec graph_schedule;
+  graph_schedule.set("name", "bad")
+      .set("n", "100")
+      .set("backend", "graph")
+      .set("fanout", "poisson(4)")
+      .set("failure", "churn(crash@1:0.5)");
+  EXPECT_THROW((void)ScenarioRunner(nullptr).run(graph_schedule),
+               std::invalid_argument);
+
+  ScenarioSpec component_thinned;
+  component_thinned.set("name", "bad")
+      .set("n", "100")
+      .set("backend", "component")
+      .set("fanout", "poisson(4)")
+      .set("edge_keep", "0.5");
+  EXPECT_THROW((void)ScenarioRunner(nullptr).run(component_thinned),
+               std::invalid_argument);
+
+  ScenarioSpec component_success;
+  component_success.set("name", "bad")
+      .set("n", "100")
+      .set("backend", "component")
+      .set("fanout", "poisson(4)")
+      .set("metric", "success");
+  EXPECT_THROW((void)ScenarioRunner(nullptr).run(component_success),
+               std::invalid_argument);
+
+  ScenarioSpec proto_edge_keep;
+  proto_edge_keep.set("name", "bad")
+      .set("n", "100")
+      .set("fanout", "poisson(4)")
+      .set("edge_keep", "0.5");
+  EXPECT_THROW((void)ScenarioRunner(nullptr).run(proto_edge_keep),
+               std::invalid_argument);
+
+  ScenarioSpec loss_typo;
+  loss_typo.set("name", "bad")
+      .set("n", "100")
+      .set("fanout", "poisson(4)")
+      .set("loss", "1.5");
+  EXPECT_THROW((void)ScenarioRunner(nullptr).run(loss_typo),
+               std::invalid_argument);
+}
+
+#ifdef GOSSIP_SCENARIOS_DIR
+TEST(ScenarioRunner, Fig4aScenarioReproducesPinnedAnchor) {
+  // Acceptance gate: scenarios/fig4a.scn must reproduce the Fig. 4a anchor
+  // pinned by paper_figures_test.cpp (graph MC at n=1000, Po(4), q=0.9,
+  // 60 reps, seed 2008 -> S ~ 0.9695 +- 0.03), bit-identically across
+  // worker counts.
+  const auto spec =
+      ScenarioSpec::load(std::string(GOSSIP_SCENARIOS_DIR) + "/fig4a.scn");
+  parallel::ThreadPool pool(8);
+  const auto results = ScenarioRunner(&pool).run(spec);
+  const auto serial = ScenarioRunner(nullptr).run(spec);
+  ASSERT_EQ(results.size(), serial.size());
+
+  bool found_anchor = false;
+  for (std::size_t c = 0; c < results.size(); ++c) {
+    EXPECT_EQ(results[c].reliability.mean(), serial[c].reliability.mean());
+    EXPECT_EQ(results[c].success_count, serial[c].success_count);
+    if (results[c].label == "z=4.0,f=0.1") {
+      found_anchor = true;
+      EXPECT_NEAR(results[c].reliability.mean(), 0.9695, 0.03);
+    }
+  }
+  EXPECT_TRUE(found_anchor) << "fig4a.scn lost its z=4.0, f=0.1 anchor case";
+}
+#endif
+
+}  // namespace
+}  // namespace gossip::scenario

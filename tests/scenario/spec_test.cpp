@@ -1,0 +1,201 @@
+/// ScenarioSpec: text parsing, programmatic composition, grid expansion,
+/// and the parse/format round-trip contract that makes spec files and
+/// in-code specs interchangeable.
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "scenario/spec.hpp"
+
+namespace gossip::scenario {
+namespace {
+
+TEST(ScenarioSpecParse, ReadsFieldsCommentsAndWhitespace) {
+  const auto spec = ScenarioSpec::parse(
+      "# a comment line\n"
+      "name = demo   # trailing comment\n"
+      "\n"
+      "n       = 1000\n"
+      "fanout  = poisson(4.0)\n");
+  EXPECT_EQ(spec.name(), "demo");
+  EXPECT_EQ(spec.get("n"), "1000");
+  EXPECT_EQ(spec.get("fanout"), "poisson(4.0)");
+  EXPECT_FALSE(spec.has("latency"));
+  EXPECT_EQ(spec.get("latency", "constant(1)"), "constant(1)");
+}
+
+TEST(ScenarioSpecParse, SweepAxesExpandRangesAndLiterals) {
+  const auto spec = ScenarioSpec::parse(
+      "name = sweep\n"
+      "sweep.z = range(1.0, 2.0, 0.5), 4.0\n"
+      "sweep.mode = hubs, leaves\n");
+  ASSERT_EQ(spec.axes().size(), 2u);
+  EXPECT_EQ(spec.axes()[0].var, "z");
+  EXPECT_EQ(spec.axes()[0].values,
+            (std::vector<std::string>{"1", "1.5", "2", "4.0"}));
+  EXPECT_EQ(spec.axes()[1].values,
+            (std::vector<std::string>{"hubs", "leaves"}));
+}
+
+TEST(ScenarioSpecParse, RejectsMalformedInput) {
+  EXPECT_THROW((void)ScenarioSpec::parse("just a line\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)ScenarioSpec::parse("n = \n"), std::invalid_argument);
+  EXPECT_THROW((void)ScenarioSpec::parse("n = 1\nn = 2\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)ScenarioSpec::parse("sweep.z = range(2, 1, 0.5)\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)ScenarioSpec::parse("sweep.z = range(1, 2)\n"),
+               std::invalid_argument);
+  // Errors carry the offending line number.
+  try {
+    (void)ScenarioSpec::parse("name = ok\nbroken line\n");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(ScenarioSpecFormat, RoundTripsThroughParse) {
+  ScenarioSpec spec;
+  spec.set("name", "round_trip")
+      .set("n", "500")
+      .set("fanout", "poisson($z)")
+      .set("failure", "crash($f)+bursty_loss(0.5, 1, 2)")
+      .add_axis("z", {"2", "4"})
+      .add_axis("f", {"0.0", "0.1"});
+  const auto reparsed = ScenarioSpec::parse(spec.format());
+  EXPECT_EQ(spec, reparsed);
+  // And format is a fixed point: format(parse(format(s))) == format(s).
+  EXPECT_EQ(spec.format(), reparsed.format());
+}
+
+TEST(ScenarioSpecFormat, RoundTripsExplicitCases) {
+  ScenarioSpec spec;
+  spec.set("name", "cases")
+      .set("fanout", "poisson($z)")
+      .add_case({{"z", "2"}, {"mode", "hubs"}})
+      .add_case({{"z", "4"}, {"mode", "leaves"}});
+  const auto reparsed = ScenarioSpec::parse(spec.format());
+  EXPECT_EQ(spec, reparsed);
+  ASSERT_EQ(reparsed.cases().size(), 2u);
+  EXPECT_EQ(reparsed.cases()[1][1].second, "leaves");
+}
+
+TEST(ScenarioSpecExpand, CartesianGridFirstAxisSlowest) {
+  ScenarioSpec spec;
+  spec.set("name", "grid")
+      .set("fanout", "poisson($z)")
+      .set("failure", "crash($f)")
+      .add_axis("z", {"2", "4"})
+      .add_axis("f", {"0.0", "0.1", "0.5"});
+  const auto cases = spec.expand_cases();
+  ASSERT_EQ(cases.size(), 6u);
+  EXPECT_EQ(cases[0].label, "z=2,f=0.0");
+  EXPECT_EQ(cases[1].label, "z=2,f=0.1");
+  EXPECT_EQ(cases[3].label, "z=4,f=0.0");
+  EXPECT_EQ(cases[4].fields.at("fanout"), "poisson(4)");
+  EXPECT_EQ(cases[4].fields.at("failure"), "crash(0.1)");
+  EXPECT_EQ(cases[5].index, 5u);
+}
+
+TEST(ScenarioSpecExpand, SingleCaseWhenNoGridIsDeclared) {
+  ScenarioSpec spec;
+  spec.set("name", "single").set("fanout", "poisson(4)");
+  const auto cases = spec.expand_cases();
+  ASSERT_EQ(cases.size(), 1u);
+  EXPECT_EQ(cases[0].label, "-");
+  EXPECT_TRUE(cases[0].bindings.empty());
+}
+
+TEST(ScenarioSpecExpand, RejectsUnknownVariablesAndMixedGrids) {
+  ScenarioSpec dangling;
+  dangling.set("name", "bad").set("fanout", "poisson($z)");
+  EXPECT_THROW((void)dangling.expand_cases(), std::invalid_argument);
+
+  ScenarioSpec mixed;
+  mixed.set("name", "mixed")
+      .set("fanout", "poisson($z)")
+      .add_axis("z", {"2"})
+      .add_case({{"z", "4"}});
+  EXPECT_THROW((void)mixed.expand_cases(), std::invalid_argument);
+}
+
+TEST(ScenarioSpecExpand, DoubleDollarEscapesLiteralDollar) {
+  ScenarioSpec spec;
+  spec.set("name", "escape")
+      .set("description", "cost per node: $$0.01 at z=$z")
+      .add_case({{"z", "4"}});
+  const auto cases = spec.expand_cases();
+  EXPECT_EQ(cases[0].fields.at("description"), "cost per node: $0.01 at z=4");
+}
+
+TEST(ScenarioSpecFormat, UnnamedSpecRoundTripsWithoutGainingAName) {
+  ScenarioSpec spec;
+  spec.set("n", "100").set("fanout", "poisson(4)");
+  EXPECT_FALSE(spec.has("name"));
+  EXPECT_EQ(spec.name(), "scenario");  // the default, not a stored field
+  const auto reparsed = ScenarioSpec::parse(spec.format());
+  EXPECT_EQ(spec, reparsed);
+}
+
+TEST(ScenarioSpecCompose, RejectsValuesTheTextFormatCannotRepresent) {
+  ScenarioSpec spec;
+  EXPECT_THROW(spec.set("description", "50% loss # worst case"),
+               std::invalid_argument);
+  EXPECT_THROW(spec.set("description", "two\nlines"), std::invalid_argument);
+  EXPECT_THROW(spec.add_axis("z", {"1", "2#3"}), std::invalid_argument);
+  EXPECT_THROW(spec.add_case({{"z", "4\r5"}}), std::invalid_argument);
+  EXPECT_THROW(spec.add_case({{"bad var", "4"}}), std::invalid_argument);
+  // 'case' is a reserved key in the text format.
+  EXPECT_THROW(spec.set("case", "z=1"), std::invalid_argument);
+}
+
+TEST(ScenarioSpecCompose, NormalizesWhitespaceLikeParse) {
+  // set() trims exactly as parse() does, so programmatic and parsed specs
+  // compare equal and parse(format()) stays exact.
+  ScenarioSpec spec;
+  spec.set(" n ", " 100 ");
+  EXPECT_EQ(spec.get("n"), "100");
+  EXPECT_EQ(spec, ScenarioSpec::parse(spec.format()));
+  EXPECT_THROW(spec.set("n", "   "), std::invalid_argument);
+}
+
+TEST(ScenarioSpecParse, RejectsEmptySweepValues) {
+  EXPECT_THROW((void)ScenarioSpec::parse("sweep.z = 1, 2,\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)ScenarioSpec::parse("sweep.z = 1,, 2\n"),
+               std::invalid_argument);
+  ScenarioSpec spec;
+  EXPECT_THROW(spec.add_axis("z", {"1", ""}), std::invalid_argument);
+}
+
+TEST(ScenarioSpecExpand, SubstitutesMultipleReferencesPerField) {
+  ScenarioSpec spec;
+  spec.set("name", "multi")
+      .set("failure", "midrun_crash(0.4, $lo, $hi)")
+      .add_case({{"lo", "1.0"}, {"hi", "2.0"}});
+  const auto cases = spec.expand_cases();
+  EXPECT_EQ(cases[0].fields.at("failure"), "midrun_crash(0.4, 1.0, 2.0)");
+}
+
+TEST(ScenarioSpecHelpers, SplitTopLevelRespectsParentheses) {
+  EXPECT_EQ(split_top_level("a, b(c, d), e", ','),
+            (std::vector<std::string>{"a", "b(c, d)", "e"}));
+  EXPECT_TRUE(split_top_level("   ", ',').empty());
+  EXPECT_EQ(split_top_level("x,", ',').size(), 2u);  // trailing empty piece
+}
+
+TEST(ScenarioSpecHelpers, StrictNumericParses) {
+  EXPECT_DOUBLE_EQ(to_double(" 2.5 ", "x"), 2.5);
+  EXPECT_EQ(to_u32("1000", "n"), 1000u);
+  EXPECT_EQ(to_u64("98765432100", "seed"), 98765432100ULL);
+  EXPECT_THROW((void)to_double("2.5abc", "x"), std::invalid_argument);
+  EXPECT_THROW((void)to_u32("-3", "n"), std::invalid_argument);
+  EXPECT_THROW((void)to_u32("5000000000", "n"), std::invalid_argument);
+  EXPECT_THROW((void)to_u64("abc", "seed"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gossip::scenario

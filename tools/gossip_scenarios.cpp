@@ -1,0 +1,91 @@
+/// gossip_scenarios — runs a declarative fault-injection scenario file
+/// through the scenario engine and emits the project's standard table/CSV
+/// formats. One spec file describes one experiment grid; see scenarios/ for
+/// worked examples and README.md ("Running scenarios") for the format.
+///
+///   gossip_scenarios <spec.scn> [--csv <path>] [--threads N] [--print-spec]
+///
+///   --csv <path>   CSV output path (default: results/<name>.csv)
+///   --threads N    worker threads; 0 = hardware concurrency (default 0).
+///                  Results are bit-identical for every choice.
+///   --print-spec   echo the parsed, normalized spec before running
+
+#include <iostream>
+#include <string>
+
+#include "experiment/csv.hpp"
+#include "parallel/thread_pool.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/spec.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: gossip_scenarios <spec.scn> [--csv <path>] "
+               "[--threads N] [--print-spec]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gossip;
+
+  std::string spec_path;
+  std::string csv_path;
+  std::size_t threads = 0;
+  bool print_spec = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--csv" && i + 1 < argc) {
+      csv_path = argv[++i];
+    } else if (arg == "--threads" && i + 1 < argc) {
+      try {
+        threads = static_cast<std::size_t>(
+            scenario::to_u64(argv[++i], "--threads"));
+      } catch (const std::exception& e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return usage();
+      }
+    } else if (arg == "--print-spec") {
+      print_spec = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else if (spec_path.empty()) {
+      spec_path = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (spec_path.empty()) return usage();
+
+  try {
+    const auto spec = scenario::ScenarioSpec::load(spec_path);
+    if (print_spec) std::cout << spec.format() << "\n";
+
+    const auto cases = spec.expand_cases();
+    std::cout << "=====================================================\n"
+              << "scenario " << spec.name() << " (" << cases.size()
+              << " case" << (cases.size() == 1 ? "" : "s") << ", "
+              << spec.get("repetitions", "20") << " repetitions each)\n";
+    if (spec.has("description")) {
+      std::cout << spec.get("description") << "\n";
+    }
+    std::cout << "=====================================================\n";
+
+    parallel::ThreadPool pool(threads);
+    scenario::ScenarioRunner runner(&pool);
+    const auto results = runner.run(spec);
+    scenario::print_results_table(std::cout, results);
+
+    if (csv_path.empty()) {
+      csv_path = experiment::csv_path_in("results", spec.name() + ".csv");
+    }
+    scenario::write_results_csv(csv_path, results);
+    std::cout << "\n[csv] " << csv_path << "\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
