@@ -1,0 +1,245 @@
+#include "membership/dynamics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "rng/distributions.hpp"
+
+namespace gossip::membership {
+
+namespace {
+
+/// Removes `value` from `list` preserving order (order is part of the
+/// deterministic trajectory); false if absent.
+bool erase_value(std::vector<NodeId>& list, NodeId value) {
+  const auto it = std::find(list.begin(), list.end(), value);
+  if (it == list.end()) return false;
+  list.erase(it);
+  return true;
+}
+
+bool contains(const std::vector<NodeId>& list, NodeId value) {
+  return std::find(list.begin(), list.end(), value) != list.end();
+}
+
+/// Component name with enough detail to reproduce the configuration: the
+/// hop budget is part of the name whenever it differs from the default.
+std::string scamp_churn_name(const ScampParams& params) {
+  std::string name = "scamp-churn(" + std::to_string(params.redundancy);
+  if (params.max_forward_hops != ScampParams{}.max_forward_hops) {
+    name += "," + std::to_string(params.max_forward_hops);
+  }
+  return name + ")";
+}
+
+class ScampDynamics final : public MembershipDynamics {
+ public:
+  ScampDynamics(ScampParams params, rng::RngStream& rng)
+      : params_(params),
+        out_(build_scamp_views(params, rng)),
+        in_(params.num_nodes),
+        present_(params.num_nodes, 1) {
+    for (NodeId u = 0; u < params_.num_nodes; ++u) {
+      for (const NodeId v : out_[u]) in_[v].push_back(u);
+    }
+  }
+
+  [[nodiscard]] std::string name() const override {
+    return scamp_churn_name(params_);
+  }
+
+  [[nodiscard]] std::uint32_t num_nodes() const override {
+    return params_.num_nodes;
+  }
+
+  [[nodiscard]] bool is_present(NodeId node) const override {
+    return present_.at(node) != 0;
+  }
+
+  [[nodiscard]] const std::vector<NodeId>& view_of(
+      NodeId owner) const override {
+    return out_.at(owner);
+  }
+
+  [[nodiscard]] std::vector<NodeId> select_targets(
+      NodeId owner, std::size_t k, rng::RngStream& rng) const override {
+    const auto& view = out_.at(owner);
+    const std::size_t v = view.size();
+    k = std::min(k, v);
+    if (k == 0) return {};
+    if (k == v) return view;
+    const auto picks = rng::sample_distinct(rng, k, v);
+    std::vector<NodeId> targets;
+    targets.reserve(k);
+    for (const auto idx : picks) targets.push_back(view[idx]);
+    return targets;
+  }
+
+  void join(NodeId node, rng::RngStream& rng) override {
+    if (present_.at(node)) return;
+    present_[node] = 1;
+    const NodeId contact = random_present_peer(node, rng);
+    if (contact == node) return;  // nobody else present; views stay empty
+    add_arc(node, contact);
+    subscribe(node, contact, rng);
+  }
+
+  void leave(NodeId node, rng::RngStream& rng) override {
+    (void)rng;  // repair is deterministic given the leaver's current arcs
+    if (!present_.at(node)) return;
+    present_[node] = 0;
+
+    // The leaver's out-view is the replacement pool its in-neighbors are
+    // pointed at (SCAMP unsubscription: "replace me with my contacts").
+    const std::vector<NodeId> pool = out_[node];
+    for (const NodeId w : out_[node]) erase_value(in_[w], node);
+    out_[node].clear();
+
+    const std::vector<NodeId> in_nbrs = in_[node];
+    in_[node].clear();
+    // Of j in-arcs, j - c - 1 are replaced and c + 1 simply lapse, so the
+    // group's total arity shrinks by the leaver's fair share.
+    const std::size_t replaced =
+        in_nbrs.size() > params_.redundancy + 1
+            ? in_nbrs.size() - params_.redundancy - 1
+            : 0;
+    std::size_t cursor = 0;
+    for (std::size_t i = 0; i < in_nbrs.size(); ++i) {
+      const NodeId u = in_nbrs[i];
+      erase_value(out_[u], node);
+      if (i >= replaced || pool.empty()) continue;
+      for (std::size_t tries = 0; tries < pool.size(); ++tries) {
+        const NodeId r = pool[(cursor + tries) % pool.size()];
+        if (r != u && present_[r] && !contains(out_[u], r)) {
+          add_arc(u, r);
+          cursor = (cursor + tries + 1) % pool.size();
+          break;
+        }
+      }
+    }
+  }
+
+  void expire_lease(NodeId node, rng::RngStream& rng) override {
+    if (!present_.at(node)) return;
+    // In-arcs lapse unreplaced: holders stopped refreshing this
+    // subscription, and the fresh walk below re-balances where it lands.
+    for (const NodeId u : in_[node]) erase_value(out_[u], node);
+    in_[node].clear();
+
+    NodeId contact = node;
+    if (!out_[node].empty()) {
+      contact = out_[node][static_cast<std::size_t>(
+          rng.next_below(out_[node].size()))];
+    } else {
+      contact = random_present_peer(node, rng);
+      if (contact == node) return;
+      add_arc(node, contact);
+    }
+    subscribe(node, contact, rng);
+  }
+
+ private:
+  /// Uniform present peer != node, or `node` itself when none exists.
+  [[nodiscard]] NodeId random_present_peer(NodeId node, rng::RngStream& rng) {
+    std::vector<NodeId> candidates;
+    candidates.reserve(params_.num_nodes);
+    for (NodeId v = 0; v < params_.num_nodes; ++v) {
+      if (v != node && present_[v]) candidates.push_back(v);
+    }
+    if (candidates.empty()) return node;
+    return candidates[static_cast<std::size_t>(
+        rng.next_below(candidates.size()))];
+  }
+
+  /// True if the arc was new. Maintains the in-neighbor index.
+  bool add_arc(NodeId from, NodeId to) {
+    if (from == to || contains(out_[from], to)) return false;
+    out_[from].push_back(to);
+    in_[to].push_back(from);
+    return true;
+  }
+
+  /// One subscription copy for `subscriber`, starting at `holder`: keep
+  /// with probability 1/(1 + view size), else forward to a random view
+  /// member; forced placement once the hop budget runs out (scamp.cpp's
+  /// totality rule).
+  void place_copy(NodeId subscriber, NodeId holder, rng::RngStream& rng) {
+    NodeId current = holder;
+    for (std::uint32_t hop = 0; hop < params_.max_forward_hops; ++hop) {
+      if (current != subscriber) {
+        const double keep =
+            1.0 / (1.0 + static_cast<double>(out_[current].size()));
+        if (rng.bernoulli(keep) && add_arc(current, subscriber)) return;
+      }
+      if (out_[current].empty()) break;
+      current = out_[current][static_cast<std::size_t>(
+          rng.next_below(out_[current].size()))];
+    }
+    if (current != subscriber) {
+      add_arc(current, subscriber);
+    } else if (holder != subscriber) {
+      add_arc(holder, subscriber);
+    } else {
+      // The walk dead-ended at the subscriber itself (reachable when the
+      // contact's view contains it, e.g. on a lease renewal). Force
+      // placement at the next present member — build_scamp_views' totality
+      // rule — instead of silently dropping the copy.
+      for (NodeId offset = 1; offset < params_.num_nodes; ++offset) {
+        const NodeId w = (subscriber + offset) % params_.num_nodes;
+        if (!present_[w]) continue;
+        add_arc(w, subscriber);
+        break;
+      }
+    }
+  }
+
+  /// SCAMP subscription fan-out through `contact` for a join or a lease
+  /// renewal: one copy per current view member of the contact, plus the
+  /// redundancy copies, plus the contact's own keep draw.
+  void subscribe(NodeId node, NodeId contact, rng::RngStream& rng) {
+    const std::vector<NodeId> snapshot = out_[contact];
+    for (const NodeId holder : snapshot) place_copy(node, holder, rng);
+    for (std::uint32_t c = 0; c < params_.redundancy; ++c) {
+      place_copy(node, contact, rng);
+    }
+    const double keep =
+        1.0 / (1.0 + static_cast<double>(out_[contact].size()));
+    if (rng.bernoulli(keep)) add_arc(contact, node);
+  }
+
+  ScampParams params_;
+  std::vector<std::vector<NodeId>> out_;
+  std::vector<std::vector<NodeId>> in_;
+  std::vector<std::uint8_t> present_;
+};
+
+class ScampDynamicsFactory final : public MembershipDynamicsFactory {
+ public:
+  explicit ScampDynamicsFactory(ScampParams params) : params_(params) {
+    if (params_.num_nodes < 2) {
+      throw std::invalid_argument(
+          "scamp_dynamics_factory requires >= 2 nodes");
+    }
+  }
+
+  [[nodiscard]] MembershipDynamicsPtr create(
+      rng::RngStream rng) const override {
+    return std::make_unique<ScampDynamics>(params_, rng);
+  }
+
+  [[nodiscard]] std::string name() const override {
+    return scamp_churn_name(params_);
+  }
+
+ private:
+  ScampParams params_;
+};
+
+}  // namespace
+
+MembershipDynamicsFactoryPtr scamp_dynamics_factory(ScampParams params) {
+  return std::make_shared<ScampDynamicsFactory>(params);
+}
+
+}  // namespace gossip::membership

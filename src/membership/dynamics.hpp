@@ -1,0 +1,90 @@
+#pragma once
+
+/// \file dynamics.hpp
+/// Live membership: the evolving counterpart of MembershipProvider. The
+/// static providers in view.hpp hand the protocol a snapshot frozen before
+/// dissemination starts; a MembershipDynamics object instead *is* the view
+/// table, mutated by join/leave/lease-expiry events while gossip rounds
+/// read it — so target selection always draws from the membership as it
+/// exists at that virtual time, which is the regime where the paper's
+/// fault-tolerance predictions and a deployed system actually meet.
+///
+/// Executions own their dynamics instance (views mutate per run), so the
+/// protocol receives a *factory* and builds one instance per execution from
+/// a dedicated RNG substream. All mutation entry points take the caller's
+/// stream explicitly: invoked in deterministic DES order, the whole
+/// membership trajectory is reproducible bit for bit.
+
+#include <memory>
+
+#include "membership/scamp.hpp"
+#include "membership/view.hpp"
+
+namespace gossip::membership {
+
+/// A mutable membership substrate. NodeIds are stable for the lifetime of
+/// the instance; nodes toggle between present (subscribed) and absent.
+class MembershipDynamics {
+ public:
+  virtual ~MembershipDynamics() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual std::uint32_t num_nodes() const = 0;
+  [[nodiscard]] virtual bool is_present(NodeId node) const = 0;
+
+  /// Current out-view of `owner` (peers it would gossip to). Absent owners
+  /// have empty views.
+  [[nodiscard]] virtual const std::vector<NodeId>& view_of(
+      NodeId owner) const = 0;
+
+  /// Draws up to `k` distinct targets uniformly from owner's CURRENT view;
+  /// the whole view when k exceeds its size. Never returns the owner.
+  [[nodiscard]] virtual std::vector<NodeId> select_targets(
+      NodeId owner, std::size_t k, rng::RngStream& rng) const = 0;
+
+  /// Node (re)subscribes through a uniformly random present contact.
+  virtual void join(NodeId node, rng::RngStream& rng) = 0;
+
+  /// Node leaves (or its failure is detected): every in-neighbor drops the
+  /// arc, and the protocol's repair rule replaces most dropped arcs with
+  /// members of the leaver's own view so arity is preserved.
+  virtual void leave(NodeId node, rng::RngStream& rng) = 0;
+
+  /// Node's subscription lease expires: its in-arcs lapse and it
+  /// re-subscribes, rebalancing in-degrees accumulated under churn.
+  virtual void expire_lease(NodeId node, rng::RngStream& rng) = 0;
+};
+
+using MembershipDynamicsPtr = std::unique_ptr<MembershipDynamics>;
+
+/// Builds one per-execution dynamics instance. Factories are immutable and
+/// shared across replications; `rng` seeds the initial view construction.
+class MembershipDynamicsFactory {
+ public:
+  virtual ~MembershipDynamicsFactory() = default;
+  [[nodiscard]] virtual MembershipDynamicsPtr create(
+      rng::RngStream rng) const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+using MembershipDynamicsFactoryPtr =
+    std::shared_ptr<const MembershipDynamicsFactory>;
+
+/// SCAMP lifecycle dynamics (Ganesh, Kermarrec, Massoulié): initial views
+/// from the subscription process in scamp.hpp, then
+///   join   — subscription walk via a random present contact (the contact
+///            forwards the subscription to its view plus `redundancy`
+///            extra copies; each holder keeps with probability
+///            1/(1 + view size), else forwards on),
+///   leave  — unsubscription repair: of the leaver's j in-arcs,
+///            j - redundancy - 1 are replaced by arcs to members of the
+///            leaver's out-view, the rest lapse (SCAMP's size-decrease
+///            rule),
+///   lease  — in-arcs lapse and the node re-subscribes through a member of
+///            its own view.
+/// Views therefore keep mean size ~ (redundancy + 1) ln n under churn,
+/// which is the invariant the dynamics tests pin.
+[[nodiscard]] MembershipDynamicsFactoryPtr scamp_dynamics_factory(
+    ScampParams params);
+
+}  // namespace gossip::membership

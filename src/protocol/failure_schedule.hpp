@@ -50,6 +50,16 @@ struct FailureContext {
   /// to exactly f targets instead of sampling. Lets degree-targeted
   /// schedules decide degrees and failures consistently.
   std::function<void(net::NodeId, std::int64_t)> pin_fanout;
+
+  /// Expires member v's membership lease: under live membership dynamics
+  /// the member re-subscribes (SCAMP lease renewal); a no-op on executions
+  /// running over a static view snapshot.
+  std::function<void(net::NodeId)> expire_lease;
+
+  /// Messages member v has forwarded so far in this execution. Lets
+  /// adaptive schedules (kill_hottest_forwarder) target the members
+  /// currently carrying the dissemination.
+  std::function<std::uint64_t(net::NodeId)> forwards_sent;
 };
 
 class FailureSchedule {

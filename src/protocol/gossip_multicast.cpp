@@ -1,6 +1,7 @@
 #include "protocol/gossip_multicast.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "membership/full_view.hpp"
@@ -29,26 +30,70 @@ void validate(const GossipParams& params) {
     throw std::invalid_argument(
         "gossip requires midrun_crash_fraction in [0, 1]");
   }
+  if (params.membership != nullptr && params.dynamics != nullptr) {
+    throw std::invalid_argument(
+        "gossip takes a static membership view or live dynamics, not both");
+  }
 }
 
-/// One execution of Fig. 1 over the DES. Owns all per-run state.
+void validate_workload(const WorkloadParams& workload) {
+  if (workload.num_messages == 0) {
+    throw std::invalid_argument("workload requires >= 1 message");
+  }
+  if (!(workload.spacing >= 0.0) || !std::isfinite(workload.spacing)) {
+    throw std::invalid_argument("workload spacing must be finite and >= 0");
+  }
+}
+
+/// One execution of Fig. 1 over the DES, generalized to a workload of
+/// overlapping messages sharing the clock, the failure schedule, and (when
+/// configured) the live membership. Owns all per-run state.
 class Session {
  public:
-  Session(const GossipParams& params, std::vector<std::uint8_t> alive,
-          rng::RngStream rng)
+  Session(const GossipParams& params, const WorkloadParams& workload,
+          std::vector<std::uint8_t> alive, rng::RngStream rng)
       : params_(params),
+        workload_(workload),
         alive_(std::move(alive)),
         rng_(rng),
+        membership_rng_(rng.substream(0x6d656d62)),  // "memb"
         network_(simulator_,
                  net::NetworkParams{params.latency, params.loss_probability},
                  rng.substream(0x6e657477)) {
-    membership_ = params_.membership
-                      ? params_.membership
-                      : membership::full_membership(params_.num_nodes);
-    seen_.assign(params_.num_nodes, 0);
-    pinned_fanout_.assign(params_.num_nodes, -1);
-    slots_.reserve(params_.num_nodes);
-    for (NodeId v = 0; v < params_.num_nodes; ++v) {
+    const std::uint32_t n = params_.num_nodes;
+    const std::uint32_t w = workload_.num_messages;
+    if (params_.dynamics) {
+      // Per-execution evolving views on a dedicated substream; members dead
+      // from the start have already been repaired around.
+      auto build_rng = rng.substream(0x64796e73);  // "dyns"
+      dynamics_ = params_.dynamics->create(build_rng);
+      for (NodeId v = 0; v < n; ++v) {
+        if (!alive_[v]) dynamics_->leave(v, membership_rng_);
+      }
+    } else {
+      membership_ = params_.membership
+                        ? params_.membership
+                        : membership::full_membership(n);
+    }
+    seen_.assign(static_cast<std::size_t>(w) * n, 0);
+    receipt_time_.assign(static_cast<std::size_t>(w) * n, 0.0);
+    last_receipt_.assign(w, 0.0);
+    injected_.assign(w, 0);
+    sources_.resize(w);
+    for (std::uint32_t j = 0; j < w; ++j) {
+      // Spread sources stride evenly around the id space; message 0 always
+      // originates at the configured (crash-immune) source.
+      sources_[j] = workload_.spread_sources
+                        ? static_cast<NodeId>(
+                              (params_.source +
+                               static_cast<std::uint64_t>(j) * n / w) %
+                              n)
+                        : params_.source;
+    }
+    forwards_.assign(n, 0);
+    pinned_fanout_.assign(n, -1);
+    slots_.reserve(n);
+    for (NodeId v = 0; v < n; ++v) {
       slots_.emplace_back(this, v);
     }
     for (auto& slot : slots_) {
@@ -56,13 +101,99 @@ class Session {
       (void)id;
     }
     if (params_.crash_case == CrashCase::kBeforeReceive) {
-      for (NodeId v = 0; v < params_.num_nodes; ++v) {
+      for (NodeId v = 0; v < n; ++v) {
         if (!alive_[v]) network_.set_down(v, true);
       }
     }
   }
 
-  ExecutionResult run() {
+  ExecutionResult run_single() {
+    execute();
+    ExecutionResult result;
+    result.num_nodes = params_.num_nodes;
+    result.alive = alive_;
+    result.received.assign(seen_.begin(),
+                           seen_.begin() + params_.num_nodes);
+    for (NodeId v = 0; v < params_.num_nodes; ++v) {
+      if (alive_[v]) {
+        ++result.nonfailed_count;
+        if (seen_[v]) ++result.nonfailed_received;
+      }
+    }
+    result.reliability = static_cast<double>(result.nonfailed_received) /
+                         static_cast<double>(result.nonfailed_count);
+    result.success = result.nonfailed_received == result.nonfailed_count;
+    result.messages_sent = network_.counters().sent;
+    result.duplicate_receipts = duplicates_;
+    result.completion_time = last_receipt_time_;
+    result.midrun_crashes = midrun_crashes_;
+    return result;
+  }
+
+  WorkloadResult run_workload() {
+    execute();
+    const std::uint32_t n = params_.num_nodes;
+    WorkloadResult result;
+    result.num_nodes = n;
+    for (NodeId v = 0; v < n; ++v) {
+      if (alive_[v]) ++result.nonfailed_count;
+    }
+    result.messages.reserve(workload_.num_messages);
+    result.all_success = true;
+    for (std::uint32_t j = 0; j < workload_.num_messages; ++j) {
+      MessageStats stats;
+      stats.id = j + 1;
+      stats.source = sources_[j];
+      stats.inject_time = inject_time(j);
+      stats.injected = injected_[j] != 0;
+      stats.alive_count = result.nonfailed_count;
+      double latency_sum = 0.0;
+      for (NodeId v = 0; v < n; ++v) {
+        if (!alive_[v] || !seen_[flat(j, v)]) continue;
+        ++stats.delivered;
+        latency_sum += receipt_time_[flat(j, v)] - stats.inject_time;
+      }
+      stats.reliability = static_cast<double>(stats.delivered) /
+                          static_cast<double>(stats.alive_count);
+      stats.success = stats.delivered == stats.alive_count;
+      stats.completion_time = last_receipt_[j];
+      stats.mean_latency =
+          stats.delivered == 0
+              ? 0.0
+              : latency_sum / static_cast<double>(stats.delivered);
+      result.mean_reliability += stats.reliability;
+      result.all_success = result.all_success && stats.success;
+      result.messages.push_back(stats);
+    }
+    result.mean_reliability /=
+        static_cast<double>(workload_.num_messages);
+    result.messages_sent = network_.counters().sent;
+    result.duplicate_receipts = duplicates_;
+    result.midrun_crashes = midrun_crashes_;
+    result.completion_time = last_receipt_time_;
+    return result;
+  }
+
+ private:
+  struct NodeSlot final : net::NodeHandler {
+    NodeSlot(Session* owning_session, NodeId node_id)
+        : session(owning_session), self(node_id) {}
+    Session* session;
+    NodeId self;
+    void on_message(NodeId from, const net::Message& message) override {
+      session->handle(self, from, message);
+    }
+  };
+
+  [[nodiscard]] std::size_t flat(std::uint32_t msg, NodeId v) const {
+    return static_cast<std::size_t>(msg) * params_.num_nodes + v;
+  }
+
+  [[nodiscard]] double inject_time(std::uint32_t msg) const {
+    return static_cast<double>(msg) * workload_.spacing;
+  }
+
+  void execute() {
     // Declarative fault injection runs first, on its own substream: the
     // schedule may crash members statically, plant timed churn actions, pin
     // fanouts, or install a loss filter, and none of it shifts the draws of
@@ -89,6 +220,12 @@ class Session {
         }
         pinned_fanout_.at(v) = f;
       };
+      context.expire_lease = [this](NodeId v) {
+        if (dynamics_ && alive_.at(v)) {
+          dynamics_->expire_lease(v, membership_rng_);
+        }
+      };
+      context.forwards_sent = [this](NodeId v) { return forwards_.at(v); };
       auto schedule_rng = rng_.substream(0x6661696cULL);  // "fail"
       params_.failure->apply(context, schedule_rng);
     }
@@ -110,50 +247,31 @@ class Session {
           alive_[v] = 0;
           ++midrun_crashes_;
           network_.set_down(v, true);
+          if (dynamics_) dynamics_->leave(v, membership_rng_);
         });
       }
     }
 
-    const net::Message m{/*id=*/1, /*origin=*/params_.source, /*hops=*/0};
-    simulator_.schedule_at(0.0, [this, m] {
-      handle(params_.source, params_.source, m);
-    });
+    for (std::uint32_t j = 0; j < workload_.num_messages; ++j) {
+      simulator_.schedule_at(inject_time(j), [this, j] { inject(j); });
+    }
     running_ = true;  // liveness transitions from here on count as mid-run
     simulator_.run();
-
-    ExecutionResult result;
-    result.num_nodes = params_.num_nodes;
-    result.alive = alive_;
-    result.received = seen_;
-    for (NodeId v = 0; v < params_.num_nodes; ++v) {
-      if (alive_[v]) {
-        ++result.nonfailed_count;
-        if (seen_[v]) ++result.nonfailed_received;
-      }
-    }
-    result.reliability = static_cast<double>(result.nonfailed_received) /
-                         static_cast<double>(result.nonfailed_count);
-    result.success = result.nonfailed_received == result.nonfailed_count;
-    result.messages_sent = network_.counters().sent;
-    result.duplicate_receipts = duplicates_;
-    result.completion_time = last_receipt_time_;
-    result.midrun_crashes = midrun_crashes_;
-    return result;
   }
 
- private:
-  struct NodeSlot final : net::NodeHandler {
-    NodeSlot(Session* owning_session, NodeId node_id)
-        : session(owning_session), self(node_id) {}
-    Session* session;
-    NodeId self;
-    void on_message(NodeId from, const net::Message& message) override {
-      session->handle(self, from, message);
-    }
-  };
+  void inject(std::uint32_t msg) {
+    const NodeId source = sources_[msg];
+    // A spread source that died before its injection slot loses the
+    // message outright; the crash-immune params_.source always injects.
+    if (!alive_[source]) return;
+    injected_[msg] = 1;
+    const net::Message m{/*id=*/msg + 1, /*origin=*/source, /*hops=*/0};
+    handle(source, source, m);
+  }
 
-  /// Crash/revival entry point for FailureSchedules: flips liveness and the
-  /// network's fail-stop flag together. The source is immune (Section 3).
+  /// Crash/revival entry point for FailureSchedules: flips liveness, the
+  /// network's fail-stop flag, and (under live dynamics) the membership
+  /// repair together. The source is immune (Section 3).
   void set_alive(NodeId v, bool alive) {
     if (v == params_.source) return;
     const bool was_alive = alive_.at(v) != 0;
@@ -161,15 +279,25 @@ class Session {
     alive_[v] = alive ? 1 : 0;
     network_.set_down(v, !alive);
     if (!alive && running_) ++midrun_crashes_;
+    if (dynamics_) {
+      if (alive) {
+        dynamics_->join(v, membership_rng_);
+      } else {
+        dynamics_->leave(v, membership_rng_);
+      }
+    }
   }
 
   void handle(NodeId self, NodeId /*from*/, const net::Message& message) {
+    const auto msg = static_cast<std::uint32_t>(message.id - 1);
     last_receipt_time_ = simulator_.now();
-    if (seen_[self]) {
+    last_receipt_[msg] = simulator_.now();
+    if (seen_[flat(msg, self)]) {
       ++duplicates_;
       return;  // Fig. 1: duplicates are discarded immediately
     }
-    seen_[self] = 1;
+    seen_[flat(msg, self)] = 1;
+    receipt_time_[flat(msg, self)] = simulator_.now();
     // Crash case B: the member received m but crashed before forwarding.
     // (Case A never reaches here for crashed members: the network dropped
     // the delivery.) Either way a crashed member draws no fanout, so both
@@ -181,9 +309,13 @@ class Session {
     const std::int64_t fanout =
         pinned >= 0 ? pinned : params_.fanout->sample(rng_);
     if (fanout <= 0) return;
-    const auto view = membership_->view_for(self);
     const auto targets =
-        view->select_targets(static_cast<std::size_t>(fanout), rng_);
+        dynamics_
+            ? dynamics_->select_targets(
+                  self, static_cast<std::size_t>(fanout), rng_)
+            : membership_->view_for(self)->select_targets(
+                  static_cast<std::size_t>(fanout), rng_);
+    forwards_[self] += targets.size();
     net::Message forwarded = message;
     forwarded.hops = message.hops + 1;
     for (const NodeId t : targets) {
@@ -192,12 +324,20 @@ class Session {
   }
 
   GossipParams params_;
+  WorkloadParams workload_;
   std::vector<std::uint8_t> alive_;
   rng::RngStream rng_;
+  rng::RngStream membership_rng_;  ///< Drives all membership repair draws.
   sim::Simulator simulator_;
   net::Network network_;
-  membership::MembershipProviderPtr membership_;
-  std::vector<std::uint8_t> seen_;
+  membership::MembershipProviderPtr membership_;  ///< Static-view mode.
+  membership::MembershipDynamicsPtr dynamics_;    ///< Live-view mode.
+  std::vector<std::uint8_t> seen_;        ///< [msg * n + v] receipt flags.
+  std::vector<double> receipt_time_;      ///< First-receipt times, same shape.
+  std::vector<double> last_receipt_;      ///< Per-message last receipt.
+  std::vector<std::uint8_t> injected_;
+  std::vector<NodeId> sources_;
+  std::vector<std::uint64_t> forwards_;   ///< Messages forwarded per member.
   std::vector<std::int64_t> pinned_fanout_;  ///< -1 = draw from P as usual.
   std::vector<NodeSlot> slots_;
   std::uint64_t duplicates_ = 0;
@@ -240,8 +380,19 @@ ExecutionResult run_gossip_once(const GossipParams& params,
   if (!alive[params.source]) {
     throw std::invalid_argument("the source member must be alive");
   }
-  Session session(params, alive, rng.substream(rng()));
-  return session.run();
+  Session session(params, WorkloadParams{}, alive, rng.substream(rng()));
+  return session.run_single();
+}
+
+WorkloadResult run_gossip_workload(const GossipParams& params,
+                                   const WorkloadParams& workload,
+                                   rng::RngStream& rng) {
+  validate(params);
+  validate_workload(workload);
+  auto alive = draw_alive_mask(params.num_nodes, params.source,
+                               params.nonfailed_ratio, rng);
+  Session session(params, workload, alive, rng.substream(rng()));
+  return session.run_workload();
 }
 
 }  // namespace gossip::protocol

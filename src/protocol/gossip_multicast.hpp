@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/degree_distribution.hpp"
+#include "membership/dynamics.hpp"
 #include "membership/view.hpp"
 #include "net/latency.hpp"
 #include "net/message.hpp"
@@ -46,6 +47,13 @@ struct GossipParams {
   core::DegreeDistributionPtr fanout;
   /// Membership views; defaults to the idealized full view.
   membership::MembershipProviderPtr membership;
+  /// Live membership (extension): when set, every execution builds its own
+  /// evolving view table from this factory, per-round target selection
+  /// reads that table as of the current virtual time, and liveness
+  /// transitions drive the protocol's repair (crash -> leave with
+  /// unsubscription repair, revival -> fresh join, lease expiry ->
+  /// re-subscription). Mutually exclusive with `membership`.
+  membership::MembershipDynamicsFactoryPtr dynamics;
   /// Message latency; defaults to Constant(1).
   net::LatencyModelPtr latency;
   /// Per-message loss probability (0 in the paper's model).
@@ -89,6 +97,62 @@ struct ExecutionResult {
   /// Members that crashed during the run (0 unless midrun crashes enabled).
   std::uint32_t midrun_crashes = 0;
 };
+
+// ---- Multi-message workloads (extension) -------------------------------
+//
+// The paper analyzes one multicast in isolation; a workload runs N
+// overlapping multicasts through ONE simulator session, so every message
+// shares the same churn trace, the same failure schedule, and the same
+// evolving membership — the co-simulation regime where per-message
+// reliability depends on where the message lands inside the churn.
+
+struct WorkloadParams {
+  /// Number of multicasts; message j (0-based) is injected at j * spacing.
+  std::uint32_t num_messages = 1;
+  /// Virtual-time gap between consecutive injections (>= 0).
+  double spacing = 1.0;
+  /// false: every message originates at params.source (which never fails).
+  /// true: sources round-robin across the group; a message whose source is
+  /// dead at injection time is lost outright — a real cost of churn.
+  bool spread_sources = false;
+};
+
+/// Per-message outcome of a workload execution. Delivery is counted over
+/// the members alive at the END of the execution, matching the paper's
+/// non-failed-member reliability metric.
+struct MessageStats {
+  std::uint32_t id = 0;        ///< 1-based message id.
+  NodeId source = 0;
+  double inject_time = 0.0;
+  bool injected = false;       ///< Source was alive at inject time.
+  std::uint32_t delivered = 0; ///< Alive-at-end members that received it.
+  std::uint32_t alive_count = 0;
+  double reliability = 0.0;    ///< delivered / alive_count.
+  bool success = false;        ///< Every alive-at-end member received it.
+  double completion_time = 0.0;  ///< Absolute time of the last receipt.
+  /// Mean first-receipt latency (receipt - inject) over the delivered
+  /// alive-at-end members; 0 when none were delivered.
+  double mean_latency = 0.0;
+};
+
+struct WorkloadResult {
+  std::uint32_t num_nodes = 0;
+  std::uint32_t nonfailed_count = 0;  ///< Members alive at the end.
+  std::vector<MessageStats> messages;
+  double mean_reliability = 0.0;  ///< Mean of per-message reliabilities.
+  bool all_success = false;
+  std::uint64_t messages_sent = 0;
+  std::uint64_t duplicate_receipts = 0;
+  std::uint32_t midrun_crashes = 0;
+  double completion_time = 0.0;  ///< Last receipt across all messages.
+};
+
+/// Runs one workload execution. With num_messages == 1, fixed sources, and
+/// no dynamics this consumes exactly the randomness of run_gossip_once —
+/// the single-message protocol is the degenerate workload.
+[[nodiscard]] WorkloadResult run_gossip_workload(
+    const GossipParams& params, const WorkloadParams& workload,
+    rng::RngStream& rng);
 
 /// Runs one execution, drawing the alive mask from params.nonfailed_ratio.
 [[nodiscard]] ExecutionResult run_gossip_once(const GossipParams& params,

@@ -40,8 +40,12 @@ class ChurnSchedule final : public FailureSchedule {
     std::string out = "churn(";
     for (std::size_t i = 0; i < events_.size(); ++i) {
       if (i > 0) out += ',';
-      out += (events_[i].join ? "join@" : "crash@") +
-             format_compact(events_[i].time) + ":" +
+      switch (events_[i].kind) {
+        case ChurnKind::kCrash: out += "crash@"; break;
+        case ChurnKind::kJoin: out += "join@"; break;
+        case ChurnKind::kLease: out += "lease@"; break;
+      }
+      out += format_compact(events_[i].time) + ":" +
              format_compact(events_[i].fraction);
     }
     return out + ")";
@@ -56,15 +60,27 @@ class ChurnSchedule final : public FailureSchedule {
       auto child = rng.substream(i);
       auto is_alive = context.is_alive;
       auto set_alive = context.set_alive;
+      auto expire_lease = context.expire_lease;
       const auto num_nodes = context.num_nodes;
       const auto source = context.source;
       context.schedule_action(
-          event.time, [event, child, is_alive, set_alive, num_nodes,
-                       source]() mutable {
+          event.time, [event, child, is_alive, set_alive, expire_lease,
+                       num_nodes, source]() mutable {
             for (net::NodeId v = 0; v < num_nodes; ++v) {
               if (v == source) continue;
-              if (is_alive(v) != event.join && child.bernoulli(event.fraction)) {
-                set_alive(v, event.join);
+              if (event.kind == ChurnKind::kLease) {
+                // Lease candidates are the live members; the hook is a
+                // no-op on static-view executions, but the draw happens
+                // either way so static and live runs see the same trace.
+                if (is_alive(v) && child.bernoulli(event.fraction) &&
+                    expire_lease) {
+                  expire_lease(v);
+                }
+                continue;
+              }
+              const bool join = event.kind == ChurnKind::kJoin;
+              if (is_alive(v) != join && child.bernoulli(event.fraction)) {
+                set_alive(v, join);
               }
             }
           });
@@ -121,6 +137,61 @@ class TargetedKillSchedule final : public FailureSchedule {
  private:
   double fraction_;
   TargetedMode mode_;
+};
+
+class HottestForwarderKillSchedule final : public FailureSchedule {
+ public:
+  HottestForwarderKillSchedule(double fraction, double at)
+      : fraction_(fraction), at_(at) {
+    require_probability(fraction, "hottest-forwarder kill fraction");
+    if (!(at >= 0.0)) {
+      throw std::invalid_argument(
+          "hottest-forwarder kill time must be >= 0");
+    }
+  }
+
+  [[nodiscard]] std::string name() const override {
+    return "kill_hottest_forwarder(" + format_compact(fraction_) + "," +
+           format_compact(at_) + ")";
+  }
+
+  void apply(FailureContext& context, rng::RngStream& rng) const override {
+    (void)rng;  // fully determined by the observed forwarding counts
+    if (!context.forwards_sent) {
+      throw std::invalid_argument(
+          "kill_hottest_forwarder needs the execution's forwarding counts");
+    }
+    auto is_alive = context.is_alive;
+    auto set_alive = context.set_alive;
+    auto forwards_sent = context.forwards_sent;
+    const auto num_nodes = context.num_nodes;
+    const auto source = context.source;
+    const double fraction = fraction_;
+    context.schedule_action(at_, [is_alive, set_alive, forwards_sent,
+                                  num_nodes, source, fraction] {
+      std::vector<net::NodeId> candidates;
+      candidates.reserve(num_nodes);
+      for (net::NodeId v = 0; v < num_nodes; ++v) {
+        if (v != source && is_alive(v)) candidates.push_back(v);
+      }
+      std::sort(candidates.begin(), candidates.end(),
+                [&](net::NodeId a, net::NodeId b) {
+                  const auto fa = forwards_sent(a);
+                  const auto fb = forwards_sent(b);
+                  if (fa != fb) return fa > fb;
+                  return a < b;
+                });
+      const auto kills = static_cast<std::size_t>(
+          std::llround(fraction * static_cast<double>(candidates.size())));
+      for (std::size_t i = 0; i < kills && i < candidates.size(); ++i) {
+        set_alive(candidates[i], false);
+      }
+    });
+  }
+
+ private:
+  double fraction_;
+  double at_;
 };
 
 class BurstyLossSchedule final : public FailureSchedule {
@@ -206,6 +277,11 @@ protocol::FailureSchedulePtr churn_schedule(std::vector<ChurnEvent> events) {
 protocol::FailureSchedulePtr targeted_kill_schedule(double fraction,
                                                     TargetedMode mode) {
   return std::make_shared<TargetedKillSchedule>(fraction, mode);
+}
+
+protocol::FailureSchedulePtr hottest_forwarder_kill_schedule(double fraction,
+                                                             double at) {
+  return std::make_shared<HottestForwarderKillSchedule>(fraction, at);
 }
 
 protocol::FailureSchedulePtr bursty_loss_schedule(BurstyLossParams params) {

@@ -16,17 +16,27 @@
 
 namespace gossip::scenario {
 
-/// One timed liveness transition applied to a random share of candidates.
+/// What a churn event does to each selected candidate.
+enum class ChurnKind {
+  kCrash,  ///< Crash alive non-source members.
+  kJoin,   ///< Revive dead members.
+  kLease,  ///< Expire alive members' membership leases (re-subscription
+           ///< under live dynamics; a no-op over a static view snapshot).
+};
+
+/// One timed membership-lifecycle transition applied to a random share of
+/// candidates.
 struct ChurnEvent {
   double time = 0.0;      ///< Virtual time of the event (>= 0).
-  bool join = false;      ///< false: crash alive members; true: revive dead.
+  ChurnKind kind = ChurnKind::kCrash;
   double fraction = 0.0;  ///< Independent per-candidate probability, [0, 1].
 };
 
-/// Crash/join trace over the dissemination. At each event time, every
-/// candidate (alive non-source member for a crash, dead member for a join)
-/// independently transitions with the event's probability. Rejoined members
-/// count as non-failed for the reliability metric — the real cost of churn.
+/// Crash/join/lease trace over the dissemination. At each event time, every
+/// candidate (alive non-source member for a crash or lease expiry, dead
+/// member for a join) independently transitions with the event's
+/// probability. Rejoined members count as non-failed for the reliability
+/// metric — the real cost of churn.
 [[nodiscard]] protocol::FailureSchedulePtr churn_schedule(
     std::vector<ChurnEvent> events);
 
@@ -51,6 +61,15 @@ struct BurstyLossParams {
   double base_loss = 0.0;     ///< Drop probability on afflicted links
                               ///< outside the window, [0, 1].
 };
+
+/// Adaptive adversary: at virtual time `at`, kill the `fraction` of alive
+/// non-source members that have forwarded the MOST messages so far (ties
+/// break toward lower node ids). Where targeted(frac, hubs) attacks the
+/// degree distribution a priori, this attacks the realized dissemination —
+/// the members currently carrying the spreading — so it composes with any
+/// fanout family and with live membership repair.
+[[nodiscard]] protocol::FailureSchedulePtr hottest_forwarder_kill_schedule(
+    double fraction, double at);
 
 /// Per-link bursty loss: a pseudorandom `link_fraction` of directed links
 /// (chosen by hashing the link id with a per-execution salt) drop messages

@@ -38,9 +38,12 @@ class Registry {
         if (!known.empty()) known += ", ";
         known += name;
       }
-      throw std::invalid_argument("unknown " + kind_ + " component '" +
-                                  parsed.head + "' in \"" + spec +
-                                  "\"; known: " + known);
+      const std::string suggestion = nearest_name(parsed.head, names());
+      throw std::invalid_argument(
+          "unknown " + kind_ + " component '" + parsed.head + "' in \"" +
+          spec + "\"" +
+          (suggestion.empty() ? "" : " (did you mean '" + suggestion + "'?)") +
+          "; known: " + known);
     }
     try {
       return it->second(parsed.args);
@@ -181,12 +184,14 @@ ChurnEvent parse_churn_event(const std::string& text) {
   const std::string kind = text.substr(0, at);
   ChurnEvent event;
   if (kind == "crash") {
-    event.join = false;
+    event.kind = ChurnKind::kCrash;
   } else if (kind == "join") {
-    event.join = true;
+    event.kind = ChurnKind::kJoin;
+  } else if (kind == "lease") {
+    event.kind = ChurnKind::kLease;
   } else {
-    throw std::invalid_argument("churn event kind must be crash or join: '" +
-                                text + "'");
+    throw std::invalid_argument(
+        "churn event kind must be crash, join, or lease: '" + text + "'");
   }
   event.time = to_double(text.substr(at + 1, colon - at - 1), "churn time");
   event.fraction = to_double(text.substr(colon + 1), "churn fraction");
@@ -266,6 +271,15 @@ const Registry<FailureConfig>& failure_registry() {
              }
              FailureConfig config;
              config.schedule = targeted_kill_schedule(fraction, mode);
+             return config;
+           }},
+          {"kill_hottest_forwarder",
+           [](const auto& args) {
+             expect_args(args, 2, 2);
+             FailureConfig config;
+             config.schedule = hottest_forwarder_kill_schedule(
+                 arg_double(args, 0, "kill fraction"),
+                 arg_double(args, 1, "kill time"));
              return config;
            }},
           {"bursty_loss",
@@ -359,14 +373,53 @@ membership::MembershipProviderPtr make_membership(const std::string& spec,
     }
     return membership::scamp_membership(params, rng);
   }
-  throw std::invalid_argument("unknown membership component '" + parsed.head +
-                              "' in \"" + spec +
-                              "\"; known: full, scamp, uniform");
+  if (parsed.head == "scamp-churn") {
+    throw std::invalid_argument(
+        "'scamp-churn' is a live dynamics model, not a static view; set "
+        "membership.dynamics = " +
+        spec + " instead");
+  }
+  const std::string suggestion = nearest_name(parsed.head, membership_names());
+  throw std::invalid_argument(
+      "unknown membership component '" + parsed.head + "' in \"" + spec +
+      "\"" +
+      (suggestion.empty() ? "" : " (did you mean '" + suggestion + "'?)") +
+      "; known: full, scamp, uniform");
 }
 
 std::vector<std::string> membership_names() {
   return {"full", "scamp", "uniform"};
 }
+
+membership::MembershipDynamicsFactoryPtr make_dynamics(
+    const std::string& spec, std::uint32_t num_nodes) {
+  const ComponentSpec parsed = parse_component(spec);
+  if (parsed.head == "none") {
+    expect_args(parsed.args, 0, 0);
+    return nullptr;
+  }
+  if (parsed.head == "scamp-churn") {
+    expect_args(parsed.args, 0, 2);
+    membership::ScampParams params;
+    params.num_nodes = num_nodes;
+    if (!parsed.args.empty()) {
+      params.redundancy = to_u32(parsed.args[0], "scamp-churn redundancy");
+    }
+    if (parsed.args.size() > 1) {
+      params.max_forward_hops =
+          to_u32(parsed.args[1], "scamp-churn max hops");
+    }
+    return membership::scamp_dynamics_factory(params);
+  }
+  const std::string suggestion = nearest_name(parsed.head, dynamics_names());
+  throw std::invalid_argument(
+      "unknown membership dynamics '" + parsed.head + "' in \"" + spec +
+      "\"" +
+      (suggestion.empty() ? "" : " (did you mean '" + suggestion + "'?)") +
+      "; known: none, scamp-churn");
+}
+
+std::vector<std::string> dynamics_names() { return {"none", "scamp-churn"}; }
 
 FailureConfig make_failure(const std::string& spec) {
   const auto parts = split_top_level(spec, '+');

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/degree_distribution.hpp"
+#include "membership/dynamics.hpp"
 #include "membership/view.hpp"
 #include "net/latency.hpp"
 #include "protocol/failure_schedule.hpp"
@@ -48,6 +49,15 @@ struct ComponentSpec {
     const std::string& spec, std::uint32_t num_nodes, rng::RngStream rng);
 [[nodiscard]] std::vector<std::string> membership_names();
 
+/// Live membership dynamics (the `membership.dynamics =` spec key). Known:
+/// none (returns nullptr: gossip over the static `membership` view) and
+/// scamp-churn / scamp-churn(c) / scamp-churn(c,max_hops) — evolving SCAMP
+/// views co-simulated with the failure schedule's churn clock. Each
+/// execution instantiates its own views from the returned factory.
+[[nodiscard]] membership::MembershipDynamicsFactoryPtr make_dynamics(
+    const std::string& spec, std::uint32_t num_nodes);
+[[nodiscard]] std::vector<std::string> dynamics_names();
+
 /// How a parsed failure spec materializes onto protocol::GossipParams. The
 /// paper's static crash fraction and the midrun-crash extension map onto the
 /// protocol's native fields (preserving their exact sampling paths); richer
@@ -61,10 +71,12 @@ struct FailureConfig {
 
 /// Failure models, composable with '+', e.g. "crash(0.1)+churn(crash@2:0.2)".
 /// Known parts: none, crash(f), midrun_crash(frac) /
-/// midrun_crash(frac,lo,hi), churn(crash@t:frac, join@t:frac, ...),
-/// targeted(frac,hubs|leaves), bursty_loss(p,start,len[,link_frac[,base]]).
-/// Static crash fractions multiply; at most one midrun_crash part; multiple
-/// schedule parts compose in order.
+/// midrun_crash(frac,lo,hi), churn(crash@t:frac, join@t:frac,
+/// lease@t:frac, ...), targeted(frac,hubs|leaves),
+/// kill_hottest_forwarder(frac,t), and
+/// bursty_loss(p,start,len[,link_frac[,base]]). Static crash fractions
+/// multiply; at most one midrun_crash part; multiple schedule parts
+/// compose in order.
 [[nodiscard]] FailureConfig make_failure(const std::string& spec);
 [[nodiscard]] std::vector<std::string> failure_names();
 

@@ -22,9 +22,15 @@ namespace {
 /// throws rather than being silently ignored.
 const std::set<std::string>& known_fields() {
   static const std::set<std::string> keys{
-      "name",    "description", "n",           "source", "backend",
-      "fanout",  "membership",  "latency",     "loss",   "failure",
-      "metric",  "repetitions", "seed",        "edge_keep",
+      "name",        "description",
+      "n",           "source",
+      "backend",     "fanout",
+      "membership",  "membership.dynamics",
+      "latency",     "loss",
+      "failure",     "metric",
+      "repetitions", "seed",
+      "edge_keep",   "workload.messages",
+      "workload.spacing",  "workload.sources",
   };
   return keys;
 }
@@ -39,6 +45,7 @@ struct BuiltCase {
   std::uint64_t seed = 0;
   // Protocol backend:
   protocol::GossipParams params;
+  protocol::WorkloadParams workload;
   // Graph/component backends:
   std::uint32_t num_nodes = 0;
   core::DegreeDistributionPtr fanout;
@@ -65,12 +72,6 @@ Backend parse_backend(const std::string& text) {
 }
 
 BuiltCase build_case(const ScenarioSpec& spec, const ResolvedCase& resolved) {
-  for (const auto& [key, value] : resolved.fields) {
-    if (known_fields().find(key) == known_fields().end()) {
-      throw std::invalid_argument("scenario '" + spec.name() +
-                                  "': unknown field '" + key + "'");
-    }
-  }
   auto require = [&](const std::string& key) {
     if (!has_field(resolved, key)) {
       throw std::invalid_argument("scenario '" + spec.name() +
@@ -144,6 +145,37 @@ BuiltCase build_case(const ScenarioSpec& spec, const ResolvedCase& resolved) {
             rng::RngStream(built.seed).substream(kMembershipSalt));
       }
     }
+    if (has_field(resolved, "membership.dynamics")) {
+      p.dynamics = make_dynamics(resolved.fields.at("membership.dynamics"),
+                                 built.num_nodes);
+      if (p.dynamics != nullptr && p.membership != nullptr) {
+        throw std::invalid_argument(
+            "membership = " + resolved.fields.at("membership") +
+            " and membership.dynamics = " +
+            resolved.fields.at("membership.dynamics") +
+            " are mutually exclusive: live dynamics build their own "
+            "initial views (leave membership unset or 'full')");
+      }
+    }
+    built.workload.num_messages =
+        to_u32(field(resolved, "workload.messages", "1"),
+               "workload.messages");
+    if (built.workload.num_messages == 0) {
+      throw std::invalid_argument("workload.messages must be >= 1");
+    }
+    built.workload.spacing = to_double(
+        field(resolved, "workload.spacing", "1"), "workload.spacing");
+    if (!(built.workload.spacing >= 0.0)) {
+      throw std::invalid_argument("workload.spacing must be >= 0");
+    }
+    const std::string sources =
+        field(resolved, "workload.sources", "fixed");
+    if (sources == "spread") {
+      built.workload.spread_sources = true;
+    } else if (sources != "fixed") {
+      throw std::invalid_argument(
+          "workload.sources must be fixed or spread; got '" + sources + "'");
+    }
     return built;
   }
 
@@ -164,6 +196,22 @@ BuiltCase build_case(const ScenarioSpec& spec, const ResolvedCase& resolved) {
       resolved.fields.at("membership") != "full") {
     throw std::invalid_argument(std::string(backend) +
                                 " backend assumes the full membership view");
+  }
+  if (has_field(resolved, "membership.dynamics") &&
+      resolved.fields.at("membership.dynamics") != "none") {
+    throw std::invalid_argument(
+        std::string(backend) +
+        " backend has no live membership; use the protocol backend for "
+        "membership.dynamics");
+  }
+  for (const char* key : {"workload.messages", "workload.spacing",
+                          "workload.sources"}) {
+    if (has_field(resolved, key)) {
+      throw std::invalid_argument(
+          std::string(backend) +
+          " backend runs single-message estimates only; use the protocol "
+          "backend for workload.* fields");
+    }
   }
   if (built.backend == Backend::kComponent) {
     if (loss > 0.0 || has_field(resolved, "edge_keep")) {
@@ -197,12 +245,36 @@ CaseResult init_result(const ScenarioSpec& spec, const BuiltCase& built) {
   result.metric = built.metric;
   result.replications = built.replications;
   result.seed = built.seed;
+  if (built.backend == Backend::kProtocol) {
+    result.workload_messages = built.workload.num_messages;
+    result.per_message_reliability.resize(built.workload.num_messages);
+    result.per_message_latency.resize(built.workload.num_messages);
+  }
   return result;
 }
 
 }  // namespace
 
+void validate_spec_keys(const ScenarioSpec& spec) {
+  const std::vector<std::string> known(known_fields().begin(),
+                                       known_fields().end());
+  std::string report;
+  for (const auto& [key, value] : spec.fields()) {
+    if (known_fields().find(key) != known_fields().end()) continue;
+    const std::string suggestion = nearest_name(key, known);
+    if (!report.empty()) report += "; ";
+    report += "unknown field '" + key + "'";
+    if (!suggestion.empty()) {
+      report += " (did you mean '" + suggestion + "'?)";
+    }
+  }
+  if (!report.empty()) {
+    throw std::invalid_argument("scenario '" + spec.name() + "': " + report);
+  }
+}
+
 std::vector<CaseResult> ScenarioRunner::run(const ScenarioSpec& spec) const {
+  validate_spec_keys(spec);
   const auto resolved = spec.expand_cases();
   std::vector<BuiltCase> built;
   built.reserve(resolved.size());
@@ -226,6 +298,8 @@ std::vector<CaseResult> ScenarioRunner::run(const ScenarioSpec& spec) const {
     double completion = 0.0;
     double midrun = 0.0;
     bool success = false;
+    std::vector<double> msg_reliability;  ///< Per workload message.
+    std::vector<double> msg_latency;
   };
   std::vector<std::size_t> proto_cases;
   std::vector<std::size_t> task_offset;  // prefix sums into the task list
@@ -248,13 +322,19 @@ std::vector<CaseResult> ScenarioRunner::run(const ScenarioSpec& spec) const {
     const BuiltCase& b = built[proto_cases[lo]];
     const std::size_t rep = task - task_offset[lo];
     auto rng = rng::RngStream(b.seed).substream(rep);
-    const auto exec = protocol::run_gossip_once(b.params, rng);
+    const auto exec = protocol::run_gossip_workload(b.params, b.workload, rng);
     Slot& slot = slots[task];
-    slot.reliability = exec.reliability;
+    slot.reliability = exec.mean_reliability;
     slot.messages = static_cast<double>(exec.messages_sent);
     slot.completion = exec.completion_time;
     slot.midrun = static_cast<double>(exec.midrun_crashes);
-    slot.success = exec.success;
+    slot.success = exec.all_success;
+    slot.msg_reliability.reserve(exec.messages.size());
+    slot.msg_latency.reserve(exec.messages.size());
+    for (const auto& message : exec.messages) {
+      slot.msg_reliability.push_back(message.reliability);
+      slot.msg_latency.push_back(message.mean_latency);
+    }
   };
   if (pool_ != nullptr && total_tasks > 0) {
     parallel::parallel_for(*pool_, total_tasks, run_task);
@@ -270,6 +350,10 @@ std::vector<CaseResult> ScenarioRunner::run(const ScenarioSpec& spec) const {
       result.completion_time.add(slot.completion);
       result.midrun_crashes.add(slot.midrun);
       if (slot.success) ++result.success_count;
+      for (std::size_t m = 0; m < slot.msg_reliability.size(); ++m) {
+        result.per_message_reliability[m].add(slot.msg_reliability[m]);
+        result.per_message_latency[m].add(slot.msg_latency[m]);
+      }
     }
   }
 
@@ -312,9 +396,29 @@ void write_results_csv(const std::string& path,
       path, {"scenario", "case", "backend", "metric", "replications", "seed",
              "reliability_mean", "reliability_ci_lo", "reliability_ci_hi",
              "success_rate", "messages_mean", "completion_mean",
-             "midrun_crashes_mean"});
+             "midrun_crashes_mean", "workload_messages",
+             "msg_reliability_min", "msg_latency_mean"});
   for (const auto& r : results) {
     const auto ci = r.reliability_ci();
+    // Workload columns: the weakest message's mean reliability and the
+    // latency averaged over messages; single-message cases degenerate to
+    // the case-level reliability. Backends without per-message data leave
+    // the latency column empty.
+    double msg_min = r.reliability.mean();
+    double latency_sum = 0.0;
+    for (const auto& msg : r.per_message_reliability) {
+      msg_min = std::min(msg_min, msg.mean());
+    }
+    for (const auto& msg : r.per_message_latency) {
+      latency_sum += msg.mean();
+    }
+    const std::string msg_latency =
+        r.per_message_latency.empty()
+            ? std::string()
+            : experiment::fmt_double(
+                  latency_sum /
+                      static_cast<double>(r.per_message_latency.size()),
+                  3);
     csv.add_row({r.scenario, r.label, backend_name(r.backend), r.metric,
                  std::to_string(r.replications), std::to_string(r.seed),
                  experiment::fmt_double(r.reliability.mean(), 6),
@@ -323,7 +427,9 @@ void write_results_csv(const std::string& path,
                  experiment::fmt_double(r.success_rate(), 6),
                  experiment::fmt_double(r.messages.mean(), 1),
                  experiment::fmt_double(r.completion_time.mean(), 3),
-                 experiment::fmt_double(r.midrun_crashes.mean(), 1)});
+                 experiment::fmt_double(r.midrun_crashes.mean(), 1),
+                 std::to_string(r.workload_messages),
+                 experiment::fmt_double(msg_min, 6), msg_latency});
   }
 }
 

@@ -43,12 +43,22 @@ struct CaseResult {
   std::uint64_t seed = 0;
 
   /// Primary per-replication series: delivered fraction of non-failed
-  /// members (protocol/graph) or the giant component's share (component).
+  /// members (protocol/graph) or the giant component's share (component);
+  /// for multi-message workloads, the per-replication mean over messages.
   stats::OnlineSummary reliability;
   stats::OnlineSummary messages;         ///< Protocol/graph backends.
   stats::OnlineSummary completion_time;  ///< Protocol backend only.
   stats::OnlineSummary midrun_crashes;   ///< Protocol backend only.
   std::size_t success_count = 0;
+
+  /// Workload width (`workload.messages`); 1 for single-message cases and
+  /// the graph/component backends.
+  std::size_t workload_messages = 1;
+  /// Per-message series, indexed by message: entry j aggregates message j's
+  /// delivered fraction / mean first-receipt latency over the replications.
+  /// Empty for the graph/component backends.
+  std::vector<stats::OnlineSummary> per_message_reliability;
+  std::vector<stats::OnlineSummary> per_message_latency;
 
   [[nodiscard]] double success_rate() const {
     return replications == 0 ? 0.0
@@ -82,6 +92,14 @@ class ScenarioRunner {
 };
 
 [[nodiscard]] std::string backend_name(Backend backend);
+
+/// Validates every field key of `spec` against the engine's known-key set
+/// in one pass, BEFORE any case is built or run. Collects ALL unknown keys
+/// and throws a single std::invalid_argument naming each one together with
+/// its nearest valid key ("did you mean ...?"). ScenarioRunner::run calls
+/// this first; the CLI calls it right after parsing so a typo fails before
+/// any output is produced.
+void validate_spec_keys(const ScenarioSpec& spec);
 
 /// Writes one CSV row per case (scenario, case label, sweep bindings as a
 /// resolved label, metrics with 95% CI). Used by the gossip_scenarios CLI.

@@ -1,5 +1,6 @@
 #include "scenario/spec.hpp"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdio>
 #include <fstream>
@@ -21,6 +22,19 @@ bool is_identifier(const std::string& s) {
     }
   }
   return true;
+}
+
+/// Field keys are dot-separated identifiers: "n", "workload.messages".
+bool is_field_key(const std::string& s) {
+  std::size_t start = 0;
+  while (true) {
+    const auto dot = s.find('.', start);
+    const std::string segment =
+        s.substr(start, dot == std::string::npos ? dot : dot - start);
+    if (!is_identifier(segment)) return false;
+    if (dot == std::string::npos) return true;
+    start = dot + 1;
+  }
 }
 
 /// Expands one sweep token: either a literal value or range(lo, hi, step)
@@ -119,13 +133,17 @@ ScenarioSpec& ScenarioSpec::set(const std::string& key,
   // round-trip for programmatic specs too.
   const std::string k = trim(key);
   const std::string v = trim(value);
-  if (!is_identifier(k)) {
-    throw std::invalid_argument("scenario field key must be an identifier: '" +
-                                k + "'");
+  if (!is_field_key(k)) {
+    throw std::invalid_argument(
+        "scenario field key must be dot-separated identifiers: '" + k + "'");
   }
   if (k == "case") {
     throw std::invalid_argument(
         "'case' is reserved for explicit grid points; use add_case()");
+  }
+  if (k.rfind("sweep.", 0) == 0) {
+    throw std::invalid_argument(
+        "'sweep.' keys are reserved for sweep axes; use add_axis()");
   }
   if (v.empty()) {
     throw std::invalid_argument("empty value for field '" + k + "'");
@@ -362,6 +380,38 @@ std::vector<std::string> split_top_level(const std::string& text, char sep) {
   if (!last.empty() || !pieces.empty()) pieces.push_back(last);
   if (pieces.size() == 1 && pieces[0].empty()) pieces.clear();
   return pieces;
+}
+
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  // Single-row dynamic program; the inputs here are short key names.
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diagonal = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t substitute =
+          diagonal + (a[i - 1] == b[j - 1] ? 0 : 1);
+      diagonal = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, substitute});
+    }
+  }
+  return row[b.size()];
+}
+
+std::string nearest_name(const std::string& name,
+                         const std::vector<std::string>& candidates) {
+  std::string best;
+  std::size_t best_distance = 0;
+  for (const auto& candidate : candidates) {
+    const std::size_t d = edit_distance(name, candidate);
+    if (best.empty() || d < best_distance) {
+      best = candidate;
+      best_distance = d;
+    }
+  }
+  const std::size_t cutoff = std::max<std::size_t>(2, name.size() / 3);
+  return best_distance <= cutoff ? best : "";
 }
 
 double to_double(const std::string& text, const std::string& what) {

@@ -18,6 +18,10 @@
 ///     sweep.z = range(1.1, 6.7, 0.4), 4.0
 ///     sweep.f = 0.0, 0.1, 0.5, 0.9
 ///
+/// Field keys are dot-separated identifiers (`workload.messages`,
+/// `membership.dynamics`); the `sweep.` prefix and the `case` key remain
+/// reserved for grid declarations.
+///
 /// `sweep.<var>` axes expand to their Cartesian product (first axis
 /// slowest); `range(lo, hi, step)` tokens expand inline. Alternatively
 /// explicit `case = z=4.0, f=0.1` lines enumerate exactly the grid points
@@ -109,6 +113,18 @@ class ScenarioSpec {
 
 /// Shortest decimal form (%g): readable grid labels and component names.
 [[nodiscard]] std::string format_compact(double value);
+
+/// Levenshtein edit distance with unit insert/delete/substitute costs.
+[[nodiscard]] std::size_t edit_distance(const std::string& a,
+                                        const std::string& b);
+
+/// The candidate closest to `name` by edit distance (ties break toward the
+/// lexicographically first candidate), or "" when even the best candidate
+/// is further than max(2, |name| / 3) — too far to plausibly be a typo.
+/// Powers the "did you mean ...?" diagnostics for unknown spec keys and
+/// unknown registry components.
+[[nodiscard]] std::string nearest_name(
+    const std::string& name, const std::vector<std::string>& candidates);
 
 /// Strict full-string numeric parses; `what` names the value in errors.
 [[nodiscard]] double to_double(const std::string& text,

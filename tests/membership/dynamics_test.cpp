@@ -1,0 +1,198 @@
+/// ScampDynamics: live SCAMP views under a churn of join/leave/lease
+/// events. The invariants pinned here are what the protocol relies on when
+/// it reads the evolving view per round: views never contain the owner,
+/// duplicates, or departed members; repair keeps arity near the SCAMP
+/// (c+1) ln n operating point through a leave burst; and a lease cycle
+/// re-converges every survivor back into the membership graph.
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "membership/dynamics.hpp"
+
+namespace gossip::membership {
+namespace {
+
+constexpr std::uint32_t kNodes = 300;
+
+ScampParams params_for(std::uint32_t redundancy) {
+  ScampParams params;
+  params.num_nodes = kNodes;
+  params.redundancy = redundancy;
+  return params;
+}
+
+/// Structural invariants every trajectory must maintain: no self-loops, no
+/// duplicate arcs, no arcs at departed members, empty views for departed
+/// owners.
+void expect_invariants(const MembershipDynamics& dynamics) {
+  for (NodeId u = 0; u < dynamics.num_nodes(); ++u) {
+    const auto& view = dynamics.view_of(u);
+    if (!dynamics.is_present(u)) {
+      EXPECT_TRUE(view.empty()) << "absent node " << u << " kept a view";
+      continue;
+    }
+    std::vector<NodeId> sorted = view;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_TRUE(std::adjacent_find(sorted.begin(), sorted.end()) ==
+                sorted.end())
+        << "duplicate arc in view of " << u;
+    for (const NodeId v : view) {
+      EXPECT_NE(v, u) << "self-loop at " << u;
+      EXPECT_TRUE(dynamics.is_present(v))
+          << "view of " << u << " kept departed member " << v;
+    }
+  }
+}
+
+double mean_present_view_size(const MembershipDynamics& dynamics) {
+  double total = 0.0;
+  std::size_t present = 0;
+  for (NodeId v = 0; v < dynamics.num_nodes(); ++v) {
+    if (!dynamics.is_present(v)) continue;
+    ++present;
+    total += static_cast<double>(dynamics.view_of(v).size());
+  }
+  return present == 0 ? 0.0 : total / static_cast<double>(present);
+}
+
+std::vector<std::size_t> in_degrees(const MembershipDynamics& dynamics) {
+  std::vector<std::size_t> degree(dynamics.num_nodes(), 0);
+  for (NodeId u = 0; u < dynamics.num_nodes(); ++u) {
+    for (const NodeId v : dynamics.view_of(u)) ++degree[v];
+  }
+  return degree;
+}
+
+TEST(ScampDynamics, InitialViewsSatisfyInvariantsAndScampArity) {
+  auto factory = scamp_dynamics_factory(params_for(1));
+  auto dynamics = factory->create(rng::RngStream(7));
+  expect_invariants(*dynamics);
+  // Mean view size ~ (c+1) ln n = 2 ln 300 ~ 11.4; allow a wide band.
+  const double expected = 2.0 * std::log(static_cast<double>(kNodes));
+  const double mean = mean_present_view_size(*dynamics);
+  EXPECT_GT(mean, 0.4 * expected);
+  EXPECT_LT(mean, 2.5 * expected);
+}
+
+TEST(ScampDynamics, LeaveBurstKeepsViewsRepairedAndWithinArityBounds) {
+  auto factory = scamp_dynamics_factory(params_for(1));
+  auto dynamics = factory->create(rng::RngStream(11));
+  auto rng = rng::RngStream(12);
+  const double mean_before = mean_present_view_size(*dynamics);
+
+  // A 30% leave burst, every third-ish member by a deterministic draw.
+  std::size_t left = 0;
+  for (NodeId v = 1; v < kNodes; ++v) {
+    if (rng.bernoulli(0.3)) {
+      dynamics->leave(v, rng);
+      ++left;
+    }
+  }
+  ASSERT_GT(left, kNodes / 5);
+  expect_invariants(*dynamics);
+
+  // Unsubscription repair replaces most lapsed arcs: the survivors' mean
+  // view size must stay within SCAMP's operating band, not collapse with
+  // the departed 30%.
+  const double mean_after = mean_present_view_size(*dynamics);
+  EXPECT_GT(mean_after, 0.5 * mean_before);
+  EXPECT_LT(mean_after, 1.5 * mean_before);
+}
+
+TEST(ScampDynamics, LeaseCycleReconvergesEverySurvivorIntoTheGraph) {
+  auto factory = scamp_dynamics_factory(params_for(1));
+  auto dynamics = factory->create(rng::RngStream(21));
+  auto rng = rng::RngStream(22);
+  for (NodeId v = 1; v < kNodes; ++v) {
+    if (rng.bernoulli(0.4)) dynamics->leave(v, rng);
+  }
+  // One full lease cycle: every survivor's subscription expires and is
+  // renewed. Afterwards every present member must be subscribed somewhere
+  // (in-degree >= 1) and know someone (out-degree >= 1) — the graph has
+  // re-converged to a state gossip can traverse.
+  for (NodeId v = 0; v < kNodes; ++v) {
+    if (dynamics->is_present(v)) dynamics->expire_lease(v, rng);
+  }
+  expect_invariants(*dynamics);
+  const auto degree = in_degrees(*dynamics);
+  for (NodeId v = 0; v < kNodes; ++v) {
+    if (!dynamics->is_present(v)) continue;
+    EXPECT_GE(degree[v], 1u) << "node " << v << " unsubscribed after lease";
+    EXPECT_GE(dynamics->view_of(v).size(), 1u)
+        << "node " << v << " lost its view after lease";
+  }
+}
+
+TEST(ScampDynamics, RejoinAfterLeaveRestoresMembership) {
+  auto factory = scamp_dynamics_factory(params_for(2));
+  auto dynamics = factory->create(rng::RngStream(31));
+  auto rng = rng::RngStream(32);
+  const NodeId node = 42;
+  dynamics->leave(node, rng);
+  EXPECT_FALSE(dynamics->is_present(node));
+  for (NodeId u = 0; u < kNodes; ++u) {
+    EXPECT_FALSE(std::count(dynamics->view_of(u).begin(),
+                            dynamics->view_of(u).end(), node))
+        << "departed node lingered in view of " << u;
+  }
+
+  dynamics->join(node, rng);
+  EXPECT_TRUE(dynamics->is_present(node));
+  EXPECT_GE(dynamics->view_of(node).size(), 1u);
+  EXPECT_GE(in_degrees(*dynamics)[node], 1u)
+      << "rejoined node is unreachable: nobody holds its subscription";
+  expect_invariants(*dynamics);
+}
+
+TEST(ScampDynamics, SelectTargetsDrawsOnlyFromTheCurrentView) {
+  auto factory = scamp_dynamics_factory(params_for(1));
+  auto dynamics = factory->create(rng::RngStream(41));
+  auto rng = rng::RngStream(42);
+  for (NodeId v = 1; v < kNodes; ++v) {
+    if (v % 2 == 0) dynamics->leave(v, rng);
+  }
+  for (const NodeId owner : {NodeId{1}, NodeId{3}, NodeId{77}}) {
+    const auto& view = dynamics->view_of(owner);
+    const auto targets = dynamics->select_targets(owner, 4, rng);
+    EXPECT_LE(targets.size(), std::min<std::size_t>(4, view.size()));
+    for (const NodeId t : targets) {
+      EXPECT_TRUE(std::count(view.begin(), view.end(), t))
+          << "target " << t << " not in the current view of " << owner;
+      EXPECT_TRUE(dynamics->is_present(t));
+    }
+  }
+  // k beyond the view size returns the whole view.
+  const auto& view = dynamics->view_of(1);
+  EXPECT_EQ(dynamics->select_targets(1, view.size() + 10, rng), view);
+}
+
+TEST(ScampDynamics, TrajectoriesAreDeterministicPerSeed) {
+  auto factory = scamp_dynamics_factory(params_for(1));
+  auto a = factory->create(rng::RngStream(55));
+  auto b = factory->create(rng::RngStream(55));
+  auto rng_a = rng::RngStream(56);
+  auto rng_b = rng::RngStream(56);
+  for (NodeId v = 1; v < kNodes; v += 3) {
+    a->leave(v, rng_a);
+    b->leave(v, rng_b);
+  }
+  for (NodeId v = 1; v < kNodes; v += 6) {
+    a->join(v, rng_a);
+    b->join(v, rng_b);
+  }
+  for (NodeId v = 0; v < kNodes; v += 5) {
+    if (a->is_present(v)) a->expire_lease(v, rng_a);
+    if (b->is_present(v)) b->expire_lease(v, rng_b);
+  }
+  for (NodeId v = 0; v < kNodes; ++v) {
+    ASSERT_EQ(a->is_present(v), b->is_present(v));
+    ASSERT_EQ(a->view_of(v), b->view_of(v)) << "trajectory diverged at " << v;
+  }
+}
+
+}  // namespace
+}  // namespace gossip::membership

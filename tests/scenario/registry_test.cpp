@@ -138,6 +138,60 @@ TEST(FailureRegistry, RejectsBadScheduleArguments) {
                std::invalid_argument);
 }
 
+TEST(FailureRegistry, LeaseEventsAndHottestForwarderKill) {
+  const auto lease = make_failure("churn(crash@1:0.3, lease@4:0.25)");
+  ASSERT_NE(lease.schedule, nullptr);
+  EXPECT_EQ(lease.schedule->name(), "churn(crash@1:0.3,lease@4:0.25)");
+
+  const auto hottest = make_failure("kill_hottest_forwarder(0.2, 3)");
+  ASSERT_NE(hottest.schedule, nullptr);
+  EXPECT_EQ(hottest.schedule->name(), "kill_hottest_forwarder(0.2,3)");
+  EXPECT_THROW((void)make_failure("kill_hottest_forwarder(1.5, 3)"),
+               std::invalid_argument);
+  EXPECT_THROW((void)make_failure("kill_hottest_forwarder(0.2)"),
+               std::invalid_argument);
+}
+
+TEST(FailureRegistry, UnknownNamesSuggestTheNearestComponent) {
+  try {
+    (void)make_failure("bursty_los(0.5, 0, 1)");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("did you mean 'bursty_loss'"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(DynamicsRegistry, BuildsScampChurnAndRejectsUnknown) {
+  EXPECT_EQ(make_dynamics("none", 100), nullptr);
+  const auto factory = make_dynamics("scamp-churn(2)", 100);
+  ASSERT_NE(factory, nullptr);
+  EXPECT_EQ(factory->name(), "scamp-churn(2)");
+  // Bare head defaults to redundancy 1.
+  EXPECT_EQ(make_dynamics("scamp-churn", 100)->name(), "scamp-churn(1)");
+  EXPECT_THROW((void)make_dynamics("scamp-churn(1,2,3)", 100),
+               std::invalid_argument);
+  try {
+    (void)make_dynamics("scamp-chrun(1)", 100);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("did you mean 'scamp-churn'"),
+              std::string::npos)
+        << e.what();
+  }
+  // The static membership registry redirects scamp-churn to the
+  // membership.dynamics key instead of treating it as a typo of scamp.
+  try {
+    (void)make_membership("scamp-churn(1)", 100, rng::RngStream(1));
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("membership.dynamics"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(FailureRegistry, PlusComposesParts) {
   const auto composed =
       make_failure("crash(0.1)+crash(0.2)+churn(crash@2:0.3)+"

@@ -187,6 +187,37 @@ TEST(ScenarioSpecHelpers, SplitTopLevelRespectsParentheses) {
   EXPECT_EQ(split_top_level("x,", ',').size(), 2u);  // trailing empty piece
 }
 
+TEST(ScenarioSpecParse, DottedFieldKeysParseFormatAndSubstitute) {
+  const auto spec = ScenarioSpec::parse(
+      "name = w\n"
+      "workload.messages = 4\n"
+      "membership.dynamics = scamp-churn($c)\n"
+      "sweep.c = 1, 2\n");
+  EXPECT_EQ(spec.get("workload.messages"), "4");
+  EXPECT_EQ(ScenarioSpec::parse(spec.format()), spec);
+  const auto cases = spec.expand_cases();
+  ASSERT_EQ(cases.size(), 2u);
+  EXPECT_EQ(cases[1].fields.at("membership.dynamics"), "scamp-churn(2)");
+
+  // Dots split identifiers; they do not relax the identifier rule, and the
+  // sweep prefix stays reserved.
+  EXPECT_THROW((void)ScenarioSpec().set(".x", "1"), std::invalid_argument);
+  EXPECT_THROW((void)ScenarioSpec().set("a..b", "1"), std::invalid_argument);
+  EXPECT_THROW((void)ScenarioSpec().set("a.", "1"), std::invalid_argument);
+  EXPECT_THROW((void)ScenarioSpec().set("sweep.z", "1"),
+               std::invalid_argument);
+}
+
+TEST(ScenarioSpecHelpers, EditDistanceAndNearestName) {
+  EXPECT_EQ(edit_distance("fanout", "fanout"), 0u);
+  EXPECT_EQ(edit_distance("fanuot", "fanout"), 2u);  // transposition = 2 ops
+  EXPECT_EQ(edit_distance("", "abc"), 3u);
+  EXPECT_EQ(nearest_name("fanuot", {"fanout", "failure", "metric"}),
+            "fanout");
+  // Nothing plausibly close: no suggestion rather than a misleading one.
+  EXPECT_EQ(nearest_name("zzzzzzzz", {"fanout", "failure"}), "");
+}
+
 TEST(ScenarioSpecHelpers, StrictNumericParses) {
   EXPECT_DOUBLE_EQ(to_double(" 2.5 ", "x"), 2.5);
   EXPECT_EQ(to_u32("1000", "n"), 1000u);

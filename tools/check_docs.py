@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Documentation checks: mermaid blocks parse, intra-repo links resolve.
+
+Scans README.md and docs/**/*.md and fails (exit 1) when:
+  - a relative markdown link points at a file that does not exist,
+  - a same-file '#anchor' link has no matching heading,
+  - a cross-file '#anchor' fragment has no matching heading in the target,
+  - a ```mermaid block is empty, has an unknown diagram type, or has
+    unbalanced brackets/parens/braces (the failure modes that make GitHub
+    render an error box instead of a diagram).
+
+External http(s)/mailto links are not fetched. Run from anywhere:
+
+    python3 tools/check_docs.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+MERMAID_TYPES = (
+    "graph",
+    "flowchart",
+    "sequenceDiagram",
+    "classDiagram",
+    "stateDiagram",
+    "stateDiagram-v2",
+    "erDiagram",
+    "journey",
+    "gantt",
+    "pie",
+    "mindmap",
+    "timeline",
+)
+
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+FENCE_RE = re.compile(r"^```(\w*)\s*$")
+
+
+def doc_files() -> list[Path]:
+    files = [REPO / "README.md"]
+    files += sorted((REPO / "docs").glob("**/*.md"))
+    return [f for f in files if f.is_file()]
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, spaces to dashes, drop punctuation."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)       # unwrap inline code
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # unwrap links
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def strip_fences(text: str) -> str:
+    """Removes fenced code blocks so links inside code are not checked."""
+    out, in_fence = [], False
+    for line in text.splitlines():
+        if FENCE_RE.match(line.strip()) or line.strip() == "```":
+            in_fence = not in_fence
+            continue
+        if not in_fence:
+            out.append(line)
+    return "\n".join(out)
+
+
+def anchors_of(path: Path, cache: dict[Path, set[str]]) -> set[str]:
+    if path not in cache:
+        text = path.read_text(encoding="utf-8")
+        cache[path] = {github_slug(h) for h in HEADING_RE.findall(text)}
+    return cache[path]
+
+
+def check_links(path: Path, text: str, cache: dict[Path, set[str]]) -> list[str]:
+    errors = []
+    for target in LINK_RE.findall(strip_fences(text)):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        base, _, fragment = target.partition("#")
+        dest = path if not base else (path.parent / base).resolve()
+        if not dest.exists():
+            errors.append(f"{path.relative_to(REPO)}: dead link '{target}'")
+            continue
+        if fragment and dest.suffix == ".md":
+            if github_slug(fragment) not in anchors_of(dest, cache):
+                errors.append(
+                    f"{path.relative_to(REPO)}: link '{target}' — no heading "
+                    f"matches '#{fragment}' in {dest.relative_to(REPO)}"
+                )
+    return errors
+
+
+def check_mermaid(path: Path, text: str) -> list[str]:
+    errors = []
+    lines = text.splitlines()
+    i = 0
+    while i < len(lines):
+        if lines[i].strip() != "```mermaid":
+            i += 1
+            continue
+        start = i + 1
+        block = []
+        i += 1
+        while i < len(lines) and lines[i].strip() != "```":
+            block.append(lines[i])
+            i += 1
+        where = f"{path.relative_to(REPO)}:{start}"
+        body = [l for l in block if l.strip() and not l.strip().startswith("%%")]
+        if not body:
+            errors.append(f"{where}: empty mermaid block")
+            continue
+        head = body[0].strip().split()[0]
+        if head not in MERMAID_TYPES:
+            errors.append(
+                f"{where}: unknown mermaid diagram type '{head}' "
+                f"(known: {', '.join(MERMAID_TYPES)})"
+            )
+        joined = "\n".join(body)
+        for open_ch, close_ch in (("(", ")"), ("[", "]"), ("{", "}")):
+            if joined.count(open_ch) != joined.count(close_ch):
+                errors.append(
+                    f"{where}: unbalanced '{open_ch}{close_ch}' in mermaid block"
+                )
+    return errors
+
+
+def main() -> int:
+    errors = []
+    cache: dict[Path, set[str]] = {}
+    files = doc_files()
+    if len(files) < 2:
+        errors.append("expected README.md plus docs/*.md — docs/ missing?")
+    for path in files:
+        text = path.read_text(encoding="utf-8")
+        errors += check_links(path, text, cache)
+        errors += check_mermaid(path, text)
+    for error in errors:
+        print(f"error: {error}", file=sys.stderr)
+    print(f"check_docs: {len(files)} files, {len(errors)} error(s)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

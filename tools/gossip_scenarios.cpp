@@ -4,16 +4,22 @@
 /// worked examples and README.md ("Running scenarios") for the format.
 ///
 ///   gossip_scenarios <spec.scn> [--csv <path>] [--threads N] [--print-spec]
+///                    [--smoke]
 ///
 ///   --csv <path>   CSV output path (default: results/<name>.csv)
 ///   --threads N    worker threads; 0 = hardware concurrency (default 0).
 ///                  Results are bit-identical for every choice.
 ///   --print-spec   echo the parsed, normalized spec before running
+///   --smoke        smoke mode: cap repetitions at 2 so CI can execute a
+///                  spec end to end in seconds (numbers are NOT the spec's
+///                  pinned values; use a full run for those)
 
+#include <cstdlib>
 #include <iostream>
 #include <string>
 
 #include "experiment/csv.hpp"
+#include "experiment/table.hpp"
 #include "parallel/thread_pool.hpp"
 #include "scenario/runner.hpp"
 #include "scenario/spec.hpp"
@@ -22,7 +28,7 @@ namespace {
 
 int usage() {
   std::cerr << "usage: gossip_scenarios <spec.scn> [--csv <path>] "
-               "[--threads N] [--print-spec]\n";
+               "[--threads N] [--print-spec] [--smoke]\n";
   return 2;
 }
 
@@ -35,6 +41,7 @@ int main(int argc, char** argv) {
   std::string csv_path;
   std::size_t threads = 0;
   bool print_spec = false;
+  bool smoke = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--csv" && i + 1 < argc) {
@@ -49,6 +56,8 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--print-spec") {
       print_spec = true;
+    } else if (arg == "--smoke") {
+      smoke = true;
     } else if (!arg.empty() && arg[0] == '-') {
       return usage();
     } else if (spec_path.empty()) {
@@ -60,14 +69,22 @@ int main(int argc, char** argv) {
   if (spec_path.empty()) return usage();
 
   try {
-    const auto spec = scenario::ScenarioSpec::load(spec_path);
+    auto spec = scenario::ScenarioSpec::load(spec_path);
+    // Key typos fail here, before any header or partial output, and the
+    // error names every unknown key with its nearest valid spelling.
+    scenario::validate_spec_keys(spec);
+    if (smoke && std::strtoul(spec.get("repetitions", "20").c_str(),
+                              nullptr, 10) > 2) {
+      spec.set("repetitions", "2");
+    }
     if (print_spec) std::cout << spec.format() << "\n";
 
     const auto cases = spec.expand_cases();
     std::cout << "=====================================================\n"
               << "scenario " << spec.name() << " (" << cases.size()
               << " case" << (cases.size() == 1 ? "" : "s") << ", "
-              << spec.get("repetitions", "20") << " repetitions each)\n";
+              << spec.get("repetitions", "20") << " repetitions each"
+              << (smoke ? ", SMOKE MODE" : "") << ")\n";
     if (spec.has("description")) {
       std::cout << spec.get("description") << "\n";
     }
@@ -77,6 +94,23 @@ int main(int argc, char** argv) {
     scenario::ScenarioRunner runner(&pool);
     const auto results = runner.run(spec);
     scenario::print_results_table(std::cout, results);
+
+    // Multi-message workloads get a per-message breakdown: reliability is
+    // not one number once messages land at different points of the churn.
+    for (const auto& result : results) {
+      if (result.workload_messages <= 1) continue;
+      std::cout << "\nper-message breakdown, case " << result.label << ":\n";
+      for (std::size_t m = 0; m < result.per_message_reliability.size();
+           ++m) {
+        std::cout << "  msg " << (m + 1) << ": reliability "
+                  << experiment::fmt_double(
+                         result.per_message_reliability[m].mean(), 4)
+                  << "  mean latency "
+                  << experiment::fmt_double(
+                         result.per_message_latency[m].mean(), 3)
+                  << "\n";
+      }
+    }
 
     if (csv_path.empty()) {
       csv_path = experiment::csv_path_in("results", spec.name() + ".csv");
