@@ -11,8 +11,10 @@
 #include "graph/components.hpp"
 #include "graph/generators.hpp"
 #include "graph/reachability.hpp"
+#include "protocol/flat_gossip.hpp"
 #include "protocol/gossip_multicast.hpp"
 #include "rng/distributions.hpp"
+#include "rng/lut_sampler.hpp"
 #include "sim/simulator.hpp"
 
 namespace {
@@ -123,6 +125,50 @@ void BM_FullProtocolExecution(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_FullProtocolExecution)->Arg(1000);
+
+void BM_Lut88SamplerDraw(benchmark::State& state) {
+  const auto dist = core::poisson_fanout(4.0);
+  const rng::Lut88Sampler sampler(dist->pmf_vector(1e-9));
+  rng::RngStream rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.sample(rng));
+  }
+}
+BENCHMARK(BM_Lut88SamplerDraw);
+
+// The headline pair: one full execution at the Fig. 4 operating point
+// (Poisson(4) fanout, q = 0.9) through the message-level DES reference vs
+// the flat struct-of-arrays round engine. tools/bench_compare.py gates the
+// flat/reference ratio; the ISSUE's acceptance bar is >= 5x at n = 10^5.
+void BM_RoundLoopReference(benchmark::State& state) {
+  protocol::GossipParams params;
+  params.num_nodes = static_cast<std::uint32_t>(state.range(0));
+  params.nonfailed_ratio = 0.9;
+  params.fanout = core::poisson_fanout(4.0);
+  rng::RngStream rng(2008);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(protocol::run_gossip_once(params, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RoundLoopReference)->Arg(100000)->Unit(benchmark::kMillisecond);
+
+void BM_RoundLoopFlat(benchmark::State& state) {
+  protocol::FlatGossipParams params;
+  params.num_nodes = static_cast<std::uint64_t>(state.range(0));
+  params.nonfailed_ratio = 0.9;
+  params.fanout = core::poisson_fanout(4.0);
+  protocol::FlatGossipEngine engine(params);
+  rng::RngStream rng(2008);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.run_once(rng));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RoundLoopFlat)
+    ->Arg(100000)
+    ->Arg(1000000)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_GraphMonteCarloReplication(benchmark::State& state) {
   const auto dist = core::poisson_fanout(4.0);

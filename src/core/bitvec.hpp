@@ -1,0 +1,114 @@
+#pragma once
+
+/// \file bitvec.hpp
+/// Packed bit vector over std::vector<uint64_t> words. The protocol layer's
+/// infection/delivery/alive tracking lives in these instead of
+/// std::vector<uint8_t> masks: 8x denser (n = 10^6 nodes fit in 125 KB per
+/// mask), word-wise popcount for the survivor counts, and O(n/64) clears
+/// between replications. operator[] returns bool, so read sites written
+/// against the old byte masks keep working unchanged.
+
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <stdexcept>
+#include <vector>
+
+namespace gossip::core {
+
+class Bitvec {
+ public:
+  Bitvec() = default;
+  explicit Bitvec(std::size_t n, bool value = false) { assign(n, value); }
+  Bitvec(std::initializer_list<bool> bits) {
+    assign(bits.size(), false);
+    std::size_t i = 0;
+    for (const bool b : bits) {
+      if (b) set(i);
+      ++i;
+    }
+  }
+
+  /// Resizes to n bits, all set to `value` (invariant: trailing bits of the
+  /// last word are zero, so operator== and count() work word-wise).
+  void assign(std::size_t n, bool value) {
+    size_ = n;
+    words_.assign((n + 63) / 64, value ? ~std::uint64_t{0} : std::uint64_t{0});
+    trim();
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  [[nodiscard]] bool operator[](std::size_t i) const noexcept {
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+  /// Bounds-checked read (the protocol's failure-injection callbacks take
+  /// externally supplied node ids).
+  [[nodiscard]] bool at(std::size_t i) const {
+    if (i >= size_) throw std::out_of_range("Bitvec::at index out of range");
+    return (*this)[i];
+  }
+
+  void set(std::size_t i) noexcept {
+    words_[i >> 6] |= std::uint64_t{1} << (i & 63);
+  }
+  void reset(std::size_t i) noexcept {
+    words_[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+  }
+  void set(std::size_t i, bool value) noexcept {
+    value ? set(i) : reset(i);
+  }
+
+  /// Clears every bit without touching capacity — the per-replication reset
+  /// of the flat engine's steady-state loop.
+  void reset_all() noexcept {
+    std::fill(words_.begin(), words_.end(), std::uint64_t{0});
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept {
+    std::size_t total = 0;
+    for (const std::uint64_t w : words_) {
+      total += static_cast<std::size_t>(std::popcount(w));
+    }
+    return total;
+  }
+
+  /// Bits set in both (e.g. alive AND infected — the survivors reached).
+  [[nodiscard]] static std::size_t count_and(const Bitvec& a,
+                                             const Bitvec& b) noexcept {
+    const std::size_t words = std::min(a.words_.size(), b.words_.size());
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < words; ++i) {
+      total += static_cast<std::size_t>(
+          std::popcount(a.words_[i] & b.words_[i]));
+    }
+    return total;
+  }
+
+  [[nodiscard]] const std::vector<std::uint64_t>& words() const noexcept {
+    return words_;
+  }
+  [[nodiscard]] std::size_t capacity_bytes() const noexcept {
+    return words_.capacity() * sizeof(std::uint64_t);
+  }
+
+  friend bool operator==(const Bitvec& a, const Bitvec& b) noexcept {
+    return a.size_ == b.size_ && a.words_ == b.words_;
+  }
+
+ private:
+  void trim() noexcept {
+    const std::size_t tail = size_ & 63;
+    if (tail != 0 && !words_.empty()) {
+      words_.back() &= (std::uint64_t{1} << tail) - 1;
+    }
+  }
+
+  std::vector<std::uint64_t> words_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace gossip::core

@@ -1,5 +1,7 @@
 #include "experiment/monte_carlo.hpp"
 
+#include <memory>
+#include <mutex>
 #include <stdexcept>
 
 #include "graph/generators.hpp"
@@ -82,6 +84,43 @@ ReliabilityEstimate estimate_reliability_protocol(
     const protocol::GossipParams& params, const MonteCarloOptions& options) {
   return run_replications(options, [&](rng::RngStream& rng) {
     const auto exec = protocol::run_gossip_once(params, rng);
+    RepOutcome o;
+    o.reliability = exec.reliability;
+    o.messages = static_cast<double>(exec.messages_sent);
+    o.success = exec.success;
+    return o;
+  });
+}
+
+ReliabilityEstimate estimate_reliability_flat(
+    const protocol::FlatGossipParams& params,
+    const MonteCarloOptions& options) {
+  // Engine free-list: a worker checks one out per replication and returns
+  // it, so engines (and their workspaces) are reused instead of rebuilt.
+  // Outcomes depend only on the replication substream, never on which
+  // engine ran it, so estimates stay deterministic under any worker count.
+  std::mutex engines_mutex;
+  std::vector<std::unique_ptr<protocol::FlatGossipEngine>> engines;
+  engines.push_back(
+      std::make_unique<protocol::FlatGossipEngine>(params));  // validate now
+
+  return run_replications(options, [&](rng::RngStream& rng) {
+    std::unique_ptr<protocol::FlatGossipEngine> engine;
+    {
+      const std::lock_guard<std::mutex> lock(engines_mutex);
+      if (!engines.empty()) {
+        engine = std::move(engines.back());
+        engines.pop_back();
+      }
+    }
+    if (engine == nullptr) {
+      engine = std::make_unique<protocol::FlatGossipEngine>(params);
+    }
+    const auto exec = engine->run_once(rng);
+    {
+      const std::lock_guard<std::mutex> lock(engines_mutex);
+      engines.push_back(std::move(engine));
+    }
     RepOutcome o;
     o.reliability = exec.reliability;
     o.messages = static_cast<double>(exec.messages_sent);

@@ -15,6 +15,7 @@
 
 #include "core/degree_distribution.hpp"
 #include "parallel/thread_pool.hpp"
+#include "protocol/flat_gossip.hpp"
 #include "protocol/gossip_multicast.hpp"
 #include "stats/ci.hpp"
 #include "stats/summary.hpp"
@@ -56,5 +57,14 @@ struct ReliabilityEstimate {
 /// Protocol-backend estimate: per replication, run the full DES protocol.
 [[nodiscard]] ReliabilityEstimate estimate_reliability_protocol(
     const protocol::GossipParams& params, const MonteCarloOptions& options);
+
+/// Flat-backend estimate: per replication, run the struct-of-arrays round
+/// engine (protocol/flat_gossip.hpp) — the paper's static-failure regime at
+/// million-node scale. Engines are pooled and reused, so replications after
+/// the first allocate nothing; replication i still uses substream(seed, i),
+/// making estimates identical across worker counts and comparable with the
+/// other backends.
+[[nodiscard]] ReliabilityEstimate estimate_reliability_flat(
+    const protocol::FlatGossipParams& params, const MonteCarloOptions& options);
 
 }  // namespace gossip::experiment

@@ -42,6 +42,14 @@ class MembershipDynamics {
   [[nodiscard]] virtual std::vector<NodeId> select_targets(
       NodeId owner, std::size_t k, rng::RngStream& rng) const = 0;
 
+  /// Allocation-free variant: identical draws and output as select_targets,
+  /// written into `out`. Default forwards; hot implementations override.
+  virtual void select_targets_into(NodeId owner, std::size_t k,
+                                   rng::RngStream& rng,
+                                   std::vector<NodeId>& out) const {
+    out = select_targets(owner, k, rng);
+  }
+
   /// Node (re)subscribes through a uniformly random present contact.
   virtual void join(NodeId node, rng::RngStream& rng) = 0;
 

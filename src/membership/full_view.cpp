@@ -22,6 +22,12 @@ class FullView final : public MembershipView {
     return rng::sample_distinct_excluding(rng, k, num_nodes_, owner_);
   }
 
+  void select_targets_into(std::size_t k, rng::RngStream& rng,
+                           std::vector<NodeId>& out) const override {
+    k = std::min<std::size_t>(k, num_nodes_ - 1);
+    rng::sample_distinct_excluding_into(rng, k, num_nodes_, owner_, out);
+  }
+
   [[nodiscard]] std::string name() const override { return "full"; }
 
  private:

@@ -32,6 +32,15 @@ class MembershipView {
   [[nodiscard]] virtual std::vector<NodeId> select_targets(
       std::size_t k, rng::RngStream& rng) const = 0;
 
+  /// Allocation-free variant for the hot paths: identical draw sequence and
+  /// output as select_targets, written into `out` (cleared first, capacity
+  /// reused). The default forwards to select_targets; implementations with
+  /// a per-message cost override it (see FullView).
+  virtual void select_targets_into(std::size_t k, rng::RngStream& rng,
+                                   std::vector<NodeId>& out) const {
+    out = select_targets(k, rng);
+  }
+
   [[nodiscard]] virtual std::string name() const = 0;
 };
 

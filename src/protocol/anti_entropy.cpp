@@ -37,7 +37,7 @@ AntiEntropyResult run_anti_entropy(const AntiEntropyParams& params,
 }
 
 AntiEntropyResult run_anti_entropy(const AntiEntropyParams& params,
-                                   const std::vector<std::uint8_t>& alive,
+                                   const core::Bitvec& alive,
                                    rng::RngStream& rng) {
   validate(params);
   if (alive.size() != params.num_nodes) {
@@ -52,12 +52,9 @@ AntiEntropyResult run_anti_entropy(const AntiEntropyParams& params,
   const bool do_push = params.mode != ExchangeMode::kPull;
   const bool do_pull = params.mode != ExchangeMode::kPush;
 
-  std::vector<std::uint8_t> informed(params.num_nodes, 0);
-  informed[params.source] = 1;
-  std::uint32_t nonfailed_count = 0;
-  for (const auto a : alive) {
-    if (a) ++nonfailed_count;
-  }
+  core::Bitvec informed(params.num_nodes);
+  informed.set(params.source);
+  const auto nonfailed_count = static_cast<std::uint32_t>(alive.count());
   std::uint32_t nonfailed_informed = 1;
   std::uint64_t messages = 0;
   std::uint64_t duplicates = 0;
@@ -67,21 +64,26 @@ AntiEntropyResult run_anti_entropy(const AntiEntropyParams& params,
       static_cast<double>(nonfailed_informed) /
       static_cast<double>(nonfailed_count));
 
+  // Hoisted per-round state: the snapshot copy reuses its words buffer and
+  // the peer scratch its capacity, so rounds allocate nothing new.
+  core::Bitvec snapshot;
+  std::vector<NodeId> peers;
+  std::vector<membership::MembershipViewPtr> view_cache(params.num_nodes);
   for (std::int64_t round = 0; round < params.rounds; ++round) {
     // Round-synchronous semantics: exchanges act on the state at the start
     // of the round, so order within a round cannot matter.
-    const std::vector<std::uint8_t> snapshot = informed;
+    snapshot = informed;
     for (NodeId v = 0; v < params.num_nodes; ++v) {
       if (!alive[v]) continue;  // crashed members take no part
-      const bool is_informed = snapshot[v] != 0;
+      const bool is_informed = snapshot[v];
       if (is_informed && !do_push) continue;
       if (!is_informed && !do_pull) continue;
 
       const std::int64_t fanout = params.fanout->sample(rng);
       if (fanout <= 0) continue;
-      const auto view = membership->view_for(v);
-      const auto peers =
-          view->select_targets(static_cast<std::size_t>(fanout), rng);
+      auto& view = view_cache[v];
+      if (view == nullptr) view = membership->view_for(v);
+      view->select_targets_into(static_cast<std::size_t>(fanout), rng, peers);
       for (const NodeId peer : peers) {
         ++messages;  // the request/update message itself
         if (is_informed) {
@@ -90,7 +92,7 @@ AntiEntropyResult run_anti_entropy(const AntiEntropyParams& params,
           if (informed[peer]) {
             ++duplicates;
           } else {
-            informed[peer] = 1;
+            informed.set(peer);
             if (alive[peer]) ++nonfailed_informed;
           }
         } else {
@@ -98,7 +100,7 @@ AntiEntropyResult run_anti_entropy(const AntiEntropyParams& params,
           if (!alive[peer] || !snapshot[peer]) continue;
           ++messages;  // the reply carrying the update
           if (!informed[v]) {
-            informed[v] = 1;
+            informed.set(v);
             ++nonfailed_informed;
           } else {
             ++duplicates;  // simultaneous pulls in the same round

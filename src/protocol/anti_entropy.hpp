@@ -57,8 +57,8 @@ struct AntiEntropyResult {
     const AntiEntropyParams& params, rng::RngStream& rng);
 
 /// Runs with a caller-fixed alive mask (source must be alive).
-[[nodiscard]] AntiEntropyResult run_anti_entropy(
-    const AntiEntropyParams& params, const std::vector<std::uint8_t>& alive,
-    rng::RngStream& rng);
+[[nodiscard]] AntiEntropyResult run_anti_entropy(const AntiEntropyParams& params,
+                                                 const core::Bitvec& alive,
+                                                 rng::RngStream& rng);
 
 }  // namespace gossip::protocol

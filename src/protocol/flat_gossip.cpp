@@ -1,0 +1,165 @@
+#include "protocol/flat_gossip.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "rng/distributions.hpp"
+
+namespace gossip::protocol {
+
+namespace {
+
+std::vector<double> lut_weights(const FlatGossipParams& params) {
+  if (params.fanout == nullptr) {
+    throw std::invalid_argument("flat gossip requires a fanout distribution");
+  }
+  auto weights = params.fanout->pmf_vector(params.lut_tail_epsilon);
+  // Unbounded distributions truncate at the tail epsilon; clamp anything
+  // that still exceeds the 8.8 support into the last representable bucket
+  // rather than rejecting the distribution outright.
+  const auto cap = static_cast<std::size_t>(rng::Lut88Sampler::kMaxValue) + 1;
+  if (weights.size() > cap) {
+    double tail = 0.0;
+    for (std::size_t k = cap; k < weights.size(); ++k) tail += weights[k];
+    weights.resize(cap);
+    weights.back() += tail;
+  }
+  return weights;
+}
+
+}  // namespace
+
+FlatGossipEngine::FlatGossipEngine(FlatGossipParams params)
+    : params_(std::move(params)), fanout_lut_(lut_weights(params_)) {
+  if (params_.num_nodes < 2) {
+    throw std::invalid_argument("flat gossip requires >= 2 nodes");
+  }
+  if (params_.num_nodes > kMaxSupportedNodes) {
+    throw std::invalid_argument(
+        "flat gossip supports at most 2^31 nodes (32-bit NodeId)");
+  }
+  if (params_.source >= params_.num_nodes) {
+    throw std::out_of_range("flat gossip source out of range");
+  }
+  if (!(params_.nonfailed_ratio > 0.0 && params_.nonfailed_ratio <= 1.0)) {
+    throw std::invalid_argument("flat gossip requires q in (0, 1]");
+  }
+  if (!(params_.loss_probability >= 0.0 && params_.loss_probability <= 1.0)) {
+    throw std::invalid_argument("flat gossip requires loss in [0, 1]");
+  }
+  const auto n = static_cast<std::size_t>(params_.num_nodes);
+  alive_.assign(n, true);
+  seen_.assign(n, false);
+  // A frontier can never exceed n, so reserving up front makes every
+  // subsequent run_once allocation-free regardless of the seed.
+  frontier_.reserve(n);
+  next_.reserve(n);
+  fanouts_.reserve(n);
+  targets_.reserve(
+      static_cast<std::size_t>(fanout_lut_.max_value()) + 1);
+}
+
+void FlatGossipEngine::draw_alive(rng::RngStream& rng) {
+  const auto n = static_cast<std::size_t>(params_.num_nodes);
+  if (params_.nonfailed_ratio >= 1.0) {
+    alive_.assign(n, true);
+    return;
+  }
+  // Batched Bernoulli: one raw 64-bit draw per node compared against a
+  // fixed-point threshold, accumulated a word at a time — no doubles, no
+  // per-bit store.
+  alive_.assign(n, false);
+  const auto threshold = static_cast<std::uint64_t>(
+      params_.nonfailed_ratio * 18446744073709551616.0);  // q * 2^64
+  for (std::size_t v = 0; v < n; ++v) {
+    if (v == params_.source || rng() < threshold) alive_.set(v);
+  }
+}
+
+FlatGossipResult FlatGossipEngine::run_once(rng::RngStream& rng) {
+  const auto n = static_cast<std::uint64_t>(params_.num_nodes);
+  const auto n_minus_1 = n - 1;
+  const auto source = static_cast<std::uint32_t>(params_.source);
+  const double loss = params_.loss_probability;
+
+  draw_alive(rng);
+  seen_.reset_all();
+  seen_.set(source);
+
+  FlatGossipResult result;
+  result.num_nodes = n;
+
+  frontier_.clear();
+  frontier_.push_back(source);
+  while (!frontier_.empty()) {
+    ++result.rounds;
+    // Phase 1: batched fanout draws for the whole generation — a tight LUT
+    // loop, one 16-bit code per sender.
+    fanouts_.clear();
+    if (fanouts_.capacity() < frontier_.size()) {
+      fanouts_.reserve(frontier_.size());
+    }
+    for (std::size_t i = 0; i < frontier_.size(); ++i) {
+      fanouts_.push_back(
+          static_cast<std::uint16_t>(fanout_lut_.sample(rng)));
+    }
+    // Phase 2: target selection and infection.
+    next_.clear();
+    for (std::size_t i = 0; i < frontier_.size(); ++i) {
+      const std::uint32_t self = frontier_[i];
+      const auto fanout = static_cast<std::uint64_t>(
+          std::min<std::uint64_t>(fanouts_[i], n_minus_1));
+      if (fanout == 0) continue;
+      targets_.clear();
+      if (fanout * 2 >= n_minus_1) {
+        // Degenerate small-n case: rejection would thrash; fall back to the
+        // exact Floyd sampler (allocates only in this branch, which cannot
+        // be reached once n > 2 * LUT max + 1).
+        rng::sample_distinct_excluding_into(
+            rng, static_cast<std::size_t>(fanout),
+            static_cast<std::size_t>(n), self, targets_);
+      } else {
+        // Rejection sampling of a distinct target set: draw in [0, n-1),
+        // remap across `self`, linear-scan the few picks so far for dups.
+        while (targets_.size() < fanout) {
+          auto candidate =
+              static_cast<std::uint32_t>(rng.next_below(n_minus_1));
+          if (candidate >= self) ++candidate;
+          if (std::find(targets_.begin(), targets_.end(), candidate) ==
+              targets_.end()) {
+            targets_.push_back(candidate);
+          }
+        }
+      }
+      result.messages_sent += targets_.size();
+      for (const std::uint32_t t : targets_) {
+        if (loss > 0.0 && rng.bernoulli(loss)) continue;  // lost in flight
+        if (!alive_[t]) continue;  // fail-stop: dropped at a crashed member
+        if (seen_[t]) {
+          ++result.duplicate_receipts;
+          continue;
+        }
+        seen_.set(t);
+        next_.push_back(t);
+      }
+    }
+    frontier_.swap(next_);
+  }
+
+  result.nonfailed_count = alive_.count();
+  result.nonfailed_received = core::Bitvec::count_and(alive_, seen_);
+  result.reliability = static_cast<double>(result.nonfailed_received) /
+                       static_cast<double>(result.nonfailed_count);
+  result.success = result.nonfailed_received == result.nonfailed_count;
+  return result;
+}
+
+std::size_t FlatGossipEngine::workspace_bytes() const noexcept {
+  return alive_.capacity_bytes() + seen_.capacity_bytes() +
+         frontier_.capacity() * sizeof(std::uint32_t) +
+         next_.capacity() * sizeof(std::uint32_t) +
+         fanouts_.capacity() * sizeof(std::uint16_t) +
+         targets_.capacity() * sizeof(std::uint32_t);
+}
+
+}  // namespace gossip::protocol

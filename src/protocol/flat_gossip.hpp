@@ -1,0 +1,104 @@
+#pragma once
+
+/// \file flat_gossip.hpp
+/// The million-node hot path: a struct-of-arrays round engine for the
+/// paper's forward-once gossip (Fig. 1) under static crash failures, the
+/// full membership view, unit latency, and i.i.d. per-message loss — the
+/// exact regime of the Fig. 4/5 reliability experiments. The message-level
+/// DES in gossip_multicast.hpp stays as the reference implementation (it
+/// supports every failure model, latency, and live-membership knob); this
+/// engine trades that generality for raw speed:
+///
+///   * node state is three flat arrays — packed alive/infected bitsets
+///     (core::Bitvec, 64 nodes per word) and a frontier of NodeIds —
+///     instead of per-node handler objects on a simulated network;
+///   * fanout draws go through the 8.8 fixed-point LUT sampler
+///     (rng::Lut88Sampler), batched per frontier generation, so a draw is
+///     a table walk instead of a virtual call into the distribution;
+///   * target selection is rejection sampling into a reused scratch buffer
+///     — no per-message vector, no hash set;
+///   * the engine owns all buffers and reuses them across replications:
+///     after the first run, the steady-state loop performs zero heap
+///     allocations (pinned by tests/protocol/flat_gossip_test.cpp).
+///
+/// Statistical equivalence with the reference path on the pinned Fig. 4/5
+/// anchors is asserted in tests/integration/flat_equivalence_test.cpp;
+/// the engine's own runs are deterministic bit for bit.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/bitvec.hpp"
+#include "core/degree_distribution.hpp"
+#include "rng/lut_sampler.hpp"
+#include "rng/rng_stream.hpp"
+
+namespace gossip::protocol {
+
+/// Ceiling on the group size every engine in this repo supports. NodeIds
+/// are 32-bit; all index arithmetic that can exceed 32 bits (bit offsets,
+/// msg*n flattening, n*fanout message counts) is done in 64-bit — pinned
+/// by static_asserts here and the max-n test.
+inline constexpr std::uint64_t kMaxSupportedNodes = std::uint64_t{1} << 31;
+static_assert(sizeof(std::size_t) >= 8,
+              "gossip hot paths index msg*n and n*fanout products; a 64-bit "
+              "size_t is required");
+static_assert(kMaxSupportedNodes - 1 <= 0xffffffffULL,
+              "NodeId is 32-bit; the supported max n must fit");
+
+struct FlatGossipParams {
+  std::uint64_t num_nodes = 0;
+  std::uint64_t source = 0;
+  /// Non-failed member ratio q; each non-source member is alive i.i.d.
+  double nonfailed_ratio = 1.0;
+  /// Per-message loss probability (0 in the paper's model).
+  double loss_probability = 0.0;
+  /// Fanout distribution P (required); support must fit the LUT (0..255).
+  core::DegreeDistributionPtr fanout;
+  /// Tail mass the LUT construction may drop from unbounded distributions.
+  double lut_tail_epsilon = 1e-9;
+};
+
+struct FlatGossipResult {
+  std::uint64_t num_nodes = 0;
+  std::uint64_t nonfailed_count = 0;     ///< Alive members (incl. source).
+  std::uint64_t nonfailed_received = 0;  ///< Alive members that got m.
+  double reliability = 0.0;  ///< nonfailed_received / nonfailed_count.
+  bool success = false;      ///< Every non-failed member received m.
+  std::uint64_t messages_sent = 0;
+  std::uint64_t duplicate_receipts = 0;
+  std::uint64_t rounds = 0;  ///< Frontier generations until extinction.
+};
+
+class FlatGossipEngine {
+ public:
+  /// Validates, builds the fanout LUT, and allocates the workspace once.
+  explicit FlatGossipEngine(FlatGossipParams params);
+
+  [[nodiscard]] const FlatGossipParams& params() const noexcept {
+    return params_;
+  }
+
+  /// One execution. Reuses the engine's buffers: no allocation after the
+  /// first call. Deterministic for a fixed stream state.
+  FlatGossipResult run_once(rng::RngStream& rng);
+
+  /// Bytes of workspace currently held (bitsets + frontiers + scratch) —
+  /// the memory-ceiling smoke test at n = 10^6 pins this.
+  [[nodiscard]] std::size_t workspace_bytes() const noexcept;
+
+ private:
+  void draw_alive(rng::RngStream& rng);
+
+  FlatGossipParams params_;
+  rng::Lut88Sampler fanout_lut_;
+  core::Bitvec alive_;
+  core::Bitvec seen_;
+  std::vector<std::uint32_t> frontier_;
+  std::vector<std::uint32_t> next_;
+  std::vector<std::uint16_t> fanouts_;   ///< Batched LUT draws per round.
+  std::vector<std::uint32_t> targets_;   ///< Per-sender scratch.
+};
+
+}  // namespace gossip::protocol

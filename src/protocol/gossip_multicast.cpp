@@ -51,7 +51,7 @@ void validate_workload(const WorkloadParams& workload) {
 class Session {
  public:
   Session(const GossipParams& params, const WorkloadParams& workload,
-          std::vector<std::uint8_t> alive, rng::RngStream rng)
+          core::Bitvec alive, rng::RngStream rng)
       : params_(params),
         workload_(workload),
         alive_(std::move(alive)),
@@ -74,8 +74,12 @@ class Session {
       membership_ = params_.membership
                         ? params_.membership
                         : membership::full_membership(n);
+      // Views of a static provider are immutable for the whole execution;
+      // caching them turns the per-message view_for allocation into a
+      // once-per-node lookup.
+      view_cache_.assign(n, nullptr);
     }
-    seen_.assign(static_cast<std::size_t>(w) * n, 0);
+    seen_.assign(static_cast<std::size_t>(w) * n, false);
     receipt_time_.assign(static_cast<std::size_t>(w) * n, 0.0);
     last_receipt_.assign(w, 0.0);
     injected_.assign(w, 0);
@@ -112,14 +116,11 @@ class Session {
     ExecutionResult result;
     result.num_nodes = params_.num_nodes;
     result.alive = alive_;
-    result.received.assign(seen_.begin(),
-                           seen_.begin() + params_.num_nodes);
-    for (NodeId v = 0; v < params_.num_nodes; ++v) {
-      if (alive_[v]) {
-        ++result.nonfailed_count;
-        if (seen_[v]) ++result.nonfailed_received;
-      }
-    }
+    // Single-message mode: seen_ is exactly the n receipt flags.
+    result.received = seen_;
+    result.nonfailed_count = static_cast<std::uint32_t>(alive_.count());
+    result.nonfailed_received = static_cast<std::uint32_t>(
+        core::Bitvec::count_and(alive_, seen_));
     result.reliability = static_cast<double>(result.nonfailed_received) /
                          static_cast<double>(result.nonfailed_count);
     result.success = result.nonfailed_received == result.nonfailed_count;
@@ -135,9 +136,7 @@ class Session {
     const std::uint32_t n = params_.num_nodes;
     WorkloadResult result;
     result.num_nodes = n;
-    for (NodeId v = 0; v < n; ++v) {
-      if (alive_[v]) ++result.nonfailed_count;
-    }
+    result.nonfailed_count = static_cast<std::uint32_t>(alive_.count());
     result.messages.reserve(workload_.num_messages);
     result.all_success = true;
     for (std::uint32_t j = 0; j < workload_.num_messages; ++j) {
@@ -203,7 +202,7 @@ class Session {
       context.num_nodes = params_.num_nodes;
       context.source = params_.source;
       context.fanout = params_.fanout.get();
-      context.is_alive = [this](NodeId v) { return alive_.at(v) != 0; };
+      context.is_alive = [this](NodeId v) { return alive_.at(v); };
       context.set_alive = [this](NodeId v, bool alive) {
         set_alive(v, alive);
       };
@@ -244,7 +243,7 @@ class Session {
         const double when = crash_time->sample(rng_);
         simulator_.schedule_at(when, [this, v] {
           if (!alive_[v]) return;
-          alive_[v] = 0;
+          alive_.reset(v);
           ++midrun_crashes_;
           network_.set_down(v, true);
           if (dynamics_) dynamics_->leave(v, membership_rng_);
@@ -274,9 +273,9 @@ class Session {
   /// repair together. The source is immune (Section 3).
   void set_alive(NodeId v, bool alive) {
     if (v == params_.source) return;
-    const bool was_alive = alive_.at(v) != 0;
+    const bool was_alive = alive_.at(v);
     if (was_alive == alive) return;
-    alive_[v] = alive ? 1 : 0;
+    alive_.set(v, alive);
     network_.set_down(v, !alive);
     if (!alive && running_) ++midrun_crashes_;
     if (dynamics_) {
@@ -296,7 +295,7 @@ class Session {
       ++duplicates_;
       return;  // Fig. 1: duplicates are discarded immediately
     }
-    seen_[flat(msg, self)] = 1;
+    seen_.set(flat(msg, self));
     receipt_time_[flat(msg, self)] = simulator_.now();
     // Crash case B: the member received m but crashed before forwarding.
     // (Case A never reaches here for crashed members: the network dropped
@@ -309,30 +308,39 @@ class Session {
     const std::int64_t fanout =
         pinned >= 0 ? pinned : params_.fanout->sample(rng_);
     if (fanout <= 0) return;
-    const auto targets =
-        dynamics_
-            ? dynamics_->select_targets(
-                  self, static_cast<std::size_t>(fanout), rng_)
-            : membership_->view_for(self)->select_targets(
-                  static_cast<std::size_t>(fanout), rng_);
-    forwards_[self] += targets.size();
+    // Target selection goes through the _into variants with one scratch
+    // vector per session, so the steady-state loop stops allocating a fresh
+    // target vector (and, static mode, a fresh view object) per message.
+    if (dynamics_) {
+      dynamics_->select_targets_into(self, static_cast<std::size_t>(fanout),
+                                     rng_, targets_);
+    } else {
+      auto& view = view_cache_[self];
+      if (view == nullptr) view = membership_->view_for(self);
+      view->select_targets_into(static_cast<std::size_t>(fanout), rng_,
+                                targets_);
+    }
+    forwards_[self] += targets_.size();
     net::Message forwarded = message;
     forwarded.hops = message.hops + 1;
-    for (const NodeId t : targets) {
+    for (const NodeId t : targets_) {
       network_.send(self, t, forwarded);
     }
   }
 
   GossipParams params_;
   WorkloadParams workload_;
-  std::vector<std::uint8_t> alive_;
+  core::Bitvec alive_;
   rng::RngStream rng_;
   rng::RngStream membership_rng_;  ///< Drives all membership repair draws.
   sim::Simulator simulator_;
   net::Network network_;
   membership::MembershipProviderPtr membership_;  ///< Static-view mode.
   membership::MembershipDynamicsPtr dynamics_;    ///< Live-view mode.
-  std::vector<std::uint8_t> seen_;        ///< [msg * n + v] receipt flags.
+  /// Lazily-built per-node views (static mode; views are immutable per run).
+  std::vector<membership::MembershipViewPtr> view_cache_;
+  std::vector<NodeId> targets_;           ///< Per-message selection scratch.
+  core::Bitvec seen_;                     ///< [msg * n + v] receipt flags.
   std::vector<double> receipt_time_;      ///< First-receipt times, same shape.
   std::vector<double> last_receipt_;      ///< Per-message last receipt.
   std::vector<std::uint8_t> injected_;
@@ -348,16 +356,14 @@ class Session {
 
 }  // namespace
 
-std::vector<std::uint8_t> draw_alive_mask(std::uint32_t num_nodes,
-                                          NodeId source,
-                                          double nonfailed_ratio,
-                                          rng::RngStream& rng) {
+core::Bitvec draw_alive_mask(std::uint32_t num_nodes, NodeId source,
+                             double nonfailed_ratio, rng::RngStream& rng) {
   if (source >= num_nodes) {
     throw std::out_of_range("draw_alive_mask source out of range");
   }
-  std::vector<std::uint8_t> alive(num_nodes, 0);
+  core::Bitvec alive(num_nodes);
   for (NodeId v = 0; v < num_nodes; ++v) {
-    alive[v] = (v == source || rng.bernoulli(nonfailed_ratio)) ? 1 : 0;
+    if (v == source || rng.bernoulli(nonfailed_ratio)) alive.set(v);
   }
   return alive;
 }
@@ -371,7 +377,7 @@ ExecutionResult run_gossip_once(const GossipParams& params,
 }
 
 ExecutionResult run_gossip_once(const GossipParams& params,
-                                const std::vector<std::uint8_t>& alive,
+                                const core::Bitvec& alive,
                                 rng::RngStream& rng) {
   validate(params);
   if (alive.size() != params.num_nodes) {

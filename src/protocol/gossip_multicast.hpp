@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/bitvec.hpp"
 #include "core/degree_distribution.hpp"
 #include "membership/dynamics.hpp"
 #include "membership/view.hpp"
@@ -90,10 +91,12 @@ struct ExecutionResult {
   /// Sim time of the last message receipt (not the last event: scheduled
   /// failure actions after dissemination ends do not inflate this).
   double completion_time = 0.0;
-  std::vector<std::uint8_t> received;    ///< Per-node receipt flag.
-  /// Per-node alive flag at the END of the execution (members that crashed
+  /// Per-node receipt flags, packed 64 per word (core::Bitvec) so that
+  /// million-node results stay compact; operator[] reads as bool.
+  core::Bitvec received;
+  /// Per-node alive flags at the END of the execution (members that crashed
   /// mid-run count as failed and are excluded from the reliability).
-  std::vector<std::uint8_t> alive;
+  core::Bitvec alive;
   /// Members that crashed during the run (0 unless midrun crashes enabled).
   std::uint32_t midrun_crashes = 0;
 };
@@ -161,13 +164,14 @@ struct WorkloadResult {
 /// Runs one execution with a caller-fixed alive mask (source must be alive;
 /// mask size must equal num_nodes). Used by the repeated-execution
 /// experiments where crashes persist across executions.
-[[nodiscard]] ExecutionResult run_gossip_once(
-    const GossipParams& params, const std::vector<std::uint8_t>& alive,
-    rng::RngStream& rng);
+[[nodiscard]] ExecutionResult run_gossip_once(const GossipParams& params,
+                                              const core::Bitvec& alive,
+                                              rng::RngStream& rng);
 
 /// Draws an i.i.d. alive mask with the source forced alive.
-[[nodiscard]] std::vector<std::uint8_t> draw_alive_mask(
-    std::uint32_t num_nodes, NodeId source, double nonfailed_ratio,
-    rng::RngStream& rng);
+[[nodiscard]] core::Bitvec draw_alive_mask(std::uint32_t num_nodes,
+                                           NodeId source,
+                                           double nonfailed_ratio,
+                                           rng::RngStream& rng);
 
 }  // namespace gossip::protocol

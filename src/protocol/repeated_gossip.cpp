@@ -24,9 +24,7 @@ RepeatedGossipResult run_repeated_gossip(const RepeatedGossipParams& params,
   result.executions = params.executions;
   result.alive = draw_alive_mask(params.base.num_nodes, params.base.source,
                                  params.base.nonfailed_ratio, rng);
-  for (const auto a : result.alive) {
-    if (a) ++result.alive_count;
-  }
+  result.alive_count = static_cast<std::uint32_t>(result.alive.count());
   result.receive_counts.assign(params.base.num_nodes, 0);
   result.per_execution_reliability.reserve(
       static_cast<std::size_t>(params.executions));

@@ -23,7 +23,7 @@ struct RepeatedGossipParams {
 struct RepeatedGossipResult {
   std::int64_t executions = 0;
   std::uint32_t alive_count = 0;  ///< Non-failed members (incl. source).
-  std::vector<std::uint8_t> alive;
+  core::Bitvec alive;
   /// Per-node count of executions in which the node received m; crashed
   /// nodes report 0 (kBeforeReceive) or incidental receipts
   /// (kAfterReceiveBeforeForward) and are excluded from X statistics.

@@ -37,7 +37,7 @@ RoundGossipResult run_round_gossip(const RoundGossipProtocolParams& params,
 }
 
 RoundGossipResult run_round_gossip(const RoundGossipProtocolParams& params,
-                                   const std::vector<std::uint8_t>& alive,
+                                   const core::Bitvec& alive,
                                    rng::RngStream& rng) {
   validate(params);
   if (alive.size() != params.num_nodes) {
@@ -53,16 +53,14 @@ RoundGossipResult run_round_gossip(const RoundGossipProtocolParams& params,
   // Round-synchronous execution: no per-message events are needed, so this
   // baseline runs as a plain loop (the DES path is exercised by the Fig. 1
   // protocol; both report the same ExecutionResult metrics).
-  std::vector<std::uint8_t> informed(params.num_nodes, 0);
-  informed[params.source] = 1;
+  core::Bitvec informed(params.num_nodes);
+  informed.set(params.source);
   std::vector<NodeId> fresh{params.source};  // informed in the last round
+  std::vector<NodeId> targets;               // per-sender selection scratch
   std::uint64_t messages_sent = 0;
   std::uint64_t duplicates = 0;
 
-  std::uint32_t nonfailed_count = 0;
-  for (const auto a : alive) {
-    if (a) ++nonfailed_count;
-  }
+  const auto nonfailed_count = static_cast<std::uint32_t>(alive.count());
   std::uint32_t nonfailed_informed = 1;  // the source
 
   RoundGossipResult result;
@@ -70,12 +68,16 @@ RoundGossipResult run_round_gossip(const RoundGossipProtocolParams& params,
       static_cast<double>(nonfailed_informed) /
       static_cast<double>(nonfailed_count));
 
+  // Per-round buffers hoisted out of the loop: capacity persists across
+  // rounds, so the steady-state loop reuses it instead of reallocating.
+  std::vector<NodeId> senders;
+  std::vector<NodeId> newly;
+  std::vector<membership::MembershipViewPtr> view_cache(params.num_nodes);
   for (std::int64_t round = 0; round < params.rounds; ++round) {
     // Snapshot of this round's senders.
-    std::vector<NodeId> senders;
+    senders.clear();
     if (params.mode == RoundGossipMode::kForwardOnce) {
-      senders = std::move(fresh);
-      fresh.clear();
+      senders.swap(fresh);
     } else {
       for (NodeId v = 0; v < params.num_nodes; ++v) {
         if (informed[v] && alive[v]) senders.push_back(v);
@@ -83,21 +85,22 @@ RoundGossipResult run_round_gossip(const RoundGossipProtocolParams& params,
     }
     if (senders.empty()) break;
 
-    std::vector<NodeId> newly;
+    newly.clear();
     for (const NodeId s : senders) {
       if (!alive[s]) continue;  // crashed members never push
       const std::int64_t fanout = params.fanout->sample(rng);
       if (fanout <= 0) continue;
-      const auto view = membership->view_for(s);
-      const auto targets =
-          view->select_targets(static_cast<std::size_t>(fanout), rng);
+      auto& view = view_cache[s];
+      if (view == nullptr) view = membership->view_for(s);
+      view->select_targets_into(static_cast<std::size_t>(fanout), rng,
+                                targets);
       for (const NodeId t : targets) {
         ++messages_sent;
         if (informed[t]) {
           ++duplicates;
           continue;
         }
-        informed[t] = 1;
+        informed.set(t);
         newly.push_back(t);
         if (alive[t]) ++nonfailed_informed;
       }

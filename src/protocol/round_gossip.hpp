@@ -50,7 +50,7 @@ struct RoundGossipResult {
 
 /// Runs with a caller-fixed alive mask (source must be alive).
 [[nodiscard]] RoundGossipResult run_round_gossip(
-    const RoundGossipProtocolParams& params,
-    const std::vector<std::uint8_t>& alive, rng::RngStream& rng);
+    const RoundGossipProtocolParams& params, const core::Bitvec& alive,
+    rng::RngStream& rng);
 
 }  // namespace gossip::protocol

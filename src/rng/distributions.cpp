@@ -173,19 +173,35 @@ double sample_lognormal(RngStream& rng, double mu, double sigma) {
   return std::exp(mu + sigma * sample_standard_normal(rng));
 }
 
-std::vector<std::uint32_t> sample_distinct(RngStream& rng, std::size_t k,
-                                           std::size_t n) {
+void sample_distinct_into(RngStream& rng, std::size_t k, std::size_t n,
+                          std::vector<std::uint32_t>& out) {
   if (k > n) {
     throw std::invalid_argument("sample_distinct requires k <= n");
   }
-  // Floyd's algorithm: k iterations, each drawing one uniform integer.
-  std::vector<std::uint32_t> out;
-  out.reserve(k);
+  // Floyd's algorithm: k iterations, each drawing one uniform integer. The
+  // chosen-so-far set is exactly the contents of `out`, so membership is a
+  // linear scan for the small k of the hot paths (fanouts of a handful) and
+  // a hash set only for large requests — the scan variant consumes the
+  // identical draw sequence and produces identical output, allocation-free.
+  out.clear();
+  if (out.capacity() < k) out.reserve(k);
+  if (k <= 64) {
+    for (std::size_t j = n - k; j < n; ++j) {
+      const auto t = static_cast<std::uint32_t>(
+          rng.next_below(static_cast<std::uint64_t>(j) + 1));
+      if (std::find(out.begin(), out.end(), t) == out.end()) {
+        out.push_back(t);
+      } else {
+        out.push_back(static_cast<std::uint32_t>(j));
+      }
+    }
+    return;
+  }
   std::unordered_set<std::uint32_t> chosen;
   chosen.reserve(k * 2);
   for (std::size_t j = n - k; j < n; ++j) {
-    const auto t =
-        static_cast<std::uint32_t>(rng.next_below(static_cast<std::uint64_t>(j) + 1));
+    const auto t = static_cast<std::uint32_t>(
+        rng.next_below(static_cast<std::uint64_t>(j) + 1));
     if (chosen.insert(t).second) {
       out.push_back(t);
     } else {
@@ -194,13 +210,18 @@ std::vector<std::uint32_t> sample_distinct(RngStream& rng, std::size_t k,
       out.push_back(jj);
     }
   }
+}
+
+std::vector<std::uint32_t> sample_distinct(RngStream& rng, std::size_t k,
+                                           std::size_t n) {
+  std::vector<std::uint32_t> out;
+  sample_distinct_into(rng, k, n, out);
   return out;
 }
 
-std::vector<std::uint32_t> sample_distinct_excluding(RngStream& rng,
-                                                     std::size_t k,
-                                                     std::size_t n,
-                                                     std::uint32_t excluded) {
+void sample_distinct_excluding_into(RngStream& rng, std::size_t k,
+                                    std::size_t n, std::uint32_t excluded,
+                                    std::vector<std::uint32_t>& out) {
   if (n == 0 || excluded >= n) {
     throw std::invalid_argument(
         "sample_distinct_excluding requires excluded < n");
@@ -211,10 +232,18 @@ std::vector<std::uint32_t> sample_distinct_excluding(RngStream& rng,
   }
   // Sample from a virtual array of size n-1 that omits `excluded` by
   // remapping indices >= excluded up by one.
-  std::vector<std::uint32_t> picks = sample_distinct(rng, k, n - 1);
-  for (auto& v : picks) {
+  sample_distinct_into(rng, k, n - 1, out);
+  for (auto& v : out) {
     if (v >= excluded) ++v;
   }
+}
+
+std::vector<std::uint32_t> sample_distinct_excluding(RngStream& rng,
+                                                     std::size_t k,
+                                                     std::size_t n,
+                                                     std::uint32_t excluded) {
+  std::vector<std::uint32_t> picks;
+  sample_distinct_excluding_into(rng, k, n, excluded, picks);
   return picks;
 }
 

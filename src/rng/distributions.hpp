@@ -56,4 +56,14 @@ namespace gossip::rng {
 [[nodiscard]] std::vector<std::uint32_t> sample_distinct_excluding(
     RngStream& rng, std::size_t k, std::size_t n, std::uint32_t excluded);
 
+/// Allocation-free variants for the hot paths: identical draw sequence and
+/// output as the returning forms, but the result is written into `out`
+/// (cleared first, capacity reused). Callers keep one scratch vector alive
+/// across calls so the steady-state loop performs no heap allocation.
+void sample_distinct_into(RngStream& rng, std::size_t k, std::size_t n,
+                          std::vector<std::uint32_t>& out);
+void sample_distinct_excluding_into(RngStream& rng, std::size_t k,
+                                    std::size_t n, std::uint32_t excluded,
+                                    std::vector<std::uint32_t>& out);
+
 }  // namespace gossip::rng

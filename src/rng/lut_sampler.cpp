@@ -1,0 +1,101 @@
+#include "rng/lut_sampler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace gossip::rng {
+
+namespace {
+
+/// The continuous staircase g: [0, 1] -> [0, K+1]: on the u-interval
+/// (CDF[k-1], CDF[k]] it ramps linearly from k to k+1, so floor(g(u)) = k
+/// with probability exactly p_k. The table stores g on a 257-point grid in
+/// 8.8 fixed point; interpolate-then-floor sampling approximates the exact
+/// inverse-CDF draw with error confined to grid cells that straddle a CDF
+/// boundary.
+double staircase(const std::vector<double>& cdf, double u) {
+  const std::size_t k_count = cdf.size();
+  // Find the first k with cdf[k] > u — the strict inequality makes this the
+  // right-continuous generalized inverse: u rides the (cdf[k-1], cdf[k]]
+  // interval of outcome k, and zero-mass outcomes (cdf[k] == cdf[k-1]) are
+  // never selected, including a zero-mass prefix at u == 0.
+  std::size_t lo = 0;
+  std::size_t hi = k_count;  // exclusive
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (cdf[mid] > u) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  if (lo >= k_count) return static_cast<double>(k_count);  // u == 1 edge
+  const double below = lo == 0 ? 0.0 : cdf[lo - 1];
+  const double mass = cdf[lo] - below;
+  const double frac = mass > 0.0 ? (u - below) / mass : 0.0;
+  return static_cast<double>(lo) + std::min(std::max(frac, 0.0), 1.0);
+}
+
+}  // namespace
+
+Lut88Sampler::Lut88Sampler(const std::vector<double>& weights) {
+  if (weights.empty()) {
+    throw std::invalid_argument("Lut88Sampler requires a non-empty pmf");
+  }
+  if (static_cast<std::int64_t>(weights.size()) > kMaxValue + 1) {
+    throw std::invalid_argument(
+        "Lut88Sampler supports outcomes 0..255 only (8.8 fixed point)");
+  }
+  double total = 0.0;
+  for (const double w : weights) {
+    if (!(w >= 0.0) || !std::isfinite(w)) {
+      throw std::invalid_argument(
+          "Lut88Sampler requires finite non-negative weights");
+    }
+    total += w;
+  }
+  if (!(total > 0.0)) {
+    throw std::invalid_argument("Lut88Sampler requires positive total mass");
+  }
+
+  std::vector<double> cdf(weights.size());
+  double accum = 0.0;
+  for (std::size_t k = 0; k < weights.size(); ++k) {
+    accum += weights[k] / total;
+    cdf[k] = std::min(accum, 1.0);
+  }
+  cdf.back() = 1.0;
+
+  max_value_ = static_cast<std::int64_t>(weights.size()) - 1;
+  const double scale = static_cast<double>(1u << kFracBits);
+  const double grid = static_cast<double>(1u << kIndexBits);
+  for (unsigned i = 0; i < kTableEntries; ++i) {
+    const double u = static_cast<double>(i) / grid;
+    const double g = staircase(cdf, u);
+    const double fixed = std::round(g * scale);
+    const double cap = static_cast<double>(
+        std::numeric_limits<std::uint16_t>::max());
+    table_[i] = static_cast<std::uint16_t>(std::min(fixed, cap));
+  }
+}
+
+double Lut88Sampler::realized_mean() const {
+  double sum = 0.0;
+  for (std::uint32_t code = 0; code < (1u << 16); ++code) {
+    sum += static_cast<double>(sample_code(code));
+  }
+  return sum / static_cast<double>(1u << 16);
+}
+
+std::vector<double> Lut88Sampler::realized_pmf() const {
+  std::vector<double> pmf(static_cast<std::size_t>(max_value_) + 1, 0.0);
+  const double cell = 1.0 / static_cast<double>(1u << 16);
+  for (std::uint32_t code = 0; code < (1u << 16); ++code) {
+    pmf[static_cast<std::size_t>(sample_code(code))] += cell;
+  }
+  return pmf;
+}
+
+}  // namespace gossip::rng

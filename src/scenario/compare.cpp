@@ -1,0 +1,180 @@
+#include "scenario/compare.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <stdexcept>
+#include <utility>
+
+namespace gossip::scenario {
+namespace {
+
+// Inverse of experiment::CsvWriter's RFC 4180 quoting: case labels carry
+// embedded commas ("z=4.0,f=0.1"), so quoted cells with doubled quotes
+// must round-trip. Embedded line breaks are not handled — the writer only
+// ever quotes commas/quotes within single-line cells.
+std::vector<std::string> split_row(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  bool quoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"' && i + 1 < line.size() && line[i + 1] == '"') {
+        cell += '"';
+        ++i;
+      } else if (c == '"') {
+        quoted = false;
+      } else {
+        cell += c;
+      }
+    } else if (c == '"' && cell.empty()) {
+      quoted = true;
+    } else if (c == ',') {
+      cells.push_back(cell);
+      cell.clear();
+    } else {
+      cell += c;
+    }
+  }
+  cells.push_back(cell);
+  return cells;
+}
+
+struct CsvTable {
+  std::vector<std::string> header;
+  // key -> column name -> cell text
+  std::map<std::string, std::map<std::string, std::string>> rows;
+};
+
+CsvTable load_table(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open CSV: " + path);
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw std::runtime_error("empty CSV: " + path);
+  }
+  CsvTable table;
+  table.header = split_row(line);
+  std::size_t scenario_col = table.header.size();
+  std::size_t case_col = table.header.size();
+  std::size_t metric_col = table.header.size();
+  for (std::size_t c = 0; c < table.header.size(); ++c) {
+    if (table.header[c] == "scenario") scenario_col = c;
+    if (table.header[c] == "case") case_col = c;
+    if (table.header[c] == "metric") metric_col = c;
+  }
+  if (scenario_col == table.header.size() ||
+      case_col == table.header.size() ||
+      metric_col == table.header.size()) {
+    throw std::runtime_error(
+        path + ": not a scenario results CSV (needs scenario/case/metric "
+               "columns)");
+  }
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto cells = split_row(line);
+    if (cells.size() != table.header.size()) {
+      throw std::runtime_error(path + ": ragged row: " + line);
+    }
+    const std::string key = cells[scenario_col] + " / " + cells[case_col] +
+                            " / " + cells[metric_col];
+    auto& row = table.rows[key];
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      row[table.header[c]] = cells[c];
+    }
+  }
+  return table;
+}
+
+bool parse_cell(const std::string& text, double* out) {
+  if (text.empty()) return false;
+  std::size_t used = 0;
+  try {
+    *out = std::stod(text, &used);
+  } catch (const std::exception&) {
+    return false;
+  }
+  return used == text.size() && std::isfinite(*out);
+}
+
+}  // namespace
+
+CompareReport compare_result_csvs(const std::string& path_a,
+                                  const std::string& path_b,
+                                  const CompareOptions& options) {
+  // Column families and their tolerance semantics. seed / replications /
+  // backend are identity metadata, not measurements — two runs may differ
+  // there on purpose, so they are not compared.
+  static const std::pair<const char*, char> kColumns[] = {
+      {"reliability_mean", 'a'},   {"reliability_ci_lo", 'a'},
+      {"reliability_ci_hi", 'a'},  {"success_rate", 'a'},
+      {"msg_reliability_min", 'a'}, {"messages_mean", 'r'},
+      {"completion_mean", 'r'},    {"midrun_crashes_mean", 'r'},
+      {"msg_latency_mean", 'r'},
+  };
+
+  const CsvTable a = load_table(path_a);
+  const CsvTable b = load_table(path_b);
+
+  CompareReport report;
+  for (const auto& [key, row_b] : b.rows) {
+    if (a.rows.find(key) == a.rows.end()) report.only_in_b.push_back(key);
+  }
+  for (const auto& [key, row_a] : a.rows) {
+    const auto it = b.rows.find(key);
+    if (it == b.rows.end()) {
+      report.only_in_a.push_back(key);
+      continue;
+    }
+    ++report.rows_compared;
+    const auto& row_b = it->second;
+    for (const auto& [column, family] : kColumns) {
+      const auto cell_a = row_a.find(column);
+      const auto cell_b = row_b.find(column);
+      if (cell_a == row_a.end() || cell_b == row_b.end()) continue;
+      double va = 0.0;
+      double vb = 0.0;
+      // A cell that is empty (or non-numeric) in either file is skipped:
+      // some backends legitimately leave columns blank.
+      if (!parse_cell(cell_a->second, &va) ||
+          !parse_cell(cell_b->second, &vb)) {
+        continue;
+      }
+      const double allowed =
+          family == 'a' ? options.reliability_tolerance
+                        : options.relative_tolerance *
+                              std::max(std::fabs(va), std::fabs(vb));
+      if (std::fabs(va - vb) > allowed) {
+        report.diffs.push_back({key, column, va, vb, allowed});
+      }
+    }
+  }
+  return report;
+}
+
+void print_compare_report(std::ostream& os, const CompareReport& report) {
+  for (const auto& key : report.only_in_a) {
+    os << "only in A: " << key << "\n";
+  }
+  for (const auto& key : report.only_in_b) {
+    os << "only in B: " << key << "\n";
+  }
+  for (const auto& diff : report.diffs) {
+    os << "DIFF " << diff.key << " [" << diff.column << "]: " << diff.a
+       << " vs " << diff.b << " (|delta| "
+       << std::fabs(diff.a - diff.b) << " > allowed " << diff.allowed
+       << ")\n";
+  }
+  if (report.rows_compared == 0) {
+    os << "no common rows to compare\n";
+  }
+  os << (report.ok() ? "OK" : "MISMATCH") << ": " << report.rows_compared
+     << " row(s) compared, " << report.diffs.size()
+     << " out-of-tolerance cell(s), "
+     << (report.only_in_a.size() + report.only_in_b.size())
+     << " unmatched row(s)\n";
+}
+
+}  // namespace gossip::scenario

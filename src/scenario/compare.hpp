@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file compare.hpp
+/// Tolerance diff of two scenario result CSVs (the files written by
+/// scenario::write_results_csv). Rows are matched by (scenario, case,
+/// metric); numeric columns are compared within per-family tolerances so
+/// two runs with different seeds, thread counts, or code versions can be
+/// checked for statistical agreement without demanding bit-identical
+/// output. Backs `gossip_scenarios --compare`.
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gossip::scenario {
+
+struct CompareOptions {
+  /// Absolute tolerance on reliability-like columns (means, CI bounds,
+  /// success rates, per-message minima). Matches the anchor tolerance used
+  /// by the paper-figure tests.
+  double reliability_tolerance = 0.03;
+  /// Relative tolerance on count/latency columns (messages, completion
+  /// time, midrun crashes) — these scale with n and repetitions, so a
+  /// fractional bound is the meaningful one.
+  double relative_tolerance = 0.10;
+};
+
+/// One out-of-tolerance cell.
+struct CellDiff {
+  std::string key;     ///< "scenario / case / metric" of the row
+  std::string column;  ///< CSV column name
+  double a = 0.0;
+  double b = 0.0;
+  double allowed = 0.0;  ///< tolerance that was exceeded (same units as |a-b|)
+};
+
+struct CompareReport {
+  std::size_t rows_compared = 0;
+  std::vector<std::string> only_in_a;  ///< row keys missing from file B
+  std::vector<std::string> only_in_b;  ///< row keys missing from file A
+  std::vector<CellDiff> diffs;
+
+  [[nodiscard]] bool ok() const noexcept {
+    return rows_compared > 0 && only_in_a.empty() && only_in_b.empty() &&
+           diffs.empty();
+  }
+};
+
+/// Loads two result CSVs and diffs them. Throws std::runtime_error when a
+/// file is unreadable or lacks the identifying columns.
+[[nodiscard]] CompareReport compare_result_csvs(
+    const std::string& path_a, const std::string& path_b,
+    const CompareOptions& options = {});
+
+/// Human-readable report (one line per discrepancy, summary line last).
+void print_compare_report(std::ostream& os, const CompareReport& report);
+
+}  // namespace gossip::scenario

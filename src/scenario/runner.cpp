@@ -1,6 +1,7 @@
 #include "scenario/runner.hpp"
 
 #include <algorithm>
+#include <initializer_list>
 #include <ostream>
 #include <set>
 #include <stdexcept>
@@ -46,11 +47,14 @@ struct BuiltCase {
   // Protocol backend:
   protocol::GossipParams params;
   protocol::WorkloadParams workload;
-  // Graph/component backends:
+  // Graph/component/flat backends:
   std::uint32_t num_nodes = 0;
   core::DegreeDistributionPtr fanout;
   double nonfailed_ratio = 1.0;
   double edge_keep = 1.0;
+  // Flat backend:
+  std::uint32_t source = 0;
+  double loss = 0.0;
 };
 
 std::string field(const ResolvedCase& c, const std::string& key,
@@ -67,8 +71,10 @@ Backend parse_backend(const std::string& text) {
   if (text == "protocol") return Backend::kProtocol;
   if (text == "graph") return Backend::kGraph;
   if (text == "component") return Backend::kComponent;
+  if (text == "flat") return Backend::kFlat;
   throw std::invalid_argument(
-      "backend must be protocol, graph, or component; got '" + text + "'");
+      "backend must be protocol, graph, component, or flat; got '" + text +
+      "'");
 }
 
 BuiltCase build_case(const ScenarioSpec& spec, const ResolvedCase& resolved) {
@@ -176,6 +182,39 @@ BuiltCase build_case(const ScenarioSpec& spec, const ResolvedCase& resolved) {
       throw std::invalid_argument(
           "workload.sources must be fixed or spread; got '" + sources + "'");
     }
+    return built;
+  }
+
+  // Flat backend: the hot-path engine. Exactly the Fig. 4/5 regime — full
+  // view, unit latency, static crashes, i.i.d. loss — everything else is a
+  // spec error, not a silent fallback.
+  if (built.backend == Backend::kFlat) {
+    for (const auto& [key, reason] :
+         std::initializer_list<std::pair<const char*, const char*>>{
+             {"latency", "runs at unit latency"},
+             {"membership.dynamics", "has no live membership"},
+             {"edge_keep", "uses loss instead of edge thinning"},
+             {"workload.messages", "runs single-message estimates only"},
+             {"workload.spacing", "runs single-message estimates only"},
+             {"workload.sources", "runs single-message estimates only"}}) {
+      if (has_field(resolved, key)) {
+        throw std::invalid_argument(std::string("flat backend ") + reason +
+                                    "; drop '" + key +
+                                    "' or use the protocol backend");
+      }
+    }
+    if (has_field(resolved, "membership") &&
+        resolved.fields.at("membership") != "full") {
+      throw std::invalid_argument(
+          "flat backend assumes the full membership view");
+    }
+    if (failure.schedule || failure.midrun_fraction > 0.0) {
+      throw std::invalid_argument(
+          "flat backend supports only static crash failures; use the "
+          "protocol backend for schedules");
+    }
+    built.source = source;
+    built.loss = loss;
     return built;
   }
 
@@ -372,6 +411,18 @@ std::vector<CaseResult> ScenarioRunner::run(const ScenarioSpec& spec) const {
       results[c].reliability = estimate.reliability;
       results[c].messages = estimate.messages;
       results[c].success_count = estimate.success_count;
+    } else if (b.backend == Backend::kFlat) {
+      protocol::FlatGossipParams fp;
+      fp.num_nodes = b.num_nodes;
+      fp.source = b.source;
+      fp.nonfailed_ratio = b.nonfailed_ratio;
+      fp.loss_probability = b.loss;
+      fp.fanout = b.fanout;
+      const auto estimate =
+          experiment::estimate_reliability_flat(fp, options);
+      results[c].reliability = estimate.reliability;
+      results[c].messages = estimate.messages;
+      results[c].success_count = estimate.success_count;
     } else {
       const auto estimate = experiment::estimate_giant_component(
           b.num_nodes, *b.fanout, b.nonfailed_ratio, options);
@@ -386,6 +437,7 @@ std::string backend_name(Backend backend) {
     case Backend::kProtocol: return "protocol";
     case Backend::kGraph: return "graph";
     case Backend::kComponent: return "component";
+    case Backend::kFlat: return "flat";
   }
   return "unknown";
 }

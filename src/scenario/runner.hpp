@@ -30,6 +30,9 @@ enum class Backend {
                ///< crash failures and edge thinning only.
   kComponent,  ///< Giant component of the percolated configuration graph —
                ///< the paper's own Section 5.1 measurement; static crashes.
+  kFlat,       ///< Struct-of-arrays round engine (protocol/flat_gossip.hpp):
+               ///< the paper's static-failure regime at million-node scale;
+               ///< full view, unit latency, static crashes + i.i.d. loss.
 };
 
 /// Aggregated outcome of one grid case.

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cctype>
+#include <charconv>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <system_error>
 
 namespace gossip::scenario {
 
@@ -414,16 +416,27 @@ std::string nearest_name(const std::string& name,
   return best_distance <= cutoff ? best : "";
 }
 
+// Numeric field parsing goes through std::from_chars: locale-independent
+// (std::stod honors LC_NUMERIC, so "3.5" silently truncated to 3 under a
+// comma-decimal locale), and the end pointer makes the full-token check
+// exact — every character of the value must be consumed, so "4abc" or
+// "1.5.2" is an error, never a silent prefix parse.
+
 double to_double(const std::string& text, const std::string& what) {
   const std::string t = trim(text);
-  std::size_t consumed = 0;
+  const char* first = t.data();
+  const char* last = t.data() + t.size();
+  if (first != last && *first == '+') ++first;  // from_chars rejects '+'
   double value = 0.0;
-  try {
-    value = std::stod(t, &consumed);
-  } catch (const std::exception&) {
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec == std::errc::result_out_of_range) {
+    throw std::invalid_argument(what + ": magnitude out of double range: '" +
+                                text + "'");
+  }
+  if (ec != std::errc{} || first == last) {
     throw std::invalid_argument(what + ": not a number: '" + text + "'");
   }
-  if (consumed != t.size()) {
+  if (ptr != last) {
     throw std::invalid_argument(what + ": trailing characters in '" + text +
                                 "'");
   }
@@ -432,19 +445,25 @@ double to_double(const std::string& text, const std::string& what) {
 
 std::uint64_t to_u64(const std::string& text, const std::string& what) {
   const std::string t = trim(text);
-  std::size_t consumed = 0;
-  unsigned long long value = 0;
-  try {
-    value = std::stoull(t, &consumed);
-  } catch (const std::exception&) {
+  const char* first = t.data();
+  const char* last = t.data() + t.size();
+  if (first != last && *first == '+') ++first;
+  std::uint64_t value = 0;
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec == std::errc::result_out_of_range) {
+    throw std::invalid_argument(what + ": value out of 64-bit range: '" +
+                                text + "'");
+  }
+  // from_chars<unsigned> rejects '-' outright, so "-1" lands here too.
+  if (ec != std::errc{} || first == last) {
     throw std::invalid_argument(what + ": not an unsigned integer: '" + text +
                                 "'");
   }
-  if (consumed != t.size() || t[0] == '-') {
-    throw std::invalid_argument(what + ": not an unsigned integer: '" + text +
+  if (ptr != last) {
+    throw std::invalid_argument(what + ": trailing characters in '" + text +
                                 "'");
   }
-  return static_cast<std::uint64_t>(value);
+  return value;
 }
 
 std::uint32_t to_u32(const std::string& text, const std::string& what) {

@@ -1,0 +1,100 @@
+/// core::Bitvec: the packed masks behind the protocol layer's
+/// infection/delivery/alive tracking. These pin the word-level invariants
+/// (trailing-bit trim, popcount, AND-count) that the hot paths rely on.
+
+#include "core/bitvec.hpp"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace gossip::core {
+namespace {
+
+TEST(Bitvec, DefaultIsEmpty) {
+  const Bitvec b;
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.count(), 0u);
+}
+
+TEST(Bitvec, SetResetAndIndexing) {
+  Bitvec b(130);  // spans three words
+  EXPECT_EQ(b.size(), 130u);
+  EXPECT_EQ(b.count(), 0u);
+  b.set(0);
+  b.set(64);
+  b.set(129);
+  EXPECT_TRUE(b[0]);
+  EXPECT_TRUE(b[64]);
+  EXPECT_TRUE(b[129]);
+  EXPECT_FALSE(b[1]);
+  EXPECT_FALSE(b[63]);
+  EXPECT_EQ(b.count(), 3u);
+  b.reset(64);
+  EXPECT_FALSE(b[64]);
+  EXPECT_EQ(b.count(), 2u);
+  b.set(5, true);
+  b.set(5, false);
+  EXPECT_FALSE(b[5]);
+}
+
+TEST(Bitvec, AssignTrueTrimsTrailingBits) {
+  // 70 bits set true: the second word has 6 live bits; count() must not see
+  // the 58 dead ones.
+  Bitvec b(70, true);
+  EXPECT_EQ(b.count(), 70u);
+  EXPECT_TRUE(b[69]);
+  b.assign(64, true);  // exact word boundary
+  EXPECT_EQ(b.count(), 64u);
+}
+
+TEST(Bitvec, CountAndIntersection) {
+  Bitvec a(100);
+  Bitvec b(100);
+  for (std::size_t i = 0; i < 100; i += 2) a.set(i);   // evens
+  for (std::size_t i = 0; i < 100; i += 3) b.set(i);   // multiples of 3
+  // Intersection: multiples of 6 in [0, 100) -> 17 values.
+  EXPECT_EQ(Bitvec::count_and(a, b), 17u);
+}
+
+TEST(Bitvec, ResetAllClearsWithoutResizing) {
+  Bitvec b(200, true);
+  b.reset_all();
+  EXPECT_EQ(b.size(), 200u);
+  EXPECT_EQ(b.count(), 0u);
+}
+
+TEST(Bitvec, InitializerListAndEquality) {
+  const Bitvec a{1, 0, 1, 1};
+  EXPECT_EQ(a.size(), 4u);
+  EXPECT_TRUE(a[0]);
+  EXPECT_FALSE(a[1]);
+  EXPECT_EQ(a.count(), 3u);
+  const Bitvec b{1, 0, 1, 1};
+  const Bitvec c{1, 0, 1, 0};
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  // Same bits, different length: not equal.
+  const Bitvec d{1, 0, 1, 1, 0};
+  EXPECT_FALSE(a == d);
+}
+
+TEST(Bitvec, AtBoundsChecks) {
+  Bitvec b(10);
+  b.set(9);
+  EXPECT_TRUE(b.at(9));
+  EXPECT_FALSE(b.at(0));
+  EXPECT_THROW((void)b.at(10), std::out_of_range);
+}
+
+TEST(Bitvec, CapacityBytesReflectsPackedStorage) {
+  Bitvec b(1'000'000);
+  // 10^6 bits pack into 15625 words = 125 KB; anything near 1 MB would mean
+  // the mask degenerated to a byte per node.
+  EXPECT_GE(b.capacity_bytes(), 125'000u);
+  EXPECT_LE(b.capacity_bytes(), 250'000u);
+}
+
+}  // namespace
+}  // namespace gossip::core

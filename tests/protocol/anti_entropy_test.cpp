@@ -77,7 +77,7 @@ TEST(AntiEntropy, PushPullBeatsPushAloneInTailRounds) {
 
 TEST(AntiEntropy, CrashedMembersDoNotParticipate) {
   auto p = base_params(10, 9, 10, ExchangeMode::kPushPull, 1.0);
-  std::vector<std::uint8_t> alive{1, 1, 0, 1, 0, 1, 1, 1, 0, 1};
+  const core::Bitvec alive{1, 1, 0, 1, 0, 1, 1, 1, 0, 1};
   rng::RngStream rng(4);
   const auto result = run_anti_entropy(p, alive, rng);
   EXPECT_TRUE(result.execution.success);  // full fanout reaches all alive

@@ -42,10 +42,7 @@ TEST(DynamicCrash, CrashedMembersAreRemovedFromAliveMask) {
   rng::RngStream rng(2);
   const auto exec = run_gossip_once(p, rng);
   EXPECT_GT(exec.midrun_crashes, 0u);
-  std::uint32_t alive_count = 0;
-  for (const auto a : exec.alive) {
-    if (a) ++alive_count;
-  }
+  const auto alive_count = static_cast<std::uint32_t>(exec.alive.count());
   EXPECT_EQ(alive_count, exec.nonfailed_count);
   EXPECT_EQ(alive_count + exec.midrun_crashes, 800u);
   // The source never crashes.

@@ -1,0 +1,187 @@
+/// FlatGossipEngine: validation, determinism, and the two structural
+/// guarantees the hot path is built on — a bounded workspace at million-node
+/// scale and ZERO heap allocations in the steady-state replication loop.
+///
+/// The allocation check overrides global operator new/delete for this test
+/// binary with counting forwarders; only counter DELTAS inside a test body
+/// are asserted, so the other suites' tests in the same binary are
+/// unaffected.
+
+#include "protocol/flat_gossip.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "core/degree_distribution.hpp"
+
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  ++g_allocations;
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  ++g_allocations;
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace gossip::protocol {
+namespace {
+
+FlatGossipParams base_params(std::uint64_t n, double fanout_mean, double q) {
+  FlatGossipParams p;
+  p.num_nodes = n;
+  p.source = 0;
+  p.nonfailed_ratio = q;
+  p.fanout = core::poisson_fanout(fanout_mean);
+  return p;
+}
+
+TEST(FlatGossip, ValidatesParameters) {
+  EXPECT_THROW(FlatGossipEngine(base_params(1, 4.0, 1.0)),
+               std::invalid_argument);
+  EXPECT_THROW(FlatGossipEngine(base_params(10, 4.0, 0.0)),
+               std::invalid_argument);
+  EXPECT_THROW(FlatGossipEngine(base_params(10, 4.0, 1.5)),
+               std::invalid_argument);
+  auto no_fanout = base_params(10, 4.0, 1.0);
+  no_fanout.fanout = nullptr;
+  EXPECT_THROW(FlatGossipEngine{no_fanout}, std::invalid_argument);
+  auto bad_source = base_params(10, 4.0, 1.0);
+  bad_source.source = 10;
+  EXPECT_THROW(FlatGossipEngine{bad_source}, std::out_of_range);
+  auto bad_loss = base_params(10, 4.0, 1.0);
+  bad_loss.loss_probability = -0.1;
+  EXPECT_THROW(FlatGossipEngine{bad_loss}, std::invalid_argument);
+}
+
+TEST(FlatGossip, PinsTheSupportedMaximumGroupSize) {
+  // The engine (and every index computation behind it) is specified up to
+  // 2^31 nodes; one past that must be a constructor error, not silent
+  // truncation into 32-bit NodeIds.
+  EXPECT_EQ(kMaxSupportedNodes, std::uint64_t{1} << 31);
+  auto p = base_params(kMaxSupportedNodes + 1, 4.0, 1.0);
+  EXPECT_THROW(FlatGossipEngine{p}, std::invalid_argument);
+}
+
+TEST(FlatGossip, SaturatingFanoutReachesEveryone) {
+  auto p = base_params(50, 0.0, 1.0);
+  p.fanout = core::fixed_fanout(49);
+  FlatGossipEngine engine(p);
+  rng::RngStream rng(1);
+  const auto result = engine.run_once(rng);
+  EXPECT_TRUE(result.success);
+  EXPECT_DOUBLE_EQ(result.reliability, 1.0);
+  EXPECT_EQ(result.nonfailed_count, 50u);
+  EXPECT_EQ(result.nonfailed_received, 50u);
+}
+
+TEST(FlatGossip, ZeroFanoutReachesOnlySource) {
+  auto p = base_params(20, 0.0, 1.0);
+  p.fanout = core::fixed_fanout(0);
+  FlatGossipEngine engine(p);
+  rng::RngStream rng(2);
+  const auto result = engine.run_once(rng);
+  EXPECT_EQ(result.nonfailed_received, 1u);
+  EXPECT_FALSE(result.success);
+  EXPECT_EQ(result.messages_sent, 0u);
+}
+
+TEST(FlatGossip, TotalLossReachesOnlySource) {
+  auto p = base_params(100, 4.0, 1.0);
+  p.loss_probability = 1.0;
+  FlatGossipEngine engine(p);
+  rng::RngStream rng(3);
+  const auto result = engine.run_once(rng);
+  EXPECT_EQ(result.nonfailed_received, 1u);
+  EXPECT_FALSE(result.success);
+}
+
+TEST(FlatGossip, DeterministicBitForBitAcrossEnginesAndReuse) {
+  const auto p = base_params(2000, 4.0, 0.9);
+  FlatGossipEngine engine1(p);
+  FlatGossipEngine engine2(p);
+  rng::RngStream rng1(77);
+  rng::RngStream rng2(77);
+  for (int i = 0; i < 5; ++i) {
+    const auto r1 = engine1.run_once(rng1);
+    const auto r2 = engine2.run_once(rng2);
+    ASSERT_EQ(r1.nonfailed_count, r2.nonfailed_count);
+    ASSERT_EQ(r1.nonfailed_received, r2.nonfailed_received);
+    ASSERT_EQ(r1.messages_sent, r2.messages_sent);
+    ASSERT_EQ(r1.duplicate_receipts, r2.duplicate_receipts);
+    ASSERT_EQ(r1.rounds, r2.rounds);
+    ASSERT_DOUBLE_EQ(r1.reliability, r2.reliability);
+  }
+  // A fresh engine replays replication 3 identically: results depend only
+  // on the stream state, never on buffer history.
+  rng::RngStream rng3(77);
+  FlatGossipEngine engine3(p);
+  FlatGossipResult replay{};
+  for (int i = 0; i < 4; ++i) replay = engine3.run_once(rng3);
+  rng::RngStream rng4(77);
+  FlatGossipResult direct{};
+  FlatGossipEngine engine4(p);
+  for (int i = 0; i < 4; ++i) direct = engine4.run_once(rng4);
+  EXPECT_EQ(replay.nonfailed_received, direct.nonfailed_received);
+  EXPECT_EQ(replay.messages_sent, direct.messages_sent);
+}
+
+TEST(FlatGossip, SteadyStateLoopIsAllocationFree) {
+  const auto p = base_params(10'000, 4.0, 0.9);
+  FlatGossipEngine engine(p);
+  rng::RngStream rng(2008);
+  (void)engine.run_once(rng);  // warm-up: first run may touch fresh pages
+  std::uint64_t received_total = 0;
+  const std::uint64_t before = g_allocations.load();
+  for (int i = 0; i < 20; ++i) {
+    received_total += engine.run_once(rng).nonfailed_received;
+  }
+  const std::uint64_t after = g_allocations.load();
+  EXPECT_GT(received_total, 0u);
+  EXPECT_EQ(after - before, 0u)
+      << "the replication loop allocated " << (after - before) << " times";
+}
+
+TEST(FlatGossip, MillionNodeWorkspaceStaysBounded) {
+  // n = 10^6: two packed bitsets (125 KB each) + two frontiers (4 MB each)
+  // + fanout scratch (2 MB). Anything over 16 MB means a mask degenerated
+  // to a byte (or worse) per node.
+  const auto p = base_params(1'000'000, 4.0, 0.9);
+  FlatGossipEngine engine(p);
+  EXPECT_LE(engine.workspace_bytes(), 16u * 1024 * 1024);
+  EXPECT_GE(engine.workspace_bytes(), 2u * (1'000'000 / 8));
+}
+
+TEST(FlatGossip, CountsDuplicatesAndMessages) {
+  const auto p = base_params(500, 6.0, 1.0);
+  FlatGossipEngine engine(p);
+  // Seed note: 9 is the one seed in [9, 16) whose first code lands in the
+  // quantized low cell of the LUT (source draws fanout 0, cascade never
+  // starts) — a legitimate but useless execution for this test.
+  rng::RngStream rng(10);
+  const auto result = engine.run_once(rng);
+  // With z = 6 > ln(n) almost everyone is reached and most sends are
+  // redundant; both counters must be populated and consistent.
+  EXPECT_GT(result.messages_sent, result.num_nodes);
+  EXPECT_GT(result.duplicate_receipts, 0u);
+  EXPECT_GE(result.messages_sent,
+            result.duplicate_receipts + result.nonfailed_received - 1);
+}
+
+}  // namespace
+}  // namespace gossip::protocol

@@ -118,7 +118,7 @@ TEST(GossipMulticast, CrashedMembersMayReceiveInCaseB) {
 TEST(GossipMulticast, FixedAliveMaskIsHonored) {
   GossipParams p = base_params(10, 0.0, 1.0);
   p.fanout = core::fixed_fanout(9);
-  std::vector<std::uint8_t> alive{1, 1, 0, 1, 0, 1, 1, 1, 0, 1};
+  const core::Bitvec alive{1, 1, 0, 1, 0, 1, 1, 1, 0, 1};
   rng::RngStream rng(8);
   const auto result = run_gossip_once(p, alive, rng);
   EXPECT_EQ(result.alive, alive);
@@ -213,7 +213,7 @@ TEST(DrawAliveMask, SourceForcedAliveAndRatioRespected) {
   const int n = 1000;
   const auto mask = draw_alive_mask(n, 5, 0.3, rng);
   EXPECT_EQ(mask[5], 1);
-  for (const auto a : mask) alive_total += a;
+  alive_total = static_cast<int>(mask.count());
   EXPECT_NEAR(alive_total, 300, 60);
 }
 

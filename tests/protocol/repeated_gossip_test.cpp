@@ -47,11 +47,7 @@ TEST(RepeatedGossip, AliveMaskIsPersistentAcrossExecutions) {
       EXPECT_EQ(result.receive_counts[v], 0u) << "node " << v;
     }
   }
-  std::uint32_t alive_count = 0;
-  for (const auto a : result.alive) {
-    if (a) ++alive_count;
-  }
-  EXPECT_EQ(result.alive_count, alive_count);
+  EXPECT_EQ(result.alive_count, result.alive.count());
 }
 
 TEST(RepeatedGossip, SaturatingFanoutGivesFullCounts) {

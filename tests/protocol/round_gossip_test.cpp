@@ -77,7 +77,7 @@ TEST(RoundGossip, ForwardAlwaysBeatsForwardOnceAtEqualRounds) {
 
 TEST(RoundGossip, CrashedMembersNeverForward) {
   auto p = base_params(10, 9, 5, 1.0);
-  std::vector<std::uint8_t> alive{1, 0, 0, 0, 0, 0, 0, 0, 0, 1};
+  const core::Bitvec alive{1, 0, 0, 0, 0, 0, 0, 0, 0, 1};
   rng::RngStream rng(5);
   const auto result = run_round_gossip(p, alive, rng);
   EXPECT_EQ(result.execution.nonfailed_count, 2u);

@@ -1,0 +1,106 @@
+/// Lut88Sampler: the 8.8 fixed-point inverse-CDF table behind the flat
+/// engine's batched fanout draws. The table realizes a quantized pmf; the
+/// tests sweep the full 16-bit code space exhaustively, so the bounds here
+/// are exact properties of the table, not statistical checks.
+
+#include "rng/lut_sampler.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/degree_distribution.hpp"
+
+namespace gossip::rng {
+namespace {
+
+TEST(Lut88Sampler, RejectsDegeneratePmfs) {
+  EXPECT_THROW(Lut88Sampler({}), std::invalid_argument);
+  EXPECT_THROW(Lut88Sampler({0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(Lut88Sampler({0.5, -0.1}), std::invalid_argument);
+  EXPECT_THROW(Lut88Sampler(std::vector<double>(300, 1.0)),
+               std::invalid_argument);  // support exceeds 8.8 range
+}
+
+TEST(Lut88Sampler, PointMassAlwaysReturnsThatOutcome) {
+  // P(X = 4) = 1: every one of the 2^16 codes must map to 4 — the LUT
+  // equivalent of fixed_fanout(4).
+  std::vector<double> weights(5, 0.0);
+  weights[4] = 1.0;
+  const Lut88Sampler sampler(weights);
+  EXPECT_EQ(sampler.max_value(), 4);
+  for (std::uint32_t code = 0; code < (1u << 16); ++code) {
+    ASSERT_EQ(sampler.sample_code(code), 4) << "code " << code;
+  }
+}
+
+TEST(Lut88Sampler, RealizedPmfTracksTargetWithinQuantization) {
+  // Poisson(4) truncated to the LUT support. Each CDF entry is quantized to
+  // 8 fractional bits, so any outcome's realized probability can shift by
+  // about 2 * 2^-8; assert a bound just above that.
+  const auto dist = core::poisson_fanout(4.0);
+  auto weights = dist->pmf_vector(1e-9);
+  ASSERT_LE(weights.size(), 256u);
+  const Lut88Sampler sampler(weights);
+
+  double total = 0.0;
+  for (const double w : weights) total += w;
+  const auto realized = sampler.realized_pmf();
+  ASSERT_GE(realized.size(), weights.size());
+  for (std::size_t k = 0; k < weights.size(); ++k) {
+    EXPECT_NEAR(realized[k], weights[k] / total, 2.5 / 256.0)
+        << "outcome " << k;
+  }
+}
+
+TEST(Lut88Sampler, RealizedMeanMatchesTargetMean) {
+  const auto dist = core::poisson_fanout(4.0);
+  const Lut88Sampler sampler(dist->pmf_vector(1e-9));
+  // Mean error compounds per-outcome quantization; observed error is well
+  // under 0.02 for Poisson(4).
+  EXPECT_NEAR(sampler.realized_mean(), 4.0, 0.05);
+}
+
+TEST(Lut88Sampler, SampleIsDeterministicAndConsumesOneDraw) {
+  const auto dist = core::poisson_fanout(4.0);
+  const Lut88Sampler sampler(dist->pmf_vector(1e-9));
+  RngStream rng1(123);
+  RngStream rng2(123);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(sampler.sample(rng1), sampler.sample(rng2));
+  }
+  // One raw 64-bit draw per sample: the streams stay in lockstep with a
+  // stream that only drew raw words.
+  RngStream rng3(123);
+  for (int i = 0; i < 1000; ++i) (void)rng3();
+  EXPECT_EQ(rng1(), rng3());
+}
+
+TEST(Lut88Sampler, EmpiricalMeanMatchesRealizedMean) {
+  const auto dist = core::poisson_fanout(4.0);
+  const Lut88Sampler sampler(dist->pmf_vector(1e-9));
+  RngStream rng(2008);
+  const int draws = 200'000;
+  double sum = 0.0;
+  for (int i = 0; i < draws; ++i) {
+    sum += static_cast<double>(sampler.sample(rng));
+  }
+  const double sigma = 2.0 / std::sqrt(static_cast<double>(draws));
+  EXPECT_NEAR(sum / draws, sampler.realized_mean(), 4.0 * sigma);
+}
+
+TEST(Lut88Sampler, UnnormalizedWeightsAreNormalized) {
+  // Scaling every weight by a constant must not change the table.
+  const std::vector<double> base{0.25, 0.5, 0.25};
+  const std::vector<double> scaled{25.0, 50.0, 25.0};
+  const Lut88Sampler a(base);
+  const Lut88Sampler b(scaled);
+  for (std::uint32_t code = 0; code < (1u << 16); ++code) {
+    ASSERT_EQ(a.sample_code(code), b.sample_code(code)) << "code " << code;
+  }
+}
+
+}  // namespace
+}  // namespace gossip::rng

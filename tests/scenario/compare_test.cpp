@@ -1,0 +1,182 @@
+/// Tolerance diff of scenario result CSVs (scenario/compare.hpp), the
+/// engine behind `gossip_scenarios --compare`.
+
+#include "scenario/compare.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace gossip::scenario {
+namespace {
+
+class CompareCsvTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    for (const auto& path : files_) std::remove(path.c_str());
+  }
+
+  std::string write_csv(const std::string& name,
+                        const std::vector<std::string>& lines) {
+    const std::string path = ::testing::TempDir() + name;
+    std::ofstream out(path);
+    for (const auto& line : lines) out << line << "\n";
+    files_.push_back(path);
+    return path;
+  }
+
+  static std::string header() {
+    return "scenario,case,backend,metric,replications,seed,"
+           "reliability_mean,reliability_ci_lo,reliability_ci_hi,"
+           "success_rate,messages_mean,completion_mean,"
+           "midrun_crashes_mean,workload_messages,msg_reliability_min,"
+           "msg_latency_mean";
+  }
+
+  std::vector<std::string> files_;
+};
+
+TEST_F(CompareCsvTest, IdenticalFilesAgree) {
+  const std::vector<std::string> lines = {
+      header(),
+      "fig4,fanout=4,protocol,reliability,60,2008,0.9695,0.96,0.98,"
+      "0.95,4400.0,9.0,0.0,1,0.9695,"};
+  const auto a = write_csv("cmp_a.csv", lines);
+  const auto b = write_csv("cmp_b.csv", lines);
+  const auto report = compare_result_csvs(a, b);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.rows_compared, 1u);
+  EXPECT_TRUE(report.diffs.empty());
+}
+
+TEST_F(CompareCsvTest, StatisticalJitterWithinToleranceAgrees) {
+  // Different seeds and worker counts: reliability moves by < 0.03,
+  // messages by < 10%. That is agreement, not a regression.
+  const auto a = write_csv(
+      "jit_a.csv",
+      {header(),
+       "fig4,fanout=4,protocol,reliability,60,2008,0.9695,0.96,0.98,"
+       "0.95,4400.0,9.0,0.0,1,0.9695,"});
+  const auto b = write_csv(
+      "jit_b.csv",
+      {header(),
+       "fig4,fanout=4,protocol,reliability,60,7,0.9551,0.94,0.97,"
+       "0.93,4630.0,9.4,0.0,1,0.9551,"});
+  EXPECT_TRUE(compare_result_csvs(a, b).ok());
+}
+
+TEST_F(CompareCsvTest, OutOfToleranceReliabilityIsFlagged) {
+  const auto a = write_csv(
+      "tol_a.csv",
+      {header(),
+       "fig4,fanout=4,protocol,reliability,60,2008,0.9695,0.96,0.98,"
+       "0.95,4400.0,9.0,0.0,1,0.9695,"});
+  const auto b = write_csv(
+      "tol_b.csv",
+      {header(),
+       "fig4,fanout=4,protocol,reliability,60,2008,0.9000,0.96,0.98,"
+       "0.95,4400.0,9.0,0.0,1,0.9695,"});
+  const auto report = compare_result_csvs(a, b);
+  EXPECT_FALSE(report.ok());
+  ASSERT_EQ(report.diffs.size(), 1u);
+  EXPECT_EQ(report.diffs[0].column, "reliability_mean");
+  // Tightening the tolerance flags more columns; loosening clears it.
+  CompareOptions loose;
+  loose.reliability_tolerance = 0.10;
+  EXPECT_TRUE(compare_result_csvs(a, b, loose).ok());
+}
+
+TEST_F(CompareCsvTest, UnmatchedRowsAreReported) {
+  const auto a = write_csv(
+      "row_a.csv",
+      {header(),
+       "fig4,fanout=4,protocol,reliability,60,2008,0.97,0.96,0.98,"
+       "0.95,4400.0,9.0,0.0,1,0.97,",
+       "fig4,fanout=5,protocol,reliability,60,2008,0.99,0.98,1.0,"
+       "1.0,5500.0,9.0,0.0,1,0.99,"});
+  const auto b = write_csv(
+      "row_b.csv",
+      {header(),
+       "fig4,fanout=4,protocol,reliability,60,2008,0.97,0.96,0.98,"
+       "0.95,4400.0,9.0,0.0,1,0.97,"});
+  const auto report = compare_result_csvs(a, b);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.rows_compared, 1u);
+  ASSERT_EQ(report.only_in_a.size(), 1u);
+  EXPECT_NE(report.only_in_a[0].find("fanout=5"), std::string::npos);
+  EXPECT_TRUE(report.only_in_b.empty());
+}
+
+TEST_F(CompareCsvTest, EmptyCellsAreSkippedNotCompared) {
+  // msg_latency_mean is blank for backends without per-message data; a
+  // blank-vs-number pairing must not count as a diff.
+  const auto a = write_csv(
+      "blank_a.csv",
+      {header(),
+       "fig4,fanout=4,round,reliability,60,2008,0.97,0.96,0.98,"
+       "0.95,4400.0,9.0,0.0,1,0.97,"});
+  const auto b = write_csv(
+      "blank_b.csv",
+      {header(),
+       "fig4,fanout=4,round,reliability,60,2008,0.97,0.96,0.98,"
+       "0.95,4400.0,9.0,0.0,1,0.97,7.25"});
+  EXPECT_TRUE(compare_result_csvs(a, b).ok());
+}
+
+TEST_F(CompareCsvTest, RejectsMalformedInputs) {
+  EXPECT_THROW((void)compare_result_csvs("/nonexistent/a.csv",
+                                         "/nonexistent/b.csv"),
+               std::runtime_error);
+  const auto not_results =
+      write_csv("bad.csv", {"x,y,z", "1,2,3"});
+  const auto good = write_csv(
+      "good.csv",
+      {header(),
+       "fig4,fanout=4,round,reliability,60,2008,0.97,0.96,0.98,"
+       "0.95,4400.0,9.0,0.0,1,0.97,"});
+  EXPECT_THROW((void)compare_result_csvs(not_results, good),
+               std::runtime_error);
+  const auto ragged = write_csv("ragged.csv",
+                                {header(), "fig4,fanout=4,round"});
+  EXPECT_THROW((void)compare_result_csvs(ragged, good),
+               std::runtime_error);
+}
+
+TEST_F(CompareCsvTest, QuotedCaseLabelsRoundTrip) {
+  // Sweep labels carry embedded commas and are RFC 4180-quoted by the
+  // writer; the key match must see the unquoted label.
+  const auto a = write_csv(
+      "quo_a.csv",
+      {header(),
+       "fig4a,\"z=4.0,f=0.1\",graph,reliability,60,2008,0.9695,0.96,0.98,"
+       "0.95,4400.0,0.0,0.0,1,0.9695,"});
+  const auto b = write_csv(
+      "quo_b.csv",
+      {header(),
+       "fig4a,\"z=4.0,f=0.1\",graph,reliability,60,7,0.9600,0.95,0.97,"
+       "0.93,4500.0,0.0,0.0,1,0.9600,"});
+  const auto report = compare_result_csvs(a, b);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.rows_compared, 1u);
+}
+
+TEST_F(CompareCsvTest, ReportPrinterSummarizes) {
+  const auto a = write_csv(
+      "prn_a.csv",
+      {header(),
+       "fig4,fanout=4,round,reliability,60,2008,0.97,0.96,0.98,"
+       "0.95,4400.0,9.0,0.0,1,0.97,"});
+  const auto report = compare_result_csvs(a, a);
+  std::ostringstream out;
+  print_compare_report(out, report);
+  EXPECT_NE(out.str().find("OK"), std::string::npos);
+  EXPECT_NE(out.str().find("1 row(s) compared"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gossip::scenario

@@ -64,6 +64,67 @@ TEST(ScenarioRunner, BitIdenticalAcrossWorkerCounts) {
   }
 }
 
+TEST(ScenarioRunner, FlatBackendMatchesDirectFlatEstimate) {
+  // backend = flat must route to estimate_reliability_flat with exactly
+  // the spec's parameters: same seed, same numbers, to the last bit.
+  ScenarioSpec spec;
+  spec.set("name", "flat_direct")
+      .set("n", "2000")
+      .set("backend", "flat")
+      .set("fanout", "poisson(4)")
+      .set("failure", "crash(0.1)")
+      .set("loss", "0.05")
+      .set("repetitions", "12")
+      .set("seed", "2008");
+  const auto results = ScenarioRunner(nullptr).run(spec);
+  ASSERT_EQ(results.size(), 1u);
+
+  protocol::FlatGossipParams fp;
+  fp.num_nodes = 2000;
+  fp.nonfailed_ratio = 0.9;
+  fp.loss_probability = 0.05;
+  fp.fanout = core::poisson_fanout(4.0);
+  experiment::MonteCarloOptions options;
+  options.replications = 12;
+  options.seed = 2008;
+  const auto direct = experiment::estimate_reliability_flat(fp, options);
+  EXPECT_EQ(results[0].reliability.mean(), direct.mean_reliability());
+  EXPECT_EQ(results[0].messages.mean(), direct.messages.mean());
+}
+
+TEST(ScenarioRunner, FlatBackendRejectsUnsupportedKnobs) {
+  // Everything outside the Fig. 4/5 regime is a spec error, never a silent
+  // fallback to different physics.
+  auto base = [] {
+    ScenarioSpec spec;
+    spec.set("name", "flat_bad")
+        .set("n", "100")
+        .set("backend", "flat")
+        .set("fanout", "poisson(4)")
+        .set("repetitions", "2")
+        .set("seed", "1");
+    return spec;
+  };
+  {
+    auto spec = base();
+    spec.set("latency", "exponential(1)");
+    EXPECT_THROW((void)ScenarioRunner(nullptr).run(spec),
+                 std::invalid_argument);
+  }
+  {
+    auto spec = base();
+    spec.set("failure", "churn(crash@2:0.3)");
+    EXPECT_THROW((void)ScenarioRunner(nullptr).run(spec),
+                 std::invalid_argument);
+  }
+  {
+    auto spec = base();
+    spec.set("workload.messages", "3");
+    EXPECT_THROW((void)ScenarioRunner(nullptr).run(spec),
+                 std::invalid_argument);
+  }
+}
+
 TEST(ScenarioRunner, MidrunSpecMatchesHandWrittenReplicationLoop) {
   // The contract behind the ablation migrations: a spec-driven midrun-crash
   // case must reproduce the bespoke loop it replaced bit for bit.

@@ -220,12 +220,49 @@ TEST(ScenarioSpecHelpers, EditDistanceAndNearestName) {
 
 TEST(ScenarioSpecHelpers, StrictNumericParses) {
   EXPECT_DOUBLE_EQ(to_double(" 2.5 ", "x"), 2.5);
+  EXPECT_DOUBLE_EQ(to_double("+0.25", "x"), 0.25);
+  EXPECT_DOUBLE_EQ(to_double("1e3", "x"), 1000.0);
   EXPECT_EQ(to_u32("1000", "n"), 1000u);
   EXPECT_EQ(to_u64("98765432100", "seed"), 98765432100ULL);
+  EXPECT_EQ(to_u64("18446744073709551615", "seed"),
+            18446744073709551615ULL);  // exactly 2^64 - 1
   EXPECT_THROW((void)to_double("2.5abc", "x"), std::invalid_argument);
   EXPECT_THROW((void)to_u32("-3", "n"), std::invalid_argument);
   EXPECT_THROW((void)to_u32("5000000000", "n"), std::invalid_argument);
   EXPECT_THROW((void)to_u64("abc", "seed"), std::invalid_argument);
+}
+
+TEST(ScenarioSpecHelpers, NumericParsesRejectPartialTokens) {
+  // Every character of the value must parse; a numeric prefix followed by
+  // junk is a spec error, never a silent truncation to the prefix.
+  EXPECT_THROW((void)to_u64("4abc", "fanout"), std::invalid_argument);
+  EXPECT_THROW((void)to_u32("10 20", "n"), std::invalid_argument);
+  EXPECT_THROW((void)to_double("1.5.2", "x"), std::invalid_argument);
+  EXPECT_THROW((void)to_double("0x10", "x"), std::invalid_argument);
+  EXPECT_THROW((void)to_double("", "x"), std::invalid_argument);
+  EXPECT_THROW((void)to_double("+", "x"), std::invalid_argument);
+  EXPECT_THROW((void)to_u64("", "seed"), std::invalid_argument);
+  EXPECT_THROW((void)to_u64("+", "seed"), std::invalid_argument);
+  EXPECT_THROW((void)to_u64("1.5", "seed"), std::invalid_argument);
+}
+
+TEST(ScenarioSpecHelpers, NumericParsesRejectOverflow) {
+  // 2^64 exactly one past the representable max, and a double exponent far
+  // beyond the format: both must throw, not saturate or wrap.
+  EXPECT_THROW((void)to_u64("18446744073709551616", "seed"),
+               std::invalid_argument);
+  EXPECT_THROW((void)to_u64("99999999999999999999999", "seed"),
+               std::invalid_argument);
+  EXPECT_THROW((void)to_double("1e999", "x"), std::invalid_argument);
+  EXPECT_THROW((void)to_double("-1e999", "x"), std::invalid_argument);
+}
+
+TEST(ScenarioSpecHelpers, NumericParsesAreLocaleIndependent) {
+  // std::from_chars always uses '.' as the decimal separator, regardless of
+  // the global C locale — the comma form must be rejected whole, not
+  // prefix-parsed as "3".
+  EXPECT_DOUBLE_EQ(to_double("3.5", "x"), 3.5);
+  EXPECT_THROW((void)to_double("3,5", "x"), std::invalid_argument);
 }
 
 }  // namespace

@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Compare a Google Benchmark JSON run against a committed baseline.
+
+Usage:
+    tools/bench_compare.py BASELINE.json CURRENT.json [--max-ratio 1.5]
+                           [--min-speedup NAME_A/NAME_B=FACTOR]...
+
+Both files are ``--benchmark_format=json`` output. Benchmarks are matched
+by their full name (including args, e.g. ``BM_RoundLoopFlat/100000``); the
+gate is on real_time per iteration. A benchmark only present on one side is
+reported but does not fail the gate (benchmarks get added over time, and a
+baseline recorded on different hardware is advisory for absolute times).
+
+``--max-ratio R`` (default 1.5): fail when current/baseline real_time
+exceeds R for any benchmark present in both files. Machine-to-machine
+variance is why the default gate is deliberately loose; it exists to catch
+order-of-magnitude regressions (an accidental O(n^2), a lost optimization
+flag), not 5% noise.
+
+``--min-speedup A/B=F``: fail unless benchmark A is at least F times
+faster than benchmark B *within the current run*. Since both numbers come
+from the same machine and process, this check is hardware-independent —
+it pins relative performance claims, e.g.:
+
+    --min-speedup BM_RoundLoopFlat/100000/BM_RoundLoopReference/100000=5
+
+Exit status: 0 = all gates pass, 1 = regression, 2 = usage/parse error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_benchmarks(path):
+    """Return {name: real_time_ns} from a google-benchmark JSON file."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"error: cannot read {path}: {exc}")
+    out = {}
+    for bench in doc.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev of repeated runs); the
+        # raw iterations row carries run_type "iteration" (or no run_type
+        # in older benchmark versions).
+        if bench.get("run_type", "iteration") != "iteration":
+            continue
+        name = bench.get("name")
+        time = bench.get("real_time")
+        unit = bench.get("time_unit", "ns")
+        if name is None or time is None:
+            continue
+        scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}.get(unit)
+        if scale is None:
+            raise SystemExit(f"error: {path}: unknown time_unit {unit!r}")
+        out[name] = float(time) * scale
+    if not out:
+        raise SystemExit(f"error: {path}: no benchmarks found")
+    return out
+
+
+def parse_speedup_spec(spec):
+    """'A/B=F' where A and B are benchmark names (which themselves contain
+    slashes for args) -> (A, B, F). The split point is the LAST '/' before
+    '='; benchmark arg segments are numeric, so the name boundary is the
+    '/BM_' separator."""
+    if "=" not in spec:
+        raise SystemExit(f"error: bad --min-speedup spec {spec!r}")
+    names, _, factor_text = spec.rpartition("=")
+    try:
+        factor = float(factor_text)
+    except ValueError:
+        raise SystemExit(f"error: bad --min-speedup factor in {spec!r}")
+    sep = names.find("/BM_", 1)
+    if sep < 0:
+        raise SystemExit(
+            f"error: --min-speedup spec {spec!r} must name two benchmarks "
+            "as NAME_A/NAME_B=FACTOR")
+    return names[:sep], names[sep + 1:], factor
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--max-ratio", type=float, default=1.5)
+    parser.add_argument("--min-speedup", action="append", default=[],
+                        metavar="NAME_A/NAME_B=FACTOR")
+    args = parser.parse_args(argv)
+
+    baseline = load_benchmarks(args.baseline)
+    current = load_benchmarks(args.current)
+
+    failures = []
+    print(f"{'benchmark':<44} {'baseline':>12} {'current':>12} {'ratio':>7}")
+    for name in sorted(set(baseline) | set(current)):
+        if name not in current:
+            print(f"{name:<44} {baseline[name]:>12.1f} {'-':>12} {'-':>7}")
+            continue
+        if name not in baseline:
+            print(f"{name:<44} {'-':>12} {current[name]:>12.1f} {'-':>7}  "
+                  "(new)")
+            continue
+        ratio = current[name] / baseline[name] if baseline[name] else 0.0
+        flag = ""
+        if ratio > args.max_ratio:
+            flag = f"  REGRESSION (> {args.max_ratio:g}x)"
+            failures.append(
+                f"{name}: {ratio:.2f}x slower than baseline")
+        print(f"{name:<44} {baseline[name]:>12.1f} {current[name]:>12.1f} "
+              f"{ratio:>7.2f}{flag}")
+
+    for spec in args.min_speedup:
+        fast, slow, factor = parse_speedup_spec(spec)
+        missing = [n for n in (fast, slow) if n not in current]
+        if missing:
+            failures.append(
+                f"--min-speedup {spec}: missing benchmark(s) "
+                f"{', '.join(missing)} in current run")
+            continue
+        achieved = current[slow] / current[fast] if current[fast] else 0.0
+        verdict = "ok" if achieved >= factor else "FAIL"
+        print(f"speedup {fast} vs {slow}: {achieved:.1f}x "
+              f"(required {factor:g}x) {verdict}")
+        if achieved < factor:
+            failures.append(
+                f"{fast} is only {achieved:.1f}x faster than {slow} "
+                f"(required {factor:g}x)")
+
+    if failures:
+        print("\nFAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("\nall benchmark gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -5,6 +5,7 @@
 ///
 ///   gossip_scenarios <spec.scn> [--csv <path>] [--threads N] [--print-spec]
 ///                    [--smoke]
+///   gossip_scenarios --compare <a.csv> <b.csv> [--tolerance T]
 ///
 ///   --csv <path>   CSV output path (default: results/<name>.csv)
 ///   --threads N    worker threads; 0 = hardware concurrency (default 0).
@@ -13,6 +14,12 @@
 ///   --smoke        smoke mode: cap repetitions at 2 so CI can execute a
 ///                  spec end to end in seconds (numbers are NOT the spec's
 ///                  pinned values; use a full run for those)
+///   --compare      tolerance-diff two result CSVs (rows matched by
+///                  scenario/case/metric); exit 0 iff they agree. Use it to
+///                  check a re-run, a different thread count, or a new code
+///                  version against a committed reference run.
+///   --tolerance T  absolute tolerance on reliability columns in --compare
+///                  mode (default 0.03, the paper-anchor tolerance)
 
 #include <cstdlib>
 #include <iostream>
@@ -21,6 +28,7 @@
 #include "experiment/csv.hpp"
 #include "experiment/table.hpp"
 #include "parallel/thread_pool.hpp"
+#include "scenario/compare.hpp"
 #include "scenario/runner.hpp"
 #include "scenario/spec.hpp"
 
@@ -28,14 +36,57 @@ namespace {
 
 int usage() {
   std::cerr << "usage: gossip_scenarios <spec.scn> [--csv <path>] "
-               "[--threads N] [--print-spec] [--smoke]\n";
+               "[--threads N] [--print-spec] [--smoke]\n"
+               "       gossip_scenarios --compare <a.csv> <b.csv> "
+               "[--tolerance T]\n";
   return 2;
+}
+
+int run_compare(int argc, char** argv) {
+  using namespace gossip;
+  std::string path_a;
+  std::string path_b;
+  scenario::CompareOptions options;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--tolerance" && i + 1 < argc) {
+      try {
+        options.reliability_tolerance =
+            scenario::to_double(argv[++i], "--tolerance");
+      } catch (const std::exception& e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return usage();
+      }
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else if (path_a.empty()) {
+      path_a = arg;
+    } else if (path_b.empty()) {
+      path_b = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (path_b.empty()) return usage();
+  try {
+    const auto report =
+        scenario::compare_result_csvs(path_a, path_b, options);
+    scenario::print_compare_report(std::cout, report);
+    return report.ok() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace gossip;
+
+  if (argc > 1 && std::string(argv[1]) == "--compare") {
+    return run_compare(argc, argv);
+  }
 
   std::string spec_path;
   std::string csv_path;
