@@ -170,6 +170,30 @@ BENCHMARK(BM_RoundLoopFlat)
     ->Arg(1000000)
     ->Unit(benchmark::kMillisecond);
 
+// Same round loop with a RoundTrace probe attached: the delta against
+// BM_RoundLoopFlat is the whole cost of per-round observation (a handful
+// of counter subtractions and one virtual call per round — sub-percent).
+// The null-probe case is gated separately in CI: BM_RoundLoopFlat itself
+// must stay within 1.05x of the committed pre-instrumentation baseline.
+void BM_RoundLoopFlatTraced(benchmark::State& state) {
+  protocol::FlatGossipParams params;
+  params.num_nodes = static_cast<std::uint64_t>(state.range(0));
+  params.nonfailed_ratio = 0.9;
+  params.fanout = core::poisson_fanout(4.0);
+  protocol::FlatGossipEngine engine(params);
+  rng::RngStream rng(2008);
+  obs::RoundTrace trace;
+  for (auto _ : state) {
+    trace.clear();
+    benchmark::DoNotOptimize(engine.run_once(rng, &trace));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RoundLoopFlatTraced)
+    ->Arg(100000)
+    ->Arg(1000000)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_GraphMonteCarloReplication(benchmark::State& state) {
   const auto dist = core::poisson_fanout(4.0);
   experiment::MonteCarloOptions opt;

@@ -1,5 +1,6 @@
 #include "experiment/component_mc.hpp"
 
+#include <chrono>
 #include <stdexcept>
 
 #include "graph/components.hpp"
@@ -31,7 +32,11 @@ ComponentEstimate estimate_giant_component(
     double mean_size = 0.0;
   };
   std::vector<Outcome> outcomes(options.replications);
+  if (options.replication_seconds != nullptr) {
+    options.replication_seconds->assign(options.replications, 0.0);
+  }
   const auto run_one = [&](std::size_t i) {
+    const auto start = std::chrono::steady_clock::now();
     auto rng = root.substream(i);
     const auto g =
         graph::configuration_model_from_sampler(num_nodes, sampler, rng);
@@ -43,20 +48,26 @@ ComponentEstimate estimate_giant_component(
     }
     if (alive_count == 0) {
       outcomes[i] = {0.0, 0.0, 0.0};
-      return;
+    } else {
+      const auto comps = graph::undirected_components(g, alive);
+      // E[size of a random member's component], failed members counting 0:
+      // sum over components of size^2 / n (the paper's Eq. (2) estimand).
+      double sum_sq = 0.0;
+      for (const auto size : comps.sizes) {
+        sum_sq += static_cast<double>(size) * static_cast<double>(size);
+      }
+      outcomes[i] = {static_cast<double>(comps.giant_size) /
+                         static_cast<double>(alive_count),
+                     static_cast<double>(comps.giant_size) /
+                         static_cast<double>(num_nodes),
+                     sum_sq / static_cast<double>(num_nodes)};
     }
-    const auto comps = graph::undirected_components(g, alive);
-    // E[size of a random member's component], failed members counting 0:
-    // sum over components of size^2 / n (the paper's Eq. (2) estimand).
-    double sum_sq = 0.0;
-    for (const auto size : comps.sizes) {
-      sum_sq += static_cast<double>(size) * static_cast<double>(size);
+    if (options.replication_seconds != nullptr) {
+      (*options.replication_seconds)[i] =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
     }
-    outcomes[i] = {
-        static_cast<double>(comps.giant_size) /
-            static_cast<double>(alive_count),
-        static_cast<double>(comps.giant_size) / static_cast<double>(num_nodes),
-        sum_sq / static_cast<double>(num_nodes)};
   };
   if (options.pool != nullptr) {
     parallel::parallel_for(*options.pool, options.replications, run_one);

@@ -1,5 +1,6 @@
 #include "experiment/monte_carlo.hpp"
 
+#include <chrono>
 #include <memory>
 #include <mutex>
 #include <stdexcept>
@@ -19,19 +20,31 @@ struct RepOutcome {
   bool success = false;
 };
 
-/// Runs `replications` independent evaluations of `body` (indexed, seeded by
-/// substream) and folds them deterministically in index order.
+/// Runs `replications` independent evaluations of `body(i, rng)` (seeded by
+/// substream i) and folds them deterministically in index order. Per-rep
+/// wall times land in options.replication_seconds when requested.
 template <typename Body>
-ReliabilityEstimate run_replications(const MonteCarloOptions& options,
-                                     const Body& body) {
+ReliabilityEstimate run_replications_indexed(const MonteCarloOptions& options,
+                                             const Body& body) {
   if (options.replications == 0) {
     throw std::invalid_argument("Monte Carlo requires replications >= 1");
   }
   const rng::RngStream root(options.seed);
   std::vector<RepOutcome> outcomes(options.replications);
+  if (options.replication_seconds != nullptr) {
+    options.replication_seconds->assign(options.replications, 0.0);
+  }
   const auto run_one = [&](std::size_t i) {
     auto rep_rng = root.substream(i);
-    outcomes[i] = body(rep_rng);
+    if (options.replication_seconds == nullptr) {
+      outcomes[i] = body(i, rep_rng);
+      return;
+    }
+    const auto start = std::chrono::steady_clock::now();
+    outcomes[i] = body(i, rep_rng);
+    (*options.replication_seconds)[i] =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
   };
   if (options.pool != nullptr) {
     parallel::parallel_for(*options.pool, options.replications, run_one);
@@ -47,6 +60,14 @@ ReliabilityEstimate run_replications(const MonteCarloOptions& options,
     if (o.success) ++estimate.success_count;
   }
   return estimate;
+}
+
+/// Index-agnostic wrapper for bodies that only need the replication stream.
+template <typename Body>
+ReliabilityEstimate run_replications(const MonteCarloOptions& options,
+                                     const Body& body) {
+  return run_replications_indexed(
+      options, [&](std::size_t, rng::RngStream& rng) { return body(rng); });
 }
 
 }  // namespace
@@ -95,6 +116,12 @@ ReliabilityEstimate estimate_reliability_protocol(
 ReliabilityEstimate estimate_reliability_flat(
     const protocol::FlatGossipParams& params,
     const MonteCarloOptions& options) {
+  return estimate_reliability_flat(params, options, nullptr);
+}
+
+ReliabilityEstimate estimate_reliability_flat(
+    const protocol::FlatGossipParams& params, const MonteCarloOptions& options,
+    std::vector<obs::RoundTrace>* traces) {
   // Engine free-list: a worker checks one out per replication and returns
   // it, so engines (and their workspaces) are reused instead of rebuilt.
   // Outcomes depend only on the replication substream, never on which
@@ -103,8 +130,12 @@ ReliabilityEstimate estimate_reliability_flat(
   std::vector<std::unique_ptr<protocol::FlatGossipEngine>> engines;
   engines.push_back(
       std::make_unique<protocol::FlatGossipEngine>(params));  // validate now
+  if (traces != nullptr) {
+    traces->assign(options.replications, obs::RoundTrace{});
+  }
 
-  return run_replications(options, [&](rng::RngStream& rng) {
+  return run_replications_indexed(options, [&](std::size_t i,
+                                               rng::RngStream& rng) {
     std::unique_ptr<protocol::FlatGossipEngine> engine;
     {
       const std::lock_guard<std::mutex> lock(engines_mutex);
@@ -116,7 +147,8 @@ ReliabilityEstimate estimate_reliability_flat(
     if (engine == nullptr) {
       engine = std::make_unique<protocol::FlatGossipEngine>(params);
     }
-    const auto exec = engine->run_once(rng);
+    obs::Probe* probe = traces == nullptr ? nullptr : &(*traces)[i];
+    const auto exec = engine->run_once(rng, probe);
     {
       const std::lock_guard<std::mutex> lock(engines_mutex);
       engines.push_back(std::move(engine));

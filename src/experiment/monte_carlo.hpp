@@ -12,8 +12,10 @@
 
 #include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "core/degree_distribution.hpp"
+#include "obs/probe.hpp"
 #include "parallel/thread_pool.hpp"
 #include "protocol/flat_gossip.hpp"
 #include "protocol/gossip_multicast.hpp"
@@ -27,6 +29,10 @@ struct MonteCarloOptions {
   std::uint64_t seed = 42;
   /// Optional worker pool; nullptr runs serially.
   parallel::ThreadPool* pool = nullptr;
+  /// When set, resized to `replications` and entry i receives replication
+  /// i's wall-clock seconds (telemetry for run manifests). Timing is the
+  /// only nondeterministic output; the estimates themselves are unaffected.
+  std::vector<double>* replication_seconds = nullptr;
 };
 
 struct ReliabilityEstimate {
@@ -66,5 +72,15 @@ struct ReliabilityEstimate {
 /// other backends.
 [[nodiscard]] ReliabilityEstimate estimate_reliability_flat(
     const protocol::FlatGossipParams& params, const MonteCarloOptions& options);
+
+/// Traced flat-backend estimate: when `traces` is non-null it is resized to
+/// `options.replications` and entry i receives replication i's full
+/// per-round trajectory (obs::RoundTrace). The probe never consumes
+/// randomness, so the returned estimate is bit-identical to the untraced
+/// overload for the same options — tracing is free observation, not a
+/// different experiment.
+[[nodiscard]] ReliabilityEstimate estimate_reliability_flat(
+    const protocol::FlatGossipParams& params, const MonteCarloOptions& options,
+    std::vector<obs::RoundTrace>* traces);
 
 }  // namespace gossip::experiment

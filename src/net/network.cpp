@@ -27,22 +27,36 @@ void Network::send(NodeId from, NodeId to, const Message& message) {
   }
   if (down_[from]) {
     ++counters_.from_down_node;
+    if (drop_observer_) {
+      drop_observer_(from, to, message, DropReason::kSenderDown,
+                     simulator_.now());
+    }
     return;  // fail-stop: a crashed member performs no sends
   }
   ++counters_.sent;
   if (params_.loss_probability > 0.0 &&
       rng_.bernoulli(params_.loss_probability)) {
     ++counters_.lost;
+    if (drop_observer_) {
+      drop_observer_(from, to, message, DropReason::kLoss, simulator_.now());
+    }
     return;
   }
   if (loss_filter_ && loss_filter_(from, to, simulator_.now(), rng_)) {
     ++counters_.lost;
+    if (drop_observer_) {
+      drop_observer_(from, to, message, DropReason::kLoss, simulator_.now());
+    }
     return;
   }
   const double delay = params_.latency->sample(rng_);
   simulator_.schedule_after(delay, [this, from, to, message] {
     if (down_[to]) {
       ++counters_.to_down_node;
+      if (drop_observer_) {
+        drop_observer_(from, to, message, DropReason::kDestinationDown,
+                       simulator_.now());
+      }
       return;
     }
     ++counters_.delivered;

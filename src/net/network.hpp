@@ -46,6 +46,20 @@ struct NetworkCounters {
   std::uint64_t from_down_node = 0;  ///< Discarded: sender already crashed.
 };
 
+/// Why a message never reached its handler. Mirrors the counters above.
+enum class DropReason {
+  kLoss,             ///< Loss model (i.i.d. probability or loss filter).
+  kDestinationDown,  ///< Destination crashed before delivery.
+  kSenderDown,       ///< Sender crashed before the send (send ignored).
+};
+
+/// Per-drop observation hook for telemetry (obs::Probe plumbing): invoked
+/// only when a message is dropped, never on the delivery fast path, and
+/// handed no RNG — observers cannot perturb the simulation.
+using DropObserver = std::function<void(NodeId from, NodeId to,
+                                        const Message& message,
+                                        DropReason reason, double now)>;
+
 class Network {
  public:
   /// The network borrows the simulator and owns a dedicated RNG stream for
@@ -73,6 +87,12 @@ class Network {
   /// after the i.i.d. loss_probability draw.
   void set_loss_filter(LossFilter filter) { loss_filter_ = std::move(filter); }
 
+  /// Installs (or clears, with nullptr) a drop observer. Purely
+  /// observational: the counters advance identically with or without one.
+  void set_drop_observer(DropObserver observer) {
+    drop_observer_ = std::move(observer);
+  }
+
   [[nodiscard]] bool is_down(NodeId node) const { return down_.at(node) != 0; }
 
   [[nodiscard]] const NetworkCounters& counters() const noexcept {
@@ -88,6 +108,7 @@ class Network {
   std::vector<NodeHandler*> handlers_;
   std::vector<std::uint8_t> down_;
   LossFilter loss_filter_;
+  DropObserver drop_observer_;
   NetworkCounters counters_;
 };
 

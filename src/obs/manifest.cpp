@@ -1,0 +1,134 @@
+#include "obs/manifest.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace gossip::obs {
+
+namespace {
+
+/// Shortest round-trip double formatting (%.17g trimmed would be noisy;
+/// %g at 12 significant digits is stable and plenty for wall clocks and
+/// metric means).
+std::string fmt_number(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.12g", value);
+  return buffer;
+}
+
+void append_case(std::string& out, const CaseManifest& c,
+                 const std::string& indent) {
+  const std::string in2 = indent + "  ";
+  out += indent + "{\n";
+  out += in2 + "\"scenario\": \"" + json_escape(c.scenario) + "\",\n";
+  out += in2 + "\"case\": \"" + json_escape(c.label) + "\",\n";
+  out += in2 + "\"backend\": \"" + json_escape(c.backend) + "\",\n";
+  out += in2 + "\"metric\": \"" + json_escape(c.metric) + "\",\n";
+  out += in2 + "\"seed\": " + std::to_string(c.seed) + ",\n";
+  out += in2 + "\"replications\": " + std::to_string(c.replications) + ",\n";
+  out += in2 + "\"primary\": " + fmt_number(c.primary) + ",\n";
+  out += in2 + "\"success_rate\": " + fmt_number(c.success_rate) + ",\n";
+  out += in2 + "\"wall_seconds\": " + fmt_number(c.wall_seconds) + ",\n";
+  out += in2 + "\"rep_seconds\": {\"min\": " + fmt_number(c.rep_seconds_min) +
+         ", \"mean\": " + fmt_number(c.rep_seconds_mean) +
+         ", \"max\": " + fmt_number(c.rep_seconds_max) + "},\n";
+  out += in2 + "\"rep_time_log2us\": [";
+  for (std::size_t i = 0; i < c.rep_time_log2us.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += std::to_string(c.rep_time_log2us[i]);
+  }
+  out += "]\n";
+  out += indent + "}";
+}
+
+}  // namespace
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char ch : text) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
+          out += buffer;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+std::uint64_t fnv1a64(std::string_view text) noexcept {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char ch : text) {
+    hash ^= static_cast<unsigned char>(ch);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+std::uint64_t peak_rss_bytes() noexcept {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::uint64_t>(usage.ru_maxrss);  // bytes on macOS
+#else
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
+
+std::string to_json(const RunManifest& manifest) {
+  std::string out = "{\n";
+  out += "  \"tool\": \"" + json_escape(manifest.tool) + "\",\n";
+  out += "  \"spec_name\": \"" + json_escape(manifest.spec_name) + "\",\n";
+  out += "  \"spec_path\": \"" + json_escape(manifest.spec_path) + "\",\n";
+  out += "  \"spec_hash\": \"" + json_escape(manifest.spec_hash) + "\",\n";
+  out += "  \"threads\": " + std::to_string(manifest.threads) + ",\n";
+  out += std::string("  \"smoke\": ") + (manifest.smoke ? "true" : "false") +
+         ",\n";
+  out += "  \"trace\": \"" + json_escape(manifest.trace_mode) + "\",\n";
+  out += "  \"results_csv\": \"" + json_escape(manifest.results_csv) + "\",\n";
+  out += "  \"trace_csv\": \"" + json_escape(manifest.trace_csv) + "\",\n";
+  out += "  \"total_wall_seconds\": " + fmt_number(manifest.total_wall_seconds) +
+         ",\n";
+  out += "  \"peak_rss_bytes\": " + std::to_string(manifest.peak_rss_bytes) +
+         ",\n";
+  out += "  \"cases\": [\n";
+  for (std::size_t i = 0; i < manifest.cases.size(); ++i) {
+    append_case(out, manifest.cases[i], "    ");
+    out += i + 1 < manifest.cases.size() ? ",\n" : "\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+void write_manifest(const std::string& path, const RunManifest& manifest) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot write manifest: " + path);
+  }
+  out << to_json(manifest);
+  if (!out) {
+    throw std::runtime_error("error writing manifest: " + path);
+  }
+}
+
+}  // namespace gossip::obs

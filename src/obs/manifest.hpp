@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file manifest.hpp
+/// Run manifests: a machine-readable JSON record of one tool invocation —
+/// what spec ran (content hash), with which seeds and backends, how long
+/// every case and replication took, and how much memory the process peaked
+/// at. CI uploads the manifest next to the result CSVs so a perf regression
+/// is diagnosable from artifacts alone, without re-running anything; the
+/// same record is what a long-lived gossipd daemon would periodically
+/// checkpoint. Schema documented in docs/observability.md.
+///
+/// The JSON emitter is deliberately tiny (objects, arrays, strings,
+/// numbers) — no external dependency, stable key order (declaration order
+/// below), so manifests diff cleanly run to run.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gossip::obs {
+
+/// Per-case record. `rep_time_log2us[k]` counts replications whose wall
+/// clock fell in [2^(k-1), 2^k) microseconds (k = 0 collects sub-1us reps)
+/// — a log-scale latency histogram compact enough to commit yet sharp
+/// enough to show a bimodal slowdown that a mean would hide.
+struct CaseManifest {
+  std::string scenario;
+  std::string label;
+  std::string backend;
+  std::string metric;
+  std::uint64_t seed = 0;
+  std::uint64_t replications = 0;
+  double primary = 0.0;       ///< The case's headline metric value.
+  double success_rate = 0.0;
+  double wall_seconds = 0.0;  ///< Sum of this case's replication times.
+  double rep_seconds_min = 0.0;
+  double rep_seconds_mean = 0.0;
+  double rep_seconds_max = 0.0;
+  std::vector<std::uint64_t> rep_time_log2us;
+};
+
+struct RunManifest {
+  std::string tool;        ///< Emitting binary, e.g. "gossip_scenarios".
+  std::string spec_name;
+  std::string spec_path;   ///< As given on the command line; "" if inline.
+  std::string spec_hash;   ///< "fnv1a64:<16 hex>" over the normalized spec.
+  std::uint64_t threads = 0;
+  bool smoke = false;
+  std::string trace_mode;  ///< "off", "counters", or "rounds".
+  std::string results_csv;
+  std::string trace_csv;   ///< "" when no trace CSV was written.
+  double total_wall_seconds = 0.0;
+  std::uint64_t peak_rss_bytes = 0;
+  std::vector<CaseManifest> cases;
+};
+
+/// Serializes the manifest as pretty-printed JSON (two-space indent).
+[[nodiscard]] std::string to_json(const RunManifest& manifest);
+
+/// Writes to_json(manifest) at `path` (parent directory must exist).
+/// Throws std::runtime_error when the file cannot be written.
+void write_manifest(const std::string& path, const RunManifest& manifest);
+
+/// JSON string escaping for the emitter; exposed for tests.
+[[nodiscard]] std::string json_escape(std::string_view text);
+
+/// FNV-1a 64-bit content hash — stable across platforms and runs, used to
+/// fingerprint the normalized spec text in `RunManifest::spec_hash`.
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view text) noexcept;
+
+/// Peak resident set size of this process in bytes; 0 where the platform
+/// offers no getrusage-style accounting.
+[[nodiscard]] std::uint64_t peak_rss_bytes() noexcept;
+
+}  // namespace gossip::obs

@@ -1,0 +1,8 @@
+#include "obs/probe.hpp"
+
+namespace gossip::obs {
+
+// Out-of-line destructor anchors the vtable in this translation unit.
+Probe::~Probe() = default;
+
+}  // namespace gossip::obs

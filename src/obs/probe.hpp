@@ -1,0 +1,117 @@
+#pragma once
+
+/// \file probe.hpp
+/// The observability probe: a per-execution hook both gossip engines (the
+/// message-level DES in protocol/gossip_multicast.hpp and the flat
+/// struct-of-arrays engine in protocol/flat_gossip.hpp) report into while a
+/// dissemination runs. The paper's outputs are endpoint summaries
+/// (reliability, success); the probe exposes the *mechanism* behind them —
+/// the per-round epidemic growth curve, redundant-delivery waste, channel
+/// losses, and churn interference — which is exactly the trajectory data a
+/// mean-field/ODE co-model (ROADMAP "analytic fast path") must be validated
+/// against, and the shape of telemetry a live gossipd daemon would stream.
+///
+/// Cost contract: a null probe (the default `probe == nullptr`) must be
+/// free. Engines accumulate the per-round deltas in counters they keep
+/// anyway and test the pointer once per ROUND (never per message), so the
+/// instrumented-but-disabled hot path stays within 2% of the uninstrumented
+/// PR 6 baseline — gated by tools/bench_compare.py on BM_RoundLoopFlat.
+///
+/// Determinism contract: probes only observe. No probe implementation may
+/// consume engine randomness, and engines make identical draws whether or
+/// not a probe is attached — pinned by tests/protocol/probe_trace_test.cpp
+/// and the scenario-layer determinism suite.
+///
+/// This layer depends on nothing but the standard library so every other
+/// layer (protocol, experiment, scenario, tools) can link it freely.
+
+#include <cstdint>
+#include <vector>
+
+namespace gossip::obs {
+
+/// One round of a dissemination, in the flat engine's generation terms:
+/// round 0 is the injection (the source alone), and round r >= 1 covers the
+/// messages sent by the members first informed in round r - 1. The DES
+/// engine maps onto the same indexing by message hop count (a receipt whose
+/// message has hops == r belongs to round r), which coincides with virtual
+/// time under the default unit latency. Membership events (crash / join /
+/// lease expiry) are bucketed by floor(virtual time).
+///
+/// Accounting identity, both engines:
+///   sends == newly_informed + redundant + losses + dead_receipts
+/// for every round r >= 1 once the run has drained (in-flight messages keep
+/// their hop-round, so the identity is exact at on_run time even under
+/// latency). Round 0 breaks it by design: injections count as first
+/// receipts without wire traffic.
+struct RoundSample {
+  std::uint64_t round = 0;
+  /// Members that forwarded this round (the previous round's newly
+  /// informed that were alive to act — includes fanout-0 draws).
+  std::uint64_t frontier = 0;
+  std::uint64_t sends = 0;            ///< Messages put on the wire.
+  std::uint64_t newly_informed = 0;   ///< First receipts.
+  std::uint64_t redundant = 0;        ///< Duplicate receipts (waste).
+  std::uint64_t losses = 0;           ///< Channel losses (loss model).
+  std::uint64_t dead_receipts = 0;    ///< Dropped at crashed members.
+  std::uint64_t crashes = 0;          ///< Members crashing in this window.
+  std::uint64_t joins = 0;            ///< Members (re)joining.
+  std::uint64_t lease_expiries = 0;   ///< Lease-expiry re-subscriptions.
+  /// Cumulative members informed by the end of this round, source included.
+  /// In the flat engine this equals the survivors that received m; the DES
+  /// additionally counts members that received m but later crashed.
+  std::uint64_t informed = 0;
+};
+
+/// Whole-run counters, emitted once when the execution drains.
+struct RunSummary {
+  std::uint64_t rounds = 0;           ///< Highest round index reached.
+  std::uint64_t sends = 0;
+  std::uint64_t redundant = 0;
+  std::uint64_t losses = 0;
+  std::uint64_t dead_receipts = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t joins = 0;
+  std::uint64_t lease_expiries = 0;
+  std::uint64_t informed_final = 0;   ///< Cumulative informed at extinction.
+  std::uint64_t nonfailed_final = 0;  ///< Members alive at the end.
+};
+
+/// Observation sink. on_round fires once per round in round order; on_run
+/// fires once when the execution drains. Implementations must not throw and
+/// must not consume engine randomness.
+class Probe {
+ public:
+  virtual ~Probe();
+  virtual void on_round(const RoundSample& sample) = 0;
+  virtual void on_run(const RunSummary& summary) = 0;
+};
+
+/// The standard collector: records every round plus the run summary.
+/// Reusable across executions via clear() — the scenario runner keeps one
+/// per replication slot so tracing stays allocation-light.
+class RoundTrace final : public Probe {
+ public:
+  void on_round(const RoundSample& sample) override {
+    rounds_.push_back(sample);
+  }
+  void on_run(const RunSummary& summary) override { summary_ = summary; }
+
+  [[nodiscard]] const std::vector<RoundSample>& rounds() const noexcept {
+    return rounds_;
+  }
+  [[nodiscard]] const RunSummary& summary() const noexcept {
+    return summary_;
+  }
+
+  void clear() noexcept {
+    rounds_.clear();
+    summary_ = RunSummary{};
+  }
+
+ private:
+  std::vector<RoundSample> rounds_;
+  RunSummary summary_;
+};
+
+}  // namespace gossip::obs

@@ -76,7 +76,8 @@ void FlatGossipEngine::draw_alive(rng::RngStream& rng) {
   }
 }
 
-FlatGossipResult FlatGossipEngine::run_once(rng::RngStream& rng) {
+FlatGossipResult FlatGossipEngine::run_once(rng::RngStream& rng,
+                                            obs::Probe* probe) {
   const auto n = static_cast<std::uint64_t>(params_.num_nodes);
   const auto n_minus_1 = n - 1;
   const auto source = static_cast<std::uint32_t>(params_.source);
@@ -89,10 +90,27 @@ FlatGossipResult FlatGossipEngine::run_once(rng::RngStream& rng) {
   FlatGossipResult result;
   result.num_nodes = n;
 
+  // Round 0 is the injection: only the source is informed, nothing is on
+  // the wire yet. Emitting it keeps the flat trace aligned with the DES
+  // trace (hop-0 receipt at the source) so their CSVs diff row for row.
+  std::uint64_t informed = 1;
+  if (probe != nullptr) {
+    obs::RoundSample inject;
+    inject.newly_informed = 1;
+    inject.informed = 1;
+    probe->on_round(inject);
+  }
+
   frontier_.clear();
   frontier_.push_back(source);
   while (!frontier_.empty()) {
     ++result.rounds;
+    // Per-round deltas come from counters the result carries anyway, so
+    // tracing adds no work inside the per-message loops below.
+    const std::uint64_t round_sent = result.messages_sent;
+    const std::uint64_t round_dup = result.duplicate_receipts;
+    const std::uint64_t round_loss = result.losses;
+    const std::uint64_t round_dead = result.dead_receipts;
     // Phase 1: batched fanout draws for the whole generation — a tight LUT
     // loop, one 16-bit code per sender.
     fanouts_.clear();
@@ -133,8 +151,14 @@ FlatGossipResult FlatGossipEngine::run_once(rng::RngStream& rng) {
       }
       result.messages_sent += targets_.size();
       for (const std::uint32_t t : targets_) {
-        if (loss > 0.0 && rng.bernoulli(loss)) continue;  // lost in flight
-        if (!alive_[t]) continue;  // fail-stop: dropped at a crashed member
+        if (loss > 0.0 && rng.bernoulli(loss)) {  // lost in flight
+          ++result.losses;
+          continue;
+        }
+        if (!alive_[t]) {  // fail-stop: dropped at a crashed member
+          ++result.dead_receipts;
+          continue;
+        }
         if (seen_[t]) {
           ++result.duplicate_receipts;
           continue;
@@ -142,6 +166,19 @@ FlatGossipResult FlatGossipEngine::run_once(rng::RngStream& rng) {
         seen_.set(t);
         next_.push_back(t);
       }
+    }
+    informed += next_.size();
+    if (probe != nullptr) {
+      obs::RoundSample sample;
+      sample.round = result.rounds;
+      sample.frontier = frontier_.size();
+      sample.sends = result.messages_sent - round_sent;
+      sample.newly_informed = next_.size();
+      sample.redundant = result.duplicate_receipts - round_dup;
+      sample.losses = result.losses - round_loss;
+      sample.dead_receipts = result.dead_receipts - round_dead;
+      sample.informed = informed;
+      probe->on_round(sample);
     }
     frontier_.swap(next_);
   }
@@ -151,6 +188,17 @@ FlatGossipResult FlatGossipEngine::run_once(rng::RngStream& rng) {
   result.reliability = static_cast<double>(result.nonfailed_received) /
                        static_cast<double>(result.nonfailed_count);
   result.success = result.nonfailed_received == result.nonfailed_count;
+  if (probe != nullptr) {
+    obs::RunSummary summary;
+    summary.rounds = result.rounds;
+    summary.sends = result.messages_sent;
+    summary.redundant = result.duplicate_receipts;
+    summary.losses = result.losses;
+    summary.dead_receipts = result.dead_receipts;
+    summary.informed_final = informed;
+    summary.nonfailed_final = result.nonfailed_count;
+    probe->on_run(summary);
+  }
   return result;
 }
 

@@ -31,6 +31,7 @@
 
 #include "core/bitvec.hpp"
 #include "core/degree_distribution.hpp"
+#include "obs/probe.hpp"
 #include "rng/lut_sampler.hpp"
 #include "rng/rng_stream.hpp"
 
@@ -68,6 +69,8 @@ struct FlatGossipResult {
   bool success = false;      ///< Every non-failed member received m.
   std::uint64_t messages_sent = 0;
   std::uint64_t duplicate_receipts = 0;
+  std::uint64_t losses = 0;         ///< Messages dropped by the loss model.
+  std::uint64_t dead_receipts = 0;  ///< Deliveries to crashed members.
   std::uint64_t rounds = 0;  ///< Frontier generations until extinction.
 };
 
@@ -81,8 +84,13 @@ class FlatGossipEngine {
   }
 
   /// One execution. Reuses the engine's buffers: no allocation after the
-  /// first call. Deterministic for a fixed stream state.
-  FlatGossipResult run_once(rng::RngStream& rng);
+  /// first call. Deterministic for a fixed stream state, and makes the
+  /// exact same draws whether `probe` is null or not — the probe is pure
+  /// observation (obs/probe.hpp), tested per round against the engine's own
+  /// counters. The null-probe path costs one pointer test per round, kept
+  /// within 2% of the uninstrumented baseline by bench_compare.py.
+  FlatGossipResult run_once(rng::RngStream& rng,
+                            obs::Probe* probe = nullptr);
 
   /// Bytes of workspace currently held (bitsets + frontiers + scratch) —
   /// the memory-ceiling smoke test at n = 10^6 pins this.

@@ -51,7 +51,7 @@ void validate_workload(const WorkloadParams& workload) {
 class Session {
  public:
   Session(const GossipParams& params, const WorkloadParams& workload,
-          core::Bitvec alive, rng::RngStream rng)
+          core::Bitvec alive, rng::RngStream rng, obs::Probe* probe)
       : params_(params),
         workload_(workload),
         alive_(std::move(alive)),
@@ -59,7 +59,24 @@ class Session {
         membership_rng_(rng.substream(0x6d656d62)),  // "memb"
         network_(simulator_,
                  net::NetworkParams{params.latency, params.loss_probability},
-                 rng.substream(0x6e657477)) {
+                 rng.substream(0x6e657477)),
+        probe_(probe) {
+    if (probe_ != nullptr) {
+      // Drops never reach handle(), so loss/dead accounting comes from the
+      // network's drop hook; the dropped message still carries its hop
+      // count, which is the round it would have landed in. Observational
+      // only — counters and draws are identical without the observer.
+      network_.set_drop_observer(
+          [this](NodeId /*from*/, NodeId /*to*/, const net::Message& message,
+                 net::DropReason reason, double /*now*/) {
+            if (reason == net::DropReason::kLoss) {
+              ++trace_round(message.hops).losses;
+            } else if (reason == net::DropReason::kDestinationDown) {
+              ++trace_round(message.hops).dead_receipts;
+            }
+            // kSenderDown messages were never sent; they appear nowhere.
+          });
+    }
     const std::uint32_t n = params_.num_nodes;
     const std::uint32_t w = workload_.num_messages;
     if (params_.dynamics) {
@@ -222,6 +239,9 @@ class Session {
       context.expire_lease = [this](NodeId v) {
         if (dynamics_ && alive_.at(v)) {
           dynamics_->expire_lease(v, membership_rng_);
+          if (probe_ != nullptr) {
+            ++trace_round(time_bucket()).lease_expiries;
+          }
         }
       };
       context.forwards_sent = [this](NodeId v) { return forwards_.at(v); };
@@ -247,6 +267,7 @@ class Session {
           ++midrun_crashes_;
           network_.set_down(v, true);
           if (dynamics_) dynamics_->leave(v, membership_rng_);
+          if (probe_ != nullptr) ++trace_round(time_bucket()).crashes;
         });
       }
     }
@@ -256,6 +277,49 @@ class Session {
     }
     running_ = true;  // liveness transitions from here on count as mid-run
     simulator_.run();
+    flush_trace();
+  }
+
+  /// Membership events are bucketed by virtual time (message rounds go by
+  /// hop count; the two coincide under unit latency). Clamped so a far-
+  /// future churn action cannot balloon the trace vector.
+  [[nodiscard]] std::size_t time_bucket() const {
+    const double now = simulator_.now();
+    if (!(now > 0.0)) return 0;
+    constexpr double kMaxBucket = 1 << 20;
+    return static_cast<std::size_t>(now < kMaxBucket ? now : kMaxBucket);
+  }
+
+  [[nodiscard]] obs::RoundSample& trace_round(std::size_t round) {
+    if (round >= trace_rounds_.size()) trace_rounds_.resize(round + 1);
+    return trace_rounds_[round];
+  }
+
+  /// Emits the collected rounds in order (filling round indices and the
+  /// cumulative informed series) followed by the whole-run summary.
+  void flush_trace() {
+    if (probe_ == nullptr) return;
+    obs::RunSummary summary;
+    std::uint64_t informed = 0;
+    for (std::size_t r = 0; r < trace_rounds_.size(); ++r) {
+      obs::RoundSample& sample = trace_rounds_[r];
+      sample.round = r;
+      informed += sample.newly_informed;
+      sample.informed = informed;
+      summary.crashes += sample.crashes;
+      summary.joins += sample.joins;
+      summary.lease_expiries += sample.lease_expiries;
+      probe_->on_round(sample);
+    }
+    summary.rounds =
+        trace_rounds_.empty() ? 0 : trace_rounds_.size() - 1;
+    summary.sends = network_.counters().sent;
+    summary.redundant = duplicates_;
+    summary.losses = network_.counters().lost;
+    summary.dead_receipts = network_.counters().to_down_node;
+    summary.informed_final = informed;
+    summary.nonfailed_final = alive_.count();
+    probe_->on_run(summary);
   }
 
   void inject(std::uint32_t msg) {
@@ -285,18 +349,29 @@ class Session {
         dynamics_->leave(v, membership_rng_);
       }
     }
+    if (probe_ != nullptr) {
+      obs::RoundSample& sample = trace_round(time_bucket());
+      if (alive) {
+        ++sample.joins;
+      } else {
+        ++sample.crashes;
+      }
+    }
   }
 
   void handle(NodeId self, NodeId /*from*/, const net::Message& message) {
     const auto msg = static_cast<std::uint32_t>(message.id - 1);
     last_receipt_time_ = simulator_.now();
     last_receipt_[msg] = simulator_.now();
+    const bool traced = probe_ != nullptr;
     if (seen_[flat(msg, self)]) {
       ++duplicates_;
+      if (traced) ++trace_round(message.hops).redundant;
       return;  // Fig. 1: duplicates are discarded immediately
     }
     seen_.set(flat(msg, self));
     receipt_time_[flat(msg, self)] = simulator_.now();
+    if (traced) ++trace_round(message.hops).newly_informed;
     // Crash case B: the member received m but crashed before forwarding.
     // (Case A never reaches here for crashed members: the network dropped
     // the delivery.) Either way a crashed member draws no fanout, so both
@@ -304,6 +379,9 @@ class Session {
     if (!alive_[self]) {
       return;
     }
+    // The member activates: it belongs to the NEXT round's frontier, which
+    // is where its sends land — the flat engine's generation indexing.
+    if (traced) ++trace_round(message.hops + 1).frontier;
     const std::int64_t pinned = pinned_fanout_[self];
     const std::int64_t fanout =
         pinned >= 0 ? pinned : params_.fanout->sample(rng_);
@@ -321,6 +399,7 @@ class Session {
                                 targets_);
     }
     forwards_[self] += targets_.size();
+    if (traced) trace_round(message.hops + 1).sends += targets_.size();
     net::Message forwarded = message;
     forwarded.hops = message.hops + 1;
     for (const NodeId t : targets_) {
@@ -352,6 +431,10 @@ class Session {
   std::uint32_t midrun_crashes_ = 0;
   double last_receipt_time_ = 0.0;
   bool running_ = false;
+  obs::Probe* probe_ = nullptr;
+  /// Hop-indexed round accumulators, flushed to probe_ when the run drains
+  /// (empty and untouched for untraced runs).
+  std::vector<obs::RoundSample> trace_rounds_;
 };
 
 }  // namespace
@@ -369,16 +452,16 @@ core::Bitvec draw_alive_mask(std::uint32_t num_nodes, NodeId source,
 }
 
 ExecutionResult run_gossip_once(const GossipParams& params,
-                                rng::RngStream& rng) {
+                                rng::RngStream& rng, obs::Probe* probe) {
   validate(params);
   auto alive = draw_alive_mask(params.num_nodes, params.source,
                                params.nonfailed_ratio, rng);
-  return run_gossip_once(params, alive, rng);
+  return run_gossip_once(params, alive, rng, probe);
 }
 
 ExecutionResult run_gossip_once(const GossipParams& params,
                                 const core::Bitvec& alive,
-                                rng::RngStream& rng) {
+                                rng::RngStream& rng, obs::Probe* probe) {
   validate(params);
   if (alive.size() != params.num_nodes) {
     throw std::invalid_argument("alive mask size must equal num_nodes");
@@ -386,18 +469,19 @@ ExecutionResult run_gossip_once(const GossipParams& params,
   if (!alive[params.source]) {
     throw std::invalid_argument("the source member must be alive");
   }
-  Session session(params, WorkloadParams{}, alive, rng.substream(rng()));
+  Session session(params, WorkloadParams{}, alive, rng.substream(rng()),
+                  probe);
   return session.run_single();
 }
 
 WorkloadResult run_gossip_workload(const GossipParams& params,
                                    const WorkloadParams& workload,
-                                   rng::RngStream& rng) {
+                                   rng::RngStream& rng, obs::Probe* probe) {
   validate(params);
   validate_workload(workload);
   auto alive = draw_alive_mask(params.num_nodes, params.source,
                                params.nonfailed_ratio, rng);
-  Session session(params, workload, alive, rng.substream(rng()));
+  Session session(params, workload, alive, rng.substream(rng()), probe);
   return session.run_workload();
 }
 

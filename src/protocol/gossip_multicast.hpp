@@ -24,6 +24,7 @@
 #include "membership/view.hpp"
 #include "net/latency.hpp"
 #include "net/message.hpp"
+#include "obs/probe.hpp"
 #include "protocol/failure_schedule.hpp"
 #include "rng/rng_stream.hpp"
 
@@ -153,20 +154,28 @@ struct WorkloadResult {
 /// Runs one workload execution. With num_messages == 1, fixed sources, and
 /// no dynamics this consumes exactly the randomness of run_gossip_once —
 /// the single-message protocol is the degenerate workload.
+///
+/// `probe` (obs/probe.hpp) observes the run: per-round samples indexed by
+/// message hop count (round 0 = the injections; membership events bucketed
+/// by floor(virtual time), which coincides under the default unit latency)
+/// plus a whole-run summary. The probe never consumes randomness — a
+/// traced run makes bit-identical draws to an untraced one.
 [[nodiscard]] WorkloadResult run_gossip_workload(
     const GossipParams& params, const WorkloadParams& workload,
-    rng::RngStream& rng);
+    rng::RngStream& rng, obs::Probe* probe = nullptr);
 
 /// Runs one execution, drawing the alive mask from params.nonfailed_ratio.
 [[nodiscard]] ExecutionResult run_gossip_once(const GossipParams& params,
-                                              rng::RngStream& rng);
+                                              rng::RngStream& rng,
+                                              obs::Probe* probe = nullptr);
 
 /// Runs one execution with a caller-fixed alive mask (source must be alive;
 /// mask size must equal num_nodes). Used by the repeated-execution
 /// experiments where crashes persist across executions.
 [[nodiscard]] ExecutionResult run_gossip_once(const GossipParams& params,
                                               const core::Bitvec& alive,
-                                              rng::RngStream& rng);
+                                              rng::RngStream& rng,
+                                              obs::Probe* probe = nullptr);
 
 /// Draws an i.i.d. alive mask with the source forced alive.
 [[nodiscard]] core::Bitvec draw_alive_mask(std::uint32_t num_nodes,

@@ -1,0 +1,85 @@
+#include "scenario/manifest.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace gossip::scenario {
+
+namespace {
+
+/// Bin index of one replication time: 0 for sub-microsecond reps, else
+/// 1 + floor(log2(microseconds)) — the [2^(k-1), 2^k) us bucket.
+std::size_t log2us_bin(double seconds) {
+  const double us = seconds * 1e6;
+  if (!(us >= 1.0)) return 0;
+  const auto whole = static_cast<std::uint64_t>(us);
+  return static_cast<std::size_t>(std::bit_width(whole));
+}
+
+std::vector<std::uint64_t> log2us_histogram(
+    const std::vector<double>& replication_seconds) {
+  std::vector<std::uint64_t> bins;
+  for (const double s : replication_seconds) {
+    const std::size_t k = log2us_bin(s);
+    if (k >= bins.size()) bins.resize(k + 1, 0);
+    ++bins[k];
+  }
+  return bins;
+}
+
+}  // namespace
+
+std::string spec_fingerprint(const ScenarioSpec& spec) {
+  const std::uint64_t hash = obs::fnv1a64(spec.format());
+  char hex[17];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(hash));
+  return std::string("fnv1a64:") + hex;
+}
+
+obs::RunManifest build_run_manifest(const ScenarioSpec& spec,
+                                    const std::vector<CaseResult>& results,
+                                    const RunTelemetry& telemetry) {
+  obs::RunManifest manifest;
+  manifest.spec_name = spec.name();
+  manifest.spec_hash = spec_fingerprint(spec);
+  manifest.total_wall_seconds = telemetry.total_wall_seconds;
+  manifest.peak_rss_bytes = obs::peak_rss_bytes();
+
+  TraceMode widest = TraceMode::kOff;
+  const bool aligned = telemetry.cases.size() == results.size();
+  manifest.cases.reserve(results.size());
+  for (std::size_t c = 0; c < results.size(); ++c) {
+    const CaseResult& r = results[c];
+    widest = std::max(widest, r.trace);
+    obs::CaseManifest cm;
+    cm.scenario = r.scenario;
+    cm.label = r.label;
+    cm.backend = backend_name(r.backend);
+    cm.metric = r.metric;
+    cm.seed = r.seed;
+    cm.replications = r.replications;
+    cm.primary = r.primary();
+    cm.success_rate = r.success_rate();
+    if (aligned) {
+      const CaseTelemetry& tel = telemetry.cases[c];
+      cm.wall_seconds = tel.wall_seconds;
+      if (!tel.replication_seconds.empty()) {
+        const auto [lo, hi] = std::minmax_element(
+            tel.replication_seconds.begin(), tel.replication_seconds.end());
+        cm.rep_seconds_min = *lo;
+        cm.rep_seconds_max = *hi;
+        cm.rep_seconds_mean =
+            tel.wall_seconds /
+            static_cast<double>(tel.replication_seconds.size());
+        cm.rep_time_log2us = log2us_histogram(tel.replication_seconds);
+      }
+    }
+    manifest.cases.push_back(std::move(cm));
+  }
+  manifest.trace_mode = trace_mode_name(widest);
+  return manifest;
+}
+
+}  // namespace gossip::scenario

@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file manifest.hpp
+/// Bridges the scenario engine to obs::RunManifest: folds a run's
+/// CaseResults and wall-clock telemetry into the per-case records (headline
+/// metric, replication-time histogram) and fingerprints the spec. The CLI
+/// fills the invocation-level fields (tool, paths, thread count) and writes
+/// the manifest next to its CSVs.
+
+#include <string>
+#include <vector>
+
+#include "obs/manifest.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/spec.hpp"
+
+namespace gossip::scenario {
+
+/// Hash of the spec's normalized text form ("fnv1a64:<16 hex>"): two specs
+/// hash equal iff spec.format() round-trips identically, so a manifest
+/// pins exactly which experiment produced its numbers.
+[[nodiscard]] std::string spec_fingerprint(const ScenarioSpec& spec);
+
+/// Builds the run manifest skeleton from results + telemetry: spec name and
+/// hash, total wall time, peak RSS, trace mode (the widest mode any case
+/// requested), and one CaseManifest per result (aligned with
+/// telemetry.cases when sizes match; zero timings otherwise).
+[[nodiscard]] obs::RunManifest build_run_manifest(
+    const ScenarioSpec& spec, const std::vector<CaseResult>& results,
+    const RunTelemetry& telemetry);
+
+}  // namespace gossip::scenario

@@ -1,6 +1,7 @@
 #include "scenario/runner.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <initializer_list>
 #include <ostream>
 #include <set>
@@ -11,6 +12,7 @@
 #include "experiment/csv.hpp"
 #include "experiment/monte_carlo.hpp"
 #include "experiment/table.hpp"
+#include "obs/probe.hpp"
 #include "parallel/parallel_for.hpp"
 #include "protocol/gossip_multicast.hpp"
 #include "scenario/registry.hpp"
@@ -30,8 +32,9 @@ const std::set<std::string>& known_fields() {
       "latency",     "loss",
       "failure",     "metric",
       "repetitions", "seed",
-      "edge_keep",   "workload.messages",
-      "workload.spacing",  "workload.sources",
+      "edge_keep",   "trace",
+      "workload.messages", "workload.spacing",
+      "workload.sources",
   };
   return keys;
 }
@@ -44,6 +47,7 @@ struct BuiltCase {
   std::string metric;
   std::size_t replications = 0;
   std::uint64_t seed = 0;
+  TraceMode trace = TraceMode::kOff;
   // Protocol backend:
   protocol::GossipParams params;
   protocol::WorkloadParams workload;
@@ -77,6 +81,14 @@ Backend parse_backend(const std::string& text) {
       "'");
 }
 
+TraceMode parse_trace(const std::string& text) {
+  if (text == "off") return TraceMode::kOff;
+  if (text == "counters") return TraceMode::kCounters;
+  if (text == "rounds") return TraceMode::kRounds;
+  throw std::invalid_argument("trace must be off, counters, or rounds; got '" +
+                              text + "'");
+}
+
 BuiltCase build_case(const ScenarioSpec& spec, const ResolvedCase& resolved) {
   auto require = [&](const std::string& key) {
     if (!has_field(resolved, key)) {
@@ -107,6 +119,7 @@ BuiltCase build_case(const ScenarioSpec& spec, const ResolvedCase& resolved) {
   }
   built.seed = to_u64(field(resolved, "seed", "42"), "seed");
   built.fanout = make_fanout(require("fanout"));
+  built.trace = parse_trace(field(resolved, "trace", "off"));
 
   const FailureConfig failure =
       make_failure(field(resolved, "failure", "none"));
@@ -221,6 +234,12 @@ BuiltCase build_case(const ScenarioSpec& spec, const ResolvedCase& resolved) {
   // Graph and component backends: the analytical-model counterparts. They
   // sample graphs directly, so only static crash failures make sense.
   const char* backend = built.backend == Backend::kGraph ? "graph" : "component";
+  if (built.trace != TraceMode::kOff) {
+    throw std::invalid_argument(
+        std::string(backend) +
+        " backend has no dissemination rounds to trace; use the protocol or "
+        "flat backend with 'trace'");
+  }
   if (failure.schedule || failure.midrun_fraction > 0.0) {
     throw std::invalid_argument(
         std::string(backend) +
@@ -284,12 +303,80 @@ CaseResult init_result(const ScenarioSpec& spec, const BuiltCase& built) {
   result.metric = built.metric;
   result.replications = built.replications;
   result.seed = built.seed;
+  result.trace = built.trace;
   if (built.backend == Backend::kProtocol) {
     result.workload_messages = built.workload.num_messages;
     result.per_message_reliability.resize(built.workload.num_messages);
     result.per_message_latency.resize(built.workload.num_messages);
   }
   return result;
+}
+
+double informed_share(std::uint64_t informed, std::uint64_t alive) {
+  return alive == 0 ? 0.0
+                    : static_cast<double>(informed) /
+                          static_cast<double>(alive);
+}
+
+/// Folds per-replication traces into the case aggregates, walking
+/// replications in index order (bit-identical for any worker count).
+/// Replications shorter than the longest one pad the trailing rounds with
+/// zero events and their own held final informed fraction, so every
+/// round-level summary carries count == replications.
+void fold_traces(CaseResult& result, const std::vector<obs::RoundTrace>& traces) {
+  for (const auto& t : traces) {
+    const obs::RunSummary& s = t.summary();
+    result.trace_rounds.add(static_cast<double>(s.rounds));
+    result.trace_sends.add(static_cast<double>(s.sends));
+    result.trace_redundant.add(static_cast<double>(s.redundant));
+    result.trace_losses.add(static_cast<double>(s.losses));
+    result.trace_dead_receipts.add(static_cast<double>(s.dead_receipts));
+    result.trace_crashes.add(static_cast<double>(s.crashes));
+    result.trace_joins.add(static_cast<double>(s.joins));
+    result.trace_lease_expiries.add(static_cast<double>(s.lease_expiries));
+    result.trace_informed_fraction.add(
+        informed_share(s.informed_final, s.nonfailed_final));
+  }
+  if (result.trace != TraceMode::kRounds) return;
+
+  std::size_t max_rounds = 0;
+  for (const auto& t : traces) {
+    max_rounds = std::max(max_rounds, t.rounds().size());
+  }
+  result.round_trace.assign(max_rounds, RoundAggregate{});
+  for (const auto& t : traces) {
+    const obs::RunSummary& s = t.summary();
+    const double held_fraction =
+        informed_share(s.informed_final, s.nonfailed_final);
+    for (std::size_t i = 0; i < max_rounds; ++i) {
+      RoundAggregate& agg = result.round_trace[i];
+      if (i < t.rounds().size()) {
+        const obs::RoundSample& sample = t.rounds()[i];
+        agg.frontier.add(static_cast<double>(sample.frontier));
+        agg.sends.add(static_cast<double>(sample.sends));
+        agg.newly_informed.add(static_cast<double>(sample.newly_informed));
+        agg.redundant.add(static_cast<double>(sample.redundant));
+        agg.losses.add(static_cast<double>(sample.losses));
+        agg.dead_receipts.add(static_cast<double>(sample.dead_receipts));
+        agg.crashes.add(static_cast<double>(sample.crashes));
+        agg.joins.add(static_cast<double>(sample.joins));
+        agg.lease_expiries.add(static_cast<double>(sample.lease_expiries));
+        agg.informed_fraction.add(
+            informed_share(sample.informed, s.nonfailed_final));
+      } else {
+        agg.frontier.add(0.0);
+        agg.sends.add(0.0);
+        agg.newly_informed.add(0.0);
+        agg.redundant.add(0.0);
+        agg.losses.add(0.0);
+        agg.dead_receipts.add(0.0);
+        agg.crashes.add(0.0);
+        agg.joins.add(0.0);
+        agg.lease_expiries.add(0.0);
+        agg.informed_fraction.add(held_fraction);
+      }
+    }
+  }
 }
 
 }  // namespace
@@ -313,6 +400,12 @@ void validate_spec_keys(const ScenarioSpec& spec) {
 }
 
 std::vector<CaseResult> ScenarioRunner::run(const ScenarioSpec& spec) const {
+  return run(spec, nullptr);
+}
+
+std::vector<CaseResult> ScenarioRunner::run(const ScenarioSpec& spec,
+                                            RunTelemetry* telemetry) const {
+  const auto run_start = std::chrono::steady_clock::now();
   validate_spec_keys(spec);
   const auto resolved = spec.expand_cases();
   std::vector<BuiltCase> built;
@@ -326,6 +419,9 @@ std::vector<CaseResult> ScenarioRunner::run(const ScenarioSpec& spec) const {
   for (const auto& b : built) {
     results.push_back(init_result(spec, b));
   }
+  if (telemetry != nullptr) {
+    telemetry->cases.assign(built.size(), CaseTelemetry{});
+  }
 
   // Protocol-backend cases: flatten every (case, replication) pair into one
   // task list so any pool shape drains it; slot r of case c is always
@@ -336,9 +432,11 @@ std::vector<CaseResult> ScenarioRunner::run(const ScenarioSpec& spec) const {
     double messages = 0.0;
     double completion = 0.0;
     double midrun = 0.0;
+    double seconds = 0.0;  ///< Wall time of this replication (telemetry).
     bool success = false;
     std::vector<double> msg_reliability;  ///< Per workload message.
     std::vector<double> msg_latency;
+    obs::RoundTrace trace;  ///< Filled only when the case is traced.
   };
   std::vector<std::size_t> proto_cases;
   std::vector<std::size_t> task_offset;  // prefix sums into the task list
@@ -361,8 +459,14 @@ std::vector<CaseResult> ScenarioRunner::run(const ScenarioSpec& spec) const {
     const BuiltCase& b = built[proto_cases[lo]];
     const std::size_t rep = task - task_offset[lo];
     auto rng = rng::RngStream(b.seed).substream(rep);
-    const auto exec = protocol::run_gossip_workload(b.params, b.workload, rng);
     Slot& slot = slots[task];
+    obs::Probe* probe = b.trace == TraceMode::kOff ? nullptr : &slot.trace;
+    const auto start = std::chrono::steady_clock::now();
+    const auto exec =
+        protocol::run_gossip_workload(b.params, b.workload, rng, probe);
+    slot.seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
     slot.reliability = exec.mean_reliability;
     slot.messages = static_cast<double>(exec.messages_sent);
     slot.completion = exec.completion_time;
@@ -381,8 +485,10 @@ std::vector<CaseResult> ScenarioRunner::run(const ScenarioSpec& spec) const {
     for (std::size_t task = 0; task < total_tasks; ++task) run_task(task);
   }
   for (std::size_t i = 0; i < proto_cases.size(); ++i) {
-    CaseResult& result = results[proto_cases[i]];
-    for (std::size_t r = 0; r < built[proto_cases[i]].replications; ++r) {
+    const std::size_t c = proto_cases[i];
+    const BuiltCase& b = built[c];
+    CaseResult& result = results[c];
+    for (std::size_t r = 0; r < b.replications; ++r) {
       const Slot& slot = slots[task_offset[i] + r];
       result.reliability.add(slot.reliability);
       result.messages.add(slot.messages);
@@ -392,6 +498,22 @@ std::vector<CaseResult> ScenarioRunner::run(const ScenarioSpec& spec) const {
       for (std::size_t m = 0; m < slot.msg_reliability.size(); ++m) {
         result.per_message_reliability[m].add(slot.msg_reliability[m]);
         result.per_message_latency[m].add(slot.msg_latency[m]);
+      }
+    }
+    if (b.trace != TraceMode::kOff) {
+      std::vector<obs::RoundTrace> traces;
+      traces.reserve(b.replications);
+      for (std::size_t r = 0; r < b.replications; ++r) {
+        traces.push_back(std::move(slots[task_offset[i] + r].trace));
+      }
+      fold_traces(result, traces);
+    }
+    if (telemetry != nullptr) {
+      CaseTelemetry& tel = telemetry->cases[c];
+      tel.replication_seconds.reserve(b.replications);
+      for (std::size_t r = 0; r < b.replications; ++r) {
+        tel.replication_seconds.push_back(slots[task_offset[i] + r].seconds);
+        tel.wall_seconds += slots[task_offset[i] + r].seconds;
       }
     }
   }
@@ -405,6 +527,9 @@ std::vector<CaseResult> ScenarioRunner::run(const ScenarioSpec& spec) const {
     options.replications = b.replications;
     options.seed = b.seed;
     options.pool = pool_;
+    if (telemetry != nullptr) {
+      options.replication_seconds = &telemetry->cases[c].replication_seconds;
+    }
     if (b.backend == Backend::kGraph) {
       const auto estimate = experiment::estimate_reliability_graph(
           b.num_nodes, *b.fanout, b.nonfailed_ratio, options, b.edge_keep);
@@ -418,16 +543,30 @@ std::vector<CaseResult> ScenarioRunner::run(const ScenarioSpec& spec) const {
       fp.nonfailed_ratio = b.nonfailed_ratio;
       fp.loss_probability = b.loss;
       fp.fanout = b.fanout;
-      const auto estimate =
-          experiment::estimate_reliability_flat(fp, options);
+      std::vector<obs::RoundTrace> traces;
+      const auto estimate = experiment::estimate_reliability_flat(
+          fp, options, b.trace == TraceMode::kOff ? nullptr : &traces);
       results[c].reliability = estimate.reliability;
       results[c].messages = estimate.messages;
       results[c].success_count = estimate.success_count;
+      if (b.trace != TraceMode::kOff) {
+        fold_traces(results[c], traces);
+      }
     } else {
       const auto estimate = experiment::estimate_giant_component(
           b.num_nodes, *b.fanout, b.nonfailed_ratio, options);
       results[c].reliability = estimate.giant_fraction_alive;
     }
+    if (telemetry != nullptr) {
+      CaseTelemetry& tel = telemetry->cases[c];
+      for (const double s : tel.replication_seconds) tel.wall_seconds += s;
+    }
+  }
+  if (telemetry != nullptr) {
+    telemetry->total_wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      run_start)
+            .count();
   }
   return results;
 }
@@ -440,6 +579,19 @@ std::string backend_name(Backend backend) {
     case Backend::kFlat: return "flat";
   }
   return "unknown";
+}
+
+std::string trace_mode_name(TraceMode mode) {
+  switch (mode) {
+    case TraceMode::kOff: return "off";
+    case TraceMode::kCounters: return "counters";
+    case TraceMode::kRounds: return "rounds";
+  }
+  return "unknown";
+}
+
+std::vector<std::string> known_spec_keys() {
+  return {known_fields().begin(), known_fields().end()};
 }
 
 void write_results_csv(const std::string& path,
@@ -482,6 +634,39 @@ void write_results_csv(const std::string& path,
                  experiment::fmt_double(r.midrun_crashes.mean(), 1),
                  std::to_string(r.workload_messages),
                  experiment::fmt_double(msg_min, 6), msg_latency});
+  }
+}
+
+void write_trace_csv(const std::string& path,
+                     const std::vector<CaseResult>& results) {
+  experiment::CsvWriter csv(
+      path, {"scenario", "case", "backend", "round", "replications",
+             "frontier_mean", "sends_mean", "newly_informed_mean",
+             "redundant_mean", "losses_mean", "dead_receipts_mean",
+             "crashes_mean", "joins_mean", "lease_expiries_mean",
+             "informed_fraction_mean", "informed_fraction_ci_lo",
+             "informed_fraction_ci_hi"});
+  for (const auto& r : results) {
+    if (r.trace != TraceMode::kRounds) continue;
+    for (std::size_t round = 0; round < r.round_trace.size(); ++round) {
+      const RoundAggregate& agg = r.round_trace[round];
+      const auto ci =
+          stats::mean_confidence_interval(agg.informed_fraction, 0.95);
+      csv.add_row({r.scenario, r.label, backend_name(r.backend),
+                   std::to_string(round), std::to_string(r.replications),
+                   experiment::fmt_double(agg.frontier.mean(), 3),
+                   experiment::fmt_double(agg.sends.mean(), 3),
+                   experiment::fmt_double(agg.newly_informed.mean(), 3),
+                   experiment::fmt_double(agg.redundant.mean(), 3),
+                   experiment::fmt_double(agg.losses.mean(), 3),
+                   experiment::fmt_double(agg.dead_receipts.mean(), 3),
+                   experiment::fmt_double(agg.crashes.mean(), 3),
+                   experiment::fmt_double(agg.joins.mean(), 3),
+                   experiment::fmt_double(agg.lease_expiries.mean(), 3),
+                   experiment::fmt_double(agg.informed_fraction.mean(), 6),
+                   experiment::fmt_double(ci.lo, 6),
+                   experiment::fmt_double(ci.hi, 6)});
+    }
   }
 }
 

@@ -35,6 +35,35 @@ enum class Backend {
                ///< full view, unit latency, static crashes + i.i.d. loss.
 };
 
+/// Round-trace telemetry requested by the `trace =` key. Valid for the
+/// protocol and flat backends (the round-structured engines); the
+/// graph/component backends have no rounds and reject any trace request.
+enum class TraceMode {
+  kOff,       ///< No probes attached (default); zero added work.
+  kCounters,  ///< Whole-run counter summaries only.
+  kRounds,    ///< Counters plus the full per-round trajectory aggregates.
+};
+
+/// Cross-replication aggregate of one dissemination round: each summary
+/// folds that round's value from every replication (rounds a replication
+/// never reached contribute zero events and their held final informed
+/// fraction, so every summary has count == replications).
+struct RoundAggregate {
+  stats::OnlineSummary frontier;
+  stats::OnlineSummary sends;
+  stats::OnlineSummary newly_informed;
+  stats::OnlineSummary redundant;
+  stats::OnlineSummary losses;
+  stats::OnlineSummary dead_receipts;
+  stats::OnlineSummary crashes;
+  stats::OnlineSummary joins;
+  stats::OnlineSummary lease_expiries;
+  /// Cumulative informed members at the end of the round, divided by the
+  /// replication's end-of-run alive count — the trajectory whose final
+  /// value is the reliability in the static-crash regime.
+  stats::OnlineSummary informed_fraction;
+};
+
 /// Aggregated outcome of one grid case.
 struct CaseResult {
   std::string scenario;  ///< Spec name.
@@ -53,6 +82,26 @@ struct CaseResult {
   stats::OnlineSummary completion_time;  ///< Protocol backend only.
   stats::OnlineSummary midrun_crashes;   ///< Protocol backend only.
   std::size_t success_count = 0;
+
+  /// Trace aggregates (`trace =` key). Replication r's trace comes from the
+  /// same substream(r) execution as its metrics — probes never consume
+  /// randomness — so traced and untraced runs of one spec report identical
+  /// metric summaries, and traces are bit-identical for any worker count.
+  TraceMode trace = TraceMode::kOff;
+  /// Per-round trajectory, indexed by round (0 = injection); sized to the
+  /// longest replication. Empty unless trace = rounds.
+  std::vector<RoundAggregate> round_trace;
+  /// Whole-run counter summaries (one sample per replication). Present for
+  /// trace = counters and trace = rounds.
+  stats::OnlineSummary trace_rounds;          ///< Rounds to extinction.
+  stats::OnlineSummary trace_sends;
+  stats::OnlineSummary trace_redundant;
+  stats::OnlineSummary trace_losses;
+  stats::OnlineSummary trace_dead_receipts;
+  stats::OnlineSummary trace_crashes;
+  stats::OnlineSummary trace_joins;
+  stats::OnlineSummary trace_lease_expiries;
+  stats::OnlineSummary trace_informed_fraction;  ///< Final informed share.
 
   /// Workload width (`workload.messages`); 1 for single-message cases and
   /// the graph/component backends.
@@ -79,6 +128,21 @@ struct CaseResult {
   }
 };
 
+/// Wall-clock telemetry for one case (run-manifest input; the only
+/// nondeterministic output of a run — everything in CaseResult is seeded).
+struct CaseTelemetry {
+  /// Per-replication wall seconds, indexed by replication.
+  std::vector<double> replication_seconds;
+  /// Summed replication seconds: the case's total compute time (under a
+  /// pool this exceeds elapsed time; tasks overlap).
+  double wall_seconds = 0.0;
+};
+
+struct RunTelemetry {
+  double total_wall_seconds = 0.0;   ///< Elapsed time of the whole run().
+  std::vector<CaseTelemetry> cases;  ///< Grid order, aligned with results.
+};
+
 class ScenarioRunner {
  public:
   /// `pool` may be null (serial); results never depend on the choice.
@@ -90,11 +154,21 @@ class ScenarioRunner {
   /// backend/feature combinations the backend cannot honor.
   [[nodiscard]] std::vector<CaseResult> run(const ScenarioSpec& spec) const;
 
+  /// As above; additionally fills `telemetry` (ignored when null) with
+  /// per-case wall-clock data for the run manifest.
+  [[nodiscard]] std::vector<CaseResult> run(const ScenarioSpec& spec,
+                                            RunTelemetry* telemetry) const;
+
  private:
   parallel::ThreadPool* pool_;
 };
 
 [[nodiscard]] std::string backend_name(Backend backend);
+[[nodiscard]] std::string trace_mode_name(TraceMode mode);
+
+/// The engine's full known-key set, sorted: the single source of truth for
+/// spec validation and the CLI's --list-keys.
+[[nodiscard]] std::vector<std::string> known_spec_keys();
 
 /// Validates every field key of `spec` against the engine's known-key set
 /// in one pass, BEFORE any case is built or run. Collects ALL unknown keys
@@ -108,6 +182,13 @@ void validate_spec_keys(const ScenarioSpec& spec);
 /// resolved label, metrics with 95% CI). Used by the gossip_scenarios CLI.
 void write_results_csv(const std::string& path,
                        const std::vector<CaseResult>& results);
+
+/// Writes the per-round trajectories (cases with trace = rounds) as one CSV
+/// row per (case, round): mean trajectory plus a 95% CI on the informed
+/// fraction. Cases without round traces contribute no rows; an all-header
+/// file is still written when none have them.
+void write_trace_csv(const std::string& path,
+                     const std::vector<CaseResult>& results);
 
 /// Prints the results as the benches' fixed-width table format.
 void print_results_table(std::ostream& os,

@@ -1,0 +1,63 @@
+/// Acceptance anchor for the round-trace telemetry: the shipped
+/// scenarios/fig4a_trace.scn runs the SAME Fig. 4(a) operating point
+/// (n = 1000, Poisson(4) fanout, 10% static crashes) through both
+/// round-structured backends with trace = rounds, and the trajectories
+/// must land on the pinned paper anchor — final informed fraction
+/// ~0.9695 — with the two engines agreeing with each other.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "parallel/thread_pool.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/spec.hpp"
+
+namespace gossip::scenario {
+namespace {
+
+#ifdef GOSSIP_SCENARIOS_DIR
+
+constexpr double kFig4aAnchor = 0.9695;  // Paper Fig. 4(a) at z=4, f=0.1.
+
+TEST(TraceAnchor, Fig4aTrajectoriesHitThePinnedAnchorOnBothBackends) {
+  const auto spec = ScenarioSpec::load(std::string(GOSSIP_SCENARIOS_DIR) +
+                                       "/fig4a_trace.scn");
+  parallel::ThreadPool pool(4);
+  const auto results = ScenarioRunner(&pool).run(spec);
+  ASSERT_EQ(results.size(), 2u);  // sweep.b = protocol, flat
+
+  double final_fraction[2] = {0.0, 0.0};
+  for (std::size_t c = 0; c < results.size(); ++c) {
+    const auto& result = results[c];
+    EXPECT_EQ(result.trace, TraceMode::kRounds) << result.label;
+    ASSERT_FALSE(result.round_trace.empty()) << result.label;
+
+    // The trajectory's endpoint IS the reliability estimate.
+    const double fraction =
+        result.round_trace.back().informed_fraction.mean();
+    EXPECT_EQ(fraction, result.reliability.mean()) << result.label;
+    EXPECT_NEAR(fraction, kFig4aAnchor, 0.03) << result.label;
+    final_fraction[c] = fraction;
+
+    // Epidemic shape: one source, monotone growth, most of the group
+    // reached within the logarithmic round horizon.
+    EXPECT_EQ(result.round_trace[0].newly_informed.mean(), 1.0);
+    for (std::size_t r = 1; r < result.round_trace.size(); ++r) {
+      EXPECT_GE(result.round_trace[r].informed_fraction.mean(),
+                result.round_trace[r - 1].informed_fraction.mean())
+          << result.label << " round " << r;
+    }
+    EXPECT_LE(result.round_trace.size(), 40u) << result.label;
+  }
+
+  // The flat engine is the DES's statistical twin in this regime.
+  EXPECT_NEAR(final_fraction[0], final_fraction[1], 0.03);
+}
+
+#else
+TEST(TraceAnchor, DISABLED_NoScenariosDir) {}
+#endif
+
+}  // namespace
+}  // namespace gossip::scenario

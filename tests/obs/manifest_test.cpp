@@ -1,0 +1,127 @@
+#include "obs/manifest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace gossip::obs {
+namespace {
+
+// FNV-1a 64 known-answer vectors (offset basis and the classic test
+// strings); the hash must be identical on every platform or spec
+// fingerprints would churn across machines.
+TEST(Fnv1a64, KnownVectors) {
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(Fnv1a64, SensitiveToEveryByte) {
+  EXPECT_NE(fnv1a64("abc"), fnv1a64("abd"));
+  EXPECT_NE(fnv1a64("abc"), fnv1a64("abc "));
+}
+
+TEST(JsonEscape, PassesPlainTextThrough) {
+  EXPECT_EQ(json_escape("z=4.0,f=0.1"), "z=4.0,f=0.1");
+}
+
+TEST(JsonEscape, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+TEST(PeakRss, ReportsNonZeroOnUnix) {
+#if defined(__unix__) || defined(__APPLE__)
+  EXPECT_GT(peak_rss_bytes(), 0u);
+#else
+  GTEST_SKIP() << "no getrusage on this platform";
+#endif
+}
+
+RunManifest sample_manifest() {
+  RunManifest m;
+  m.tool = "gossip_scenarios";
+  m.spec_name = "fig4a";
+  m.spec_path = "scenarios/fig4a.scn";
+  m.spec_hash = "fnv1a64:0123456789abcdef";
+  m.threads = 2;
+  m.smoke = true;
+  m.trace_mode = "rounds";
+  m.results_csv = "results/fig4a.csv";
+  m.trace_csv = "results/fig4a_trace.csv";
+  m.total_wall_seconds = 1.25;
+  m.peak_rss_bytes = 1048576;
+  CaseManifest c;
+  c.scenario = "fig4a";
+  c.label = "z=4.0,f=0.1";
+  c.backend = "flat";
+  c.metric = "reliability";
+  c.seed = 2008;
+  c.replications = 60;
+  c.primary = 0.9695;
+  c.success_rate = 0.0;
+  c.wall_seconds = 0.5;
+  c.rep_seconds_min = 0.001;
+  c.rep_seconds_mean = 0.008;
+  c.rep_seconds_max = 0.02;
+  c.rep_time_log2us = {0, 0, 3, 57};
+  m.cases.push_back(c);
+  return m;
+}
+
+TEST(ToJson, EmitsEveryFieldWithStableKeys) {
+  const std::string json = to_json(sample_manifest());
+  for (const char* needle :
+       {"\"tool\": \"gossip_scenarios\"", "\"spec_name\": \"fig4a\"",
+        "\"spec_hash\": \"fnv1a64:0123456789abcdef\"", "\"threads\": 2",
+        "\"smoke\": true", "\"trace\": \"rounds\"",
+        "\"total_wall_seconds\": 1.25", "\"peak_rss_bytes\": 1048576",
+        "\"case\": \"z=4.0,f=0.1\"", "\"backend\": \"flat\"",
+        "\"seed\": 2008", "\"replications\": 60", "\"primary\": 0.9695",
+        "\"rep_time_log2us\": [0, 0, 3, 57]"}) {
+    EXPECT_NE(json.find(needle), std::string::npos) << "missing " << needle;
+  }
+  // Balanced braces/brackets — a cheap structural sanity check that does
+  // not require a JSON parser in the test image.
+  std::ptrdiff_t braces = 0;
+  std::ptrdiff_t brackets = 0;
+  for (const char ch : json) {
+    braces += ch == '{' ? 1 : ch == '}' ? -1 : 0;
+    brackets += ch == '[' ? 1 : ch == ']' ? -1 : 0;
+    EXPECT_GE(braces, 0);
+    EXPECT_GE(brackets, 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(ToJson, IsDeterministic) {
+  EXPECT_EQ(to_json(sample_manifest()), to_json(sample_manifest()));
+}
+
+TEST(WriteManifest, RoundTripsThroughFile) {
+  const std::string path =
+      testing::TempDir() + "/gossip_manifest_roundtrip.json";
+  const auto manifest = sample_manifest();
+  write_manifest(path, manifest);
+  std::ifstream in(path);
+  ASSERT_TRUE(in);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), to_json(manifest));
+  std::remove(path.c_str());
+}
+
+TEST(WriteManifest, ThrowsOnUnwritablePath) {
+  EXPECT_THROW(write_manifest("/nonexistent-dir/x/manifest.json",
+                              sample_manifest()),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace gossip::obs

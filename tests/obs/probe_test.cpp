@@ -1,0 +1,82 @@
+#include "obs/probe.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gossip::obs {
+namespace {
+
+TEST(RoundTrace, CollectsRoundsInOrder) {
+  RoundTrace trace;
+  for (std::uint64_t r = 0; r < 4; ++r) {
+    RoundSample sample;
+    sample.round = r;
+    sample.newly_informed = r + 1;
+    trace.on_round(sample);
+  }
+  ASSERT_EQ(trace.rounds().size(), 4u);
+  for (std::uint64_t r = 0; r < 4; ++r) {
+    EXPECT_EQ(trace.rounds()[r].round, r);
+    EXPECT_EQ(trace.rounds()[r].newly_informed, r + 1);
+  }
+}
+
+TEST(RoundTrace, RecordsRunSummary) {
+  RoundTrace trace;
+  RunSummary summary;
+  summary.rounds = 7;
+  summary.sends = 123;
+  summary.informed_final = 95;
+  summary.nonfailed_final = 100;
+  trace.on_run(summary);
+  EXPECT_EQ(trace.summary().rounds, 7u);
+  EXPECT_EQ(trace.summary().sends, 123u);
+  EXPECT_EQ(trace.summary().informed_final, 95u);
+  EXPECT_EQ(trace.summary().nonfailed_final, 100u);
+}
+
+TEST(RoundTrace, ClearResetsRoundsAndSummary) {
+  RoundTrace trace;
+  trace.on_round(RoundSample{});
+  RunSummary summary;
+  summary.rounds = 3;
+  trace.on_run(summary);
+
+  trace.clear();
+  EXPECT_TRUE(trace.rounds().empty());
+  EXPECT_EQ(trace.summary().rounds, 0u);
+  EXPECT_EQ(trace.summary().informed_final, 0u);
+}
+
+TEST(RoundSample, DefaultsToAllZero) {
+  const RoundSample sample;
+  EXPECT_EQ(sample.round, 0u);
+  EXPECT_EQ(sample.frontier, 0u);
+  EXPECT_EQ(sample.sends, 0u);
+  EXPECT_EQ(sample.newly_informed, 0u);
+  EXPECT_EQ(sample.redundant, 0u);
+  EXPECT_EQ(sample.losses, 0u);
+  EXPECT_EQ(sample.dead_receipts, 0u);
+  EXPECT_EQ(sample.crashes, 0u);
+  EXPECT_EQ(sample.joins, 0u);
+  EXPECT_EQ(sample.lease_expiries, 0u);
+  EXPECT_EQ(sample.informed, 0u);
+}
+
+/// A probe is an abstract interface: deleting through the base must reach
+/// the derived destructor (the vtable anchor lives in probe.cpp).
+TEST(Probe, PolymorphicDeleteRunsDerivedDestructor) {
+  static bool destroyed = false;
+  class Flagging final : public Probe {
+   public:
+    ~Flagging() override { destroyed = true; }
+    void on_round(const RoundSample&) override {}
+    void on_run(const RunSummary&) override {}
+  };
+  destroyed = false;
+  Probe* probe = new Flagging;
+  delete probe;
+  EXPECT_TRUE(destroyed);
+}
+
+}  // namespace
+}  // namespace gossip::obs

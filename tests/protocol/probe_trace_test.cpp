@@ -1,0 +1,248 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "core/degree_distribution.hpp"
+#include "obs/probe.hpp"
+#include "protocol/flat_gossip.hpp"
+#include "protocol/gossip_multicast.hpp"
+#include "rng/rng_stream.hpp"
+
+namespace gossip::protocol {
+namespace {
+
+// ---- shared assertions --------------------------------------------------
+
+/// sends == newly_informed + redundant + losses + dead_receipts for every
+/// round >= 1 (round 0 is the injection: first receipts without traffic).
+void expect_accounting_identity(const obs::RoundTrace& trace) {
+  for (const auto& s : trace.rounds()) {
+    if (s.round == 0) continue;
+    EXPECT_EQ(s.sends,
+              s.newly_informed + s.redundant + s.losses + s.dead_receipts)
+        << "round " << s.round;
+  }
+}
+
+void expect_rounds_indexed_in_order(const obs::RoundTrace& trace) {
+  for (std::size_t r = 0; r < trace.rounds().size(); ++r) {
+    EXPECT_EQ(trace.rounds()[r].round, r);
+  }
+}
+
+/// The informed series is the running sum of newly_informed.
+void expect_cumulative_informed(const obs::RoundTrace& trace) {
+  std::uint64_t informed = 0;
+  for (const auto& s : trace.rounds()) {
+    informed += s.newly_informed;
+    EXPECT_EQ(s.informed, informed) << "round " << s.round;
+  }
+  EXPECT_EQ(trace.summary().informed_final, informed);
+}
+
+// ---- flat engine --------------------------------------------------------
+
+FlatGossipParams flat_params() {
+  FlatGossipParams params;
+  params.num_nodes = 2000;
+  params.nonfailed_ratio = 0.9;
+  params.loss_probability = 0.05;
+  params.fanout = core::poisson_fanout(4.0);
+  return params;
+}
+
+TEST(FlatGossipTrace, TracedRunMatchesUntracedBitForBit) {
+  FlatGossipEngine a(flat_params());
+  FlatGossipEngine b(flat_params());
+  rng::RngStream rng_a(77);
+  rng::RngStream rng_b(77);
+  obs::RoundTrace trace;
+  const auto plain = a.run_once(rng_a);
+  const auto traced = b.run_once(rng_b, &trace);
+  EXPECT_EQ(plain.rounds, traced.rounds);
+  EXPECT_EQ(plain.messages_sent, traced.messages_sent);
+  EXPECT_EQ(plain.duplicate_receipts, traced.duplicate_receipts);
+  EXPECT_EQ(plain.losses, traced.losses);
+  EXPECT_EQ(plain.dead_receipts, traced.dead_receipts);
+  EXPECT_EQ(plain.nonfailed_count, traced.nonfailed_count);
+  EXPECT_EQ(plain.nonfailed_received, traced.nonfailed_received);
+  EXPECT_EQ(plain.reliability, traced.reliability);
+  // The probe consumed no randomness: the streams are in the same state.
+  EXPECT_EQ(rng_a(), rng_b());
+}
+
+TEST(FlatGossipTrace, RoundSamplesSatisfyInvariants) {
+  FlatGossipEngine engine(flat_params());
+  rng::RngStream rng(78);
+  obs::RoundTrace trace;
+  const auto result = engine.run_once(rng, &trace);
+
+  expect_rounds_indexed_in_order(trace);
+  expect_accounting_identity(trace);
+  expect_cumulative_informed(trace);
+
+  // Round 0 is the bare injection.
+  ASSERT_FALSE(trace.rounds().empty());
+  const auto& injection = trace.rounds().front();
+  EXPECT_EQ(injection.newly_informed, 1u);
+  EXPECT_EQ(injection.frontier, 0u);
+  EXPECT_EQ(injection.sends, 0u);
+
+  // Generation structure: round r's frontier is exactly round r-1's newly
+  // informed (in the flat engine every informed member is alive).
+  for (std::size_t r = 1; r < trace.rounds().size(); ++r) {
+    EXPECT_EQ(trace.rounds()[r].frontier,
+              trace.rounds()[r - 1].newly_informed)
+        << "round " << r;
+  }
+
+  // Whole-run totals agree with the engine's own result counters.
+  const auto& summary = trace.summary();
+  EXPECT_EQ(summary.rounds, result.rounds);
+  EXPECT_EQ(summary.sends, result.messages_sent);
+  EXPECT_EQ(summary.redundant, result.duplicate_receipts);
+  EXPECT_EQ(summary.losses, result.losses);
+  EXPECT_EQ(summary.dead_receipts, result.dead_receipts);
+  EXPECT_EQ(summary.informed_final, result.nonfailed_received);
+  EXPECT_EQ(summary.nonfailed_final, result.nonfailed_count);
+  EXPECT_EQ(summary.crashes, 0u);
+  EXPECT_EQ(summary.joins, 0u);
+  EXPECT_EQ(summary.lease_expiries, 0u);
+}
+
+TEST(FlatGossipTrace, ResultCountersMatchWithoutProbe) {
+  // losses / dead_receipts are now first-class result fields; they must be
+  // populated (identically) with and without a probe attached.
+  FlatGossipEngine a(flat_params());
+  FlatGossipEngine b(flat_params());
+  rng::RngStream rng_a(79);
+  rng::RngStream rng_b(79);
+  obs::RoundTrace trace;
+  const auto plain = a.run_once(rng_a);
+  const auto traced = b.run_once(rng_b, &trace);
+  EXPECT_GT(plain.losses, 0u);
+  EXPECT_GT(plain.dead_receipts, 0u);
+  EXPECT_EQ(plain.losses, traced.losses);
+  EXPECT_EQ(plain.dead_receipts, traced.dead_receipts);
+}
+
+// ---- DES protocol engine ------------------------------------------------
+
+GossipParams des_params() {
+  GossipParams params;
+  params.num_nodes = 500;
+  params.nonfailed_ratio = 0.9;
+  params.loss_probability = 0.05;
+  params.fanout = core::poisson_fanout(4.0);
+  return params;
+}
+
+TEST(ProtocolTrace, TracedRunMatchesUntracedBitForBit) {
+  rng::RngStream rng_a(101);
+  rng::RngStream rng_b(101);
+  obs::RoundTrace trace;
+  const auto plain = run_gossip_once(des_params(), rng_a);
+  const auto traced = run_gossip_once(des_params(), rng_b, &trace);
+  EXPECT_EQ(plain.messages_sent, traced.messages_sent);
+  EXPECT_EQ(plain.duplicate_receipts, traced.duplicate_receipts);
+  EXPECT_EQ(plain.nonfailed_count, traced.nonfailed_count);
+  EXPECT_EQ(plain.nonfailed_received, traced.nonfailed_received);
+  EXPECT_EQ(plain.reliability, traced.reliability);
+  EXPECT_EQ(plain.completion_time, traced.completion_time);
+  EXPECT_EQ(rng_a(), rng_b());
+}
+
+TEST(ProtocolTrace, RoundSamplesSatisfyInvariants) {
+  rng::RngStream rng(102);
+  obs::RoundTrace trace;
+  const auto result = run_gossip_once(des_params(), rng, &trace);
+
+  expect_rounds_indexed_in_order(trace);
+  expect_accounting_identity(trace);
+  expect_cumulative_informed(trace);
+
+  ASSERT_FALSE(trace.rounds().empty());
+  EXPECT_EQ(trace.rounds().front().newly_informed, 1u);  // hop-0 injection
+  EXPECT_EQ(trace.rounds().front().sends, 0u);
+
+  // Crash case A (before receive): only alive members ever record a
+  // receipt, so every newly informed member activates into the next
+  // round's frontier.
+  for (std::size_t r = 1; r < trace.rounds().size(); ++r) {
+    EXPECT_EQ(trace.rounds()[r].frontier,
+              trace.rounds()[r - 1].newly_informed)
+        << "round " << r;
+  }
+
+  const auto& summary = trace.summary();
+  EXPECT_EQ(summary.sends, result.messages_sent);
+  EXPECT_EQ(summary.redundant, result.duplicate_receipts);
+  EXPECT_EQ(summary.informed_final, result.nonfailed_received);
+  EXPECT_EQ(summary.nonfailed_final, result.nonfailed_count);
+  EXPECT_GT(summary.losses, 0u);        // loss_probability = 0.05
+  EXPECT_GT(summary.dead_receipts, 0u); // 10% static crashes
+}
+
+TEST(ProtocolTrace, CrashCaseBCountsInformedButNotForwarding) {
+  // Case B members record the receipt, then fail to activate: frontier can
+  // only lose members relative to the newly informed.
+  auto params = des_params();
+  params.loss_probability = 0.0;
+  params.crash_case = CrashCase::kAfterReceiveBeforeForward;
+  rng::RngStream rng(103);
+  obs::RoundTrace trace;
+  const auto result = run_gossip_once(params, rng, &trace);
+  expect_accounting_identity(trace);
+  expect_cumulative_informed(trace);
+  bool saw_dead_informed = false;
+  for (std::size_t r = 1; r < trace.rounds().size(); ++r) {
+    EXPECT_LE(trace.rounds()[r].frontier,
+              trace.rounds()[r - 1].newly_informed);
+    saw_dead_informed |= trace.rounds()[r].frontier <
+                         trace.rounds()[r - 1].newly_informed;
+  }
+  EXPECT_TRUE(saw_dead_informed);
+  // informed now exceeds the alive receivers: crashed members count too.
+  EXPECT_GE(trace.summary().informed_final, result.nonfailed_received);
+}
+
+TEST(ProtocolTrace, MidrunCrashesAreRecordedAsEvents) {
+  auto params = des_params();
+  params.nonfailed_ratio = 1.0;
+  params.loss_probability = 0.0;
+  params.midrun_crash_fraction = 0.3;
+  rng::RngStream rng(104);
+  obs::RoundTrace trace;
+  const auto result = run_gossip_once(params, rng, &trace);
+  ASSERT_GT(result.midrun_crashes, 0u);
+  EXPECT_EQ(trace.summary().crashes, result.midrun_crashes);
+  std::uint64_t crash_events = 0;
+  for (const auto& s : trace.rounds()) crash_events += s.crashes;
+  EXPECT_EQ(crash_events, result.midrun_crashes);
+}
+
+TEST(ProtocolTrace, WorkloadTraceCoversAllMessages) {
+  auto params = des_params();
+  params.loss_probability = 0.0;
+  WorkloadParams workload;
+  workload.num_messages = 3;
+  workload.spacing = 2.0;
+  rng::RngStream rng(105);
+  obs::RoundTrace trace;
+  const auto result = run_gossip_workload(params, workload, rng, &trace);
+  expect_accounting_identity(trace);
+  expect_cumulative_informed(trace);
+  EXPECT_EQ(trace.summary().sends, result.messages_sent);
+  EXPECT_EQ(trace.summary().redundant, result.duplicate_receipts);
+  // Every injection is a hop-0 first receipt at its source, so round 0
+  // carries one newly-informed entry per injected message, and no traffic.
+  std::uint64_t injected = 0;
+  for (const auto& m : result.messages) injected += m.injected ? 1 : 0;
+  EXPECT_EQ(injected, 3u);
+  ASSERT_FALSE(trace.rounds().empty());
+  EXPECT_EQ(trace.rounds().front().newly_informed, 3u);
+  EXPECT_EQ(trace.rounds().front().sends, 0u);
+}
+
+}  // namespace
+}  // namespace gossip::protocol

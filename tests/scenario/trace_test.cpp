@@ -1,0 +1,229 @@
+/// Scenario-layer round tracing: the `trace =` key must aggregate
+/// per-round trajectories bit-identically for any worker count, leave the
+/// metric summaries untouched relative to an untraced run, pad extinct
+/// rounds so every aggregate covers all replications, and be rejected by
+/// the backends that have no rounds.
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "parallel/thread_pool.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/spec.hpp"
+
+namespace gossip::scenario {
+namespace {
+
+ScenarioSpec traced_spec(const std::string& backend,
+                         const std::string& trace) {
+  ScenarioSpec spec;
+  spec.set("name", "trace_" + backend)
+      .set("n", "800")
+      .set("backend", backend)
+      .set("fanout", "poisson(4)")
+      .set("failure", "crash(0.1)")
+      .set("loss", "0.05")
+      .set("repetitions", "12")
+      .set("seed", "2008");
+  if (!trace.empty()) spec.set("trace", trace);
+  return spec;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in) << path;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(ScenarioTrace, OffByDefault) {
+  const auto results =
+      ScenarioRunner(nullptr).run(traced_spec("flat", ""));
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].trace, TraceMode::kOff);
+  EXPECT_TRUE(results[0].round_trace.empty());
+  EXPECT_EQ(results[0].trace_sends.count(), 0u);
+  EXPECT_EQ(results[0].trace_informed_fraction.count(), 0u);
+}
+
+TEST(ScenarioTrace, TracedMetricsMatchUntracedBitForBit) {
+  for (const char* backend : {"protocol", "flat"}) {
+    const auto plain =
+        ScenarioRunner(nullptr).run(traced_spec(backend, ""));
+    const auto traced =
+        ScenarioRunner(nullptr).run(traced_spec(backend, "rounds"));
+    ASSERT_EQ(plain.size(), 1u);
+    ASSERT_EQ(traced.size(), 1u);
+    // Probes only observe: attaching them must not move a single bit of
+    // the metric aggregates.
+    EXPECT_EQ(traced[0].reliability.mean(), plain[0].reliability.mean())
+        << backend;
+    EXPECT_EQ(traced[0].reliability.variance(),
+              plain[0].reliability.variance())
+        << backend;
+    EXPECT_EQ(traced[0].messages.mean(), plain[0].messages.mean())
+        << backend;
+    EXPECT_EQ(traced[0].success_count, plain[0].success_count) << backend;
+    // The traced counters and the metric summaries describe the same runs.
+    EXPECT_EQ(traced[0].trace_sends.mean(), plain[0].messages.mean())
+        << backend;
+  }
+}
+
+TEST(ScenarioTrace, RoundAggregatesBitIdenticalAcrossWorkerCounts) {
+  for (const char* backend : {"protocol", "flat"}) {
+    const auto spec = traced_spec(backend, "rounds");
+    const auto serial = ScenarioRunner(nullptr).run(spec);
+    ASSERT_EQ(serial.size(), 1u);
+    ASSERT_FALSE(serial[0].round_trace.empty()) << backend;
+
+    parallel::ThreadPool pool1(1);
+    parallel::ThreadPool pool2(2);
+    parallel::ThreadPool pool8(8);
+    for (parallel::ThreadPool* pool : {&pool1, &pool2, &pool8}) {
+      const auto results = ScenarioRunner(pool).run(spec);
+      ASSERT_EQ(results.size(), 1u);
+      const auto& a = serial[0].round_trace;
+      const auto& b = results[0].round_trace;
+      ASSERT_EQ(a.size(), b.size()) << backend;
+      for (std::size_t r = 0; r < a.size(); ++r) {
+        // Exact equality: replication r always folds in index order no
+        // matter which worker ran it.
+        EXPECT_EQ(a[r].sends.mean(), b[r].sends.mean()) << backend << " round " << r;
+        EXPECT_EQ(a[r].newly_informed.mean(), b[r].newly_informed.mean())
+            << backend << " round " << r;
+        EXPECT_EQ(a[r].informed_fraction.mean(),
+                  b[r].informed_fraction.mean())
+            << backend << " round " << r;
+        EXPECT_EQ(a[r].informed_fraction.variance(),
+                  b[r].informed_fraction.variance())
+            << backend << " round " << r;
+      }
+      EXPECT_EQ(results[0].trace_sends.mean(), serial[0].trace_sends.mean());
+      EXPECT_EQ(results[0].trace_informed_fraction.variance(),
+                serial[0].trace_informed_fraction.variance());
+    }
+  }
+}
+
+TEST(ScenarioTrace, ExtinctRoundsArePaddedToFullReplicationCount) {
+  for (const char* backend : {"protocol", "flat"}) {
+    const auto results =
+        ScenarioRunner(nullptr).run(traced_spec(backend, "rounds"));
+    ASSERT_EQ(results.size(), 1u);
+    const auto& result = results[0];
+    ASSERT_FALSE(result.round_trace.empty()) << backend;
+    for (std::size_t r = 0; r < result.round_trace.size(); ++r) {
+      EXPECT_EQ(result.round_trace[r].informed_fraction.count(),
+                result.replications)
+          << backend << " round " << r;
+      EXPECT_EQ(result.round_trace[r].sends.count(), result.replications)
+          << backend << " round " << r;
+    }
+    // Round 0 is the injection in every replication.
+    EXPECT_EQ(result.round_trace[0].newly_informed.mean(), 1.0) << backend;
+    EXPECT_EQ(result.round_trace[0].sends.mean(), 0.0) << backend;
+    // The trajectory ends where the headline metric lives: with static
+    // crashes the final informed fraction IS the reliability, folded in
+    // the same replication order, so the aggregates are bitwise equal.
+    EXPECT_EQ(result.round_trace.back().informed_fraction.mean(),
+              result.reliability.mean())
+        << backend;
+    // The trajectory is monotone non-decreasing in the mean.
+    for (std::size_t r = 1; r < result.round_trace.size(); ++r) {
+      EXPECT_GE(result.round_trace[r].informed_fraction.mean(),
+                result.round_trace[r - 1].informed_fraction.mean())
+          << backend << " round " << r;
+    }
+  }
+}
+
+TEST(ScenarioTrace, CountersModeSkipsRoundTrajectories) {
+  const auto results =
+      ScenarioRunner(nullptr).run(traced_spec("flat", "counters"));
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].trace, TraceMode::kCounters);
+  EXPECT_TRUE(results[0].round_trace.empty());
+  EXPECT_EQ(results[0].trace_sends.count(), results[0].replications);
+  EXPECT_EQ(results[0].trace_informed_fraction.count(),
+            results[0].replications);
+  EXPECT_GT(results[0].trace_rounds.mean(), 0.0);
+  EXPECT_GT(results[0].trace_losses.mean(), 0.0);        // loss = 0.05
+  EXPECT_GT(results[0].trace_dead_receipts.mean(), 0.0); // crash(0.1)
+}
+
+TEST(ScenarioTrace, RoundlessBackendsRejectTraceRequests) {
+  for (const char* backend : {"graph", "component"}) {
+    ScenarioSpec spec;
+    spec.set("name", "no_rounds")
+        .set("n", "300")
+        .set("backend", backend)
+        .set("fanout", "poisson(4)")
+        .set("failure", "crash(0.1)")
+        .set("repetitions", "4")
+        .set("seed", "7")
+        .set("trace", "rounds");
+    EXPECT_THROW((void)ScenarioRunner(nullptr).run(spec),
+                 std::invalid_argument)
+        << backend;
+  }
+}
+
+TEST(ScenarioTrace, UnknownTraceModeIsRejected) {
+  EXPECT_THROW(
+      (void)ScenarioRunner(nullptr).run(traced_spec("flat", "verbose")),
+      std::invalid_argument);
+}
+
+TEST(ScenarioTrace, TraceIsAKnownSpecKey) {
+  const auto keys = known_spec_keys();
+  EXPECT_NE(std::find(keys.begin(), keys.end(), "trace"), keys.end());
+}
+
+TEST(ScenarioTrace, TraceModeNames) {
+  EXPECT_EQ(trace_mode_name(TraceMode::kOff), "off");
+  EXPECT_EQ(trace_mode_name(TraceMode::kCounters), "counters");
+  EXPECT_EQ(trace_mode_name(TraceMode::kRounds), "rounds");
+}
+
+TEST(ScenarioTrace, TraceCsvIdenticalAcrossWorkerCounts) {
+  const auto spec = traced_spec("flat", "rounds");
+  const auto serial = ScenarioRunner(nullptr).run(spec);
+  parallel::ThreadPool pool8(8);
+  const auto parallel_results = ScenarioRunner(&pool8).run(spec);
+
+  const std::string path_a = testing::TempDir() + "/trace_serial.csv";
+  const std::string path_b = testing::TempDir() + "/trace_pool.csv";
+  write_trace_csv(path_a, serial);
+  write_trace_csv(path_b, parallel_results);
+  const std::string csv_a = slurp(path_a);
+  const std::string csv_b = slurp(path_b);
+  EXPECT_EQ(csv_a, csv_b);
+  // One row per round plus the header.
+  const auto lines = static_cast<std::size_t>(
+      std::count(csv_a.begin(), csv_a.end(), '\n'));
+  EXPECT_EQ(lines, serial[0].round_trace.size() + 1);
+  std::remove(path_a.c_str());
+  std::remove(path_b.c_str());
+}
+
+TEST(ScenarioTrace, TraceCsvHeaderOnlyWithoutRoundTraces) {
+  const auto results =
+      ScenarioRunner(nullptr).run(traced_spec("flat", "counters"));
+  const std::string path = testing::TempDir() + "/trace_empty.csv";
+  write_trace_csv(path, results);
+  const std::string csv = slurp(path);
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 1);
+  EXPECT_NE(csv.find("informed_fraction_mean"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace gossip::scenario

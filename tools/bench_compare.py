@@ -3,6 +3,7 @@
 
 Usage:
     tools/bench_compare.py BASELINE.json CURRENT.json [--max-ratio 1.5]
+                           [--max-ratio-for NAME=R]...
                            [--min-speedup NAME_A/NAME_B=FACTOR]...
 
 Both files are ``--benchmark_format=json`` output. Benchmarks are matched
@@ -16,6 +17,13 @@ exceeds R for any benchmark present in both files. Machine-to-machine
 variance is why the default gate is deliberately loose; it exists to catch
 order-of-magnitude regressions (an accidental O(n^2), a lost optimization
 flag), not 5% noise.
+
+``--max-ratio-for NAME=R``: per-benchmark override of the global ratio
+gate (repeatable; exact full-name match). Use it to hold a specific hot
+path to a tighter bound than the machine-variance default, e.g. the
+null-probe overhead gate:
+
+    --max-ratio-for BM_RoundLoopFlat/1000000=1.05
 
 ``--min-speedup A/B=F``: fail unless benchmark A is at least F times
 faster than benchmark B *within the current run*. Since both numbers come
@@ -85,14 +93,32 @@ def main(argv):
     parser.add_argument("baseline")
     parser.add_argument("current")
     parser.add_argument("--max-ratio", type=float, default=1.5)
+    parser.add_argument("--max-ratio-for", action="append", default=[],
+                        metavar="NAME=R")
     parser.add_argument("--min-speedup", action="append", default=[],
                         metavar="NAME_A/NAME_B=FACTOR")
     args = parser.parse_args(argv)
+
+    per_bench_ratio = {}
+    for spec in args.max_ratio_for:
+        name, eq, ratio_text = spec.rpartition("=")
+        if not eq or not name:
+            raise SystemExit(f"error: bad --max-ratio-for spec {spec!r}")
+        try:
+            per_bench_ratio[name] = float(ratio_text)
+        except ValueError:
+            raise SystemExit(f"error: bad --max-ratio-for ratio in {spec!r}")
 
     baseline = load_benchmarks(args.baseline)
     current = load_benchmarks(args.current)
 
     failures = []
+    for name in per_bench_ratio:
+        if name not in baseline or name not in current:
+            failures.append(
+                f"--max-ratio-for {name}: benchmark missing from "
+                f"{'baseline' if name not in baseline else 'current'} run")
+
     print(f"{'benchmark':<44} {'baseline':>12} {'current':>12} {'ratio':>7}")
     for name in sorted(set(baseline) | set(current)):
         if name not in current:
@@ -102,12 +128,14 @@ def main(argv):
             print(f"{name:<44} {'-':>12} {current[name]:>12.1f} {'-':>7}  "
                   "(new)")
             continue
+        max_ratio = per_bench_ratio.get(name, args.max_ratio)
         ratio = current[name] / baseline[name] if baseline[name] else 0.0
         flag = ""
-        if ratio > args.max_ratio:
-            flag = f"  REGRESSION (> {args.max_ratio:g}x)"
+        if ratio > max_ratio:
+            flag = f"  REGRESSION (> {max_ratio:g}x)"
             failures.append(
-                f"{name}: {ratio:.2f}x slower than baseline")
+                f"{name}: {ratio:.2f}x slower than baseline "
+                f"(limit {max_ratio:g}x)")
         print(f"{name:<44} {baseline[name]:>12.1f} {current[name]:>12.1f} "
               f"{ratio:>7.2f}{flag}")
 

@@ -4,8 +4,10 @@
 /// worked examples and README.md ("Running scenarios") for the format.
 ///
 ///   gossip_scenarios <spec.scn> [--csv <path>] [--threads N] [--print-spec]
-///                    [--smoke]
+///                    [--smoke] [--set key=value]... [--trace-out <csv>]
+///                    [--manifest <json>]
 ///   gossip_scenarios --compare <a.csv> <b.csv> [--tolerance T]
+///   gossip_scenarios --list-keys
 ///
 ///   --csv <path>   CSV output path (default: results/<name>.csv)
 ///   --threads N    worker threads; 0 = hardware concurrency (default 0).
@@ -14,6 +16,15 @@
 ///   --smoke        smoke mode: cap repetitions at 2 so CI can execute a
 ///                  spec end to end in seconds (numbers are NOT the spec's
 ///                  pinned values; use a full run for those)
+///   --set k=v      override a spec field from the command line (repeatable;
+///                  applied before validation, so unknown keys still fail
+///                  with the usual did-you-mean diagnostic)
+///   --trace-out    per-round trajectory CSV path; implies trace = rounds
+///                  for specs that do not already request it
+///   --manifest     run-manifest JSON path (default: results CSV path with
+///                  .csv replaced by .manifest.json). A manifest is always
+///                  written; see docs/observability.md for the schema.
+///   --list-keys    print the engine's full known spec-key set and exit
 ///   --compare      tolerance-diff two result CSVs (rows matched by
 ///                  scenario/case/metric); exit 0 iff they agree. Use it to
 ///                  check a re-run, a different thread count, or a new code
@@ -24,11 +35,14 @@
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "experiment/csv.hpp"
 #include "experiment/table.hpp"
 #include "parallel/thread_pool.hpp"
 #include "scenario/compare.hpp"
+#include "scenario/manifest.hpp"
 #include "scenario/runner.hpp"
 #include "scenario/spec.hpp"
 
@@ -36,10 +50,24 @@ namespace {
 
 int usage() {
   std::cerr << "usage: gossip_scenarios <spec.scn> [--csv <path>] "
-               "[--threads N] [--print-spec] [--smoke]\n"
+               "[--threads N] [--print-spec] [--smoke] [--set key=value]... "
+               "[--trace-out <csv>] [--manifest <json>]\n"
                "       gossip_scenarios --compare <a.csv> <b.csv> "
-               "[--tolerance T]\n";
+               "[--tolerance T]\n"
+               "       gossip_scenarios --list-keys\n";
   return 2;
+}
+
+/// results/<name>.csv -> results/<name>.manifest.json.
+std::string default_manifest_path(const std::string& csv_path) {
+  const std::string suffix = ".csv";
+  if (csv_path.size() > suffix.size() &&
+      csv_path.compare(csv_path.size() - suffix.size(), suffix.size(),
+                       suffix) == 0) {
+    return csv_path.substr(0, csv_path.size() - suffix.size()) +
+           ".manifest.json";
+  }
+  return csv_path + ".manifest.json";
 }
 
 int run_compare(int argc, char** argv) {
@@ -87,9 +115,18 @@ int main(int argc, char** argv) {
   if (argc > 1 && std::string(argv[1]) == "--compare") {
     return run_compare(argc, argv);
   }
+  if (argc > 1 && std::string(argv[1]) == "--list-keys") {
+    for (const auto& key : scenario::known_spec_keys()) {
+      std::cout << key << "\n";
+    }
+    return 0;
+  }
 
   std::string spec_path;
   std::string csv_path;
+  std::string trace_path;
+  std::string manifest_path;
+  std::vector<std::pair<std::string, std::string>> overrides;
   std::size_t threads = 0;
   bool print_spec = false;
   bool smoke = false;
@@ -97,6 +134,20 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--csv" && i + 1 < argc) {
       csv_path = argv[++i];
+    } else if (arg == "--trace-out" && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (arg == "--manifest" && i + 1 < argc) {
+      manifest_path = argv[++i];
+    } else if (arg == "--set" && i + 1 < argc) {
+      const std::string assignment = argv[++i];
+      const auto eq = assignment.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        std::cerr << "error: --set expects key=value; got '" << assignment
+                  << "'\n";
+        return usage();
+      }
+      overrides.emplace_back(scenario::trim(assignment.substr(0, eq)),
+                             scenario::trim(assignment.substr(eq + 1)));
     } else if (arg == "--threads" && i + 1 < argc) {
       try {
         threads = static_cast<std::size_t>(
@@ -121,6 +172,14 @@ int main(int argc, char** argv) {
 
   try {
     auto spec = scenario::ScenarioSpec::load(spec_path);
+    for (const auto& [key, value] : overrides) {
+      spec.set(key, value);
+    }
+    // Requesting a trajectory CSV from an untraced spec turns tracing on —
+    // the common case for ad-hoc inspection of a committed scenario.
+    if (!trace_path.empty() && spec.get("trace", "off") != "rounds") {
+      spec.set("trace", "rounds");
+    }
     // Key typos fail here, before any header or partial output, and the
     // error names every unknown key with its nearest valid spelling.
     scenario::validate_spec_keys(spec);
@@ -143,7 +202,8 @@ int main(int argc, char** argv) {
 
     parallel::ThreadPool pool(threads);
     scenario::ScenarioRunner runner(&pool);
-    const auto results = runner.run(spec);
+    scenario::RunTelemetry telemetry;
+    const auto results = runner.run(spec, &telemetry);
     scenario::print_results_table(std::cout, results);
 
     // Multi-message workloads get a per-message breakdown: reliability is
@@ -168,6 +228,23 @@ int main(int argc, char** argv) {
     }
     scenario::write_results_csv(csv_path, results);
     std::cout << "\n[csv] " << csv_path << "\n";
+    if (!trace_path.empty()) {
+      scenario::write_trace_csv(trace_path, results);
+      std::cout << "[trace] " << trace_path << "\n";
+    }
+
+    auto manifest = scenario::build_run_manifest(spec, results, telemetry);
+    manifest.tool = "gossip_scenarios";
+    manifest.spec_path = spec_path;
+    manifest.threads = pool.num_threads();
+    manifest.smoke = smoke;
+    manifest.results_csv = csv_path;
+    manifest.trace_csv = trace_path;
+    if (manifest_path.empty()) {
+      manifest_path = default_manifest_path(csv_path);
+    }
+    obs::write_manifest(manifest_path, manifest);
+    std::cout << "[manifest] " << manifest_path << "\n";
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
