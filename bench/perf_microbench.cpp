@@ -207,6 +207,40 @@ void BM_GraphMonteCarloReplication(benchmark::State& state) {
 }
 BENCHMARK(BM_GraphMonteCarloReplication)->Arg(1000);
 
+// Which sanitizer (if any) this binary was built with. Stamped into the
+// benchmark JSON context so tools/bench_compare.py can refuse sanitized
+// baselines and downgrade ratio gates on sanitized runs — sanitizer
+// builds are 2-20x slower and must never be compared against clean
+// baselines as if they measured the same thing.
+const char* sanitizer_name() {
+#if defined(__SANITIZE_THREAD__)
+  return "thread";
+#elif defined(__SANITIZE_ADDRESS__)
+  return "address";
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+  return "thread";
+#elif __has_feature(address_sanitizer)
+  return "address";
+#elif __has_feature(memory_sanitizer)
+  return "memory";
+#else
+  return "none";
+#endif
+#else
+  return "none";
+#endif
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN() so the sanitizer context lands in every
+// output format before benchmarks run.
+int main(int argc, char** argv) {
+  benchmark::AddCustomContext("sanitizer", sanitizer_name());
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -40,10 +40,10 @@ ReliabilityEstimate run_replications_indexed(const MonteCarloOptions& options,
       outcomes[i] = body(i, rep_rng);
       return;
     }
-    const auto start = std::chrono::steady_clock::now();
+    const auto start = std::chrono::steady_clock::now();  // LINT-ALLOW(wall-clock): per-replication telemetry; feeds replication_seconds only, never a metric
     outcomes[i] = body(i, rep_rng);
     (*options.replication_seconds)[i] =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)  // LINT-ALLOW(wall-clock): per-replication telemetry; feeds replication_seconds only, never a metric
             .count();
   };
   if (options.pool != nullptr) {

@@ -20,7 +20,7 @@ std::vector<double> lut_weights(const FlatGossipParams& params) {
   const auto cap = static_cast<std::size_t>(rng::Lut88Sampler::kMaxValue) + 1;
   if (weights.size() > cap) {
     double tail = 0.0;
-    for (std::size_t k = cap; k < weights.size(); ++k) tail += weights[k];
+    for (std::size_t k = cap; k < weights.size(); ++k) tail += weights[k];  // LINT-ALLOW(float-accumulation): one-time LUT construction over a fixed pmf order, identical on every run
     weights.resize(cap);
     weights.back() += tail;
   }

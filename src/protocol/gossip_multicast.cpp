@@ -167,7 +167,7 @@ class Session {
       for (NodeId v = 0; v < n; ++v) {
         if (!alive_[v] || !seen_[flat(j, v)]) continue;
         ++stats.delivered;
-        latency_sum += receipt_time_[flat(j, v)] - stats.inject_time;
+        latency_sum += receipt_time_[flat(j, v)] - stats.inject_time;  // LINT-ALLOW(float-accumulation): within one execution, node order fixed by the NodeId loop; replication folds use OnlineSummary
       }
       stats.reliability = static_cast<double>(stats.delivered) /
                           static_cast<double>(stats.alive_count);

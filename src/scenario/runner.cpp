@@ -405,7 +405,7 @@ std::vector<CaseResult> ScenarioRunner::run(const ScenarioSpec& spec) const {
 
 std::vector<CaseResult> ScenarioRunner::run(const ScenarioSpec& spec,
                                             RunTelemetry* telemetry) const {
-  const auto run_start = std::chrono::steady_clock::now();
+  const auto run_start = std::chrono::steady_clock::now();  // LINT-ALLOW(wall-clock): run-manifest telemetry (total_wall_seconds), never a metric
   validate_spec_keys(spec);
   const auto resolved = spec.expand_cases();
   std::vector<BuiltCase> built;
@@ -461,11 +461,11 @@ std::vector<CaseResult> ScenarioRunner::run(const ScenarioSpec& spec,
     auto rng = rng::RngStream(b.seed).substream(rep);
     Slot& slot = slots[task];
     obs::Probe* probe = b.trace == TraceMode::kOff ? nullptr : &slot.trace;
-    const auto start = std::chrono::steady_clock::now();
+    const auto start = std::chrono::steady_clock::now();  // LINT-ALLOW(wall-clock): per-replication telemetry (Slot::seconds), never a metric
     const auto exec =
         protocol::run_gossip_workload(b.params, b.workload, rng, probe);
     slot.seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)  // LINT-ALLOW(wall-clock): per-replication telemetry (Slot::seconds), never a metric
             .count();
     slot.reliability = exec.mean_reliability;
     slot.messages = static_cast<double>(exec.messages_sent);
@@ -564,7 +564,7 @@ std::vector<CaseResult> ScenarioRunner::run(const ScenarioSpec& spec,
   }
   if (telemetry != nullptr) {
     telemetry->total_wall_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -  // LINT-ALLOW(wall-clock): run-manifest telemetry (total_wall_seconds), never a metric
                                       run_start)
             .count();
   }
@@ -614,7 +614,7 @@ void write_results_csv(const std::string& path,
       msg_min = std::min(msg_min, msg.mean());
     }
     for (const auto& msg : r.per_message_latency) {
-      latency_sum += msg.mean();
+      latency_sum += msg.mean();  // LINT-ALLOW(float-accumulation): mean over per-message summaries in fixed message-index order
     }
     const std::string msg_latency =
         r.per_message_latency.empty()

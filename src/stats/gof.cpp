@@ -76,7 +76,7 @@ ChiSquareResult chi_square_test(std::span<const std::uint64_t> observed,
       continue;
     }
     const double d = b.observed - b.expected;
-    stat += d * d / b.expected;
+    stat += d * d / b.expected;  // LINT-ALLOW(float-accumulation): chi-square statistic in fixed bin order, one call per test
   }
   result.statistic = stat;
   result.dof = static_cast<double>(bins.size() - 1);
@@ -110,7 +110,7 @@ KsResult ks_test(std::vector<double> sample,
   for (int j = 1; j <= 100; ++j) {
     const double jd = static_cast<double>(j);
     const double term = std::exp(-2.0 * jd * jd * lambda * lambda);
-    p += sign * term;
+    p += sign * term;  // LINT-ALLOW(float-accumulation): Kolmogorov series in fixed j order with early-out on term magnitude
     sign = -sign;
     if (term < 1e-12) break;
   }

@@ -87,8 +87,8 @@ INSTANTIATE_TEST_SUITE_P(
                       geometric_fanout(2.5), zipf_fanout(30, 1.4),
                       uniform_fanout(1, 7),
                       empirical_fanout({0.0, 0.2, 0.5, 0.3})),
-    [](const ::testing::TestParamInfo<DegreeDistributionPtr>& info) {
-      std::string n = info.param->name();
+    [](const ::testing::TestParamInfo<DegreeDistributionPtr>& param_info) {
+      std::string n = param_info.param->name();
       for (char& c : n) {
         if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
       }

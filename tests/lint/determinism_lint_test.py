@@ -1,0 +1,209 @@
+#!/usr/bin/env python3
+"""Self-tests for the determinism lint (tools/lint/).
+
+Asserts the contract the CI lint job relies on:
+  * every bad fixture in tests/lint/fixtures/ is flagged (non-zero exit)
+    with the expected rule name(s) in the report;
+  * the clean fixture and the fully LINT-ALLOW-annotated fixture pass;
+  * LINT-ALLOW without a reason, and LINT-ALLOW naming an unknown rule,
+    are themselves violations (bare-allow);
+  * rule scoping: the same source text is clean when it lives outside the
+    rule's layers;
+  * --list-rules names every rule.
+
+Registered with CTest as `lint.selftest`; also runnable directly:
+    python3 tests/lint/determinism_lint_test.py
+"""
+
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+TESTS_DIR = os.path.dirname(os.path.abspath(__file__))
+REPO_ROOT = os.path.dirname(os.path.dirname(TESTS_DIR))
+LINT = os.path.join(REPO_ROOT, "tools", "lint", "determinism_lint.py")
+FIXTURES = os.path.join(TESTS_DIR, "fixtures")
+
+# fixture (relative to fixtures/) -> rule names that must appear
+BAD_FIXTURES = {
+    "src/experiment/bad_rng_source.cpp": {"rng-source"},
+    "src/experiment/bad_float_accum.cpp": {"float-accumulation"},
+    "src/protocol/bad_wall_clock.cpp": {"wall-clock"},
+    "src/protocol/flat_gossip.cpp": {"hot-path-alloc"},
+    "src/scenario/bad_unordered_iter.cpp": {"unordered-iteration"},
+    "src/scenario/bad_bare_allow.cpp": {"bare-allow", "wall-clock"},
+    "src/stats/bad_wall_clock_seed.cpp": {"wall-clock", "rng-source"},
+}
+
+CLEAN_FIXTURES = [
+    "src/experiment/good_clean.cpp",
+    "src/experiment/allowed_wall_clock.cpp",
+]
+
+
+def run_lint(*args, root=FIXTURES):
+    cmd = [sys.executable, LINT]
+    if root is not None:
+        cmd += ["--root", root]
+    cmd += list(args)
+    return subprocess.run(cmd, capture_output=True, text=True, check=False)
+
+
+class FixtureCorpus(unittest.TestCase):
+    def test_every_bad_fixture_is_flagged(self):
+        for rel, expected_rules in sorted(BAD_FIXTURES.items()):
+            with self.subTest(fixture=rel):
+                proc = run_lint(os.path.join(FIXTURES, rel))
+                self.assertEqual(
+                    proc.returncode, 1,
+                    f"{rel} should be flagged\n{proc.stdout}{proc.stderr}")
+                for rule in expected_rules:
+                    self.assertIn(
+                        f"[{rule}]", proc.stdout,
+                        f"{rel} should report {rule}\n{proc.stdout}")
+
+    def test_reports_carry_path_line_and_snippet(self):
+        proc = run_lint(os.path.join(FIXTURES,
+                                     "src/protocol/bad_wall_clock.cpp"))
+        self.assertRegex(proc.stdout,
+                         r"src/protocol/bad_wall_clock\.cpp:\d+: \[wall-clock\]")
+        self.assertIn("steady_clock", proc.stdout)  # the offending snippet
+
+    def test_clean_and_annotated_fixtures_pass(self):
+        for rel in CLEAN_FIXTURES:
+            with self.subTest(fixture=rel):
+                proc = run_lint(os.path.join(FIXTURES, rel))
+                self.assertEqual(
+                    proc.returncode, 0,
+                    f"{rel} should be clean\n{proc.stdout}{proc.stderr}")
+
+    def test_whole_fixture_tree_is_flagged(self):
+        # Explicit file list (the fixtures dir has no compile_commands.json).
+        files = [os.path.join(FIXTURES, rel) for rel in BAD_FIXTURES]
+        proc = run_lint(*files)
+        self.assertEqual(proc.returncode, 1)
+
+
+class AllowSemantics(unittest.TestCase):
+    def lint_text(self, rel_path, text):
+        """Lint `text` placed at fixtures-root-relative `rel_path`."""
+        with tempfile.TemporaryDirectory() as tmp:
+            abs_path = os.path.join(tmp, rel_path)
+            os.makedirs(os.path.dirname(abs_path), exist_ok=True)
+            with open(abs_path, "w", encoding="utf-8") as fh:
+                fh.write(text)
+            return run_lint(abs_path, root=tmp)
+
+    VIOLATION = (
+        "#include <chrono>\n"
+        "double f() {\n"
+        "  auto t = std::chrono::steady_clock::now();{allow}\n"
+        "  return std::chrono::duration<double>(t.time_since_epoch()).count();\n"
+        "}\n")
+
+    def test_allow_with_reason_is_honored(self):
+        proc = self.lint_text(
+            "src/protocol/t.cpp",
+            self.VIOLATION.replace("{allow}",
+                "  // LINT-ALLOW(wall-clock): telemetry only"))
+        self.assertEqual(proc.returncode, 0, proc.stdout)
+
+    def test_allow_on_preceding_line_is_honored(self):
+        text = ("#include <chrono>\n"
+                "double f() {\n"
+                "  // LINT-ALLOW(wall-clock): telemetry only\n"
+                "  auto t = std::chrono::steady_clock::now();\n"
+                "  return std::chrono::duration<double>("
+                "t.time_since_epoch()).count();\n"
+                "}\n")
+        proc = self.lint_text("src/protocol/t.cpp", text)
+        self.assertEqual(proc.returncode, 0, proc.stdout)
+
+    def test_allow_without_reason_is_rejected(self):
+        proc = self.lint_text(
+            "src/protocol/t.cpp",
+            self.VIOLATION.replace("{allow}", "  // LINT-ALLOW(wall-clock)"))
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("[bare-allow]", proc.stdout)
+        self.assertIn("[wall-clock]", proc.stdout)  # not suppressed
+
+    def test_allow_for_unknown_rule_is_rejected(self):
+        proc = self.lint_text(
+            "src/protocol/t.cpp",
+            self.VIOLATION.replace("{allow}",
+                "  // LINT-ALLOW(wrong-rule): some reason"))
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("unknown rule", proc.stdout)
+
+    def test_allow_for_a_different_rule_does_not_suppress(self):
+        proc = self.lint_text(
+            "src/protocol/t.cpp",
+            self.VIOLATION.replace("{allow}",
+                "  // LINT-ALLOW(rng-source): wrong rule for this line"))
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("[wall-clock]", proc.stdout)
+
+
+class RuleScoping(unittest.TestCase):
+    def lint_text(self, rel_path, text):
+        with tempfile.TemporaryDirectory() as tmp:
+            abs_path = os.path.join(tmp, rel_path)
+            os.makedirs(os.path.dirname(abs_path), exist_ok=True)
+            with open(abs_path, "w", encoding="utf-8") as fh:
+                fh.write(text)
+            return run_lint(abs_path, root=tmp)
+
+    RNG = "#include <random>\nint f() { std::mt19937 e(1); return (int)e(); }\n"
+
+    def test_rng_engines_allowed_inside_rng_layer(self):
+        self.assertEqual(
+            self.lint_text("src/rng/engine.cpp", self.RNG).returncode, 0)
+
+    def test_rng_engines_rejected_outside_rng_layer(self):
+        proc = self.lint_text("src/protocol/engine.cpp", self.RNG)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("[rng-source]", proc.stdout)
+
+    def test_wall_clock_fine_outside_result_layers(self):
+        text = ("#include <chrono>\n"
+                "auto f() { return std::chrono::steady_clock::now(); }\n")
+        self.assertEqual(
+            self.lint_text("src/obs/probe_extra.cpp", text).returncode, 0)
+
+    def test_alloc_fine_outside_hot_path_files(self):
+        text = "int* f() { return new int(7); }\n"
+        self.assertEqual(
+            self.lint_text("src/protocol/round_gossip.cpp", text).returncode,
+            0)
+        proc = self.lint_text("src/protocol/flat_gossip.cpp", text)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("[hot-path-alloc]", proc.stdout)
+
+    def test_comments_and_strings_are_not_matched(self):
+        text = ('#include <string>\n'
+                '// std::rand() and steady_clock in prose\n'
+                'std::string f() { return "std::rand() time(nullptr)"; }\n')
+        self.assertEqual(
+            self.lint_text("src/protocol/doc.cpp", text).returncode, 0)
+
+
+class DriverInterface(unittest.TestCase):
+    def test_list_rules_names_every_rule(self):
+        proc = run_lint("--list-rules", root=None)
+        self.assertEqual(proc.returncode, 0)
+        for rule in ("rng-source", "wall-clock", "unordered-iteration",
+                     "hot-path-alloc", "float-accumulation", "bare-allow"):
+            self.assertIn(rule, proc.stdout)
+
+    def test_missing_compile_commands_is_a_setup_error(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            os.makedirs(os.path.join(tmp, "src"))
+            proc = run_lint(root=tmp)
+            self.assertEqual(proc.returncode, 2)
+            self.assertIn("compile_commands", proc.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

@@ -1,0 +1,33 @@
+// Fixture: the LINT-ALLOW escape hatch. Every would-be violation below
+// carries an annotation with a reason, so the lint must exit zero.
+// Covers same-line annotations, preceding-line annotations, and a
+// multi-rule annotation.
+#include <chrono>
+#include <cstddef>
+#include <vector>
+
+namespace gossip::experiment {
+
+struct Telemetry {
+  double wall_seconds = 0.0;
+};
+
+double allowed_elapsed(const std::vector<double>& replications,
+                       Telemetry& telemetry) {
+  const auto start = std::chrono::steady_clock::now();  // LINT-ALLOW(wall-clock): elapsed-seconds telemetry only; never feeds a metric
+  double mean = 0.0;
+  std::size_t count = 0;
+  // LINT-ALLOW(float-accumulation, wall-clock): running mean over a fixed
+  // index loop; annotation on the preceding line covers the next code line.
+  for (std::size_t r = 0; r < replications.size(); ++r) {
+    ++count;
+    mean += (replications[r] - mean) / static_cast<double>(count);  // LINT-ALLOW(float-accumulation): order pinned by the index loop above
+  }
+  telemetry.wall_seconds =
+      std::chrono::duration<double>(
+          std::chrono::steady_clock::now() - start)  // LINT-ALLOW(wall-clock): telemetry field, reported but never compared
+          .count();
+  return mean;
+}
+
+}  // namespace gossip::experiment

@@ -1,0 +1,21 @@
+// Fixture: float-accumulation — the classic nondeterministic replication
+// fold: a zero-initialized double bumped with += in a loop. Expected
+// violations: both += sites (sum and weighted).
+#include <cstddef>
+#include <vector>
+
+namespace gossip::experiment {
+
+double bad_mean_reliability(const std::vector<double>& replications) {
+  double sum = 0.0;
+  double weighted{0.0};
+  for (std::size_t r = 0; r < replications.size(); ++r) {
+    sum += replications[r];                     // violation
+    weighted += replications[r] * 0.5;          // violation
+  }
+  return replications.empty()
+             ? 0.0
+             : sum / static_cast<double>(replications.size()) + weighted;
+}
+
+}  // namespace gossip::experiment

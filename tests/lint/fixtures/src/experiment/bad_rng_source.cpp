@@ -1,0 +1,19 @@
+// Fixture: rng-source — entropy sources outside src/rng/.
+// Expected violations: std::random_device construction, mt19937 engine,
+// and a bare rand() call. None are annotated, so all three must be
+// flagged.
+#include <cstdlib>
+#include <random>
+
+namespace gossip::experiment {
+
+double bad_unseeded_estimate() {
+  std::random_device entropy;               // violation: rng-source
+  std::mt19937 engine(entropy());           // violation: rng-source
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  double accepted = u(engine);
+  accepted += static_cast<double>(std::rand()) / RAND_MAX;  // violation
+  return accepted;
+}
+
+}  // namespace gossip::experiment

@@ -1,0 +1,44 @@
+// Fixture: a clean experiment-layer file — seeded streams, ordered
+// containers, no wall clocks, no naive accumulators. The lint must exit
+// zero on this file. Mentions of banned names inside comments (std::rand,
+// steady_clock, unordered_map) and strings must NOT be flagged:
+// the lexer strips both before matching.
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gossip::experiment {
+
+struct TinySummary {
+  // Compensated accumulation lives in stats::OnlineSummary in the real
+  // tree; this stand-in keeps the fixture self-contained.
+  double mean = 0.0;
+  std::uint64_t count = 0;
+  void add(double x) {
+    ++count;
+    mean += (x - mean) / static_cast<double>(count);  // LINT-ALLOW(float-accumulation): running-mean update, order-pinned by the caller's index loop
+  }
+};
+
+std::vector<std::string> clean_result_rows(
+    const std::map<std::string, double>& totals) {
+  const char* note = "steady_clock and std::rand in a string literal";
+  std::vector<std::string> rows;
+  rows.emplace_back(note);
+  for (const auto& [label, total] : totals) {  // std::map: ordered, fine
+    rows.push_back(label + "," + std::to_string(total));
+  }
+  return rows;
+}
+
+double clean_mean(const std::vector<double>& replications) {
+  TinySummary summary;
+  for (std::size_t r = 0; r < replications.size(); ++r) {
+    summary.add(replications[r]);
+  }
+  return summary.mean;
+}
+
+}  // namespace gossip::experiment

@@ -1,0 +1,21 @@
+// Fixture: wall-clock — a protocol-layer round loop that reads a real
+// clock. Expected violations: steady_clock::now() inside the loop and a
+// time(nullptr)-derived seed.
+#include <chrono>
+#include <cstdint>
+#include <ctime>
+
+namespace gossip::protocol {
+
+std::uint64_t bad_round_deadline(std::uint64_t rounds) {
+  std::uint64_t executed = 0;
+  const auto deadline = std::chrono::steady_clock::now() +  // violation
+                        std::chrono::seconds(1);
+  for (std::uint64_t r = 0; r < rounds; ++r) {
+    if (std::chrono::steady_clock::now() > deadline) break;  // violation
+    ++executed;
+  }
+  return executed + static_cast<std::uint64_t>(time(nullptr));  // violation
+}
+
+}  // namespace gossip::protocol

@@ -1,0 +1,20 @@
+// Fixture: hot-path-alloc — this file name matches the certified
+// allocation-free hot-path list, so the raw new[] and malloc below must
+// both be flagged. (The real src/protocol/flat_gossip.cpp reuses an
+// engine free-list and hoisted buffers instead.)
+#include <cstdint>
+#include <cstdlib>
+
+namespace gossip::protocol {
+
+std::uint32_t* bad_round_scratch(std::uint32_t n) {
+  auto* frontier = new std::uint32_t[n];  // violation: hot-path-alloc
+  frontier[0] = 0;
+  return frontier;
+}
+
+void* bad_round_scratch_c(std::uint32_t n) {
+  return std::malloc(n * sizeof(std::uint32_t));  // violation
+}
+
+}  // namespace gossip::protocol

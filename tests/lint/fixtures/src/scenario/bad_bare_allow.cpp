@@ -1,0 +1,15 @@
+// Fixture: bare-allow — LINT-ALLOW annotations that carry no reason or
+// name an unknown rule are themselves violations: the annotation is the
+// audit trail. Expected violations: two bare-allow (no reason; unknown
+// rule) plus the un-annotated wall-clock read they fail to cover.
+#include <chrono>
+
+namespace gossip::scenario {
+
+double bad_annotations() {
+  const auto t0 = std::chrono::steady_clock::now();  // LINT-ALLOW(wall-clock)
+  const auto t1 = std::chrono::steady_clock::now();  // LINT-ALLOW(no-such-rule): reason text
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+}  // namespace gossip::scenario

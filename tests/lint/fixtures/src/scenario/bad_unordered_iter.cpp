@@ -1,0 +1,34 @@
+// Fixture: unordered-iteration — a scenario-layer CSV writer that walks
+// an unordered_map. Expected violations: the range-for over `totals`,
+// the .begin() iterator walk over `by_label`, and a range-for directly
+// over a freshly built unordered_set.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace gossip::scenario {
+
+std::vector<std::string> bad_result_rows(
+    const std::vector<std::pair<std::string, double>>& samples) {
+  std::unordered_map<std::string, double> totals;
+  std::unordered_map<std::string, int> by_label;
+  for (const auto& [label, value] : samples) {
+    totals[label] += value;
+    by_label[label] += 1;
+  }
+  std::vector<std::string> rows;
+  for (const auto& [label, total] : totals) {  // violation: bucket order
+    rows.push_back(label + "," + std::to_string(total));
+  }
+  for (auto it = by_label.begin(); it != by_label.end(); ++it) {  // violation
+    rows.push_back(it->first);
+  }
+  for (const auto& label :
+       std::unordered_set<std::string>{"a", "b"}) {  // violation
+    rows.push_back(label);
+  }
+  return rows;
+}
+
+}  // namespace gossip::scenario

@@ -1,0 +1,15 @@
+// Fixture: wall-clock + rng-source in the stats layer — a
+// system_clock-seeded engine used to jitter a summary. Both rules fire.
+#include <chrono>
+#include <random>
+
+namespace gossip::stats {
+
+double bad_jittered_mean(double mean) {
+  const auto seed = static_cast<unsigned>(
+      std::chrono::system_clock::now().time_since_epoch().count());  // violation: wall-clock
+  std::minstd_rand engine(seed);  // violation: rng-source
+  return mean + static_cast<double>(engine()) * 1e-12;
+}
+
+}  // namespace gossip::stats

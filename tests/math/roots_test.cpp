@@ -131,8 +131,8 @@ INSTANTIATE_TEST_SUITE_P(
                  std::exp(-1.0)},
         RootCase{"sin", [](double x) { return std::sin(x) - 0.5; }, 0.0, 1.5,
                  0.5235987755982989}),
-    [](const ::testing::TestParamInfo<RootCase>& info) {
-      return info.param.label;
+    [](const ::testing::TestParamInfo<RootCase>& param_info) {
+      return param_info.param.label;
     });
 
 }  // namespace

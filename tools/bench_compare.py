@@ -32,6 +32,14 @@ it pins relative performance claims, e.g.:
 
     --min-speedup BM_RoundLoopFlat/100000/BM_RoundLoopReference/100000=5
 
+Sanitizer awareness: perf_microbench stamps a ``sanitizer`` key into the
+benchmark JSON context (``none``, ``thread``, ``address``, ...). A run
+made under a sanitizer is 2-20x slower and meaningless as a performance
+measurement, so a sanitized *baseline* is refused outright and a
+sanitized *current* run downgrades ratio gates to informational (the
+within-run --min-speedup gates still apply). ``--allow-sanitizer``
+overrides the baseline refusal for local experiments.
+
 Exit status: 0 = all gates pass, 1 = regression, 2 = usage/parse error.
 """
 
@@ -41,12 +49,15 @@ import sys
 
 
 def load_benchmarks(path):
-    """Return {name: real_time_ns} from a google-benchmark JSON file."""
+    """Return ({name: real_time_ns}, sanitizer) from a google-benchmark
+    JSON file. `sanitizer` is the custom context value stamped by
+    perf_microbench ("none" when absent, i.e. pre-stamp baselines)."""
     try:
         with open(path, "r", encoding="utf-8") as fh:
             doc = json.load(fh)
     except (OSError, json.JSONDecodeError) as exc:
         raise SystemExit(f"error: cannot read {path}: {exc}")
+    sanitizer = doc.get("context", {}).get("sanitizer", "none")
     out = {}
     for bench in doc.get("benchmarks", []):
         # Skip aggregate rows (mean/median/stddev of repeated runs); the
@@ -65,7 +76,7 @@ def load_benchmarks(path):
         out[name] = float(time) * scale
     if not out:
         raise SystemExit(f"error: {path}: no benchmarks found")
-    return out
+    return out, sanitizer
 
 
 def parse_speedup_spec(spec):
@@ -97,6 +108,10 @@ def main(argv):
                         metavar="NAME=R")
     parser.add_argument("--min-speedup", action="append", default=[],
                         metavar="NAME_A/NAME_B=FACTOR")
+    parser.add_argument("--allow-sanitizer", action="store_true",
+                        help="accept a baseline recorded under a sanitizer "
+                             "(normally refused: sanitized times are not "
+                             "performance baselines)")
     args = parser.parse_args(argv)
 
     per_bench_ratio = {}
@@ -109,8 +124,19 @@ def main(argv):
         except ValueError:
             raise SystemExit(f"error: bad --max-ratio-for ratio in {spec!r}")
 
-    baseline = load_benchmarks(args.baseline)
-    current = load_benchmarks(args.current)
+    baseline, baseline_san = load_benchmarks(args.baseline)
+    current, current_san = load_benchmarks(args.current)
+
+    if baseline_san != "none" and not args.allow_sanitizer:
+        raise SystemExit(
+            f"error: baseline {args.baseline} was recorded under "
+            f"{baseline_san} sanitizer — not a performance baseline "
+            "(pass --allow-sanitizer to override)")
+    ratio_gates_active = current_san == "none"
+    if not ratio_gates_active:
+        print(f"note: current run was built with the {current_san} "
+              "sanitizer; ratio gates are informational only "
+              "(within-run --min-speedup gates still apply)")
 
     failures = []
     for name in per_bench_ratio:
@@ -132,10 +158,13 @@ def main(argv):
         ratio = current[name] / baseline[name] if baseline[name] else 0.0
         flag = ""
         if ratio > max_ratio:
-            flag = f"  REGRESSION (> {max_ratio:g}x)"
-            failures.append(
-                f"{name}: {ratio:.2f}x slower than baseline "
-                f"(limit {max_ratio:g}x)")
+            if ratio_gates_active:
+                flag = f"  REGRESSION (> {max_ratio:g}x)"
+                failures.append(
+                    f"{name}: {ratio:.2f}x slower than baseline "
+                    f"(limit {max_ratio:g}x)")
+            else:
+                flag = f"  (sanitized run; > {max_ratio:g}x ignored)"
         print(f"{name:<44} {baseline[name]:>12.1f} {current[name]:>12.1f} "
               f"{ratio:>7.2f}{flag}")
 

@@ -1,0 +1,385 @@
+#!/usr/bin/env python3
+"""Determinism lint: machine-check the repo's reproducibility contract.
+
+The simulator's load-bearing guarantee is that Monte Carlo results are
+bit-identical across 1/2/8 workers, traced vs. untraced runs, and flat
+vs. DES backends. Runtime tests sample that property; this tool enforces
+the source-level invariants that make it hold (see tools/lint/rules.py
+for the rule list and docs/static-analysis.md for the rationale).
+
+Usage:
+    # Lint every translation unit the build sees, plus all src/ headers:
+    tools/lint/determinism_lint.py --compile-commands build/compile_commands.json
+
+    # Lint explicit files (fixtures, pre-commit):
+    tools/lint/determinism_lint.py --root tests/lint/fixtures \\
+        tests/lint/fixtures/src/protocol/bad_wall_clock.cpp
+
+    tools/lint/determinism_lint.py --list-rules
+
+Backends: with the libclang Python bindings installed (python3-clang),
+``--backend clang`` (or auto) parses each TU with the compile command the
+build used and matches on AST nodes — precise about macros, scopes, and
+templates. Without them, ``--backend lexical`` runs the same rules over
+comment- and string-stripped source. Both honor the same
+``// LINT-ALLOW(rule): reason`` escape hatch, and a clang parse failure
+for a TU falls back to the lexical engine for that TU, so the lint always
+produces a verdict.
+
+Exit status: 0 = clean, 1 = violations found, 2 = usage/setup error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict, Iterable, List, Optional, Sequence
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import rules as rules_mod
+from rules import ALL_RULES, RULE_NAMES, SourceFile, Violation, check_file
+
+SOURCE_SUFFIXES = (".cpp", ".cc", ".cxx")
+HEADER_SUFFIXES = (".hpp", ".h", ".hh", ".hxx")
+
+
+def die(message: str) -> "NoReturn":
+    print(message, file=sys.stderr)
+    raise SystemExit(2)
+
+
+# --------------------------------------------------------------------------
+# File discovery
+# --------------------------------------------------------------------------
+
+def repo_relative(path: str, root: str) -> Optional[str]:
+    """`path` relative to `root` with '/' separators, or None if outside."""
+    rel = os.path.relpath(os.path.abspath(path), root)
+    if rel.startswith(".."):
+        return None
+    return rel.replace(os.sep, "/")
+
+
+def load_compile_commands(path: str, root: str) -> Dict[str, List[str]]:
+    """{repo-relative source: compiler args} for TUs under <root>/src."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            entries = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        die(f"error: cannot read {path}: {exc}")
+    out: Dict[str, List[str]] = {}
+    for entry in entries:
+        file_path = entry.get("file", "")
+        directory = entry.get("directory", ".")
+        if not os.path.isabs(file_path):
+            file_path = os.path.join(directory, file_path)
+        rel = repo_relative(file_path, root)
+        if rel is None or not rel.startswith("src/"):
+            continue  # tests, benches, _deps: out of scope
+        if "command" in entry:
+            args = entry["command"].split()
+        else:
+            args = list(entry.get("arguments", []))
+        out[rel] = args
+    return out
+
+
+def discover_headers(root: str) -> List[str]:
+    found: List[str] = []
+    src_root = os.path.join(root, "src")
+    for dirpath, _dirnames, filenames in os.walk(src_root):
+        for name in sorted(filenames):
+            if name.endswith(HEADER_SUFFIXES):
+                rel = repo_relative(os.path.join(dirpath, name), root)
+                if rel is not None:
+                    found.append(rel)
+    return sorted(found)
+
+
+# --------------------------------------------------------------------------
+# libclang backend
+# --------------------------------------------------------------------------
+
+class ClangBackend:
+    """AST-based matcher built on clang.cindex.
+
+    Matches the same contract as the lexical rules:
+      rng-source / wall-clock  -> references to banned decls or types
+      unordered-iteration      -> CXXForRangeStmt over unordered_* ranges
+                                  and begin()/cbegin() member calls on them
+      hot-path-alloc           -> CXXNewExpr and malloc-family calls
+    float-accumulation stays lexical (an AST dataflow pass is not worth
+    the precision for a rule whose fix is always "use OnlineSummary").
+    """
+
+    RNG_NAMES = {
+        "rand", "srand", "rand_r", "drand48", "lrand48", "random_device",
+        "mt19937", "mt19937_64", "minstd_rand", "minstd_rand0",
+        "default_random_engine", "ranlux24", "ranlux48", "ranlux24_base",
+        "ranlux48_base", "knuth_b",
+    }
+    CLOCK_NAMES = {
+        "system_clock", "steady_clock", "high_resolution_clock",
+        "gettimeofday", "clock_gettime", "timespec_get", "time", "clock",
+        "localtime", "gmtime",
+    }
+    ALLOC_NAMES = {"malloc", "calloc", "realloc", "aligned_alloc", "strdup"}
+
+    def __init__(self) -> None:
+        from clang import cindex  # raises ImportError when unavailable
+
+        self.cindex = cindex
+        self.index = cindex.Index.create()
+
+    # -- compile-arg hygiene ------------------------------------------------
+
+    @staticmethod
+    def _parse_args(args: Sequence[str]) -> List[str]:
+        """Strip the compiler path, -o/-c and the input file itself."""
+        cleaned: List[str] = []
+        skip = False
+        for i, arg in enumerate(args):
+            if i == 0:
+                continue  # the compiler executable
+            if skip:
+                skip = False
+                continue
+            if arg in ("-o", "-c"):
+                skip = arg == "-o"
+                continue
+            if arg.endswith(SOURCE_SUFFIXES):
+                continue
+            cleaned.append(arg)
+        return cleaned
+
+    # -- per-file check -----------------------------------------------------
+
+    def check(self, root: str, rel_path: str, text: str,
+              compile_args: Optional[Sequence[str]]) -> List[Violation]:
+        cindex = self.cindex
+        source = SourceFile(path=rel_path, raw=text)
+        abs_path = os.path.join(root, rel_path)
+        args = (self._parse_args(compile_args) if compile_args
+                else ["-std=c++20", "-I" + os.path.join(root, "src")])
+        tu = self.index.parse(
+            abs_path, args=args,
+            options=cindex.TranslationUnit.PARSE_SKIP_FUNCTION_BODIES * 0)
+        for diag in tu.diagnostics:
+            if diag.severity >= cindex.Diagnostic.Fatal:
+                raise RuntimeError(f"clang parse failed: {diag.spelling}")
+
+        active = {rule.name: rule for rule in ALL_RULES
+                  if rule.applies_to(rel_path)}
+        out: List[Violation] = []
+
+        def emit(rule_name: str, cursor, message: str) -> None:
+            line = cursor.location.line
+            if source.allowed(line, rule_name):
+                return
+            out.append(Violation(rel_path, line, rule_name, message,
+                                 source.line_text(line)))
+
+        def in_this_file(cursor) -> bool:
+            f = cursor.location.file
+            return f is not None and os.path.abspath(f.name) == os.path.abspath(abs_path)
+
+        def visit(cursor) -> None:
+            if not in_this_file(cursor):
+                for child in cursor.get_children():
+                    visit(child)
+                return
+            kind = cursor.kind
+            spelling = cursor.spelling or ""
+            if kind in (cindex.CursorKind.DECL_REF_EXPR,
+                        cindex.CursorKind.TYPE_REF,
+                        cindex.CursorKind.CALL_EXPR):
+                if "rng-source" in active and spelling in self.RNG_NAMES:
+                    emit("rng-source", cursor,
+                         f"'{spelling}' is an entropy source outside "
+                         "src/rng/; draw from a seeded rng::RngStream "
+                         "substream instead")
+                if "wall-clock" in active and spelling in self.CLOCK_NAMES:
+                    emit("wall-clock", cursor,
+                         "wall-clock read in a result-producing layer; "
+                         "simulation logic runs on virtual time only. If "
+                         "this feeds pure telemetry, annotate it: "
+                         "// LINT-ALLOW(wall-clock): <why>")
+                if ("hot-path-alloc" in active and
+                        kind == cindex.CursorKind.CALL_EXPR and
+                        spelling in self.ALLOC_NAMES):
+                    emit("hot-path-alloc", cursor,
+                         f"'{spelling}' in a certified allocation-free hot "
+                         "path; reuse the engine free-list or hoist the "
+                         "buffer to setup")
+            if ("hot-path-alloc" in active and
+                    kind == cindex.CursorKind.CXX_NEW_EXPR):
+                emit("hot-path-alloc", cursor,
+                     "raw new in a certified allocation-free hot path; "
+                     "reuse the engine free-list or hoist the buffer to "
+                     "setup")
+            if ("unordered-iteration" in active and
+                    kind == cindex.CursorKind.CXX_FOR_RANGE_STMT):
+                children = list(cursor.get_children())
+                if len(children) >= 2:
+                    range_type = children[-2].type.spelling
+                    if "unordered_" in range_type:
+                        emit("unordered-iteration", cursor,
+                             f"range-for over '{range_type}'; use an "
+                             "ordered container or sort the keys before "
+                             "anything result-bearing reads them")
+            if ("unordered-iteration" in active and
+                    kind == cindex.CursorKind.CALL_EXPR and
+                    spelling in ("begin", "cbegin", "rbegin", "crbegin")):
+                children = list(cursor.get_children())
+                if children:
+                    base_type = children[0].type.spelling
+                    if "unordered_" in base_type:
+                        emit("unordered-iteration", cursor,
+                             f"iterator walk over '{base_type}'; use an "
+                             "ordered container or sort the keys first")
+            for child in cursor.get_children():
+                visit(child)
+
+        visit(tu.cursor)
+
+        # bare-allow + float-accumulation ride the lexical engine in both
+        # backends (see class docstring).
+        lexical = check_file(rel_path, text,
+                             rules=[r for r in ALL_RULES
+                                    if r.name == "float-accumulation"])
+        out.extend(lexical)
+        seen = set()
+        unique = []
+        for v in sorted(out, key=lambda v: (v.path, v.line, v.rule)):
+            key = (v.line, v.rule)
+            if key in seen:
+                continue
+            seen.add(key)
+            unique.append(v)
+        return unique
+
+
+def make_clang_backend() -> Optional[ClangBackend]:
+    try:
+        backend = ClangBackend()
+        return backend
+    except Exception:  # ImportError or libclang.so resolution failure
+        return None
+
+
+# --------------------------------------------------------------------------
+# Driver
+# --------------------------------------------------------------------------
+
+def lint_files(root: str, targets: Dict[str, Optional[Sequence[str]]],
+               backend_name: str, verbose: bool) -> List[Violation]:
+    clang_backend = None
+    if backend_name in ("auto", "clang"):
+        clang_backend = make_clang_backend()
+        if clang_backend is None and backend_name == "clang":
+            die("error: --backend clang requires the libclang Python "
+                "bindings (python3-clang); use --backend lexical")
+    if verbose:
+        engine = "clang AST" if clang_backend else "lexical"
+        print(f"determinism-lint: {len(targets)} file(s), "
+              f"{engine} backend", file=sys.stderr)
+
+    violations: List[Violation] = []
+    for rel_path in sorted(targets):
+        abs_path = os.path.join(root, rel_path)
+        try:
+            with open(abs_path, "r", encoding="utf-8", errors="replace") as fh:
+                text = fh.read()
+        except OSError as exc:
+            die(f"error: cannot read {abs_path}: {exc}")
+        if clang_backend is not None:
+            try:
+                violations.extend(
+                    clang_backend.check(root, rel_path, text,
+                                        targets[rel_path]))
+                continue
+            except Exception as exc:
+                if verbose:
+                    print(f"determinism-lint: clang backend failed on "
+                          f"{rel_path} ({exc}); lexical fallback",
+                          file=sys.stderr)
+        violations.extend(check_file(rel_path, text))
+    return violations
+
+
+def main(argv: Sequence[str]) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("files", nargs="*",
+                        help="explicit files to lint (paths under --root); "
+                             "default: every src/ TU in --compile-commands "
+                             "plus every src/ header")
+    parser.add_argument("--root", default=None,
+                        help="repo root the rule scopes are relative to "
+                             "(default: parent of tools/lint/)")
+    parser.add_argument("--compile-commands", default=None,
+                        metavar="JSON",
+                        help="compile_commands.json to enumerate TUs (and "
+                             "feed exact compile args to the clang backend)")
+    parser.add_argument("--backend", choices=("auto", "clang", "lexical"),
+                        default="auto")
+    parser.add_argument("--list-rules", action="store_true")
+    parser.add_argument("--verbose", "-v", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.name}\n    {rule.description}")
+        print("bare-allow\n    malformed or reason-less LINT-ALLOW "
+              "annotations (the annotation is the audit trail)")
+        return 0
+
+    root = os.path.abspath(args.root) if args.root else os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+    targets: Dict[str, Optional[Sequence[str]]] = {}
+    if args.files:
+        for file_arg in args.files:
+            rel = repo_relative(file_arg, root)
+            if rel is None:
+                die(f"error: {file_arg} is outside --root {root}")
+            targets[rel] = None
+    else:
+        compile_commands = args.compile_commands
+        if compile_commands is None:
+            for candidate in ("build/compile_commands.json",
+                              "compile_commands.json"):
+                probe = os.path.join(root, candidate)
+                if os.path.exists(probe):
+                    compile_commands = probe
+                    break
+        if compile_commands is None:
+            die("error: no compile_commands.json found; configure the "
+                "build (CMake exports it by default) or pass "
+                "--compile-commands / explicit files")
+        targets.update(load_compile_commands(compile_commands, root))
+        if not targets:
+            die(f"error: {compile_commands} contains no src/ translation "
+                f"units under {root}")
+        for header in discover_headers(root):
+            targets.setdefault(header, None)
+
+    violations = lint_files(root, targets, args.backend, args.verbose)
+    for violation in violations:
+        print(violation.render())
+    checked = len(targets)
+    if violations:
+        print(f"\ndeterminism-lint: {len(violations)} violation(s) in "
+              f"{checked} file(s)", file=sys.stderr)
+        return 1
+    if args.verbose:
+        print(f"determinism-lint: {checked} file(s) clean", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,531 @@
+"""Rule definitions for the determinism lint.
+
+Each rule encodes one clause of the repo's determinism contract — the
+property (PR 1/2/6/7) that Monte Carlo results are bit-identical across
+worker counts, traced vs. untraced runs, and flat vs. DES backends:
+
+  rng-source           all randomness flows through src/rng/ streams; any
+                       other entropy source (std::rand, random_device,
+                       ad-hoc std engines) is an unseeded leak.
+  wall-clock           result-producing layers never read wall clocks;
+                       elapsed-time telemetry must be annotated so a reader
+                       can see it cannot feed a metric.
+  unordered-iteration  result-producing layers never iterate unordered
+                       associative containers (iteration order is
+                       implementation- and address-dependent).
+  hot-path-alloc       the flat hot-path files PR 6 certified
+                       allocation-free stay free of raw new/malloc.
+  float-accumulation   replication folds use stats::OnlineSummary, not
+                       naive `double sum = 0; sum += x` accumulators whose
+                       result depends on summation order.
+
+Every rule honors an inline escape hatch on the offending line or the
+line directly above it:
+
+    // LINT-ALLOW(rule-name): reason the contract is not at risk here
+
+A LINT-ALLOW with no reason text is itself a violation (`bare-allow`):
+the annotation is the audit trail, so it must say why.
+
+The module is importable both by the lexical backend (regex over
+comment/string-stripped source) and by the libclang backend, which reuses
+the scoping tables and messages but matches on AST nodes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence
+
+# --------------------------------------------------------------------------
+# Scoping tables (paths are repo-root-relative, '/' separated)
+# --------------------------------------------------------------------------
+
+#: Layers whose output feeds figures, CSVs, JSON manifests, or pinned
+#: anchors. The unordered-iteration, wall-clock, and float-accumulation
+#: rules apply here.
+RESULT_LAYERS = (
+    "src/protocol/",
+    "src/experiment/",
+    "src/stats/",
+    "src/scenario/",
+)
+
+#: Files PR 6 certified zero-steady-state-allocation (verified at runtime
+#: by a counting operator new in the protocol tests). Raw new/malloc in
+#: these files is rejected outright; container setup allocations
+#: (vector::resize and friends) are fine and invisible to this rule.
+HOT_PATH_FILES = frozenset({
+    "src/protocol/flat_gossip.cpp",
+    "src/protocol/flat_gossip.hpp",
+    "src/rng/lut_sampler.cpp",
+    "src/rng/lut_sampler.hpp",
+    "src/core/bitvec.hpp",
+})
+
+#: The only directory that may construct entropy sources.
+RNG_LAYER = "src/rng/"
+
+#: Files allowed to read wall clocks without annotation: run manifests
+#: exist to record wall time and peak RSS, so the whole file is timing.
+WALL_CLOCK_ALLOWED_FILES = frozenset({
+    "src/obs/manifest.cpp",
+    "src/obs/manifest.hpp",
+    "src/scenario/manifest.cpp",
+    "src/scenario/manifest.hpp",
+})
+
+
+@dataclasses.dataclass(frozen=True)
+class Violation:
+    path: str       # repo-root-relative path
+    line: int       # 1-based
+    rule: str
+    message: str
+    snippet: str = ""
+
+    def render(self) -> str:
+        text = f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+        if self.snippet:
+            text += f"\n    {self.snippet.strip()}"
+        return text
+
+
+# --------------------------------------------------------------------------
+# Lexing: blank out comments / string literals, harvest LINT-ALLOW
+# --------------------------------------------------------------------------
+
+_ALLOW_RE = re.compile(
+    r"LINT-ALLOW\s*\(\s*(?P<rules>[A-Za-z0-9_,\s-]*?)\s*\)\s*(?P<colon>:?)\s*(?P<reason>.*?)\s*(?:\*/)?\s*$"
+)
+
+
+@dataclasses.dataclass
+class SourceFile:
+    """One lexed translation unit / header."""
+
+    path: str                 # repo-root-relative, '/' separated
+    raw: str
+    code: str = ""            # raw with comments + string/char bodies blanked
+    allows: dict = dataclasses.field(default_factory=dict)   # line -> set(rules)
+    bare_allows: list = dataclasses.field(default_factory=list)  # lines lacking a reason
+
+    def __post_init__(self) -> None:
+        self.code, comments = _strip_comments_and_strings(self.raw)
+        self._harvest_allows(comments)
+        self.code_lines = self.code.split("\n")
+
+    def _harvest_allows(self, comments: Sequence[tuple]) -> None:
+        for line, text in comments:
+            match = _ALLOW_RE.search(text)
+            if match is None:
+                # Only an annotation *attempt* (LINT-ALLOW with parens) is
+                # malformed; prose mentioning the marker is fine.
+                if re.search(r"LINT-ALLOW\s*\(", text):
+                    self.bare_allows.append((line, "malformed LINT-ALLOW (expected 'LINT-ALLOW(rule): reason')"))
+                continue
+            rules = {r.strip() for r in match.group("rules").split(",") if r.strip()}
+            reason = match.group("reason")
+            if not rules:
+                self.bare_allows.append((line, "LINT-ALLOW names no rule"))
+                continue
+            if not match.group("colon") or not reason:
+                self.bare_allows.append(
+                    (line, "LINT-ALLOW(" + ", ".join(sorted(rules)) + ") has no reason; "
+                           "write 'LINT-ALLOW(rule): why the contract holds'"))
+                continue
+            self.allows.setdefault(line, set()).update(rules)
+
+    def allowed(self, line: int, rule: str) -> bool:
+        """True when `line` (or the comment line above it) allows `rule`."""
+        for probe in (line, line - 1):
+            if rule in self.allows.get(probe, ()):  # exact or preceding line
+                return True
+        return False
+
+    def line_text(self, line: int) -> str:
+        raw_lines = self.raw.split("\n")
+        return raw_lines[line - 1] if 1 <= line <= len(raw_lines) else ""
+
+
+def _strip_comments_and_strings(text: str):
+    """Blank comments and string/char literal bodies, preserving layout.
+
+    Returns (code, comments) where `comments` is a list of
+    (1-based line, comment text) pairs — line comments yield one pair,
+    block comments one pair per line so LINT-ALLOW works inside either.
+    Newlines are preserved so line numbers in `code` match `raw`.
+    """
+    out: List[str] = []
+    comments: List[tuple] = []
+    i, n = 0, len(text)
+    line = 1
+    comment_start_line = 0
+    buffer: List[str] = []
+    state = "code"  # code | line_comment | block_comment | string | char | raw_string
+    raw_delim = ""
+    while i < n:
+        ch = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if ch == "/" and nxt == "/":
+                state = "line_comment"
+                comment_start_line = line
+                buffer = []
+                out.append("  ")
+                i += 2
+                continue
+            if ch == "/" and nxt == "*":
+                state = "block_comment"
+                comment_start_line = line
+                buffer = []
+                out.append("  ")
+                i += 2
+                continue
+            if ch == '"':
+                # Raw string literal?  R"delim( ... )delim"
+                if out and text[i - 1] == "R" and (i < 2 or not text[i - 2].isalnum()):
+                    close = text.find("(", i + 1)
+                    if close != -1 and close - i <= 17:
+                        raw_delim = ")" + text[i + 1:close] + '"'
+                        state = "raw_string"
+                        out.append('"')
+                        i += 1
+                        continue
+                state = "string"
+                out.append('"')
+                i += 1
+                continue
+            if ch == "'":
+                # C++14 digit separator (1'000'000), not a char literal.
+                hexdigits = "0123456789abcdefABCDEF"
+                if i > 0 and text[i - 1] in hexdigits and nxt in hexdigits:
+                    out.append("'")
+                    i += 1
+                    continue
+                state = "char"
+                out.append("'")
+                i += 1
+                continue
+            out.append(ch)
+            if ch == "\n":
+                line += 1
+            i += 1
+            continue
+        if state == "line_comment":
+            if ch == "\n":
+                comments.append((comment_start_line, "".join(buffer)))
+                state = "code"
+                out.append("\n")
+                line += 1
+            else:
+                buffer.append(ch)
+                out.append(" ")
+            i += 1
+            continue
+        if state == "block_comment":
+            if ch == "*" and nxt == "/":
+                comments.append((comment_start_line, "".join(buffer)))
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            if ch == "\n":
+                comments.append((comment_start_line, "".join(buffer)))
+                buffer = []
+                comment_start_line = line + 1
+                out.append("\n")
+                line += 1
+            else:
+                buffer.append(ch)
+                out.append(" ")
+            i += 1
+            continue
+        if state == "string":
+            if ch == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if ch == '"':
+                state = "code"
+                out.append('"')
+            elif ch == "\n":  # unterminated; be forgiving
+                state = "code"
+                out.append("\n")
+                line += 1
+            else:
+                out.append(" ")
+            i += 1
+            continue
+        if state == "char":
+            if ch == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if ch == "'":
+                state = "code"
+                out.append("'")
+            elif ch == "\n":
+                state = "code"
+                out.append("\n")
+                line += 1
+            else:
+                out.append(" ")
+            i += 1
+            continue
+        if state == "raw_string":
+            if text.startswith(raw_delim, i):
+                out.append(" " * (len(raw_delim) - 1) + '"')
+                i += len(raw_delim)
+                state = "code"
+                continue
+            if ch == "\n":
+                out.append("\n")
+                line += 1
+            else:
+                out.append(" ")
+            i += 1
+            continue
+    if state == "line_comment":
+        comments.append((comment_start_line, "".join(buffer)))
+    elif state == "block_comment":
+        comments.append((comment_start_line, "".join(buffer)))
+    return "".join(out), comments
+
+
+# --------------------------------------------------------------------------
+# Rules
+# --------------------------------------------------------------------------
+
+class Rule:
+    name = ""
+    description = ""
+
+    def applies_to(self, path: str) -> bool:
+        raise NotImplementedError
+
+    def check(self, source: SourceFile) -> Iterator[Violation]:
+        raise NotImplementedError
+
+    # Helper: emit one violation per matching line, honoring LINT-ALLOW.
+    def _scan(self, source: SourceFile, pattern: re.Pattern,
+              message: Callable[[re.Match], str]) -> Iterator[Violation]:
+        for lineno, text in enumerate(source.code_lines, start=1):
+            for match in pattern.finditer(text):
+                if source.allowed(lineno, self.name):
+                    continue
+                yield Violation(source.path, lineno, self.name,
+                                message(match), source.line_text(lineno))
+
+
+def _in_result_layers(path: str) -> bool:
+    return any(path.startswith(layer) for layer in RESULT_LAYERS)
+
+
+class RngSourceRule(Rule):
+    name = "rng-source"
+    description = (
+        "entropy sources (std::rand, srand, std::random_device, ad-hoc "
+        "<random> engines) outside src/rng/ — all randomness must come "
+        "from seeded gossip::rng streams")
+
+    _pattern = re.compile(
+        r"\b(?:std\s*::\s*)?"
+        r"(?P<what>rand(?=\s*\()|srand\b|rand_r\b|drand48\b|lrand48\b|"
+        r"random_device\b|mt19937(?:_64)?\b|minstd_rand0?\b|"
+        r"default_random_engine\b|ranlux(?:24|48)(?:_base)?\b|knuth_b\b)")
+
+    def applies_to(self, path: str) -> bool:
+        return path.startswith("src/") and not path.startswith(RNG_LAYER)
+
+    def check(self, source: SourceFile) -> Iterator[Violation]:
+        return self._scan(
+            source, self._pattern,
+            lambda m: (f"'{m.group('what')}' is an entropy source outside "
+                       f"{RNG_LAYER}; draw from a seeded rng::RngStream "
+                       "substream instead"))
+
+
+class WallClockRule(Rule):
+    name = "wall-clock"
+    description = (
+        "wall-clock reads (time(), std::chrono system/steady/high_resolution "
+        "clocks, gettimeofday, clock()) in result-producing layers "
+        "(protocol/, experiment/, stats/, scenario/) without an annotation")
+
+    _pattern = re.compile(
+        r"\b(?P<what>system_clock|steady_clock|high_resolution_clock|"
+        r"gettimeofday|clock_gettime|timespec_get|"
+        r"(?:std\s*::\s*)?time\s*\(\s*(?:NULL|nullptr|0|&)|"
+        r"clock\s*\(\s*\)|localtime\b|gmtime\b)")
+
+    def applies_to(self, path: str) -> bool:
+        return _in_result_layers(path) and path not in WALL_CLOCK_ALLOWED_FILES
+
+    def check(self, source: SourceFile) -> Iterator[Violation]:
+        return self._scan(
+            source, self._pattern,
+            lambda m: ("wall-clock read in a result-producing layer; "
+                       "simulation logic runs on virtual time only. If this "
+                       "feeds pure telemetry (elapsed-seconds fields), "
+                       "annotate it: // LINT-ALLOW(wall-clock): <why>"))
+
+
+class UnorderedIterationRule(Rule):
+    name = "unordered-iteration"
+    description = (
+        "iteration over std::unordered_{map,set,multimap,multiset} in "
+        "result-producing layers — bucket order is implementation- and "
+        "address-dependent, so anything folded from it can differ run to run")
+
+    _decl = re.compile(
+        r"\bunordered_(?:multi)?(?:map|set)\s*<[^;{}()]*?>\s*&?\s*"
+        r"(?P<name>[A-Za-z_]\w*)\s*(?:[;={(,)]|$)")
+    _direct_range_for = re.compile(
+        r"\bfor\s*\([^;)]*:\s*[^)]*\bunordered_(?:multi)?(?:map|set)\b")
+
+    def applies_to(self, path: str) -> bool:
+        return _in_result_layers(path)
+
+    def check(self, source: SourceFile) -> Iterator[Violation]:
+        # Pass 1: names declared (locals, params, members) with unordered
+        # type, anywhere in this file.
+        tracked = set()
+        for text in source.code_lines:
+            for match in self._decl.finditer(text):
+                tracked.add(match.group("name"))
+        # Range-fors span lines, so all patterns scan the whole blanked
+        # text ([^;)] classes admit newlines) and map match offsets back
+        # to line numbers.
+        patterns: List[tuple] = [(
+            self._direct_range_for,
+            "range-for directly over an unordered container")]
+        if tracked:
+            names = "|".join(sorted(re.escape(n) for n in tracked))
+            patterns.append((re.compile(
+                r"\bfor\s*\([^;)]*:\s*(?:[A-Za-z_]\w*\s*[.]\s*|\*\s*)?"
+                r"(?P<n>" + names + r")\s*\)"),
+                "range-for over unordered container '{name}'"))
+            patterns.append((re.compile(
+                r"\b(?P<n>" + names + r")\s*\.\s*(?:c?r?begin|c?r?end)\s*\("),
+                "iterator walk over unordered container '{name}'"))
+        for pattern, what in patterns:
+            for match in pattern.finditer(source.code):
+                lineno = source.code.count("\n", 0, match.start()) + 1
+                if source.allowed(lineno, self.name):
+                    continue
+                name = (match.groupdict() or {}).get("n") or ""
+                yield Violation(
+                    source.path, lineno, self.name,
+                    what.format(name=name) +
+                    "; use an ordered container or sort the keys before "
+                    "anything result-bearing reads them",
+                    source.line_text(lineno))
+
+
+class HotPathAllocRule(Rule):
+    name = "hot-path-alloc"
+    description = (
+        "raw new/malloc in the flat hot-path files PR 6 certified "
+        "allocation-free (" + ", ".join(sorted(HOT_PATH_FILES)) + ")")
+
+    _pattern = re.compile(
+        r"\b(?P<what>new\b(?!\s*\()|new\s*\(|malloc\s*\(|calloc\s*\(|"
+        r"realloc\s*\(|aligned_alloc\s*\(|strdup\s*\()")
+
+    def applies_to(self, path: str) -> bool:
+        return path in HOT_PATH_FILES
+
+    def check(self, source: SourceFile) -> Iterator[Violation]:
+        return self._scan(
+            source, self._pattern,
+            lambda m: ("raw allocation in a certified allocation-free hot "
+                       "path; reuse the engine free-list or hoist the buffer "
+                       "to setup"))
+
+
+class FloatAccumulationRule(Rule):
+    name = "float-accumulation"
+    description = (
+        "naive floating-point accumulator (double x = 0; ...; x += v) in a "
+        "result-producing layer — replication folds must go through "
+        "stats::OnlineSummary so summation is order-pinned and compensated")
+
+    _decl = re.compile(
+        r"\b(?:double|float)\s+(?P<name>[A-Za-z_]\w*)\s*(?:=\s*0(?:\.0*f?)?|\{\s*0?(?:\.0*f?)?\s*\}|\{\})\s*[;,]")
+
+    def applies_to(self, path: str) -> bool:
+        return _in_result_layers(path)
+
+    def check(self, source: SourceFile) -> Iterator[Violation]:
+        accumulators = {}
+        for lineno, text in enumerate(source.code_lines, start=1):
+            for match in self._decl.finditer(text):
+                accumulators.setdefault(match.group("name"), lineno)
+        if not accumulators:
+            return
+        names = "|".join(sorted(re.escape(n) for n in accumulators))
+        add_assign = re.compile(r"\b(?P<name>" + names + r")\s*\+=")
+        for lineno, text in enumerate(source.code_lines, start=1):
+            for match in add_assign.finditer(text):
+                name = match.group("name")
+                if lineno <= accumulators[name]:
+                    continue
+                if source.allowed(lineno, self.name):
+                    continue
+                yield Violation(
+                    source.path, lineno, self.name,
+                    f"'{name}' (zero-initialized double at line "
+                    f"{accumulators[name]}) is accumulated with += ; fold "
+                    "through stats::OnlineSummary, or annotate why order "
+                    "cannot reach a result",
+                    source.line_text(lineno))
+
+
+ALL_RULES: Sequence[Rule] = (
+    RngSourceRule(),
+    WallClockRule(),
+    UnorderedIterationRule(),
+    HotPathAllocRule(),
+    FloatAccumulationRule(),
+)
+
+RULE_NAMES = tuple(rule.name for rule in ALL_RULES)
+
+
+def check_file(path: str, text: str,
+               rules: Optional[Iterable[Rule]] = None) -> List[Violation]:
+    """Lint one file (repo-root-relative `path`); returns violations.
+
+    Also reports malformed/bare LINT-ALLOW annotations and allows that
+    name a rule the lint does not define (both under rule `bare-allow`).
+    """
+    source = SourceFile(path=path, raw=text)
+    violations: List[Violation] = []
+    for line, why in source.bare_allows:
+        violations.append(Violation(path, line, "bare-allow", why,
+                                    source.line_text(line)))
+    for line, named in sorted(source.allows.items()):
+        for rule_name in sorted(named - set(RULE_NAMES)):
+            violations.append(Violation(
+                path, line, "bare-allow",
+                f"LINT-ALLOW names unknown rule '{rule_name}' "
+                f"(known: {', '.join(RULE_NAMES)})",
+                source.line_text(line)))
+    for rule in (rules if rules is not None else ALL_RULES):
+        if not rule.applies_to(path):
+            continue
+        violations.extend(rule.check(source))
+    violations.sort(key=lambda v: (v.path, v.line, v.rule))
+    # One report per (line, rule): multiple matches on a line (e.g. a
+    # .begin()/.end() pair) are the same defect.
+    unique: List[Violation] = []
+    seen = set()
+    for violation in violations:
+        key = (violation.path, violation.line, violation.rule)
+        if key in seen:
+            continue
+        seen.add(key)
+        unique.append(violation)
+    return unique
