@@ -7,6 +7,7 @@
 
 #include "core/percolation.hpp"
 #include "core/reliability_model.hpp"
+#include "experiment/meanfield.hpp"
 #include "experiment/monte_carlo.hpp"
 #include "graph/components.hpp"
 #include "graph/generators.hpp"
@@ -206,6 +207,27 @@ void BM_GraphMonteCarloReplication(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GraphMonteCarloReplication)->Arg(1000);
+
+// The analytic engine end to end — pmf extraction, recurrence trajectory,
+// Brent fixed point, extinction PGF — at the Fig. 4 operating point with a
+// million members. Cost depends on the fanout support and the O(log n)
+// round count, not on n: this is the estimate the scenario runner gets for
+// `engine = meanfield` instead of replications. CI gates it >= 100x faster
+// than ONE flat-engine replication at the same n within the same run
+// (tools/bench_compare.py --min-speedup), keeping the "microseconds vs
+// replications" promise honest.
+void BM_MeanFieldPredict(benchmark::State& state) {
+  protocol::FlatGossipParams params;
+  params.num_nodes = static_cast<std::uint64_t>(state.range(0));
+  params.nonfailed_ratio = 0.9;
+  params.fanout = core::poisson_fanout(4.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        experiment::estimate_reliability_meanfield(params));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MeanFieldPredict)->Arg(1000000);
 
 // Which sanitizer (if any) this binary was built with. Stamped into the
 // benchmark JSON context so tools/bench_compare.py can refuse sanitized

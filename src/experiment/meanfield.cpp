@@ -1,0 +1,32 @@
+#include "experiment/meanfield.hpp"
+
+#include <stdexcept>
+
+namespace gossip::experiment {
+
+MeanFieldEstimate estimate_reliability_meanfield(
+    const protocol::FlatGossipParams& params,
+    const MeanFieldOptions& options) {
+  if (params.fanout == nullptr) {
+    throw std::invalid_argument(
+        "mean-field estimate requires a fanout distribution");
+  }
+  meanfield::Params mp;
+  mp.num_nodes = params.num_nodes;
+  mp.nonfailed_ratio = params.nonfailed_ratio;
+  mp.loss_probability = params.loss_probability;
+  mp.fanout_pmf = params.fanout->pmf_vector(params.lut_tail_epsilon);
+  mp.extinction_threshold = options.extinction_threshold;
+  mp.max_rounds = options.max_rounds;
+
+  MeanFieldEstimate estimate;
+  estimate.reliability = meanfield::predict_reliability(mp);
+  estimate.extinction_probability = meanfield::extinction_probability(mp);
+  estimate.trajectory = meanfield::predict_trajectory(mp);
+  estimate.messages = estimate.trajectory.messages;
+  estimate.rounds =
+      static_cast<double>(estimate.trajectory.rounds_to_extinction);
+  return estimate;
+}
+
+}  // namespace gossip::experiment

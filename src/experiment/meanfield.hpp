@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file meanfield.hpp
+/// Analytic-engine counterpart of the Monte-Carlo estimators: evaluates the
+/// deterministic mean-field model (math/meanfield.hpp) for the exact
+/// parameter set the flat engine simulates, so scenario cases can swap
+/// `engine = montecarlo` for `engine = meanfield` (microseconds instead of
+/// replications) or run `engine = both` and report the disagreement. The
+/// translation from protocol::FlatGossipParams is the single place where a
+/// core::DegreeDistribution becomes the truncated pmf vector the base-layer
+/// model consumes.
+
+#include <cstdint>
+
+#include "math/meanfield.hpp"
+#include "protocol/flat_gossip.hpp"
+
+namespace gossip::experiment {
+
+struct MeanFieldOptions {
+  /// Expected newly-informed members below which the recurrence ends.
+  double extinction_threshold = 0.5;
+  std::uint64_t max_rounds = 10000;
+};
+
+/// Deterministic prediction: no replications, no confidence interval. The
+/// headline `reliability` is conditional on take-off (the regime every
+/// pinned figure anchor lives in); `extinction_probability` quantifies the
+/// early-die-out mass a Monte-Carlo mean averages in.
+struct MeanFieldEstimate {
+  double reliability = 0.0;  ///< Fixed-point prediction, conditional.
+  double messages = 0.0;     ///< Expected total sends (trajectory sum).
+  double rounds = 0.0;       ///< Expected rounds to extinction.
+  double extinction_probability = 0.0;
+  /// Per-round expected trajectory, round 0 = injection — the analytic
+  /// mirror of the obs round-trace schema.
+  meanfield::Trajectory trajectory;
+};
+
+/// Evaluates the mean-field model for the flat engine's parameter set
+/// (same n, q, loss, fanout distribution, and LUT tail truncation). Throws
+/// std::invalid_argument on a null fanout or parameters outside the
+/// model's domain.
+[[nodiscard]] MeanFieldEstimate estimate_reliability_meanfield(
+    const protocol::FlatGossipParams& params,
+    const MeanFieldOptions& options = {});
+
+}  // namespace gossip::experiment

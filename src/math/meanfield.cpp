@@ -1,0 +1,220 @@
+#include "math/meanfield.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "math/ode.hpp"
+
+namespace gossip::meanfield {
+
+namespace {
+
+/// Validated derived quantities shared by every entry point.
+struct Model {
+  double n = 0.0;       ///< Group size as a double.
+  double a = 0.0;       ///< Expected non-failed members A = 1 + (n-1) q.
+  double z_cap = 0.0;   ///< Mean fanout after the k <= n-1 cap.
+  double z_eff = 0.0;   ///< z_cap * (1 - loss).
+  double miss = 1.0;    ///< Per-sender per-member miss m = 1 - z_eff/(n-1).
+  double mass = 0.0;    ///< Raw pmf mass (truncation remainder).
+};
+
+Model build_model(const Params& params) {
+  if (params.num_nodes < 2) {
+    throw std::invalid_argument("mean-field model requires n >= 2");
+  }
+  if (!(params.nonfailed_ratio >= 0.0 && params.nonfailed_ratio <= 1.0)) {
+    throw std::invalid_argument("nonfailed_ratio must be in [0, 1]");
+  }
+  if (!(params.loss_probability >= 0.0 && params.loss_probability <= 1.0)) {
+    throw std::invalid_argument("loss_probability must be in [0, 1]");
+  }
+  if (params.fanout_pmf.empty()) {
+    throw std::invalid_argument("fanout pmf must be non-empty");
+  }
+  if (!(params.extinction_threshold > 0.0)) {
+    throw std::invalid_argument("extinction_threshold must be > 0");
+  }
+  Model model;
+  model.n = static_cast<double>(params.num_nodes);
+  model.a = 1.0 + (model.n - 1.0) * params.nonfailed_ratio;
+  double weighted = 0.0;
+  double mass = 0.0;
+  const double cap = model.n - 1.0;
+  for (std::size_t k = 0; k < params.fanout_pmf.size(); ++k) {
+    const double p = params.fanout_pmf[k];
+    if (!(p >= 0.0)) {
+      throw std::invalid_argument("fanout pmf entries must be >= 0");
+    }
+    mass += p;
+    weighted += p * std::min(static_cast<double>(k), cap);
+  }
+  if (!(mass > 0.0)) {
+    throw std::invalid_argument("fanout pmf must carry positive mass");
+  }
+  model.mass = mass;
+  model.z_cap = weighted / mass;
+  model.z_eff = model.z_cap * (1.0 - params.loss_probability);
+  model.miss = 1.0 - model.z_eff / cap;
+  return model;
+}
+
+}  // namespace
+
+double effective_fanout(const Params& params) {
+  return build_model(params).z_eff;
+}
+
+Trajectory predict_trajectory(const Params& params) {
+  const Model model = build_model(params);
+  const double loss = params.loss_probability;
+  const double dead_share = (model.n - model.a) / (model.n - 1.0);
+
+  Trajectory traj;
+  traj.expected_nonfailed = model.a;
+
+  // Round 0 mirrors the engines' injection: the source alone is informed,
+  // nothing on the wire (the one round that breaks the send identity).
+  double informed = 1.0;
+  RoundPoint inject;
+  inject.newly_informed = 1.0;
+  inject.informed = 1.0;
+  inject.informed_fraction = 1.0 / model.a;
+  traj.rounds.push_back(inject);
+
+  double frontier = 1.0;  // The source forwards in round 1.
+  for (std::uint64_t r = 1;
+       r <= params.max_rounds && frontier >= params.extinction_threshold;
+       ++r) {
+    const double sends = frontier * model.z_cap;
+    const double arrivals = sends * (1.0 - loss);
+    const double uninformed_alive = std::max(model.a - informed, 0.0);
+    // m^F leaves a fixed uninformed live member untouched by the whole
+    // frontier; the exponent is the (real-valued) expected frontier.
+    const double reached = 1.0 - std::pow(model.miss, frontier);
+    const double newly = uninformed_alive * reached;
+    const double dead = arrivals * dead_share;
+    // Deliveries to live members split into first and duplicate receipts;
+    // the remainder is redundant by the accounting identity. Analytically
+    // newly <= arrivals * alive_share (the informed are a subset of the
+    // live targets), so the clamp only absorbs float rounding.
+    const double redundant = std::max(arrivals - dead - newly, 0.0);
+    informed += newly;
+
+    RoundPoint point;
+    point.round = r;
+    point.frontier = frontier;
+    point.sends = sends;
+    point.newly_informed = newly;
+    point.redundant = redundant;
+    point.losses = sends * loss;
+    point.dead_receipts = dead;
+    point.informed = informed;
+    point.informed_fraction = informed / model.a;
+    traj.rounds.push_back(point);
+    traj.messages += sends;
+    traj.redundant += redundant;
+    traj.losses += point.losses;
+    traj.dead_receipts += dead;
+
+    frontier = newly;
+  }
+
+  traj.rounds_to_extinction = traj.rounds.back().round;
+  traj.reliability = informed / model.a;
+  return traj;
+}
+
+FixedPoint solve_fixed_point(const Params& params) {
+  const Model model = build_model(params);
+  FixedPoint fp;
+  // Degenerate regimes where the bracket [1, A] collapses: no live peers
+  // (q = 0) or no delivery pressure (z_eff = 0) leave the source alone.
+  if (model.a - 1.0 <= 0.0) {
+    fp.informed = 1.0;
+    fp.reliability = 1.0;
+    fp.solve.root = 1.0;
+    fp.solve.converged = true;
+    return fp;
+  }
+  if (!(model.z_eff > 0.0)) {
+    fp.informed = 1.0;
+    fp.reliability = 1.0 / model.a;
+    fp.solve.root = 1.0;
+    fp.solve.converged = true;
+    return fp;
+  }
+  // f(1) = (A-1)(1-m) > 0 and f(A) = -(A-1) m^A < 0: the injection term
+  // removes the trivial I = 0 solution, so Brent always has its bracket.
+  const auto f = [&](double informed) {
+    return 1.0 + (model.a - 1.0) * (1.0 - std::pow(model.miss, informed)) -
+           informed;
+  };
+  fp.solve = math::brent(f, 1.0, model.a);
+  fp.informed = fp.solve.root;
+  fp.reliability = fp.informed / model.a;
+  return fp;
+}
+
+double predict_reliability(const Params& params) {
+  return solve_fixed_point(params).reliability;
+}
+
+double predict_reliability_ode(const Params& params, double dt) {
+  const Model model = build_model(params);
+  if (!(dt > 0.0)) {
+    throw std::invalid_argument("ode step must be > 0");
+  }
+  if (model.a - 1.0 <= 0.0) return 1.0;
+  if (!(model.z_eff > 0.0)) return 1.0 / model.a;
+  // SIR with unit infectious period: y = {S, I_active}. A member forwards
+  // at hit rate z_eff/(n-1) toward each other member while infectious and
+  // retires at rate 1, so its expected lifetime delivery pressure matches
+  // one discrete forward-once round.
+  const double pair_rate = model.z_eff / (model.n - 1.0);
+  const math::OdeSystem system = [pair_rate](double, const std::vector<double>& y,
+                                             std::vector<double>& dydt) {
+    const double contact = pair_rate * y[0] * y[1];
+    dydt[0] = -contact;
+    dydt[1] = contact - y[1];
+  };
+  // The cascade peaks within O(log A) and the active population then
+  // decays at unit rate; this horizon leaves a negligible I_active tail.
+  const double t1 = 30.0 + 10.0 * std::log(model.a);
+  const auto y_end =
+      math::integrate_rk4(system, {model.a - 1.0, 1.0}, 0.0, t1, dt);
+  const double uninformed = std::max(y_end[0], 0.0);
+  return (model.a - uninformed) / model.a;
+}
+
+double extinction_probability(const Params& params) {
+  const Model model = build_model(params);
+  if (model.a - 1.0 <= 0.0 || !(model.z_eff > 0.0)) return 1.0;
+  // Offspring PGF of the early-phase branching process: each of a fresh
+  // sender's min(k, n-1) targets independently becomes a new sender with
+  // probability zeta (delivered, live, and virgin population assumed).
+  const double zeta =
+      (1.0 - params.loss_probability) * (model.a - 1.0) / (model.n - 1.0);
+  const double cap = model.n - 1.0;
+  const auto g = [&](double x) {
+    const double per_target = 1.0 - zeta + zeta * x;
+    double total = 0.0;
+    for (std::size_t k = 0; k < params.fanout_pmf.size(); ++k) {
+      total += params.fanout_pmf[k] *
+               std::pow(per_target, std::min(static_cast<double>(k), cap));
+    }
+    return total / model.mass;
+  };
+  // Functional iteration from 0 converges monotonically to the smallest
+  // fixed point of g in [0, 1] (g is increasing and convex).
+  double x = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double next = g(x);
+    if (std::fabs(next - x) < 1e-14) return next;
+    x = next;
+  }
+  return x;
+}
+
+}  // namespace gossip::meanfield

@@ -1,0 +1,138 @@
+#pragma once
+
+/// \file meanfield.hpp
+/// Mean-field analytic engine: a deterministic O(rounds) recurrence (plus a
+/// continuous-time RK4 cross-check) for the infected-fraction evolution of
+/// the paper's forward-once gossip under static crash failures (non-failed
+/// ratio q) and i.i.d. per-message loss. This is the ROADMAP's "analytic
+/// fast path": one evaluation costs microseconds independent of n, so
+/// parameter grids at n = 10^7+ — infeasible to simulate — become cheap.
+///
+/// Model. Let A = 1 + (n-1)q be the expected non-failed population (the
+/// source is always alive) and let z_cap = sum_k min(k, n-1) p_k be the
+/// mean fanout after the engine's k <= n-1 cap. A sender selects its
+/// targets *distinct* and uniformly among the other n-1 members, so the
+/// probability that one sender's round delivers to a fixed other member is
+/// exactly z_cap (1-loss) / (n-1) — linear in the mean, no generating
+/// function needed. Writing m = 1 - z_cap(1-loss)/(n-1) for the per-sender
+/// per-member miss probability, a frontier of F forwarding members leaves
+/// an uninformed live member uninformed with probability m^F (independence
+/// across senders is the mean-field approximation), giving the recurrence
+///
+///     I_0 = 1,   F_{r+1} = newly_r,   newly_{r+1} = (A - I_r)(1 - m^F)
+///
+/// whose limit solves the finite-n fixed point I = 1 + (A-1)(1 - m^I).
+/// As n -> infinity this becomes the paper's Eq. 11, S = 1 - exp(-z q S),
+/// with loss folding into an effective fanout z(1-loss) — the same folding
+/// the simulators exhibit (tests/integration/flat_equivalence_test.cpp).
+///
+/// Validity regime (documented by tests/validation/): the approximation
+/// replaces the random frontier by its mean, so it is tight when the
+/// cascade takes off and n is large (relative error O(1/n) plus the
+/// conditioning error described below), and it *diverges by design* for
+/// small n or near the z q = 1 critical point, where fluctuations
+/// dominate. predict_reliability is the reliability conditional on
+/// take-off; extinction_probability(params) gives the branching-process
+/// weight of the early-die-out executions a Monte-Carlo mean averages in.
+///
+/// This header depends only on the standard library (gossip_math is the
+/// base layer); callers with a core::DegreeDistribution pass
+/// dist.pmf_vector(tail_epsilon) as the fanout pmf.
+
+#include <cstdint>
+#include <vector>
+
+#include "math/roots.hpp"
+
+namespace gossip::meanfield {
+
+struct Params {
+  std::uint64_t num_nodes = 0;
+  /// Non-failed member ratio q; each non-source member is alive i.i.d.
+  double nonfailed_ratio = 1.0;
+  /// Per-message i.i.d. loss probability; folds into effective fanout.
+  double loss_probability = 0.0;
+  /// Truncated fanout pmf {p_0, ..., p_K}; p_k = P(fanout = k). Need not
+  /// sum to exactly 1 (distributions truncate tail mass); it is
+  /// renormalized on use, mirroring core::GeneratingFunction.
+  std::vector<double> fanout_pmf;
+  /// The recurrence ends when the expected newly-informed count falls
+  /// below this (in members, not fractions): the deterministic analog of
+  /// the simulators' empty-frontier extinction.
+  double extinction_threshold = 0.5;
+  /// Hard cap on recurrence rounds (the cascade drains in O(log n)).
+  std::uint64_t max_rounds = 10000;
+};
+
+/// One round of the deterministic trajectory — the double-valued mirror of
+/// obs::RoundSample, same round indexing (round 0 = injection) and the
+/// same accounting identity sends = newly + redundant + losses + dead for
+/// every round r >= 1, exact by construction.
+struct RoundPoint {
+  std::uint64_t round = 0;
+  double frontier = 0.0;        ///< Expected forwarding members.
+  double sends = 0.0;           ///< Expected messages on the wire.
+  double newly_informed = 0.0;  ///< Expected first receipts.
+  double redundant = 0.0;       ///< Expected duplicate receipts.
+  double losses = 0.0;          ///< Expected channel losses.
+  double dead_receipts = 0.0;   ///< Expected deliveries to crashed members.
+  double informed = 0.0;        ///< Cumulative informed live members.
+  /// informed / A — the trajectory the round-trace CSVs plot.
+  double informed_fraction = 0.0;
+};
+
+struct Trajectory {
+  std::vector<RoundPoint> rounds;    ///< Round 0 = injection.
+  double expected_nonfailed = 0.0;   ///< A = 1 + (n-1) q.
+  double reliability = 0.0;          ///< Endpoint informed / A.
+  double messages = 0.0;             ///< Total expected sends.
+  double redundant = 0.0;            ///< Total expected duplicate receipts.
+  double losses = 0.0;               ///< Total expected channel losses.
+  double dead_receipts = 0.0;        ///< Total expected dead deliveries.
+  std::uint64_t rounds_to_extinction = 0;  ///< Highest round index emitted.
+};
+
+/// Diagnostics of the fixed-point solve behind predict_reliability.
+struct FixedPoint {
+  double informed = 0.0;     ///< I solving I = 1 + (A-1)(1 - m^I).
+  double reliability = 0.0;  ///< informed / A.
+  math::RootResult solve;    ///< Brent diagnostics (bracket [1, A]).
+};
+
+/// Mean fanout after the k <= n-1 cap, times (1 - loss): the effective
+/// per-sender delivery pressure z_eff. Throws std::invalid_argument on an
+/// empty/negative/zero-mass pmf or parameters outside their domains.
+[[nodiscard]] double effective_fanout(const Params& params);
+
+/// The full deterministic per-round trajectory (O(rounds), no randomness).
+[[nodiscard]] Trajectory predict_trajectory(const Params& params);
+
+/// Reliability conditional on take-off: the finite-n fixed point solved
+/// with Brent on [1, A] (the bracket always holds: injection makes I = 0
+/// a non-solution). Agrees with predict_trajectory's endpoint up to the
+/// extinction threshold's truncation, and with the paper's Eq. 11 as
+/// n -> infinity.
+[[nodiscard]] double predict_reliability(const Params& params);
+
+/// As predict_reliability, exposing the root-finder diagnostics.
+[[nodiscard]] FixedPoint solve_fixed_point(const Params& params);
+
+/// Independent continuous-time cross-check: the forward-once protocol as a
+/// unit-infectious-period SIR system (informed members emit their z_eff
+/// expected deliveries at rate z_eff while infectious, then stop),
+/// integrated with math::integrate_rk4. Its final size solves the same
+/// fixed point with exp(-h I) in place of (1-h)^I, so it must agree with
+/// predict_reliability to O(z^2/n) — asserted in tests/math and
+/// tests/validation, NOT used by the scenario engine.
+[[nodiscard]] double predict_reliability_ode(const Params& params,
+                                             double dt = 0.01);
+
+/// Probability the cascade dies out early: the smallest fixed point of the
+/// offspring generating function g(x) = sum_k p_k (1 - zeta + zeta x)^k
+/// with zeta = (1-loss)(A-1)/(n-1) (a fresh sender's per-target chance of
+/// producing a new informed member in the virgin population). Above the
+/// z q = 1 threshold this is < 1; a Monte-Carlo reliability mean equals
+/// approximately (1 - rho) * predict_reliability + rho * O(1/A).
+[[nodiscard]] double extinction_probability(const Params& params);
+
+}  // namespace gossip::meanfield

@@ -110,7 +110,8 @@ CompareReport compare_result_csvs(const std::string& path_a,
   static const std::pair<const char*, char> kColumns[] = {
       {"reliability_mean", 'a'},   {"reliability_ci_lo", 'a'},
       {"reliability_ci_hi", 'a'},  {"success_rate", 'a'},
-      {"msg_reliability_min", 'a'}, {"messages_mean", 'r'},
+      {"msg_reliability_min", 'a'}, {"meanfield_reliability", 'a'},
+      {"abs_diff", 'a'},           {"messages_mean", 'r'},
       {"completion_mean", 'r'},    {"midrun_crashes_mean", 'r'},
       {"msg_latency_mean", 'r'},
   };
@@ -142,10 +143,16 @@ CompareReport compare_result_csvs(const std::string& path_a,
           !parse_cell(cell_b->second, &vb)) {
         continue;
       }
-      const double allowed =
-          family == 'a' ? options.reliability_tolerance
-                        : options.relative_tolerance *
-                              std::max(std::fabs(va), std::fabs(vb));
+      // Relative bands collapse to zero width when a value is exactly
+      // 0.0 (they would flag 0 vs 1e-9 as a mismatch), so those cells
+      // fall back to an absolute tolerance instead.
+      double allowed = options.reliability_tolerance;
+      if (family == 'r') {
+        allowed = (va == 0.0 || vb == 0.0)
+                      ? options.zero_absolute_tolerance
+                      : options.relative_tolerance *
+                            std::max(std::fabs(va), std::fabs(vb));
+      }
       if (std::fabs(va - vb) > allowed) {
         report.diffs.push_back({key, column, va, vb, allowed});
       }

@@ -24,6 +24,11 @@ struct CompareOptions {
   /// time, midrun crashes) — these scale with n and repetitions, so a
   /// fractional bound is the meaningful one.
   double relative_tolerance = 0.10;
+  /// Absolute fallback for relative-family columns when either side is
+  /// exactly 0.0: a relative band around zero collapses to zero width and
+  /// would flag any nonzero counterpart, however trivial (0 vs 1e-9).
+  /// Half an event/round is noise for every count/latency column.
+  double zero_absolute_tolerance = 0.5;
 };
 
 /// One out-of-tolerance cell.

@@ -10,6 +10,7 @@
 
 #include "experiment/component_mc.hpp"
 #include "experiment/csv.hpp"
+#include "experiment/meanfield.hpp"
 #include "experiment/monte_carlo.hpp"
 #include "experiment/table.hpp"
 #include "obs/probe.hpp"
@@ -27,7 +28,8 @@ const std::set<std::string>& known_fields() {
   static const std::set<std::string> keys{
       "name",        "description",
       "n",           "source",
-      "backend",     "fanout",
+      "backend",     "engine",
+      "fanout",
       "membership",  "membership.dynamics",
       "latency",     "loss",
       "failure",     "metric",
@@ -44,6 +46,7 @@ constexpr std::uint64_t kMembershipSalt = 0x6d656d62;  // "memb"
 struct BuiltCase {
   ResolvedCase resolved;
   Backend backend = Backend::kProtocol;
+  Engine engine = Engine::kMonteCarlo;
   std::string metric;
   std::size_t replications = 0;
   std::uint64_t seed = 0;
@@ -79,6 +82,14 @@ Backend parse_backend(const std::string& text) {
   throw std::invalid_argument(
       "backend must be protocol, graph, component, or flat; got '" + text +
       "'");
+}
+
+Engine parse_engine(const std::string& text) {
+  if (text == "montecarlo") return Engine::kMonteCarlo;
+  if (text == "meanfield") return Engine::kMeanField;
+  if (text == "both") return Engine::kBoth;
+  throw std::invalid_argument(
+      "engine must be montecarlo, meanfield, or both; got '" + text + "'");
 }
 
 TraceMode parse_trace(const std::string& text) {
@@ -119,6 +130,7 @@ BuiltCase build_case(const ScenarioSpec& spec, const ResolvedCase& resolved) {
   }
   built.seed = to_u64(field(resolved, "seed", "42"), "seed");
   built.fanout = make_fanout(require("fanout"));
+  built.engine = parse_engine(field(resolved, "engine", "montecarlo"));
   built.trace = parse_trace(field(resolved, "trace", "off"));
 
   const FailureConfig failure =
@@ -133,6 +145,49 @@ BuiltCase build_case(const ScenarioSpec& spec, const ResolvedCase& resolved) {
   const auto source = to_u32(field(resolved, "source", "0"), "source");
   if (source >= built.num_nodes) {
     throw std::invalid_argument("source must be < n");
+  }
+  built.source = source;
+  built.loss = loss;
+
+  // The analytic engine derives exactly the static-failure regime the
+  // flat backend simulates; anything outside it is a spec error, not a
+  // silently wrong prediction.
+  if (built.engine != Engine::kMonteCarlo) {
+    if (built.backend == Backend::kComponent) {
+      throw std::invalid_argument(
+          "the mean-field engine predicts dissemination reliability, which "
+          "the component backend does not measure; use the protocol, "
+          "graph, or flat backend with 'engine'");
+    }
+    if (built.metric == "success") {
+      throw std::invalid_argument(
+          "the mean-field engine predicts expected reliability, not a "
+          "success rate; use metric = reliability with 'engine'");
+    }
+    for (const auto& [key, reason] :
+         std::initializer_list<std::pair<const char*, const char*>>{
+             {"latency", "assumes unit latency"},
+             {"membership.dynamics", "models no live membership"},
+             {"edge_keep", "folds loss into the effective fanout instead"},
+             {"workload.messages", "models one dissemination"},
+             {"workload.spacing", "models one dissemination"},
+             {"workload.sources", "models one dissemination"}}) {
+      if (has_field(resolved, key)) {
+        throw std::invalid_argument(std::string("the mean-field engine ") +
+                                    reason + "; drop '" + key +
+                                    "' or use engine = montecarlo");
+      }
+    }
+    if (has_field(resolved, "membership") &&
+        resolved.fields.at("membership") != "full") {
+      throw std::invalid_argument(
+          "the mean-field engine assumes the full membership view");
+    }
+    if (failure.schedule || failure.midrun_fraction > 0.0) {
+      throw std::invalid_argument(
+          "the mean-field engine models static crash failures only; use "
+          "engine = montecarlo with the protocol backend for schedules");
+    }
   }
 
   if (built.backend == Backend::kProtocol) {
@@ -226,8 +281,6 @@ BuiltCase build_case(const ScenarioSpec& spec, const ResolvedCase& resolved) {
           "flat backend supports only static crash failures; use the "
           "protocol backend for schedules");
     }
-    built.source = source;
-    built.loss = loss;
     return built;
   }
 
@@ -300,8 +353,11 @@ CaseResult init_result(const ScenarioSpec& spec, const BuiltCase& built) {
   result.label = built.resolved.label;
   result.bindings = built.resolved.bindings;
   result.backend = built.backend;
+  result.engine = built.engine;
   result.metric = built.metric;
-  result.replications = built.replications;
+  // A pure mean-field case is deterministic: no replications run.
+  result.replications =
+      built.engine == Engine::kMeanField ? 0 : built.replications;
   result.seed = built.seed;
   result.trace = built.trace;
   if (built.backend == Backend::kProtocol) {
@@ -443,6 +499,7 @@ std::vector<CaseResult> ScenarioRunner::run(const ScenarioSpec& spec,
   std::size_t total_tasks = 0;
   for (std::size_t c = 0; c < built.size(); ++c) {
     if (built[c].backend != Backend::kProtocol) continue;
+    if (built[c].engine == Engine::kMeanField) continue;  // analytic only
     proto_cases.push_back(c);
     task_offset.push_back(total_tasks);
     total_tasks += built[c].replications;
@@ -523,6 +580,7 @@ std::vector<CaseResult> ScenarioRunner::run(const ScenarioSpec& spec,
   for (std::size_t c = 0; c < built.size(); ++c) {
     const BuiltCase& b = built[c];
     if (b.backend == Backend::kProtocol) continue;
+    if (b.engine == Engine::kMeanField) continue;  // analytic only
     experiment::MonteCarloOptions options;
     options.replications = b.replications;
     options.seed = b.seed;
@@ -562,6 +620,46 @@ std::vector<CaseResult> ScenarioRunner::run(const ScenarioSpec& spec,
       for (const double s : tel.replication_seconds) tel.wall_seconds += s;
     }
   }
+  // Analytic-engine pass (engine = meanfield | both): deterministic, one
+  // closed-form evaluation per case — microseconds, so it runs serially
+  // after the simulations, in case order.
+  for (std::size_t c = 0; c < built.size(); ++c) {
+    const BuiltCase& b = built[c];
+    if (b.engine == Engine::kMonteCarlo) continue;
+    protocol::FlatGossipParams fp;
+    fp.num_nodes = b.num_nodes;
+    fp.source = b.source;
+    fp.nonfailed_ratio = b.nonfailed_ratio;
+    fp.loss_probability = b.loss;
+    fp.fanout = b.fanout;
+    const auto mf = experiment::estimate_reliability_meanfield(fp);
+    CaseResult& result = results[c];
+    result.has_meanfield = true;
+    result.meanfield_reliability = mf.reliability;
+    result.meanfield_messages = mf.messages;
+    result.meanfield_rounds = mf.rounds;
+    result.meanfield_extinction = mf.extinction_probability;
+    if (b.trace == TraceMode::kRounds) {
+      result.meanfield_trace = mf.trajectory.rounds;
+    }
+    if (b.engine == Engine::kMeanField) {
+      // The prediction stands in for the replication series (one
+      // deterministic sample; CIs degenerate to the point value).
+      result.reliability.add(mf.reliability);
+      result.messages.add(mf.messages);
+      if (b.trace != TraceMode::kOff) {
+        result.trace_rounds.add(mf.rounds);
+        result.trace_sends.add(mf.messages);
+        result.trace_redundant.add(mf.trajectory.redundant);
+        result.trace_losses.add(mf.trajectory.losses);
+        result.trace_dead_receipts.add(mf.trajectory.dead_receipts);
+        result.trace_crashes.add(0.0);
+        result.trace_joins.add(0.0);
+        result.trace_lease_expiries.add(0.0);
+        result.trace_informed_fraction.add(mf.reliability);
+      }
+    }
+  }
   if (telemetry != nullptr) {
     telemetry->total_wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -  // LINT-ALLOW(wall-clock): run-manifest telemetry (total_wall_seconds), never a metric
@@ -577,6 +675,15 @@ std::string backend_name(Backend backend) {
     case Backend::kGraph: return "graph";
     case Backend::kComponent: return "component";
     case Backend::kFlat: return "flat";
+  }
+  return "unknown";
+}
+
+std::string engine_name(Engine engine) {
+  switch (engine) {
+    case Engine::kMonteCarlo: return "montecarlo";
+    case Engine::kMeanField: return "meanfield";
+    case Engine::kBoth: return "both";
   }
   return "unknown";
 }
@@ -601,7 +708,8 @@ void write_results_csv(const std::string& path,
              "reliability_mean", "reliability_ci_lo", "reliability_ci_hi",
              "success_rate", "messages_mean", "completion_mean",
              "midrun_crashes_mean", "workload_messages",
-             "msg_reliability_min", "msg_latency_mean"});
+             "msg_reliability_min", "msg_latency_mean", "engine",
+             "meanfield_reliability", "abs_diff"});
   for (const auto& r : results) {
     const auto ci = r.reliability_ci();
     // Workload columns: the weakest message's mean reliability and the
@@ -623,6 +731,16 @@ void write_results_csv(const std::string& path,
                   latency_sum /
                       static_cast<double>(r.per_message_latency.size()),
                   3);
+    // Analytic columns stay empty for pure Monte-Carlo cases; abs_diff is
+    // only meaningful when both engines produced a number.
+    const std::string mf_reliability =
+        r.has_meanfield
+            ? experiment::fmt_double(r.meanfield_reliability, 6)
+            : std::string();
+    const std::string mf_diff =
+        r.engine == Engine::kBoth && r.has_meanfield
+            ? experiment::fmt_double(r.abs_diff(), 6)
+            : std::string();
     csv.add_row({r.scenario, r.label, backend_name(r.backend), r.metric,
                  std::to_string(r.replications), std::to_string(r.seed),
                  experiment::fmt_double(r.reliability.mean(), 6),
@@ -633,7 +751,8 @@ void write_results_csv(const std::string& path,
                  experiment::fmt_double(r.completion_time.mean(), 3),
                  experiment::fmt_double(r.midrun_crashes.mean(), 1),
                  std::to_string(r.workload_messages),
-                 experiment::fmt_double(msg_min, 6), msg_latency});
+                 experiment::fmt_double(msg_min, 6), msg_latency,
+                 engine_name(r.engine), mf_reliability, mf_diff});
   }
 }
 
@@ -648,6 +767,26 @@ void write_trace_csv(const std::string& path,
              "informed_fraction_ci_hi"});
   for (const auto& r : results) {
     if (r.trace != TraceMode::kRounds) continue;
+    // Analytic trajectory rows (engine = meanfield | both): deterministic
+    // expectations, tagged "meanfield" in the backend column so they sit
+    // next to the simulated aggregates without colliding, with degenerate
+    // CIs and 0 in the replications column.
+    for (const auto& point : r.meanfield_trace) {
+      const std::string fraction =
+          experiment::fmt_double(point.informed_fraction, 6);
+      csv.add_row({r.scenario, r.label, "meanfield",
+                   std::to_string(point.round), "0",
+                   experiment::fmt_double(point.frontier, 3),
+                   experiment::fmt_double(point.sends, 3),
+                   experiment::fmt_double(point.newly_informed, 3),
+                   experiment::fmt_double(point.redundant, 3),
+                   experiment::fmt_double(point.losses, 3),
+                   experiment::fmt_double(point.dead_receipts, 3),
+                   experiment::fmt_double(0.0, 3),
+                   experiment::fmt_double(0.0, 3),
+                   experiment::fmt_double(0.0, 3), fraction, fraction,
+                   fraction});
+    }
     for (std::size_t round = 0; round < r.round_trace.size(); ++round) {
       const RoundAggregate& agg = r.round_trace[round];
       const auto ci =
@@ -676,21 +815,39 @@ void print_results_table(std::ostream& os,
   for (const auto& r : results) {
     label_width = std::max(label_width, static_cast<int>(r.label.size()) + 2);
   }
+  // Analytic columns only appear when some case ran the mean-field
+  // engine, so pure Monte-Carlo outputs are byte-identical to before.
+  const bool any_meanfield =
+      std::any_of(results.begin(), results.end(),
+                  [](const CaseResult& r) { return r.has_meanfield; });
   experiment::TextTable table;
   table.column("case", label_width)
       .column("reliability", 16)
       .column("success", 8)
       .column("messages", 10)
       .column("reps", 5);
+  if (any_meanfield) {
+    table.column("engine", 12).column("meanfield", 11).column("absdiff", 9);
+  }
   for (const auto& r : results) {
     const auto ci = r.reliability_ci();
-    table.add_row(
-        {r.label,
-         experiment::fmt_pm(r.reliability.mean(),
-                            0.5 * ci.width(), 4),
-         experiment::fmt_double(r.success_rate(), 3),
-         experiment::fmt_double(r.messages.mean(), 1),
-         std::to_string(r.replications)});
+    std::vector<std::string> row{
+        r.label,
+        experiment::fmt_pm(r.reliability.mean(),
+                           0.5 * ci.width(), 4),
+        experiment::fmt_double(r.success_rate(), 3),
+        experiment::fmt_double(r.messages.mean(), 1),
+        std::to_string(r.replications)};
+    if (any_meanfield) {
+      row.push_back(engine_name(r.engine));
+      row.push_back(r.has_meanfield
+                        ? experiment::fmt_double(r.meanfield_reliability, 4)
+                        : "-");
+      row.push_back(r.engine == Engine::kBoth && r.has_meanfield
+                        ? experiment::fmt_double(r.abs_diff(), 4)
+                        : "-");
+    }
+    table.add_row(row);
   }
   table.print(os);
 }

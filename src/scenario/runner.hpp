@@ -10,11 +10,13 @@
 /// for any worker count, and sweep points are positively correlated for
 /// sharper contrasts.
 
+#include <cmath>
 #include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>
 
+#include "math/meanfield.hpp"
 #include "parallel/thread_pool.hpp"
 #include "scenario/spec.hpp"
 #include "stats/ci.hpp"
@@ -33,6 +35,20 @@ enum class Backend {
   kFlat,       ///< Struct-of-arrays round engine (protocol/flat_gossip.hpp):
                ///< the paper's static-failure regime at million-node scale;
                ///< full view, unit latency, static crashes + i.i.d. loss.
+};
+
+/// Which evaluation engine answers a case (`engine =` field) — orthogonal
+/// to the simulation backend. The analytic engine is the deterministic
+/// mean-field model (math/meanfield.hpp) over the same parameter set; it
+/// is restricted to the static-failure regime the model derives
+/// (full view, unit latency, static crashes, i.i.d. loss — the flat
+/// backend's constraint set) and predicts reliability conditional on the
+/// cascade taking off.
+enum class Engine {
+  kMonteCarlo,  ///< Replicated simulation through the case's backend.
+  kMeanField,   ///< Analytic prediction only; no replications run.
+  kBoth,        ///< Simulation plus prediction, side by side, with the
+                ///< absolute disagreement as an extra column.
 };
 
 /// Round-trace telemetry requested by the `trace =` key. Valid for the
@@ -70,7 +86,10 @@ struct CaseResult {
   std::string label;     ///< Resolved sweep bindings, e.g. "z=4.0,f=0.1".
   std::vector<Binding> bindings;
   Backend backend = Backend::kProtocol;
+  Engine engine = Engine::kMonteCarlo;
   std::string metric = "reliability";
+  /// Replications actually run: the spec's `repetitions` for the
+  /// Monte-Carlo engines, 0 for a pure mean-field case (deterministic).
   std::size_t replications = 0;
   std::uint64_t seed = 0;
 
@@ -103,6 +122,19 @@ struct CaseResult {
   stats::OnlineSummary trace_lease_expiries;
   stats::OnlineSummary trace_informed_fraction;  ///< Final informed share.
 
+  /// Analytic-engine outputs (`engine = meanfield | both`). The
+  /// prediction is deterministic, so these are plain values, not
+  /// summaries; `has_meanfield` gates the CSV columns.
+  bool has_meanfield = false;
+  double meanfield_reliability = 0.0;  ///< Conditional-on-take-off.
+  double meanfield_messages = 0.0;     ///< Expected total sends.
+  double meanfield_rounds = 0.0;       ///< Expected rounds to extinction.
+  double meanfield_extinction = 0.0;   ///< Early-die-out probability.
+  /// Analytic per-round trajectory (trace = rounds); written to the trace
+  /// CSV with "meanfield" in the backend column so it sits next to the
+  /// simulated aggregates without colliding with them.
+  std::vector<meanfield::RoundPoint> meanfield_trace;
+
   /// Workload width (`workload.messages`); 1 for single-message cases and
   /// the graph/component backends.
   std::size_t workload_messages = 1;
@@ -125,6 +157,13 @@ struct CaseResult {
   /// rate when `metric = success`.
   [[nodiscard]] double primary() const {
     return metric == "success" ? success_rate() : reliability.mean();
+  }
+  /// Absolute disagreement between the analytic prediction and the
+  /// Monte-Carlo mean; meaningful for engine = both only (0 otherwise).
+  [[nodiscard]] double abs_diff() const {
+    return engine == Engine::kBoth && has_meanfield
+               ? std::fabs(meanfield_reliability - reliability.mean())
+               : 0.0;
   }
 };
 
@@ -164,6 +203,7 @@ class ScenarioRunner {
 };
 
 [[nodiscard]] std::string backend_name(Backend backend);
+[[nodiscard]] std::string engine_name(Engine engine);
 [[nodiscard]] std::string trace_mode_name(TraceMode mode);
 
 /// The engine's full known-key set, sorted: the single source of truth for

@@ -1,0 +1,84 @@
+/// Golden-file acceptance for `--trace-out`: running the shipped
+/// scenarios/fig4a_trace.scn (engine = both, trace = rounds) must
+/// reproduce scenarios/golden/fig4a_trace.csv byte for byte. The trace
+/// pipeline promises bit-identical output for any worker count and run
+/// method (CLI or in-process), so the golden is an exact artifact, not a
+/// tolerance comparison — any intentional change to the trajectory
+/// schema, the aggregation, or the analytic model must regenerate it:
+///
+///     build/tools/gossip_scenarios scenarios/fig4a_trace.scn \
+///         --trace-out scenarios/golden/fig4a_trace.csv
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "parallel/thread_pool.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/spec.hpp"
+
+namespace gossip::scenario {
+namespace {
+
+#ifdef GOSSIP_SCENARIOS_DIR
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(GoldenTrace, Fig4aTraceScenarioReproducesTheGoldenCsvByteForByte) {
+  const std::string dir(GOSSIP_SCENARIOS_DIR);
+  const auto spec = ScenarioSpec::load(dir + "/fig4a_trace.scn");
+  parallel::ThreadPool pool(4);
+  const auto results = ScenarioRunner(&pool).run(spec);
+
+  const std::string out_path = ::testing::TempDir() + "fig4a_trace_out.csv";
+  write_trace_csv(out_path, results);
+  const auto produced = read_file(out_path);
+  std::remove(out_path.c_str());
+
+  const auto golden = read_file(dir + "/golden/fig4a_trace.csv");
+  ASSERT_FALSE(golden.empty()) << "missing scenarios/golden/fig4a_trace.csv";
+
+  if (produced != golden) {
+    // Byte equality failed: report the first differing line so the diff is
+    // actionable without manual file juggling.
+    const auto produced_lines = split_lines(produced);
+    const auto golden_lines = split_lines(golden);
+    const auto common = std::min(produced_lines.size(), golden_lines.size());
+    for (std::size_t i = 0; i < common; ++i) {
+      ASSERT_EQ(produced_lines[i], golden_lines[i]) << "line " << i + 1;
+    }
+    ASSERT_EQ(produced_lines.size(), golden_lines.size());
+    FAIL() << "files differ in line endings or trailing bytes";
+  }
+
+  // Sanity on the golden itself: both simulated backends and the analytic
+  // engine contribute trajectory rows.
+  EXPECT_NE(golden.find(",protocol,"), std::string::npos);
+  EXPECT_NE(golden.find(",flat,"), std::string::npos);
+  EXPECT_NE(golden.find(",meanfield,"), std::string::npos);
+}
+
+#else
+TEST(GoldenTrace, DISABLED_NoScenariosDir) {}
+#endif
+
+}  // namespace
+}  // namespace gossip::scenario

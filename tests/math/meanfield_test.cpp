@@ -1,0 +1,237 @@
+// Unit tests of the mean-field analytic engine (math/meanfield.hpp): the
+// finite-n fixed point, the recurrence trajectory, the RK4 SIR cross-check,
+// and the branching-process extinction probability. The statistical
+// agreement with the simulators is pinned separately in tests/validation/;
+// here the references are closed forms and the paper's Eq. 11 anchor
+// S(z q = 3.6) ~= 0.9695 — hand-rolled Poisson pmfs keep this suite on the
+// base math layer.
+
+#include "math/meanfield.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace gossip {
+namespace {
+
+// Eq. 11 fixed point S = 1 - exp(-3.6 S), the Fig. 4(a)/4(b) headline.
+constexpr double kEq11Anchor = 0.9695;
+
+std::vector<double> poisson_pmf(double mean) {
+  std::vector<double> pmf;
+  double p = std::exp(-mean);
+  double cumulative = 0.0;
+  for (int k = 0; k < 400 && cumulative < 1.0 - 1e-13; ++k) {
+    pmf.push_back(p);
+    cumulative += p;
+    p *= mean / static_cast<double>(k + 1);
+  }
+  return pmf;
+}
+
+meanfield::Params fig4a_params(std::uint64_t n) {
+  meanfield::Params params;
+  params.num_nodes = n;
+  params.nonfailed_ratio = 0.9;
+  params.fanout_pmf = poisson_pmf(4.0);
+  return params;
+}
+
+TEST(MeanFieldFixedPoint, MatchesEq11AnchorAtLargeN) {
+  EXPECT_NEAR(meanfield::predict_reliability(fig4a_params(10000000)),
+              kEq11Anchor, 5e-4);
+}
+
+TEST(MeanFieldFixedPoint, ZqEquivalenceOfTheTwoFig4Points) {
+  // z = 4, q = 0.9 and z = 6, q = 0.6 share z q = 3.6 and so the same
+  // asymptotic reliability (the paper's Fig. 4 pairing).
+  meanfield::Params b;
+  b.num_nodes = 10000000;
+  b.nonfailed_ratio = 0.6;
+  b.fanout_pmf = poisson_pmf(6.0);
+  EXPECT_NEAR(meanfield::predict_reliability(fig4a_params(10000000)),
+              meanfield::predict_reliability(b), 1e-3);
+}
+
+TEST(MeanFieldFixedPoint, SolverConvergesWithBracketDiagnostics) {
+  const auto fp = meanfield::solve_fixed_point(fig4a_params(1000));
+  EXPECT_TRUE(fp.solve.converged);
+  EXPECT_GE(fp.informed, 1.0);
+  EXPECT_LE(fp.informed, 1.0 + 999.0 * 0.9);
+  EXPECT_NEAR(fp.reliability, fp.informed / (1.0 + 999.0 * 0.9), 1e-12);
+}
+
+TEST(MeanFieldTrajectory, EndpointConvergesToFixedPointAsThresholdShrinks) {
+  auto params = fig4a_params(1000);
+  params.extinction_threshold = 1e-9;
+  const auto traj = meanfield::predict_trajectory(params);
+  EXPECT_NEAR(traj.reliability, meanfield::predict_reliability(params), 1e-6);
+}
+
+TEST(MeanFieldTrajectory, DefaultThresholdTruncatesOnlySlightly) {
+  const auto params = fig4a_params(1000);
+  const auto traj = meanfield::predict_trajectory(params);
+  EXPECT_NEAR(traj.reliability, meanfield::predict_reliability(params), 5e-3);
+  EXPECT_LT(traj.reliability, 1.0);
+  EXPECT_LE(traj.rounds_to_extinction, 40u);  // O(log n) drain.
+}
+
+TEST(MeanFieldTrajectory, MirrorsInjectionRoundZero) {
+  const auto traj = meanfield::predict_trajectory(fig4a_params(1000));
+  ASSERT_GE(traj.rounds.size(), 2u);
+  const auto& inject = traj.rounds.front();
+  EXPECT_EQ(inject.round, 0u);
+  EXPECT_DOUBLE_EQ(inject.newly_informed, 1.0);
+  EXPECT_DOUBLE_EQ(inject.informed, 1.0);
+  EXPECT_DOUBLE_EQ(inject.sends, 0.0);
+  // Round 1: the source forwards alone.
+  EXPECT_DOUBLE_EQ(traj.rounds[1].frontier, 1.0);
+}
+
+TEST(MeanFieldTrajectory, SendAccountingIdentityHoldsEveryRound) {
+  meanfield::Params params = fig4a_params(2000);
+  params.loss_probability = 0.2;
+  const auto traj = meanfield::predict_trajectory(params);
+  for (std::size_t r = 1; r < traj.rounds.size(); ++r) {
+    const auto& p = traj.rounds[r];
+    EXPECT_NEAR(p.sends,
+                p.newly_informed + p.redundant + p.losses + p.dead_receipts,
+                1e-9 * (1.0 + p.sends))
+        << "round " << r;
+  }
+  EXPECT_NEAR(traj.messages,
+              [&] {
+                double total = 0.0;
+                for (const auto& p : traj.rounds) total += p.sends;
+                return total;
+              }(),
+              1e-9);
+}
+
+TEST(MeanFieldTrajectory, InformedFractionIsMonotoneAndEndsAtReliability) {
+  const auto traj = meanfield::predict_trajectory(fig4a_params(1000));
+  for (std::size_t r = 1; r < traj.rounds.size(); ++r) {
+    EXPECT_GE(traj.rounds[r].informed_fraction,
+              traj.rounds[r - 1].informed_fraction);
+  }
+  EXPECT_DOUBLE_EQ(traj.rounds.back().informed_fraction, traj.reliability);
+}
+
+TEST(MeanFieldOde, Rk4CrossCheckAgreesWithFixedPoint) {
+  // The SIR final size solves the same equation with exp(-h I) in place of
+  // (1-h)^I; the gap is O(z^2/n).
+  const auto params_1k = fig4a_params(1000);
+  EXPECT_NEAR(meanfield::predict_reliability_ode(params_1k),
+              meanfield::predict_reliability(params_1k), 1e-3);
+  const auto params_1m = fig4a_params(1000000);
+  EXPECT_NEAR(meanfield::predict_reliability_ode(params_1m),
+              meanfield::predict_reliability(params_1m), 1e-4);
+}
+
+TEST(MeanFieldModel, LossFoldsIntoEffectiveFanout) {
+  // Poisson(5) with 20% loss carries the same delivery pressure as
+  // Poisson(4) lossless — the folding the simulators exhibit.
+  meanfield::Params lossy;
+  lossy.num_nodes = 2000;
+  lossy.nonfailed_ratio = 0.9;
+  lossy.loss_probability = 0.2;
+  lossy.fanout_pmf = poisson_pmf(5.0);
+  meanfield::Params lossless;
+  lossless.num_nodes = 2000;
+  lossless.nonfailed_ratio = 0.9;
+  lossless.fanout_pmf = poisson_pmf(4.0);
+  EXPECT_NEAR(meanfield::effective_fanout(lossy), 4.0, 1e-6);
+  EXPECT_NEAR(meanfield::predict_reliability(lossy),
+              meanfield::predict_reliability(lossless), 1e-6);
+}
+
+TEST(MeanFieldModel, FanoutCapBindsAtTinyGroups) {
+  meanfield::Params params;
+  params.num_nodes = 3;
+  params.nonfailed_ratio = 1.0;
+  params.fanout_pmf = {0.0, 0.0, 0.0, 0.0, 1.0};  // fanout 4, capped at 2.
+  EXPECT_NEAR(meanfield::effective_fanout(params), 2.0, 1e-12);
+}
+
+TEST(MeanFieldModel, ReliabilityMonotoneInFanoutAndSurvival) {
+  double previous = 0.0;
+  for (const double z : {1.5, 2.0, 3.0, 4.0, 6.0}) {
+    meanfield::Params params;
+    params.num_nodes = 1000;
+    params.nonfailed_ratio = 0.9;
+    params.fanout_pmf = poisson_pmf(z);
+    const double r = meanfield::predict_reliability(params);
+    EXPECT_GT(r, previous) << "z = " << z;
+    previous = r;
+  }
+  previous = 0.0;
+  for (const double q : {0.4, 0.6, 0.8, 1.0}) {
+    meanfield::Params params;
+    params.num_nodes = 1000;
+    params.nonfailed_ratio = q;
+    params.fanout_pmf = poisson_pmf(4.0);
+    const double r = meanfield::predict_reliability(params);
+    EXPECT_GT(r, previous) << "q = " << q;
+    previous = r;
+  }
+}
+
+TEST(MeanFieldExtinction, SubcriticalCascadesDieOutAlmostSurely) {
+  meanfield::Params params;
+  params.num_nodes = 10000;
+  params.nonfailed_ratio = 0.8;
+  params.fanout_pmf = poisson_pmf(1.0);  // z q = 0.8 < 1.
+  EXPECT_NEAR(meanfield::extinction_probability(params), 1.0, 1e-9);
+}
+
+TEST(MeanFieldExtinction, SupercriticalDieOutMatchesPoissonOffspring) {
+  // Offspring PGF at the Fig. 4(a) point is Poisson with mean z q = 3.6;
+  // its smallest fixed point is ~0.0305.
+  const double rho = meanfield::extinction_probability(fig4a_params(1000));
+  EXPECT_NEAR(rho, 0.0305, 2e-3);
+}
+
+TEST(MeanFieldModel, DegenerateRegimes) {
+  meanfield::Params lonely = fig4a_params(1000);
+  lonely.nonfailed_ratio = 0.0;  // Source only: trivially reliable.
+  EXPECT_DOUBLE_EQ(meanfield::predict_reliability(lonely), 1.0);
+
+  meanfield::Params dark = fig4a_params(1000);
+  dark.loss_probability = 1.0;  // Every message lost: source alone.
+  const double a = 1.0 + 999.0 * 0.9;
+  EXPECT_NEAR(meanfield::predict_reliability(dark), 1.0 / a, 1e-12);
+  EXPECT_NEAR(meanfield::extinction_probability(dark), 1.0, 1e-12);
+}
+
+TEST(MeanFieldModel, RejectsOutOfDomainParameters) {
+  meanfield::Params params = fig4a_params(1000);
+  params.num_nodes = 1;
+  EXPECT_THROW((void)meanfield::predict_reliability(params),
+               std::invalid_argument);
+  params = fig4a_params(1000);
+  params.fanout_pmf.clear();
+  EXPECT_THROW((void)meanfield::predict_reliability(params),
+               std::invalid_argument);
+  params = fig4a_params(1000);
+  params.fanout_pmf = {0.5, -0.5};
+  EXPECT_THROW((void)meanfield::predict_reliability(params),
+               std::invalid_argument);
+  params = fig4a_params(1000);
+  params.nonfailed_ratio = 1.5;
+  EXPECT_THROW((void)meanfield::predict_reliability(params),
+               std::invalid_argument);
+  params = fig4a_params(1000);
+  params.loss_probability = -0.1;
+  EXPECT_THROW((void)meanfield::predict_reliability(params),
+               std::invalid_argument);
+  params = fig4a_params(1000);
+  params.extinction_threshold = 0.0;
+  EXPECT_THROW((void)meanfield::predict_trajectory(params),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gossip

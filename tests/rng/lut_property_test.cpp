@@ -1,0 +1,122 @@
+/// Property-based checks of the 8.8 LUT sampler: rather than pinning a
+/// handful of hand-picked distributions, a tiny seed-driven generator
+/// produces random pmfs (random support size, random weights, occasional
+/// zero entries) and every generated table must satisfy the sampler's
+/// structural invariants — the code-to-outcome map is a monotone inverse
+/// CDF, the realized pmf is a probability distribution over the input's
+/// support, and its mean lands within the quantization error bound.
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rng/lut_sampler.hpp"
+#include "rng/rng_stream.hpp"
+
+namespace gossip::rng {
+namespace {
+
+constexpr std::uint32_t kCodeSpace = 1u << 16;
+
+/// Seed-driven pmf generator. Weights are uniform in (0, 1] with every
+/// third entry zeroed on average, so generated distributions exercise
+/// interior holes in the support (the inverse CDF must step over them).
+std::vector<double> random_pmf(RngStream& rng) {
+  const auto support = 1 + static_cast<std::size_t>(rng.next_below(32));
+  std::vector<double> weights(support);
+  for (auto& w : weights) {
+    const bool zero = support > 1 && rng.next_below(3) == 0;
+    w = zero ? 0.0 : rng.next_double_open();
+  }
+  // Keep at least one positive entry.
+  if (std::accumulate(weights.begin(), weights.end(), 0.0) == 0.0) {
+    weights[support / 2] = 1.0;
+  }
+  return weights;
+}
+
+double pmf_mean(const std::vector<double>& weights) {
+  double mass = 0.0;
+  double weighted = 0.0;
+  for (std::size_t k = 0; k < weights.size(); ++k) {
+    mass += weights[k];
+    weighted += static_cast<double>(k) * weights[k];
+  }
+  return weighted / mass;
+}
+
+TEST(Lut88SamplerProperty, CodeMapIsAMonotoneInverseCdf) {
+  // The defining property of inverse-CDF sampling: a larger uniform code
+  // can never map to a smaller outcome. Checked exhaustively over all
+  // 2^16 codes for every generated pmf — any interpolation or rounding
+  // bug that reorders two adjacent codes fails here.
+  RngStream rng(20080808);
+  for (int trial = 0; trial < 25; ++trial) {
+    const auto weights = random_pmf(rng);
+    const Lut88Sampler sampler(weights);
+    std::int64_t previous = sampler.sample_code(0);
+    for (std::uint32_t code = 1; code < kCodeSpace; ++code) {
+      const std::int64_t value = sampler.sample_code(code);
+      ASSERT_GE(value, previous)
+          << "trial " << trial << " code " << code << ": inverse CDF "
+          << "decreased from " << previous << " to " << value;
+      previous = value;
+    }
+    EXPECT_LE(previous, sampler.max_value()) << "trial " << trial;
+  }
+}
+
+TEST(Lut88SamplerProperty, RealizedPmfIsADistributionOnTheInputSupport) {
+  RngStream rng(42);
+  for (int trial = 0; trial < 25; ++trial) {
+    const auto weights = random_pmf(rng);
+    const Lut88Sampler sampler(weights);
+    const auto realized = sampler.realized_pmf();
+
+    // Exactly the 2^16 codes, normalized: mass 1 within float fold error.
+    EXPECT_NEAR(std::accumulate(realized.begin(), realized.end(), 0.0), 1.0,
+                1e-12)
+        << "trial " << trial;
+    // No probability invented outside the input support.
+    EXPECT_LE(realized.size(), weights.size()) << "trial " << trial;
+    for (std::size_t k = 0; k < realized.size(); ++k) {
+      EXPECT_GE(realized[k], 0.0) << "trial " << trial << " outcome " << k;
+    }
+  }
+}
+
+TEST(Lut88SamplerProperty, RealizedMeanLandsWithinQuantizationError) {
+  // 8.8 quantization moves each CDF breakpoint by at most ~2^-8, so the
+  // realized mean may drift from the target mean by O(support * 2^-8).
+  // The bound below is loose by design: it is the structural guarantee,
+  // not a golden value (protocol-level equivalence is pinned elsewhere).
+  RngStream rng(7);
+  for (int trial = 0; trial < 25; ++trial) {
+    const auto weights = random_pmf(rng);
+    const Lut88Sampler sampler(weights);
+    const double target = pmf_mean(weights);
+    const double tolerance =
+        0.5 + static_cast<double>(weights.size()) * (1.0 / 256.0);
+    EXPECT_NEAR(sampler.realized_mean(), target, tolerance)
+        << "trial " << trial << " support " << weights.size();
+  }
+}
+
+TEST(Lut88SamplerProperty, SampleDrawsThroughTheSameCodePath) {
+  // sample(rng) must be sample_code applied to the draw's top 16 bits —
+  // the stochastic path and the exhaustively-tested kernel cannot drift
+  // apart.
+  const Lut88Sampler sampler({0.1, 0.4, 0.3, 0.2});
+  RngStream sample_stream(99);
+  RngStream code_stream(99);
+  for (int draw = 0; draw < 1000; ++draw) {
+    const auto expected =
+        sampler.sample_code(static_cast<std::uint32_t>(code_stream() >> 48));
+    EXPECT_EQ(sampler.sample(sample_stream), expected) << "draw " << draw;
+  }
+}
+
+}  // namespace
+}  // namespace gossip::rng

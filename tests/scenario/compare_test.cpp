@@ -165,6 +165,87 @@ TEST_F(CompareCsvTest, QuotedCaseLabelsRoundTrip) {
   EXPECT_EQ(report.rows_compared, 1u);
 }
 
+TEST_F(CompareCsvTest, ExactZeroCellsFallBackToAbsoluteTolerance) {
+  // Regression: a relative band around an exact 0.0 collapses to zero
+  // width, so a run that records 0 midrun crashes against one recording a
+  // trivial nonzero count (here 0.2 of a crash per replication) used to be
+  // flagged as a mismatch. Such cells now use the absolute fallback.
+  const auto a = write_csv(
+      "zero_a.csv",
+      {header(),
+       "churn,rate=0.1,protocol,reliability,60,2008,0.97,0.96,0.98,"
+       "0.95,4400.0,9.0,0.0,1,0.97,"});
+  const auto b = write_csv(
+      "zero_b.csv",
+      {header(),
+       "churn,rate=0.1,protocol,reliability,60,7,0.97,0.96,0.98,"
+       "0.95,4400.0,9.0,0.2,1,0.97,"});
+  EXPECT_TRUE(compare_result_csvs(a, b).ok());
+
+  // Two exact zeros agree trivially...
+  const auto both_zero = write_csv(
+      "zero_c.csv",
+      {header(),
+       "churn,rate=0.1,protocol,reliability,60,9,0.97,0.96,0.98,"
+       "0.95,4400.0,9.0,0.0,1,0.97,"});
+  EXPECT_TRUE(compare_result_csvs(a, both_zero).ok());
+
+  // ...but the fallback is a real tolerance, not a free pass: a zero
+  // against a non-trivial count still diffs, and tightening the option
+  // flags the 0.2 case too.
+  const auto big = write_csv(
+      "zero_d.csv",
+      {header(),
+       "churn,rate=0.1,protocol,reliability,60,7,0.97,0.96,0.98,"
+       "0.95,4400.0,9.0,1.7,1,0.97,"});
+  const auto report = compare_result_csvs(a, big);
+  EXPECT_FALSE(report.ok());
+  ASSERT_EQ(report.diffs.size(), 1u);
+  EXPECT_EQ(report.diffs[0].column, "midrun_crashes_mean");
+  EXPECT_DOUBLE_EQ(report.diffs[0].allowed, 0.5);
+
+  CompareOptions tight;
+  tight.zero_absolute_tolerance = 0.1;
+  EXPECT_FALSE(compare_result_csvs(a, b, tight).ok());
+}
+
+TEST_F(CompareCsvTest, MeanFieldColumnsCompareAsReliabilities) {
+  // The analytic-engine columns (meanfield_reliability, abs_diff) joined
+  // the absolute-tolerance family; files from before the column existed
+  // still compare (absent columns are skipped).
+  const std::string wide_header =
+      header() + ",engine,meanfield_reliability,abs_diff";
+  const auto a = write_csv(
+      "mf_a.csv",
+      {wide_header,
+       "fig4,fanout=4,flat,reliability,60,2008,0.9695,0.96,0.98,"
+       "0.95,4400.0,9.0,0.0,1,0.9695,,both,0.9699,0.0004"});
+  const auto b = write_csv(
+      "mf_b.csv",
+      {wide_header,
+       "fig4,fanout=4,flat,reliability,60,7,0.9710,0.96,0.98,"
+       "0.95,4400.0,9.0,0.0,1,0.9710,,both,0.9699,0.0011"});
+  EXPECT_TRUE(compare_result_csvs(a, b).ok());
+
+  const auto drifted = write_csv(
+      "mf_c.csv",
+      {wide_header,
+       "fig4,fanout=4,flat,reliability,60,7,0.9710,0.96,0.98,"
+       "0.95,4400.0,9.0,0.0,1,0.9710,,both,0.9200,0.0510"});
+  const auto report = compare_result_csvs(a, drifted);
+  EXPECT_FALSE(report.ok());
+  ASSERT_EQ(report.diffs.size(), 2u);
+  EXPECT_EQ(report.diffs[0].column, "meanfield_reliability");
+  EXPECT_EQ(report.diffs[1].column, "abs_diff");
+
+  const auto narrow = write_csv(
+      "mf_d.csv",
+      {header(),
+       "fig4,fanout=4,flat,reliability,60,7,0.9710,0.96,0.98,"
+       "0.95,4400.0,9.0,0.0,1,0.9710,"});
+  EXPECT_TRUE(compare_result_csvs(a, narrow).ok());
+}
+
 TEST_F(CompareCsvTest, ReportPrinterSummarizes) {
   const auto a = write_csv(
       "prn_a.csv",

@@ -1,0 +1,181 @@
+/// The `engine =` axis of the scenario runner: spec validation for the
+/// analytic mean-field engine, determinism of pure mean-field cases, and
+/// the shape of the widened results/trace CSVs for engine = both.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "scenario/runner.hpp"
+#include "scenario/spec.hpp"
+
+namespace gossip::scenario {
+namespace {
+
+ScenarioSpec meanfield_spec() {
+  ScenarioSpec spec;
+  spec.set("name", "engine_probe")
+      .set("n", "2000")
+      .set("backend", "flat")
+      .set("fanout", "poisson(4)")
+      .set("failure", "crash(0.1)")
+      .set("metric", "reliability")
+      .set("repetitions", "20")
+      .set("seed", "11")
+      .set("engine", "meanfield");
+  return spec;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(EngineSpec, UnknownEngineNamesAreRejected) {
+  auto spec = meanfield_spec();
+  spec.set("engine", "analytic");
+  try {
+    (void)ScenarioRunner().run(spec);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("montecarlo, meanfield"),
+              std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(EngineSpec, MeanFieldRejectsFeaturesOutsideTheStaticRegime) {
+  // The analytic model derives the flat engine's constraint set; every
+  // knob outside it must fail fast with a message naming the engine.
+  const auto expect_rejected = [](ScenarioSpec spec, const char* what) {
+    try {
+      (void)ScenarioRunner().run(spec);
+      FAIL() << what << ": expected invalid_argument";
+    } catch (const std::invalid_argument& error) {
+      EXPECT_NE(std::string(error.what()).find("mean-field"),
+                std::string::npos)
+          << what << ": " << error.what();
+    }
+  };
+
+  auto component = meanfield_spec();
+  component.set("backend", "component");
+  expect_rejected(component, "component backend");
+
+  auto success = meanfield_spec();
+  success.set("metric", "success");
+  expect_rejected(success, "success metric");
+
+  auto latency = meanfield_spec();
+  latency.set("backend", "protocol").set("latency", "uniform(0,2)");
+  expect_rejected(latency, "latency model");
+
+  auto workload = meanfield_spec();
+  workload.set("backend", "protocol").set("workload.messages", "4");
+  expect_rejected(workload, "multi-message workload");
+
+  auto schedule = meanfield_spec();
+  schedule.set("backend", "protocol").set("failure", "midrun_crash(0.2)");
+  expect_rejected(schedule, "mid-run failures");
+}
+
+TEST(EngineRun, PureMeanFieldCaseIsDeterministicAndRunsNoReplications) {
+  const auto spec = meanfield_spec();
+  const auto first = ScenarioRunner().run(spec);
+  const auto second = ScenarioRunner().run(spec);
+  ASSERT_EQ(first.size(), 1u);
+
+  const auto& result = first[0];
+  EXPECT_EQ(result.engine, Engine::kMeanField);
+  EXPECT_TRUE(result.has_meanfield);
+  // No simulation happened: the spec's 20 repetitions are not run, and the
+  // summaries carry the single analytic value with a degenerate CI.
+  EXPECT_EQ(result.replications, 0u);
+  EXPECT_EQ(result.reliability.count(), 1u);
+  EXPECT_DOUBLE_EQ(result.reliability.mean(), result.meanfield_reliability);
+  EXPECT_DOUBLE_EQ(result.reliability.standard_error(), 0.0);
+  EXPECT_DOUBLE_EQ(result.abs_diff(), 0.0);  // Meaningful for both only.
+  EXPECT_GT(result.meanfield_reliability, 0.9);
+  EXPECT_LT(result.meanfield_reliability, 1.0);
+  EXPECT_GT(result.meanfield_extinction, 0.0);
+
+  // Bit-for-bit repeatable: the engine is a closed-form evaluation.
+  EXPECT_DOUBLE_EQ(second[0].meanfield_reliability,
+                   result.meanfield_reliability);
+  EXPECT_DOUBLE_EQ(second[0].meanfield_messages, result.meanfield_messages);
+}
+
+TEST(EngineRun, BothKeepsTheMonteCarloResultIdenticalToMonteCarloAlone) {
+  // engine = both must be pure observation on the simulation side: the
+  // Monte-Carlo summaries are bit-identical to an engine = montecarlo run
+  // of the same spec, with the prediction riding alongside.
+  auto mc_spec = meanfield_spec();
+  mc_spec.set("engine", "montecarlo").set("n", "500");
+  auto both_spec = meanfield_spec();
+  both_spec.set("engine", "both").set("n", "500");
+
+  const auto mc = ScenarioRunner().run(mc_spec);
+  const auto both = ScenarioRunner().run(both_spec);
+  ASSERT_EQ(both.size(), 1u);
+  EXPECT_EQ(both[0].replications, 20u);
+  EXPECT_EQ(both[0].reliability.count(), mc[0].reliability.count());
+  EXPECT_DOUBLE_EQ(both[0].reliability.mean(), mc[0].reliability.mean());
+  EXPECT_DOUBLE_EQ(both[0].messages.mean(), mc[0].messages.mean());
+  EXPECT_FALSE(mc[0].has_meanfield);
+  EXPECT_TRUE(both[0].has_meanfield);
+  EXPECT_GE(both[0].abs_diff(), 0.0);
+}
+
+TEST(EngineCsv, ResultColumnsAppearAndStayEmptyForPureMonteCarlo) {
+  auto spec = meanfield_spec();
+  spec.set("engine", "both").set("n", "500");
+  const auto results = ScenarioRunner().run(spec);
+
+  const std::string path = ::testing::TempDir() + "engine_results.csv";
+  write_results_csv(path, results);
+  const auto text = read_file(path);
+  std::remove(path.c_str());
+
+  EXPECT_NE(text.find(",engine,meanfield_reliability,abs_diff"),
+            std::string::npos);
+  EXPECT_NE(text.find(",both,"), std::string::npos);
+
+  // A pure Monte-Carlo run writes the same header with empty analytic
+  // cells, so downstream tooling sees one stable schema.
+  auto mc_spec = meanfield_spec();
+  mc_spec.set("engine", "montecarlo").set("n", "500");
+  const auto mc_results = ScenarioRunner().run(mc_spec);
+  const std::string mc_path = ::testing::TempDir() + "engine_mc.csv";
+  write_results_csv(mc_path, mc_results);
+  const auto mc_text = read_file(mc_path);
+  std::remove(mc_path.c_str());
+  EXPECT_NE(mc_text.find(",montecarlo,,"), std::string::npos);
+}
+
+TEST(EngineCsv, TraceCsvCarriesTheAnalyticTrajectory) {
+  auto spec = meanfield_spec();
+  spec.set("engine", "both").set("n", "500").set("trace", "rounds");
+  const auto results = ScenarioRunner().run(spec);
+  ASSERT_FALSE(results[0].meanfield_trace.empty());
+  // Round 0 is the injection, mirroring the simulated trace schema.
+  EXPECT_EQ(results[0].meanfield_trace[0].round, 0u);
+  EXPECT_DOUBLE_EQ(results[0].meanfield_trace[0].newly_informed, 1.0);
+
+  const std::string path = ::testing::TempDir() + "engine_trace.csv";
+  write_trace_csv(path, results);
+  const auto text = read_file(path);
+  std::remove(path.c_str());
+  // Analytic rows are tagged with "meanfield" in the backend column and 0
+  // replications, so they never collide with the simulated rows.
+  EXPECT_NE(text.find(",meanfield,"), std::string::npos);
+  EXPECT_NE(text.find(",flat,"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gossip::scenario

@@ -1,0 +1,151 @@
+/// Property-based checks of OnlineSummary's parallel-merge algebra: the
+/// deterministic thread-pool reductions (scenario runner, Monte-Carlo
+/// estimators) rely on merge() agreeing with sequential accumulation no
+/// matter how a sample series is partitioned or in which order the parts
+/// are folded back together. A seed-driven generator produces random
+/// series and random partitions; every (moment, partition) pair must
+/// reproduce the sequential result within floating-point fold error.
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rng/rng_stream.hpp"
+#include "stats/summary.hpp"
+
+namespace gossip::stats {
+namespace {
+
+/// Random series with a deliberately awkward scale mix (values spanning
+/// several orders of magnitude stress the Chan merge's cancellation).
+std::vector<double> random_series(rng::RngStream& rng, std::size_t size) {
+  std::vector<double> values(size);
+  for (auto& v : values) {
+    const double base = rng.next_double() - 0.5;
+    const double scale = static_cast<double>(1u << rng.next_below(12));
+    v = base * scale;
+  }
+  return values;
+}
+
+OnlineSummary summarize(const std::vector<double>& values, std::size_t begin,
+                        std::size_t end) {
+  OnlineSummary summary;
+  for (std::size_t i = begin; i < end; ++i) summary.add(values[i]);
+  return summary;
+}
+
+void expect_same_moments(const OnlineSummary& a, const OnlineSummary& b,
+                         const std::string& what) {
+  EXPECT_EQ(a.count(), b.count()) << what;
+  EXPECT_NEAR(a.mean(), b.mean(), 1e-9 * (1.0 + std::fabs(b.mean()))) << what;
+  EXPECT_NEAR(a.variance(), b.variance(),
+              1e-9 * (1.0 + std::fabs(b.variance())))
+      << what;
+  EXPECT_EQ(a.min(), b.min()) << what;
+  EXPECT_EQ(a.max(), b.max()) << what;
+}
+
+TEST(OnlineSummaryProperty, MergeOfRandomPartitionsMatchesSequential) {
+  rng::RngStream rng(20080808);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto size = 2 + static_cast<std::size_t>(rng.next_below(200));
+    const auto values = random_series(rng, size);
+    const auto sequential = summarize(values, 0, size);
+
+    // Random partition into up to 8 contiguous chunks, merged in order.
+    std::vector<std::size_t> cuts{0, size};
+    for (int c = 0; c < 7; ++c) cuts.push_back(rng.next_below(size));
+    std::sort(cuts.begin(), cuts.end());
+    OnlineSummary merged;
+    for (std::size_t p = 0; p + 1 < cuts.size(); ++p) {
+      const auto part = summarize(values, cuts[p], cuts[p + 1]);
+      merged.merge(part);
+    }
+    expect_same_moments(merged, sequential,
+                        "trial " + std::to_string(trial));
+  }
+}
+
+TEST(OnlineSummaryProperty, MergeIsAssociative) {
+  // (a + b) + c == a + (b + c) on the summary's moments, for random
+  // splits — the property that makes tree-shaped parallel reductions
+  // order-of-completion independent.
+  rng::RngStream rng(31337);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto values = random_series(rng, 120);
+    const auto cut1 = 1 + rng.next_below(40);
+    const auto cut2 = cut1 + 1 + rng.next_below(40);
+    const auto a = summarize(values, 0, cut1);
+    const auto b = summarize(values, cut1, cut2);
+    const auto c = summarize(values, cut2, values.size());
+
+    OnlineSummary left = a;
+    left.merge(b);
+    left.merge(c);
+    OnlineSummary bc = b;
+    bc.merge(c);
+    OnlineSummary right = a;
+    right.merge(bc);
+    expect_same_moments(left, right, "trial " + std::to_string(trial));
+  }
+}
+
+TEST(OnlineSummaryProperty, MergeIsOrderInvariant) {
+  // Chunk order must not matter: fold the same three parts in all six
+  // permutations and compare against the sequential summary.
+  rng::RngStream rng(8);
+  const auto values = random_series(rng, 90);
+  const auto sequential = summarize(values, 0, values.size());
+  const OnlineSummary parts[3] = {summarize(values, 0, 30),
+                                  summarize(values, 30, 60),
+                                  summarize(values, 60, 90)};
+  int order[3] = {0, 1, 2};
+  do {
+    OnlineSummary merged;
+    for (const int p : order) merged.merge(parts[p]);
+    expect_same_moments(merged, sequential,
+                        "order " + std::to_string(order[0]) +
+                            std::to_string(order[1]) +
+                            std::to_string(order[2]));
+  } while (std::next_permutation(order, order + 3));
+}
+
+TEST(OnlineSummaryProperty, MergingEmptyAndSingletonSummariesIsExact) {
+  // Degenerate shapes the pool reduction actually produces: empty worker
+  // summaries (no replications landed on that worker) and singleton
+  // summaries (one replication) must merge without perturbing anything.
+  OnlineSummary base;
+  base.add(2.0);
+  base.add(4.0);
+
+  OnlineSummary empty;
+  OnlineSummary merged = base;
+  merged.merge(empty);
+  expect_same_moments(merged, base, "merge empty right");
+
+  OnlineSummary from_empty;
+  from_empty.merge(base);
+  expect_same_moments(from_empty, base, "merge into empty");
+
+  // A series built purely from singleton merges equals plain adds.
+  OnlineSummary adds;
+  OnlineSummary singletons;
+  rng::RngStream rng(5);
+  for (int i = 0; i < 25; ++i) {
+    const double v = rng.next_double() * 10.0;
+    adds.add(v);
+    OnlineSummary one;
+    one.add(v);
+    singletons.merge(one);
+  }
+  expect_same_moments(singletons, adds, "singleton chain");
+}
+
+}  // namespace
+}  // namespace gossip::stats

@@ -1,0 +1,108 @@
+/// Full-tier divergence pins: the regimes where the mean-field
+/// approximation is EXPECTED to disagree with simulation, turned into
+/// assertions so the validity boundary documented in docs/meanfield.md is
+/// enforced, not just described. A silent improvement that makes these
+/// pass (e.g. a finite-n correction term) should be noticed and the pins
+/// retired deliberately.
+
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "core/degree_distribution.hpp"
+#include "experiment/meanfield.hpp"
+#include "experiment/monte_carlo.hpp"
+#include "parallel/thread_pool.hpp"
+#include "protocol/flat_gossip.hpp"
+#include "statistical_agreement.hpp"
+
+namespace gossip::validation {
+namespace {
+
+protocol::FlatGossipParams flat_params(std::uint64_t n, double z, double q) {
+  protocol::FlatGossipParams p;
+  p.num_nodes = n;
+  p.source = 0;
+  p.nonfailed_ratio = q;
+  p.fanout = core::poisson_fanout(z);
+  return p;
+}
+
+TEST(MeanFieldDivergence, SmallGroupsFallOutsideTheThreeSigmaBand) {
+  GOSSIP_VALIDATION_FULL_TIER_ONLY();
+  // n = 16: the model's O(1/n) terms are a few percent and the per-sender
+  // hit probability z/(n-1) is far from the Poissonized limit, so even a
+  // tight Monte-Carlo SE (400 replications) cannot cover the bias. The
+  // divergence must be real (outside 3 sigma) but bounded (the model is
+  // wrong by percents, not catastrophically).
+  parallel::ThreadPool pool(4);
+  experiment::MonteCarloOptions mc;
+  mc.replications = 400;
+  mc.seed = 2008;
+  mc.pool = &pool;
+
+  const auto params = flat_params(16, 4.0, 0.9);
+  const auto sim = experiment::estimate_reliability_flat(params, mc);
+  const auto analytic = experiment::estimate_reliability_meanfield(params);
+
+  const auto check = agreement(analytic.reliability, sim.reliability);
+  EXPECT_FALSE(check.within) << check.describe();
+  EXPECT_LT(check.diff, 0.25) << check.describe();
+}
+
+TEST(MeanFieldDivergence, NearCriticalConditionalPredictionOvershoots) {
+  GOSSIP_VALIDATION_FULL_TIER_ONLY();
+  // Just above the z*q = 1 critical line the extinction probability rho is
+  // O(1): most replications die out near the source, so the unconditional
+  // Monte-Carlo mean sits FAR below the conditional fixed point pi — by
+  // construction, not by error. Pin both the direction and the theory
+  // interval that the grid tests rely on in this regime.
+  parallel::ThreadPool pool(4);
+  experiment::MonteCarloOptions mc;
+  mc.replications = 200;
+  mc.seed = 2008;
+  mc.pool = &pool;
+
+  const auto params = flat_params(2000, 2.5, 0.5);  // z*q = 1.25.
+  const auto sim = experiment::estimate_reliability_flat(params, mc);
+  const auto analytic = experiment::estimate_reliability_meanfield(params);
+
+  // Heavy die-out mass: the branching process dies early more than half
+  // the time this close to criticality.
+  EXPECT_GT(analytic.extinction_probability, 0.5);
+  // The conditional prediction overshoots the unconditional mean by far
+  // more than the sampling error...
+  EXPECT_GT(analytic.reliability,
+            sim.mean_reliability() + 3.0 * sim.reliability.standard_error());
+  // ...while the extinction-weighted interval still brackets the mean.
+  const auto interval = theory_interval(
+      analytic.reliability, analytic.extinction_probability, sim.reliability,
+      3.0, 0.02);
+  EXPECT_TRUE(interval.contains(sim.mean_reliability()))
+      << interval.describe(sim.mean_reliability());
+}
+
+TEST(MeanFieldDivergence, SubcriticalRegimeIsExactlyWhereEq10Says) {
+  GOSSIP_VALIDATION_FULL_TIER_ONLY();
+  // Below z*q = 1 the cascade dies almost surely: the model predicts
+  // extinction probability 1 and the simulation's mean informed fraction
+  // collapses to O(log n / n). The model and the simulator must agree
+  // that this side of the Eq. 10 line is dead.
+  parallel::ThreadPool pool(4);
+  experiment::MonteCarloOptions mc;
+  mc.replications = 100;
+  mc.seed = 2008;
+  mc.pool = &pool;
+
+  const auto params = flat_params(2000, 2.0, 0.4);  // z*q = 0.8.
+  const auto sim = experiment::estimate_reliability_flat(params, mc);
+  const auto analytic = experiment::estimate_reliability_meanfield(params);
+
+  // Functional iteration stops within 1e-14 per step; the residual gap to
+  // the exact fixed point 1 is the step tolerance over (1 - z*q).
+  EXPECT_NEAR(analytic.extinction_probability, 1.0, 1e-9);
+  EXPECT_LT(sim.mean_reliability(), 0.02);
+}
+
+}  // namespace
+}  // namespace gossip::validation

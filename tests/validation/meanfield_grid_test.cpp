@@ -1,0 +1,140 @@
+/// Full-tier cross-validation sweeps: the mean-field model against the
+/// Monte-Carlo engines over the z*q plane and the loss (alpha) grid, plus
+/// a three-backend cross-check at the Fig. 4 anchor. Supercritical points
+/// away from the critical line use the 3-sigma agreement band; points
+/// where early die-outs carry O(1) probability use the theory interval
+/// [(1 - rho) * pi, pi] instead (statistical_agreement.hpp explains both).
+/// These tests self-skip outside the full tier — `ctest -C validation -L
+/// validation` (or GOSSIP_VALIDATION_FULL=1) runs them.
+
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "core/degree_distribution.hpp"
+#include "experiment/meanfield.hpp"
+#include "experiment/monte_carlo.hpp"
+#include "parallel/thread_pool.hpp"
+#include "protocol/flat_gossip.hpp"
+#include "protocol/gossip_multicast.hpp"
+#include "statistical_agreement.hpp"
+
+namespace gossip::validation {
+namespace {
+
+protocol::FlatGossipParams flat_params(std::uint64_t n, double z, double q,
+                                       double loss = 0.0) {
+  protocol::FlatGossipParams p;
+  p.num_nodes = n;
+  p.source = 0;
+  p.nonfailed_ratio = q;
+  p.loss_probability = loss;
+  p.fanout = core::poisson_fanout(z);
+  return p;
+}
+
+TEST(MeanFieldFullTier, ZqGridBracketsTheMonteCarloMean) {
+  GOSSIP_VALIDATION_FULL_TIER_ONLY();
+  // The whole supercritical quadrant of Fig. 4/5's parameter plane, from
+  // just above the z*q = 1 critical line (Eq. 10) to the deep-supercritical
+  // anchors. Near the line the extinction probability rho is O(1), so the
+  // unconditional Monte-Carlo mean is checked against the theory interval;
+  // the 0.02 allowance absorbs the finite-n bias at n = 2000.
+  parallel::ThreadPool pool(4);
+  experiment::MonteCarloOptions mc;
+  mc.replications = 40;
+  mc.seed = 2008;
+  mc.pool = &pool;
+
+  for (const double z : {2.0, 3.0, 4.0, 5.0, 6.0}) {
+    for (const double q : {0.6, 0.75, 0.9, 1.0}) {
+      if (z * q <= 1.3) continue;  // Critical sliver: divergence test's job.
+      const auto params = flat_params(2000, z, q);
+      const auto sim = experiment::estimate_reliability_flat(params, mc);
+      const auto analytic = experiment::estimate_reliability_meanfield(params);
+
+      const auto interval = theory_interval(
+          analytic.reliability, analytic.extinction_probability,
+          sim.reliability, 3.0, 0.02);
+      EXPECT_TRUE(interval.contains(sim.mean_reliability()))
+          << "z=" << z << " q=" << q << ": "
+          << interval.describe(sim.mean_reliability());
+    }
+  }
+}
+
+TEST(MeanFieldFullTier, LossGridFoldsIntoEffectiveFanout) {
+  GOSSIP_VALIDATION_FULL_TIER_ONLY();
+  // The alpha (i.i.d. loss) axis: Section 6's extension regime. Loss p
+  // must act exactly like thinning the fanout to z(1-p) — the analytic
+  // prediction is monotone decreasing in p and brackets the simulated mean
+  // at every grid point down to z_eff * q = 2.7.
+  parallel::ThreadPool pool(4);
+  experiment::MonteCarloOptions mc;
+  mc.replications = 40;
+  mc.seed = 2008;
+  mc.pool = &pool;
+
+  double previous = 1.0;
+  for (const double loss : {0.0, 0.1, 0.25, 0.4}) {
+    const auto params = flat_params(2000, 5.0, 0.9, loss);
+    const auto sim = experiment::estimate_reliability_flat(params, mc);
+    const auto analytic = experiment::estimate_reliability_meanfield(params);
+
+    EXPECT_LT(analytic.reliability, previous) << "loss=" << loss;
+    previous = analytic.reliability;
+
+    const auto interval = theory_interval(
+        analytic.reliability, analytic.extinction_probability,
+        sim.reliability, 3.0, 0.02);
+    EXPECT_TRUE(interval.contains(sim.mean_reliability()))
+        << "loss=" << loss << ": "
+        << interval.describe(sim.mean_reliability());
+  }
+}
+
+TEST(MeanFieldFullTier, ThreeBackendsAgreeWithTheModelAtTheFig4Anchor) {
+  GOSSIP_VALIDATION_FULL_TIER_ONLY();
+  // One operating point, every Monte-Carlo estimator: the DES reference,
+  // the flat SoA engine, and the sampled-digraph backend must each sit
+  // within 3 sigma (+ finite-n allowance) of the same analytic prediction
+  // at {n=1000, z=4, q=0.9}. This pins the model against the simulators
+  // AND the simulators against each other through a common yardstick.
+  parallel::ThreadPool pool(4);
+  experiment::MonteCarloOptions mc;
+  mc.replications = 60;
+  mc.seed = 2008;
+  mc.pool = &pool;
+
+  const auto params = flat_params(1000, 4.0, 0.9);
+  const auto analytic = experiment::estimate_reliability_meanfield(params);
+  EXPECT_NEAR(analytic.reliability, 0.9695, 5e-3);
+
+  const auto flat = experiment::estimate_reliability_flat(params, mc);
+  const auto flat_check =
+      agreement(analytic.reliability, flat.reliability, 3.0, 0.01);
+  EXPECT_TRUE(flat_check.within) << "flat: " << flat_check.describe();
+
+  protocol::GossipParams ref;
+  ref.num_nodes = 1000;
+  ref.source = 0;
+  ref.nonfailed_ratio = 0.9;
+  ref.fanout = core::poisson_fanout(4.0);
+  const auto des = experiment::estimate_reliability_protocol(ref, mc);
+  const auto des_check =
+      agreement(analytic.reliability, des.reliability, 3.0, 0.01);
+  EXPECT_TRUE(des_check.within) << "protocol: " << des_check.describe();
+
+  const auto graph = experiment::estimate_reliability_graph(
+      1000, *core::poisson_fanout(4.0), 0.9, mc);
+  const auto graph_check =
+      agreement(analytic.reliability, graph.reliability, 3.0, 0.01);
+  EXPECT_TRUE(graph_check.within) << "graph: " << graph_check.describe();
+
+  // The analytic message count is the same n*z*q-ish budget the engines
+  // spend: expected sends per replication within 5%.
+  EXPECT_NEAR(analytic.messages / flat.messages.mean(), 1.0, 0.05);
+}
+
+}  // namespace
+}  // namespace gossip::validation

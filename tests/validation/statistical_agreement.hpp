@@ -1,0 +1,126 @@
+#pragma once
+
+/// \file statistical_agreement.hpp
+/// Shared framework for the validation suite: tolerance bands for
+/// analytic-vs-Monte-Carlo agreement that are DERIVED from the Monte Carlo
+/// run's own sampling error instead of hand-picked epsilons.
+///
+/// The core check is a k-sigma band: the mean-field prediction and the
+/// Monte-Carlo mean must agree within k standard errors of the mean (k = 3
+/// by default, ~99.7% coverage if the prediction were exact). The band
+/// self-calibrates in exactly the regime where the two quantities genuinely
+/// differ: the analytic prediction is conditional on the cascade taking
+/// off, while a Monte-Carlo mean averages the early-die-out replications
+/// in — but those same die-outs inflate the sample variance, so the SE
+/// widens together with the conditional/unconditional gap (verified
+/// empirically at the Fig. 5 anchor: ~2 die-outs in 60 replications move
+/// the mean by ~0.032 and widen 3*SE to ~0.068).
+///
+/// Where the gap is *systematic* — near-critical z*q, where the extinction
+/// probability is O(1) — the band cannot absorb it, and the grid tests
+/// switch to the theory-sanctioned interval [(1 - rho) * pi, pi]: the
+/// Monte-Carlo mean must land between "every die-out delivers nothing"
+/// and "no replication died out", where pi is the conditional fixed point
+/// and rho the branching-process extinction probability.
+///
+/// An optional absolute `bias_allowance` widens either band for the
+/// model's finite-n bias (the fixed point is exact only as n -> infinity;
+/// the discrepancy is O(1/n) plus the LUT's ~2^-8 pmf quantization).
+
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "stats/summary.hpp"
+
+namespace gossip::validation {
+
+/// Whether the full validation tier is enabled. The `validation.full`
+/// CTest registration (tests/CMakeLists.txt) sets GOSSIP_VALIDATION_FULL=1
+/// and is excluded from the default `ctest` run via CONFIGURATIONS, so the
+/// heavy sweeps cost tier-1 nothing but still run under `ctest -C
+/// validation -L validation`.
+inline bool full_tier_enabled() {
+  const char* flag = std::getenv("GOSSIP_VALIDATION_FULL");
+  return flag != nullptr && *flag != '\0' && *flag != '0';
+}
+
+/// Guard for full-tier-only tests: skips (not fails) in the tier-1 run.
+#define GOSSIP_VALIDATION_FULL_TIER_ONLY()                               \
+  do {                                                                   \
+    if (!::gossip::validation::full_tier_enabled()) {                    \
+      GTEST_SKIP() << "full validation tier only (ctest -C validation "  \
+                      "-L validation, or GOSSIP_VALIDATION_FULL=1)";     \
+    }                                                                    \
+  } while (false)
+
+/// Outcome of one k-sigma agreement check, kept as plain data so test
+/// assertions can both gate on `within` and print `describe()`.
+struct Agreement {
+  double prediction = 0.0;
+  double mc_mean = 0.0;
+  double diff = 0.0;   ///< |prediction - mc_mean|
+  double se = 0.0;     ///< Monte-Carlo standard error of the mean.
+  double band = 0.0;   ///< k * se + bias_allowance.
+  bool within = false;
+
+  [[nodiscard]] std::string describe() const {
+    std::ostringstream os;
+    os << "prediction " << prediction << " vs MC mean " << mc_mean
+       << " (|diff| " << diff << ", band " << band << " = k*SE with SE "
+       << se << ")";
+    return os.str();
+  }
+};
+
+/// k-sigma band check of a deterministic prediction against a Monte-Carlo
+/// sample summary. With fewer than two samples the SE is zero and the band
+/// degenerates to `bias_allowance` alone — validation tests always run
+/// enough replications for a real SE.
+inline Agreement agreement(double prediction, const stats::OnlineSummary& mc,
+                           double k_sigma = 3.0, double bias_allowance = 0.0) {
+  Agreement a;
+  a.prediction = prediction;
+  a.mc_mean = mc.mean();
+  a.diff = std::fabs(prediction - a.mc_mean);
+  a.se = mc.standard_error();
+  a.band = k_sigma * a.se + bias_allowance;
+  a.within = a.diff <= a.band;
+  return a;
+}
+
+/// Theory-sanctioned interval for an *unconditional* Monte-Carlo mean:
+/// between "every early die-out delivers ~nothing" and "no die-outs",
+/// where `conditional` is the take-off fixed point pi and `extinction` the
+/// branching-process die-out probability rho. Widened by k standard errors
+/// plus the absolute finite-n allowance on both sides.
+struct TheoryInterval {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  [[nodiscard]] bool contains(double value) const {
+    return value >= lo && value <= hi;
+  }
+  [[nodiscard]] std::string describe(double value) const {
+    std::ostringstream os;
+    os << "MC mean " << value << " vs theory interval [" << lo << ", " << hi
+       << "]";
+    return os.str();
+  }
+};
+
+inline TheoryInterval theory_interval(double conditional, double extinction,
+                                      const stats::OnlineSummary& mc,
+                                      double k_sigma = 3.0,
+                                      double bias_allowance = 0.0) {
+  const double slack = k_sigma * mc.standard_error() + bias_allowance;
+  TheoryInterval interval;
+  interval.lo = (1.0 - extinction) * conditional - slack;
+  interval.hi = conditional + slack;
+  return interval;
+}
+
+}  // namespace gossip::validation
