@@ -192,4 +192,155 @@ Digraph erdos_renyi(std::uint32_t num_nodes, double p, rng::RngStream& rng,
   return std::move(builder).build();
 }
 
+Digraph barabasi_albert(std::uint32_t num_nodes, std::uint32_t m,
+                        rng::RngStream& rng) {
+  if (m == 0) {
+    throw std::invalid_argument("barabasi_albert requires m >= 1");
+  }
+  if (num_nodes <= m) {
+    throw std::invalid_argument("barabasi_albert requires num_nodes > m");
+  }
+
+  // Repeated-endpoint list: each stored edge contributes both endpoints, so a
+  // uniform draw from `endpoints` is exactly degree-proportional.
+  std::vector<NodeId> endpoints;
+  endpoints.reserve(2ULL * m * (num_nodes - m));
+  DigraphBuilder builder(num_nodes);
+  builder.reserve(2ULL * m * (num_nodes - m));
+
+  std::vector<NodeId> chosen;
+  chosen.reserve(m);
+  const auto attach = [&](NodeId v, NodeId t) {
+    builder.add_edge(v, t);
+    builder.add_edge(t, v);
+    endpoints.push_back(v);
+    endpoints.push_back(t);
+  };
+
+  // Node m seeds the preferential process by attaching to all of 0..m-1
+  // (the isolated seed nodes have degree zero, so they must be wired
+  // deterministically before degree-proportional draws are meaningful).
+  for (NodeId t = 0; t < m; ++t) attach(m, t);
+
+  for (NodeId v = m + 1; v < num_nodes; ++v) {
+    chosen.clear();
+    while (chosen.size() < m) {
+      const auto pick = static_cast<std::size_t>(
+          rng.next_below(endpoints.size()));
+      const NodeId t = endpoints[pick];
+      if (std::find(chosen.begin(), chosen.end(), t) != chosen.end()) continue;
+      chosen.push_back(t);
+    }
+    for (const NodeId t : chosen) attach(v, t);
+  }
+  return std::move(builder).build();
+}
+
+WanGraph wan_hierarchy(const WanParams& params, rng::RngStream& rng) {
+  const std::uint32_t n = params.num_nodes;
+  const std::uint32_t k = params.clusters;
+  if (k < 2) {
+    throw std::invalid_argument("wan_hierarchy requires clusters >= 2");
+  }
+  if (n < 2 * k) {
+    throw std::invalid_argument(
+        "wan_hierarchy requires num_nodes >= 2 * clusters");
+  }
+  if (params.bridge_edges < k) {
+    throw std::invalid_argument(
+        "wan_hierarchy requires bridge_edges >= clusters (bridge ring)");
+  }
+  if (!(params.intra_probability >= 0.0 && params.intra_probability <= 1.0)) {
+    throw std::invalid_argument(
+        "wan_hierarchy requires intra_probability in [0, 1]");
+  }
+
+  WanGraph out;
+  out.num_clusters = k;
+  out.cluster_of.resize(n);
+  // Contiguous near-equal blocks: the first (n mod k) clusters get one extra
+  // node, so cluster boundaries are recoverable from (n, k) alone.
+  const std::uint32_t base = n / k;
+  const std::uint32_t extra = n % k;
+  std::vector<std::uint32_t> start(k + 1);
+  for (std::uint32_t c = 0; c < k; ++c) {
+    start[c + 1] = start[c] + base + (c < extra ? 1 : 0);
+  }
+  for (std::uint32_t c = 0; c < k; ++c) {
+    for (std::uint32_t v = start[c]; v < start[c + 1]; ++v) {
+      out.cluster_of[v] = c;
+    }
+  }
+
+  DigraphBuilder builder(n);
+  std::unordered_set<std::uint64_t> seen;
+  const auto undirected_key = [](NodeId a, NodeId b) {
+    return (static_cast<std::uint64_t>(std::min(a, b)) << 32) | std::max(a, b);
+  };
+  const auto add_undirected = [&](NodeId a, NodeId b) {
+    if (a == b || !seen.insert(undirected_key(a, b)).second) return false;
+    builder.add_edge(a, b);
+    builder.add_edge(b, a);
+    return true;
+  };
+
+  std::vector<NodeId> perm;
+  for (std::uint32_t c = 0; c < k; ++c) {
+    const std::uint32_t lo = start[c];
+    const std::uint32_t size = start[c + 1] - lo;
+    // Random Hamiltonian cycle through the cluster: internal connectivity is
+    // guaranteed regardless of intra_probability.
+    perm.resize(size);
+    for (std::uint32_t i = 0; i < size; ++i) perm[i] = lo + i;
+    for (std::size_t i = size; i > 1; --i) {
+      const auto j = static_cast<std::size_t>(rng.next_below(i));
+      std::swap(perm[i - 1], perm[j]);
+    }
+    for (std::uint32_t i = 0; i < size; ++i) {
+      if (add_undirected(perm[i], perm[(i + 1) % size])) ++out.intra_edges;
+    }
+    if (params.intra_probability > 0.0 && size > 2) {
+      const Digraph ext =
+          erdos_renyi(size, params.intra_probability, rng, /*directed=*/false);
+      for (NodeId a = 0; a < size; ++a) {
+        for (const NodeId b : ext.out_neighbors(a)) {
+          if (a < b && add_undirected(lo + a, lo + b)) ++out.intra_edges;
+        }
+      }
+    }
+  }
+
+  // Bridge ring first (cluster c <-> cluster c+1 mod k): keeps the whole
+  // graph connected even at the minimum budget of exactly `clusters` edges.
+  const auto random_member = [&](std::uint32_t c) {
+    const std::uint32_t size = start[c + 1] - start[c];
+    return static_cast<NodeId>(start[c] + rng.next_below(size));
+  };
+  for (std::uint32_t c = 0; c < k; ++c) {
+    const std::uint32_t d = (c + 1) % k;
+    // A fresh endpoint pair is drawn on collision; with >= 2 nodes per
+    // cluster the pair space is at least 4, so the bound is generous.
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      if (add_undirected(random_member(c), random_member(d))) {
+        ++out.bridge_count;
+        break;
+      }
+    }
+  }
+  for (std::uint64_t e = out.bridge_count; e < params.bridge_edges; ++e) {
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      const auto c = static_cast<std::uint32_t>(rng.next_below(k));
+      auto d = static_cast<std::uint32_t>(rng.next_below(k - 1));
+      if (d >= c) ++d;
+      if (add_undirected(random_member(c), random_member(d))) {
+        ++out.bridge_count;
+        break;
+      }
+    }
+  }
+
+  out.graph = std::move(builder).build();
+  return out;
+}
+
 }  // namespace gossip::graph

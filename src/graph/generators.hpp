@@ -7,7 +7,12 @@
 ///     workhorse behind the Figs. 4-7 reproductions);
 ///   * configuration_model — undirected graph with a prescribed degree
 ///     sequence (validates the generalized-random-graph analysis directly);
-///   * erdos_renyi — classic G(n, p), directed or undirected.
+///   * erdos_renyi — classic G(n, p), directed or undirected;
+///   * barabasi_albert — scale-free preferential attachment (heavy-tailed
+///     degrees, the topology regime where uniform-view reliability models
+///     are known to diverge);
+///   * wan_hierarchy — two-level clustered WAN: dense intra-cluster
+///     subgraphs joined by a configurable inter-cluster edge budget.
 
 #include <cstdint>
 #include <functional>
@@ -70,5 +75,48 @@ struct GossipGraph {
 /// with probability p. Uses geometric skipping, O(n + E) expected.
 [[nodiscard]] Digraph erdos_renyi(std::uint32_t num_nodes, double p,
                                   rng::RngStream& rng, bool directed = true);
+
+/// Barabási–Albert scale-free graph: nodes 0..m-1 seed the graph, node m
+/// attaches to all of them, and every later node attaches to `m` DISTINCT
+/// existing nodes drawn preferentially by degree (repeated-endpoint list,
+/// O(E) expected). Undirected; every edge is stored in both directions.
+/// Exactly m * (num_nodes - m) edges; requires 1 <= m < num_nodes.
+[[nodiscard]] Digraph barabasi_albert(std::uint32_t num_nodes, std::uint32_t m,
+                                      rng::RngStream& rng);
+
+struct WanParams {
+  std::uint32_t num_nodes = 0;
+  /// Number of clusters (>= 2); nodes are partitioned into contiguous
+  /// blocks of near-equal size (id / block size), so downstream consumers
+  /// (regional-outage schedules) can recover the partition without carrying
+  /// the assignment around. Requires num_nodes >= 2 * clusters.
+  std::uint32_t clusters = 0;
+  /// Total inter-cluster edge budget (>= clusters). The first `clusters`
+  /// edges form a ring over the clusters — the generator's connectivity
+  /// guarantee — and the remainder joins uniformly random cluster pairs.
+  std::uint64_t bridge_edges = 0;
+  /// Extra intra-cluster edge probability: beyond the random cycle that
+  /// keeps each cluster connected, every intra-cluster pair is an edge
+  /// independently with this probability. 0 = cycle-only clusters.
+  double intra_probability = 0.0;
+};
+
+struct WanGraph {
+  Digraph graph;                          ///< Undirected, both directions.
+  std::vector<std::uint32_t> cluster_of;  ///< Contiguous cluster blocks.
+  std::uint32_t num_clusters = 0;
+  std::uint64_t intra_edges = 0;   ///< Realized intra-cluster edges.
+  std::uint64_t bridge_count = 0;  ///< Realized inter-cluster edges (a few
+                                   ///< below the budget when dedup rejects
+                                   ///< exhaust their attempt bound).
+};
+
+/// Two-level WAN hierarchy: each contiguous cluster gets a random
+/// Hamiltonian cycle (so every cluster is internally connected) plus
+/// ER(intra_probability) extra edges; clusters are joined by a bridge ring
+/// plus the remaining random inter-cluster budget. The result is connected
+/// by construction. Undirected; every edge is stored in both directions.
+[[nodiscard]] WanGraph wan_hierarchy(const WanParams& params,
+                                     rng::RngStream& rng);
 
 }  // namespace gossip::graph

@@ -1,0 +1,126 @@
+#include "membership/topology_view.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <unordered_set>
+#include <utility>
+
+#include "rng/distributions.hpp"
+
+namespace gossip::membership {
+
+void validate_csr_adjacency(const CsrAdjacency& adjacency) {
+  if (adjacency.offsets.empty() || adjacency.offsets.front() != 0) {
+    throw std::invalid_argument(
+        "CsrAdjacency: offsets must start with a leading 0");
+  }
+  if (adjacency.offsets.back() != adjacency.neighbors.size()) {
+    throw std::invalid_argument(
+        "CsrAdjacency: offsets.back() must equal neighbors.size()");
+  }
+  const std::uint32_t n = adjacency.num_nodes();
+  std::uint32_t max_degree = 0;
+  std::unordered_set<NodeId> seen;
+  for (NodeId v = 0; v < n; ++v) {
+    if (adjacency.offsets[v + 1] < adjacency.offsets[v]) {
+      throw std::invalid_argument("CsrAdjacency: offsets must be monotone");
+    }
+    max_degree = std::max(max_degree, adjacency.degree(v));
+    seen.clear();
+    for (const NodeId t : adjacency.neighbors_of(v)) {
+      if (t >= n) {
+        throw std::invalid_argument("CsrAdjacency: neighbor out of range");
+      }
+      if (t == v) {
+        throw std::invalid_argument("CsrAdjacency: self-loop neighbor");
+      }
+      if (!seen.insert(t).second) {
+        throw std::invalid_argument("CsrAdjacency: duplicate neighbor");
+      }
+    }
+  }
+  if (adjacency.max_degree != max_degree) {
+    throw std::invalid_argument(
+        "CsrAdjacency: max_degree inconsistent with offsets");
+  }
+}
+
+namespace {
+
+class TopologyView final : public MembershipView {
+ public:
+  TopologyView(CsrAdjacencyPtr adjacency, NodeId owner,
+               std::string provider_name)
+      : adjacency_(std::move(adjacency)), owner_(owner),
+        name_(std::move(provider_name)) {}
+
+  [[nodiscard]] std::size_t size() const override {
+    return adjacency_->degree(owner_);
+  }
+
+  [[nodiscard]] std::vector<NodeId> select_targets(
+      std::size_t k, rng::RngStream& rng) const override {
+    std::vector<NodeId> out;
+    select_targets_into(k, rng, out);
+    return out;
+  }
+
+  void select_targets_into(std::size_t k, rng::RngStream& rng,
+                           std::vector<NodeId>& out) const override {
+    const auto nbrs = adjacency_->neighbors_of(owner_);
+    const std::size_t d = nbrs.size();
+    k = std::min(k, d);
+    out.clear();
+    if (k == 0) return;
+    if (k == d) {
+      out.assign(nbrs.begin(), nbrs.end());
+      return;
+    }
+    // Draw k distinct neighbor INDICES into `out`, then map in place — the
+    // same two-step draw for both entry points keeps the sequences aligned.
+    rng::sample_distinct_into(rng, k, d, out);
+    for (auto& slot : out) slot = nbrs[slot];
+  }
+
+  [[nodiscard]] std::string name() const override { return name_; }
+
+ private:
+  CsrAdjacencyPtr adjacency_;  // shared with the provider
+  NodeId owner_;
+  std::string name_;
+};
+
+class TopologyMembership final : public MembershipProvider {
+ public:
+  TopologyMembership(CsrAdjacencyPtr adjacency, std::string name)
+      : adjacency_(std::move(adjacency)), name_(std::move(name)) {
+    if (!adjacency_) {
+      throw std::invalid_argument("topology_membership: null adjacency");
+    }
+    validate_csr_adjacency(*adjacency_);
+  }
+
+  [[nodiscard]] MembershipViewPtr view_for(NodeId owner) const override {
+    if (owner >= adjacency_->num_nodes()) {
+      throw std::out_of_range("topology_membership owner out of range");
+    }
+    return std::make_shared<TopologyView>(adjacency_, owner, name_);
+  }
+
+  [[nodiscard]] std::string name() const override { return name_; }
+
+ private:
+  CsrAdjacencyPtr adjacency_;
+  std::string name_;
+};
+
+}  // namespace
+
+MembershipProviderPtr topology_membership(CsrAdjacencyPtr adjacency,
+                                          std::string name) {
+  return std::make_shared<TopologyMembership>(std::move(adjacency),
+                                              std::move(name));
+}
+
+}  // namespace gossip::membership

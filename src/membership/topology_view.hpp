@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file topology_view.hpp
+/// Static-topology membership: each node's view IS its neighbor set in a
+/// fixed overlay graph (Erdős–Rényi, scale-free, clustered WAN, ...). This
+/// is the regime Hu & Jehl study — gossip restricted to large-scale random
+/// topologies, where reliability predictions diverge from the paper's
+/// uniform-view model. The adjacency is CSR (compressed sparse row) in two
+/// flat arrays so the flat SoA engine can consume it with zero steady-state
+/// allocations; this header deliberately does not depend on the graph
+/// layer — scenario code converts graph::Digraph into CsrAdjacency.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "membership/view.hpp"
+
+namespace gossip::membership {
+
+/// Flat CSR neighbor lists: node v's neighbors are
+/// neighbors[offsets[v] .. offsets[v + 1]). Immutable after construction;
+/// shared by reference between the scenario layer, the DES provider below,
+/// and the flat engine's hot loop.
+struct CsrAdjacency {
+  std::vector<std::uint64_t> offsets;  ///< Size num_nodes + 1; offsets[0]==0.
+  std::vector<NodeId> neighbors;       ///< Size offsets.back().
+  std::uint32_t max_degree = 0;        ///< max_v degree(v); sizing scratch.
+
+  [[nodiscard]] std::uint32_t num_nodes() const {
+    return offsets.empty() ? 0
+                           : static_cast<std::uint32_t>(offsets.size() - 1);
+  }
+  [[nodiscard]] std::uint32_t degree(NodeId v) const {
+    return static_cast<std::uint32_t>(offsets[v + 1] - offsets[v]);
+  }
+  [[nodiscard]] std::span<const NodeId> neighbors_of(NodeId v) const {
+    return {neighbors.data() + offsets[v], degree(v)};
+  }
+};
+
+using CsrAdjacencyPtr = std::shared_ptr<const CsrAdjacency>;
+
+/// Validates CSR shape invariants (monotone offsets covering `neighbors`,
+/// in-range targets, no self-loops or duplicate neighbors, max_degree
+/// consistent); throws std::invalid_argument on the first violation.
+void validate_csr_adjacency(const CsrAdjacency& adjacency);
+
+/// MembershipProvider over a fixed CSR adjacency: view_for(v) serves exactly
+/// v's neighbor set, and target selection draws uniformly WITHIN that set —
+/// the neighbor-restricted selection of a topology-constrained overlay.
+/// Validates the adjacency up-front.
+[[nodiscard]] MembershipProviderPtr topology_membership(
+    CsrAdjacencyPtr adjacency, std::string name = "topology");
+
+}  // namespace gossip::membership

@@ -47,6 +47,13 @@ FlatGossipEngine::FlatGossipEngine(FlatGossipParams params)
   if (!(params_.loss_probability >= 0.0 && params_.loss_probability <= 1.0)) {
     throw std::invalid_argument("flat gossip requires loss in [0, 1]");
   }
+  if (params_.topology != nullptr) {
+    membership::validate_csr_adjacency(*params_.topology);
+    if (params_.topology->num_nodes() != params_.num_nodes) {
+      throw std::invalid_argument(
+          "flat gossip topology node count must match num_nodes");
+    }
+  }
   const auto n = static_cast<std::size_t>(params_.num_nodes);
   alive_.assign(n, true);
   seen_.assign(n, false);
@@ -55,8 +62,15 @@ FlatGossipEngine::FlatGossipEngine(FlatGossipParams params)
   frontier_.reserve(n);
   next_.reserve(n);
   fanouts_.reserve(n);
+  // A sender emits at most min(LUT max, degree) targets, and complement
+  // sampling excludes fewer indices than it emits, so one LUT-sized scratch
+  // each keeps topology mode allocation-free too.
   targets_.reserve(
       static_cast<std::size_t>(fanout_lut_.max_value()) + 1);
+  if (params_.topology != nullptr) {
+    excluded_.reserve(
+        static_cast<std::size_t>(fanout_lut_.max_value()) + 1);
+  }
 }
 
 void FlatGossipEngine::draw_alive(rng::RngStream& rng) {
@@ -123,8 +137,74 @@ FlatGossipResult FlatGossipEngine::run_once(rng::RngStream& rng,
     }
     // Phase 2: target selection and infection.
     next_.clear();
+    const membership::CsrAdjacency* topo = params_.topology.get();
     for (std::size_t i = 0; i < frontier_.size(); ++i) {
       const std::uint32_t self = frontier_[i];
+      if (topo != nullptr) {
+        // Neighbor-restricted selection: f = min(draw, degree) distinct
+        // uniform picks from self's CSR slice, index-only.
+        const auto nbrs = topo->neighbors_of(self);
+        const auto degree = static_cast<std::uint64_t>(nbrs.size());
+        const std::uint64_t f =
+            std::min<std::uint64_t>(fanouts_[i], degree);
+        if (f == 0) continue;
+        targets_.clear();
+        if (f == degree) {
+          // The whole neighborhood; no draws needed.
+          for (const std::uint32_t t : nbrs) targets_.push_back(t);
+        } else if (f * 2 <= degree) {
+          // Sparse pick: rejection-sample indices, linear dup scan over the
+          // few accepted so far (f <= LUT max = 255).
+          while (targets_.size() < f) {
+            const auto pick =
+                static_cast<std::uint32_t>(rng.next_below(degree));
+            const std::uint32_t t = nbrs[pick];
+            if (std::find(targets_.begin(), targets_.end(), t) ==
+                targets_.end()) {
+              targets_.push_back(t);
+            }
+          }
+        } else {
+          // Dense pick (degree/2 < f < degree): rejection on the COMPLEMENT
+          // — draw the degree - f excluded indices (the sparse side), then
+          // emit every non-excluded neighbor. Reachable only when
+          // degree < 2 * LUT max, so the scans stay small.
+          excluded_.clear();
+          const std::uint64_t excluded_count = degree - f;
+          while (excluded_.size() < excluded_count) {
+            const auto pick =
+                static_cast<std::uint32_t>(rng.next_below(degree));
+            if (std::find(excluded_.begin(), excluded_.end(), pick) ==
+                excluded_.end()) {
+              excluded_.push_back(pick);
+            }
+          }
+          for (std::uint32_t idx = 0; idx < degree; ++idx) {
+            if (std::find(excluded_.begin(), excluded_.end(), idx) ==
+                excluded_.end()) {
+              targets_.push_back(nbrs[idx]);
+            }
+          }
+        }
+        result.messages_sent += targets_.size();
+        for (const std::uint32_t t : targets_) {
+          if (loss > 0.0 && rng.bernoulli(loss)) {  // lost in flight
+            ++result.losses;
+            continue;
+          }
+          if (!alive_[t]) {  // fail-stop: dropped at a crashed member
+            ++result.dead_receipts;
+            continue;
+          }
+          if (seen_[t]) {
+            ++result.duplicate_receipts;
+            continue;
+          }
+          seen_.set(t);
+          next_.push_back(t);
+        }
+        continue;
+      }
       const auto fanout = static_cast<std::uint64_t>(
           std::min<std::uint64_t>(fanouts_[i], n_minus_1));
       if (fanout == 0) continue;
@@ -203,11 +283,14 @@ FlatGossipResult FlatGossipEngine::run_once(rng::RngStream& rng,
 }
 
 std::size_t FlatGossipEngine::workspace_bytes() const noexcept {
+  // The CSR topology arrays are shared and owned by the caller, so they are
+  // deliberately not counted here.
   return alive_.capacity_bytes() + seen_.capacity_bytes() +
          frontier_.capacity() * sizeof(std::uint32_t) +
          next_.capacity() * sizeof(std::uint32_t) +
          fanouts_.capacity() * sizeof(std::uint16_t) +
-         targets_.capacity() * sizeof(std::uint32_t);
+         targets_.capacity() * sizeof(std::uint32_t) +
+         excluded_.capacity() * sizeof(std::uint32_t);
 }
 
 }  // namespace gossip::protocol

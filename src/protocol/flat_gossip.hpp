@@ -16,7 +16,10 @@
 ///     (rng::Lut88Sampler), batched per frontier generation, so a draw is
 ///     a table walk instead of a virtual call into the distribution;
 ///   * target selection is rejection sampling into a reused scratch buffer
-///     — no per-message vector, no hash set;
+///     — no per-message vector, no hash set; with a static topology
+///     attached (FlatGossipParams::topology) the same scheme samples
+///     neighbor INDICES from the CSR arrays, switching to complement
+///     sampling when the fanout approaches the degree;
 ///   * the engine owns all buffers and reuses them across replications:
 ///     after the first run, the steady-state loop performs zero heap
 ///     allocations (pinned by tests/protocol/flat_gossip_test.cpp).
@@ -31,6 +34,7 @@
 
 #include "core/bitvec.hpp"
 #include "core/degree_distribution.hpp"
+#include "membership/topology_view.hpp"
 #include "obs/probe.hpp"
 #include "rng/lut_sampler.hpp"
 #include "rng/rng_stream.hpp"
@@ -59,6 +63,12 @@ struct FlatGossipParams {
   core::DegreeDistributionPtr fanout;
   /// Tail mass the LUT construction may drop from unbounded distributions.
   double lut_tail_epsilon = 1e-9;
+  /// Optional static overlay (CSR neighbor lists): when set, every sender
+  /// draws its targets uniformly from ITS NEIGHBOR SET instead of the whole
+  /// group (fanout clamps to the degree). Null = the paper's uniform view.
+  /// Shared, immutable, and consumed index-only, so the steady-state loop
+  /// stays allocation-free.
+  membership::CsrAdjacencyPtr topology;
 };
 
 struct FlatGossipResult {
@@ -107,6 +117,8 @@ class FlatGossipEngine {
   std::vector<std::uint32_t> next_;
   std::vector<std::uint16_t> fanouts_;   ///< Batched LUT draws per round.
   std::vector<std::uint32_t> targets_;   ///< Per-sender scratch.
+  std::vector<std::uint32_t> excluded_;  ///< Complement-sampling scratch
+                                         ///< (topology mode only).
 };
 
 }  // namespace gossip::protocol

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "rng/distributions.hpp"
 #include "rng/splitmix64.hpp"
 #include "scenario/spec.hpp"
 
@@ -237,6 +238,69 @@ class BurstyLossSchedule final : public FailureSchedule {
   BurstyLossParams params_;
 };
 
+class RegionalOutageSchedule final : public FailureSchedule {
+ public:
+  RegionalOutageSchedule(std::uint32_t clusters, std::uint32_t outages,
+                         double at)
+      : clusters_(clusters), outages_(outages), at_(at) {
+    if (clusters < 2) {
+      throw std::invalid_argument("regional outage needs >= 2 clusters");
+    }
+    if (outages == 0 || outages >= clusters) {
+      throw std::invalid_argument(
+          "regional outage must kill between 1 and clusters - 1 clusters");
+    }
+    if (!(at >= 0.0)) {
+      throw std::invalid_argument("regional outage time must be >= 0");
+    }
+  }
+
+  [[nodiscard]] std::string name() const override {
+    return "regional_outage(" + std::to_string(clusters_) + "," +
+           std::to_string(outages_) + "," + format_compact(at_) + ")";
+  }
+
+  void apply(FailureContext& context, rng::RngStream& rng) const override {
+    const std::uint32_t n = context.num_nodes;
+    if (n < 2 * clusters_) {
+      throw std::invalid_argument(
+          "regional outage needs n >= 2 * clusters for the contiguous "
+          "block partition");
+    }
+    // Which regions fail is drawn in apply() (on the schedule's dedicated
+    // substream), never inside the scheduled action, so the choice cannot
+    // depend on how the simulator interleaves events.
+    const auto doomed = rng::sample_distinct(rng, outages_, clusters_);
+    // Same contiguous near-equal partition as graph::wan_hierarchy: the
+    // first n mod k clusters carry one extra node.
+    const std::uint32_t base = n / clusters_;
+    const std::uint32_t extra = n % clusters_;
+    const auto block_start = [base, extra](std::uint32_t c) {
+      return c * base + std::min(c, extra);
+    };
+    auto set_alive = context.set_alive;
+    const auto kill = [doomed, block_start, set_alive]() {
+      for (const std::uint32_t c : doomed) {
+        const std::uint32_t lo = block_start(c);
+        const std::uint32_t hi = block_start(c + 1);
+        // set_alive ignores the source, so a doomed source cluster loses
+        // everyone but the source itself.
+        for (net::NodeId v = lo; v < hi; ++v) set_alive(v, false);
+      }
+    };
+    if (at_ == 0.0) {
+      kill();  // static outage: down before the first send
+    } else {
+      context.schedule_action(at_, kill);
+    }
+  }
+
+ private:
+  std::uint32_t clusters_;
+  std::uint32_t outages_;
+  double at_;
+};
+
 class CompositeSchedule final : public FailureSchedule {
  public:
   explicit CompositeSchedule(std::vector<FailureSchedulePtr> parts)
@@ -286,6 +350,12 @@ protocol::FailureSchedulePtr hottest_forwarder_kill_schedule(double fraction,
 
 protocol::FailureSchedulePtr bursty_loss_schedule(BurstyLossParams params) {
   return std::make_shared<BurstyLossSchedule>(params);
+}
+
+protocol::FailureSchedulePtr regional_outage_schedule(std::uint32_t clusters,
+                                                      std::uint32_t outages,
+                                                      double at) {
+  return std::make_shared<RegionalOutageSchedule>(clusters, outages, at);
 }
 
 protocol::FailureSchedulePtr composite_schedule(

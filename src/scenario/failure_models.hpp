@@ -79,6 +79,19 @@ struct BurstyLossParams {
 [[nodiscard]] protocol::FailureSchedulePtr bursty_loss_schedule(
     BurstyLossParams params);
 
+/// Correlated regional outage: at virtual time `at`, `outages` distinct
+/// uniformly drawn clusters crash wholesale. Clusters are the contiguous
+/// near-equal blocks of node ids that the WAN topology generator lays out
+/// (graph::wan_hierarchy), so with topology = wan this kills entire WAN
+/// regions — every bridge in or out of the region dies with it, the
+/// correlated-failure regime a uniform crash fraction cannot express. The
+/// partition depends only on (n, clusters), so the schedule also composes
+/// with other topologies as a generic correlated-block outage. The source's
+/// cluster may be drawn; the source itself never fails (Section 3).
+/// Requires 1 <= outages < clusters.
+[[nodiscard]] protocol::FailureSchedulePtr regional_outage_schedule(
+    std::uint32_t clusters, std::uint32_t outages, double at = 0.0);
+
 /// Applies each part in order, handing part i the substream rng.substream(i)
 /// so composition order never changes any part's draws. Parts installing a
 /// loss filter overwrite earlier filters (last wins).

@@ -282,6 +282,23 @@ const Registry<FailureConfig>& failure_registry() {
                  arg_double(args, 1, "kill time"));
              return config;
            }},
+          {"regional_outage",
+           [](const auto& args) {
+             expect_args(args, 2, 3);
+             const auto clusters = arg_int(args, 0, "clusters");
+             const auto outages = arg_int(args, 1, "outages");
+             if (clusters < 0 || outages < 0) {
+               throw std::invalid_argument(
+                   "regional_outage counts must be >= 0");
+             }
+             const double at =
+                 args.size() > 2 ? arg_double(args, 2, "outage time") : 0.0;
+             FailureConfig config;
+             config.schedule = regional_outage_schedule(
+                 static_cast<std::uint32_t>(clusters),
+                 static_cast<std::uint32_t>(outages), at);
+             return config;
+           }},
           {"bursty_loss",
            [](const auto& args) {
              expect_args(args, 3, 5);

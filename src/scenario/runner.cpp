@@ -15,8 +15,10 @@
 #include "experiment/table.hpp"
 #include "obs/probe.hpp"
 #include "parallel/parallel_for.hpp"
+#include "membership/topology_view.hpp"
 #include "protocol/gossip_multicast.hpp"
 #include "scenario/registry.hpp"
+#include "scenario/topology.hpp"
 
 namespace gossip::scenario {
 
@@ -37,6 +39,9 @@ const std::set<std::string>& known_fields() {
       "edge_keep",   "trace",
       "workload.messages", "workload.spacing",
       "workload.sources",
+      "topology",          "topology.p",
+      "topology.m",        "topology.clusters",
+      "topology.bridge_edges",
   };
   return keys;
 }
@@ -62,6 +67,9 @@ struct BuiltCase {
   // Flat backend:
   std::uint32_t source = 0;
   double loss = 0.0;
+  // Static overlay shared by the protocol and flat backends (null for
+  // topology = uniform):
+  membership::CsrAdjacencyPtr topology;
 };
 
 std::string field(const ResolvedCase& c, const std::string& key,
@@ -149,6 +157,63 @@ BuiltCase build_case(const ScenarioSpec& spec, const ResolvedCase& resolved) {
   built.source = source;
   built.loss = loss;
 
+  // Topology family: every knob present is parsed and range-checked no
+  // matter the family (so sweeps across families can share knob lines);
+  // validate_topology_config then enforces the family's own requirements.
+  TopologyConfig topo;
+  topo.family =
+      parse_topology_family(field(resolved, "topology", "uniform"));
+  if (has_field(resolved, "topology.p")) {
+    topo.has_p = true;
+    topo.p = to_double(resolved.fields.at("topology.p"), "topology.p");
+  }
+  if (has_field(resolved, "topology.m")) {
+    topo.has_m = true;
+    topo.m = to_u32(resolved.fields.at("topology.m"), "topology.m");
+  }
+  if (has_field(resolved, "topology.clusters")) {
+    topo.has_clusters = true;
+    topo.clusters =
+        to_u32(resolved.fields.at("topology.clusters"), "topology.clusters");
+  }
+  if (has_field(resolved, "topology.bridge_edges")) {
+    topo.has_bridge_edges = true;
+    topo.bridge_edges = to_u64(resolved.fields.at("topology.bridge_edges"),
+                               "topology.bridge_edges");
+  }
+  if (!has_field(resolved, "topology") &&
+      (topo.has_p || topo.has_m || topo.has_clusters ||
+       topo.has_bridge_edges)) {
+    throw std::invalid_argument(
+        "topology.* knobs require the topology key (uniform, er, ba, wan)");
+  }
+  validate_topology_config(topo, built.num_nodes);
+  if (topo.family != TopologyFamily::kUniform) {
+    if (built.backend != Backend::kProtocol &&
+        built.backend != Backend::kFlat) {
+      throw std::invalid_argument(
+          "non-uniform topologies need a round engine; use the protocol or "
+          "flat backend with 'topology'");
+    }
+    if (built.engine != Engine::kMonteCarlo) {
+      throw std::invalid_argument(
+          "the mean-field engine assumes the uniform view; non-uniform "
+          "topologies are montecarlo-only (the divergence is exactly what "
+          "tests/validation/topology_divergence_test.cpp quantifies)");
+    }
+    if (has_field(resolved, "membership") ||
+        has_field(resolved, "membership.dynamics")) {
+      throw std::invalid_argument(
+          "a non-uniform topology IS the membership view; drop "
+          "'membership' and 'membership.dynamics' when topology != uniform");
+    }
+    // One overlay per case, from a dedicated substream of the case seed:
+    // the protocol and flat backends (and every replication) gossip over
+    // the identical graph.
+    built.topology =
+        build_topology_adjacency(topo, built.num_nodes, built.seed);
+  }
+
   // The analytic engine derives exactly the static-failure regime the
   // flat backend simulates; anything outside it is a spec error, not a
   // silently wrong prediction.
@@ -218,6 +283,11 @@ BuiltCase build_case(const ScenarioSpec& spec, const ResolvedCase& resolved) {
             membership, built.num_nodes,
             rng::RngStream(built.seed).substream(kMembershipSalt));
       }
+    }
+    if (built.topology != nullptr) {
+      p.membership = membership::topology_membership(
+          built.topology,
+          "topology-" + topology_family_name(topo.family));
     }
     if (has_field(resolved, "membership.dynamics")) {
       p.dynamics = make_dynamics(resolved.fields.at("membership.dynamics"),
@@ -601,6 +671,7 @@ std::vector<CaseResult> ScenarioRunner::run(const ScenarioSpec& spec,
       fp.nonfailed_ratio = b.nonfailed_ratio;
       fp.loss_probability = b.loss;
       fp.fanout = b.fanout;
+      fp.topology = b.topology;
       std::vector<obs::RoundTrace> traces;
       const auto estimate = experiment::estimate_reliability_flat(
           fp, options, b.trace == TraceMode::kOff ? nullptr : &traces);

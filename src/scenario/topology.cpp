@@ -1,0 +1,123 @@
+#include "scenario/topology.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "graph/generators.hpp"
+
+namespace gossip::scenario {
+
+namespace {
+
+membership::CsrAdjacencyPtr digraph_to_csr(const graph::Digraph& digraph) {
+  auto csr = std::make_shared<membership::CsrAdjacency>();
+  const std::uint32_t n = digraph.num_nodes();
+  csr->offsets.resize(static_cast<std::size_t>(n) + 1, 0);
+  csr->neighbors.reserve(digraph.num_edges());
+  for (graph::NodeId v = 0; v < n; ++v) {
+    const auto nbrs = digraph.out_neighbors(v);
+    csr->offsets[v + 1] = csr->offsets[v] + nbrs.size();
+    csr->neighbors.insert(csr->neighbors.end(), nbrs.begin(), nbrs.end());
+    csr->max_degree =
+        std::max(csr->max_degree, static_cast<std::uint32_t>(nbrs.size()));
+  }
+  return csr;
+}
+
+}  // namespace
+
+TopologyFamily parse_topology_family(const std::string& text) {
+  if (text == "uniform") return TopologyFamily::kUniform;
+  if (text == "er") return TopologyFamily::kEr;
+  if (text == "ba") return TopologyFamily::kBa;
+  if (text == "wan") return TopologyFamily::kWan;
+  throw std::invalid_argument(
+      "topology must be uniform, er, ba, or wan; got '" + text + "'");
+}
+
+std::string topology_family_name(TopologyFamily family) {
+  switch (family) {
+    case TopologyFamily::kUniform: return "uniform";
+    case TopologyFamily::kEr: return "er";
+    case TopologyFamily::kBa: return "ba";
+    case TopologyFamily::kWan: return "wan";
+  }
+  return "unknown";
+}
+
+void validate_topology_config(const TopologyConfig& config,
+                              std::uint32_t num_nodes) {
+  if (config.has_p && !(config.p >= 0.0 && config.p <= 1.0)) {
+    throw std::invalid_argument("topology.p must be in [0, 1]");
+  }
+  if (config.has_m && config.m == 0) {
+    throw std::invalid_argument("topology.m must be >= 1");
+  }
+  if (config.has_clusters && config.clusters < 2) {
+    throw std::invalid_argument("topology.clusters must be >= 2");
+  }
+  switch (config.family) {
+    case TopologyFamily::kUniform:
+      return;
+    case TopologyFamily::kEr:
+      if (!config.has_p) {
+        throw std::invalid_argument("topology = er requires topology.p");
+      }
+      return;
+    case TopologyFamily::kBa:
+      if (!config.has_m) {
+        throw std::invalid_argument("topology = ba requires topology.m");
+      }
+      if (config.m >= num_nodes) {
+        throw std::invalid_argument("topology.m must be < n");
+      }
+      return;
+    case TopologyFamily::kWan:
+      if (!config.has_clusters || !config.has_bridge_edges) {
+        throw std::invalid_argument(
+            "topology = wan requires topology.clusters and "
+            "topology.bridge_edges");
+      }
+      if (num_nodes < 2 * config.clusters) {
+        throw std::invalid_argument(
+            "topology = wan requires n >= 2 * topology.clusters");
+      }
+      if (config.bridge_edges < config.clusters) {
+        throw std::invalid_argument(
+            "topology.bridge_edges must be >= topology.clusters (the "
+            "connectivity ring)");
+      }
+      return;
+  }
+  throw std::invalid_argument("unknown topology family");
+}
+
+membership::CsrAdjacencyPtr build_topology_adjacency(
+    const TopologyConfig& config, std::uint32_t num_nodes,
+    std::uint64_t seed) {
+  validate_topology_config(config, num_nodes);
+  auto rng = rng::RngStream(seed).substream(kTopologySalt);
+  switch (config.family) {
+    case TopologyFamily::kUniform:
+      throw std::invalid_argument(
+          "topology = uniform has no overlay to build");
+    case TopologyFamily::kEr:
+      return digraph_to_csr(
+          graph::erdos_renyi(num_nodes, config.p, rng, /*directed=*/false));
+    case TopologyFamily::kBa:
+      return digraph_to_csr(graph::barabasi_albert(num_nodes, config.m, rng));
+    case TopologyFamily::kWan: {
+      graph::WanParams params;
+      params.num_nodes = num_nodes;
+      params.clusters = config.clusters;
+      params.bridge_edges = config.bridge_edges;
+      params.intra_probability = config.has_p ? config.p : 0.0;
+      return digraph_to_csr(graph::wan_hierarchy(params, rng).graph);
+    }
+  }
+  throw std::invalid_argument("unknown topology family");
+}
+
+}  // namespace gossip::scenario

@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file topology.hpp
+/// The `topology =` spec-key family: static overlay graphs restricting every
+/// node's gossip targets to its neighbor set. `uniform` is the paper's model
+/// (no overlay); `er`, `ba`, and `wan` build an Erdős–Rényi, Barabási–Albert,
+/// or clustered-WAN graph from src/graph/generators and hand it to both
+/// engines as a shared membership::CsrAdjacency. The overlay is sampled ONCE
+/// per case from a dedicated substream of the case seed, so the flat and DES
+/// backends — and every replication — gossip over the identical graph, which
+/// is what makes the flat-vs-DES topology equivalence tests meaningful.
+
+#include <cstdint>
+#include <string>
+
+#include "membership/topology_view.hpp"
+
+namespace gossip::scenario {
+
+/// Substream salt for the per-case overlay draw ("topo"); disjoint from the
+/// membership salt ("memb") and the replication substreams.
+inline constexpr std::uint64_t kTopologySalt = 0x746f706f;
+
+enum class TopologyFamily {
+  kUniform,  ///< Paper's uniform view — no overlay, engines run unchanged.
+  kEr,       ///< Erdős–Rényi G(n, p); needs topology.p.
+  kBa,       ///< Barabási–Albert scale-free; needs topology.m.
+  kWan,      ///< Two-level clustered WAN; needs topology.clusters and
+             ///< topology.bridge_edges, optional topology.p for intra extras.
+};
+
+[[nodiscard]] TopologyFamily parse_topology_family(const std::string& text);
+[[nodiscard]] std::string topology_family_name(TopologyFamily family);
+
+/// Parsed-and-range-checked topology knobs. Every knob present in a spec is
+/// validated no matter the family, but only the owning family consumes it —
+/// so one spec can sweep `topology` across families while keeping shared
+/// knob lines (scenarios/er_vs_uniform.scn does exactly this).
+struct TopologyConfig {
+  TopologyFamily family = TopologyFamily::kUniform;
+  bool has_p = false;
+  double p = 0.0;  ///< er edge probability / wan intra-cluster extras.
+  bool has_m = false;
+  std::uint32_t m = 0;  ///< ba attachments per node.
+  bool has_clusters = false;
+  std::uint32_t clusters = 0;  ///< wan cluster count.
+  bool has_bridge_edges = false;
+  std::uint64_t bridge_edges = 0;  ///< wan inter-cluster edge budget.
+};
+
+/// Checks the family has every knob it requires (and that the knobs make
+/// sense for `num_nodes`); throws std::invalid_argument otherwise. A no-op
+/// for kUniform.
+void validate_topology_config(const TopologyConfig& config,
+                              std::uint32_t num_nodes);
+
+/// Samples the overlay for a non-uniform family from
+/// RngStream(seed).substream(kTopologySalt) and returns it as shared CSR
+/// adjacency. Throws for kUniform — callers skip the build there.
+[[nodiscard]] membership::CsrAdjacencyPtr build_topology_adjacency(
+    const TopologyConfig& config, std::uint32_t num_nodes,
+    std::uint64_t seed);
+
+}  // namespace gossip::scenario

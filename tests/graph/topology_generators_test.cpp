@@ -1,0 +1,218 @@
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/reachability.hpp"
+
+namespace gossip::graph {
+namespace {
+
+std::vector<std::uint32_t> degree_sequence(const Digraph& g) {
+  std::vector<std::uint32_t> degrees(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) degrees[v] = g.out_degree(v);
+  return degrees;
+}
+
+void expect_simple_symmetric(const Digraph& g) {
+  std::set<std::pair<NodeId, NodeId>> edges;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (const NodeId w : g.out_neighbors(v)) {
+      ASSERT_NE(w, v) << "self-loop at " << v;
+      ASSERT_TRUE(edges.insert({v, w}).second)
+          << "duplicate edge " << v << "->" << w;
+    }
+  }
+  for (const auto& [v, w] : edges) {
+    EXPECT_TRUE(edges.count({w, v})) << "missing reverse of " << v << "->"
+                                     << w;
+  }
+}
+
+bool connected(const Digraph& g) {
+  // Both directions of every undirected edge are stored, so directed reach
+  // from node 0 decides connectivity.
+  const auto reach = directed_reach(g, 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (!reach.is_reached(v)) return false;
+  }
+  return true;
+}
+
+// --- Erdős–Rényi ---
+
+TEST(ErdosRenyiTopology, EdgeCountWithinBinomialFourSigma) {
+  const std::uint32_t n = 2000;
+  const double p = 0.008;
+  rng::RngStream rng = rng::RngStream(7).substream(0);
+  const auto g = erdos_renyi(n, p, rng, /*directed=*/false);
+  // Undirected pairs ~ Binomial(n(n-1)/2, p); the Digraph stores each edge
+  // twice.
+  const double pairs = static_cast<double>(n) * (n - 1) / 2.0;
+  const double mean = pairs * p;
+  const double sigma = std::sqrt(pairs * p * (1.0 - p));
+  const double realized = static_cast<double>(g.num_edges()) / 2.0;
+  EXPECT_NEAR(realized, mean, 4.0 * sigma)
+      << "realized " << realized << " expected " << mean << " sigma "
+      << sigma;
+  expect_simple_symmetric(g);
+}
+
+TEST(ErdosRenyiTopology, BitIdenticalAcrossRerunsOnSameSubstream) {
+  const auto run = [] {
+    rng::RngStream rng = rng::RngStream(99).substream(3);
+    const auto g = erdos_renyi(500, 0.02, rng, /*directed=*/false);
+    return degree_sequence(g);
+  };
+  EXPECT_EQ(run(), run());
+}
+
+// --- Barabási–Albert ---
+
+TEST(BarabasiAlbertTopology, ExactEdgeCountAndDegreeSum) {
+  const std::uint32_t n = 3000;
+  const std::uint32_t m = 4;
+  rng::RngStream rng = rng::RngStream(11).substream(0);
+  const auto g = barabasi_albert(n, m, rng);
+  const std::uint64_t undirected = static_cast<std::uint64_t>(m) * (n - m);
+  EXPECT_EQ(g.num_edges(), 2 * undirected);
+  std::uint64_t degree_sum = 0;
+  for (const auto d : degree_sequence(g)) degree_sum += d;
+  EXPECT_EQ(degree_sum, 2 * undirected);
+  expect_simple_symmetric(g);
+}
+
+TEST(BarabasiAlbertTopology, HeavyTailMaxDegreeFarExceedsMedian) {
+  const std::uint32_t n = 5000;
+  const std::uint32_t m = 3;
+  rng::RngStream rng = rng::RngStream(12).substream(0);
+  const auto g = barabasi_albert(n, m, rng);
+  auto degrees = degree_sequence(g);
+  std::sort(degrees.begin(), degrees.end());
+  const std::uint32_t median = degrees[degrees.size() / 2];
+  const std::uint32_t max = degrees.back();
+  // Preferential attachment: typical nodes sit near m while the largest hub
+  // grows like sqrt(n). A 10x gap is far below the expectation but far
+  // above anything an ER graph of the same density produces.
+  EXPECT_GE(median, m);
+  EXPECT_GE(max, 10 * median)
+      << "max " << max << " median " << median << " — no heavy tail?";
+}
+
+TEST(BarabasiAlbertTopology, EveryNodeConnectedAndMinDegreeM) {
+  rng::RngStream rng = rng::RngStream(13).substream(0);
+  const auto g = barabasi_albert(800, 2, rng);
+  EXPECT_TRUE(connected(g));
+  for (const auto d : degree_sequence(g)) EXPECT_GE(d, 2u);
+}
+
+TEST(BarabasiAlbertTopology, BitIdenticalAcrossRerunsOnSameSubstream) {
+  const auto run = [] {
+    rng::RngStream rng = rng::RngStream(21).substream(5);
+    const auto g = barabasi_albert(1000, 3, rng);
+    return degree_sequence(g);
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(BarabasiAlbertTopology, RejectsDegenerateParameters) {
+  rng::RngStream rng(1);
+  EXPECT_THROW(barabasi_albert(10, 0, rng), std::invalid_argument);
+  EXPECT_THROW(barabasi_albert(3, 3, rng), std::invalid_argument);
+}
+
+// --- WAN hierarchy ---
+
+TEST(WanHierarchyTopology, ExactClusterCountAndContiguousBlocks) {
+  WanParams params;
+  params.num_nodes = 1003;  // non-divisible: first 3 clusters get 201 nodes
+  params.clusters = 5;
+  params.bridge_edges = 12;
+  params.intra_probability = 0.01;
+  rng::RngStream rng = rng::RngStream(31).substream(0);
+  const auto wan = wan_hierarchy(params, rng);
+  EXPECT_EQ(wan.num_clusters, 5u);
+  ASSERT_EQ(wan.cluster_of.size(), params.num_nodes);
+  std::vector<std::uint32_t> sizes(params.clusters, 0);
+  for (std::uint32_t v = 0; v < params.num_nodes; ++v) {
+    ASSERT_LT(wan.cluster_of[v], params.clusters);
+    if (v > 0) {
+      // Contiguous non-decreasing block assignment.
+      ASSERT_GE(wan.cluster_of[v], wan.cluster_of[v - 1]);
+    }
+    ++sizes[wan.cluster_of[v]];
+  }
+  EXPECT_EQ(std::vector<std::uint32_t>({201, 201, 201, 200, 200}), sizes);
+}
+
+TEST(WanHierarchyTopology, ConnectedEvenAtMinimumBridgeBudget) {
+  WanParams params;
+  params.num_nodes = 400;
+  params.clusters = 8;
+  params.bridge_edges = 8;  // exactly the ring
+  params.intra_probability = 0.0;  // cycle-only clusters
+  rng::RngStream rng = rng::RngStream(32).substream(0);
+  const auto wan = wan_hierarchy(params, rng);
+  EXPECT_TRUE(connected(wan.graph));
+  EXPECT_EQ(wan.bridge_count, 8u);
+  // Cycle-only clusters: every intra edge is on a Hamiltonian cycle.
+  EXPECT_EQ(wan.intra_edges, 400u);
+  expect_simple_symmetric(wan.graph);
+}
+
+TEST(WanHierarchyTopology, BridgeEdgesCrossClustersOnly) {
+  WanParams params;
+  params.num_nodes = 300;
+  params.clusters = 3;
+  params.bridge_edges = 20;
+  rng::RngStream rng = rng::RngStream(33).substream(0);
+  const auto wan = wan_hierarchy(params, rng);
+  std::uint64_t cross = 0;
+  for (NodeId v = 0; v < wan.graph.num_nodes(); ++v) {
+    for (const NodeId w : wan.graph.out_neighbors(v)) {
+      if (v < w && wan.cluster_of[v] != wan.cluster_of[w]) ++cross;
+    }
+  }
+  EXPECT_EQ(cross, wan.bridge_count);
+  EXPECT_LE(wan.bridge_count, params.bridge_edges);
+  EXPECT_GE(wan.bridge_count, params.clusters);
+}
+
+TEST(WanHierarchyTopology, BitIdenticalAcrossRerunsOnSameSubstream) {
+  const auto run = [] {
+    WanParams params;
+    params.num_nodes = 500;
+    params.clusters = 4;
+    params.bridge_edges = 10;
+    params.intra_probability = 0.02;
+    rng::RngStream rng = rng::RngStream(41).substream(7);
+    const auto wan = wan_hierarchy(params, rng);
+    return degree_sequence(wan.graph);
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(WanHierarchyTopology, RejectsDegenerateParameters) {
+  rng::RngStream rng(1);
+  WanParams params;
+  params.num_nodes = 100;
+  params.clusters = 1;
+  params.bridge_edges = 5;
+  EXPECT_THROW(wan_hierarchy(params, rng), std::invalid_argument);
+  params.clusters = 4;
+  params.bridge_edges = 3;  // below the ring budget
+  EXPECT_THROW(wan_hierarchy(params, rng), std::invalid_argument);
+  params.bridge_edges = 4;
+  params.num_nodes = 7;  // < 2 * clusters
+  EXPECT_THROW(wan_hierarchy(params, rng), std::invalid_argument);
+  params.num_nodes = 100;
+  params.intra_probability = 1.5;
+  EXPECT_THROW(wan_hierarchy(params, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gossip::graph

@@ -1,0 +1,96 @@
+/// Golden-file acceptance for the shipped topology scenarios: running
+/// scenarios/er_vs_uniform.scn and scenarios/wan_outage.scn in-process must
+/// reproduce their scenarios/golden/*.csv byte for byte. Results CSVs are
+/// bit-identical for any worker count (replication i always uses
+/// substream(seed, i)), so these are exact artifacts like
+/// golden_trace_test.cpp's — any intentional change to the overlay
+/// builders, the regional_outage draw order, or the CSV schema must
+/// regenerate them:
+///
+///     build/tools/gossip_scenarios scenarios/er_vs_uniform.scn
+///         --csv scenarios/golden/er_vs_uniform.csv
+///     build/tools/gossip_scenarios scenarios/wan_outage.scn
+///         --csv scenarios/golden/wan_outage.csv
+///
+/// (each command with its --csv flag on one line)
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "parallel/thread_pool.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/spec.hpp"
+
+namespace gossip::scenario {
+namespace {
+
+#ifdef GOSSIP_SCENARIOS_DIR
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void expect_matches_golden(const std::string& scn, const std::string& csv) {
+  const std::string dir(GOSSIP_SCENARIOS_DIR);
+  const auto spec = ScenarioSpec::load(dir + "/" + scn);
+  parallel::ThreadPool pool(4);
+  const auto results = ScenarioRunner(&pool).run(spec);
+
+  const std::string out_path = ::testing::TempDir() + "topology_golden.csv";
+  write_results_csv(out_path, results);
+  const auto produced = read_file(out_path);
+  std::remove(out_path.c_str());
+
+  const auto golden = read_file(dir + "/golden/" + csv);
+  ASSERT_FALSE(golden.empty()) << "missing scenarios/golden/" << csv;
+
+  if (produced != golden) {
+    std::vector<std::string> produced_lines;
+    std::vector<std::string> golden_lines;
+    std::istringstream pin(produced);
+    std::istringstream gin(golden);
+    std::string line;
+    while (std::getline(pin, line)) produced_lines.push_back(line);
+    while (std::getline(gin, line)) golden_lines.push_back(line);
+    const auto common = std::min(produced_lines.size(), golden_lines.size());
+    for (std::size_t i = 0; i < common; ++i) {
+      ASSERT_EQ(produced_lines[i], golden_lines[i])
+          << csv << " line " << i + 1;
+    }
+    ASSERT_EQ(produced_lines.size(), golden_lines.size()) << csv;
+    FAIL() << csv << " differs in line endings or trailing bytes";
+  }
+}
+
+TEST(TopologyGolden, ErVsUniformReproducesTheGoldenCsvByteForByte) {
+  expect_matches_golden("er_vs_uniform.scn", "er_vs_uniform.csv");
+}
+
+TEST(TopologyGolden, WanOutageReproducesTheGoldenCsvByteForByte) {
+  expect_matches_golden("wan_outage.scn", "wan_outage.csv");
+
+  // Sanity on the golden's physics, not just its bytes: a one-cluster
+  // outage leaves three intact regions, so the survivors' coverage beats
+  // i.i.d. crashes of the same expected mass spread over every
+  // neighborhood of the overlay.
+  const std::string dir(GOSSIP_SCENARIOS_DIR);
+  const auto golden = read_file(dir + "/golden/wan_outage.csv");
+  EXPECT_NE(golden.find("regional_outage"), std::string::npos);
+  EXPECT_NE(golden.find("crash(0.25)"), std::string::npos);
+}
+
+#else
+TEST(TopologyGolden, DISABLED_NoScenariosDir) {}
+#endif
+
+}  // namespace
+}  // namespace gossip::scenario

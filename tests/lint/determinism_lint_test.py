@@ -32,6 +32,7 @@ BAD_FIXTURES = {
     "src/experiment/bad_float_accum.cpp": {"float-accumulation"},
     "src/protocol/bad_wall_clock.cpp": {"wall-clock"},
     "src/protocol/flat_gossip.cpp": {"hot-path-alloc"},
+    "src/protocol/flat_gossip.hpp": {"hot-path-alloc"},
     "src/scenario/bad_unordered_iter.cpp": {"unordered-iteration"},
     "src/scenario/bad_bare_allow.cpp": {"bare-allow", "wall-clock"},
     "src/stats/bad_wall_clock_seed.cpp": {"wall-clock", "rng-source"},

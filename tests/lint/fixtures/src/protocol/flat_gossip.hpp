@@ -1,0 +1,30 @@
+// Fixture: hot-path-alloc on the CSR topology path — this file name
+// matches the certified allocation-free hot-path list, so a neighbor
+// table materialized with raw new[] / realloc inside the selection loop
+// must be flagged. (The real src/protocol/flat_gossip.hpp shares one
+// caller-owned CsrAdjacency through a shared_ptr and reuses pre-reserved
+// index scratch instead.)
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+
+namespace gossip::protocol {
+
+struct BadCsrScratch {
+  std::uint32_t* neighbor_copy = nullptr;
+  std::uint64_t capacity = 0;
+
+  void stage_neighbors(const std::uint32_t* nbrs, std::uint64_t degree) {
+    neighbor_copy = new std::uint32_t[degree];  // violation: hot-path-alloc
+    for (std::uint64_t i = 0; i < degree; ++i) neighbor_copy[i] = nbrs[i];
+  }
+
+  void grow_excluded(std::uint64_t degree) {
+    neighbor_copy = static_cast<std::uint32_t*>(  // violation
+        std::realloc(neighbor_copy, degree * sizeof(std::uint32_t)));
+    capacity = degree;
+  }
+};
+
+}  // namespace gossip::protocol

@@ -1,0 +1,140 @@
+#include "membership/topology_view.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace gossip::membership {
+namespace {
+
+/// 4-node path 0-1-2-3 plus chord 0-2, undirected, both directions.
+CsrAdjacencyPtr path_with_chord() {
+  auto csr = std::make_shared<CsrAdjacency>();
+  csr->offsets = {0, 2, 4, 7, 8};
+  csr->neighbors = {1, 2, 0, 2, 0, 1, 3, 2};
+  csr->max_degree = 3;
+  return csr;
+}
+
+TEST(CsrAdjacency, AccessorsMatchTheFlatArrays) {
+  const auto csr = path_with_chord();
+  EXPECT_EQ(csr->num_nodes(), 4u);
+  EXPECT_EQ(csr->degree(0), 2u);
+  EXPECT_EQ(csr->degree(2), 3u);
+  EXPECT_EQ(csr->degree(3), 1u);
+  const auto nbrs = csr->neighbors_of(2);
+  EXPECT_EQ(std::vector<NodeId>(nbrs.begin(), nbrs.end()),
+            (std::vector<NodeId>{0, 1, 3}));
+}
+
+TEST(CsrAdjacency, ValidationAcceptsTheWellFormed) {
+  EXPECT_NO_THROW(validate_csr_adjacency(*path_with_chord()));
+}
+
+TEST(CsrAdjacency, ValidationRejectsEveryMalformation) {
+  {
+    auto bad = *path_with_chord();
+    bad.offsets.front() = 1;
+    EXPECT_THROW(validate_csr_adjacency(bad), std::invalid_argument);
+  }
+  {
+    auto bad = *path_with_chord();
+    bad.offsets.back() = 7;  // does not cover neighbors
+    EXPECT_THROW(validate_csr_adjacency(bad), std::invalid_argument);
+  }
+  {
+    auto bad = *path_with_chord();
+    bad.neighbors[0] = 9;  // out of range
+    EXPECT_THROW(validate_csr_adjacency(bad), std::invalid_argument);
+  }
+  {
+    auto bad = *path_with_chord();
+    bad.neighbors[0] = 0;  // self-loop at node 0
+    EXPECT_THROW(validate_csr_adjacency(bad), std::invalid_argument);
+  }
+  {
+    auto bad = *path_with_chord();
+    bad.neighbors[1] = 1;  // duplicate neighbor 1 at node 0
+    EXPECT_THROW(validate_csr_adjacency(bad), std::invalid_argument);
+  }
+  {
+    auto bad = *path_with_chord();
+    bad.max_degree = 5;
+    EXPECT_THROW(validate_csr_adjacency(bad), std::invalid_argument);
+  }
+}
+
+TEST(TopologyMembership, ViewServesExactlyTheNeighborSet) {
+  const auto csr = path_with_chord();
+  const auto provider = topology_membership(csr);
+  rng::RngStream rng(5);
+  for (NodeId owner = 0; owner < 4; ++owner) {
+    const auto view = provider->view_for(owner);
+    const auto nbrs = csr->neighbors_of(owner);
+    EXPECT_EQ(view->size(), nbrs.size());
+    // Asking for more than the degree returns the whole neighborhood.
+    auto all = view->select_targets(10, rng);
+    std::sort(all.begin(), all.end());
+    std::vector<NodeId> expected(nbrs.begin(), nbrs.end());
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(all, expected) << "owner " << owner;
+  }
+}
+
+TEST(TopologyMembership, SelectionsAreDistinctAndNeighborRestricted) {
+  const auto csr = path_with_chord();
+  const auto provider = topology_membership(csr);
+  const auto view = provider->view_for(2);
+  rng::RngStream rng(17);
+  for (int i = 0; i < 200; ++i) {
+    const auto picks = view->select_targets(2, rng);
+    ASSERT_EQ(picks.size(), 2u);
+    ASSERT_NE(picks[0], picks[1]);
+    for (const NodeId t : picks) {
+      const auto nbrs = csr->neighbors_of(2);
+      ASSERT_TRUE(std::find(nbrs.begin(), nbrs.end(), t) != nbrs.end())
+          << "pick " << t << " is not a neighbor of 2";
+    }
+  }
+}
+
+TEST(TopologyMembership, IntoVariantMatchesReturningVariantDrawForDraw) {
+  const auto provider = topology_membership(path_with_chord());
+  const auto view = provider->view_for(2);
+  rng::RngStream a(123);
+  rng::RngStream b(123);
+  std::vector<NodeId> scratch;
+  for (int i = 0; i < 50; ++i) {
+    const auto returned = view->select_targets(2, a);
+    view->select_targets_into(2, b, scratch);
+    ASSERT_EQ(returned, scratch) << "draw " << i;
+  }
+}
+
+TEST(TopologyMembership, RejectsNullAndMalformedAdjacency) {
+  EXPECT_THROW(topology_membership(nullptr), std::invalid_argument);
+  auto bad = std::make_shared<CsrAdjacency>(*path_with_chord());
+  bad->max_degree = 99;
+  EXPECT_THROW(topology_membership(bad), std::invalid_argument);
+  const auto provider = topology_membership(path_with_chord());
+  EXPECT_THROW(provider->view_for(4), std::out_of_range);
+}
+
+TEST(TopologyMembership, IsolatedNodeYieldsAnEmptyView) {
+  auto csr = std::make_shared<CsrAdjacency>();
+  csr->offsets = {0, 1, 1, 2};
+  csr->neighbors = {2, 0};
+  csr->max_degree = 1;
+  const auto provider = topology_membership(csr, "island");
+  const auto view = provider->view_for(1);
+  EXPECT_EQ(view->size(), 0u);
+  rng::RngStream rng(1);
+  EXPECT_TRUE(view->select_targets(3, rng).empty());
+  EXPECT_EQ(provider->name(), "island");
+}
+
+}  // namespace
+}  // namespace gossip::membership

@@ -9,14 +9,17 @@
 
 #include "protocol/flat_gossip.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
+#include <memory>
 #include <new>
 #include <stdexcept>
 
 #include <gtest/gtest.h>
 
 #include "core/degree_distribution.hpp"
+#include "graph/generators.hpp"
 
 namespace {
 std::atomic<std::uint64_t> g_allocations{0};
@@ -165,6 +168,124 @@ TEST(FlatGossip, MillionNodeWorkspaceStaysBounded) {
   FlatGossipEngine engine(p);
   EXPECT_LE(engine.workspace_bytes(), 16u * 1024 * 1024);
   EXPECT_GE(engine.workspace_bytes(), 2u * (1'000'000 / 8));
+}
+
+membership::CsrAdjacencyPtr ring_topology(std::uint32_t n) {
+  auto csr = std::make_shared<membership::CsrAdjacency>();
+  csr->offsets.resize(n + 1);
+  csr->neighbors.reserve(2ULL * n);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    csr->offsets[v + 1] = csr->offsets[v] + 2;
+    csr->neighbors.push_back((v + n - 1) % n);
+    csr->neighbors.push_back((v + 1) % n);
+  }
+  csr->max_degree = 2;
+  return csr;
+}
+
+membership::CsrAdjacencyPtr to_csr(const graph::Digraph& g) {
+  auto csr = std::make_shared<membership::CsrAdjacency>();
+  csr->offsets.resize(static_cast<std::size_t>(g.num_nodes()) + 1);
+  csr->neighbors.reserve(g.num_edges());
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto nbrs = g.out_neighbors(v);
+    csr->offsets[v + 1] = csr->offsets[v] + nbrs.size();
+    csr->neighbors.insert(csr->neighbors.end(), nbrs.begin(), nbrs.end());
+    csr->max_degree = std::max(csr->max_degree,
+                               static_cast<std::uint32_t>(nbrs.size()));
+  }
+  return csr;
+}
+
+TEST(FlatGossipTopology, RingWithSaturatingFanoutSpreadsHopByHop) {
+  const std::uint32_t n = 100;
+  auto p = base_params(n, 0.0, 1.0);
+  p.fanout = core::fixed_fanout(2);
+  p.topology = ring_topology(n);
+  FlatGossipEngine engine(p);
+  rng::RngStream rng(1);
+  const auto result = engine.run_once(rng);
+  // Fanout equals every degree, so each round informs exactly the two next
+  // ring positions: full coverage in n/2 rounds, never faster.
+  EXPECT_TRUE(result.success);
+  EXPECT_DOUBLE_EQ(result.reliability, 1.0);
+  EXPECT_GE(result.rounds, n / 2);
+}
+
+TEST(FlatGossipTopology, ValidatesTheAdjacencyUpFront) {
+  auto p = base_params(10, 4.0, 1.0);
+  p.topology = ring_topology(12);  // node-count mismatch
+  EXPECT_THROW(FlatGossipEngine{p}, std::invalid_argument);
+  auto malformed = std::make_shared<membership::CsrAdjacency>(
+      *ring_topology(10));
+  malformed->max_degree = 7;
+  p.topology = malformed;
+  EXPECT_THROW(FlatGossipEngine{p}, std::invalid_argument);
+}
+
+TEST(FlatGossipTopology, DeterministicBitForBitAcrossEngines) {
+  rng::RngStream graph_rng(404);
+  auto p = base_params(2000, 4.0, 0.9);
+  p.topology = to_csr(graph::barabasi_albert(2000, 5, graph_rng));
+  FlatGossipEngine engine1(p);
+  FlatGossipEngine engine2(p);
+  rng::RngStream rng1(77);
+  rng::RngStream rng2(77);
+  for (int i = 0; i < 5; ++i) {
+    const auto r1 = engine1.run_once(rng1);
+    const auto r2 = engine2.run_once(rng2);
+    ASSERT_EQ(r1.nonfailed_received, r2.nonfailed_received);
+    ASSERT_EQ(r1.messages_sent, r2.messages_sent);
+    ASSERT_EQ(r1.rounds, r2.rounds);
+  }
+}
+
+TEST(FlatGossipTopology, SteadyStateLoopIsAllocationFree) {
+  // A scale-free overlay with mean fanout near the degree floor exercises
+  // all three selection branches (copy-all, sparse rejection, complement);
+  // none of them may allocate once the engine is warm.
+  rng::RngStream graph_rng(505);
+  auto p = base_params(5000, 4.0, 0.9);
+  p.topology = to_csr(graph::barabasi_albert(5000, 5, graph_rng));
+  FlatGossipEngine engine(p);
+  rng::RngStream rng(2008);
+  (void)engine.run_once(rng);  // warm-up: first run may touch fresh pages
+  std::uint64_t received_total = 0;
+  const std::uint64_t before = g_allocations.load();
+  for (int i = 0; i < 20; ++i) {
+    received_total += engine.run_once(rng).nonfailed_received;
+  }
+  const std::uint64_t after = g_allocations.load();
+  EXPECT_GT(received_total, 0u);
+  EXPECT_EQ(after - before, 0u)
+      << "the topology replication loop allocated " << (after - before)
+      << " times";
+}
+
+TEST(FlatGossipTopology, FanoutClampsToTheDegree) {
+  // Star center (degree n-1) vs leaves (degree 1): a huge fanout draw sends
+  // to every neighbor, never more.
+  const std::uint32_t n = 32;
+  auto csr = std::make_shared<membership::CsrAdjacency>();
+  csr->offsets.resize(n + 1);
+  for (std::uint32_t v = 1; v < n; ++v) csr->neighbors.push_back(v);
+  csr->offsets[1] = n - 1;
+  for (std::uint32_t v = 1; v < n; ++v) {
+    csr->offsets[v + 1] = csr->offsets[v] + 1;
+    csr->neighbors.push_back(0);
+  }
+  csr->max_degree = n - 1;
+  auto p = base_params(n, 0.0, 1.0);
+  p.fanout = core::fixed_fanout(200);
+  p.topology = csr;
+  FlatGossipEngine engine(p);
+  rng::RngStream rng(3);
+  const auto result = engine.run_once(rng);
+  EXPECT_TRUE(result.success);
+  // Source round: n-1 sends; every leaf then sends exactly 1 (back to the
+  // center, redundant).
+  EXPECT_EQ(result.messages_sent, (n - 1) + (n - 1));
+  EXPECT_EQ(result.duplicate_receipts, n - 1);
 }
 
 TEST(FlatGossip, CountsDuplicatesAndMessages) {

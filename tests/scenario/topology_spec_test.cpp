@@ -1,0 +1,250 @@
+/// The `topology =` spec-key family: key registration and nearest-name
+/// suggestions, per-family knob validation, backend/engine restrictions, the
+/// shared per-case overlay (flat and protocol backends see the same graph),
+/// and the regional_outage failure part.
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "scenario/registry.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/spec.hpp"
+#include "scenario/topology.hpp"
+
+namespace gossip::scenario {
+namespace {
+
+ScenarioSpec base_spec() {
+  ScenarioSpec spec;
+  spec.set("name", "topo")
+      .set("n", "300")
+      .set("backend", "flat")
+      .set("fanout", "poisson(4)")
+      .set("repetitions", "8")
+      .set("seed", "7");
+  return spec;
+}
+
+std::string run_error(const ScenarioSpec& spec) {
+  try {
+    (void)ScenarioRunner(nullptr).run(spec);
+  } catch (const std::invalid_argument& e) {
+    return e.what();
+  }
+  return {};
+}
+
+TEST(TopologyKeys, ListedInKnownSpecKeys) {
+  const auto keys = known_spec_keys();
+  for (const char* key : {"topology", "topology.p", "topology.m",
+                          "topology.clusters", "topology.bridge_edges"}) {
+    EXPECT_TRUE(std::find(keys.begin(), keys.end(), key) != keys.end())
+        << "missing spec key " << key;
+  }
+}
+
+TEST(TopologyKeys, MisspelledKnobGetsTheNearestNameSuggestion) {
+  auto spec = base_spec();
+  spec.set("topology", "er").set("topolgy.p", "0.02");
+  const std::string error = run_error(spec);
+  EXPECT_NE(error.find("unknown field 'topolgy.p'"), std::string::npos)
+      << error;
+  EXPECT_NE(error.find("did you mean 'topology.p'?"), std::string::npos)
+      << error;
+}
+
+TEST(TopologyKeys, FamilyMustBeKnown) {
+  auto spec = base_spec();
+  spec.set("topology", "smallworld");
+  EXPECT_NE(run_error(spec).find("topology must be uniform, er, ba, or wan"),
+            std::string::npos);
+}
+
+TEST(TopologyKeys, EachFamilyRequiresItsOwnKnobs) {
+  {
+    auto spec = base_spec();
+    spec.set("topology", "er");
+    EXPECT_NE(run_error(spec).find("topology = er requires topology.p"),
+              std::string::npos);
+  }
+  {
+    auto spec = base_spec();
+    spec.set("topology", "ba");
+    EXPECT_NE(run_error(spec).find("topology = ba requires topology.m"),
+              std::string::npos);
+  }
+  {
+    auto spec = base_spec();
+    spec.set("topology", "wan").set("topology.clusters", "4");
+    EXPECT_NE(run_error(spec).find("topology = wan requires"),
+              std::string::npos);
+  }
+}
+
+TEST(TopologyKeys, KnobsAreRangeCheckedWheneverPresent) {
+  {
+    // Even a family that ignores the knob validates it: sweeps across
+    // families share knob lines, so a bad value is always a spec error.
+    auto spec = base_spec();
+    spec.set("topology", "uniform").set("topology.p", "1.5");
+    EXPECT_NE(run_error(spec).find("topology.p must be in [0, 1]"),
+              std::string::npos);
+  }
+  {
+    auto spec = base_spec();
+    spec.set("topology", "ba").set("topology.m", "0");
+    EXPECT_NE(run_error(spec).find("topology.m must be >= 1"),
+              std::string::npos);
+  }
+  {
+    auto spec = base_spec();
+    spec.set("topology", "wan")
+        .set("topology.clusters", "1")
+        .set("topology.bridge_edges", "4");
+    EXPECT_NE(run_error(spec).find("topology.clusters must be >= 2"),
+              std::string::npos);
+  }
+  {
+    auto spec = base_spec();
+    spec.set("topology", "wan")
+        .set("topology.clusters", "4")
+        .set("topology.bridge_edges", "2");
+    EXPECT_NE(run_error(spec).find("topology.bridge_edges must be >="),
+              std::string::npos);
+  }
+}
+
+TEST(TopologyKeys, KnobsWithoutTheFamilyKeyAreRejected) {
+  auto spec = base_spec();
+  spec.set("topology.p", "0.02");
+  EXPECT_NE(run_error(spec).find("topology.* knobs require the topology key"),
+            std::string::npos);
+}
+
+TEST(TopologyKeys, NonUniformRejectsUnsupportedCombinations) {
+  {
+    auto spec = base_spec();
+    spec.set("topology", "er").set("topology.p", "0.05")
+        .set("backend", "graph");
+    EXPECT_NE(run_error(spec).find("use the protocol or flat backend"),
+              std::string::npos);
+  }
+  {
+    auto spec = base_spec();
+    spec.set("topology", "er").set("topology.p", "0.05")
+        .set("engine", "meanfield");
+    EXPECT_NE(run_error(spec).find("montecarlo-only"), std::string::npos);
+  }
+  {
+    auto spec = base_spec();
+    spec.set("topology", "er").set("topology.p", "0.05")
+        .set("backend", "protocol").set("membership", "uniform(20)");
+    EXPECT_NE(run_error(spec).find("IS the membership view"),
+              std::string::npos);
+  }
+}
+
+TEST(TopologyKeys, UniformFamilyIsTheExistingEngineUnchanged) {
+  auto plain = base_spec();
+  auto uniform = base_spec();
+  uniform.set("topology", "uniform");
+  const auto a = ScenarioRunner(nullptr).run(plain);
+  const auto b = ScenarioRunner(nullptr).run(uniform);
+  ASSERT_EQ(a.size(), 1u);
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_EQ(a[0].reliability.mean(), b[0].reliability.mean());
+  EXPECT_EQ(a[0].messages.mean(), b[0].messages.mean());
+}
+
+TEST(TopologyKeys, FlatAndProtocolShareTheSameOverlayGraph) {
+  // Both backends must build the overlay from the same (seed, salt)
+  // substream: pin it through build_topology_adjacency directly.
+  TopologyConfig config;
+  config.family = TopologyFamily::kEr;
+  config.has_p = true;
+  config.p = 0.03;
+  const auto a = build_topology_adjacency(config, 400, 7);
+  const auto b = build_topology_adjacency(config, 400, 7);
+  EXPECT_EQ(a->offsets, b->offsets);
+  EXPECT_EQ(a->neighbors, b->neighbors);
+  const auto other_seed = build_topology_adjacency(config, 400, 8);
+  EXPECT_NE(a->neighbors, other_seed->neighbors);
+}
+
+TEST(TopologyKeys, SweepAcrossFamiliesSharesKnobLines) {
+  ScenarioSpec spec;
+  spec.set("name", "topo_sweep")
+      .set("n", "200")
+      .set("backend", "flat")
+      .set("fanout", "poisson(4)")
+      .set("repetitions", "4")
+      .set("seed", "11")
+      .set("topology", "$topo")
+      .set("topology.p", "0.05")
+      .set("topology.m", "3")
+      .add_axis("topo", {"uniform", "er", "ba"});
+  const auto results = ScenarioRunner(nullptr).run(spec);
+  ASSERT_EQ(results.size(), 3u);
+  for (const auto& r : results) {
+    EXPECT_GT(r.reliability.mean(), 0.0) << r.label;
+  }
+}
+
+TEST(RegionalOutage, RegistryBuildsAndValidatesTheSchedule) {
+  const auto config = make_failure("regional_outage(4, 1)");
+  ASSERT_NE(config.schedule, nullptr);
+  EXPECT_EQ(config.schedule->name(), "regional_outage(4,1,0)");
+  EXPECT_THROW(make_failure("regional_outage(4)"), std::invalid_argument);
+  EXPECT_THROW(make_failure("regional_outage(4, 0)"), std::invalid_argument);
+  EXPECT_THROW(make_failure("regional_outage(4, 4)"), std::invalid_argument);
+  EXPECT_THROW(make_failure("regional_outage(4, 1, -2)"),
+               std::invalid_argument);
+}
+
+TEST(RegionalOutage, KillsWholeContiguousClustersAtTimeZero) {
+  // n = 200, 4 clusters of 50, one doomed region: reliability over the
+  // survivors stays 1 with a saturating fanout, and the non-failed count
+  // reflects exactly one lost block (+1 if the source's own block died).
+  ScenarioSpec spec;
+  spec.set("name", "outage")
+      .set("n", "200")
+      .set("backend", "protocol")
+      .set("fanout", "fixed(199)")
+      .set("failure", "regional_outage(4, 1)")
+      .set("repetitions", "6")
+      .set("seed", "3");
+  const auto results = ScenarioRunner(nullptr).run(spec);
+  ASSERT_EQ(results.size(), 1u);
+  // Everyone alive hears the saturating broadcast, so per-replication
+  // reliability is 1.0 even though a quarter of the group is down.
+  EXPECT_DOUBLE_EQ(results[0].reliability.mean(), 1.0);
+  EXPECT_EQ(results[0].success_count, results[0].replications);
+}
+
+TEST(RegionalOutage, ScheduledOutageLowersReliabilityUnderLatency) {
+  // With the outage after dissemination finished (t = 50 under unit-ish
+  // latency), the kill arrives too late to hurt anyone: contrast with an
+  // immediate outage under a modest fanout.
+  const auto run = [](const char* failure) {
+    ScenarioSpec spec;
+    spec.set("name", "outage_timing")
+        .set("n", "200")
+        .set("backend", "protocol")
+        .set("fanout", "poisson(4)")
+        .set("failure", failure)
+        .set("repetitions", "10")
+        .set("seed", "13");
+    return ScenarioRunner(nullptr).run(spec)[0].reliability.mean();
+  };
+  const double immediate = run("regional_outage(4, 2)");
+  const double late = run("regional_outage(4, 2, 50)");
+  // A late outage cannot reduce delivered coverage (deliveries already
+  // happened); an immediate one removes half the group's receivers.
+  EXPECT_GT(late, immediate);
+}
+
+}  // namespace
+}  // namespace gossip::scenario

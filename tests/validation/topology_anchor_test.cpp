@@ -1,0 +1,130 @@
+/// Topology validation, part 1 of 3: the uniform baseline. Routing the
+/// Fig. 4/5 operating points through the `topology =` machinery must not
+/// move them — `topology = uniform` is the existing engine verbatim, and a
+/// dense random graph (mean degree far above the fanout) is statistically
+/// indistinguishable from the uniform view. Bands come from the runs' own
+/// sampling error (statistical_agreement.hpp); the regimes where topology
+/// is EXPECTED to move the answer live in topology_divergence_test.cpp.
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/degree_distribution.hpp"
+#include "experiment/meanfield.hpp"
+#include "experiment/monte_carlo.hpp"
+#include "parallel/thread_pool.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/spec.hpp"
+#include "scenario/topology.hpp"
+#include "statistical_agreement.hpp"
+
+namespace gossip::validation {
+namespace {
+
+constexpr double kHeadlineReliability = 0.9695;  // Eq. 11 at z*q = 3.6.
+
+protocol::FlatGossipParams flat_params(std::uint64_t n, double z, double q) {
+  protocol::FlatGossipParams p;
+  p.num_nodes = n;
+  p.source = 0;
+  p.nonfailed_ratio = q;
+  p.fanout = core::poisson_fanout(z);
+  return p;
+}
+
+membership::CsrAdjacencyPtr build_er(std::uint32_t n, double p,
+                                     std::uint64_t seed) {
+  scenario::TopologyConfig config;
+  config.family = scenario::TopologyFamily::kEr;
+  config.has_p = true;
+  config.p = p;
+  return scenario::build_topology_adjacency(config, n, seed);
+}
+
+TEST(TopologyAnchor, UniformTopologyKeyReproducesTheFig5Anchor) {
+  // The Fig. 5 operating point ({z=4, q=0.9}, n = 5000) through the
+  // scenario runner with the topology key spelled out: identical engine,
+  // so the mean-field prediction must agree within 3 sigma exactly as in
+  // meanfield_anchor_test.cpp.
+  scenario::ScenarioSpec spec;
+  spec.set("name", "topo_uniform_anchor")
+      .set("n", "5000")
+      .set("backend", "flat")
+      .set("topology", "uniform")
+      .set("fanout", "poisson(4)")
+      .set("failure", "crash(0.1)")
+      .set("metric", "reliability")
+      .set("repetitions", "60")
+      .set("seed", "2008")
+      .set("engine", "both");
+  parallel::ThreadPool pool(4);
+  const auto results = scenario::ScenarioRunner(&pool).run(spec);
+  ASSERT_EQ(results.size(), 1u);
+  ASSERT_TRUE(results[0].has_meanfield);
+
+  const auto check =
+      agreement(results[0].meanfield_reliability, results[0].reliability);
+  EXPECT_TRUE(check.within) << check.describe();
+  EXPECT_NEAR(results[0].meanfield_reliability, kHeadlineReliability, 2e-3);
+}
+
+TEST(TopologyAnchor, DenseErMatchesTheUniformPredictionWithinThreeSigma) {
+  // ER with mean degree ~50 at z = 4: each sender picks 4 of its ~50
+  // neighbors, and 50 >> z makes the neighbor restriction statistically
+  // invisible — the uniform mean-field fixed point must still cover the
+  // simulated mean. The 0.005 allowance absorbs the O(z/degree) repeat-pair
+  // bias of sampling from a 50-set instead of the whole group.
+  const std::uint32_t n = 2000;
+  auto params = flat_params(n, 4.0, 0.9);
+  params.topology = build_er(n, 50.0 / (n - 1), 77);
+
+  parallel::ThreadPool pool(4);
+  experiment::MonteCarloOptions mc;
+  mc.replications = 100;
+  mc.seed = 2008;
+  mc.pool = &pool;
+  const auto sim = experiment::estimate_reliability_flat(params, mc);
+  // The analytic engine reads only (n, q, loss, fanout) — its prediction
+  // IS the uniform-view model for the same macroscopic parameters.
+  const auto analytic = experiment::estimate_reliability_meanfield(params);
+
+  const auto check =
+      agreement(analytic.reliability, sim.reliability, 3.0, 0.005);
+  EXPECT_TRUE(check.within) << check.describe();
+}
+
+TEST(TopologyAnchor, FullTierFig4aUniformColumnsAgree) {
+  GOSSIP_VALIDATION_FULL_TIER_ONLY();
+  // The full Fig. 4(a) anchor columns (f = 0.0 and the paper operating
+  // point f = 0.1) at n = 1000 through the topology key, protocol AND flat
+  // backends: the uniform family must be the existing engine on both.
+  for (const std::string backend : {"protocol", "flat"}) {
+    scenario::ScenarioSpec spec;
+    spec.set("name", "topo_uniform_fig4a")
+        .set("n", "1000")
+        .set("backend", backend)
+        .set("topology", "uniform")
+        .set("fanout", "poisson(4)")
+        .set("failure", "crash($f)")
+        .set("metric", "reliability")
+        .set("repetitions", "60")
+        .set("seed", "2008")
+        .set("engine", "both")
+        .add_axis("f", {"0.0", "0.1"});
+    parallel::ThreadPool pool(4);
+    const auto results = scenario::ScenarioRunner(&pool).run(spec);
+    ASSERT_EQ(results.size(), 2u) << backend;
+    for (const auto& result : results) {
+      ASSERT_TRUE(result.has_meanfield) << backend << " " << result.label;
+      const auto check =
+          agreement(result.meanfield_reliability, result.reliability);
+      EXPECT_TRUE(check.within)
+          << backend << " " << result.label << ": " << check.describe();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gossip::validation

@@ -1,0 +1,148 @@
+/// Topology validation, part 3 of 3: backend equivalence. For every
+/// non-uniform family, the flat SoA hot path and the message-level DES
+/// reference gossip over the IDENTICAL overlay (both receive the same
+/// shared CsrAdjacency, as the scenario runner wires it) and must estimate
+/// the same reliability: two estimators of one quantity, compared at 3
+/// combined standard errors. This is the per-topology extension of
+/// tests/integration/flat_equivalence_test.cpp.
+
+#include <cmath>
+#include <memory>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/degree_distribution.hpp"
+#include "experiment/monte_carlo.hpp"
+#include "membership/topology_view.hpp"
+#include "parallel/thread_pool.hpp"
+#include "protocol/flat_gossip.hpp"
+#include "protocol/gossip_multicast.hpp"
+#include "scenario/topology.hpp"
+#include "statistical_agreement.hpp"
+
+namespace gossip::validation {
+namespace {
+
+/// Two-sample 3-sigma check: both means are Monte-Carlo estimates, so the
+/// band combines their standard errors in quadrature.
+void expect_two_sample_agreement(const experiment::ReliabilityEstimate& a,
+                                 const experiment::ReliabilityEstimate& b,
+                                 const char* what) {
+  const double diff =
+      std::fabs(a.reliability.mean() - b.reliability.mean());
+  const double band =
+      3.0 * std::hypot(a.reliability.standard_error(),
+                       b.reliability.standard_error());
+  EXPECT_LE(diff, band) << what << ": flat " << a.reliability.mean()
+                        << " vs DES " << b.reliability.mean() << " (|diff| "
+                        << diff << ", band " << band << ")";
+  // Message volume must agree too: both engines send one message per
+  // selected target over the same degree-clamped neighbor sets. Per-run
+  // totals are high-variance on clustered overlays (a severed region
+  // drops a block of sends at once), so this band is also SE-derived,
+  // plus 1% of the mean for the flat LUT's quantized fanout pmf.
+  const double msg_diff = std::fabs(a.messages.mean() - b.messages.mean());
+  const double msg_band = 3.0 * std::hypot(a.messages.standard_error(),
+                                           b.messages.standard_error()) +
+                          0.01 * b.messages.mean();
+  EXPECT_LE(msg_diff, msg_band)
+      << what << ": flat " << a.messages.mean() << " vs DES "
+      << b.messages.mean() << " msgs (|diff| " << msg_diff << ", band "
+      << msg_band << ")";
+}
+
+void check_family(const scenario::TopologyConfig& config, std::uint32_t n,
+                  double z, double q, std::size_t replications,
+                  const char* what) {
+  // One overlay, built exactly as the runner builds it, handed to BOTH
+  // backends — the equivalence claim is about the engines, not the graphs.
+  const auto csr = scenario::build_topology_adjacency(config, n, /*seed=*/7);
+
+  parallel::ThreadPool pool(4);
+  experiment::MonteCarloOptions mc;
+  mc.replications = replications;
+  mc.seed = 2008;
+  mc.pool = &pool;
+
+  protocol::FlatGossipParams flat;
+  flat.num_nodes = n;
+  flat.source = 0;
+  flat.nonfailed_ratio = q;
+  flat.fanout = core::poisson_fanout(z);
+  flat.topology = csr;
+  const auto flat_estimate = experiment::estimate_reliability_flat(flat, mc);
+
+  protocol::GossipParams des;
+  des.num_nodes = n;
+  des.source = 0;
+  des.nonfailed_ratio = q;
+  des.fanout = core::poisson_fanout(z);
+  des.membership = membership::topology_membership(csr);
+  const auto des_estimate =
+      experiment::estimate_reliability_protocol(des, mc);
+
+  expect_two_sample_agreement(flat_estimate, des_estimate, what);
+}
+
+TEST(TopologyEquivalence, FlatMatchesDesOnErOverlay) {
+  scenario::TopologyConfig config;
+  config.family = scenario::TopologyFamily::kEr;
+  config.has_p = true;
+  config.p = 12.0 / 799.0;  // mean degree ~12
+  check_family(config, 800, 4.0, 0.9, 40, "er");
+}
+
+TEST(TopologyEquivalence, FlatMatchesDesOnBaOverlay) {
+  scenario::TopologyConfig config;
+  config.family = scenario::TopologyFamily::kBa;
+  config.has_m = true;
+  config.m = 3;
+  check_family(config, 800, 4.0, 0.9, 40, "ba");
+}
+
+TEST(TopologyEquivalence, FlatMatchesDesOnWanOverlay) {
+  scenario::TopologyConfig config;
+  config.family = scenario::TopologyFamily::kWan;
+  config.has_clusters = true;
+  config.clusters = 4;
+  config.has_bridge_edges = true;
+  config.bridge_edges = 12;
+  config.has_p = true;
+  config.p = 0.02;
+  check_family(config, 800, 4.0, 0.9, 40, "wan");
+}
+
+TEST(TopologyEquivalence, FullTierEveryFamilyAtLargerScale) {
+  GOSSIP_VALIDATION_FULL_TIER_ONLY();
+  // Same contrast at n = 2000 with more replications: tighter SEs make
+  // this a sharper lens on any systematic flat-vs-DES discrepancy.
+  {
+    scenario::TopologyConfig config;
+    config.family = scenario::TopologyFamily::kEr;
+    config.has_p = true;
+    config.p = 16.0 / 1999.0;
+    check_family(config, 2000, 4.0, 0.9, 80, "er@2000");
+  }
+  {
+    scenario::TopologyConfig config;
+    config.family = scenario::TopologyFamily::kBa;
+    config.has_m = true;
+    config.m = 4;
+    check_family(config, 2000, 4.0, 0.9, 80, "ba@2000");
+  }
+  {
+    scenario::TopologyConfig config;
+    config.family = scenario::TopologyFamily::kWan;
+    config.has_clusters = true;
+    config.clusters = 8;
+    config.has_bridge_edges = true;
+    config.bridge_edges = 24;
+    config.has_p = true;
+    config.p = 0.02;
+    check_family(config, 2000, 4.0, 0.9, 80, "wan@2000");
+  }
+}
+
+}  // namespace
+}  // namespace gossip::validation
