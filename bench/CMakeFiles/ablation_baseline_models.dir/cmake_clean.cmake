@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_baseline_models.dir/ablation_baseline_models.cpp.o"
+  "CMakeFiles/ablation_baseline_models.dir/ablation_baseline_models.cpp.o.d"
+  "ablation_baseline_models"
+  "ablation_baseline_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_baseline_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_crash_timing.dir/ablation_crash_timing.cpp.o"
+  "CMakeFiles/ablation_crash_timing.dir/ablation_crash_timing.cpp.o.d"
+  "ablation_crash_timing"
+  "ablation_crash_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_crash_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

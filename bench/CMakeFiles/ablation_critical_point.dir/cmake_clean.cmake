@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_critical_point.dir/ablation_critical_point.cpp.o"
+  "CMakeFiles/ablation_critical_point.dir/ablation_critical_point.cpp.o.d"
+  "ablation_critical_point"
+  "ablation_critical_point.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_critical_point.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_critical_point.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_delivery_metric.dir/ablation_delivery_metric.cpp.o"
+  "CMakeFiles/ablation_delivery_metric.dir/ablation_delivery_metric.cpp.o.d"
+  "ablation_delivery_metric"
+  "ablation_delivery_metric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_delivery_metric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

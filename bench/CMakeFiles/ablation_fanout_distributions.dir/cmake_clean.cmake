@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fanout_distributions.dir/ablation_fanout_distributions.cpp.o"
+  "CMakeFiles/ablation_fanout_distributions.dir/ablation_fanout_distributions.cpp.o.d"
+  "ablation_fanout_distributions"
+  "ablation_fanout_distributions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fanout_distributions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

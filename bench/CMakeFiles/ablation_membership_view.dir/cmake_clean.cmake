@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_membership_view.dir/ablation_membership_view.cpp.o"
+  "CMakeFiles/ablation_membership_view.dir/ablation_membership_view.cpp.o.d"
+  "ablation_membership_view"
+  "ablation_membership_view.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_membership_view.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

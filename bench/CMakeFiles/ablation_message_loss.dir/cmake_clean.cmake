@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_message_loss.dir/ablation_message_loss.cpp.o"
+  "CMakeFiles/ablation_message_loss.dir/ablation_message_loss.cpp.o.d"
+  "ablation_message_loss"
+  "ablation_message_loss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_message_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

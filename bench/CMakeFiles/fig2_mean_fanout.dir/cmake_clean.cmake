@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_mean_fanout.dir/fig2_mean_fanout.cpp.o"
+  "CMakeFiles/fig2_mean_fanout.dir/fig2_mean_fanout.cpp.o.d"
+  "fig2_mean_fanout"
+  "fig2_mean_fanout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_mean_fanout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

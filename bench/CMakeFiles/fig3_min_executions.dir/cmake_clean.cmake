@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_min_executions.dir/fig3_min_executions.cpp.o"
+  "CMakeFiles/fig3_min_executions.dir/fig3_min_executions.cpp.o.d"
+  "fig3_min_executions"
+  "fig3_min_executions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_min_executions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

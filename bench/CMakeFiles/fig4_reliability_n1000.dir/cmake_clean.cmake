@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_reliability_n1000.dir/fig4_reliability_n1000.cpp.o"
+  "CMakeFiles/fig4_reliability_n1000.dir/fig4_reliability_n1000.cpp.o.d"
+  "fig4_reliability_n1000"
+  "fig4_reliability_n1000.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_reliability_n1000.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

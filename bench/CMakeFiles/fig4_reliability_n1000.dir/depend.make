@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_reliability_n1000.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_reliability_n5000.dir/fig5_reliability_n5000.cpp.o"
+  "CMakeFiles/fig5_reliability_n5000.dir/fig5_reliability_n5000.cpp.o.d"
+  "fig5_reliability_n5000"
+  "fig5_reliability_n5000.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_reliability_n5000.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5_reliability_n5000.
+# This may be replaced when dependencies are built.

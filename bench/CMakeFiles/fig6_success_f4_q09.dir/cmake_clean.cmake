@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_success_f4_q09.dir/fig6_success_f4_q09.cpp.o"
+  "CMakeFiles/fig6_success_f4_q09.dir/fig6_success_f4_q09.cpp.o.d"
+  "fig6_success_f4_q09"
+  "fig6_success_f4_q09.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_success_f4_q09.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_success_f4_q09.
+# This may be replaced when dependencies are built.

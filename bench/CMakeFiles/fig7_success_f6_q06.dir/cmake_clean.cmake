@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_success_f6_q06.dir/fig7_success_f6_q06.cpp.o"
+  "CMakeFiles/fig7_success_f6_q06.dir/fig7_success_f6_q06.cpp.o.d"
+  "fig7_success_f6_q06"
+  "fig7_success_f6_q06.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_success_f6_q06.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_success_f6_q06.
+# This may be replaced when dependencies are built.

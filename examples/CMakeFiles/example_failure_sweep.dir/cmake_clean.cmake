@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_failure_sweep.dir/failure_sweep.cpp.o"
+  "CMakeFiles/example_failure_sweep.dir/failure_sweep.cpp.o.d"
+  "example_failure_sweep"
+  "example_failure_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_failure_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/fanout_planner.cpp" "examples/CMakeFiles/example_fanout_planner.dir/fanout_planner.cpp.o" "gcc" "examples/CMakeFiles/example_fanout_planner.dir/fanout_planner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/CMakeFiles/gossip_experiment.dir/DependInfo.cmake"
+  "/root/repo/src/CMakeFiles/gossip_graph.dir/DependInfo.cmake"
+  "/root/repo/src/CMakeFiles/gossip_parallel.dir/DependInfo.cmake"
+  "/root/repo/src/CMakeFiles/gossip_protocol.dir/DependInfo.cmake"
+  "/root/repo/src/CMakeFiles/gossip_core.dir/DependInfo.cmake"
+  "/root/repo/src/CMakeFiles/gossip_obs.dir/DependInfo.cmake"
+  "/root/repo/src/CMakeFiles/gossip_membership.dir/DependInfo.cmake"
+  "/root/repo/src/CMakeFiles/gossip_net.dir/DependInfo.cmake"
+  "/root/repo/src/CMakeFiles/gossip_sim.dir/DependInfo.cmake"
+  "/root/repo/src/CMakeFiles/gossip_rng.dir/DependInfo.cmake"
+  "/root/repo/src/CMakeFiles/gossip_stats.dir/DependInfo.cmake"
+  "/root/repo/src/CMakeFiles/gossip_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

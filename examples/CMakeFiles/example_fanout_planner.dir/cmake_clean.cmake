@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_fanout_planner.dir/fanout_planner.cpp.o"
+  "CMakeFiles/example_fanout_planner.dir/fanout_planner.cpp.o.d"
+  "example_fanout_planner"
+  "example_fanout_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_fanout_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

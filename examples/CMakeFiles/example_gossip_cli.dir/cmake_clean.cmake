@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_gossip_cli.dir/gossip_cli.cpp.o"
+  "CMakeFiles/example_gossip_cli.dir/gossip_cli.cpp.o.d"
+  "example_gossip_cli"
+  "example_gossip_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_gossip_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

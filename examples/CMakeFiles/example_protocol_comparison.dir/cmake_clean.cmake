@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_protocol_comparison.dir/protocol_comparison.cpp.o"
+  "CMakeFiles/example_protocol_comparison.dir/protocol_comparison.cpp.o.d"
+  "example_protocol_comparison"
+  "example_protocol_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_protocol_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

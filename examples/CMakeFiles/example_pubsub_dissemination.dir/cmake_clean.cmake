@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_pubsub_dissemination.dir/pubsub_dissemination.cpp.o"
+  "CMakeFiles/example_pubsub_dissemination.dir/pubsub_dissemination.cpp.o.d"
+  "example_pubsub_dissemination"
+  "example_pubsub_dissemination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_pubsub_dissemination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_trace_calibration.dir/trace_calibration.cpp.o"
+  "CMakeFiles/example_trace_calibration.dir/trace_calibration.cpp.o.d"
+  "example_trace_calibration"
+  "example_trace_calibration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_trace_calibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

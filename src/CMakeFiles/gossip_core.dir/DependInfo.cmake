@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baselines/anti_entropy_model.cpp" "src/CMakeFiles/gossip_core.dir/core/baselines/anti_entropy_model.cpp.o" "gcc" "src/CMakeFiles/gossip_core.dir/core/baselines/anti_entropy_model.cpp.o.d"
+  "/root/repo/src/core/baselines/kmg_model.cpp" "src/CMakeFiles/gossip_core.dir/core/baselines/kmg_model.cpp.o" "gcc" "src/CMakeFiles/gossip_core.dir/core/baselines/kmg_model.cpp.o.d"
+  "/root/repo/src/core/baselines/pbcast_recurrence.cpp" "src/CMakeFiles/gossip_core.dir/core/baselines/pbcast_recurrence.cpp.o" "gcc" "src/CMakeFiles/gossip_core.dir/core/baselines/pbcast_recurrence.cpp.o.d"
+  "/root/repo/src/core/baselines/si_epidemic.cpp" "src/CMakeFiles/gossip_core.dir/core/baselines/si_epidemic.cpp.o" "gcc" "src/CMakeFiles/gossip_core.dir/core/baselines/si_epidemic.cpp.o.d"
+  "/root/repo/src/core/branching.cpp" "src/CMakeFiles/gossip_core.dir/core/branching.cpp.o" "gcc" "src/CMakeFiles/gossip_core.dir/core/branching.cpp.o.d"
+  "/root/repo/src/core/degree_distribution.cpp" "src/CMakeFiles/gossip_core.dir/core/degree_distribution.cpp.o" "gcc" "src/CMakeFiles/gossip_core.dir/core/degree_distribution.cpp.o.d"
+  "/root/repo/src/core/fanout_planner.cpp" "src/CMakeFiles/gossip_core.dir/core/fanout_planner.cpp.o" "gcc" "src/CMakeFiles/gossip_core.dir/core/fanout_planner.cpp.o.d"
+  "/root/repo/src/core/generating_function.cpp" "src/CMakeFiles/gossip_core.dir/core/generating_function.cpp.o" "gcc" "src/CMakeFiles/gossip_core.dir/core/generating_function.cpp.o.d"
+  "/root/repo/src/core/percolation.cpp" "src/CMakeFiles/gossip_core.dir/core/percolation.cpp.o" "gcc" "src/CMakeFiles/gossip_core.dir/core/percolation.cpp.o.d"
+  "/root/repo/src/core/reliability_model.cpp" "src/CMakeFiles/gossip_core.dir/core/reliability_model.cpp.o" "gcc" "src/CMakeFiles/gossip_core.dir/core/reliability_model.cpp.o.d"
+  "/root/repo/src/core/success_model.cpp" "src/CMakeFiles/gossip_core.dir/core/success_model.cpp.o" "gcc" "src/CMakeFiles/gossip_core.dir/core/success_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/CMakeFiles/gossip_math.dir/DependInfo.cmake"
+  "/root/repo/src/CMakeFiles/gossip_rng.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gossip_core.dir/core/baselines/anti_entropy_model.cpp.o"
+  "CMakeFiles/gossip_core.dir/core/baselines/anti_entropy_model.cpp.o.d"
+  "CMakeFiles/gossip_core.dir/core/baselines/kmg_model.cpp.o"
+  "CMakeFiles/gossip_core.dir/core/baselines/kmg_model.cpp.o.d"
+  "CMakeFiles/gossip_core.dir/core/baselines/pbcast_recurrence.cpp.o"
+  "CMakeFiles/gossip_core.dir/core/baselines/pbcast_recurrence.cpp.o.d"
+  "CMakeFiles/gossip_core.dir/core/baselines/si_epidemic.cpp.o"
+  "CMakeFiles/gossip_core.dir/core/baselines/si_epidemic.cpp.o.d"
+  "CMakeFiles/gossip_core.dir/core/branching.cpp.o"
+  "CMakeFiles/gossip_core.dir/core/branching.cpp.o.d"
+  "CMakeFiles/gossip_core.dir/core/degree_distribution.cpp.o"
+  "CMakeFiles/gossip_core.dir/core/degree_distribution.cpp.o.d"
+  "CMakeFiles/gossip_core.dir/core/fanout_planner.cpp.o"
+  "CMakeFiles/gossip_core.dir/core/fanout_planner.cpp.o.d"
+  "CMakeFiles/gossip_core.dir/core/generating_function.cpp.o"
+  "CMakeFiles/gossip_core.dir/core/generating_function.cpp.o.d"
+  "CMakeFiles/gossip_core.dir/core/percolation.cpp.o"
+  "CMakeFiles/gossip_core.dir/core/percolation.cpp.o.d"
+  "CMakeFiles/gossip_core.dir/core/reliability_model.cpp.o"
+  "CMakeFiles/gossip_core.dir/core/reliability_model.cpp.o.d"
+  "CMakeFiles/gossip_core.dir/core/success_model.cpp.o"
+  "CMakeFiles/gossip_core.dir/core/success_model.cpp.o.d"
+  "libgossip_core.a"
+  "libgossip_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gossip_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gossip_experiment.dir/experiment/component_mc.cpp.o"
+  "CMakeFiles/gossip_experiment.dir/experiment/component_mc.cpp.o.d"
+  "CMakeFiles/gossip_experiment.dir/experiment/csv.cpp.o"
+  "CMakeFiles/gossip_experiment.dir/experiment/csv.cpp.o.d"
+  "CMakeFiles/gossip_experiment.dir/experiment/meanfield.cpp.o"
+  "CMakeFiles/gossip_experiment.dir/experiment/meanfield.cpp.o.d"
+  "CMakeFiles/gossip_experiment.dir/experiment/monte_carlo.cpp.o"
+  "CMakeFiles/gossip_experiment.dir/experiment/monte_carlo.cpp.o.d"
+  "CMakeFiles/gossip_experiment.dir/experiment/sweep.cpp.o"
+  "CMakeFiles/gossip_experiment.dir/experiment/sweep.cpp.o.d"
+  "CMakeFiles/gossip_experiment.dir/experiment/table.cpp.o"
+  "CMakeFiles/gossip_experiment.dir/experiment/table.cpp.o.d"
+  "libgossip_experiment.a"
+  "libgossip_experiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gossip_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/components.cpp" "src/CMakeFiles/gossip_graph.dir/graph/components.cpp.o" "gcc" "src/CMakeFiles/gossip_graph.dir/graph/components.cpp.o.d"
+  "/root/repo/src/graph/digraph.cpp" "src/CMakeFiles/gossip_graph.dir/graph/digraph.cpp.o" "gcc" "src/CMakeFiles/gossip_graph.dir/graph/digraph.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "src/CMakeFiles/gossip_graph.dir/graph/generators.cpp.o" "gcc" "src/CMakeFiles/gossip_graph.dir/graph/generators.cpp.o.d"
+  "/root/repo/src/graph/reachability.cpp" "src/CMakeFiles/gossip_graph.dir/graph/reachability.cpp.o" "gcc" "src/CMakeFiles/gossip_graph.dir/graph/reachability.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/CMakeFiles/gossip_rng.dir/DependInfo.cmake"
+  "/root/repo/src/CMakeFiles/gossip_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

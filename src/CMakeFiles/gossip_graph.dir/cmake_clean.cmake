@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gossip_graph.dir/graph/components.cpp.o"
+  "CMakeFiles/gossip_graph.dir/graph/components.cpp.o.d"
+  "CMakeFiles/gossip_graph.dir/graph/digraph.cpp.o"
+  "CMakeFiles/gossip_graph.dir/graph/digraph.cpp.o.d"
+  "CMakeFiles/gossip_graph.dir/graph/generators.cpp.o"
+  "CMakeFiles/gossip_graph.dir/graph/generators.cpp.o.d"
+  "CMakeFiles/gossip_graph.dir/graph/reachability.cpp.o"
+  "CMakeFiles/gossip_graph.dir/graph/reachability.cpp.o.d"
+  "libgossip_graph.a"
+  "libgossip_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gossip_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

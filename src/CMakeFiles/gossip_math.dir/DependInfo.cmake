@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/math/fixed_point.cpp" "src/CMakeFiles/gossip_math.dir/math/fixed_point.cpp.o" "gcc" "src/CMakeFiles/gossip_math.dir/math/fixed_point.cpp.o.d"
+  "/root/repo/src/math/meanfield.cpp" "src/CMakeFiles/gossip_math.dir/math/meanfield.cpp.o" "gcc" "src/CMakeFiles/gossip_math.dir/math/meanfield.cpp.o.d"
+  "/root/repo/src/math/ode.cpp" "src/CMakeFiles/gossip_math.dir/math/ode.cpp.o" "gcc" "src/CMakeFiles/gossip_math.dir/math/ode.cpp.o.d"
+  "/root/repo/src/math/roots.cpp" "src/CMakeFiles/gossip_math.dir/math/roots.cpp.o" "gcc" "src/CMakeFiles/gossip_math.dir/math/roots.cpp.o.d"
+  "/root/repo/src/math/series.cpp" "src/CMakeFiles/gossip_math.dir/math/series.cpp.o" "gcc" "src/CMakeFiles/gossip_math.dir/math/series.cpp.o.d"
+  "/root/repo/src/math/special.cpp" "src/CMakeFiles/gossip_math.dir/math/special.cpp.o" "gcc" "src/CMakeFiles/gossip_math.dir/math/special.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gossip_math.dir/math/fixed_point.cpp.o"
+  "CMakeFiles/gossip_math.dir/math/fixed_point.cpp.o.d"
+  "CMakeFiles/gossip_math.dir/math/meanfield.cpp.o"
+  "CMakeFiles/gossip_math.dir/math/meanfield.cpp.o.d"
+  "CMakeFiles/gossip_math.dir/math/ode.cpp.o"
+  "CMakeFiles/gossip_math.dir/math/ode.cpp.o.d"
+  "CMakeFiles/gossip_math.dir/math/roots.cpp.o"
+  "CMakeFiles/gossip_math.dir/math/roots.cpp.o.d"
+  "CMakeFiles/gossip_math.dir/math/series.cpp.o"
+  "CMakeFiles/gossip_math.dir/math/series.cpp.o.d"
+  "CMakeFiles/gossip_math.dir/math/special.cpp.o"
+  "CMakeFiles/gossip_math.dir/math/special.cpp.o.d"
+  "libgossip_math.a"
+  "libgossip_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gossip_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

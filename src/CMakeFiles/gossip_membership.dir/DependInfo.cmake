@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/membership/dynamics.cpp" "src/CMakeFiles/gossip_membership.dir/membership/dynamics.cpp.o" "gcc" "src/CMakeFiles/gossip_membership.dir/membership/dynamics.cpp.o.d"
+  "/root/repo/src/membership/full_view.cpp" "src/CMakeFiles/gossip_membership.dir/membership/full_view.cpp.o" "gcc" "src/CMakeFiles/gossip_membership.dir/membership/full_view.cpp.o.d"
+  "/root/repo/src/membership/partial_view.cpp" "src/CMakeFiles/gossip_membership.dir/membership/partial_view.cpp.o" "gcc" "src/CMakeFiles/gossip_membership.dir/membership/partial_view.cpp.o.d"
+  "/root/repo/src/membership/scamp.cpp" "src/CMakeFiles/gossip_membership.dir/membership/scamp.cpp.o" "gcc" "src/CMakeFiles/gossip_membership.dir/membership/scamp.cpp.o.d"
+  "/root/repo/src/membership/topology_view.cpp" "src/CMakeFiles/gossip_membership.dir/membership/topology_view.cpp.o" "gcc" "src/CMakeFiles/gossip_membership.dir/membership/topology_view.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/CMakeFiles/gossip_rng.dir/DependInfo.cmake"
+  "/root/repo/src/CMakeFiles/gossip_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

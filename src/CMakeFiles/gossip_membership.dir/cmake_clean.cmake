@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gossip_membership.dir/membership/dynamics.cpp.o"
+  "CMakeFiles/gossip_membership.dir/membership/dynamics.cpp.o.d"
+  "CMakeFiles/gossip_membership.dir/membership/full_view.cpp.o"
+  "CMakeFiles/gossip_membership.dir/membership/full_view.cpp.o.d"
+  "CMakeFiles/gossip_membership.dir/membership/partial_view.cpp.o"
+  "CMakeFiles/gossip_membership.dir/membership/partial_view.cpp.o.d"
+  "CMakeFiles/gossip_membership.dir/membership/scamp.cpp.o"
+  "CMakeFiles/gossip_membership.dir/membership/scamp.cpp.o.d"
+  "CMakeFiles/gossip_membership.dir/membership/topology_view.cpp.o"
+  "CMakeFiles/gossip_membership.dir/membership/topology_view.cpp.o.d"
+  "libgossip_membership.a"
+  "libgossip_membership.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gossip_membership.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/latency.cpp" "src/CMakeFiles/gossip_net.dir/net/latency.cpp.o" "gcc" "src/CMakeFiles/gossip_net.dir/net/latency.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/CMakeFiles/gossip_net.dir/net/network.cpp.o" "gcc" "src/CMakeFiles/gossip_net.dir/net/network.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/CMakeFiles/gossip_rng.dir/DependInfo.cmake"
+  "/root/repo/src/CMakeFiles/gossip_sim.dir/DependInfo.cmake"
+  "/root/repo/src/CMakeFiles/gossip_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gossip_net.dir/net/latency.cpp.o"
+  "CMakeFiles/gossip_net.dir/net/latency.cpp.o.d"
+  "CMakeFiles/gossip_net.dir/net/network.cpp.o"
+  "CMakeFiles/gossip_net.dir/net/network.cpp.o.d"
+  "libgossip_net.a"
+  "libgossip_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gossip_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

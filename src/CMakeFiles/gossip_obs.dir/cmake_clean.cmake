@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gossip_obs.dir/obs/manifest.cpp.o"
+  "CMakeFiles/gossip_obs.dir/obs/manifest.cpp.o.d"
+  "CMakeFiles/gossip_obs.dir/obs/probe.cpp.o"
+  "CMakeFiles/gossip_obs.dir/obs/probe.cpp.o.d"
+  "libgossip_obs.a"
+  "libgossip_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gossip_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gossip_parallel.dir/parallel/parallel_for.cpp.o"
+  "CMakeFiles/gossip_parallel.dir/parallel/parallel_for.cpp.o.d"
+  "CMakeFiles/gossip_parallel.dir/parallel/thread_pool.cpp.o"
+  "CMakeFiles/gossip_parallel.dir/parallel/thread_pool.cpp.o.d"
+  "libgossip_parallel.a"
+  "libgossip_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gossip_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

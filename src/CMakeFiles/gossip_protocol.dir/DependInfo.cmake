@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/protocol/anti_entropy.cpp" "src/CMakeFiles/gossip_protocol.dir/protocol/anti_entropy.cpp.o" "gcc" "src/CMakeFiles/gossip_protocol.dir/protocol/anti_entropy.cpp.o.d"
+  "/root/repo/src/protocol/flat_gossip.cpp" "src/CMakeFiles/gossip_protocol.dir/protocol/flat_gossip.cpp.o" "gcc" "src/CMakeFiles/gossip_protocol.dir/protocol/flat_gossip.cpp.o.d"
+  "/root/repo/src/protocol/gossip_multicast.cpp" "src/CMakeFiles/gossip_protocol.dir/protocol/gossip_multicast.cpp.o" "gcc" "src/CMakeFiles/gossip_protocol.dir/protocol/gossip_multicast.cpp.o.d"
+  "/root/repo/src/protocol/repeated_gossip.cpp" "src/CMakeFiles/gossip_protocol.dir/protocol/repeated_gossip.cpp.o" "gcc" "src/CMakeFiles/gossip_protocol.dir/protocol/repeated_gossip.cpp.o.d"
+  "/root/repo/src/protocol/round_gossip.cpp" "src/CMakeFiles/gossip_protocol.dir/protocol/round_gossip.cpp.o" "gcc" "src/CMakeFiles/gossip_protocol.dir/protocol/round_gossip.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/CMakeFiles/gossip_core.dir/DependInfo.cmake"
+  "/root/repo/src/CMakeFiles/gossip_membership.dir/DependInfo.cmake"
+  "/root/repo/src/CMakeFiles/gossip_net.dir/DependInfo.cmake"
+  "/root/repo/src/CMakeFiles/gossip_obs.dir/DependInfo.cmake"
+  "/root/repo/src/CMakeFiles/gossip_rng.dir/DependInfo.cmake"
+  "/root/repo/src/CMakeFiles/gossip_sim.dir/DependInfo.cmake"
+  "/root/repo/src/CMakeFiles/gossip_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

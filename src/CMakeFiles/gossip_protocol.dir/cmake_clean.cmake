@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gossip_protocol.dir/protocol/anti_entropy.cpp.o"
+  "CMakeFiles/gossip_protocol.dir/protocol/anti_entropy.cpp.o.d"
+  "CMakeFiles/gossip_protocol.dir/protocol/flat_gossip.cpp.o"
+  "CMakeFiles/gossip_protocol.dir/protocol/flat_gossip.cpp.o.d"
+  "CMakeFiles/gossip_protocol.dir/protocol/gossip_multicast.cpp.o"
+  "CMakeFiles/gossip_protocol.dir/protocol/gossip_multicast.cpp.o.d"
+  "CMakeFiles/gossip_protocol.dir/protocol/repeated_gossip.cpp.o"
+  "CMakeFiles/gossip_protocol.dir/protocol/repeated_gossip.cpp.o.d"
+  "CMakeFiles/gossip_protocol.dir/protocol/round_gossip.cpp.o"
+  "CMakeFiles/gossip_protocol.dir/protocol/round_gossip.cpp.o.d"
+  "libgossip_protocol.a"
+  "libgossip_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gossip_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rng/alias_table.cpp" "src/CMakeFiles/gossip_rng.dir/rng/alias_table.cpp.o" "gcc" "src/CMakeFiles/gossip_rng.dir/rng/alias_table.cpp.o.d"
+  "/root/repo/src/rng/distributions.cpp" "src/CMakeFiles/gossip_rng.dir/rng/distributions.cpp.o" "gcc" "src/CMakeFiles/gossip_rng.dir/rng/distributions.cpp.o.d"
+  "/root/repo/src/rng/lut_sampler.cpp" "src/CMakeFiles/gossip_rng.dir/rng/lut_sampler.cpp.o" "gcc" "src/CMakeFiles/gossip_rng.dir/rng/lut_sampler.cpp.o.d"
+  "/root/repo/src/rng/rng_stream.cpp" "src/CMakeFiles/gossip_rng.dir/rng/rng_stream.cpp.o" "gcc" "src/CMakeFiles/gossip_rng.dir/rng/rng_stream.cpp.o.d"
+  "/root/repo/src/rng/xoshiro256.cpp" "src/CMakeFiles/gossip_rng.dir/rng/xoshiro256.cpp.o" "gcc" "src/CMakeFiles/gossip_rng.dir/rng/xoshiro256.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/CMakeFiles/gossip_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

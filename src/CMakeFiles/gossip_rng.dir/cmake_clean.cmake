@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gossip_rng.dir/rng/alias_table.cpp.o"
+  "CMakeFiles/gossip_rng.dir/rng/alias_table.cpp.o.d"
+  "CMakeFiles/gossip_rng.dir/rng/distributions.cpp.o"
+  "CMakeFiles/gossip_rng.dir/rng/distributions.cpp.o.d"
+  "CMakeFiles/gossip_rng.dir/rng/lut_sampler.cpp.o"
+  "CMakeFiles/gossip_rng.dir/rng/lut_sampler.cpp.o.d"
+  "CMakeFiles/gossip_rng.dir/rng/rng_stream.cpp.o"
+  "CMakeFiles/gossip_rng.dir/rng/rng_stream.cpp.o.d"
+  "CMakeFiles/gossip_rng.dir/rng/xoshiro256.cpp.o"
+  "CMakeFiles/gossip_rng.dir/rng/xoshiro256.cpp.o.d"
+  "libgossip_rng.a"
+  "libgossip_rng.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gossip_rng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

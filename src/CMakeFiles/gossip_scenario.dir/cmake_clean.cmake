@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gossip_scenario.dir/scenario/compare.cpp.o"
+  "CMakeFiles/gossip_scenario.dir/scenario/compare.cpp.o.d"
+  "CMakeFiles/gossip_scenario.dir/scenario/failure_models.cpp.o"
+  "CMakeFiles/gossip_scenario.dir/scenario/failure_models.cpp.o.d"
+  "CMakeFiles/gossip_scenario.dir/scenario/manifest.cpp.o"
+  "CMakeFiles/gossip_scenario.dir/scenario/manifest.cpp.o.d"
+  "CMakeFiles/gossip_scenario.dir/scenario/registry.cpp.o"
+  "CMakeFiles/gossip_scenario.dir/scenario/registry.cpp.o.d"
+  "CMakeFiles/gossip_scenario.dir/scenario/runner.cpp.o"
+  "CMakeFiles/gossip_scenario.dir/scenario/runner.cpp.o.d"
+  "CMakeFiles/gossip_scenario.dir/scenario/spec.cpp.o"
+  "CMakeFiles/gossip_scenario.dir/scenario/spec.cpp.o.d"
+  "CMakeFiles/gossip_scenario.dir/scenario/topology.cpp.o"
+  "CMakeFiles/gossip_scenario.dir/scenario/topology.cpp.o.d"
+  "libgossip_scenario.a"
+  "libgossip_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gossip_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgossip_scenario.a"
+)

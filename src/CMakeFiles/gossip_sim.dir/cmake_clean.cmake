@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gossip_sim.dir/sim/event_queue.cpp.o"
+  "CMakeFiles/gossip_sim.dir/sim/event_queue.cpp.o.d"
+  "CMakeFiles/gossip_sim.dir/sim/simulator.cpp.o"
+  "CMakeFiles/gossip_sim.dir/sim/simulator.cpp.o.d"
+  "libgossip_sim.a"
+  "libgossip_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gossip_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

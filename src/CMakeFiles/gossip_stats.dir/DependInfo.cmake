@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/ci.cpp" "src/CMakeFiles/gossip_stats.dir/stats/ci.cpp.o" "gcc" "src/CMakeFiles/gossip_stats.dir/stats/ci.cpp.o.d"
+  "/root/repo/src/stats/fit.cpp" "src/CMakeFiles/gossip_stats.dir/stats/fit.cpp.o" "gcc" "src/CMakeFiles/gossip_stats.dir/stats/fit.cpp.o.d"
+  "/root/repo/src/stats/gof.cpp" "src/CMakeFiles/gossip_stats.dir/stats/gof.cpp.o" "gcc" "src/CMakeFiles/gossip_stats.dir/stats/gof.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/CMakeFiles/gossip_stats.dir/stats/histogram.cpp.o" "gcc" "src/CMakeFiles/gossip_stats.dir/stats/histogram.cpp.o.d"
+  "/root/repo/src/stats/summary.cpp" "src/CMakeFiles/gossip_stats.dir/stats/summary.cpp.o" "gcc" "src/CMakeFiles/gossip_stats.dir/stats/summary.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/CMakeFiles/gossip_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gossip_stats.dir/stats/ci.cpp.o"
+  "CMakeFiles/gossip_stats.dir/stats/ci.cpp.o.d"
+  "CMakeFiles/gossip_stats.dir/stats/fit.cpp.o"
+  "CMakeFiles/gossip_stats.dir/stats/fit.cpp.o.d"
+  "CMakeFiles/gossip_stats.dir/stats/gof.cpp.o"
+  "CMakeFiles/gossip_stats.dir/stats/gof.cpp.o.d"
+  "CMakeFiles/gossip_stats.dir/stats/histogram.cpp.o"
+  "CMakeFiles/gossip_stats.dir/stats/histogram.cpp.o.d"
+  "CMakeFiles/gossip_stats.dir/stats/summary.cpp.o"
+  "CMakeFiles/gossip_stats.dir/stats/summary.cpp.o.d"
+  "libgossip_stats.a"
+  "libgossip_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gossip_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/anti_entropy_model_test.cpp" "tests/CMakeFiles/gossip_core_tests.dir/core/anti_entropy_model_test.cpp.o" "gcc" "tests/CMakeFiles/gossip_core_tests.dir/core/anti_entropy_model_test.cpp.o.d"
+  "/root/repo/tests/core/baselines_test.cpp" "tests/CMakeFiles/gossip_core_tests.dir/core/baselines_test.cpp.o" "gcc" "tests/CMakeFiles/gossip_core_tests.dir/core/baselines_test.cpp.o.d"
+  "/root/repo/tests/core/bitvec_test.cpp" "tests/CMakeFiles/gossip_core_tests.dir/core/bitvec_test.cpp.o" "gcc" "tests/CMakeFiles/gossip_core_tests.dir/core/bitvec_test.cpp.o.d"
+  "/root/repo/tests/core/branching_test.cpp" "tests/CMakeFiles/gossip_core_tests.dir/core/branching_test.cpp.o" "gcc" "tests/CMakeFiles/gossip_core_tests.dir/core/branching_test.cpp.o.d"
+  "/root/repo/tests/core/degree_distribution_test.cpp" "tests/CMakeFiles/gossip_core_tests.dir/core/degree_distribution_test.cpp.o" "gcc" "tests/CMakeFiles/gossip_core_tests.dir/core/degree_distribution_test.cpp.o.d"
+  "/root/repo/tests/core/fanout_planner_test.cpp" "tests/CMakeFiles/gossip_core_tests.dir/core/fanout_planner_test.cpp.o" "gcc" "tests/CMakeFiles/gossip_core_tests.dir/core/fanout_planner_test.cpp.o.d"
+  "/root/repo/tests/core/generating_function_test.cpp" "tests/CMakeFiles/gossip_core_tests.dir/core/generating_function_test.cpp.o" "gcc" "tests/CMakeFiles/gossip_core_tests.dir/core/generating_function_test.cpp.o.d"
+  "/root/repo/tests/core/occupancy_percolation_test.cpp" "tests/CMakeFiles/gossip_core_tests.dir/core/occupancy_percolation_test.cpp.o" "gcc" "tests/CMakeFiles/gossip_core_tests.dir/core/occupancy_percolation_test.cpp.o.d"
+  "/root/repo/tests/core/percolation_test.cpp" "tests/CMakeFiles/gossip_core_tests.dir/core/percolation_test.cpp.o" "gcc" "tests/CMakeFiles/gossip_core_tests.dir/core/percolation_test.cpp.o.d"
+  "/root/repo/tests/core/reliability_model_test.cpp" "tests/CMakeFiles/gossip_core_tests.dir/core/reliability_model_test.cpp.o" "gcc" "tests/CMakeFiles/gossip_core_tests.dir/core/reliability_model_test.cpp.o.d"
+  "/root/repo/tests/core/success_model_test.cpp" "tests/CMakeFiles/gossip_core_tests.dir/core/success_model_test.cpp.o" "gcc" "tests/CMakeFiles/gossip_core_tests.dir/core/success_model_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/CMakeFiles/gossip_core.dir/DependInfo.cmake"
+  "/root/repo/src/CMakeFiles/gossip_experiment.dir/DependInfo.cmake"
+  "/root/repo/src/CMakeFiles/gossip_stats.dir/DependInfo.cmake"
+  "/root/repo/src/CMakeFiles/gossip_graph.dir/DependInfo.cmake"
+  "/root/repo/src/CMakeFiles/gossip_parallel.dir/DependInfo.cmake"
+  "/root/repo/src/CMakeFiles/gossip_protocol.dir/DependInfo.cmake"
+  "/root/repo/src/CMakeFiles/gossip_obs.dir/DependInfo.cmake"
+  "/root/repo/src/CMakeFiles/gossip_membership.dir/DependInfo.cmake"
+  "/root/repo/src/CMakeFiles/gossip_net.dir/DependInfo.cmake"
+  "/root/repo/src/CMakeFiles/gossip_rng.dir/DependInfo.cmake"
+  "/root/repo/src/CMakeFiles/gossip_math.dir/DependInfo.cmake"
+  "/root/repo/src/CMakeFiles/gossip_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

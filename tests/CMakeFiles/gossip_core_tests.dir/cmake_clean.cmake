@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gossip_core_tests.dir/core/anti_entropy_model_test.cpp.o"
+  "CMakeFiles/gossip_core_tests.dir/core/anti_entropy_model_test.cpp.o.d"
+  "CMakeFiles/gossip_core_tests.dir/core/baselines_test.cpp.o"
+  "CMakeFiles/gossip_core_tests.dir/core/baselines_test.cpp.o.d"
+  "CMakeFiles/gossip_core_tests.dir/core/bitvec_test.cpp.o"
+  "CMakeFiles/gossip_core_tests.dir/core/bitvec_test.cpp.o.d"
+  "CMakeFiles/gossip_core_tests.dir/core/branching_test.cpp.o"
+  "CMakeFiles/gossip_core_tests.dir/core/branching_test.cpp.o.d"
+  "CMakeFiles/gossip_core_tests.dir/core/degree_distribution_test.cpp.o"
+  "CMakeFiles/gossip_core_tests.dir/core/degree_distribution_test.cpp.o.d"
+  "CMakeFiles/gossip_core_tests.dir/core/fanout_planner_test.cpp.o"
+  "CMakeFiles/gossip_core_tests.dir/core/fanout_planner_test.cpp.o.d"
+  "CMakeFiles/gossip_core_tests.dir/core/generating_function_test.cpp.o"
+  "CMakeFiles/gossip_core_tests.dir/core/generating_function_test.cpp.o.d"
+  "CMakeFiles/gossip_core_tests.dir/core/occupancy_percolation_test.cpp.o"
+  "CMakeFiles/gossip_core_tests.dir/core/occupancy_percolation_test.cpp.o.d"
+  "CMakeFiles/gossip_core_tests.dir/core/percolation_test.cpp.o"
+  "CMakeFiles/gossip_core_tests.dir/core/percolation_test.cpp.o.d"
+  "CMakeFiles/gossip_core_tests.dir/core/reliability_model_test.cpp.o"
+  "CMakeFiles/gossip_core_tests.dir/core/reliability_model_test.cpp.o.d"
+  "CMakeFiles/gossip_core_tests.dir/core/success_model_test.cpp.o"
+  "CMakeFiles/gossip_core_tests.dir/core/success_model_test.cpp.o.d"
+  "gossip_core_tests"
+  "gossip_core_tests.pdb"
+  "gossip_core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gossip_core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gossip_experiment_tests.dir/experiment/component_mc_test.cpp.o"
+  "CMakeFiles/gossip_experiment_tests.dir/experiment/component_mc_test.cpp.o.d"
+  "CMakeFiles/gossip_experiment_tests.dir/experiment/harness_test.cpp.o"
+  "CMakeFiles/gossip_experiment_tests.dir/experiment/harness_test.cpp.o.d"
+  "CMakeFiles/gossip_experiment_tests.dir/experiment/monte_carlo_test.cpp.o"
+  "CMakeFiles/gossip_experiment_tests.dir/experiment/monte_carlo_test.cpp.o.d"
+  "gossip_experiment_tests"
+  "gossip_experiment_tests.pdb"
+  "gossip_experiment_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gossip_experiment_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

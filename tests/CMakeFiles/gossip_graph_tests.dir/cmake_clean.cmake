@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gossip_graph_tests.dir/graph/components_test.cpp.o"
+  "CMakeFiles/gossip_graph_tests.dir/graph/components_test.cpp.o.d"
+  "CMakeFiles/gossip_graph_tests.dir/graph/digraph_test.cpp.o"
+  "CMakeFiles/gossip_graph_tests.dir/graph/digraph_test.cpp.o.d"
+  "CMakeFiles/gossip_graph_tests.dir/graph/generators_test.cpp.o"
+  "CMakeFiles/gossip_graph_tests.dir/graph/generators_test.cpp.o.d"
+  "CMakeFiles/gossip_graph_tests.dir/graph/reachability_test.cpp.o"
+  "CMakeFiles/gossip_graph_tests.dir/graph/reachability_test.cpp.o.d"
+  "CMakeFiles/gossip_graph_tests.dir/graph/topology_generators_test.cpp.o"
+  "CMakeFiles/gossip_graph_tests.dir/graph/topology_generators_test.cpp.o.d"
+  "gossip_graph_tests"
+  "gossip_graph_tests.pdb"
+  "gossip_graph_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gossip_graph_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/baseline_consistency_test.cpp" "tests/CMakeFiles/gossip_integration_tests.dir/integration/baseline_consistency_test.cpp.o" "gcc" "tests/CMakeFiles/gossip_integration_tests.dir/integration/baseline_consistency_test.cpp.o.d"
+  "/root/repo/tests/integration/determinism_test.cpp" "tests/CMakeFiles/gossip_integration_tests.dir/integration/determinism_test.cpp.o" "gcc" "tests/CMakeFiles/gossip_integration_tests.dir/integration/determinism_test.cpp.o.d"
+  "/root/repo/tests/integration/flat_equivalence_test.cpp" "tests/CMakeFiles/gossip_integration_tests.dir/integration/flat_equivalence_test.cpp.o" "gcc" "tests/CMakeFiles/gossip_integration_tests.dir/integration/flat_equivalence_test.cpp.o.d"
+  "/root/repo/tests/integration/golden_trace_test.cpp" "tests/CMakeFiles/gossip_integration_tests.dir/integration/golden_trace_test.cpp.o" "gcc" "tests/CMakeFiles/gossip_integration_tests.dir/integration/golden_trace_test.cpp.o.d"
+  "/root/repo/tests/integration/model_vs_simulation_test.cpp" "tests/CMakeFiles/gossip_integration_tests.dir/integration/model_vs_simulation_test.cpp.o" "gcc" "tests/CMakeFiles/gossip_integration_tests.dir/integration/model_vs_simulation_test.cpp.o.d"
+  "/root/repo/tests/integration/paper_figures_test.cpp" "tests/CMakeFiles/gossip_integration_tests.dir/integration/paper_figures_test.cpp.o" "gcc" "tests/CMakeFiles/gossip_integration_tests.dir/integration/paper_figures_test.cpp.o.d"
+  "/root/repo/tests/integration/property_sweep_test.cpp" "tests/CMakeFiles/gossip_integration_tests.dir/integration/property_sweep_test.cpp.o" "gcc" "tests/CMakeFiles/gossip_integration_tests.dir/integration/property_sweep_test.cpp.o.d"
+  "/root/repo/tests/integration/topology_golden_test.cpp" "tests/CMakeFiles/gossip_integration_tests.dir/integration/topology_golden_test.cpp.o" "gcc" "tests/CMakeFiles/gossip_integration_tests.dir/integration/topology_golden_test.cpp.o.d"
+  "/root/repo/tests/integration/trace_anchor_test.cpp" "tests/CMakeFiles/gossip_integration_tests.dir/integration/trace_anchor_test.cpp.o" "gcc" "tests/CMakeFiles/gossip_integration_tests.dir/integration/trace_anchor_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/CMakeFiles/gossip_experiment.dir/DependInfo.cmake"
+  "/root/repo/src/CMakeFiles/gossip_scenario.dir/DependInfo.cmake"
+  "/root/repo/src/CMakeFiles/gossip_stats.dir/DependInfo.cmake"
+  "/root/repo/src/CMakeFiles/gossip_graph.dir/DependInfo.cmake"
+  "/root/repo/src/CMakeFiles/gossip_parallel.dir/DependInfo.cmake"
+  "/root/repo/src/CMakeFiles/gossip_protocol.dir/DependInfo.cmake"
+  "/root/repo/src/CMakeFiles/gossip_core.dir/DependInfo.cmake"
+  "/root/repo/src/CMakeFiles/gossip_obs.dir/DependInfo.cmake"
+  "/root/repo/src/CMakeFiles/gossip_membership.dir/DependInfo.cmake"
+  "/root/repo/src/CMakeFiles/gossip_net.dir/DependInfo.cmake"
+  "/root/repo/src/CMakeFiles/gossip_rng.dir/DependInfo.cmake"
+  "/root/repo/src/CMakeFiles/gossip_math.dir/DependInfo.cmake"
+  "/root/repo/src/CMakeFiles/gossip_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

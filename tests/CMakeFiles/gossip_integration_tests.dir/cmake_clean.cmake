@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gossip_integration_tests.dir/integration/baseline_consistency_test.cpp.o"
+  "CMakeFiles/gossip_integration_tests.dir/integration/baseline_consistency_test.cpp.o.d"
+  "CMakeFiles/gossip_integration_tests.dir/integration/determinism_test.cpp.o"
+  "CMakeFiles/gossip_integration_tests.dir/integration/determinism_test.cpp.o.d"
+  "CMakeFiles/gossip_integration_tests.dir/integration/flat_equivalence_test.cpp.o"
+  "CMakeFiles/gossip_integration_tests.dir/integration/flat_equivalence_test.cpp.o.d"
+  "CMakeFiles/gossip_integration_tests.dir/integration/golden_trace_test.cpp.o"
+  "CMakeFiles/gossip_integration_tests.dir/integration/golden_trace_test.cpp.o.d"
+  "CMakeFiles/gossip_integration_tests.dir/integration/model_vs_simulation_test.cpp.o"
+  "CMakeFiles/gossip_integration_tests.dir/integration/model_vs_simulation_test.cpp.o.d"
+  "CMakeFiles/gossip_integration_tests.dir/integration/paper_figures_test.cpp.o"
+  "CMakeFiles/gossip_integration_tests.dir/integration/paper_figures_test.cpp.o.d"
+  "CMakeFiles/gossip_integration_tests.dir/integration/property_sweep_test.cpp.o"
+  "CMakeFiles/gossip_integration_tests.dir/integration/property_sweep_test.cpp.o.d"
+  "CMakeFiles/gossip_integration_tests.dir/integration/topology_golden_test.cpp.o"
+  "CMakeFiles/gossip_integration_tests.dir/integration/topology_golden_test.cpp.o.d"
+  "CMakeFiles/gossip_integration_tests.dir/integration/trace_anchor_test.cpp.o"
+  "CMakeFiles/gossip_integration_tests.dir/integration/trace_anchor_test.cpp.o.d"
+  "gossip_integration_tests"
+  "gossip_integration_tests.pdb"
+  "gossip_integration_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gossip_integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

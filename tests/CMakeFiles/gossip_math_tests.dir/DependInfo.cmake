@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/math/fixed_point_test.cpp" "tests/CMakeFiles/gossip_math_tests.dir/math/fixed_point_test.cpp.o" "gcc" "tests/CMakeFiles/gossip_math_tests.dir/math/fixed_point_test.cpp.o.d"
+  "/root/repo/tests/math/meanfield_test.cpp" "tests/CMakeFiles/gossip_math_tests.dir/math/meanfield_test.cpp.o" "gcc" "tests/CMakeFiles/gossip_math_tests.dir/math/meanfield_test.cpp.o.d"
+  "/root/repo/tests/math/ode_test.cpp" "tests/CMakeFiles/gossip_math_tests.dir/math/ode_test.cpp.o" "gcc" "tests/CMakeFiles/gossip_math_tests.dir/math/ode_test.cpp.o.d"
+  "/root/repo/tests/math/roots_test.cpp" "tests/CMakeFiles/gossip_math_tests.dir/math/roots_test.cpp.o" "gcc" "tests/CMakeFiles/gossip_math_tests.dir/math/roots_test.cpp.o.d"
+  "/root/repo/tests/math/series_test.cpp" "tests/CMakeFiles/gossip_math_tests.dir/math/series_test.cpp.o" "gcc" "tests/CMakeFiles/gossip_math_tests.dir/math/series_test.cpp.o.d"
+  "/root/repo/tests/math/special_test.cpp" "tests/CMakeFiles/gossip_math_tests.dir/math/special_test.cpp.o" "gcc" "tests/CMakeFiles/gossip_math_tests.dir/math/special_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/CMakeFiles/gossip_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

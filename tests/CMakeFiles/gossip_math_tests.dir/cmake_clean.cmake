@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gossip_math_tests.dir/math/fixed_point_test.cpp.o"
+  "CMakeFiles/gossip_math_tests.dir/math/fixed_point_test.cpp.o.d"
+  "CMakeFiles/gossip_math_tests.dir/math/meanfield_test.cpp.o"
+  "CMakeFiles/gossip_math_tests.dir/math/meanfield_test.cpp.o.d"
+  "CMakeFiles/gossip_math_tests.dir/math/ode_test.cpp.o"
+  "CMakeFiles/gossip_math_tests.dir/math/ode_test.cpp.o.d"
+  "CMakeFiles/gossip_math_tests.dir/math/roots_test.cpp.o"
+  "CMakeFiles/gossip_math_tests.dir/math/roots_test.cpp.o.d"
+  "CMakeFiles/gossip_math_tests.dir/math/series_test.cpp.o"
+  "CMakeFiles/gossip_math_tests.dir/math/series_test.cpp.o.d"
+  "CMakeFiles/gossip_math_tests.dir/math/special_test.cpp.o"
+  "CMakeFiles/gossip_math_tests.dir/math/special_test.cpp.o.d"
+  "gossip_math_tests"
+  "gossip_math_tests.pdb"
+  "gossip_math_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gossip_math_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/membership/dynamics_test.cpp" "tests/CMakeFiles/gossip_membership_tests.dir/membership/dynamics_test.cpp.o" "gcc" "tests/CMakeFiles/gossip_membership_tests.dir/membership/dynamics_test.cpp.o.d"
+  "/root/repo/tests/membership/full_view_test.cpp" "tests/CMakeFiles/gossip_membership_tests.dir/membership/full_view_test.cpp.o" "gcc" "tests/CMakeFiles/gossip_membership_tests.dir/membership/full_view_test.cpp.o.d"
+  "/root/repo/tests/membership/partial_view_test.cpp" "tests/CMakeFiles/gossip_membership_tests.dir/membership/partial_view_test.cpp.o" "gcc" "tests/CMakeFiles/gossip_membership_tests.dir/membership/partial_view_test.cpp.o.d"
+  "/root/repo/tests/membership/scamp_test.cpp" "tests/CMakeFiles/gossip_membership_tests.dir/membership/scamp_test.cpp.o" "gcc" "tests/CMakeFiles/gossip_membership_tests.dir/membership/scamp_test.cpp.o.d"
+  "/root/repo/tests/membership/topology_view_test.cpp" "tests/CMakeFiles/gossip_membership_tests.dir/membership/topology_view_test.cpp.o" "gcc" "tests/CMakeFiles/gossip_membership_tests.dir/membership/topology_view_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/CMakeFiles/gossip_membership.dir/DependInfo.cmake"
+  "/root/repo/src/CMakeFiles/gossip_stats.dir/DependInfo.cmake"
+  "/root/repo/src/CMakeFiles/gossip_rng.dir/DependInfo.cmake"
+  "/root/repo/src/CMakeFiles/gossip_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

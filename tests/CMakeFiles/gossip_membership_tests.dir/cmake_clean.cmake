@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gossip_membership_tests.dir/membership/dynamics_test.cpp.o"
+  "CMakeFiles/gossip_membership_tests.dir/membership/dynamics_test.cpp.o.d"
+  "CMakeFiles/gossip_membership_tests.dir/membership/full_view_test.cpp.o"
+  "CMakeFiles/gossip_membership_tests.dir/membership/full_view_test.cpp.o.d"
+  "CMakeFiles/gossip_membership_tests.dir/membership/partial_view_test.cpp.o"
+  "CMakeFiles/gossip_membership_tests.dir/membership/partial_view_test.cpp.o.d"
+  "CMakeFiles/gossip_membership_tests.dir/membership/scamp_test.cpp.o"
+  "CMakeFiles/gossip_membership_tests.dir/membership/scamp_test.cpp.o.d"
+  "CMakeFiles/gossip_membership_tests.dir/membership/topology_view_test.cpp.o"
+  "CMakeFiles/gossip_membership_tests.dir/membership/topology_view_test.cpp.o.d"
+  "gossip_membership_tests"
+  "gossip_membership_tests.pdb"
+  "gossip_membership_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gossip_membership_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

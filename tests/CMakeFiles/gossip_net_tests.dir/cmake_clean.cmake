@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gossip_net_tests.dir/net/latency_test.cpp.o"
+  "CMakeFiles/gossip_net_tests.dir/net/latency_test.cpp.o.d"
+  "CMakeFiles/gossip_net_tests.dir/net/network_test.cpp.o"
+  "CMakeFiles/gossip_net_tests.dir/net/network_test.cpp.o.d"
+  "gossip_net_tests"
+  "gossip_net_tests.pdb"
+  "gossip_net_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gossip_net_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

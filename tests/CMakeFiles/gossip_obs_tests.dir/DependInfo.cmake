@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/obs/manifest_test.cpp" "tests/CMakeFiles/gossip_obs_tests.dir/obs/manifest_test.cpp.o" "gcc" "tests/CMakeFiles/gossip_obs_tests.dir/obs/manifest_test.cpp.o.d"
+  "/root/repo/tests/obs/probe_test.cpp" "tests/CMakeFiles/gossip_obs_tests.dir/obs/probe_test.cpp.o" "gcc" "tests/CMakeFiles/gossip_obs_tests.dir/obs/probe_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/CMakeFiles/gossip_obs.dir/DependInfo.cmake"
+  "/root/repo/src/CMakeFiles/gossip_stats.dir/DependInfo.cmake"
+  "/root/repo/src/CMakeFiles/gossip_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

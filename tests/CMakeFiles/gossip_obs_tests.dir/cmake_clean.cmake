@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gossip_obs_tests.dir/obs/manifest_test.cpp.o"
+  "CMakeFiles/gossip_obs_tests.dir/obs/manifest_test.cpp.o.d"
+  "CMakeFiles/gossip_obs_tests.dir/obs/probe_test.cpp.o"
+  "CMakeFiles/gossip_obs_tests.dir/obs/probe_test.cpp.o.d"
+  "gossip_obs_tests"
+  "gossip_obs_tests.pdb"
+  "gossip_obs_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gossip_obs_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gossip_parallel_tests.dir/parallel/parallel_for_test.cpp.o"
+  "CMakeFiles/gossip_parallel_tests.dir/parallel/parallel_for_test.cpp.o.d"
+  "CMakeFiles/gossip_parallel_tests.dir/parallel/thread_pool_test.cpp.o"
+  "CMakeFiles/gossip_parallel_tests.dir/parallel/thread_pool_test.cpp.o.d"
+  "gossip_parallel_tests"
+  "gossip_parallel_tests.pdb"
+  "gossip_parallel_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gossip_parallel_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/protocol/anti_entropy_test.cpp" "tests/CMakeFiles/gossip_protocol_tests.dir/protocol/anti_entropy_test.cpp.o" "gcc" "tests/CMakeFiles/gossip_protocol_tests.dir/protocol/anti_entropy_test.cpp.o.d"
+  "/root/repo/tests/protocol/dynamic_crash_test.cpp" "tests/CMakeFiles/gossip_protocol_tests.dir/protocol/dynamic_crash_test.cpp.o" "gcc" "tests/CMakeFiles/gossip_protocol_tests.dir/protocol/dynamic_crash_test.cpp.o.d"
+  "/root/repo/tests/protocol/flat_gossip_test.cpp" "tests/CMakeFiles/gossip_protocol_tests.dir/protocol/flat_gossip_test.cpp.o" "gcc" "tests/CMakeFiles/gossip_protocol_tests.dir/protocol/flat_gossip_test.cpp.o.d"
+  "/root/repo/tests/protocol/gossip_multicast_test.cpp" "tests/CMakeFiles/gossip_protocol_tests.dir/protocol/gossip_multicast_test.cpp.o" "gcc" "tests/CMakeFiles/gossip_protocol_tests.dir/protocol/gossip_multicast_test.cpp.o.d"
+  "/root/repo/tests/protocol/probe_trace_test.cpp" "tests/CMakeFiles/gossip_protocol_tests.dir/protocol/probe_trace_test.cpp.o" "gcc" "tests/CMakeFiles/gossip_protocol_tests.dir/protocol/probe_trace_test.cpp.o.d"
+  "/root/repo/tests/protocol/repeated_gossip_test.cpp" "tests/CMakeFiles/gossip_protocol_tests.dir/protocol/repeated_gossip_test.cpp.o" "gcc" "tests/CMakeFiles/gossip_protocol_tests.dir/protocol/repeated_gossip_test.cpp.o.d"
+  "/root/repo/tests/protocol/round_gossip_test.cpp" "tests/CMakeFiles/gossip_protocol_tests.dir/protocol/round_gossip_test.cpp.o" "gcc" "tests/CMakeFiles/gossip_protocol_tests.dir/protocol/round_gossip_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/CMakeFiles/gossip_protocol.dir/DependInfo.cmake"
+  "/root/repo/src/CMakeFiles/gossip_graph.dir/DependInfo.cmake"
+  "/root/repo/src/CMakeFiles/gossip_stats.dir/DependInfo.cmake"
+  "/root/repo/src/CMakeFiles/gossip_core.dir/DependInfo.cmake"
+  "/root/repo/src/CMakeFiles/gossip_membership.dir/DependInfo.cmake"
+  "/root/repo/src/CMakeFiles/gossip_net.dir/DependInfo.cmake"
+  "/root/repo/src/CMakeFiles/gossip_obs.dir/DependInfo.cmake"
+  "/root/repo/src/CMakeFiles/gossip_sim.dir/DependInfo.cmake"
+  "/root/repo/src/CMakeFiles/gossip_rng.dir/DependInfo.cmake"
+  "/root/repo/src/CMakeFiles/gossip_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gossip_protocol_tests.dir/protocol/anti_entropy_test.cpp.o"
+  "CMakeFiles/gossip_protocol_tests.dir/protocol/anti_entropy_test.cpp.o.d"
+  "CMakeFiles/gossip_protocol_tests.dir/protocol/dynamic_crash_test.cpp.o"
+  "CMakeFiles/gossip_protocol_tests.dir/protocol/dynamic_crash_test.cpp.o.d"
+  "CMakeFiles/gossip_protocol_tests.dir/protocol/flat_gossip_test.cpp.o"
+  "CMakeFiles/gossip_protocol_tests.dir/protocol/flat_gossip_test.cpp.o.d"
+  "CMakeFiles/gossip_protocol_tests.dir/protocol/gossip_multicast_test.cpp.o"
+  "CMakeFiles/gossip_protocol_tests.dir/protocol/gossip_multicast_test.cpp.o.d"
+  "CMakeFiles/gossip_protocol_tests.dir/protocol/probe_trace_test.cpp.o"
+  "CMakeFiles/gossip_protocol_tests.dir/protocol/probe_trace_test.cpp.o.d"
+  "CMakeFiles/gossip_protocol_tests.dir/protocol/repeated_gossip_test.cpp.o"
+  "CMakeFiles/gossip_protocol_tests.dir/protocol/repeated_gossip_test.cpp.o.d"
+  "CMakeFiles/gossip_protocol_tests.dir/protocol/round_gossip_test.cpp.o"
+  "CMakeFiles/gossip_protocol_tests.dir/protocol/round_gossip_test.cpp.o.d"
+  "gossip_protocol_tests"
+  "gossip_protocol_tests.pdb"
+  "gossip_protocol_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gossip_protocol_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

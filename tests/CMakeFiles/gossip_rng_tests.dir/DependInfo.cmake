@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/rng/alias_table_test.cpp" "tests/CMakeFiles/gossip_rng_tests.dir/rng/alias_table_test.cpp.o" "gcc" "tests/CMakeFiles/gossip_rng_tests.dir/rng/alias_table_test.cpp.o.d"
+  "/root/repo/tests/rng/distributions_test.cpp" "tests/CMakeFiles/gossip_rng_tests.dir/rng/distributions_test.cpp.o" "gcc" "tests/CMakeFiles/gossip_rng_tests.dir/rng/distributions_test.cpp.o.d"
+  "/root/repo/tests/rng/lut_property_test.cpp" "tests/CMakeFiles/gossip_rng_tests.dir/rng/lut_property_test.cpp.o" "gcc" "tests/CMakeFiles/gossip_rng_tests.dir/rng/lut_property_test.cpp.o.d"
+  "/root/repo/tests/rng/lut_sampler_test.cpp" "tests/CMakeFiles/gossip_rng_tests.dir/rng/lut_sampler_test.cpp.o" "gcc" "tests/CMakeFiles/gossip_rng_tests.dir/rng/lut_sampler_test.cpp.o.d"
+  "/root/repo/tests/rng/rng_stream_test.cpp" "tests/CMakeFiles/gossip_rng_tests.dir/rng/rng_stream_test.cpp.o" "gcc" "tests/CMakeFiles/gossip_rng_tests.dir/rng/rng_stream_test.cpp.o.d"
+  "/root/repo/tests/rng/xoshiro_test.cpp" "tests/CMakeFiles/gossip_rng_tests.dir/rng/xoshiro_test.cpp.o" "gcc" "tests/CMakeFiles/gossip_rng_tests.dir/rng/xoshiro_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/CMakeFiles/gossip_rng.dir/DependInfo.cmake"
+  "/root/repo/src/CMakeFiles/gossip_core.dir/DependInfo.cmake"
+  "/root/repo/src/CMakeFiles/gossip_stats.dir/DependInfo.cmake"
+  "/root/repo/src/CMakeFiles/gossip_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gossip_rng_tests.dir/rng/alias_table_test.cpp.o"
+  "CMakeFiles/gossip_rng_tests.dir/rng/alias_table_test.cpp.o.d"
+  "CMakeFiles/gossip_rng_tests.dir/rng/distributions_test.cpp.o"
+  "CMakeFiles/gossip_rng_tests.dir/rng/distributions_test.cpp.o.d"
+  "CMakeFiles/gossip_rng_tests.dir/rng/lut_property_test.cpp.o"
+  "CMakeFiles/gossip_rng_tests.dir/rng/lut_property_test.cpp.o.d"
+  "CMakeFiles/gossip_rng_tests.dir/rng/lut_sampler_test.cpp.o"
+  "CMakeFiles/gossip_rng_tests.dir/rng/lut_sampler_test.cpp.o.d"
+  "CMakeFiles/gossip_rng_tests.dir/rng/rng_stream_test.cpp.o"
+  "CMakeFiles/gossip_rng_tests.dir/rng/rng_stream_test.cpp.o.d"
+  "CMakeFiles/gossip_rng_tests.dir/rng/xoshiro_test.cpp.o"
+  "CMakeFiles/gossip_rng_tests.dir/rng/xoshiro_test.cpp.o.d"
+  "gossip_rng_tests"
+  "gossip_rng_tests.pdb"
+  "gossip_rng_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gossip_rng_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gossip_scenario_tests.dir/scenario/compare_test.cpp.o"
+  "CMakeFiles/gossip_scenario_tests.dir/scenario/compare_test.cpp.o.d"
+  "CMakeFiles/gossip_scenario_tests.dir/scenario/engine_test.cpp.o"
+  "CMakeFiles/gossip_scenario_tests.dir/scenario/engine_test.cpp.o.d"
+  "CMakeFiles/gossip_scenario_tests.dir/scenario/registry_test.cpp.o"
+  "CMakeFiles/gossip_scenario_tests.dir/scenario/registry_test.cpp.o.d"
+  "CMakeFiles/gossip_scenario_tests.dir/scenario/runner_test.cpp.o"
+  "CMakeFiles/gossip_scenario_tests.dir/scenario/runner_test.cpp.o.d"
+  "CMakeFiles/gossip_scenario_tests.dir/scenario/spec_test.cpp.o"
+  "CMakeFiles/gossip_scenario_tests.dir/scenario/spec_test.cpp.o.d"
+  "CMakeFiles/gossip_scenario_tests.dir/scenario/topology_spec_test.cpp.o"
+  "CMakeFiles/gossip_scenario_tests.dir/scenario/topology_spec_test.cpp.o.d"
+  "CMakeFiles/gossip_scenario_tests.dir/scenario/trace_test.cpp.o"
+  "CMakeFiles/gossip_scenario_tests.dir/scenario/trace_test.cpp.o.d"
+  "CMakeFiles/gossip_scenario_tests.dir/scenario/workload_test.cpp.o"
+  "CMakeFiles/gossip_scenario_tests.dir/scenario/workload_test.cpp.o.d"
+  "gossip_scenario_tests"
+  "gossip_scenario_tests.pdb"
+  "gossip_scenario_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gossip_scenario_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gossip_sim_tests.dir/sim/event_queue_test.cpp.o"
+  "CMakeFiles/gossip_sim_tests.dir/sim/event_queue_test.cpp.o.d"
+  "CMakeFiles/gossip_sim_tests.dir/sim/simulator_test.cpp.o"
+  "CMakeFiles/gossip_sim_tests.dir/sim/simulator_test.cpp.o.d"
+  "gossip_sim_tests"
+  "gossip_sim_tests.pdb"
+  "gossip_sim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gossip_sim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/stats/ci_test.cpp" "tests/CMakeFiles/gossip_stats_tests.dir/stats/ci_test.cpp.o" "gcc" "tests/CMakeFiles/gossip_stats_tests.dir/stats/ci_test.cpp.o.d"
+  "/root/repo/tests/stats/fit_test.cpp" "tests/CMakeFiles/gossip_stats_tests.dir/stats/fit_test.cpp.o" "gcc" "tests/CMakeFiles/gossip_stats_tests.dir/stats/fit_test.cpp.o.d"
+  "/root/repo/tests/stats/gof_test.cpp" "tests/CMakeFiles/gossip_stats_tests.dir/stats/gof_test.cpp.o" "gcc" "tests/CMakeFiles/gossip_stats_tests.dir/stats/gof_test.cpp.o.d"
+  "/root/repo/tests/stats/histogram_test.cpp" "tests/CMakeFiles/gossip_stats_tests.dir/stats/histogram_test.cpp.o" "gcc" "tests/CMakeFiles/gossip_stats_tests.dir/stats/histogram_test.cpp.o.d"
+  "/root/repo/tests/stats/summary_property_test.cpp" "tests/CMakeFiles/gossip_stats_tests.dir/stats/summary_property_test.cpp.o" "gcc" "tests/CMakeFiles/gossip_stats_tests.dir/stats/summary_property_test.cpp.o.d"
+  "/root/repo/tests/stats/summary_test.cpp" "tests/CMakeFiles/gossip_stats_tests.dir/stats/summary_test.cpp.o" "gcc" "tests/CMakeFiles/gossip_stats_tests.dir/stats/summary_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/CMakeFiles/gossip_stats.dir/DependInfo.cmake"
+  "/root/repo/src/CMakeFiles/gossip_rng.dir/DependInfo.cmake"
+  "/root/repo/src/CMakeFiles/gossip_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gossip_stats_tests.dir/stats/ci_test.cpp.o"
+  "CMakeFiles/gossip_stats_tests.dir/stats/ci_test.cpp.o.d"
+  "CMakeFiles/gossip_stats_tests.dir/stats/fit_test.cpp.o"
+  "CMakeFiles/gossip_stats_tests.dir/stats/fit_test.cpp.o.d"
+  "CMakeFiles/gossip_stats_tests.dir/stats/gof_test.cpp.o"
+  "CMakeFiles/gossip_stats_tests.dir/stats/gof_test.cpp.o.d"
+  "CMakeFiles/gossip_stats_tests.dir/stats/histogram_test.cpp.o"
+  "CMakeFiles/gossip_stats_tests.dir/stats/histogram_test.cpp.o.d"
+  "CMakeFiles/gossip_stats_tests.dir/stats/summary_property_test.cpp.o"
+  "CMakeFiles/gossip_stats_tests.dir/stats/summary_property_test.cpp.o.d"
+  "CMakeFiles/gossip_stats_tests.dir/stats/summary_test.cpp.o"
+  "CMakeFiles/gossip_stats_tests.dir/stats/summary_test.cpp.o.d"
+  "gossip_stats_tests"
+  "gossip_stats_tests.pdb"
+  "gossip_stats_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gossip_stats_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gossip_validation_tests.dir/validation/meanfield_anchor_test.cpp.o"
+  "CMakeFiles/gossip_validation_tests.dir/validation/meanfield_anchor_test.cpp.o.d"
+  "CMakeFiles/gossip_validation_tests.dir/validation/meanfield_divergence_test.cpp.o"
+  "CMakeFiles/gossip_validation_tests.dir/validation/meanfield_divergence_test.cpp.o.d"
+  "CMakeFiles/gossip_validation_tests.dir/validation/meanfield_grid_test.cpp.o"
+  "CMakeFiles/gossip_validation_tests.dir/validation/meanfield_grid_test.cpp.o.d"
+  "CMakeFiles/gossip_validation_tests.dir/validation/topology_anchor_test.cpp.o"
+  "CMakeFiles/gossip_validation_tests.dir/validation/topology_anchor_test.cpp.o.d"
+  "CMakeFiles/gossip_validation_tests.dir/validation/topology_divergence_test.cpp.o"
+  "CMakeFiles/gossip_validation_tests.dir/validation/topology_divergence_test.cpp.o.d"
+  "CMakeFiles/gossip_validation_tests.dir/validation/topology_equivalence_test.cpp.o"
+  "CMakeFiles/gossip_validation_tests.dir/validation/topology_equivalence_test.cpp.o.d"
+  "gossip_validation_tests"
+  "gossip_validation_tests.pdb"
+  "gossip_validation_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gossip_validation_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/tests/gossip_rng_tests[1]_include.cmake")
+include("/root/repo/tests/gossip_math_tests[1]_include.cmake")
+include("/root/repo/tests/gossip_stats_tests[1]_include.cmake")
+include("/root/repo/tests/gossip_graph_tests[1]_include.cmake")
+include("/root/repo/tests/gossip_core_tests[1]_include.cmake")
+include("/root/repo/tests/gossip_net_tests[1]_include.cmake")
+include("/root/repo/tests/gossip_obs_tests[1]_include.cmake")
+include("/root/repo/tests/gossip_membership_tests[1]_include.cmake")
+include("/root/repo/tests/gossip_sim_tests[1]_include.cmake")
+include("/root/repo/tests/gossip_protocol_tests[1]_include.cmake")
+include("/root/repo/tests/gossip_parallel_tests[1]_include.cmake")
+include("/root/repo/tests/gossip_experiment_tests[1]_include.cmake")
+include("/root/repo/tests/gossip_scenario_tests[1]_include.cmake")
+include("/root/repo/tests/gossip_integration_tests[1]_include.cmake")
+include("/root/repo/tests/gossip_validation_tests[1]_include.cmake")
+if(CTEST_CONFIGURATION_TYPE MATCHES "^([Vv][Aa][Ll][Ii][Dd][Aa][Tt][Ii][Oo][Nn])$")
+  add_test([=[validation.full]=] "/root/repo/tests/gossip_validation_tests" "--gtest_filter=*FullTier*:*Divergence*")
+  set_tests_properties([=[validation.full]=] PROPERTIES  ENVIRONMENT "GOSSIP_VALIDATION_FULL=1" LABELS "validation" TIMEOUT "1800" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;74;add_test;/root/repo/tests/CMakeLists.txt;0;")
+endif()
+add_test([=[docs.check]=] "/root/.pyenv/shims/python3" "/root/repo/tools/check_docs.py")
+set_tests_properties([=[docs.check]=] PROPERTIES  TIMEOUT "60" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;87;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[lint.selftest]=] "/root/.pyenv/shims/python3" "/root/repo/tests/lint/determinism_lint_test.py")
+set_tests_properties([=[lint.selftest]=] PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;96;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[lint.src_tree]=] "/root/.pyenv/shims/python3" "/root/repo/tools/lint/determinism_lint.py" "--root" "/root/repo" "--compile-commands" "/root/repo/compile_commands.json" "--verbose")
+set_tests_properties([=[lint.src_tree]=] PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;100;add_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gossip_scenarios.dir/gossip_scenarios.cpp.o"
+  "CMakeFiles/gossip_scenarios.dir/gossip_scenarios.cpp.o.d"
+  "gossip_scenarios"
+  "gossip_scenarios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gossip_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
